@@ -1,0 +1,112 @@
+//! Property tests for §7: the uninterpreted equivalence/containment
+//! deciders versus group structures and interpreted evaluation.
+
+use co_agg::{agg_contained_in, agg_equivalent, hidden_key_equivalent, AggQuery};
+use co_cq::generate::{CqGen, CqGenConfig};
+use co_cq::{Database, Term, Var};
+use proptest::prelude::*;
+
+/// A random aggregate query: random CQ body, group by the first head term,
+/// count over a body variable.
+fn random_agg(seed: u64) -> AggQuery {
+    let mut g = CqGen::new(seed, CqGenConfig { head_width: 1, atoms: 3, ..CqGenConfig::default() });
+    let cq = g.query();
+    // Choose an aggregated variable from the body (fall back to a fresh
+    // constant-position-free query when the body is ground).
+    let arg = cq.body_vars().into_iter().next().unwrap_or_else(|| Var::new("v0"));
+    AggQuery {
+        group_by: cq.head.clone(),
+        aggregates: vec![co_agg::AggTerm { func: co_agg::AggFn::Count, arg }],
+        body: if cq.body_vars().is_empty() {
+            vec![co_cq::QueryAtom::new("R0", vec![Term::Var(arg), Term::Var(arg)])]
+        } else {
+            cq.body.clone()
+        },
+        unsatisfiable: cq.unsatisfiable,
+    }
+}
+
+fn random_db(seed: u64) -> Database {
+    let mut g = CqGen::new(seed, CqGenConfig::default());
+    g.database(5, 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Soundness of equivalence: decided-equivalent queries have equal
+    /// group structures (hence equal answers under every interpretation)
+    /// on random databases.
+    #[test]
+    fn equivalence_is_sound(seed in any::<u64>(), db_seed in any::<u64>()) {
+        let q1 = random_agg(seed);
+        let q2 = random_agg(seed.wrapping_add(7919));
+        if agg_equivalent(&q1, &q2) {
+            for s in 0..4u64 {
+                let db = random_db(db_seed.wrapping_add(s));
+                prop_assert_eq!(
+                    q1.group_structure(&db),
+                    q2.group_structure(&db),
+                    "{} vs {}", &q1, &q2
+                );
+                // Interpreted counts agree too.
+                prop_assert_eq!(q1.evaluate(&db), q2.evaluate(&db));
+            }
+        }
+    }
+
+    /// Completeness against semantics: if group structures differ on some
+    /// random database, the decider must reject equivalence.
+    #[test]
+    fn semantic_difference_forces_rejection(seed in any::<u64>(), db_seed in any::<u64>()) {
+        let q1 = random_agg(seed);
+        let q2 = random_agg(seed.wrapping_add(104729));
+        let db = random_db(db_seed);
+        if q1.group_structure(&db) != q2.group_structure(&db) {
+            prop_assert!(!agg_equivalent(&q1, &q2), "{} vs {}", &q1, &q2);
+        }
+    }
+
+    /// Containment is a preorder and equivalence is mutual containment.
+    #[test]
+    fn containment_preorder(seed in any::<u64>()) {
+        let q1 = random_agg(seed);
+        let q2 = random_agg(seed.wrapping_add(13));
+        prop_assert!(agg_contained_in(&q1, &q1));
+        prop_assert_eq!(
+            agg_equivalent(&q1, &q2),
+            agg_contained_in(&q1, &q2) && agg_contained_in(&q2, &q1)
+        );
+    }
+
+    /// Containment soundness: decided containment means every output tuple
+    /// of q1's group structure appears identically in q2's.
+    #[test]
+    fn containment_is_sound(seed in any::<u64>(), db_seed in any::<u64>()) {
+        let q1 = random_agg(seed);
+        let q2 = random_agg(seed.wrapping_add(31));
+        if agg_contained_in(&q1, &q2) {
+            let db = random_db(db_seed);
+            let g1 = q1.group_structure(&db);
+            let g2 = q2.group_structure(&db);
+            for (key, members) in &g1 {
+                prop_assert_eq!(
+                    Some(members),
+                    g2.get(key),
+                    "{} ⊑ {} violated at key {:?}", &q1, &q2, key
+                );
+            }
+        }
+    }
+
+    /// Visible-key equivalence implies hidden-key equivalence (forgetting
+    /// the key only makes matching easier).
+    #[test]
+    fn visible_implies_hidden(seed in any::<u64>()) {
+        let q1 = random_agg(seed);
+        let q2 = random_agg(seed.wrapping_add(4242));
+        if agg_equivalent(&q1, &q2) {
+            prop_assert!(hidden_key_equivalent(&q1, &q2), "{} vs {}", &q1, &q2);
+        }
+    }
+}

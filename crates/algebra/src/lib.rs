@@ -1,0 +1,26 @@
+//! # co-algebra — the nested relational algebra fragments of §3.1
+//!
+//! *Levy & Suciu, PODS 1997* identifies COQL with two algebra fragments:
+//! the Abiteboul–Beeri fragment {product, flatten, σ=, map, singleton} and
+//! the Thomas–Fischer fragment {π, σ, ×, **outernest**, unnest}. This crate
+//! implements both, value-level ([`ops`]) and as an AST ([`AlgExpr`]) with
+//! a type-directed translation into COQL ([`to_coql`]) that witnesses the
+//! equivalence — property-tested so that `⟦to_coql(e)⟧ = ⟦e⟧`.
+//!
+//! It also carries the paper's §4 application: deciding equivalence of
+//! **`nest;unnest` sequences** ([`equivalent_sequences`]), NP-complete when
+//! nesting is governed by atomic attributes — the partial answer to the
+//! open problem of Gyssens, Paredaens & Van Gucht.
+
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod nestseq;
+pub mod ops;
+
+pub use expr::{to_coql, AlgExpr, TranslateError};
+pub use nestseq::{equivalent_sequences, NuError, NuOp, NuSeq};
+pub use ops::{
+    flatten, map, nest, outernest, product, project, select_const, select_eq, singleton,
+    unnest, AlgError,
+};

@@ -1,0 +1,366 @@
+//! Value-level operations of the nested relational algebras (§3.1).
+//!
+//! The paper identifies COQL with two algebra fragments:
+//!
+//! 1. the Abiteboul–Beeri algebra \[1\] fragment **{product, flatten,
+//!    selection on equality, map, singleton}**, and
+//! 2. the Thomas–Fischer algebra \[40\] fragment **{π, σ_{A=B}, ×,
+//!    outernest, unnest}** — nest replaced by `outernest` (Example A.1).
+//!
+//! This module implements the operators directly on complex-object values
+//! (nested relations): the reference semantics against which the COQL
+//! translations in [`crate::expr`] are property-tested.
+//!
+//! **`outernest` reconstruction.** Example A.1 is in the appendix not
+//! included with the extended abstract's excerpt; we reconstruct it as
+//! *nest with a caller-supplied spine*: `outernest_X→g(R, S)` produces, for
+//! each tuple `z̄` of the spine `S` (over `R`'s non-`X` attributes), the
+//! record `z̄ ∪ [g: {x̄ | (z̄, x̄) ∈ R}]` — groups **may be empty** for
+//! spine tuples unmatched in `R`. This is the variant COQL can express
+//! (an inner `select` can be empty) and is exactly why empty sets drive
+//! the paper's complexity analysis, while classical `nest` (spine
+//! `= π_{z̄}(R)`) never produces empty groups.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use co_object::{Field, SetValue, Value};
+
+/// An algebra evaluation error (ill-typed operand).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlgError {
+    /// Description.
+    pub message: String,
+}
+
+impl AlgError {
+    pub(crate) fn new(message: impl Into<String>) -> AlgError {
+        AlgError { message: message.into() }
+    }
+}
+
+impl fmt::Display for AlgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "algebra error: {}", self.message)
+    }
+}
+
+impl std::error::Error for AlgError {}
+
+fn as_relation<'a>(v: &'a Value, op: &str) -> Result<&'a SetValue, AlgError> {
+    v.as_set().ok_or_else(|| AlgError::new(format!("{op}: operand is not a set: {v}")))
+}
+
+fn as_tuple<'a>(v: &'a Value, op: &str) -> Result<&'a co_object::RecordValue, AlgError> {
+    v.as_record().ok_or_else(|| AlgError::new(format!("{op}: element is not a record: {v}")))
+}
+
+/// Cartesian product `R × S`: records merged; attribute sets must be
+/// disjoint.
+pub fn product(r: &Value, s: &Value) -> Result<Value, AlgError> {
+    let rs = as_relation(r, "product")?;
+    let ss = as_relation(s, "product")?;
+    let mut out = Vec::with_capacity(rs.len() * ss.len());
+    for a in rs.iter() {
+        let ra = as_tuple(a, "product")?;
+        for b in ss.iter() {
+            let rb = as_tuple(b, "product")?;
+            let mut fields: Vec<(Field, Value)> =
+                ra.iter().cloned().chain(rb.iter().cloned()).collect();
+            fields.sort_by_key(|(f, _)| *f);
+            for w in fields.windows(2) {
+                if w[0].0 == w[1].0 {
+                    return Err(AlgError::new(format!(
+                        "product: attribute `{}` occurs on both sides",
+                        w[0].0
+                    )));
+                }
+            }
+            out.push(Value::record(fields).expect("checked disjoint"));
+        }
+    }
+    Ok(Value::set(out))
+}
+
+/// Selection `σ_{A=B}(R)`: keeps tuples whose (atomic) `A` and `B`
+/// components are equal.
+pub fn select_eq(r: &Value, a: Field, b: Field) -> Result<Value, AlgError> {
+    let rs = as_relation(r, "select")?;
+    let mut out = Vec::new();
+    for t in rs.iter() {
+        let rt = as_tuple(t, "select")?;
+        let va = rt.get(a).ok_or_else(|| AlgError::new(format!("select: no attribute `{a}`")))?;
+        let vb = rt.get(b).ok_or_else(|| AlgError::new(format!("select: no attribute `{b}`")))?;
+        if va.as_atom().is_none() || vb.as_atom().is_none() {
+            return Err(AlgError::new("select: equality over non-atomic attributes".to_string()));
+        }
+        if va == vb {
+            out.push(t.clone());
+        }
+    }
+    Ok(Value::set(out))
+}
+
+/// Selection `σ_{A=c}(R)` against a constant.
+pub fn select_const(r: &Value, a: Field, c: co_object::Atom) -> Result<Value, AlgError> {
+    let rs = as_relation(r, "select")?;
+    let mut out = Vec::new();
+    for t in rs.iter() {
+        let rt = as_tuple(t, "select")?;
+        let va = rt.get(a).ok_or_else(|| AlgError::new(format!("select: no attribute `{a}`")))?;
+        if va == &Value::Atom(c) {
+            out.push(t.clone());
+        }
+    }
+    Ok(Value::set(out))
+}
+
+/// Projection `π_{attrs}(R)`.
+pub fn project(r: &Value, attrs: &[Field]) -> Result<Value, AlgError> {
+    let rs = as_relation(r, "project")?;
+    let mut out = Vec::new();
+    for t in rs.iter() {
+        let rt = as_tuple(t, "project")?;
+        let mut fields = Vec::with_capacity(attrs.len());
+        for &a in attrs {
+            let v = rt
+                .get(a)
+                .ok_or_else(|| AlgError::new(format!("project: no attribute `{a}`")))?;
+            fields.push((a, v.clone()));
+        }
+        out.push(Value::record(fields).map_err(|e| AlgError::new(e.to_string()))?);
+    }
+    Ok(Value::set(out))
+}
+
+/// `map(f)(R)`: applies `f` to every element.
+pub fn map(r: &Value, mut f: impl FnMut(&Value) -> Result<Value, AlgError>) -> Result<Value, AlgError> {
+    let rs = as_relation(r, "map")?;
+    let mut out = Vec::with_capacity(rs.len());
+    for t in rs.iter() {
+        out.push(f(t)?);
+    }
+    Ok(Value::set(out))
+}
+
+/// `flatten(R)`: a set of sets into their union.
+pub fn flatten(r: &Value) -> Result<Value, AlgError> {
+    let rs = as_relation(r, "flatten")?;
+    let mut out = Vec::new();
+    for inner in rs.iter() {
+        let is = as_relation(inner, "flatten")?;
+        out.extend(is.iter().cloned());
+    }
+    Ok(Value::set(out))
+}
+
+/// The singleton constructor.
+pub fn singleton(v: &Value) -> Value {
+    Value::singleton(v.clone())
+}
+
+/// Classical Thomas–Fischer `nest_{X→g}(R)`: groups tuples by the non-`X`
+/// attributes, collecting the `X`-projections into a set-valued attribute
+/// `g`. Groups are never empty.
+pub fn nest(r: &Value, set_attrs: &[Field], new_field: Field) -> Result<Value, AlgError> {
+    let rs = as_relation(r, "nest")?;
+    let mut groups: BTreeMap<Vec<(Field, Value)>, Vec<Value>> = BTreeMap::new();
+    for t in rs.iter() {
+        let rt = as_tuple(t, "nest")?;
+        let mut key = Vec::new();
+        let mut member = Vec::new();
+        for (f, v) in rt.iter() {
+            if set_attrs.contains(f) {
+                member.push((*f, v.clone()));
+            } else {
+                key.push((*f, v.clone()));
+            }
+        }
+        for &a in set_attrs {
+            if !member.iter().any(|(f, _)| *f == a) {
+                return Err(AlgError::new(format!("nest: no attribute `{a}`")));
+            }
+        }
+        groups
+            .entry(key)
+            .or_default()
+            .push(Value::record(member).map_err(|e| AlgError::new(e.to_string()))?);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, members) in groups {
+        let mut fields = key;
+        fields.push((new_field, Value::set(members)));
+        out.push(Value::record(fields).map_err(|e| AlgError::new(e.to_string()))?);
+    }
+    Ok(Value::set(out))
+}
+
+/// `outernest_{X→g}(R, S)` — nest against an explicit spine `S` over the
+/// non-`X` attributes; groups may be empty (Example A.1, reconstructed).
+pub fn outernest(
+    r: &Value,
+    spine: &Value,
+    set_attrs: &[Field],
+    new_field: Field,
+) -> Result<Value, AlgError> {
+    let rs = as_relation(r, "outernest")?;
+    let ss = as_relation(spine, "outernest")?;
+    let mut out = Vec::with_capacity(ss.len());
+    for z in ss.iter() {
+        let rz = as_tuple(z, "outernest")?;
+        let mut members = Vec::new();
+        for t in rs.iter() {
+            let rt = as_tuple(t, "outernest")?;
+            // The spine must carry exactly the grouped relation's key
+            // attributes (its non-`X` attributes).
+            for f in rz.labels() {
+                if rt.get(f).is_none() || set_attrs.contains(&f) {
+                    return Err(AlgError::new(format!(
+                        "outernest: spine attribute `{f}` is not a key attribute of the relation"
+                    )));
+                }
+            }
+            let mut matches = true;
+            let mut member = Vec::new();
+            for (f, v) in rt.iter() {
+                if set_attrs.contains(f) {
+                    member.push((*f, v.clone()));
+                } else if rz.get(*f) != Some(v) {
+                    matches = false;
+                    break;
+                }
+            }
+            if matches {
+                members
+                    .push(Value::record(member).map_err(|e| AlgError::new(e.to_string()))?);
+            }
+        }
+        let mut fields: Vec<(Field, Value)> = rz.iter().cloned().collect();
+        fields.push((new_field, Value::set(members)));
+        out.push(Value::record(fields).map_err(|e| AlgError::new(e.to_string()))?);
+    }
+    Ok(Value::set(out))
+}
+
+/// `unnest_g(R)`: replaces the set-valued attribute `g` by its members'
+/// attributes, one output tuple per member. Tuples with `g = {}` vanish —
+/// the classical lossiness of unnest.
+pub fn unnest(r: &Value, set_field: Field) -> Result<Value, AlgError> {
+    let rs = as_relation(r, "unnest")?;
+    let mut out = Vec::new();
+    for t in rs.iter() {
+        let rt = as_tuple(t, "unnest")?;
+        let inner = rt
+            .get(set_field)
+            .ok_or_else(|| AlgError::new(format!("unnest: no attribute `{set_field}`")))?;
+        let members = as_relation(inner, "unnest")?;
+        for m in members.iter() {
+            let rm = as_tuple(m, "unnest")?;
+            let mut fields: Vec<(Field, Value)> = rt
+                .iter()
+                .filter(|(f, _)| *f != set_field)
+                .cloned()
+                .collect();
+            fields.extend(rm.iter().cloned());
+            fields.sort_by_key(|(f, _)| *f);
+            for w in fields.windows(2) {
+                if w[0].0 == w[1].0 {
+                    return Err(AlgError::new(format!(
+                        "unnest: attribute `{}` collides",
+                        w[0].0
+                    )));
+                }
+            }
+            out.push(Value::record(fields).expect("checked disjoint"));
+        }
+    }
+    Ok(Value::set(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_object::parse_value;
+
+    fn f(name: &str) -> Field {
+        Field::new(name)
+    }
+
+    #[test]
+    fn product_merges_disjoint_attrs() {
+        let r = parse_value("{[A: 1], [A: 2]}").unwrap();
+        let s = parse_value("{[B: 9]}").unwrap();
+        let p = product(&r, &s).unwrap();
+        assert_eq!(p.to_string(), "{[A: 1, B: 9], [A: 2, B: 9]}");
+        assert!(product(&r, &r).is_err());
+    }
+
+    #[test]
+    fn selections() {
+        let r = parse_value("{[A: 1, B: 1], [A: 1, B: 2]}").unwrap();
+        assert_eq!(select_eq(&r, f("A"), f("B")).unwrap().to_string(), "{[A: 1, B: 1]}");
+        assert_eq!(
+            select_const(&r, f("B"), co_object::Atom::int(2)).unwrap().to_string(),
+            "{[A: 1, B: 2]}"
+        );
+    }
+
+    #[test]
+    fn nest_groups_without_empty_sets() {
+        let r = parse_value("{[A: 1, B: 10], [A: 1, B: 11], [A: 2, B: 20]}").unwrap();
+        let n = nest(&r, &[f("B")], f("g")).unwrap();
+        assert_eq!(
+            n.to_string(),
+            "{[A: 1, g: {[B: 10], [B: 11]}], [A: 2, g: {[B: 20]}]}"
+        );
+        assert!(!n.contains_empty_set());
+    }
+
+    #[test]
+    fn outernest_can_produce_empty_groups() {
+        let r = parse_value("{[A: 1, B: 10]}").unwrap();
+        let spine = parse_value("{[A: 1], [A: 2]}").unwrap();
+        let n = outernest(&r, &spine, &[f("B")], f("g")).unwrap();
+        assert_eq!(n.to_string(), "{[A: 1, g: {[B: 10]}], [A: 2, g: {}]}");
+        assert!(n.contains_empty_set());
+    }
+
+    #[test]
+    fn unnest_inverts_nest_modulo_empties() {
+        let r = parse_value("{[A: 1, B: 10], [A: 1, B: 11], [A: 2, B: 20]}").unwrap();
+        let n = nest(&r, &[f("B")], f("g")).unwrap();
+        let u = unnest(&n, f("g")).unwrap();
+        assert_eq!(u, r);
+        // unnest drops empty groups: outernest then unnest loses spine rows.
+        let spine = parse_value("{[A: 1], [A: 3]}").unwrap();
+        let on = outernest(&r, &spine, &[f("B")], f("g")).unwrap();
+        let u2 = unnest(&on, f("g")).unwrap();
+        assert_eq!(u2.to_string(), "{[A: 1, B: 10], [A: 1, B: 11]}");
+    }
+
+    #[test]
+    fn flatten_map_singleton() {
+        let r = parse_value("{{1, 2}, {2, 3}}").unwrap();
+        assert_eq!(flatten(&r).unwrap().to_string(), "{1, 2, 3}");
+        let s = parse_value("{1, 2}").unwrap();
+        let m = map(&s, |v| Ok(singleton(v))).unwrap();
+        assert_eq!(m.to_string(), "{{1}, {2}}");
+        assert_eq!(flatten(&m).unwrap(), s);
+    }
+
+    #[test]
+    fn project_keeps_chosen_attrs() {
+        let r = parse_value("{[A: 1, B: 10], [A: 1, B: 11]}").unwrap();
+        let p = project(&r, &[f("A")]).unwrap();
+        assert_eq!(p.to_string(), "{[A: 1]}");
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let not_set = Value::int(3);
+        assert!(flatten(&not_set).is_err());
+        let set_of_atoms = parse_value("{1}").unwrap();
+        assert!(project(&set_of_atoms, &[f("A")]).is_err());
+        assert!(unnest(&set_of_atoms, f("g")).is_err());
+    }
+}

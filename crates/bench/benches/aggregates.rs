@@ -1,0 +1,25 @@
+//! E7 — aggregate-query equivalence (§7).
+
+use co_bench::agg_pair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_aggregates");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for extra in [0usize, 2, 4] {
+        let (q1, q2) = agg_pair(extra);
+        group.bench_with_input(BenchmarkId::new("visible_key", extra), &extra, |b, _| {
+            b.iter(|| co_agg::agg_equivalent(black_box(&q1), black_box(&q2)))
+        });
+        group.bench_with_input(BenchmarkId::new("hidden_key", extra), &extra, |b, _| {
+            b.iter(|| co_agg::hidden_key_equivalent(black_box(&q1), black_box(&q2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E5 — COQL containment: the empty-set case split vs the NP fast path.
+
+use co_bench::{coql_schema, many_children_query};
+use co_sim::tree::{tree_contained_in_with, ContainOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_coql_containment");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let schema = coql_schema();
+    for children in [0usize, 2, 4, 6] {
+        let q = many_children_query(children);
+        let p = co_core::prepare(&q, &schema).expect("prepares");
+        group.bench_with_input(BenchmarkId::new("full", children), &children, |b, _| {
+            b.iter(|| {
+                tree_contained_in_with(
+                    black_box(&p.tree),
+                    black_box(&p.tree),
+                    ContainOptions { no_empty_sets: false, extra_witnesses: 0 },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("no_empty_sets", children), &children, |b, _| {
+            b.iter(|| {
+                tree_contained_in_with(
+                    black_box(&p.tree),
+                    black_box(&p.tree),
+                    ContainOptions { no_empty_sets: true, extra_witnesses: 0 },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E6 — COQL weak equivalence / equivalence.
+
+use co_bench::{coql_schema, deep_nest_query};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_coql_equivalence");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let schema = coql_schema();
+    for d in [1usize, 2, 3] {
+        let q = deep_nest_query(d);
+        group.bench_with_input(BenchmarkId::new("weakly_equivalent", d), &d, |b, _| {
+            b.iter(|| co_core::weakly_equivalent(black_box(&q), black_box(&q), &schema).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("prepare", d), &d, |b, _| {
+            b.iter(|| co_core::prepare(black_box(&q), &schema).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E2 — classical CQ containment: chains (polynomial) vs coloring (hard).
+
+use co_bench::{chain_pair, coloring_pair};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_cq_containment");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for n in [8usize, 32, 64] {
+        let (q1, q2) = chain_pair(n);
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
+            b.iter(|| co_cq::is_contained_in(black_box(&q1), black_box(&q2)))
+        });
+    }
+    for n in [6usize, 10, 14] {
+        let (q1, q2) = coloring_pair(n, 7);
+        group.bench_with_input(BenchmarkId::new("coloring", n), &n, |b, _| {
+            b.iter(|| co_cq::is_contained_in(black_box(&q1), black_box(&q2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E9 — containment cost vs set-nesting depth d (d+1 alternations).
+
+use co_bench::{coql_schema, deep_nest_query};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_depth_scaling");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let schema = coql_schema();
+    for d in [1usize, 2, 3, 4] {
+        let q = deep_nest_query(d);
+        group.bench_with_input(BenchmarkId::new("contained_in", d), &d, |b, _| {
+            b.iter(|| co_core::contained_in(black_box(&q), black_box(&q), &schema).unwrap().holds)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

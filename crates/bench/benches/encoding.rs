@@ -1,0 +1,27 @@
+//! E10 — index encoding round-trip throughput (§5.1).
+
+use co_bench::nested_db;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_encoding");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for n in [10usize, 100, 400] {
+        let (db, schema) = nested_db(n, 5);
+        let enc = co_encode::encode_database(&db, &schema).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
+            b.iter(|| co_encode::encode_database(black_box(&db), &schema).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("decode", n), &n, |b, _| {
+            b.iter(|| co_encode::decode_database(black_box(&enc), &schema).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E12 — nested (hierarchical) aggregation equivalence.
+
+use co_bench::hierarchical_report;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_hierarchical");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for depth in [1usize, 2, 3] {
+        let q1 = hierarchical_report(depth);
+        let q2 = hierarchical_report(depth);
+        group.bench_with_input(BenchmarkId::new("equivalence", depth), &depth, |b, _| {
+            b.iter(|| co_agg::hierarchical_equivalent(black_box(&q1), black_box(&q2)))
+        });
+        group.bench_with_input(BenchmarkId::new("to_tree", depth), &depth, |b, _| {
+            b.iter(|| black_box(&q1).to_tree())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

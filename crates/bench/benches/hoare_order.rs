@@ -1,0 +1,25 @@
+//! E1 — the Hoare order `⊑`: structural recursion vs graph simulation.
+
+use co_bench::hoare_pair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_hoare_order");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for size in [20usize, 120, 480] {
+        let (v, w) = hoare_pair(size, 42);
+        group.bench_with_input(BenchmarkId::new("recursive", size), &size, |b, _| {
+            b.iter(|| co_object::hoare_leq(black_box(&v), black_box(&w)))
+        });
+        group.bench_with_input(BenchmarkId::new("graph", size), &size, |b, _| {
+            b.iter(|| co_object::hoare_leq_graph(black_box(&v), black_box(&w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

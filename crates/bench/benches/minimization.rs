@@ -1,0 +1,41 @@
+//! E11 — ablation: tree minimization before containment.
+
+use co_bench::{coql_schema, redundant_query};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_minimization");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let schema = coql_schema();
+    for extra in [0usize, 2, 3] {
+        let q = redundant_query(extra);
+        let raw = co_core::prepare(&q, &schema).expect("prepares");
+        let minimized = co_core::prepare_with(
+            &q,
+            &schema,
+            co_core::PrepareOptions { minimize: true },
+        )
+        .expect("prepares");
+        group.bench_with_input(BenchmarkId::new("raw", extra), &extra, |b, _| {
+            b.iter(|| co_sim::tree::tree_contained_in(black_box(&raw.tree), black_box(&raw.tree)))
+        });
+        group.bench_with_input(BenchmarkId::new("minimized", extra), &extra, |b, _| {
+            b.iter(|| {
+                co_sim::tree::tree_contained_in(
+                    black_box(&minimized.tree),
+                    black_box(&minimized.tree),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("minimize_cost", extra), &extra, |b, _| {
+            b.iter(|| co_sim::minimize_tree(black_box(&raw.tree)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

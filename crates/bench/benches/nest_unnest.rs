@@ -1,0 +1,25 @@
+//! E8 — nest;unnest sequence equivalence.
+
+use co_bench::{nest_unnest_roundtrips, nest_unnest_schema};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_nest_unnest");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let schema = nest_unnest_schema();
+    for k in [1usize, 2, 3] {
+        let (s1, s2) = nest_unnest_roundtrips(k);
+        group.bench_with_input(BenchmarkId::new("decide", k), &k, |b, _| {
+            b.iter(|| {
+                co_algebra::equivalent_sequences(black_box(&s1), black_box(&s2), &schema).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

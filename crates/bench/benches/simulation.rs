@@ -1,0 +1,30 @@
+//! E3 — simulation (Eq. 2) vs classical containment, plus witness ablation.
+
+use co_bench::simulation_positive;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_simulation");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for n in [0usize, 4, 8] {
+        let (q1, q2) = simulation_positive(n);
+        group.bench_with_input(BenchmarkId::new("simulation", n), &n, |b, _| {
+            b.iter(|| co_sim::is_simulated_by(black_box(&q1), black_box(&q2)))
+        });
+        group.bench_with_input(BenchmarkId::new("flat_containment", n), &n, |b, _| {
+            let c1 = q1.as_cq();
+            let c2 = q2.as_cq();
+            b.iter(|| co_cq::is_contained_in(black_box(&c1), black_box(&c2)))
+        });
+        group.bench_with_input(BenchmarkId::new("extra_witnesses_k3", n), &n, |b, _| {
+            b.iter(|| co_sim::simulated_by_with_witnesses(black_box(&q1), black_box(&q2), 3).holds())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

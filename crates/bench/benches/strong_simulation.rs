@@ -1,0 +1,29 @@
+//! E4 — strong simulation (Eq. 4) vs simulation.
+
+use co_bench::indexed_pair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_strong_simulation");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for atoms in [2usize, 4, 5] {
+        let (q1, _) = indexed_pair(atoms, 1, 11);
+        let q2 = q1.clone();
+        group.bench_with_input(BenchmarkId::new("simulation", atoms), &atoms, |b, _| {
+            b.iter(|| co_sim::is_simulated_by(black_box(&q1), black_box(&q2)))
+        });
+        group.bench_with_input(BenchmarkId::new("strong", atoms), &atoms, |b, _| {
+            b.iter(|| co_sim::is_strongly_simulated_by(black_box(&q1), black_box(&q2)))
+        });
+        group.bench_with_input(BenchmarkId::new("refuter", atoms), &atoms, |b, _| {
+            b.iter(|| co_sim::refute_strong_simulation(black_box(&q1), black_box(&q2), 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

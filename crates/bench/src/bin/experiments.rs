@@ -1,0 +1,319 @@
+//! The experiment table runner: regenerates every table in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p co-bench --release --bin experiments          # all tables
+//! cargo run -p co-bench --release --bin experiments e3 e5    # a subset
+//! ```
+//!
+//! Each experiment prints a markdown table; EXPERIMENTS.md records a run
+//! and interprets the shapes against the paper's claims.
+
+use std::time::Instant;
+
+use co_bench::*;
+use co_core::DecisionPath;
+
+fn micros<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Median-of-`runs` timing in microseconds.
+fn timed<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let (_, us) = micros(&mut f);
+            us
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(name));
+
+    if want("e1") {
+        e1_hoare();
+    }
+    if want("e2") {
+        e2_cq_containment();
+    }
+    if want("e3") {
+        e3_simulation();
+    }
+    if want("e4") {
+        e4_strong_simulation();
+    }
+    if want("e5") {
+        e5_empty_set_blowup();
+    }
+    if want("e6") {
+        e6_equivalence();
+    }
+    if want("e7") {
+        e7_aggregates();
+    }
+    if want("e8") {
+        e8_nest_unnest();
+    }
+    if want("e9") {
+        e9_depth_scaling();
+    }
+    if want("e10") {
+        e10_encoding();
+    }
+    if want("e11") {
+        e11_minimization();
+    }
+    if want("e12") {
+        e12_hierarchical();
+    }
+}
+
+/// E1: Hoare order — naive recursion vs graph simulation.
+fn e1_hoare() {
+    println!("\n## E1 — Hoare order: recursive vs graph simulation\n");
+    println!("| size (nodes) | recursive (µs) | graph (µs) |");
+    println!("|---:|---:|---:|");
+    for size in [20, 60, 120, 240, 480] {
+        let (v, w) = hoare_pair(size, 42);
+        let nodes = v.size() + w.size();
+        let t_rec = timed(9, || co_object::hoare_leq(&v, &w));
+        let t_graph = timed(9, || co_object::hoare_leq_graph(&v, &w));
+        assert_eq!(co_object::hoare_leq(&v, &w), co_object::hoare_leq_graph(&v, &w));
+        println!("| {nodes} | {t_rec:.1} | {t_graph:.1} |");
+    }
+}
+
+/// E2: classical containment — polynomial chains vs hard coloring.
+fn e2_cq_containment() {
+    println!("\n## E2 — CQ containment: chains (easy) vs 3-coloring (hard)\n");
+    println!("| instance | answer | time (µs) |");
+    println!("|---|---|---:|");
+    for n in [4, 8, 16, 32, 64] {
+        let (q1, q2) = chain_pair(n);
+        let t = timed(9, || co_cq::is_contained_in(&q1, &q2));
+        println!("| chain n={n} | true | {t:.1} |");
+    }
+    for n in [6, 8, 10, 12, 14] {
+        let (q1, q2) = coloring_pair(n, 7);
+        let (ans, _) = micros(|| co_cq::is_contained_in(&q1, &q2));
+        let t = timed(3, || co_cq::is_contained_in(&q1, &q2));
+        println!("| 3-coloring n={n} | {ans} | {t:.1} |");
+    }
+}
+
+/// E3: simulation vs classical containment on the same instances, plus the
+/// witness-copy ablation.
+fn e3_simulation() {
+    println!("\n## E3 — simulation (Eq. 2): cost and witness-copy ablation\n");
+    println!("| body atoms | simulation (µs) | flat containment (µs) | holds |");
+    println!("|---:|---:|---:|---|");
+    for n in [0, 2, 4, 6, 8] {
+        let (q1, q2) = simulation_positive(n);
+        let t_sim = timed(7, || co_sim::is_simulated_by(&q1, &q2));
+        let t_cq = timed(7, || co_cq::is_contained_in(&q1.as_cq(), &q2.as_cq()));
+        let holds = co_sim::is_simulated_by(&q1, &q2);
+        println!("| {} | {t_sim:.1} | {t_cq:.1} | {holds} |", q1.body.len());
+    }
+    println!("\nWitness-copy ablation (random pairs, 200 seeds):\n");
+    println!("| witness copies k | positive answers | disagreements vs default |");
+    println!("|---:|---:|---:|");
+    let default_answers: Vec<bool> = (0..200u64)
+        .map(|s| {
+            let (q1, q2) = indexed_pair(3, 1, s);
+            co_sim::is_simulated_by(&q1, &q2)
+        })
+        .collect();
+    for k in [0usize, 1, 2] {
+        let mut pos = 0;
+        let mut diff = 0;
+        for s in 0..200u64 {
+            let (q1, q2) = indexed_pair(3, 1, s);
+            let ans = co_sim::simulated_by_with_witnesses(&q1, &q2, k).holds();
+            if ans {
+                pos += 1;
+            }
+            if ans != default_answers[s as usize] {
+                diff += 1;
+            }
+        }
+        println!("| {k} | {pos} | {diff} |");
+    }
+}
+
+/// E4: strong simulation vs simulation.
+fn e4_strong_simulation() {
+    println!("\n## E4 — strong simulation (Eq. 4) vs simulation\n");
+    println!("| body atoms | simulation (µs) | strong (µs) | sim holds | strong holds |");
+    println!("|---:|---:|---:|---|---|");
+    for atoms in [2, 3, 4, 5] {
+        // Use a positive (self) pair so both procedures do full work.
+        let (q1, _) = indexed_pair(atoms, 1, 11);
+        let q2 = q1.clone();
+        let t_sim = timed(7, || co_sim::is_simulated_by(&q1, &q2));
+        let t_strong = timed(7, || co_sim::is_strongly_simulated_by(&q1, &q2));
+        println!(
+            "| {atoms} | {t_sim:.1} | {t_strong:.1} | {} | {} |",
+            co_sim::is_simulated_by(&q1, &q2),
+            co_sim::is_strongly_simulated_by(&q1, &q2)
+        );
+    }
+}
+
+/// E5: the empty-set exponential component and its disappearance.
+fn e5_empty_set_blowup() {
+    println!("\n## E5 — COQL containment: the empty-set case split (Thm 4.1 / §4)\n");
+    println!("| possibly-empty children c | full procedure (µs) | no-empty-sets path (µs) | ratio |");
+    println!("|---:|---:|---:|---:|");
+    let schema = coql_schema();
+    for c in [0usize, 1, 2, 3, 4, 5, 6] {
+        let q = many_children_query(c);
+        let p = co_core::prepare(&q, &schema).expect("prepares");
+        let full = timed(5, || {
+            co_sim::tree::tree_contained_in_with(
+                &p.tree,
+                &p.tree,
+                co_sim::tree::ContainOptions { no_empty_sets: false, extra_witnesses: 0 },
+            )
+        });
+        let fast = timed(5, || {
+            co_sim::tree::tree_contained_in_with(
+                &p.tree,
+                &p.tree,
+                co_sim::tree::ContainOptions { no_empty_sets: true, extra_witnesses: 0 },
+            )
+        });
+        println!("| {c} | {full:.1} | {fast:.1} | {:.1}× |", full / fast.max(0.1));
+    }
+}
+
+/// E6: weak equivalence / equivalence timing on nest-style queries.
+fn e6_equivalence() {
+    println!("\n## E6 — COQL weak equivalence and the §4 collapse\n");
+    println!("| depth | weakly_equivalent (µs) | verdict |");
+    println!("|---:|---:|---|");
+    let schema = coql_schema();
+    for d in [1usize, 2, 3] {
+        let q = deep_nest_query(d);
+        let t = timed(5, || co_core::weakly_equivalent(&q, &q, &schema).unwrap());
+        let verdict = co_core::equivalent(&q, &q, &schema).unwrap();
+        println!("| {d} | {t:.1} | {verdict:?} |");
+    }
+}
+
+/// E7: aggregate equivalence (§7) scaling, and hidden-key strong-sim cost.
+fn e7_aggregates() {
+    println!("\n## E7 — aggregate-query equivalence (§7, NP-complete)\n");
+    println!("| redundant atoms | visible-key equiv (µs) | hidden-key equiv (µs) | equivalent |");
+    println!("|---:|---:|---:|---|");
+    for extra in [0usize, 1, 2, 3, 4] {
+        let (q1, q2) = agg_pair(extra);
+        let t_vis = timed(5, || co_agg::agg_equivalent(&q1, &q2));
+        let t_hid = timed(5, || co_agg::hidden_key_equivalent(&q1, &q2));
+        println!(
+            "| {extra} | {t_vis:.1} | {t_hid:.1} | {} |",
+            co_agg::agg_equivalent(&q1, &q2)
+        );
+    }
+}
+
+/// E8: nest;unnest sequence equivalence (§4's application).
+fn e8_nest_unnest() {
+    println!("\n## E8 — nest;unnest sequence equivalence (GPvG question)\n");
+    println!("| roundtrips k | decision (µs) | equivalent to id |");
+    println!("|---:|---:|---|");
+    let schema = nest_unnest_schema();
+    for k in [1usize, 2, 3] {
+        let (s1, s2) = nest_unnest_roundtrips(k);
+        let t = timed(3, || co_algebra::equivalent_sequences(&s1, &s2, &schema).unwrap());
+        println!(
+            "| {k} | {t:.1} | {} |",
+            co_algebra::equivalent_sequences(&s1, &s2, &schema).unwrap()
+        );
+    }
+}
+
+/// E9: containment cost vs set-nesting depth (the d+1 alternations).
+fn e9_depth_scaling() {
+    println!("\n## E9 — containment cost vs nesting depth d\n");
+    println!("| depth d | set nodes m | containment (µs) | path |");
+    println!("|---:|---:|---:|---|");
+    let schema = coql_schema();
+    for d in [1usize, 2, 3, 4] {
+        let q = deep_nest_query(d);
+        let p = co_core::prepare(&q, &schema).expect("prepares");
+        let t = timed(3, || co_core::contained_in(&q, &q, &schema).unwrap().holds);
+        let a = co_core::contained_in(&q, &q, &schema).unwrap();
+        assert!(a.holds);
+        let path = match a.path {
+            DecisionPath::FlatClassical => "flat",
+            DecisionPath::NoEmptySets => "no-empty",
+            DecisionPath::Full => "full",
+        };
+        println!("| {d} | {} | {t:.1} | {path} |", p.set_nodes);
+    }
+}
+
+/// E12: nested aggregation (§7's extension) — equivalence cost vs depth.
+fn e12_hierarchical() {
+    println!("\n## E12 — hierarchical (nested) aggregation equivalence\n");
+    println!("| nesting depth | equivalence (µs) | equivalent |");
+    println!("|---:|---:|---|");
+    for depth in [1usize, 2, 3] {
+        let q1 = hierarchical_report(depth);
+        let q2 = hierarchical_report(depth);
+        let t = timed(3, || co_agg::hierarchical_equivalent(&q1, &q2));
+        println!(
+            "| {depth} | {t:.1} | {} |",
+            co_agg::hierarchical_equivalent(&q1, &q2)
+        );
+    }
+}
+
+/// E11: minimization ablation — redundant subgoals vs containment cost.
+fn e11_minimization() {
+    println!("\n## E11 — ablation: tree minimization before containment\n");
+    println!("| redundant atoms per node | atoms raw | atoms minimized | contain raw (µs) | contain minimized (µs) |");
+    println!("|---:|---:|---:|---:|---:|");
+    let schema = coql_schema();
+    for extra in [0usize, 1, 2, 3] {
+        let q = redundant_query(extra);
+        let raw = co_core::prepare(&q, &schema).expect("prepares");
+        let minimized = co_core::prepare_with(
+            &q,
+            &schema,
+            co_core::PrepareOptions { minimize: true },
+        )
+        .expect("prepares");
+        let a_raw = co_sim::tree_atom_count(&raw.tree);
+        let a_min = co_sim::tree_atom_count(&minimized.tree);
+        let t_raw = timed(5, || {
+            co_sim::tree::tree_contained_in(&raw.tree, &raw.tree)
+        });
+        let t_min = timed(5, || {
+            co_sim::tree::tree_contained_in(&minimized.tree, &minimized.tree)
+        });
+        println!("| {extra} | {a_raw} | {a_min} | {t_raw:.1} | {t_min:.1} |");
+    }
+}
+
+/// E10: index encoding round-trip throughput (§5.1).
+fn e10_encoding() {
+    println!("\n## E10 — index encoding throughput (§5.1)\n");
+    println!("| people | facts after encoding | encode (µs) | decode (µs) |");
+    println!("|---:|---:|---:|---:|");
+    for n in [10usize, 50, 200, 800] {
+        let (db, schema) = nested_db(n, 5);
+        let enc = co_encode::encode_database(&db, &schema).unwrap();
+        let facts = enc.db.fact_count();
+        let t_enc = timed(5, || co_encode::encode_database(&db, &schema).unwrap());
+        let t_dec = timed(5, || co_encode::decode_database(&enc, &schema).unwrap());
+        let back = co_encode::decode_database(&enc, &schema).unwrap();
+        assert_eq!(back, db);
+        println!("| {n} | {facts} | {t_enc:.1} | {t_dec:.1} |");
+    }
+}

@@ -1,0 +1,12 @@
+//! # co-bench — workloads for the experiment suite
+//!
+//! The paper is pure theory, so EXPERIMENTS.md defines an executable
+//! experiment per theorem (see DESIGN.md §3). This crate holds the
+//! *workload constructors* shared by the Criterion benches and the fast
+//! `experiments` table runner, so both measure exactly the same inputs.
+
+#![warn(missing_docs)]
+
+pub mod workloads;
+
+pub use workloads::*;

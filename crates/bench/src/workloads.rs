@@ -1,0 +1,269 @@
+//! Workload constructors for experiments E1–E10.
+//!
+//! Every constructor is deterministic (seeded) so the Criterion benches and
+//! the `experiments` runner measure identical inputs.
+
+use co_cq::generate::{chain_query, CqGen, CqGenConfig};
+use co_cq::hard::{coloring_instance, Graph};
+use co_cq::{ConjunctiveQuery, Schema};
+use co_lang::Expr;
+use co_object::generate::{GenConfig, ValueGen};
+use co_object::Value;
+use co_sim::IndexedQuery;
+
+/// E1: a pair of Hoare-comparable random values of roughly `size` nodes.
+pub fn hoare_pair(size_hint: usize, seed: u64) -> (Value, Value) {
+    let depth = 2 + (size_hint / 60).min(2);
+    let config = GenConfig {
+        max_depth: depth,
+        max_set_len: 3 + size_hint / 25,
+        max_record_fields: 3,
+        atom_pool: 4,
+        empty_set_pct: 10,
+    };
+    let mut g = ValueGen::new(seed, config);
+    let ty = g.type_of_depth(depth);
+    let v = g.value_of_type(&ty);
+    let w = g.grow(&v);
+    (v, w)
+}
+
+/// E2 (polynomial side): chain-query containment instances of length `n`.
+pub fn chain_pair(n: usize) -> (ConjunctiveQuery, ConjunctiveQuery) {
+    (chain_query(n), chain_query(n))
+}
+
+/// E2 (exponential side): 3-colorability of a random graph with `n`
+/// vertices as a containment instance.
+pub fn coloring_pair(n: usize, seed: u64) -> (ConjunctiveQuery, ConjunctiveQuery) {
+    // Edge probability near the 3-coloring phase transition keeps the
+    // instances genuinely hard for backtracking.
+    let g = Graph::random(n, 55, seed);
+    coloring_instance(&g, 3)
+}
+
+/// E3/E4: a pair of random indexed queries with `atoms` body atoms.
+pub fn indexed_pair(atoms: usize, index_arity: usize, seed: u64) -> (IndexedQuery, IndexedQuery) {
+    let config = CqGenConfig {
+        atoms,
+        head_width: index_arity + 1,
+        var_pool: atoms + 1,
+        ..CqGenConfig::default()
+    };
+    let mut g = CqGen::new(seed, config);
+    (
+        IndexedQuery::from_cq(&g.query(), index_arity),
+        IndexedQuery::from_cq(&g.query(), index_arity),
+    )
+}
+
+/// E3 positive family: `q(X;Y) :- R(X,Y), chain…` vs a witness-requiring
+/// target, scaled by chain length (simulation always holds).
+pub fn simulation_positive(n: usize) -> (IndexedQuery, IndexedQuery) {
+    use co_cq::parse_query;
+    let mut body1 = String::from("R(X, Y)");
+    let mut body2 = String::from("R(X, Y), R(X, Y0)");
+    for i in 0..n {
+        body1.push_str(&format!(", E(Y, W{i})"));
+        body2.push_str(&format!(", E(Y, V{i})"));
+    }
+    let q1 = IndexedQuery::from_cq(&parse_query(&format!("q(X, Y) :- {body1}.")).unwrap(), 1);
+    let q2 = IndexedQuery::from_cq(&parse_query(&format!("q(Y0, Y) :- {body2}.")).unwrap(), 1);
+    (q1, q2)
+}
+
+/// The standard two-relation flat schema used by the COQL experiments.
+pub fn coql_schema() -> Schema {
+    Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])])
+}
+
+/// E5: a query whose elements carry `children` possibly-empty inner sets —
+/// the emptiness case split costs `2^children` patterns per level.
+pub fn many_children_query(children: usize) -> Expr {
+    let mut fields = vec![("a".to_string(), "x.A".to_string())];
+    for i in 0..children {
+        let col = if i % 2 == 0 { "A" } else { "B" };
+        fields.push((
+            format!("g{i}"),
+            format!("(select y{i}.C from y{i} in S where y{i}.C = x.{col})"),
+        ));
+    }
+    let body: Vec<String> =
+        fields.iter().map(|(n, e)| format!("{n}: {e}")).collect();
+    let src = format!("select [{}] from x in R", body.join(", "));
+    co_lang::parse_coql(&src).expect("constructed query parses")
+}
+
+/// E6/E9: a nest-style query of set-nesting depth `d` (no empty sets).
+pub fn deep_nest_query(d: usize) -> Expr {
+    /// An expression of set depth `d`, valid where `x{outer}` is bound.
+    fn level(d: usize, outer: usize) -> String {
+        if d == 0 {
+            return format!("x{outer}.B");
+        }
+        let v = outer + 1;
+        format!(
+            "[a: x{outer}.A, g: (select {} from x{v} in R where x{v}.A = x{outer}.A)]",
+            level(d - 1, v)
+        )
+    }
+    let src = format!("select {} from x0 in R", level(d.saturating_sub(1), 0));
+    co_lang::parse_coql(&src).expect("constructed query parses")
+}
+
+/// E11: a nested grouping query whose outer and inner selects each carry
+/// `extra` redundant self-join generators.
+pub fn redundant_query(extra: usize) -> Expr {
+    let mut outer_gens = String::from("x in R");
+    for i in 0..extra {
+        outer_gens.push_str(&format!(", r{i} in R"));
+    }
+    let mut outer_conds: Vec<String> =
+        (0..extra).map(|i| format!("r{i}.A = x.A")).collect();
+    outer_conds.push("x.A = x.A".to_string());
+    let src = format!(
+        "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from {} where {}",
+        outer_gens,
+        outer_conds.join(" and ")
+    );
+    co_lang::parse_coql(&src).expect("constructed query parses")
+}
+
+/// E7: aggregate query pairs with `extra` redundant self-join atoms.
+pub fn agg_pair(extra: usize) -> (co_agg::AggQuery, co_agg::AggQuery) {
+    let mut body2 = String::from("R(X, Y)");
+    for i in 0..extra {
+        body2.push_str(&format!(", R(X, Z{i})"));
+    }
+    let q1 = co_agg::AggQuery::parse("q(X) :- R(X, Y).", &[("count", "Y")]).unwrap();
+    let q2 = co_agg::AggQuery::parse(&format!("q(X) :- {body2}."), &[("count", "Y")]).unwrap();
+    (q1, q2)
+}
+
+/// E12: a drill-down report of the given nesting depth over
+/// `Emp(dept, role, name)`-style columns.
+pub fn hierarchical_report(depth: usize) -> co_agg::HierarchicalAgg {
+    fn level(d: usize) -> co_agg::HierarchicalAgg {
+        let keys: Vec<String> = (0..d + 1).map(|i| format!("K{i}")).collect();
+        let body = format!("q({}) :- Emp(K0, K1, K2, N).", keys.join(", "));
+        co_agg::HierarchicalAgg::parse(&body, &[("count", "N")], vec![])
+            .expect("constructed report parses")
+    }
+    // Build depth levels from the outside in.
+    let mut report = level(depth.saturating_sub(1).min(2));
+    for d in (0..depth.saturating_sub(1)).rev() {
+        let keys: Vec<String> = (0..d + 1).map(|i| format!("K{i}")).collect();
+        let body = format!("q({}) :- Emp(K0, K1, K2, N).", keys.join(", "));
+        report = co_agg::HierarchicalAgg::parse(&body, &[("count", "N")], vec![report])
+            .expect("constructed report parses");
+    }
+    report
+}
+
+/// E8: `(ν;μ)^k` — k rounds of nest-then-unnest, equivalent to identity.
+pub fn nest_unnest_roundtrips(k: usize) -> (co_algebra::NuSeq, co_algebra::NuSeq) {
+    let mut ops = Vec::new();
+    for _ in 0..k {
+        ops.push(co_algebra::NuOp::nest(&["B"], "g"));
+        ops.push(co_algebra::NuOp::unnest("g"));
+    }
+    (
+        co_algebra::NuSeq::new("T", ops),
+        co_algebra::NuSeq::new("T", vec![]),
+    )
+}
+
+/// The schema for E8.
+pub fn nest_unnest_schema() -> Schema {
+    Schema::with_relations(&[("T", &["A", "B", "C"])])
+}
+
+/// E10: a nested people/phones/calls database with `n` people.
+pub fn nested_db(n: usize, seed: u64) -> (co_lang::CoDatabase, co_lang::CoqlSchema) {
+    use co_object::{Field, Type};
+    let ty = Type::set(Type::record(vec![
+        (Field::new("id"), Type::Atom),
+        (Field::new("phones"), Type::set(Type::Atom)),
+        (
+            Field::new("calls"),
+            Type::set(Type::record(vec![
+                (Field::new("to"), Type::Atom),
+                (Field::new("len"), Type::Atom),
+            ])),
+        ),
+    ]));
+    let schema = co_lang::CoqlSchema::new().with("P", ty);
+    let mut g = ValueGen::new(seed, GenConfig::default());
+    let mut people = Vec::with_capacity(n);
+    for i in 0..n {
+        let phones: Vec<Value> =
+            (0..(i % 4)).map(|_| Value::Atom(g.atom())).collect();
+        let calls: Vec<Value> = (0..(i % 3))
+            .map(|_| {
+                Value::record(vec![
+                    (Field::new("to"), Value::Atom(g.atom())),
+                    (Field::new("len"), Value::Atom(g.atom())),
+                ])
+                .unwrap()
+            })
+            .collect();
+        people.push(
+            Value::record(vec![
+                (Field::new("id"), Value::int(i as i64)),
+                (Field::new("phones"), Value::set(phones)),
+                (Field::new("calls"), Value::set(calls)),
+            ])
+            .unwrap(),
+        );
+    }
+    let db = co_lang::CoDatabase::new().with("P", Value::set(people));
+    (db, schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_valid_workloads() {
+        let (v, w) = hoare_pair(50, 3);
+        assert!(co_object::hoare_leq(&v, &w));
+
+        let (c1, c2) = chain_pair(5);
+        assert!(co_cq::is_contained_in(&c1, &c2));
+
+        let (q1, q2) = simulation_positive(2);
+        assert!(co_sim::is_simulated_by(&q1, &q2));
+
+        let q = many_children_query(3);
+        co_core::prepare(&q, &coql_schema()).unwrap();
+
+        for d in 1..4 {
+            let q = deep_nest_query(d);
+            let p = co_core::prepare(&q, &coql_schema()).unwrap();
+            assert_eq!(p.ty.set_depth(), d, "depth {d}: {q}");
+        }
+
+        let (a1, a2) = agg_pair(2);
+        assert!(co_agg::agg_equivalent(&a1, &a2));
+
+        let (s1, s2) = nest_unnest_roundtrips(1);
+        assert!(co_algebra::equivalent_sequences(&s1, &s2, &nest_unnest_schema()).unwrap());
+
+        let (db, schema) = nested_db(10, 1);
+        let enc = co_encode::encode_database(&db, &schema).unwrap();
+        let back = co_encode::decode_database(&enc, &schema).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn coloring_instances_are_well_formed() {
+        let (q1, q2) = coloring_pair(6, 1);
+        // Either colorable or not; just check the decision terminates and
+        // queries validate against a schema with E.
+        let schema = Schema::with_relations(&[("E", &["u", "v"])]);
+        q1.validate(&schema).unwrap();
+        q2.validate(&schema).unwrap();
+        let _ = co_cq::is_contained_in(&q1, &q2);
+    }
+}

@@ -1,0 +1,431 @@
+//! # co-core — deciding containment and equivalence of COQL queries
+//!
+//! The headline results of *Levy & Suciu, "Deciding Containment for Queries
+//! with Complex Objects", PODS 1997*, as a public API:
+//!
+//! * **Theorem 4.1** — [`contained_in`]: containment of COQL queries (under
+//!   the Hoare order on answers, §3.2) is decidable. The pipeline is the
+//!   paper's: normalize (§5.2) → flatten into a query tree of conjunctive
+//!   queries with index variables (§5.1–5.2) → decide d-simulation
+//!   (Equation 2) with witness-copy containment mappings.
+//! * **Weak equivalence** — [`weakly_equivalent`]: mutual containment.
+//! * **Equivalence** — [`equivalent`]: when both answers are guaranteed
+//!   free of empty sets (checked conservatively, or when the result type
+//!   is a flat relation), weak equivalence *coincides* with equivalence
+//!   (§4) and the answer is definite; otherwise a positive weak-equivalence
+//!   answer is reported as [`Equivalence::WeaklyEquivalentOnly`].
+//!
+//! Fast paths, matching the paper's complexity landscape:
+//! * flat result type ⟹ classical Chandra–Merlin containment (NP);
+//! * empty-set-free answers ⟹ single emptiness pattern (NP), no
+//!   exponential component;
+//! * otherwise the full procedure with the emptiness case split.
+//!
+//! ```
+//! use co_cq::Schema;
+//! use co_core::{contained_in, weakly_equivalent};
+//! use co_lang::parse_coql;
+//!
+//! let schema = Schema::with_relations(&[("R", &["A", "B"])]);
+//! let filtered = parse_coql("select x.B from x in R where x.A = 1").unwrap();
+//! let all = parse_coql("select x.B from x in R").unwrap();
+//! assert!(contained_in(&filtered, &all, &schema).unwrap().holds);
+//! assert!(!contained_in(&all, &filtered, &schema).unwrap().holds);
+//! assert!(!weakly_equivalent(&filtered, &all, &schema).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use co_cq::{Database, Schema};
+use co_lang::{
+    empty_set_status, normalize, type_check, CoDatabase, CoqlSchema, EmptySetStatus, Expr,
+};
+use co_object::{hoare_leq, Type};
+use co_sim::tree::{tree_contained_in_with, ContainOptions, QueryTree};
+
+/// Which decision path answered a containment query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionPath {
+    /// Both sides flatten to depth-1 trees: classical containment (NP).
+    FlatClassical,
+    /// Both sides proven empty-set-free: single emptiness pattern (NP).
+    NoEmptySets,
+    /// Full procedure with the exponential emptiness case split.
+    Full,
+}
+
+impl fmt::Display for DecisionPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecisionPath::FlatClassical => write!(f, "flat/classical"),
+            DecisionPath::NoEmptySets => write!(f, "no-empty-sets"),
+            DecisionPath::Full => write!(f, "full"),
+        }
+    }
+}
+
+/// Result of a containment check, with provenance.
+#[derive(Clone, Debug)]
+pub struct ContainmentAnalysis {
+    /// Whether `Q1 ⊑ Q2` holds on every database.
+    pub holds: bool,
+    /// The decision path taken.
+    pub path: DecisionPath,
+    /// Set-nesting depth of the result type.
+    pub depth: usize,
+    /// Number of conjunctive queries in each flattened side (`m` in §5.2).
+    pub set_nodes: (usize, usize),
+}
+
+/// Errors from the containment pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A query failed to type-check.
+    Type(String),
+    /// The queries have incompatible result types.
+    TypeMismatch(Box<(Type, Type)>),
+    /// Normalization failed.
+    Normalize(String),
+    /// Flattening failed.
+    Flatten(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Type(m) => write!(f, "{m}"),
+            CoreError::TypeMismatch(b) => {
+                write!(f, "result types are incompatible: {} vs {}", b.0, b.1)
+            }
+            CoreError::Normalize(m) => write!(f, "{m}"),
+            CoreError::Flatten(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// A COQL query prepared for the decision procedures.
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    /// The original expression.
+    pub expr: Expr,
+    /// Its result type.
+    pub ty: Type,
+    /// The flattened query tree.
+    pub tree: QueryTree,
+    /// Conservative empty-set-freedom status.
+    pub empty_status: EmptySetStatus,
+    /// Number of set nodes in the normal form.
+    pub set_nodes: usize,
+}
+
+/// Type-checks, normalizes, and flattens a COQL query over a flat schema.
+pub fn prepare(expr: &Expr, schema: &Schema) -> Result<Prepared, CoreError> {
+    prepare_with(expr, schema, PrepareOptions::default())
+}
+
+/// Options for query preparation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrepareOptions {
+    /// Minimize every node's body after flattening (redundant-subgoal
+    /// elimination; costs CQ-equivalence checks up front, shrinks every
+    /// frozen copy the decision procedures build — see experiment E11).
+    pub minimize: bool,
+}
+
+/// [`prepare`] with explicit options.
+pub fn prepare_with(
+    expr: &Expr,
+    schema: &Schema,
+    opts: PrepareOptions,
+) -> Result<Prepared, CoreError> {
+    let coql_schema = CoqlSchema::from_flat(schema);
+    let ty = type_check(expr, &coql_schema).map_err(|e| CoreError::Type(e.to_string()))?;
+    if !matches!(ty, Type::Set(_)) {
+        return Err(CoreError::Type(format!("query must be set-typed, found {ty}")));
+    }
+    let nf = normalize(expr, &coql_schema).map_err(|e| CoreError::Normalize(e.to_string()))?;
+    let empty_status = empty_set_status(&nf);
+    let set_nodes = nf.set_node_count();
+    let mut tree =
+        co_encode::flatten_query(&nf, schema).map_err(|e| CoreError::Flatten(e.to_string()))?;
+    if opts.minimize {
+        tree = co_sim::minimize_tree(&tree);
+    }
+    Ok(Prepared { expr: expr.clone(), ty, tree, empty_status, set_nodes })
+}
+
+/// Decides `Q1 ⊑ Q2`: on every database, `⟦Q1⟧(D) ⊑ ⟦Q2⟧(D)` in the Hoare
+/// order (Theorem 4.1).
+pub fn contained_in(
+    q1: &Expr,
+    q2: &Expr,
+    schema: &Schema,
+) -> Result<ContainmentAnalysis, CoreError> {
+    let p1 = prepare(q1, schema)?;
+    let p2 = prepare(q2, schema)?;
+    contained_prepared(&p1, &p2)
+}
+
+/// Containment on pre-flattened queries (lets callers amortize preparation).
+pub fn contained_prepared(p1: &Prepared, p2: &Prepared) -> Result<ContainmentAnalysis, CoreError> {
+    if p1.ty.lub(&p2.ty).is_none() {
+        return Err(CoreError::TypeMismatch(Box::new((p1.ty.clone(), p2.ty.clone()))));
+    }
+    let depth = p1.ty.set_depth().max(p2.ty.set_depth());
+
+    let no_empty = p1.empty_status == EmptySetStatus::Free
+        && p2.empty_status == EmptySetStatus::Free;
+    let flat = p1.ty.is_flat_relation() && p2.ty.is_flat_relation();
+    let path = if flat {
+        DecisionPath::FlatClassical
+    } else if no_empty {
+        DecisionPath::NoEmptySets
+    } else {
+        DecisionPath::Full
+    };
+    // Flat results never nest sets, so the no-empty-set options are exact
+    // for them too; both fast paths collapse to the same call.
+    let opts = ContainOptions { no_empty_sets: flat || no_empty, extra_witnesses: 0 };
+    let holds = tree_contained_in_with(&p1.tree, &p2.tree, opts);
+    Ok(ContainmentAnalysis { holds, path, depth, set_nodes: (p1.set_nodes, p2.set_nodes) })
+}
+
+/// Decides weak equivalence: `Q1 ⊑ Q2` and `Q2 ⊑ Q1`.
+pub fn weakly_equivalent(q1: &Expr, q2: &Expr, schema: &Schema) -> Result<bool, CoreError> {
+    let p1 = prepare(q1, schema)?;
+    let p2 = prepare(q2, schema)?;
+    Ok(contained_prepared(&p1, &p2)?.holds && contained_prepared(&p2, &p1)?.holds)
+}
+
+/// Outcome of an equivalence check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Equivalence {
+    /// `⟦Q1⟧(D) = ⟦Q2⟧(D)` on every database.
+    Equivalent,
+    /// The queries are not even weakly equivalent (so not equivalent).
+    NotEquivalent,
+    /// Weakly equivalent, but an answer may contain empty sets, so the §4
+    /// collapse does not apply and true equivalence is left open (as in the
+    /// paper, whose equivalence result is conditional on empty-set freedom).
+    WeaklyEquivalentOnly,
+}
+
+/// Decides equivalence where the paper's results allow a definite answer.
+///
+/// * Not weakly equivalent ⟹ [`Equivalence::NotEquivalent`] (equality of
+///   answers implies mutual Hoare containment).
+/// * Weakly equivalent and (both answers empty-set-free, or the result type
+///   is a flat relation) ⟹ [`Equivalence::Equivalent`] (§4; §3.2 for the
+///   flat case).
+/// * Otherwise [`Equivalence::WeaklyEquivalentOnly`].
+pub fn equivalent(q1: &Expr, q2: &Expr, schema: &Schema) -> Result<Equivalence, CoreError> {
+    let p1 = prepare(q1, schema)?;
+    let p2 = prepare(q2, schema)?;
+    if !(contained_prepared(&p1, &p2)?.holds && contained_prepared(&p2, &p1)?.holds) {
+        return Ok(Equivalence::NotEquivalent);
+    }
+    let no_empty = p1.empty_status == EmptySetStatus::Free
+        && p2.empty_status == EmptySetStatus::Free;
+    let flat = p1.ty.is_flat_relation() && p2.ty.is_flat_relation();
+    if no_empty || flat {
+        Ok(Equivalence::Equivalent)
+    } else {
+        Ok(Equivalence::WeaklyEquivalentOnly)
+    }
+}
+
+/// Searches for a containment counterexample: a database where
+/// `⟦Q1⟧ ⋢ ⟦Q2⟧`. Tries the *canonical instantiations* of `Q1`'s
+/// flattened tree first (where the completeness argument says violations
+/// surface), then random small databases. Returns the first found.
+///
+/// This is the semantic testing utility used to validate the decider; a
+/// `None` is *not* a proof of containment.
+pub fn search_counterexample(
+    q1: &Expr,
+    q2: &Expr,
+    schema: &Schema,
+    seeds: std::ops::Range<u64>,
+) -> Result<Option<Database>, CoreError> {
+    let p1 = prepare(q1, schema)?;
+    let p2 = prepare(q2, schema)?;
+    if let Some(db) = co_sim::search_tree_counterexample(&p1.tree, &p2.tree) {
+        return Ok(Some(db));
+    }
+    for seed in seeds {
+        let db = random_database(schema, seed);
+        let v1 = p1.tree.evaluate(&db);
+        let v2 = p2.tree.evaluate(&db);
+        if !hoare_leq(&v1, &v2) {
+            return Ok(Some(db));
+        }
+    }
+    Ok(None)
+}
+
+/// Evaluates a COQL query over a flat database through the reference
+/// evaluator (convenience wrapper).
+pub fn evaluate_flat(
+    q: &Expr,
+    schema: &Schema,
+    db: &Database,
+) -> Result<co_object::Value, CoreError> {
+    let codb = CoDatabase::from_flat(db, schema);
+    co_lang::evaluate(q, &codb).map_err(|e| CoreError::Type(e.to_string()))
+}
+
+/// A seeded random database over a flat schema (testing/benchmark utility).
+pub fn random_database(schema: &Schema, seed: u64) -> Database {
+    // Simple deterministic LCG so co-core doesn't need a rand dependency.
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move |bound: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) % bound.max(1)
+    };
+    let mut db = Database::new();
+    for rel in schema.iter() {
+        let rows = 1 + next(5);
+        for _ in 0..rows {
+            let tuple =
+                (0..rel.arity()).map(|_| co_object::Atom::int(next(4) as i64)).collect();
+            db.insert(rel.name, tuple);
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_lang::parse_coql;
+
+    fn schema() -> Schema {
+        Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])])
+    }
+
+    fn holds(q1: &str, q2: &str) -> bool {
+        let e1 = parse_coql(q1).unwrap();
+        let e2 = parse_coql(q2).unwrap();
+        contained_in(&e1, &e2, &schema()).unwrap().holds
+    }
+
+    #[test]
+    fn flat_containment_uses_classical_path() {
+        let e1 = parse_coql("select x.B from x in R where x.A = 1").unwrap();
+        let e2 = parse_coql("select x.B from x in R").unwrap();
+        let a = contained_in(&e1, &e2, &schema()).unwrap();
+        assert!(a.holds);
+        assert_eq!(a.path, DecisionPath::FlatClassical);
+        assert!(!contained_in(&e2, &e1, &schema()).unwrap().holds);
+    }
+
+    #[test]
+    fn nested_containment_through_grouping() {
+        // Filtered groups ⊑ unfiltered groups, not conversely.
+        let filtered = "select [a: x.A, g: (select y.B from y in R where y.A = x.A and y.B = 10)] from x in R";
+        let plain = "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R";
+        assert!(holds(filtered, plain));
+        assert!(!holds(plain, filtered));
+    }
+
+    #[test]
+    fn renamed_queries_are_weakly_equivalent() {
+        let q1 = parse_coql("select [a: x.A] from x in R").unwrap();
+        let q2 = parse_coql("select [a: y.A] from y in R").unwrap();
+        assert!(weakly_equivalent(&q1, &q2, &schema()).unwrap());
+        assert_eq!(equivalent(&q1, &q2, &schema()).unwrap(), Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn equivalence_reports_weak_only_with_possible_empty_sets() {
+        // Same query twice, but with a possibly-empty inner set: the §4
+        // collapse does not apply syntactically.
+        let src = "select [g: (select y.C from y in S where y.C = x.B)] from x in R";
+        let q1 = parse_coql(src).unwrap();
+        let q2 = parse_coql(src).unwrap();
+        assert_eq!(
+            equivalent(&q1, &q2, &schema()).unwrap(),
+            Equivalence::WeaklyEquivalentOnly
+        );
+    }
+
+    #[test]
+    fn nest_style_queries_get_definite_equivalence() {
+        let src = "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R";
+        let q1 = parse_coql(src).unwrap();
+        let q2 = parse_coql(src).unwrap();
+        assert_eq!(equivalent(&q1, &q2, &schema()).unwrap(), Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn incompatible_types_are_an_error() {
+        let q1 = parse_coql("select x.A from x in R").unwrap();
+        let q2 = parse_coql("select [a: x.A] from x in R").unwrap();
+        assert!(matches!(contained_in(&q1, &q2, &schema()), Err(CoreError::TypeMismatch(_))));
+    }
+
+    #[test]
+    fn decider_agrees_with_semantic_search() {
+        let pairs = [
+            ("select x.B from x in R where x.A = 1", "select x.B from x in R"),
+            ("select x.B from x in R", "select x.B from x in R where x.A = 1"),
+            (
+                "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R",
+                "select [a: x.A, g: (select y.B from y in R)] from x in R",
+            ),
+        ];
+        for (s1, s2) in pairs {
+            let q1 = parse_coql(s1).unwrap();
+            let q2 = parse_coql(s2).unwrap();
+            let decided = contained_in(&q1, &q2, &schema()).unwrap().holds;
+            let refuted =
+                search_counterexample(&q1, &q2, &schema(), 0..200).unwrap().is_some();
+            assert!(
+                !(decided && refuted),
+                "decider said contained but semantics refuted: {s1} vs {s2}"
+            );
+            if !decided {
+                assert!(refuted, "decider said no but no counterexample found: {s1} vs {s2}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimized_preparation_is_equivalent() {
+        let src = "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] \
+                   from x in R, z in R where z.A = x.A";
+        let q = parse_coql(src).unwrap();
+        let plain = prepare(&q, &schema()).unwrap();
+        let minimized =
+            prepare_with(&q, &schema(), PrepareOptions { minimize: true }).unwrap();
+        assert!(
+            co_sim::tree_atom_count(&minimized.tree) < co_sim::tree_atom_count(&plain.tree),
+            "the redundant z-generator must be dropped"
+        );
+        // Same semantics on random databases…
+        for seed in 0..20u64 {
+            let db = random_database(&schema(), seed);
+            assert_eq!(plain.tree.evaluate(&db), minimized.tree.evaluate(&db));
+        }
+        // …and the same containment verdicts.
+        let other = parse_coql("select [a: x.A, g: (select y.B from y in R)] from x in R").unwrap();
+        let p_other = prepare(&other, &schema()).unwrap();
+        assert_eq!(
+            contained_prepared(&plain, &p_other).unwrap().holds,
+            contained_prepared(&minimized, &p_other).unwrap().holds
+        );
+    }
+
+    #[test]
+    fn singleton_vs_flatten_identity() {
+        // flatten({R}) ≡ select x from x in R — a §3.1 identity.
+        let q1 = parse_coql("flatten({R})").unwrap();
+        let q2 = parse_coql("select x from x in R").unwrap();
+        assert!(weakly_equivalent(&q1, &q2, &schema()).unwrap());
+        assert_eq!(equivalent(&q1, &q2, &schema()).unwrap(), Equivalence::Equivalent);
+    }
+}

@@ -1,0 +1,298 @@
+//! Classical containment and equivalence of conjunctive queries
+//! (Chandra & Merlin \[11\]; Ullman \[41\]).
+//!
+//! `Q1 ⊑ Q2` iff there is a **containment mapping** from `Q2` to `Q1`: a
+//! substitution of `Q2`'s variables by `Q1`'s terms carrying head to head
+//! and every body atom of `Q2` into a body atom of `Q1`. Deciding this is
+//! NP-complete; the paper's simulation conditions (its §5–6) strictly
+//! generalize it, and the baseline implemented here is what experiments
+//! E2–E4 compare against.
+
+use std::collections::HashMap;
+
+use co_object::Atom;
+
+use crate::freeze::{freeze, Frozen};
+use crate::hom::{Assignment, HomProblem};
+use crate::query::{ConjunctiveQuery, Term};
+use crate::schema::Var;
+
+/// A positive containment certificate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Certificate {
+    /// The contained query is unsatisfiable (empty on every database).
+    TriviallyEmpty,
+    /// A containment mapping from the containing query's variables to the
+    /// contained query's terms.
+    Mapping(ContainmentMapping),
+}
+
+/// A containment mapping `φ : vars(Q2) → terms(Q1)` witnessing `Q1 ⊑ Q2`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ContainmentMapping {
+    /// The variable substitution.
+    pub map: HashMap<Var, Term>,
+}
+
+impl ContainmentMapping {
+    /// Verifies this mapping witnesses `q1 ⊑ q2`: it must carry `q2`'s head
+    /// to `q1`'s head and every body atom of `q2` into `q1`'s body.
+    pub fn verify(&self, q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+        let mapped_head: Vec<Term> = q2.head.iter().map(|t| self.apply(t)).collect();
+        if mapped_head != q1.head {
+            return false;
+        }
+        q2.body.iter().all(|atom| {
+            let mapped = atom.substitute(&self.map);
+            q1.body.contains(&mapped)
+        })
+    }
+
+    /// Applies the mapping to a term.
+    pub fn apply(&self, t: &Term) -> Term {
+        match t {
+            Term::Var(v) => *self.map.get(v).unwrap_or(t),
+            Term::Const(_) => *t,
+        }
+    }
+}
+
+/// Decides `q1 ⊑ q2` (answers of `q1` are a subset of answers of `q2` on
+/// every database). Returns a certificate when containment holds.
+///
+/// Queries of different arities are never contained unless `q1` is
+/// unsatisfiable.
+pub fn contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Option<Certificate> {
+    if q1.unsatisfiable {
+        return Some(Certificate::TriviallyEmpty);
+    }
+    if q2.unsatisfiable || q1.arity() != q2.arity() {
+        return None;
+    }
+    let frozen = freeze(q1);
+    let fixed = head_fixing(q1, q2, &frozen)?;
+    let hom = HomProblem::new(&q2.body, &frozen.db)
+        .with_fixed(fixed)
+        .first()
+        .ok()
+        .flatten()?;
+    Some(Certificate::Mapping(unfreeze_mapping(&hom, &frozen, q2)))
+}
+
+/// Boolean convenience for [`contained_in`].
+pub fn is_contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    contained_in(q1, q2).is_some()
+}
+
+/// Decides equivalence: containment in both directions.
+pub fn equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    is_contained_in(q1, q2) && is_contained_in(q2, q1)
+}
+
+/// Builds the fixed head bindings for the hom search: each head variable of
+/// `q2` must map to the frozen image of `q1`'s head term at the same
+/// position. Returns `None` when the heads are incompatible (a constant in
+/// `q2`'s head not matched by `q1`'s, or one `q2` variable forced to two
+/// different images).
+pub(crate) fn head_fixing(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    frozen: &Frozen,
+) -> Option<Assignment> {
+    let mut fixed = Assignment::new();
+    for (t2, t1) in q2.head.iter().zip(q1.head.iter()) {
+        let target = frozen.image(t1);
+        match t2 {
+            Term::Const(c) => {
+                if *c != target {
+                    return None;
+                }
+            }
+            Term::Var(v) => match fixed.insert(*v, target) {
+                Some(prev) if prev != target => return None,
+                _ => {}
+            },
+        }
+    }
+    Some(fixed)
+}
+
+/// Converts a homomorphism into the canonical database back into a
+/// syntactic containment mapping by inverting the freeze assignment.
+pub(crate) fn unfreeze_mapping(
+    hom: &Assignment,
+    frozen: &Frozen,
+    q2: &ConjunctiveQuery,
+) -> ContainmentMapping {
+    let inverse: HashMap<Atom, Var> =
+        frozen.assignment.iter().map(|(&v, &a)| (a, v)).collect();
+    let mut map = HashMap::new();
+    for v in q2.body_vars() {
+        if let Some(&a) = hom.get(&v) {
+            let term = match inverse.get(&a) {
+                Some(&w) => Term::Var(w),
+                None => Term::Const(a),
+            };
+            map.insert(v, term);
+        }
+    }
+    ContainmentMapping { map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryAtom;
+
+    fn v(name: &str) -> Term {
+        Term::var(name)
+    }
+
+    /// q(x,y) :- R(x,y)   vs   q(x,y) :- R(x,y), R(y,x)
+    #[test]
+    fn adding_atoms_restricts() {
+        let big = ConjunctiveQuery::plain(
+            vec![v("x"), v("y")],
+            vec![QueryAtom::new("R", vec![v("x"), v("y")])],
+        );
+        let small = ConjunctiveQuery::plain(
+            vec![v("x"), v("y")],
+            vec![
+                QueryAtom::new("R", vec![v("x"), v("y")]),
+                QueryAtom::new("R", vec![v("y"), v("x")]),
+            ],
+        );
+        assert!(is_contained_in(&small, &big));
+        assert!(!is_contained_in(&big, &small));
+    }
+
+    /// The classic: a path of length 2 is contained in "some edge exists
+    /// from x" only when heads line up.
+    #[test]
+    fn path_queries() {
+        let p2 = ConjunctiveQuery::plain(
+            vec![v("x")],
+            vec![
+                QueryAtom::new("E", vec![v("x"), v("y")]),
+                QueryAtom::new("E", vec![v("y"), v("z")]),
+            ],
+        );
+        let p1 = ConjunctiveQuery::plain(
+            vec![v("x")],
+            vec![QueryAtom::new("E", vec![v("x"), v("y")])],
+        );
+        assert!(is_contained_in(&p2, &p1));
+        assert!(!is_contained_in(&p1, &p2));
+    }
+
+    #[test]
+    fn equivalent_up_to_renaming_and_redundancy() {
+        let q1 = ConjunctiveQuery::plain(
+            vec![v("a")],
+            vec![QueryAtom::new("R", vec![v("a"), v("b")])],
+        );
+        // Same query with a redundant extra copy of the atom pattern.
+        let q2 = ConjunctiveQuery::plain(
+            vec![v("u")],
+            vec![
+                QueryAtom::new("R", vec![v("u"), v("w")]),
+                QueryAtom::new("R", vec![v("u"), v("t")]),
+            ],
+        );
+        assert!(equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn constants_matter() {
+        let q1 = ConjunctiveQuery::plain(
+            vec![v("x")],
+            vec![QueryAtom::new("R", vec![v("x"), Term::int(1)])],
+        );
+        let q2 = ConjunctiveQuery::plain(
+            vec![v("x")],
+            vec![QueryAtom::new("R", vec![v("x"), v("y")])],
+        );
+        assert!(is_contained_in(&q1, &q2));
+        assert!(!is_contained_in(&q2, &q1));
+    }
+
+    #[test]
+    fn constants_in_heads() {
+        let q1 = ConjunctiveQuery::plain(
+            vec![Term::int(1)],
+            vec![QueryAtom::new("R", vec![v("x")])],
+        );
+        let q2 = ConjunctiveQuery::plain(
+            vec![Term::int(1)],
+            vec![QueryAtom::new("R", vec![v("y")])],
+        );
+        let q3 = ConjunctiveQuery::plain(
+            vec![Term::int(2)],
+            vec![QueryAtom::new("R", vec![v("y")])],
+        );
+        assert!(is_contained_in(&q1, &q2));
+        assert!(!is_contained_in(&q1, &q3));
+    }
+
+    #[test]
+    fn unsatisfiable_is_least() {
+        let empty = ConjunctiveQuery::new(
+            vec![v("x")],
+            vec![QueryAtom::new("R", vec![v("x")])],
+            &[(Term::int(1), Term::int(2))],
+        );
+        let q = ConjunctiveQuery::plain(
+            vec![v("x")],
+            vec![QueryAtom::new("R", vec![v("x")])],
+        );
+        assert_eq!(contained_in(&empty, &q), Some(Certificate::TriviallyEmpty));
+        assert!(!is_contained_in(&q, &empty));
+    }
+
+    #[test]
+    fn arity_mismatch_not_contained() {
+        let q1 = ConjunctiveQuery::plain(
+            vec![v("x"), v("y")],
+            vec![QueryAtom::new("R", vec![v("x"), v("y")])],
+        );
+        let q2 = ConjunctiveQuery::plain(
+            vec![v("x")],
+            vec![QueryAtom::new("R", vec![v("x"), v("y")])],
+        );
+        assert!(!is_contained_in(&q1, &q2));
+    }
+
+    #[test]
+    fn certificates_verify() {
+        let q1 = ConjunctiveQuery::plain(
+            vec![v("x")],
+            vec![
+                QueryAtom::new("R", vec![v("x"), v("y")]),
+                QueryAtom::new("S", vec![v("y")]),
+            ],
+        );
+        let q2 = ConjunctiveQuery::plain(
+            vec![v("u")],
+            vec![QueryAtom::new("R", vec![v("u"), v("w")])],
+        );
+        match contained_in(&q1, &q2) {
+            Some(Certificate::Mapping(m)) => assert!(m.verify(&q1, &q2)),
+            other => panic!("expected mapping certificate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_head_variables() {
+        // q(x,x) :- R(x)  ⊑  q(a,b) :- R(a), R(b)   but not conversely.
+        let diag = ConjunctiveQuery::plain(
+            vec![v("x"), v("x")],
+            vec![QueryAtom::new("R", vec![v("x")])],
+        );
+        let pair = ConjunctiveQuery::plain(
+            vec![v("a"), v("b")],
+            vec![QueryAtom::new("R", vec![v("a")]), QueryAtom::new("R", vec![v("b")])],
+        );
+        assert!(is_contained_in(&diag, &pair));
+        assert!(!is_contained_in(&pair, &diag));
+    }
+}

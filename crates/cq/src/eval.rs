@@ -1,0 +1,189 @@
+//! Evaluating conjunctive queries over flat databases.
+
+use std::ops::ControlFlow;
+
+use co_object::Atom;
+
+use crate::db::{Database, Relation, Tuple};
+use crate::hom::{Assignment, HomProblem};
+use crate::query::{ConjunctiveQuery, Term};
+
+/// Evaluates `q` on `db`, returning the set of head tuples.
+///
+/// * Unsatisfiable queries return the empty relation.
+/// * A satisfiable query with an empty body returns exactly its (constant)
+///   head tuple — the nullary product. Such queries arise from COQL
+///   singleton expressions `{E}` under flattening.
+pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Relation {
+    let mut out = Relation::new();
+    for_each_total_assignment(q, db, |assignment| {
+        out.insert(project_head(q, assignment));
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Whether `q` returns at least one tuple on `db`.
+pub fn is_nonempty(q: &ConjunctiveQuery, db: &Database) -> bool {
+    let mut any = false;
+    for_each_total_assignment(q, db, |_| {
+        any = true;
+        ControlFlow::Break(())
+    });
+    any
+}
+
+/// Runs `visit` for every satisfying assignment of `q`'s body on `db`.
+///
+/// The assignment binds every body variable. Head projection is up to the
+/// caller ([`project_head`]); simulation-style callers also need the bodies'
+/// non-head variables, which is why this is exposed.
+pub fn for_each_total_assignment(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    mut visit: impl FnMut(&Assignment) -> ControlFlow<()>,
+) {
+    if q.unsatisfiable {
+        return;
+    }
+    HomProblem::new(&q.body, db).for_each(&mut visit);
+}
+
+/// Projects the head of `q` under a total assignment of its body variables.
+///
+/// Panics (debug) if a head variable is unbound — callers must validate
+/// safety first.
+pub fn project_head(q: &ConjunctiveQuery, assignment: &Assignment) -> Tuple {
+    q.head
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => *c,
+            Term::Var(v) => *assignment
+                .get(v)
+                .unwrap_or_else(|| panic!("unsafe head variable `{v}`")),
+        })
+        .collect()
+}
+
+/// Evaluates the head of `q` under a *partial* fixed assignment, enumerating
+/// completions. Used by the grouped semantics in `co-sim`.
+pub fn evaluate_with_fixed(q: &ConjunctiveQuery, db: &Database, fixed: Assignment) -> Relation {
+    let mut out = Relation::new();
+    if q.unsatisfiable {
+        return out;
+    }
+    HomProblem::new(&q.body, db).with_fixed(fixed).for_each(|assignment| {
+        out.insert(project_head(q, assignment));
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// The Boolean value of a 0-ary query (whether the empty tuple is in the
+/// answer).
+pub fn boolean(q: &ConjunctiveQuery, db: &Database) -> bool {
+    debug_assert_eq!(q.arity(), 0, "boolean() expects a 0-ary query");
+    is_nonempty(q, db)
+}
+
+/// Convenience: evaluates and returns tuples in canonical sorted order.
+pub fn evaluate_sorted(q: &ConjunctiveQuery, db: &Database) -> Vec<Vec<Atom>> {
+    let rel = evaluate(q, db);
+    rel.iter_sorted().into_iter().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryAtom;
+
+    fn v(name: &str) -> Term {
+        Term::var(name)
+    }
+
+    #[test]
+    fn evaluates_a_join() {
+        // q(x, z) :- R(x, y), R(y, z)
+        let q = ConjunctiveQuery::plain(
+            vec![v("x"), v("z")],
+            vec![
+                QueryAtom::new("R", vec![v("x"), v("y")]),
+                QueryAtom::new("R", vec![v("y"), v("z")]),
+            ],
+        );
+        let db = Database::from_ints(&[("R", &[&[1, 2], &[2, 3], &[3, 4]])]);
+        let rows = evaluate_sorted(&q, &db);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Atom::int(1), Atom::int(3)],
+                vec![Atom::int(2), Atom::int(4)],
+            ]
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_queries_are_empty() {
+        let q = ConjunctiveQuery::new(
+            vec![v("x")],
+            vec![QueryAtom::new("R", vec![v("x")])],
+            &[(Term::int(1), Term::int(2))],
+        );
+        let db = Database::from_ints(&[("R", &[&[1]])]);
+        assert!(evaluate(&q, &db).is_empty());
+        assert!(!is_nonempty(&q, &db));
+    }
+
+    #[test]
+    fn empty_body_yields_constant_tuple() {
+        let q = ConjunctiveQuery::plain(vec![Term::int(7)], vec![]);
+        let db = Database::new();
+        let rows = evaluate_sorted(&q, &db);
+        assert_eq!(rows, vec![vec![Atom::int(7)]]);
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let q = ConjunctiveQuery::plain(vec![], vec![QueryAtom::new("R", vec![v("x"), v("x")])]);
+        let yes = Database::from_ints(&[("R", &[&[2, 2]])]);
+        let no = Database::from_ints(&[("R", &[&[1, 2]])]);
+        assert!(boolean(&q, &yes));
+        assert!(!boolean(&q, &no));
+    }
+
+    #[test]
+    fn constants_in_head_and_body() {
+        // q(x, 9) :- R(x, 1)
+        let q = ConjunctiveQuery::plain(
+            vec![v("x"), Term::int(9)],
+            vec![QueryAtom::new("R", vec![v("x"), Term::int(1)])],
+        );
+        let db = Database::from_ints(&[("R", &[&[5, 1], &[6, 2]])]);
+        let rows = evaluate_sorted(&q, &db);
+        assert_eq!(rows, vec![vec![Atom::int(5), Atom::int(9)]]);
+    }
+
+    #[test]
+    fn fixed_bindings_restrict_results() {
+        let q = ConjunctiveQuery::plain(
+            vec![v("y")],
+            vec![QueryAtom::new("R", vec![v("x"), v("y")])],
+        );
+        let db = Database::from_ints(&[("R", &[&[1, 2], &[3, 4]])]);
+        let mut fixed = Assignment::new();
+        fixed.insert(crate::schema::Var::new("x"), Atom::int(3));
+        let rel = evaluate_with_fixed(&q, &db, fixed);
+        assert_eq!(rel.iter_sorted(), vec![&vec![Atom::int(4)]]);
+    }
+
+    #[test]
+    fn duplicate_projections_deduplicate() {
+        // q(x) :- R(x, y) over two y's for the same x.
+        let q = ConjunctiveQuery::plain(
+            vec![v("x")],
+            vec![QueryAtom::new("R", vec![v("x"), v("y")])],
+        );
+        let db = Database::from_ints(&[("R", &[&[1, 2], &[1, 3]])]);
+        assert_eq!(evaluate(&q, &db).len(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! NP-hard instance generators.
+//!
+//! The paper proves checking simulation and strong simulation NP-complete;
+//! hardness is inherited from containment of conjunctive queries \[11\].
+//! This module builds the classical hard family: deciding `q_K ⊑ q_G` for
+//! the Boolean edge queries of a clique `K_k` and a graph `G` is exactly
+//! graph `k`-colorability (a containment mapping `q_G → q_K` is a proper
+//! coloring). Experiments E2–E4 use these instances to exhibit the
+//! exponential worst case, against chain queries for the polynomial case.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::query::{ConjunctiveQuery, QueryAtom, Term};
+
+/// An undirected graph given by its vertex count and edge list.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Number of vertices (named `0..n`).
+    pub vertices: usize,
+    /// Undirected edges (u, v), u ≠ v.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// The complete graph on `k` vertices.
+    pub fn clique(k: usize) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..k {
+            for v in (u + 1)..k {
+                edges.push((u, v));
+            }
+        }
+        Graph { vertices: k, edges }
+    }
+
+    /// The cycle on `n` vertices.
+    pub fn cycle(n: usize) -> Graph {
+        Graph { vertices: n, edges: (0..n).map(|i| (i, (i + 1) % n)).collect() }
+    }
+
+    /// An Erdős–Rényi random graph with edge probability `pct`%.
+    pub fn random(n: usize, pct: u32, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_range(0..100) < pct {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Graph { vertices: n, edges }
+    }
+}
+
+/// The Boolean *edge query* of a graph over the binary relation `E`,
+/// with both orientations of each undirected edge (so homomorphisms are
+/// exactly graph homomorphisms of undirected graphs).
+pub fn edge_query(g: &Graph) -> ConjunctiveQuery {
+    let var = |i: usize| Term::var(&format!("n{i}"));
+    let mut body = Vec::with_capacity(g.edges.len() * 2);
+    for &(u, v) in &g.edges {
+        body.push(QueryAtom::new("E", vec![var(u), var(v)]));
+        body.push(QueryAtom::new("E", vec![var(v), var(u)]));
+    }
+    ConjunctiveQuery::plain(vec![], body)
+}
+
+/// A containment instance `(q1, q2)` such that `q1 ⊑ q2` iff `g` is
+/// `k`-colorable.
+///
+/// `q1` is the clique query (its canonical database is `K_k` with both edge
+/// orientations); containment holds iff there is a homomorphism from `q2`'s
+/// body (the graph) into `K_k`, i.e. a proper `k`-coloring.
+pub fn coloring_instance(g: &Graph, k: usize) -> (ConjunctiveQuery, ConjunctiveQuery) {
+    (edge_query(&Graph::clique(k)), edge_query(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::is_contained_in;
+
+    #[test]
+    fn odd_cycles_are_not_two_colorable() {
+        let (q1, q2) = coloring_instance(&Graph::cycle(5), 2);
+        assert!(!is_contained_in(&q1, &q2));
+        let (q1, q2) = coloring_instance(&Graph::cycle(5), 3);
+        assert!(is_contained_in(&q1, &q2));
+    }
+
+    #[test]
+    fn even_cycles_are_two_colorable() {
+        let (q1, q2) = coloring_instance(&Graph::cycle(6), 2);
+        assert!(is_contained_in(&q1, &q2));
+    }
+
+    #[test]
+    fn cliques_need_k_colors() {
+        let (q1, q2) = coloring_instance(&Graph::clique(4), 3);
+        assert!(!is_contained_in(&q1, &q2));
+        let (q1, q2) = coloring_instance(&Graph::clique(4), 4);
+        assert!(is_contained_in(&q1, &q2));
+    }
+
+    #[test]
+    fn random_graphs_are_reproducible() {
+        let g1 = Graph::random(8, 40, 7);
+        let g2 = Graph::random(8, 40, 7);
+        assert_eq!(g1.edges, g2.edges);
+        assert!(g1.edges.len() < 28);
+    }
+}

@@ -1,0 +1,345 @@
+//! The backtracking homomorphism engine.
+//!
+//! Everything NP-complete in this reproduction — classical containment \[11\],
+//! simulation and strong simulation (§5–6 of the paper), aggregate
+//! equivalence (§7) — bottoms out in one search problem: find an assignment
+//! of query variables to database atoms under which every body atom becomes
+//! a fact of the database, subject to some variables being pre-bound.
+//!
+//! The engine uses static greedy atom ordering (most-bound-variables first,
+//! smallest relation as tie-break) and early consistency pruning. It can
+//! report the first solution, enumerate all solutions through a callback,
+//! or count solutions, and carries an optional step budget so callers with
+//! worst-case-exponential workloads (the hard instances of E2–E4) can bail
+//! out deterministically.
+
+use std::collections::{HashMap, HashSet};
+use std::ops::ControlFlow;
+
+use co_object::Atom;
+
+use crate::db::{Database, Relation};
+use crate::query::{QueryAtom, Term};
+use crate::schema::Var;
+
+/// A variable assignment produced by the engine.
+pub type Assignment = HashMap<Var, Atom>;
+
+/// Outcome of a bounded search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// Search space exhausted (all solutions were visited).
+    Exhausted,
+    /// The callback requested an early stop.
+    Stopped,
+    /// The step budget ran out before the search finished.
+    BudgetExceeded,
+}
+
+/// A homomorphism search problem: match `atoms` into `db`, extending
+/// `fixed`.
+pub struct HomProblem<'a> {
+    atoms: &'a [QueryAtom],
+    db: &'a Database,
+    fixed: Assignment,
+    budget: Option<u64>,
+    forbidden: HashMap<Var, HashSet<Atom>>,
+}
+
+impl<'a> HomProblem<'a> {
+    /// Creates a problem with no pre-bound variables.
+    pub fn new(atoms: &'a [QueryAtom], db: &'a Database) -> HomProblem<'a> {
+        HomProblem {
+            atoms,
+            db,
+            fixed: Assignment::new(),
+            budget: None,
+            forbidden: HashMap::new(),
+        }
+    }
+
+    /// Pre-binds variables (e.g. head variables for containment checks).
+    pub fn with_fixed(mut self, fixed: Assignment) -> HomProblem<'a> {
+        self.fixed = fixed;
+        self
+    }
+
+    /// Sets a step budget; each candidate-tuple probe costs one step.
+    pub fn with_budget(mut self, steps: u64) -> HomProblem<'a> {
+        self.budget = Some(steps);
+        self
+    }
+
+    /// Forbids specific values for specific variables. Checked during the
+    /// backtracking (not as a post-filter), so a forbidden binding prunes
+    /// its whole subtree — the simulation procedures' index-avoidance
+    /// condition relies on this for tractability on easy instances.
+    pub fn with_forbidden(mut self, forbidden: HashMap<Var, HashSet<Atom>>) -> HomProblem<'a> {
+        self.forbidden = forbidden;
+        self
+    }
+
+    /// Finds the first solution, if any.
+    ///
+    /// Returns `Err(BudgetExceeded)` only when the budget ran out *before*
+    /// a solution was found.
+    pub fn first(self) -> Result<Option<Assignment>, SearchOutcome> {
+        let mut found = None;
+        let outcome = self.for_each(|a| {
+            found = Some(a.clone());
+            ControlFlow::Break(())
+        });
+        match (found, outcome) {
+            (Some(a), _) => Ok(Some(a)),
+            (None, SearchOutcome::BudgetExceeded) => Err(SearchOutcome::BudgetExceeded),
+            (None, _) => Ok(None),
+        }
+    }
+
+    /// Whether any solution exists (budget-less convenience).
+    pub fn exists(self) -> bool {
+        matches!(self.first(), Ok(Some(_)))
+    }
+
+    /// Enumerates solutions through `visit`; stops early on `Break`.
+    pub fn for_each(self, mut visit: impl FnMut(&Assignment) -> ControlFlow<()>) -> SearchOutcome {
+        // Unsatisfiable fast path: an atom over an empty relation.
+        for atom in self.atoms {
+            match self.db.relation_ref(atom.rel) {
+                Some(r) if !r.is_empty() => {}
+                _ => return SearchOutcome::Exhausted,
+            }
+        }
+        // Fixed bindings themselves must respect the forbidden sets.
+        for (v, a) in &self.fixed {
+            if self.forbidden.get(v).is_some_and(|set| set.contains(a)) {
+                return SearchOutcome::Exhausted;
+            }
+        }
+        let order = plan_order(self.atoms, &self.fixed, self.db);
+        let mut state = Search {
+            atoms: self.atoms,
+            order: &order,
+            db: self.db,
+            binding: self.fixed,
+            steps_left: self.budget,
+            forbidden: &self.forbidden,
+            visit: &mut visit,
+        };
+        state.run(0)
+    }
+}
+
+struct Search<'a, 'f> {
+    atoms: &'a [QueryAtom],
+    order: &'a [usize],
+    db: &'a Database,
+    binding: Assignment,
+    steps_left: Option<u64>,
+    forbidden: &'a HashMap<Var, HashSet<Atom>>,
+    visit: &'f mut dyn FnMut(&Assignment) -> ControlFlow<()>,
+}
+
+impl Search<'_, '_> {
+    fn run(&mut self, depth: usize) -> SearchOutcome {
+        if depth == self.order.len() {
+            return match (self.visit)(&self.binding) {
+                ControlFlow::Break(()) => SearchOutcome::Stopped,
+                ControlFlow::Continue(()) => SearchOutcome::Exhausted,
+            };
+        }
+        let atom = &self.atoms[self.order[depth]];
+        let rel = self
+            .db
+            .relation_ref(atom.rel)
+            .expect("empty-relation fast path already handled");
+        // Deterministic iteration for reproducible search behaviour.
+        for tuple in rel.iter_sorted() {
+            if let Some(budget) = &mut self.steps_left {
+                if *budget == 0 {
+                    return SearchOutcome::BudgetExceeded;
+                }
+                *budget -= 1;
+            }
+            if let Some(newly_bound) = self.try_bind(atom, tuple) {
+                let outcome = self.run(depth + 1);
+                for v in newly_bound {
+                    self.binding.remove(&v);
+                }
+                match outcome {
+                    SearchOutcome::Exhausted => {}
+                    stop => return stop,
+                }
+            }
+        }
+        SearchOutcome::Exhausted
+    }
+
+    /// Attempts to bind `atom`'s arguments against `tuple`; on success
+    /// returns the variables newly bound (for undo), on conflict returns
+    /// `None` with no change.
+    fn try_bind(&mut self, atom: &QueryAtom, tuple: &[Atom]) -> Option<Vec<Var>> {
+        debug_assert_eq!(atom.args.len(), tuple.len(), "arity checked by caller");
+        let mut newly = Vec::new();
+        for (term, &value) in atom.args.iter().zip(tuple.iter()) {
+            let ok = match term {
+                Term::Const(c) => *c == value,
+                Term::Var(v) => match self.binding.get(v) {
+                    Some(&bound) => bound == value,
+                    None => {
+                        if self.forbidden.get(v).is_some_and(|set| set.contains(&value)) {
+                            false
+                        } else {
+                            self.binding.insert(*v, value);
+                            newly.push(*v);
+                            true
+                        }
+                    }
+                },
+            };
+            if !ok {
+                for v in newly {
+                    self.binding.remove(&v);
+                }
+                return None;
+            }
+        }
+        Some(newly)
+    }
+}
+
+/// Greedy atom ordering: repeatedly pick the atom with the most already-
+/// bound argument positions, breaking ties by smaller relation, then by
+/// original position (for determinism).
+fn plan_order(atoms: &[QueryAtom], fixed: &Assignment, db: &Database) -> Vec<usize> {
+    let mut bound: std::collections::HashSet<Var> = fixed.keys().copied().collect();
+    let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+    let mut order = Vec::with_capacity(atoms.len());
+    while !remaining.is_empty() {
+        let best = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &i)| {
+                let atom = &atoms[i];
+                let unbound = atom
+                    .args
+                    .iter()
+                    .filter(|t| matches!(t, Term::Var(v) if !bound.contains(v)))
+                    .count();
+                let size = db.relation_ref(atom.rel).map_or(0, Relation::len);
+                (unbound, size, i)
+            })
+            .map(|(pos, _)| pos)
+            .expect("remaining is non-empty");
+        let i = remaining.swap_remove(best);
+        bound.extend(atoms[i].vars());
+        order.push(i);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Term;
+
+    fn v(name: &str) -> Term {
+        Term::var(name)
+    }
+
+    #[test]
+    fn finds_simple_match() {
+        let db = Database::from_ints(&[("R", &[&[1, 2], &[2, 3]])]);
+        let atoms = vec![
+            QueryAtom::new("R", vec![v("x"), v("y")]),
+            QueryAtom::new("R", vec![v("y"), v("z")]),
+        ];
+        let sol = HomProblem::new(&atoms, &db).first().unwrap().unwrap();
+        assert_eq!(sol[&Var::new("x")], Atom::int(1));
+        assert_eq!(sol[&Var::new("y")], Atom::int(2));
+        assert_eq!(sol[&Var::new("z")], Atom::int(3));
+    }
+
+    use crate::schema::Var;
+
+    #[test]
+    fn respects_fixed_bindings() {
+        let db = Database::from_ints(&[("R", &[&[1, 2], &[2, 3]])]);
+        let atoms = vec![QueryAtom::new("R", vec![v("x"), v("y")])];
+        let mut fixed = Assignment::new();
+        fixed.insert(Var::new("x"), Atom::int(2));
+        let sol = HomProblem::new(&atoms, &db).with_fixed(fixed).first().unwrap().unwrap();
+        assert_eq!(sol[&Var::new("y")], Atom::int(3));
+    }
+
+    #[test]
+    fn detects_no_match() {
+        let db = Database::from_ints(&[("R", &[&[1, 2]])]);
+        let atoms = vec![
+            QueryAtom::new("R", vec![v("x"), v("x")]), // needs a loop
+        ];
+        assert!(!HomProblem::new(&atoms, &db).exists());
+    }
+
+    #[test]
+    fn empty_relation_short_circuits() {
+        let db = Database::from_ints(&[("R", &[&[1, 2]])]);
+        let atoms = vec![QueryAtom::new("S", vec![v("x")])];
+        assert!(!HomProblem::new(&atoms, &db).exists());
+    }
+
+    #[test]
+    fn enumerates_all_solutions() {
+        let db = Database::from_ints(&[("R", &[&[1], &[2], &[3]])]);
+        let atoms = vec![QueryAtom::new("R", vec![v("x")])];
+        let mut seen = Vec::new();
+        let outcome = HomProblem::new(&atoms, &db).for_each(|a| {
+            seen.push(a[&Var::new("x")]);
+            ControlFlow::Continue(())
+        });
+        assert_eq!(outcome, SearchOutcome::Exhausted);
+        seen.sort();
+        assert_eq!(seen, vec![Atom::int(1), Atom::int(2), Atom::int(3)]);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        // Cross product with no solution: x must equal y via S, absent.
+        let tuples: Vec<Vec<i64>> = (0..50).map(|i| vec![i]).collect();
+        let refs: Vec<&[i64]> = tuples.iter().map(|t| t.as_slice()).collect();
+        let db = Database::from_ints(&[("R", &refs)]);
+        let atoms = vec![
+            QueryAtom::new("R", vec![v("a")]),
+            QueryAtom::new("R", vec![v("b")]),
+            QueryAtom::new("S", vec![v("a"), v("b")]),
+        ];
+        // S is empty → short-circuit even with a tiny budget.
+        assert!(!HomProblem::new(&atoms, &db).with_budget(1).exists());
+
+        // Without the empty relation, a tiny budget must trip.
+        let atoms2 = vec![
+            QueryAtom::new("R", vec![v("a")]),
+            QueryAtom::new("R", vec![v("b")]),
+            QueryAtom::new("R", vec![v("c")]),
+        ];
+        let mut count = 0usize;
+        let outcome = HomProblem::new(&atoms2, &db).with_budget(10).for_each(|_| {
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(outcome, SearchOutcome::BudgetExceeded);
+    }
+
+    #[test]
+    fn constants_filter_candidates() {
+        let db = Database::from_ints(&[("R", &[&[1, 2], &[1, 3], &[4, 5]])]);
+        let atoms = vec![QueryAtom::new("R", vec![Term::int(1), v("y")])];
+        let mut ys = Vec::new();
+        HomProblem::new(&atoms, &db).for_each(|a| {
+            ys.push(a[&Var::new("y")]);
+            ControlFlow::Continue(())
+        });
+        ys.sort();
+        assert_eq!(ys, vec![Atom::int(2), Atom::int(3)]);
+    }
+}

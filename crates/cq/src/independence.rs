@@ -1,0 +1,169 @@
+//! Update independence of conjunctive queries (Levy & Sagiv, ref \[31\] of
+//! the paper; listed in its conclusions as the application to carry over).
+//!
+//! A query is *independent* of a class of updates when its answer cannot
+//! change under any such update. For monotone conjunctive queries the two
+//! interesting classes reduce to containment checks:
+//!
+//! * **Insertion independence** w.r.t. relation `R`: inserting a tuple can
+//!   only add derivations that use the new tuple at some `R`-atom. `Q` is
+//!   independent iff for every `R`-atom `a`, every such derivation's
+//!   answer was already derivable — i.e. `Q \ a ⊑ Q`, where `Q \ a` drops
+//!   the atom (the new tuple is arbitrary, so its positions become
+//!   unconstrained). If a head variable occurs only in `a`, the new
+//!   derivations produce genuinely new tuples and independence fails.
+//! * **Deletion independence** w.r.t. `R`: answers can only shrink; they
+//!   never do iff `Q` is equivalent to a query without any `R`-atoms —
+//!   i.e. minimization eliminates every `R`-atom.
+
+use crate::containment::is_contained_in;
+use crate::minimize::minimize;
+use crate::query::ConjunctiveQuery;
+use crate::schema::RelName;
+
+/// Whether `q`'s answer is unchanged by inserting any single tuple into
+/// `rel` (and hence, by induction, any set of tuples).
+pub fn independent_of_insertions(q: &ConjunctiveQuery, rel: RelName) -> bool {
+    if q.unsatisfiable {
+        return true;
+    }
+    for (i, atom) in q.body.iter().enumerate() {
+        if atom.rel != rel {
+            continue;
+        }
+        let mut dropped = q.clone();
+        dropped.body.remove(i);
+        // Head safety after dropping: a head variable bound only by the
+        // dropped atom ranges over the (arbitrary) new tuple — new answers
+        // are unavoidable on suitable databases.
+        let body_vars = dropped.body_vars();
+        if !dropped.head_vars().iter().all(|v| body_vars.contains(v)) {
+            return false;
+        }
+        if !is_contained_in(&dropped, q) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether `q`'s answer is unchanged by deleting tuples from `rel`.
+pub fn independent_of_deletions(q: &ConjunctiveQuery, rel: RelName) -> bool {
+    if q.unsatisfiable {
+        return true;
+    }
+    // Sufficient and necessary for CQs: the core has no R-atoms. (If the
+    // core keeps an R-atom, shrinking R below the canonical database's
+    // needs removes an answer; if not, Q ignores R.)
+    minimize(q).body.iter().all(|a| a.rel != rel)
+}
+
+/// Whether `q` is independent of *all* updates (insertions and deletions)
+/// to `rel`.
+pub fn independent_of_updates(q: &ConjunctiveQuery, rel: RelName) -> bool {
+    independent_of_insertions(q, rel) && independent_of_deletions(q, rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+    use crate::eval::evaluate;
+    use crate::parse::parse_query;
+    use co_object::Atom;
+
+    fn rel(name: &str) -> RelName {
+        RelName::new(name)
+    }
+
+    #[test]
+    fn queries_ignore_unmentioned_relations() {
+        let q = parse_query("q(X) :- S(X, Y).").unwrap();
+        assert!(independent_of_updates(&q, rel("R")));
+    }
+
+    #[test]
+    fn direct_dependence_fails_both() {
+        let q = parse_query("q(X) :- R(X, Y).").unwrap();
+        assert!(!independent_of_insertions(&q, rel("R")));
+        assert!(!independent_of_deletions(&q, rel("R")));
+    }
+
+    #[test]
+    fn redundant_atoms_give_deletion_sensitivity_but_not_always() {
+        // R-atom is redundant given the other R-atom… a single redundant
+        // self-join: q(X) :- R(X, Y), R(X, Z). Still depends on R.
+        let q = parse_query("q(X) :- R(X, Y), R(X, Z).").unwrap();
+        assert!(!independent_of_deletions(&q, rel("R")));
+        // But a query whose R-atom folds into an S-atom pattern cannot
+        // exist (different relations); instead: R-atom implied by nothing.
+    }
+
+    #[test]
+    fn insertion_independence_with_redundant_atom() {
+        // The second R-atom is implied by the first (drop it: q' ⊑ q).
+        // Inserting into R can still create derivations through the FIRST
+        // atom, so full insertion independence fails; but the check is
+        // per-atom — construct a query where every R-atom is implied:
+        // q(X) :- S(X), R(Y, Y)… dropping R leaves q'(X) :- S(X) which is
+        // NOT contained in q (q requires some R loop) — so not independent:
+        // inserting a loop into empty R adds answers. Correct!
+        let q = parse_query("q(X) :- S(X), R(Y, Y).").unwrap();
+        assert!(!independent_of_insertions(&q, rel("R")));
+        // Semantics check: adding R(1,1) to a DB with S(5) adds an answer.
+        let before = Database::from_ints(&[("S", &[&[5]])]);
+        let mut after = before.clone();
+        after.insert(rel("R"), vec![Atom::int(1), Atom::int(1)]);
+        assert!(evaluate(&q, &before).is_empty());
+        assert!(!evaluate(&q, &after).is_empty());
+    }
+
+    #[test]
+    fn decisions_match_semantics_on_samples() {
+        let queries = [
+            "q(X) :- S(X, Y).",
+            "q(X) :- R(X, Y).",
+            "q(X) :- S(X, Y), R(X, Y).",
+            "q(X) :- S(X, X), R(Y, Z).",
+        ];
+        for src in queries {
+            let q = parse_query(src).unwrap();
+            let ins = independent_of_insertions(&q, rel("R"));
+            // Semantic probe: insert one tuple into a few random databases
+            // and watch for new answers.
+            let mut violated = false;
+            for seed in 0..30u64 {
+                let db = random_db(seed);
+                let mut db2 = db.clone();
+                db2.insert(
+                    rel("R"),
+                    vec![Atom::int((seed % 3) as i64), Atom::int(((seed / 3) % 3) as i64)],
+                );
+                let r1 = evaluate(&q, &db);
+                let r2 = evaluate(&q, &db2);
+                if !r2.is_subset(&r1) {
+                    violated = true;
+                }
+            }
+            if ins {
+                assert!(!violated, "{src}: decided independent but probe violated");
+            }
+        }
+    }
+
+    fn random_db(seed: u64) -> Database {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = Database::new();
+        for name in ["R", "S"] {
+            for _ in 0..rng.gen_range(0..4) {
+                db.insert(
+                    rel(name),
+                    vec![Atom::int(rng.gen_range(0..3)), Atom::int(rng.gen_range(0..3))],
+                );
+            }
+        }
+        db
+    }
+}

@@ -1,0 +1,55 @@
+//! # co-cq — conjunctive queries over flat relations
+//!
+//! The relational substrate of the reproduction of *Levy & Suciu, PODS
+//! 1997*. §5 of the paper reduces complex-object containment to conditions
+//! on conjunctive queries over flat relations; this crate provides those
+//! queries end to end:
+//!
+//! * [`Database`], [`Relation`] — flat instances;
+//! * [`ConjunctiveQuery`] — `Q(x̄) :- R1(t̄1), …` with equality elimination;
+//! * evaluation ([`evaluate()`]), canonical databases ([`freeze()`]), and the
+//!   backtracking [`hom`] engine shared by every NP procedure in the
+//!   workspace;
+//! * classical **containment** and **equivalence** (Chandra–Merlin) with
+//!   inspectable certificates, and **minimization** (cores);
+//! * a datalog-style parser, random generators, and the graph-coloring
+//!   hard-instance family used by the complexity experiments.
+//!
+//! ```
+//! use co_cq::{parse_query, is_contained_in};
+//!
+//! let two_hops = parse_query("q(X, Z) :- E(X, Y), E(Y, Z).").unwrap();
+//! let self_loop = parse_query("q(X, X) :- E(X, X).").unwrap();
+//! assert!(is_contained_in(&self_loop, &two_hops));
+//! assert!(!is_contained_in(&two_hops, &self_loop));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod containment;
+pub mod db;
+pub mod eval;
+pub mod freeze;
+pub mod generate;
+pub mod hard;
+pub mod hom;
+pub mod independence;
+pub mod minimize;
+pub mod parse;
+pub mod query;
+pub mod schema;
+pub mod views;
+
+pub use containment::{contained_in, equivalent, is_contained_in, Certificate, ContainmentMapping};
+pub use db::{Database, Relation, Tuple};
+pub use eval::{boolean, evaluate, evaluate_sorted, is_nonempty};
+pub use freeze::{freeze, Frozen};
+pub use hom::{Assignment, HomProblem, SearchOutcome};
+pub use minimize::{is_minimal, minimize};
+pub use parse::parse_query;
+pub use query::{ConjunctiveQuery, QueryAtom, QueryError, Term};
+pub use independence::{
+    independent_of_deletions, independent_of_insertions, independent_of_updates,
+};
+pub use schema::{RelName, RelSchema, Schema, Var};
+pub use views::{rewriting_equivalent, rewriting_sound, unfold, View, ViewError};

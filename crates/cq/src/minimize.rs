@@ -1,0 +1,124 @@
+//! Conjunctive-query minimization (computing the core).
+//!
+//! A body atom is redundant iff removing it yields an equivalent query;
+//! since dropping atoms only enlarges answers, that reduces to checking
+//! `Q \ {atom} ⊑ Q`. Greedy removal is confluent up to isomorphism (the
+//! classical core argument), so one pass over the atoms suffices.
+//!
+//! Minimization matters to the paper's algorithms pragmatically: the
+//! simulation procedures of §5–6 conjoin *witness copies* of a body, so
+//! shrinking bodies first shrinks the NP search exponent.
+
+use crate::containment::is_contained_in;
+use crate::query::ConjunctiveQuery;
+
+/// Returns an equivalent minimal subquery of `q` (the core).
+pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    if q.unsatisfiable {
+        // Canonical unsatisfiable form: same head, empty body, unsat flag.
+        return ConjunctiveQuery {
+            head: q.head.clone(),
+            body: Vec::new(),
+            unsatisfiable: true,
+        };
+    }
+    let mut current = q.clone();
+    let mut i = 0;
+    while i < current.body.len() {
+        let mut candidate = current.clone();
+        candidate.body.remove(i);
+        // Safety: removal must not orphan a head variable.
+        let head_safe = candidate
+            .head_vars()
+            .iter()
+            .all(|v| candidate.body_vars().contains(v));
+        if head_safe && is_contained_in(&candidate, &current) {
+            current = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    current
+}
+
+/// Whether a query is minimal (has no redundant atoms).
+pub fn is_minimal(q: &ConjunctiveQuery) -> bool {
+    minimize(q).body.len() == q.body.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent;
+    use crate::query::{QueryAtom, Term};
+
+    fn v(name: &str) -> Term {
+        Term::var(name)
+    }
+
+    #[test]
+    fn removes_duplicate_pattern() {
+        // q(x) :- R(x,y), R(x,z)  minimizes to  q(x) :- R(x,y)
+        let q = ConjunctiveQuery::plain(
+            vec![v("x")],
+            vec![
+                QueryAtom::new("R", vec![v("x"), v("y")]),
+                QueryAtom::new("R", vec![v("x"), v("z")]),
+            ],
+        );
+        let m = minimize(&q);
+        assert_eq!(m.body.len(), 1);
+        assert!(equivalent(&q, &m));
+    }
+
+    #[test]
+    fn keeps_necessary_atoms() {
+        // A directed triangle query is its own core.
+        let q = ConjunctiveQuery::plain(
+            vec![],
+            vec![
+                QueryAtom::new("E", vec![v("a"), v("b")]),
+                QueryAtom::new("E", vec![v("b"), v("c")]),
+                QueryAtom::new("E", vec![v("c"), v("a")]),
+            ],
+        );
+        assert!(is_minimal(&q));
+    }
+
+    #[test]
+    fn folds_longer_path_into_loop() {
+        // Boolean q :- E(x,x), E(x,y) minimizes to q :- E(x,x).
+        let q = ConjunctiveQuery::plain(
+            vec![],
+            vec![
+                QueryAtom::new("E", vec![v("x"), v("x")]),
+                QueryAtom::new("E", vec![v("x"), v("y")]),
+            ],
+        );
+        let m = minimize(&q);
+        assert_eq!(m.body.len(), 1);
+        assert!(equivalent(&q, &m));
+    }
+
+    #[test]
+    fn head_variables_are_protected() {
+        // q(x, y) :- R(x), R(y): neither atom can go, despite symmetry.
+        let q = ConjunctiveQuery::plain(
+            vec![v("x"), v("y")],
+            vec![QueryAtom::new("R", vec![v("x")]), QueryAtom::new("R", vec![v("y")])],
+        );
+        assert!(is_minimal(&q));
+    }
+
+    #[test]
+    fn unsatisfiable_minimizes_to_empty_body() {
+        let q = ConjunctiveQuery::new(
+            vec![v("x")],
+            vec![QueryAtom::new("R", vec![v("x")])],
+            &[(Term::int(1), Term::int(2))],
+        );
+        let m = minimize(&q);
+        assert!(m.unsatisfiable);
+        assert!(m.body.is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Datalog-style parser for conjunctive queries.
+//!
+//! Syntax:
+//!
+//! ```text
+//! q(X, Y) :- R(X, Z), S(Z, Y), Z = 'paris', Y = W.
+//! ```
+//!
+//! * Identifiers starting with an **uppercase** letter (or `_`) are
+//!   variables; lowercase identifiers, integers, and `'quoted'` strings are
+//!   constants.
+//! * `=`-conditions are eliminated at construction (see
+//!   [`crate::query::ConjunctiveQuery::new`]).
+//! * The head predicate name is ignored (queries are anonymous); the
+//!   trailing period is optional.
+
+use std::fmt;
+
+use co_object::Atom;
+
+use crate::query::{ConjunctiveQuery, Equality, QueryAtom, Term};
+
+/// A parse error with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the error was detected.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one conjunctive query in datalog syntax.
+pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let mut p = P { s: input.as_bytes(), pos: 0 };
+    p.ws();
+    p.ident()?; // head predicate name, ignored
+    p.ws();
+    p.expect(b'(')?;
+    let head = p.term_list(b')')?;
+    p.ws();
+    if !p.eat_str(":-") {
+        return Err(p.err("expected `:-`"));
+    }
+    let mut body = Vec::new();
+    let mut equalities: Vec<Equality> = Vec::new();
+    loop {
+        p.ws();
+        // `true` stands for the empty body; `false` for unsatisfiable.
+        if p.eat_str("true") {
+        } else if p.eat_str("false") {
+            equalities.push((Term::int(0), Term::int(1)));
+        } else {
+            let start = p.pos;
+            let name = p.ident()?;
+            p.ws();
+            if p.peek() == Some(b'(') {
+                p.expect(b'(')?;
+                let args = p.term_list(b')')?;
+                body.push(QueryAtom::new(&name, args));
+            } else if p.peek() == Some(b'=') {
+                // The identifier was actually a term of an equality.
+                p.pos = start;
+                let lhs = p.term()?;
+                p.ws();
+                p.expect(b'=')?;
+                p.ws();
+                let rhs = p.term()?;
+                equalities.push((lhs, rhs));
+            } else {
+                return Err(p.err("expected `(` or `=` after identifier"));
+            }
+        }
+        p.ws();
+        match p.peek() {
+            Some(b',') => {
+                p.pos += 1;
+            }
+            Some(b'.') => {
+                p.pos += 1;
+                break;
+            }
+            None => break,
+            _ => {
+                // Could be a non-identifier term starting an equality, e.g. 3 = X.
+                let lhs = p.term()?;
+                p.ws();
+                p.expect(b'=')?;
+                p.ws();
+                let rhs = p.term()?;
+                equalities.push((lhs, rhs));
+                p.ws();
+                match p.peek() {
+                    Some(b',') => p.pos += 1,
+                    Some(b'.') => {
+                        p.pos += 1;
+                        break;
+                    }
+                    None => break,
+                    _ => return Err(p.err("expected `,` or `.`")),
+                }
+            }
+        }
+    }
+    p.ws();
+    if p.pos != p.s.len() {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok(ConjunctiveQuery::new(head, body, &equalities))
+}
+
+struct P<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, m: &str) -> ParseError {
+        ParseError { position: self.pos, message: m.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn eat_str(&mut self, word: &str) -> bool {
+        if self.s[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        if !self.peek().is_some_and(|c| c.is_ascii_alphabetic() || c == b'_') {
+            return Err(self.err("expected identifier"));
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        Ok(std::str::from_utf8(&self.s[start..self.pos]).expect("ascii").to_string())
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.peek() {
+            Some(b'\'') => {
+                self.pos += 1;
+                let mut bytes = Vec::new();
+                loop {
+                    match self.peek() {
+                        Some(b'\'') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(c) => {
+                            bytes.push(c);
+                            self.pos += 1;
+                        }
+                        None => return Err(self.err("unterminated string")),
+                    }
+                }
+                let out = String::from_utf8(bytes)
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                Ok(Term::Const(Atom::str(&out)))
+            }
+            Some(c) if c.is_ascii_digit() || c == b'-' => {
+                let start = self.pos;
+                if c == b'-' {
+                    self.pos += 1;
+                }
+                while self.peek().is_some_and(|d| d.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.s[start..self.pos]).expect("ascii");
+                let n: i64 = text.parse().map_err(|_| self.err("invalid integer"))?;
+                Ok(Term::Const(Atom::int(n)))
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let name = self.ident()?;
+                let first = name.chars().next().expect("non-empty ident");
+                if first.is_ascii_uppercase() || first == '_' {
+                    Ok(Term::var(&name))
+                } else {
+                    Ok(Term::Const(Atom::str(&name)))
+                }
+            }
+            _ => Err(self.err("expected a term")),
+        }
+    }
+
+    fn term_list(&mut self, close: u8) -> Result<Vec<Term>, ParseError> {
+        let mut out = Vec::new();
+        self.ws();
+        if self.peek() == Some(close) {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.ws();
+            out.push(self.term()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(c) if c == close => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected `,` or closing delimiter")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent;
+    use crate::db::Database;
+    use crate::eval::evaluate_sorted;
+
+    #[test]
+    fn parses_simple_query() {
+        let q = parse_query("q(X, Y) :- R(X, Z), R(Z, Y).").unwrap();
+        assert_eq!(q.arity(), 2);
+        assert_eq!(q.body.len(), 2);
+        assert_eq!(q.body_vars().len(), 3);
+    }
+
+    #[test]
+    fn case_decides_var_vs_const() {
+        let q = parse_query("q(X) :- R(X, paris), R(X, 'two words'), R(X, 42).").unwrap();
+        assert_eq!(q.body_vars().len(), 1);
+        assert_eq!(q.body[0].args[1].as_const(), Some(Atom::str("paris")));
+        assert_eq!(q.body[1].args[1].as_const(), Some(Atom::str("two words")));
+        assert_eq!(q.body[2].args[1].as_const(), Some(Atom::int(42)));
+    }
+
+    #[test]
+    fn equalities_apply() {
+        let q = parse_query("q(X) :- R(X, Y), Y = 5.").unwrap();
+        assert_eq!(q.body[0].args[1], Term::int(5));
+        let q2 = parse_query("q() :- R(X), X = 1, X = 2.").unwrap();
+        assert!(q2.unsatisfiable);
+    }
+
+    #[test]
+    fn false_body_is_unsatisfiable() {
+        let q = parse_query("q(1) :- false").unwrap();
+        assert!(q.unsatisfiable);
+        let t = parse_query("q(1) :- true").unwrap();
+        assert!(!t.unsatisfiable);
+        assert!(t.body.is_empty());
+    }
+
+    #[test]
+    fn parsed_queries_evaluate() {
+        let q = parse_query("q(X, Z) :- E(X, Y), E(Y, Z).").unwrap();
+        let db = Database::from_ints(&[("E", &[&[1, 2], &[2, 3]])]);
+        let rows = evaluate_sorted(&q, &db);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0], vec![Atom::int(1), Atom::int(3)]);
+    }
+
+    #[test]
+    fn parse_display_reparse_is_equivalent() {
+        let q = parse_query("q(X) :- R(X, Y), S(Y, 'c'), Y = Z, T(Z).").unwrap();
+        let text = q.to_string();
+        let q2 = parse_query(&text).unwrap();
+        assert!(equivalent(&q, &q2), "{q} vs {q2}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("q(X)").is_err());
+        assert!(parse_query("q(X) :- R(X) extra").is_err());
+        assert!(parse_query("q(X) :- R(X,").is_err());
+        assert!(parse_query(":- R(X)").is_err());
+    }
+}

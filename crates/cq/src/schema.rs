@@ -1,0 +1,244 @@
+//! Relation names, variables, and flat schemas.
+//!
+//! The paper's §5 reduces everything to *flat* input relations ("we will
+//! assume from now on that all input relations are flat"); nested inputs
+//! are encoded with indexes by `co-encode`. A [`Schema`] records, for each
+//! relation name, its attributes (used when flat tuples are viewed as
+//! records by the COQL layer).
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+use co_object::Field;
+
+struct NameTable {
+    map: HashMap<String, u32>,
+    items: Vec<String>,
+    fresh: u64,
+}
+
+impl NameTable {
+    fn new() -> NameTable {
+        NameTable { map: HashMap::new(), items: Vec::new(), fresh: 0 }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.items.len()).expect("name table overflow");
+        self.items.push(s.to_string());
+        self.map.insert(s.to_string(), id);
+        id
+    }
+}
+
+macro_rules! interned_name {
+    ($(#[$doc:meta])* $name:ident, $table:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+        pub struct $name(u32);
+
+        fn $table() -> &'static RwLock<NameTable> {
+            static T: OnceLock<RwLock<NameTable>> = OnceLock::new();
+            T.get_or_init(|| RwLock::new(NameTable::new()))
+        }
+
+        impl $name {
+            /// Interns a name.
+            pub fn new(name: &str) -> $name {
+                $name($table().write().unwrap().intern(name))
+            }
+
+            /// Mints a fresh name no other call has produced, tagged for display.
+            pub fn fresh(tag: &str) -> $name {
+                let mut t = $table().write().unwrap();
+                let n = t.fresh;
+                t.fresh += 1;
+                let id = t.intern(&format!("{tag}\u{2091}{n}"));
+                $name(id)
+            }
+
+            /// The name this handle was interned from.
+            pub fn name(self) -> String {
+                $table().read().unwrap().items[self.0 as usize].clone()
+            }
+
+            /// Raw interner id (stable within a process).
+            pub fn id(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &$name) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl Ord for $name {
+            fn cmp(&self, other: &$name) -> Ordering {
+                if self.0 == other.0 {
+                    return Ordering::Equal;
+                }
+                let t = $table().read().unwrap();
+                t.items[self.0 as usize].cmp(&t.items[other.0 as usize])
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.name())
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(self, f)
+            }
+        }
+    };
+}
+
+interned_name!(
+    /// An interned relation name (`R`, `S`, … in the paper).
+    RelName,
+    rel_table
+);
+
+interned_name!(
+    /// An interned query variable. Ordered by name for deterministic output.
+    Var,
+    var_table
+);
+
+/// Schema of a single flat relation: name plus named atomic attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelSchema {
+    /// The relation's name.
+    pub name: RelName,
+    /// Attribute labels, in column order (NOT sorted — column order is
+    /// positional and significant).
+    pub attrs: Vec<Field>,
+}
+
+impl RelSchema {
+    /// Creates a relation schema; attribute labels must be distinct.
+    pub fn new(name: &str, attrs: &[&str]) -> RelSchema {
+        let attrs: Vec<Field> = attrs.iter().map(|a| Field::new(a)).collect();
+        let mut seen = attrs.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), attrs.len(), "duplicate attribute in relation `{name}`");
+        RelSchema { name: RelName::new(name), attrs }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The column position of an attribute.
+    pub fn position(&self, attr: Field) -> Option<usize> {
+        self.attrs.iter().position(|&a| a == attr)
+    }
+}
+
+/// A database schema: a set of flat relation schemas.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: BTreeMap<RelName, RelSchema>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Builds a schema from `(name, attributes)` pairs.
+    pub fn with_relations(rels: &[(&str, &[&str])]) -> Schema {
+        let mut s = Schema::new();
+        for (name, attrs) in rels {
+            s.add(RelSchema::new(name, attrs));
+        }
+        s
+    }
+
+    /// Adds (or replaces) a relation schema.
+    pub fn add(&mut self, rel: RelSchema) {
+        self.relations.insert(rel.name, rel);
+    }
+
+    /// Looks up a relation schema by name.
+    pub fn relation(&self, name: RelName) -> Option<&RelSchema> {
+        self.relations.get(&name)
+    }
+
+    /// The arity of a relation, if declared.
+    pub fn arity(&self, name: RelName) -> Option<usize> {
+        self.relations.get(&name).map(RelSchema::arity)
+    }
+
+    /// Iterates over relation schemas in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &RelSchema> {
+        self.relations.values()
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether no relations are declared.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_intern() {
+        assert_eq!(RelName::new("R"), RelName::new("R"));
+        assert_ne!(RelName::new("R"), RelName::new("S"));
+        assert_eq!(Var::new("x").name(), "x");
+    }
+
+    #[test]
+    fn fresh_names_are_distinct() {
+        assert_ne!(Var::fresh("w"), Var::fresh("w"));
+        assert_ne!(RelName::fresh("T"), RelName::fresh("T"));
+    }
+
+    #[test]
+    fn vars_order_by_name() {
+        let mut vs = [Var::new("z"), Var::new("a"), Var::new("m")];
+        vs.sort();
+        let names: Vec<String> = vs.iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])]);
+        assert_eq!(s.arity(RelName::new("R")), Some(2));
+        assert_eq!(s.arity(RelName::new("S")), Some(1));
+        assert_eq!(s.arity(RelName::new("T")), None);
+        let r = s.relation(RelName::new("R")).unwrap();
+        assert_eq!(r.position(Field::new("B")), Some(1));
+        assert_eq!(r.position(Field::new("Z")), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attrs_panic() {
+        RelSchema::new("R", &["A", "A"]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Edge cases for the relational substrate.
+
+use std::collections::{HashMap, HashSet};
+use std::ops::ControlFlow;
+
+use co_cq::{
+    boolean, evaluate, is_contained_in, minimize, parse_query, Database, HomProblem, RelName,
+    Schema, Var,
+};
+use co_object::Atom;
+
+#[test]
+fn boolean_queries_on_empty_databases() {
+    let t = parse_query("q() :- true").unwrap();
+    let f = parse_query("q() :- false").unwrap();
+    let db = Database::new();
+    assert!(boolean(&t, &db), "the empty body holds vacuously");
+    assert!(!boolean(&f, &db));
+    // Containment: false ⊑ everything; true ⊑ only satisfiable-on-empty.
+    assert!(is_contained_in(&f, &t));
+    assert!(!is_contained_in(&t, &f));
+}
+
+#[test]
+fn all_constant_heads() {
+    let q = parse_query("q(1, 'tag') :- R(X).").unwrap();
+    let db = Database::from_ints(&[("R", &[&[9]])]);
+    let rows = co_cq::evaluate_sorted(&q, &db);
+    assert_eq!(rows, vec![vec![Atom::int(1), Atom::str("tag")]]);
+    assert!(evaluate(&q, &Database::new()).is_empty());
+}
+
+#[test]
+fn self_join_chains_evaluate() {
+    // Transitive 3-hop over a cycle.
+    let q = parse_query("q(A, D) :- E(A, B), E(B, C), E(C, D).").unwrap();
+    let db = Database::from_ints(&[("E", &[&[0, 1], &[1, 2], &[2, 0]])]);
+    let rows = co_cq::evaluate_sorted(&q, &db);
+    assert_eq!(rows.len(), 3, "each start reaches exactly one 3-hop endpoint");
+    for r in rows {
+        assert_eq!(r[0], r[1], "3 hops around a 3-cycle return home");
+    }
+}
+
+#[test]
+fn forbidden_sets_prune_without_changing_answers() {
+    let db = Database::from_ints(&[("R", &[&[1], &[2], &[3]])]);
+    let q = parse_query("q(X) :- R(X).").unwrap();
+    let mut forbidden: HashMap<Var, HashSet<Atom>> = HashMap::new();
+    forbidden.insert(Var::new("X"), [Atom::int(2)].into_iter().collect());
+    let mut seen = Vec::new();
+    HomProblem::new(&q.body, &db).with_forbidden(forbidden).for_each(|a| {
+        seen.push(a[&Var::new("X")]);
+        ControlFlow::Continue(())
+    });
+    seen.sort();
+    assert_eq!(seen, vec![Atom::int(1), Atom::int(3)]);
+}
+
+#[test]
+fn forbidden_fixed_conflict_is_empty() {
+    let db = Database::from_ints(&[("R", &[&[1]])]);
+    let q = parse_query("q(X) :- R(X).").unwrap();
+    let mut forbidden: HashMap<Var, HashSet<Atom>> = HashMap::new();
+    forbidden.insert(Var::new("X"), [Atom::int(1)].into_iter().collect());
+    let mut fixed = co_cq::Assignment::new();
+    fixed.insert(Var::new("X"), Atom::int(1));
+    assert!(!HomProblem::new(&q.body, &db).with_fixed(fixed).with_forbidden(forbidden).exists());
+}
+
+#[test]
+fn minimization_of_boolean_cycles() {
+    // A 6-cycle folds onto a 2-cycle... no: boolean 6-cycle's core is the
+    // smallest cycle it maps onto — for directed cycles, C6 → C3, C2, C1?
+    // hom C6 → C2 exists (alternate); C6 → C1 needs a self-loop. So the
+    // core of the C6 query is C2? A hom C6→C2 exists and C2→C2 is minimal:
+    // the core has 2 atoms... but the core must be a SUBQUERY of C6, and
+    // C2 is not a subgraph of C6. Subquery-minimality keeps all 6 atoms?
+    // Dropping one atom yields a 5-path, which folds onto... P5 ⊑ C6?
+    // Containment requires hom C6 → frozen P5: a cycle cannot map into a
+    // path (no cycles there). So the 6-cycle query is subquery-minimal.
+    let c6 = parse_query(
+        "q() :- E(A,B), E(B,C), E(C,D), E(D,F), E(F,G), E(G,A).",
+    )
+    .unwrap();
+    let m = minimize(&c6);
+    assert_eq!(m.body.len(), 6);
+}
+
+#[test]
+fn schema_replacement_and_empty_schema() {
+    let mut s = Schema::new();
+    assert!(s.is_empty());
+    s.add(co_cq::RelSchema::new("R", &["A"]));
+    s.add(co_cq::RelSchema::new("R", &["A", "B"])); // replace
+    assert_eq!(s.arity(RelName::new("R")), Some(2));
+}
+
+#[test]
+fn containment_with_repeated_constants() {
+    let q1 = parse_query("q(X) :- R(X, 1), R(1, X).").unwrap();
+    let q2 = parse_query("q(X) :- R(X, 1).").unwrap();
+    assert!(is_contained_in(&q1, &q2));
+    assert!(!is_contained_in(&q2, &q1));
+    // And the diagonal: q(1) :- R(1,1) sits below both.
+    let diag = parse_query("q(1) :- R(1, 1).").unwrap();
+    assert!(is_contained_in(&diag, &q1));
+    assert!(is_contained_in(&diag, &q2));
+}
+
+#[test]
+fn views_unfold_within_views_do_not_recurse() {
+    // A view used inside another view's *definition* is not expanded by a
+    // single unfold (definitions are over base relations by contract);
+    // check the documented behaviour: unknown atoms pass through.
+    let views = vec![co_cq::View::new("V", parse_query("v(X) :- W(X).").unwrap())];
+    let rewriting = parse_query("q(X) :- V(X).").unwrap();
+    let expansion = co_cq::unfold(&rewriting, &views).unwrap();
+    assert_eq!(expansion.body.len(), 1);
+    assert_eq!(expansion.body[0].rel, RelName::new("W"));
+}
+
+#[test]
+fn update_independence_of_constants_only_queries() {
+    let q = parse_query("q(1) :- S(Y).").unwrap();
+    // Insertions into S can turn the answer from {} to {(1)}.
+    assert!(!co_cq::independent_of_insertions(&q, RelName::new("S")));
+    assert!(co_cq::independent_of_updates(&q, RelName::new("R")));
+}

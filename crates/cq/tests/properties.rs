@@ -1,0 +1,95 @@
+//! Property tests tying the classical containment decider to the
+//! *definitional* semantics: `Q1 ⊑ Q2` iff `Q1(D) ⊆ Q2(D)` for every `D`.
+//!
+//! * Soundness: whenever the decider answers "contained", evaluation on
+//!   random databases never produces a violating tuple.
+//! * Completeness: whenever it answers "not contained", the canonical
+//!   database of `Q1` *is* a concrete counterexample (this is exactly the
+//!   Chandra–Merlin argument, checked by running the evaluator).
+
+use co_cq::generate::{CqGen, CqGenConfig};
+use co_cq::{evaluate, freeze, is_contained_in, minimize};
+use proptest::prelude::*;
+
+fn gen_pair(seed: u64) -> (co_cq::ConjunctiveQuery, co_cq::ConjunctiveQuery) {
+    let mut g = CqGen::new(seed, CqGenConfig::default());
+    (g.query(), g.query())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn containment_sound_on_random_databases(seed in any::<u64>(), db_seed in any::<u64>()) {
+        let (q1, q2) = gen_pair(seed);
+        if is_contained_in(&q1, &q2) {
+            let mut g = CqGen::new(db_seed, CqGenConfig::default());
+            for size in [3, 6] {
+                let db = g.database(size, 4);
+                let r1 = evaluate(&q1, &db);
+                let r2 = evaluate(&q2, &db);
+                prop_assert!(r1.is_subset(&r2), "q1={q1} q2={q2} db:\n{db}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_containment_witnessed_by_canonical_db(seed in any::<u64>()) {
+        let (q1, q2) = gen_pair(seed);
+        if q1.unsatisfiable || q1.arity() != q2.arity() {
+            return Ok(());
+        }
+        if !is_contained_in(&q1, &q2) {
+            let frozen = freeze(&q1);
+            let head = frozen.head_image(&q1);
+            let r1 = evaluate(&q1, &frozen.db);
+            let r2 = evaluate(&q2, &frozen.db);
+            prop_assert!(r1.contains(&head), "frozen head must be in Q1's answer");
+            prop_assert!(!r2.contains(&head), "q1={q1} q2={q2}: counterexample failed");
+        }
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_transitive(seed in any::<u64>()) {
+        let (q1, q2) = gen_pair(seed);
+        prop_assert!(is_contained_in(&q1, &q1));
+        prop_assert!(is_contained_in(&q2, &q2));
+        let (_, q3) = gen_pair(seed.wrapping_add(1));
+        if is_contained_in(&q1, &q2) && is_contained_in(&q2, &q3) {
+            prop_assert!(is_contained_in(&q1, &q3), "q1={q1} q2={q2} q3={q3}");
+        }
+    }
+
+    #[test]
+    fn minimization_preserves_equivalence(seed in any::<u64>()) {
+        let (q, _) = gen_pair(seed);
+        let m = minimize(&q);
+        prop_assert!(m.body.len() <= q.body.len());
+        prop_assert!(is_contained_in(&q, &m) && is_contained_in(&m, &q), "q={q} m={m}");
+        // Minimization is idempotent.
+        let mm = minimize(&m);
+        prop_assert_eq!(mm.body.len(), m.body.len());
+    }
+
+    #[test]
+    fn certificates_always_verify(seed in any::<u64>()) {
+        let (q1, q2) = gen_pair(seed);
+        if let Some(co_cq::Certificate::Mapping(m)) = co_cq::contained_in(&q1, &q2) {
+            prop_assert!(m.verify(&q1, &q2), "q1={q1} q2={q2}");
+        }
+    }
+
+    #[test]
+    fn evaluation_is_monotone(seed in any::<u64>(), db_seed in any::<u64>()) {
+        // COQL and CQs are monotone languages; the containment order of the
+        // paper leans on this. Adding facts never removes answers.
+        let (q, _) = gen_pair(seed);
+        let mut g = CqGen::new(db_seed, CqGenConfig::default());
+        let small = g.database(3, 4);
+        let extra = g.database(3, 4);
+        let big = small.union(&extra);
+        let r_small = evaluate(&q, &small);
+        let r_big = evaluate(&q, &big);
+        prop_assert!(r_small.is_subset(&r_big), "q={q}");
+    }
+}

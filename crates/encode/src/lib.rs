@@ -1,0 +1,23 @@
+//! # co-encode — indexes and flattening (§5 of the paper)
+//!
+//! The two encodings that reduce complex objects to flat relations:
+//!
+//! * [`encode_database`] / [`decode_database`] — §5.1's index encoding:
+//!   every inner set is replaced by a fresh atomic *index* and stored in an
+//!   auxiliary relation (refs \[21, 18, 39, 25\] of the paper); round-trip
+//!   exact;
+//! * [`flatten_query`] — §5.2's query flattening: a normalized COQL query
+//!   becomes a [`co_sim::QueryTree`], "m conjunctive queries" linked by
+//!   index variables, on which the simulation machinery decides containment.
+//!
+//! The correctness contract (property-tested): flattening commutes with
+//! evaluation — `flatten(normalize(Q)).evaluate(D) = ⟦Q⟧(D)` over every
+//! flat database `D`.
+
+#![warn(missing_docs)]
+
+pub mod flatten;
+pub mod values;
+
+pub use flatten::{flatten_query, FlattenError};
+pub use values::{decode_database, encode_database, EncodeError, Encoded};

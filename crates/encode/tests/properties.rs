@@ -1,0 +1,127 @@
+//! Property tests for the §5.1 index encoding and §5.2 query flattening.
+
+use co_encode::{decode_database, encode_database, flatten_query};
+use co_lang::{eval_comprehension, normalize, CoDatabase, CoqlSchema};
+use co_object::generate::{GenConfig, ValueGen};
+use co_object::{Type, Value};
+use proptest::prelude::*;
+
+/// A random nested relation type of the given depth plus a random instance.
+fn random_typed_db(seed: u64, depth: usize) -> (CoDatabase, CoqlSchema) {
+    let mut g = ValueGen::new(seed, GenConfig { max_set_len: 3, ..GenConfig::default() });
+    // Relation type: a set of elements of the random type.
+    let elem = g.type_of_depth(depth);
+    let ty = Type::set(elem.clone());
+    let mut elems = Vec::new();
+    for _ in 0..3 {
+        elems.push(g.value_of_type(&elem));
+    }
+    let schema = CoqlSchema::new().with("N", ty);
+    let db = CoDatabase::new().with("N", Value::set(elems));
+    (db, schema)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// §5.1: the index encoding is exactly invertible, at any depth.
+    #[test]
+    fn encode_decode_roundtrip(seed in any::<u64>(), depth in 0usize..4) {
+        let (db, schema) = random_typed_db(seed, depth);
+        let enc = match encode_database(&db, &schema) {
+            Ok(e) => e,
+            // Empty record types cannot be encoded; the generator can
+            // produce them — skip those shapes.
+            Err(_) => return Ok(()),
+        };
+        let back = decode_database(&enc, &schema).unwrap();
+        prop_assert_eq!(back, db);
+    }
+
+    /// Equal inner sets share one index: re-encoding a database whose
+    /// relation holds duplicated inner sets must not duplicate aux rows.
+    #[test]
+    fn encoding_is_canonical_under_sharing(seed in any::<u64>()) {
+        let mut g = ValueGen::new(seed, GenConfig::default());
+        let inner = Value::set(vec![Value::Atom(g.atom()), Value::Atom(g.atom())]);
+        let elem_ty = Type::record(vec![
+            (co_object::Field::new("k"), Type::Atom),
+            (co_object::Field::new("s"), Type::set(Type::Atom)),
+        ]);
+        let schema = CoqlSchema::new().with("N", Type::set(elem_ty));
+        let mk = |k: i64, s: &Value| {
+            Value::record(vec![
+                (co_object::Field::new("k"), Value::int(k)),
+                (co_object::Field::new("s"), s.clone()),
+            ])
+            .unwrap()
+        };
+        let db = CoDatabase::new().with(
+            "N",
+            Value::set(vec![mk(1, &inner), mk(2, &inner), mk(3, &inner)]),
+        );
+        let enc = encode_database(&db, &schema).unwrap();
+        // One aux row per element of the single shared set.
+        let aux = enc.db.relation(co_cq::RelName::new("N@s"));
+        prop_assert_eq!(aux.len(), inner.as_set().unwrap().len());
+    }
+
+    /// §5.2 lynchpin: flattening commutes with evaluation.
+    /// (Queries from the co-lang random generator, re-used via seeds.)
+    #[test]
+    fn flatten_commutes_with_evaluation(seed in any::<u64>(), db_seed in any::<u64>()) {
+        let flat_schema = co_cq::Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])]);
+        let coql_schema = CoqlSchema::from_flat(&flat_schema);
+        // Reuse a compact inline generator (two shapes suffice here; the
+        // broad generator runs in the workspace-level differential tests).
+        let shapes = [
+            "select [a: x.A, g: (select y.C from y in S where y.C = x.B)] from x in R",
+            "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R",
+            "select x.B from x in R where x.A = 1",
+            "select [a: x.A, s: {x.B}] from x in R",
+        ];
+        let e = co_lang::parse_coql(shapes[(seed % shapes.len() as u64) as usize]).unwrap();
+        let nf = normalize(&e, &coql_schema).unwrap();
+        let tree = flatten_query(&nf, &flat_schema).unwrap();
+        let db = co_core::random_database(&flat_schema, db_seed);
+        let via_nf = eval_comprehension(&nf, &db, &flat_schema).unwrap();
+        let via_tree = tree.evaluate(&db);
+        prop_assert_eq!(via_nf, via_tree, "{}", e);
+    }
+
+    /// Index atoms never collide with data atoms: the active domain of an
+    /// encoded database splits cleanly into payload and fresh indexes.
+    #[test]
+    fn indexes_are_fresh(seed in any::<u64>()) {
+        let (db, schema) = random_typed_db(seed, 2);
+        let Ok(enc) = encode_database(&db, &schema) else { return Ok(()) };
+        // Decode uses only structure; any collision of an index with a data
+        // atom would corrupt the round trip, so this is implied — but check
+        // directly that no index atom appears as a payload of the original.
+        let original_atoms: std::collections::HashSet<co_object::Atom> =
+            collect_atoms(&db.relation(co_cq::RelName::new("N")));
+        for (name, rel) in enc.db.iter() {
+            if name.name().contains('@') {
+                for row in rel.iter() {
+                    // Column 0 of aux relations is the index.
+                    prop_assert!(!original_atoms.contains(&row[0]));
+                }
+            }
+        }
+    }
+}
+
+fn collect_atoms(v: &Value) -> std::collections::HashSet<co_object::Atom> {
+    let mut out = std::collections::HashSet::new();
+    fn walk(v: &Value, out: &mut std::collections::HashSet<co_object::Atom>) {
+        match v {
+            Value::Atom(a) => {
+                out.insert(*a);
+            }
+            Value::Record(r) => r.iter().for_each(|(_, x)| walk(x, out)),
+            Value::Set(s) => s.iter().for_each(|x| walk(x, out)),
+        }
+    }
+    walk(v, &mut out);
+    out
+}

@@ -1,0 +1,243 @@
+//! The COQL abstract syntax.
+//!
+//! COQL — *conjunctive idealized OQL* — is the paper's query language for
+//! complex objects (§3.1, Appendix A): the fragment of OQL restricted to
+//!
+//! * `select E from x1 in E1, …, xn in En where cond` with `cond` a
+//!   conjunction of **equalities over atomic values only**,
+//! * `flatten(E)`,
+//! * the singleton constructor `{E}` and the empty set `{}`,
+//! * record formation `[A1: E1, …, Ak: Ek]` and field projection `E.A`,
+//! * relation names and constants.
+//!
+//! Set difference (`except`), general set-equality conditions, unions, and
+//! multi-element set constructors are deliberately absent — the paper
+//! explains each restriction (allowing set equalities or `{E1, E2}` would
+//! smuggle in difference or union and break conjunctivity). COQL is a
+//! conservative extension of conjunctive queries \[43\] and equals natural
+//! fragments of the Abiteboul–Beeri and Thomas–Fischer algebras (see
+//! `co-algebra`).
+
+use std::fmt;
+
+use co_cq::{RelName, Var};
+use co_object::{Atom, Field, Type};
+
+/// A COQL expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A bound variable.
+    Var(Var),
+    /// An atomic constant.
+    Const(Atom),
+    /// An input relation by name.
+    Rel(RelName),
+    /// Record formation `[A1: E1, …]`.
+    Record(Vec<(Field, Expr)>),
+    /// Field projection `E.A`.
+    Proj(Box<Expr>, Field),
+    /// Singleton set `{E}`.
+    Singleton(Box<Expr>),
+    /// The empty set `{}` with its element type (use [`Type::Bottom`] when
+    /// unknown; flattening requires a concrete shape).
+    EmptySet(Type),
+    /// `flatten(E)`: turns a set of sets into a set.
+    Flatten(Box<Expr>),
+    /// `select head from bindings where conds`.
+    Select {
+        /// The head expression (may reference all bound variables).
+        head: Box<Expr>,
+        /// Generators, evaluated left to right; each may reference earlier
+        /// bindings.
+        bindings: Vec<(Var, Expr)>,
+        /// Conjunction of atomic equalities.
+        conds: Vec<(Expr, Expr)>,
+    },
+}
+
+impl Expr {
+    /// Convenience: a variable by name.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(Var::new(name))
+    }
+
+    /// Convenience: a relation by name.
+    pub fn rel(name: &str) -> Expr {
+        Expr::Rel(RelName::new(name))
+    }
+
+    /// Convenience: an integer constant.
+    pub fn int(i: i64) -> Expr {
+        Expr::Const(Atom::int(i))
+    }
+
+    /// Convenience: a string constant.
+    pub fn str(s: &str) -> Expr {
+        Expr::Const(Atom::str(s))
+    }
+
+    /// Convenience: projection.
+    pub fn proj(self, field: &str) -> Expr {
+        Expr::Proj(Box::new(self), Field::new(field))
+    }
+
+    /// Convenience: singleton.
+    pub fn singleton(self) -> Expr {
+        Expr::Singleton(Box::new(self))
+    }
+
+    /// Convenience: flatten.
+    pub fn flatten(self) -> Expr {
+        Expr::Flatten(Box::new(self))
+    }
+
+    /// Convenience: record formation.
+    pub fn record(fields: Vec<(&str, Expr)>) -> Expr {
+        Expr::Record(fields.into_iter().map(|(n, e)| (Field::new(n), e)).collect())
+    }
+
+    /// The relation names referenced by the expression.
+    pub fn relations(&self) -> Vec<RelName> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Rel(r) = e {
+                out.push(*r);
+            }
+        });
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Visits every subexpression.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Var(_) | Expr::Const(_) | Expr::Rel(_) | Expr::EmptySet(_) => {}
+            Expr::Record(fields) => {
+                for (_, e) in fields {
+                    e.walk(f);
+                }
+            }
+            Expr::Proj(e, _) | Expr::Singleton(e) | Expr::Flatten(e) => e.walk(f),
+            Expr::Select { head, bindings, conds } => {
+                head.walk(f);
+                for (_, e) in bindings {
+                    e.walk(f);
+                }
+                for (a, b) in conds {
+                    a.walk(f);
+                    b.walk(f);
+                }
+            }
+        }
+    }
+
+    /// Size of the expression tree (node count).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Const(a) => write!(f, "{a}"),
+            Expr::Rel(r) => write!(f, "{r}"),
+            Expr::Record(fields) => {
+                write!(f, "[")?;
+                for (i, (name, e)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match e {
+                        Expr::Select { .. } => write!(f, "{name}: ({e})")?,
+                        _ => write!(f, "{name}: {e}")?,
+                    }
+                }
+                write!(f, "]")
+            }
+            Expr::Proj(e, field) => match e.as_ref() {
+                Expr::Var(_) | Expr::Proj(..) => write!(f, "{e}.{field}"),
+                _ => write!(f, "({e}).{field}"),
+            },
+            Expr::Singleton(e) => write!(f, "{{{e}}}"),
+            Expr::EmptySet(_) => write!(f, "{{}}"),
+            Expr::Flatten(e) => write!(f, "flatten({e})"),
+            Expr::Select { head, bindings, conds } => {
+                write!(f, "select {head} from ")?;
+                for (i, (v, e)) in bindings.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match e {
+                        Expr::Select { .. } => write!(f, "{v} in ({e})")?,
+                        _ => write!(f, "{v} in {e}")?,
+                    }
+                }
+                if !conds.is_empty() {
+                    write!(f, " where ")?;
+                    for (i, (a, b)) in conds.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " and ")?;
+                        }
+                        write!(f, "{a} = {b}")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = Expr::Select {
+            head: Box::new(Expr::record(vec![("a", Expr::var("x").proj("A"))])),
+            bindings: vec![(Var::new("x"), Expr::rel("R"))],
+            conds: vec![(Expr::var("x").proj("B"), Expr::int(1))],
+        };
+        assert_eq!(e.to_string(), "select [a: x.A] from x in R where x.B = 1");
+        assert_eq!(e.relations(), vec![RelName::new("R")]);
+    }
+
+    #[test]
+    fn walk_visits_nested_selects() {
+        let inner = Expr::Select {
+            head: Box::new(Expr::var("y").proj("B")),
+            bindings: vec![(Var::new("y"), Expr::rel("S"))],
+            conds: vec![],
+        };
+        let outer = Expr::Select {
+            head: Box::new(inner.clone().singleton().flatten()),
+            bindings: vec![(Var::new("x"), Expr::rel("R"))],
+            conds: vec![],
+        };
+        assert_eq!(outer.relations().len(), 2);
+        assert!(outer.size() > inner.size());
+    }
+
+    #[test]
+    fn display_parenthesizes_select_generators() {
+        let e = Expr::Select {
+            head: Box::new(Expr::var("y")),
+            bindings: vec![(
+                Var::new("y"),
+                Expr::Select {
+                    head: Box::new(Expr::var("x")),
+                    bindings: vec![(Var::new("x"), Expr::rel("R"))],
+                    conds: vec![],
+                },
+            )],
+            conds: vec![],
+        };
+        assert_eq!(e.to_string(), "select y from y in (select x from x in R)");
+    }
+}

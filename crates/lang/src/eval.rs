@@ -1,0 +1,291 @@
+//! The COQL evaluator (comprehension semantics of \[7\]).
+//!
+//! Evaluation is over a [`CoDatabase`] — relation names bound to
+//! complex-object values. The semantics is the standard set-monad
+//! comprehension semantics: `select H from x in E where C` is
+//! `{ H(x) | x ∈ E, C(x) }`. This evaluator is the *reference semantics*
+//! against which normalization, flattening, and the containment deciders
+//! are validated.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use co_cq::{Database, RelName, Schema, Var};
+use co_object::Value;
+
+use crate::ast::Expr;
+
+/// A database of complex objects: relation name → (set) value.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoDatabase {
+    relations: BTreeMap<RelName, Value>,
+}
+
+impl CoDatabase {
+    /// The empty database.
+    pub fn new() -> CoDatabase {
+        CoDatabase::default()
+    }
+
+    /// Binds a relation name to a set value.
+    pub fn insert(&mut self, name: &str, value: Value) {
+        assert!(value.as_set().is_some(), "relation `{name}` must be a set value");
+        self.relations.insert(RelName::new(name), value);
+    }
+
+    /// Builder-style [`CoDatabase::insert`].
+    pub fn with(mut self, name: &str, value: Value) -> CoDatabase {
+        self.insert(name, value);
+        self
+    }
+
+    /// Reads a relation; absent relations read as the empty set.
+    pub fn relation(&self, name: RelName) -> Value {
+        self.relations.get(&name).cloned().unwrap_or_else(Value::empty_set)
+    }
+
+    /// Imports a flat relational database under a flat schema.
+    pub fn from_flat(db: &Database, schema: &Schema) -> CoDatabase {
+        let mut out = CoDatabase::new();
+        for rel in schema.iter() {
+            if let Some(v) = db.relation_as_value(schema, rel.name) {
+                out.relations.insert(rel.name, v);
+            }
+        }
+        out
+    }
+
+    /// Iterates over relations in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RelName, &Value)> {
+        self.relations.iter()
+    }
+}
+
+/// A runtime evaluation error (ill-typed program reaching the evaluator).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl EvalError {
+    fn new(message: impl Into<String>) -> EvalError {
+        EvalError { message: message.into() }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates a closed COQL expression.
+pub fn evaluate(expr: &Expr, db: &CoDatabase) -> Result<Value, EvalError> {
+    eval(expr, db, &BTreeMap::new())
+}
+
+/// Evaluates an expression under an initial variable environment (used by
+/// the algebra `map` operator, whose body has one free variable).
+pub fn evaluate_with_env(
+    expr: &Expr,
+    db: &CoDatabase,
+    env: &BTreeMap<Var, Value>,
+) -> Result<Value, EvalError> {
+    eval(expr, db, env)
+}
+
+fn eval(expr: &Expr, db: &CoDatabase, env: &BTreeMap<Var, Value>) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Const(a) => Ok(Value::Atom(*a)),
+        Expr::Var(v) => env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| EvalError::new(format!("unbound variable `{v}`"))),
+        Expr::Rel(r) => Ok(db.relation(*r)),
+        Expr::Record(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (name, e) in fields {
+                out.push((*name, eval(e, db, env)?));
+            }
+            Value::record(out).map_err(|e| EvalError::new(e.to_string()))
+        }
+        Expr::Proj(e, field) => {
+            let v = eval(e, db, env)?;
+            v.as_record()
+                .and_then(|r| r.get(*field).cloned())
+                .ok_or_else(|| EvalError::new(format!("no field `{field}` in {v}")))
+        }
+        Expr::Singleton(e) => Ok(Value::singleton(eval(e, db, env)?)),
+        Expr::EmptySet(_) => Ok(Value::empty_set()),
+        Expr::Flatten(e) => {
+            let v = eval(e, db, env)?;
+            let outer = v
+                .as_set()
+                .ok_or_else(|| EvalError::new(format!("flatten of non-set {v}")))?;
+            let mut elems = Vec::new();
+            for inner in outer.iter() {
+                let s = inner
+                    .as_set()
+                    .ok_or_else(|| EvalError::new(format!("flatten of set of non-sets {v}")))?;
+                elems.extend(s.iter().cloned());
+            }
+            Ok(Value::set(elems))
+        }
+        Expr::Select { head, bindings, conds } => {
+            let mut results = Vec::new();
+            select_rec(head, bindings, conds, db, env.clone(), &mut results)?;
+            Ok(Value::set(results))
+        }
+    }
+}
+
+fn select_rec(
+    head: &Expr,
+    bindings: &[(Var, Expr)],
+    conds: &[(Expr, Expr)],
+    db: &CoDatabase,
+    env: BTreeMap<Var, Value>,
+    out: &mut Vec<Value>,
+) -> Result<(), EvalError> {
+    match bindings.split_first() {
+        None => {
+            for (a, b) in conds {
+                let va = eval(a, db, &env)?;
+                let vb = eval(b, db, &env)?;
+                if va.as_atom().is_none() || vb.as_atom().is_none() {
+                    return Err(EvalError::new(format!(
+                        "non-atomic equality {va} = {vb} (ill-typed query)"
+                    )));
+                }
+                if va != vb {
+                    return Ok(());
+                }
+            }
+            out.push(eval(head, db, &env)?);
+            Ok(())
+        }
+        Some(((v, gen), rest)) => {
+            let set = eval(gen, db, &env)?;
+            let set = set
+                .as_set()
+                .ok_or_else(|| EvalError::new(format!("generator `{v}` over non-set")))?;
+            for elem in set.iter() {
+                let mut env2 = env.clone();
+                env2.insert(*v, elem.clone());
+                select_rec(head, rest, conds, db, env2, out)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_object::parse_value;
+
+    fn db() -> CoDatabase {
+        CoDatabase::new()
+            .with("R", parse_value("{[A: 1, B: 10], [A: 1, B: 11], [A: 2, B: 20]}").unwrap())
+            .with("S", parse_value("{10, 11}").unwrap())
+    }
+
+    #[test]
+    fn select_projects_and_filters() {
+        let e = Expr::Select {
+            head: Box::new(Expr::var("x").proj("B")),
+            bindings: vec![(Var::new("x"), Expr::rel("R"))],
+            conds: vec![(Expr::var("x").proj("A"), Expr::int(1))],
+        };
+        assert_eq!(evaluate(&e, &db()).unwrap().to_string(), "{10, 11}");
+    }
+
+    #[test]
+    fn nested_select_builds_groups() {
+        // select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R
+        let inner = Expr::Select {
+            head: Box::new(Expr::var("y").proj("B")),
+            bindings: vec![(Var::new("y"), Expr::rel("R"))],
+            conds: vec![(Expr::var("y").proj("A"), Expr::var("x").proj("A"))],
+        };
+        let outer = Expr::Select {
+            head: Box::new(Expr::record(vec![("a", Expr::var("x").proj("A")), ("g", inner)])),
+            bindings: vec![(Var::new("x"), Expr::rel("R"))],
+            conds: vec![],
+        };
+        let v = evaluate(&outer, &db()).unwrap();
+        assert_eq!(v.to_string(), "{[a: 1, g: {10, 11}], [a: 2, g: {20}]}");
+    }
+
+    #[test]
+    fn cartesian_product_via_two_generators() {
+        let e = Expr::Select {
+            head: Box::new(Expr::record(vec![
+                ("l", Expr::var("x").proj("A")),
+                ("r", Expr::var("s")),
+            ])),
+            bindings: vec![(Var::new("x"), Expr::rel("R")), (Var::new("s"), Expr::rel("S"))],
+            conds: vec![],
+        };
+        let v = evaluate(&e, &db()).unwrap();
+        // 2 distinct A values × 2 S atoms = 4 records.
+        assert_eq!(v.as_set().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn empty_generator_gives_empty_result() {
+        let e = Expr::Select {
+            head: Box::new(Expr::var("x")),
+            bindings: vec![(Var::new("x"), Expr::rel("Missing"))],
+            conds: vec![],
+        };
+        assert_eq!(evaluate(&e, &db()).unwrap(), Value::empty_set());
+    }
+
+    #[test]
+    fn flatten_and_singleton() {
+        let e = Expr::rel("S").singleton().flatten();
+        assert_eq!(evaluate(&e, &db()).unwrap().to_string(), "{10, 11}");
+        let e2 = Expr::int(5).singleton();
+        assert_eq!(evaluate(&e2, &db()).unwrap().to_string(), "{5}");
+        assert_eq!(
+            evaluate(&Expr::EmptySet(co_object::Type::Bottom), &db()).unwrap(),
+            Value::empty_set()
+        );
+    }
+
+    #[test]
+    fn later_generators_see_earlier_bindings() {
+        // select y from x in {S}, y in x  — x is bound to the set S itself.
+        let e = Expr::Select {
+            head: Box::new(Expr::var("y")),
+            bindings: vec![
+                (Var::new("x"), Expr::rel("S").singleton()),
+                (Var::new("y"), Expr::var("x")),
+            ],
+            conds: vec![],
+        };
+        assert_eq!(evaluate(&e, &db()).unwrap().to_string(), "{10, 11}");
+    }
+
+    #[test]
+    fn flat_import_matches_relational_view() {
+        let schema = Schema::with_relations(&[("T", &["A"])]);
+        let flat = Database::from_ints(&[("T", &[&[7], &[8]])]);
+        let codb = CoDatabase::from_flat(&flat, &schema);
+        assert_eq!(codb.relation(RelName::new("T")).to_string(), "{[A: 7], [A: 8]}");
+    }
+
+    #[test]
+    fn evaluation_errors_are_reported() {
+        let e = Expr::var("free");
+        assert!(evaluate(&e, &db()).is_err());
+        let e2 = Expr::int(1).flatten();
+        assert!(evaluate(&e2, &db()).is_err());
+        let e3 = Expr::int(1).proj("A");
+        assert!(evaluate(&e3, &db()).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! # co-lang — COQL, the conjunctive query language for complex objects
+//!
+//! §3.1 and Appendix A of *Levy & Suciu, PODS 1997*: **COQL** (conjunctive
+//! idealized OQL) is the fragment of OQL with `select‥from‥where` over
+//! atomic equalities, `flatten`, singletons `{E}`, and the empty set `{}`.
+//! It is the complex-object analogue of conjunctive queries: a conservative
+//! extension of them \[43\], and equivalent to natural fragments of the
+//! Abiteboul–Beeri and Thomas–Fischer algebras (see `co-algebra`).
+//!
+//! This crate provides the language end to end:
+//!
+//! * [`Expr`] — the AST, with builders and a pretty-printer;
+//! * [`parse_coql`] — a concrete syntax;
+//! * [`type_check`] over a [`CoqlSchema`] of complex-object relation types;
+//! * [`evaluate`] — the reference comprehension semantics over a
+//!   [`CoDatabase`] of complex objects;
+//! * [`normalize()`] — rewriting into comprehension normal form (one
+//!   conjunctive query per set node), the first half of the paper's §5
+//!   flattening, with [`eval_comprehension`] as its semantic cross-check.
+//!
+//! ```
+//! use co_lang::{parse_coql, evaluate, CoDatabase};
+//! use co_object::parse_value;
+//!
+//! let db = CoDatabase::new()
+//!     .with("R", parse_value("{[A: 1, B: 10], [A: 1, B: 11], [A: 2, B: 20]}").unwrap());
+//! let q = parse_coql(
+//!     "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R",
+//! ).unwrap();
+//! let result = evaluate(&q, &db).unwrap();
+//! assert_eq!(result.to_string(), "{[a: 1, g: {10, 11}], [a: 2, g: {20}]}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod emptiness;
+pub mod eval;
+pub mod normalize;
+pub mod parse;
+pub mod types;
+
+pub use ast::Expr;
+pub use emptiness::{empty_set_status, EmptySetStatus};
+pub use eval::{evaluate, evaluate_with_env, CoDatabase, EvalError};
+pub use normalize::{
+    eval_comprehension, normalize, AtomTerm, Comprehension, NormError, NormalValue,
+};
+pub use parse::{parse_coql, ParseError};
+pub use types::{type_check, type_check_with_env, CoqlSchema, TypeError};

@@ -1,0 +1,341 @@
+//! Parser for the COQL concrete syntax.
+//!
+//! ```text
+//! select [a: x.A, g: (select y.B from y in R where y.A = x.A)]
+//! from x in R
+//! where x.A = 'c' and x.B = 3
+//! ```
+//!
+//! Conventions:
+//! * identifiers starting with an **uppercase** letter are relation names
+//!   (OQL style: `R`, `Emp`); lowercase identifiers are variables;
+//! * constants are integers or `'quoted strings'`;
+//! * `{E}` is a singleton, `{}` the empty set, `flatten(E)` flattening;
+//! * `where` takes `and`-separated atomic equalities.
+
+use std::fmt;
+
+use co_cq::Var;
+use co_object::{Atom, Field, Type};
+
+use crate::ast::Expr;
+
+/// A parse error with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "COQL parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a COQL expression.
+pub fn parse_coql(input: &str) -> Result<Expr, ParseError> {
+    let mut p = P { s: input.as_bytes(), pos: 0 };
+    p.ws();
+    let e = p.expr()?;
+    p.ws();
+    if p.pos != p.s.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+struct P<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, m: &str) -> ParseError {
+        ParseError { position: self.pos, message: m.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    /// Consumes a keyword if present at a word boundary.
+    fn keyword(&mut self, word: &str) -> bool {
+        let bytes = word.as_bytes();
+        if !self.s[self.pos..].starts_with(bytes) {
+            return false;
+        }
+        let after = self.s.get(self.pos + bytes.len()).copied();
+        if after.is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            return false;
+        }
+        self.pos += bytes.len();
+        true
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        if !self.peek().is_some_and(|c| c.is_ascii_alphabetic() || c == b'_') {
+            return Err(self.err("expected identifier"));
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        Ok(std::str::from_utf8(&self.s[start..self.pos]).expect("ascii").to_string())
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.ws();
+        if self.keyword("select") {
+            return self.select();
+        }
+        if self.keyword("flatten") {
+            self.ws();
+            self.expect(b'(')?;
+            let e = self.expr()?;
+            self.ws();
+            self.expect(b')')?;
+            return Ok(e.flatten());
+        }
+        self.postfix()
+    }
+
+    fn select(&mut self) -> Result<Expr, ParseError> {
+        let head = self.expr()?;
+        self.ws();
+        if !self.keyword("from") {
+            return Err(self.err("expected `from`"));
+        }
+        let mut bindings = Vec::new();
+        loop {
+            self.ws();
+            let name = self.ident()?;
+            self.ws();
+            if !self.keyword("in") {
+                return Err(self.err("expected `in`"));
+            }
+            let gen = self.expr()?;
+            bindings.push((Var::new(&name), gen));
+            self.ws();
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let mut conds = Vec::new();
+        self.ws();
+        if self.keyword("where") {
+            loop {
+                let lhs = self.expr()?;
+                self.ws();
+                self.expect(b'=')?;
+                let rhs = self.expr()?;
+                conds.push((lhs, rhs));
+                self.ws();
+                if !self.keyword("and") {
+                    break;
+                }
+            }
+        }
+        Ok(Expr::Select { head: Box::new(head), bindings, conds })
+    }
+
+    /// Primary expression followed by `.field` projections.
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                let field = self.ident()?;
+                e = Expr::Proj(Box::new(e), Field::new(&field));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        self.ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.ws();
+                self.expect(b')')?;
+                Ok(e)
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Expr::Record(fields));
+                }
+                loop {
+                    self.ws();
+                    let name = self.ident()?;
+                    self.ws();
+                    self.expect(b':')?;
+                    let e = self.expr()?;
+                    fields.push((Field::new(&name), e));
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+                Ok(Expr::Record(fields))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Expr::EmptySet(Type::Bottom));
+                }
+                let e = self.expr()?;
+                self.ws();
+                self.expect(b'}')?;
+                Ok(e.singleton())
+            }
+            Some(b'\'') => {
+                self.pos += 1;
+                let mut bytes = Vec::new();
+                loop {
+                    match self.peek() {
+                        Some(b'\'') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(c) => {
+                            bytes.push(c);
+                            self.pos += 1;
+                        }
+                        None => return Err(self.err("unterminated string")),
+                    }
+                }
+                let out = String::from_utf8(bytes)
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                Ok(Expr::Const(Atom::str(&out)))
+            }
+            Some(c) if c.is_ascii_digit() || c == b'-' => {
+                let start = self.pos;
+                if c == b'-' {
+                    self.pos += 1;
+                }
+                while self.peek().is_some_and(|d| d.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.s[start..self.pos]).expect("ascii");
+                let n: i64 = text.parse().map_err(|_| self.err("invalid integer"))?;
+                Ok(Expr::Const(Atom::int(n)))
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let name = self.ident()?;
+                let first = name.chars().next().expect("non-empty");
+                if first.is_ascii_uppercase() {
+                    Ok(Expr::Rel(co_cq::RelName::new(&name)))
+                } else {
+                    Ok(Expr::Var(Var::new(&name)))
+                }
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_headline_example() {
+        let src = "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] \
+                   from x in R where x.A = 'c' and x.B = 3";
+        let e = parse_coql(src).unwrap();
+        match &e {
+            Expr::Select { bindings, conds, .. } => {
+                assert_eq!(bindings.len(), 1);
+                assert_eq!(conds.len(), 2);
+            }
+            other => panic!("expected select, got {other}"),
+        }
+    }
+
+    #[test]
+    fn case_determines_relation_vs_variable() {
+        assert!(matches!(parse_coql("R").unwrap(), Expr::Rel(_)));
+        assert!(matches!(parse_coql("x").unwrap(), Expr::Var(_)));
+    }
+
+    #[test]
+    fn sets_and_flatten() {
+        assert!(matches!(parse_coql("{}").unwrap(), Expr::EmptySet(_)));
+        assert!(matches!(parse_coql("{1}").unwrap(), Expr::Singleton(_)));
+        assert!(matches!(parse_coql("flatten({R})").unwrap(), Expr::Flatten(_)));
+    }
+
+    #[test]
+    fn projections_chain() {
+        let e = parse_coql("x.A.B").unwrap();
+        assert_eq!(e.to_string(), "x.A.B");
+    }
+
+    #[test]
+    fn keywords_need_boundaries() {
+        // `selector` is an identifier, not `select` + `or`.
+        assert!(matches!(parse_coql("selector").unwrap(), Expr::Var(_)));
+        // `fromage` inside a select must not terminate the head.
+        let e = parse_coql("select fromage from x in R");
+        assert!(e.is_ok());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let sources = [
+            "select [a: x.A] from x in R where x.B = 1",
+            "select y.B from y in R, z in S where y.A = z.A",
+            "flatten(select {x.A} from x in R)",
+            "{[a: 1, b: {2}]}",
+        ];
+        for src in sources {
+            let e = parse_coql(src).unwrap();
+            let e2 = parse_coql(&e.to_string()).unwrap();
+            assert_eq!(e, e2, "{src}");
+        }
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        assert!(parse_coql("select x from").is_err());
+        assert!(parse_coql("select x from x R").is_err());
+        assert!(parse_coql("[a 1]").is_err());
+        assert!(parse_coql("x.").is_err());
+        assert!(parse_coql("{1, 2}").is_err(), "multi-element sets are not COQL");
+    }
+}

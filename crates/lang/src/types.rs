@@ -1,0 +1,268 @@
+//! Type checking for COQL.
+//!
+//! COQL is typed over complex-object types. A [`CoqlSchema`] declares the
+//! (set) type of every input relation; [`type_check`] computes an
+//! expression's type or reports a positioned error. Equality conditions are
+//! restricted to atomic types — the paper's crucial restriction that keeps
+//! the language conjunctive (set equality would express difference \[7\]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use co_cq::{RelName, Schema, Var};
+use co_object::Type;
+
+use crate::ast::Expr;
+
+/// Relation name → (set) type of the relation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoqlSchema {
+    relations: BTreeMap<RelName, Type>,
+}
+
+impl CoqlSchema {
+    /// The empty schema.
+    pub fn new() -> CoqlSchema {
+        CoqlSchema::default()
+    }
+
+    /// Declares a relation; its type must be a set type.
+    pub fn add(&mut self, name: &str, ty: Type) {
+        assert!(matches!(ty, Type::Set(_)), "relation `{name}` must have a set type");
+        self.relations.insert(RelName::new(name), ty);
+    }
+
+    /// Builder-style [`CoqlSchema::add`].
+    pub fn with(mut self, name: &str, ty: Type) -> CoqlSchema {
+        self.add(name, ty);
+        self
+    }
+
+    /// Imports a flat relational schema: every relation becomes a set of
+    /// records of atoms.
+    pub fn from_flat(schema: &Schema) -> CoqlSchema {
+        let mut s = CoqlSchema::new();
+        for rel in schema.iter() {
+            s.relations.insert(rel.name, Type::flat_relation(&rel.attrs));
+        }
+        s
+    }
+
+    /// The type of a relation.
+    pub fn relation(&self, name: RelName) -> Option<&Type> {
+        self.relations.get(&name)
+    }
+
+    /// Whether every declared relation is flat (§5's standing assumption
+    /// for the containment algorithm).
+    pub fn is_flat(&self) -> bool {
+        self.relations.values().all(Type::is_flat_relation)
+    }
+
+    /// Iterates over declared relations in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RelName, &Type)> {
+        self.relations.iter()
+    }
+}
+
+/// A COQL type error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl TypeError {
+    fn new(message: impl Into<String>) -> TypeError {
+        TypeError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Computes the type of a closed COQL expression.
+pub fn type_check(expr: &Expr, schema: &CoqlSchema) -> Result<Type, TypeError> {
+    infer(expr, schema, &BTreeMap::new())
+}
+
+/// Computes the type of an expression under a variable typing environment
+/// (used by the algebra translations, whose bodies have free variables).
+pub fn type_check_with_env(
+    expr: &Expr,
+    schema: &CoqlSchema,
+    env: &BTreeMap<Var, Type>,
+) -> Result<Type, TypeError> {
+    infer(expr, schema, env)
+}
+
+fn infer(expr: &Expr, schema: &CoqlSchema, env: &BTreeMap<Var, Type>) -> Result<Type, TypeError> {
+    match expr {
+        Expr::Const(_) => Ok(Type::Atom),
+        Expr::Var(v) => env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| TypeError::new(format!("unbound variable `{v}`"))),
+        Expr::Rel(r) => schema
+            .relation(*r)
+            .cloned()
+            .ok_or_else(|| TypeError::new(format!("unknown relation `{r}`"))),
+        Expr::Record(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (name, e) in fields {
+                out.push((*name, infer(e, schema, env)?));
+            }
+            let mut sorted = out.clone();
+            sorted.sort_by_key(|(f, _)| *f);
+            for w in sorted.windows(2) {
+                if w[0].0 == w[1].0 {
+                    return Err(TypeError::new(format!("duplicate record field `{}`", w[0].0)));
+                }
+            }
+            Ok(Type::Record(sorted))
+        }
+        Expr::Proj(e, field) => {
+            let t = infer(e, schema, env)?;
+            t.field(*field)
+                .cloned()
+                .ok_or_else(|| TypeError::new(format!("no field `{field}` in type {t}")))
+        }
+        Expr::Singleton(e) => Ok(Type::set(infer(e, schema, env)?)),
+        Expr::EmptySet(elem) => Ok(Type::set(elem.clone())),
+        Expr::Flatten(e) => {
+            let t = infer(e, schema, env)?;
+            match t {
+                Type::Set(inner) => match *inner {
+                    Type::Set(elem) => Ok(Type::Set(elem)),
+                    Type::Bottom => Ok(Type::set(Type::Bottom)),
+                    other => {
+                        Err(TypeError::new(format!("flatten expects a set of sets, found {{{other}}}")))
+                    }
+                },
+                other => Err(TypeError::new(format!("flatten expects a set, found {other}"))),
+            }
+        }
+        Expr::Select { head, bindings, conds } => {
+            let mut env = env.clone();
+            for (v, e) in bindings {
+                let t = infer(e, schema, &env)?;
+                match t {
+                    Type::Set(elem) => {
+                        env.insert(*v, *elem);
+                    }
+                    other => {
+                        return Err(TypeError::new(format!(
+                            "generator `{v}` ranges over non-set type {other}"
+                        )))
+                    }
+                }
+            }
+            for (a, b) in conds {
+                let ta = infer(a, schema, &env)?;
+                let tb = infer(b, schema, &env)?;
+                let atomic = |t: &Type| matches!(t, Type::Atom | Type::Bottom);
+                if !atomic(&ta) || !atomic(&tb) {
+                    return Err(TypeError::new(format!(
+                        "equality over non-atomic types {ta} = {tb} (COQL restricts \
+                         conditions to atomic equalities)"
+                    )));
+                }
+            }
+            Ok(Type::set(infer(head, schema, &env)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_object::Field;
+
+    fn schema() -> CoqlSchema {
+        CoqlSchema::new()
+            .with(
+                "R",
+                Type::flat_relation(&[Field::new("A"), Field::new("B")]),
+            )
+            .with("S", Type::set(Type::Atom))
+    }
+
+    #[test]
+    fn select_types_head_under_bindings() {
+        let e = Expr::Select {
+            head: Box::new(Expr::var("x").proj("A")),
+            bindings: vec![(Var::new("x"), Expr::rel("R"))],
+            conds: vec![],
+        };
+        assert_eq!(type_check(&e, &schema()).unwrap(), Type::set(Type::Atom));
+    }
+
+    #[test]
+    fn nested_select_produces_nested_type() {
+        let inner = Expr::Select {
+            head: Box::new(Expr::var("y").proj("B")),
+            bindings: vec![(Var::new("y"), Expr::rel("R"))],
+            conds: vec![(Expr::var("y").proj("A"), Expr::var("x").proj("A"))],
+        };
+        let outer = Expr::Select {
+            head: Box::new(Expr::record(vec![("a", Expr::var("x").proj("A")), ("g", inner)])),
+            bindings: vec![(Var::new("x"), Expr::rel("R"))],
+            conds: vec![],
+        };
+        let t = type_check(&outer, &schema()).unwrap();
+        assert_eq!(t.set_depth(), 2);
+    }
+
+    #[test]
+    fn set_equality_is_rejected() {
+        // where x = S  (set-typed equality) must be a type error.
+        let e = Expr::Select {
+            head: Box::new(Expr::var("x")),
+            bindings: vec![(Var::new("x"), Expr::rel("S"))],
+            conds: vec![(Expr::rel("S"), Expr::rel("S"))],
+        };
+        let err = type_check(&e, &schema()).unwrap_err();
+        assert!(err.message.contains("atomic"), "{err}");
+    }
+
+    #[test]
+    fn generator_over_non_set_rejected() {
+        let e = Expr::Select {
+            head: Box::new(Expr::var("x")),
+            bindings: vec![(Var::new("x"), Expr::int(3))],
+            conds: vec![],
+        };
+        assert!(type_check(&e, &schema()).is_err());
+    }
+
+    #[test]
+    fn unbound_and_unknown_are_errors() {
+        assert!(type_check(&Expr::var("nope"), &schema()).is_err());
+        assert!(type_check(&Expr::rel("T"), &schema()).is_err());
+        let e = Expr::var("x").proj("Z");
+        assert!(type_check(&e, &schema()).is_err());
+    }
+
+    #[test]
+    fn flatten_typing() {
+        let e = Expr::rel("R").singleton().flatten();
+        assert_eq!(type_check(&e, &schema()).unwrap(), schema().relation(RelName::new("R")).unwrap().clone());
+        assert!(type_check(&Expr::rel("S").flatten(), &schema()).is_err());
+        // flatten({}) is the (bottom-element) empty set of sets.
+        let t = type_check(&Expr::EmptySet(Type::Bottom).flatten(), &schema()).unwrap();
+        assert_eq!(t, Type::set(Type::Bottom));
+    }
+
+    #[test]
+    fn flat_schema_import() {
+        let flat = Schema::with_relations(&[("R", &["A", "B"])]);
+        let s = CoqlSchema::from_flat(&flat);
+        assert!(s.is_flat());
+        assert!(s.relation(RelName::new("R")).is_some());
+    }
+}

@@ -1,0 +1,129 @@
+//! Edge cases for the COQL front end.
+
+use co_lang::{
+    evaluate, normalize, parse_coql, type_check, CoDatabase, CoqlSchema, Expr,
+};
+use co_object::{parse_value, Field, Type, Value};
+
+fn schema() -> CoqlSchema {
+    CoqlSchema::new()
+        .with("R", Type::flat_relation(&[Field::new("A"), Field::new("B")]))
+        .with("Nums", Type::set(Type::Atom))
+}
+
+fn db() -> CoDatabase {
+    CoDatabase::new()
+        .with("R", parse_value("{[A: 1, B: 10], [A: 2, B: 20]}").unwrap())
+        .with("Nums", parse_value("{10, 20, 30}").unwrap())
+}
+
+#[test]
+fn multiline_queries_parse() {
+    let src = "select [a: x.A,\n        g: (select y.B\n            from y in R\n            where y.A = x.A)]\nfrom x in R\nwhere x.B = 10";
+    let e = parse_coql(src).unwrap();
+    let v = evaluate(&e, &db()).unwrap();
+    assert_eq!(v.to_string(), "{[a: 1, g: {10}]}");
+}
+
+#[test]
+fn generators_over_atom_relations() {
+    let e = parse_coql("select n from n in Nums where n = 20").unwrap();
+    assert_eq!(type_check(&e, &schema()).unwrap(), Type::set(Type::Atom));
+    assert_eq!(evaluate(&e, &db()).unwrap().to_string(), "{20}");
+    // Normalization handles atom-element relations too.
+    let nf = normalize(&e, &schema()).unwrap();
+    let flat = co_cq::Schema::with_relations(&[("R", &["A", "B"]), ("Nums", &["val"])]);
+    let flat_db = co_cq::Database::from_ints(&[("Nums", &[&[10], &[20], &[30]])]);
+    let via = co_lang::eval_comprehension(&nf, &flat_db, &flat).unwrap();
+    assert_eq!(via.to_string(), "{20}");
+}
+
+#[test]
+fn parenthesized_select_as_generator() {
+    let e = parse_coql("select z from z in (select x.B from x in R)").unwrap();
+    assert_eq!(evaluate(&e, &db()).unwrap().to_string(), "{10, 20}");
+}
+
+#[test]
+fn deep_projection_requires_record_types() {
+    let e = parse_coql("select x.A.A from x in R").unwrap();
+    assert!(type_check(&e, &schema()).is_err());
+}
+
+#[test]
+fn shadowing_rebinding_in_nested_selects() {
+    // The inner `x` shadows the outer one; semantics must use the inner.
+    let e = parse_coql(
+        "select [outer: x.A, inner: (select x.B from x in R)] from x in R",
+    )
+    .unwrap();
+    let v = evaluate(&e, &db()).unwrap();
+    // Every element's `inner` is the full B-set.
+    for elem in v.as_set().unwrap().iter() {
+        let inner = elem.as_record().unwrap().get(Field::new("inner")).unwrap();
+        assert_eq!(inner.to_string(), "{10, 20}");
+    }
+}
+
+#[test]
+fn where_clause_between_bound_variables() {
+    let e = parse_coql("select [l: x.A, r: y.A] from x in R, y in R where x.B = y.B").unwrap();
+    let v = evaluate(&e, &db()).unwrap();
+    // Only the diagonal pairs survive.
+    assert_eq!(v.as_set().unwrap().len(), 2);
+}
+
+#[test]
+fn constants_of_both_kinds_in_conditions() {
+    let e = parse_coql("select x.A from x in R where x.B = 10 and 1 = 1").unwrap();
+    assert_eq!(evaluate(&e, &db()).unwrap().to_string(), "{1}");
+    let never = parse_coql("select x.A from x in R where 1 = 2").unwrap();
+    assert_eq!(evaluate(&never, &db()).unwrap(), Value::empty_set());
+}
+
+#[test]
+fn type_errors_cover_every_construct() {
+    let cases = [
+        ("select x from x in 3", "non-set"),
+        ("select x.Z from x in R", "no field"),
+        ("select x from x in R where x = x", "atomic"),
+        ("flatten(R)", "set of sets"),
+        ("select y from y in Missing", "unknown relation"),
+    ];
+    for (src, needle) in cases {
+        let e = parse_coql(src).unwrap();
+        let err = type_check(&e, &schema()).unwrap_err();
+        assert!(
+            err.message.to_lowercase().contains(&needle.to_lowercase()),
+            "{src}: expected `{needle}` in `{err}`"
+        );
+    }
+}
+
+#[test]
+fn duplicate_record_fields_rejected() {
+    let e = Expr::Record(vec![
+        (Field::new("a"), Expr::int(1)),
+        (Field::new("a"), Expr::int(2)),
+    ]);
+    assert!(type_check(&e, &schema()).is_err());
+    assert!(evaluate(&e, &db()).is_err());
+}
+
+#[test]
+fn empty_relation_reads_as_empty_set() {
+    let e = parse_coql("select x.A from x in Absent").unwrap();
+    // Type checking rejects undeclared relations…
+    assert!(type_check(&e, &schema()).is_err());
+    // …but the evaluator treats them as empty (monotone default): the
+    // projection inside the head is never reached.
+    assert_eq!(evaluate(&e, &db()).unwrap(), Value::empty_set());
+}
+
+#[test]
+fn normalization_rejects_nested_schema() {
+    let nested = CoqlSchema::new().with("P", Type::set(Type::set(Type::Atom)));
+    let e = parse_coql("select x from x in P").unwrap();
+    let err = normalize(&e, &nested).unwrap_err();
+    assert!(err.message.contains("flat"), "{err}");
+}

@@ -1,0 +1,182 @@
+//! Property tests for COQL: type soundness, normalization correctness,
+//! and parser round-trips, over randomly generated expressions.
+
+use std::collections::BTreeMap;
+
+use co_cq::{Database, Schema, Var};
+use co_lang::{
+    eval_comprehension, evaluate, normalize, parse_coql, type_check, CoDatabase, CoqlSchema,
+    Expr,
+};
+use co_object::check_type;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn flat_schema() -> Schema {
+    Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])])
+}
+
+/// A random well-typed COQL query over the fixed flat schema. Generates
+/// selects with 1–2 generators, equality conditions, and with probability
+/// a nested select / singleton / empty set in the head.
+fn random_expr(seed: u64) -> Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = Var::new("x");
+    let y = Var::new("y");
+
+    let mut bindings = vec![(x, Expr::rel("R"))];
+    let mut conds = Vec::new();
+    if rng.gen_bool(0.4) {
+        bindings.push((y, Expr::rel("S")));
+        if rng.gen_bool(0.6) {
+            conds.push((Expr::var("y").proj("C"), Expr::var("x").proj("B")));
+        }
+    }
+    if rng.gen_bool(0.3) {
+        conds.push((Expr::var("x").proj("A"), Expr::int(rng.gen_range(0..3))));
+    }
+
+    let atom_head = if rng.gen_bool(0.5) {
+        Expr::var("x").proj("A")
+    } else {
+        Expr::var("x").proj("B")
+    };
+    let head = match rng.gen_range(0..5) {
+        0 => atom_head,
+        1 => Expr::record(vec![("a", atom_head), ("b", Expr::var("x").proj("B"))]),
+        2 => Expr::record(vec![("a", atom_head.clone()), ("s", atom_head.singleton())]),
+        3 => {
+            let z = Var::new("z");
+            let inner = Expr::Select {
+                head: Box::new(Expr::var("z").proj("C")),
+                bindings: vec![(z, Expr::rel("S"))],
+                conds: if rng.gen_bool(0.7) {
+                    vec![(Expr::var("z").proj("C"), Expr::var("x").proj("B"))]
+                } else {
+                    vec![]
+                },
+            };
+            Expr::record(vec![("a", atom_head), ("g", inner)])
+        }
+        _ => Expr::record(vec![
+            ("a", atom_head),
+            ("e", Expr::EmptySet(co_object::Type::Bottom)),
+        ]),
+    };
+    Expr::Select { head: Box::new(head), bindings, conds }
+}
+
+fn random_db(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let mut db = Database::new();
+    for _ in 0..rng.gen_range(0..6) {
+        db.insert(
+            co_cq::RelName::new("R"),
+            vec![
+                co_object::Atom::int(rng.gen_range(0..3)),
+                co_object::Atom::int(rng.gen_range(0..3)),
+            ],
+        );
+    }
+    for _ in 0..rng.gen_range(0..4) {
+        db.insert(co_cq::RelName::new("S"), vec![co_object::Atom::int(rng.gen_range(0..3))]);
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Type soundness: evaluation produces a value of the inferred type.
+    #[test]
+    fn evaluation_respects_types(seed in any::<u64>(), db_seed in any::<u64>()) {
+        let schema = flat_schema();
+        let coql_schema = CoqlSchema::from_flat(&schema);
+        let e = random_expr(seed);
+        let ty = type_check(&e, &coql_schema).unwrap_or_else(|err| panic!("{e}: {err}"));
+        let db = CoDatabase::from_flat(&random_db(db_seed), &schema);
+        let v = evaluate(&e, &db).unwrap_or_else(|err| panic!("{e}: {err}"));
+        prop_assert!(check_type(&v, &ty).is_ok(), "{e} : {ty} but value {v}");
+    }
+
+    /// Normalization preserves semantics (the monad-law rewrites).
+    #[test]
+    fn normalization_preserves_semantics(seed in any::<u64>(), db_seed in any::<u64>()) {
+        let schema = flat_schema();
+        let coql_schema = CoqlSchema::from_flat(&schema);
+        let e = random_expr(seed);
+        let nf = normalize(&e, &coql_schema).unwrap_or_else(|err| panic!("{e}: {err}"));
+        let flat_db = random_db(db_seed);
+        let direct = evaluate(&e, &CoDatabase::from_flat(&flat_db, &schema)).unwrap();
+        let via_nf = eval_comprehension(&nf, &flat_db, &schema).unwrap();
+        prop_assert_eq!(direct, via_nf, "{}", e);
+    }
+
+    /// Display → parse is the identity on ASTs (modulo nothing: the
+    /// printer emits the grammar exactly).
+    #[test]
+    fn display_parse_roundtrip(seed in any::<u64>()) {
+        let e = random_expr(seed);
+        let text = e.to_string();
+        let back = parse_coql(&text).unwrap_or_else(|err| panic!("{text}: {err}"));
+        prop_assert_eq!(&back, &e, "{}", text);
+    }
+
+    /// Monotonicity: COQL is a positive language — growing the database
+    /// grows the answer in the Hoare order.
+    #[test]
+    fn evaluation_is_monotone(seed in any::<u64>(), db_seed in any::<u64>()) {
+        let schema = flat_schema();
+        let e = random_expr(seed);
+        let small = random_db(db_seed);
+        let big = small.union(&random_db(db_seed.wrapping_add(1)));
+        let v_small = evaluate(&e, &CoDatabase::from_flat(&small, &schema)).unwrap();
+        let v_big = evaluate(&e, &CoDatabase::from_flat(&big, &schema)).unwrap();
+        prop_assert!(
+            co_object::hoare_leq(&v_small, &v_big),
+            "{e}\n small: {v_small}\n big:   {v_big}"
+        );
+    }
+
+    /// The empty-set analysis is sound: queries judged Free never produce
+    /// a value containing an empty set on any tested database.
+    #[test]
+    fn emptiness_analysis_is_sound(seed in any::<u64>(), db_seed in any::<u64>()) {
+        use co_lang::{empty_set_status, EmptySetStatus};
+        let schema = flat_schema();
+        let coql_schema = CoqlSchema::from_flat(&schema);
+        let e = random_expr(seed);
+        let nf = normalize(&e, &coql_schema).unwrap();
+        if empty_set_status(&nf) == EmptySetStatus::Free {
+            let db = CoDatabase::from_flat(&random_db(db_seed), &schema);
+            let v = evaluate(&e, &db).unwrap();
+            // The root set may be empty; inner sets may not.
+            let inner_ok = v
+                .as_set()
+                .map(|s| s.iter().all(|elem| !elem.contains_empty_set()))
+                .unwrap_or(true);
+            prop_assert!(inner_ok, "{e} judged Free but produced {v}");
+        }
+    }
+
+    /// Variable environments are threaded correctly: evaluating under an
+    /// explicit environment matches wrapping in a singleton generator.
+    #[test]
+    fn env_evaluation_matches_generator_binding(a in 0i64..5) {
+        let schema = flat_schema();
+        let db = CoDatabase::from_flat(&random_db(a as u64), &schema);
+        let body = Expr::var("w").singleton();
+        let mut env = BTreeMap::new();
+        env.insert(Var::new("w"), co_object::Value::int(a));
+        let via_env = co_lang::evaluate_with_env(&body, &db, &env).unwrap();
+        let wrapped = Expr::Select {
+            head: Box::new(body),
+            bindings: vec![(Var::new("w"), Expr::int(a).singleton())],
+            conds: vec![],
+        };
+        let via_select = evaluate(&wrapped, &db).unwrap();
+        let expected = via_select.as_set().unwrap().iter().next().unwrap().clone();
+        prop_assert_eq!(via_env, expected);
+    }
+}

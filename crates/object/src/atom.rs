@@ -1,0 +1,269 @@
+//! Interned atomic values and field names.
+//!
+//! The paper's domain `D` is an infinite set of atomic values. We represent
+//! an atomic value as a small copyable handle ([`Atom`]) into a global
+//! interner, so that equality tests — the only operation COQL may perform on
+//! atoms — are integer comparisons, and tuples of atoms pack densely.
+//!
+//! Two kinds of payload are supported: symbolic names (strings) and 64-bit
+//! integers. Integers intern to themselves conceptually; they are stored in
+//! the same table so every atom is a uniform `u32` handle.
+//!
+//! Field names of records ([`Field`]) are interned separately: they belong
+//! to the schema layer, not to the data domain, and keeping the two handle
+//! types distinct prevents accidentally using a field label as a data value.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// Payload of an interned atom.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum AtomData {
+    /// A symbolic constant such as `'paris'`.
+    Str(String),
+    /// An integer constant such as `42`.
+    Int(i64),
+}
+
+struct Interner {
+    map: HashMap<AtomData, u32>,
+    items: Vec<AtomData>,
+    /// Counter used by [`Atom::fresh`] to mint atoms outside any user
+    /// namespace (used for indexes and frozen variables).
+    fresh: u64,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner { map: HashMap::new(), items: Vec::new(), fresh: 0 }
+    }
+
+    fn intern(&mut self, data: AtomData) -> u32 {
+        if let Some(&id) = self.map.get(&data) {
+            return id;
+        }
+        let id = u32::try_from(self.items.len()).expect("atom interner overflow");
+        self.items.push(data.clone());
+        self.map.insert(data, id);
+        id
+    }
+}
+
+fn global() -> &'static RwLock<Interner> {
+    static GLOBAL: OnceLock<RwLock<Interner>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+/// An atomic value from the paper's infinite domain `D`.
+///
+/// Atoms are cheap to copy, compare, and hash. The total order compares the
+/// interned payloads (integers before strings, each ordered naturally); it
+/// exists only to keep set values in canonical, deterministic form and
+/// carries no semantic meaning — COQL can only test atoms for equality.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Atom(u32);
+
+impl PartialOrd for Atom {
+    fn partial_cmp(&self, other: &Atom) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Atom {
+    fn cmp(&self, other: &Atom) -> Ordering {
+        if self.0 == other.0 {
+            return Ordering::Equal;
+        }
+        let g = global().read().unwrap();
+        let a = &g.items[self.0 as usize];
+        let b = &g.items[other.0 as usize];
+        match (a, b) {
+            (AtomData::Int(x), AtomData::Int(y)) => x.cmp(y),
+            (AtomData::Int(_), AtomData::Str(_)) => Ordering::Less,
+            (AtomData::Str(_), AtomData::Int(_)) => Ordering::Greater,
+            (AtomData::Str(x), AtomData::Str(y)) => x.cmp(y),
+        }
+    }
+}
+
+impl Atom {
+    /// Interns a string constant.
+    pub fn str(s: &str) -> Atom {
+        Atom(global().write().unwrap().intern(AtomData::Str(s.to_string())))
+    }
+
+    /// Interns an integer constant.
+    pub fn int(i: i64) -> Atom {
+        Atom(global().write().unwrap().intern(AtomData::Int(i)))
+    }
+
+    /// Mints a globally fresh atom, guaranteed distinct from every atom
+    /// interned so far and from every other fresh atom.
+    ///
+    /// Fresh atoms are the *indexes* of the paper's §5.1 and the frozen
+    /// constants of canonical databases. The `tag` is only for display.
+    pub fn fresh(tag: &str) -> Atom {
+        let mut g = global().write().unwrap();
+        let n = g.fresh;
+        g.fresh += 1;
+        let id = g.intern(AtomData::Str(format!("\u{27e8}{tag}#{n}\u{27e9}")));
+        Atom(id)
+    }
+
+    /// The raw interner id; stable within a process run.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the string payload, if this atom was interned from a string.
+    pub fn as_str(self) -> Option<String> {
+        match &global().read().unwrap().items[self.0 as usize] {
+            AtomData::Str(s) => Some(s.clone()),
+            AtomData::Int(_) => None,
+        }
+    }
+
+    /// Returns the integer payload, if this atom was interned from an integer.
+    pub fn as_int(self) -> Option<i64> {
+        match &global().read().unwrap().items[self.0 as usize] {
+            AtomData::Int(i) => Some(*i),
+            AtomData::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &global().read().unwrap().items[self.0 as usize] {
+            AtomData::Str(s) => {
+                if is_bare(s) {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "'{}'", s.replace('\'', "\\'"))
+                }
+            }
+            AtomData::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Whether a string can be printed without quotes.
+fn is_bare(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '\u{27e8}')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '#' || c == '\u{27e8}' || c == '\u{27e9}')
+}
+
+/// An interned record field label (`A`, `B`, … in the paper's
+/// `[A1: x1; …; Ak: xk]` notation).
+///
+/// Ordered alphabetically by label; record fields are kept sorted by this
+/// order so records compare structurally — and print deterministically —
+/// regardless of the order fields were written or interned.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Field(u32);
+
+impl PartialOrd for Field {
+    fn partial_cmp(&self, other: &Field) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Field {
+    fn cmp(&self, other: &Field) -> Ordering {
+        if self.0 == other.0 {
+            return Ordering::Equal;
+        }
+        let g = field_global().read().unwrap();
+        g.items[self.0 as usize].cmp(&g.items[other.0 as usize])
+    }
+}
+
+fn field_global() -> &'static RwLock<Interner> {
+    static GLOBAL: OnceLock<RwLock<Interner>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+impl Field {
+    /// Interns a field label.
+    pub fn new(name: &str) -> Field {
+        Field(field_global().write().unwrap().intern(AtomData::Str(name.to_string())))
+    }
+
+    /// The label this field was interned from.
+    pub fn name(self) -> String {
+        match &field_global().read().unwrap().items[self.0 as usize] {
+            AtomData::Str(s) => s.clone(),
+            AtomData::Int(i) => i.to_string(),
+        }
+    }
+
+    /// The raw interner id.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Debug for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        assert_eq!(Atom::str("a"), Atom::str("a"));
+        assert_eq!(Atom::int(7), Atom::int(7));
+        assert_ne!(Atom::str("a"), Atom::str("b"));
+        assert_ne!(Atom::str("7"), Atom::int(7));
+    }
+
+    #[test]
+    fn fresh_atoms_are_distinct() {
+        let a = Atom::fresh("i");
+        let b = Atom::fresh("i");
+        assert_ne!(a, b);
+        assert_ne!(a, Atom::str("i#0"));
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        assert_eq!(Atom::str("hello").as_str().as_deref(), Some("hello"));
+        assert_eq!(Atom::int(-3).as_int(), Some(-3));
+        assert_eq!(Atom::int(-3).as_str(), None);
+        assert_eq!(Atom::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn display_quotes_non_bare_strings() {
+        assert_eq!(Atom::str("abc").to_string(), "abc");
+        assert_eq!(Atom::str("two words").to_string(), "'two words'");
+        assert_eq!(Atom::int(42).to_string(), "42");
+    }
+
+    #[test]
+    fn fields_intern_and_display() {
+        let f = Field::new("Addr");
+        assert_eq!(f, Field::new("Addr"));
+        assert_ne!(f, Field::new("addr"));
+        assert_eq!(f.to_string(), "Addr");
+    }
+}

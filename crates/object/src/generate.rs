@@ -1,0 +1,208 @@
+//! Seeded random generation of complex objects.
+//!
+//! Used by property tests and benchmarks across the workspace. All
+//! generation is driven by an explicit [`rand::rngs::StdRng`] seed so test
+//! failures and benchmark workloads reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::atom::{Atom, Field};
+use crate::ty::Type;
+use crate::value::Value;
+
+/// Parameters controlling random value generation.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Maximum set-nesting depth.
+    pub max_depth: usize,
+    /// Maximum elements per generated set.
+    pub max_set_len: usize,
+    /// Maximum fields per generated record.
+    pub max_record_fields: usize,
+    /// Number of distinct atoms drawn from (small pools make Hoare-order
+    /// relationships and homomorphisms likely, which is what the tests
+    /// want to exercise).
+    pub atom_pool: usize,
+    /// Probability (percent) that a set position is generated empty.
+    pub empty_set_pct: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { max_depth: 3, max_set_len: 4, max_record_fields: 3, atom_pool: 5, empty_set_pct: 10 }
+    }
+}
+
+/// A seeded generator of random complex objects.
+pub struct ValueGen {
+    rng: StdRng,
+    config: GenConfig,
+    fields: Vec<Field>,
+}
+
+impl ValueGen {
+    /// Creates a generator from a seed and configuration.
+    pub fn new(seed: u64, config: GenConfig) -> ValueGen {
+        let fields = (0..config.max_record_fields.max(1))
+            .map(|i| Field::new(&format!("F{i}")))
+            .collect();
+        ValueGen { rng: StdRng::seed_from_u64(seed), config, fields }
+    }
+
+    /// Generates a random atom from the pool.
+    pub fn atom(&mut self) -> Atom {
+        Atom::int(self.rng.gen_range(0..self.config.atom_pool as i64))
+    }
+
+    /// Generates a random value of a random shape with depth ≤ `max_depth`.
+    pub fn value(&mut self) -> Value {
+        let depth = self.rng.gen_range(0..=self.config.max_depth);
+        self.value_at_depth(depth)
+    }
+
+    fn value_at_depth(&mut self, depth: usize) -> Value {
+        if depth == 0 {
+            return Value::Atom(self.atom());
+        }
+        match self.rng.gen_range(0..3) {
+            0 => Value::Atom(self.atom()),
+            1 => {
+                let n = self.rng.gen_range(1..=self.config.max_record_fields);
+                let names: Vec<Field> = self.fields[..n].to_vec();
+                let fields = names
+                    .into_iter()
+                    .map(|f| (f, self.value_at_depth(depth - 1)))
+                    .collect();
+                Value::record(fields).expect("generator uses distinct fields")
+            }
+            _ => self.set_at_depth(depth),
+        }
+    }
+
+    fn set_at_depth(&mut self, depth: usize) -> Value {
+        if self.rng.gen_range(0..100) < self.config.empty_set_pct {
+            return Value::empty_set();
+        }
+        let n = self.rng.gen_range(1..=self.config.max_set_len);
+        Value::set((0..n).map(|_| self.value_at_depth(depth - 1)).collect())
+    }
+
+    /// Generates a random value *of the given type*, so pairs of values are
+    /// type-compatible and therefore potentially Hoare-comparable.
+    pub fn value_of_type(&mut self, ty: &Type) -> Value {
+        match ty {
+            Type::Atom | Type::Bottom => Value::Atom(self.atom()),
+            Type::Record(fields) => Value::record(
+                fields.iter().map(|(f, t)| (*f, self.value_of_type(t))).collect(),
+            )
+            .expect("type has distinct fields"),
+            Type::Set(elem) => {
+                if self.rng.gen_range(0..100) < self.config.empty_set_pct {
+                    return Value::empty_set();
+                }
+                let n = self.rng.gen_range(1..=self.config.max_set_len);
+                Value::set((0..n).map(|_| self.value_of_type(elem)).collect())
+            }
+        }
+    }
+
+    /// Generates a random type with the given exact set-nesting depth.
+    pub fn type_of_depth(&mut self, depth: usize) -> Type {
+        if depth == 0 {
+            return Type::Atom;
+        }
+        match self.rng.gen_range(0..2) {
+            0 => Type::set(self.type_of_depth(depth - 1)),
+            _ => {
+                let n = self.rng.gen_range(1..=self.config.max_record_fields);
+                let mut fields: Vec<(Field, Type)> = Vec::with_capacity(n);
+                // Ensure at least one field realizes the full depth.
+                fields.push((self.fields[0], Type::set(self.type_of_depth(depth - 1))));
+                let rest: Vec<Field> = self.fields[1..n].to_vec();
+                for f in rest {
+                    let d = self.rng.gen_range(0..depth);
+                    fields.push((f, self.type_of_depth(d)));
+                }
+                Type::record(fields)
+            }
+        }
+    }
+
+    /// Produces a value `w` with `v ⊑ w` by randomly *growing* `v`: adds set
+    /// elements and replaces subvalues by Hoare-larger ones. Useful for
+    /// generating positive test cases for the order.
+    pub fn grow(&mut self, v: &Value) -> Value {
+        match v {
+            Value::Atom(a) => Value::Atom(*a),
+            Value::Record(r) => Value::record(
+                r.iter().map(|(f, x)| (*f, self.grow(x))).collect(),
+            )
+            .expect("growing keeps labels"),
+            Value::Set(s) => {
+                let mut elems: Vec<Value> = s.iter().map(|x| self.grow(x)).collect();
+                // Occasionally add unrelated extra elements.
+                let extra = self.rng.gen_range(0..=2);
+                for _ in 0..extra {
+                    if let Some(tmpl) = s.iter().next() {
+                        let t = crate::ty::type_of(tmpl)
+                            .unwrap_or(Type::Atom);
+                        elems.push(self.value_of_type(&t));
+                    }
+                }
+                Value::set(elems)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::hoare_leq;
+    use crate::ty::{check_type, type_of};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut g1 = ValueGen::new(42, GenConfig::default());
+        let mut g2 = ValueGen::new(42, GenConfig::default());
+        for _ in 0..20 {
+            assert_eq!(g1.value(), g2.value());
+        }
+    }
+
+    #[test]
+    fn typed_generation_matches_type() {
+        let mut g = ValueGen::new(7, GenConfig::default());
+        for depth in 0..4 {
+            let ty = g.type_of_depth(depth);
+            for _ in 0..10 {
+                let v = g.value_of_type(&ty);
+                check_type(&v, &ty).unwrap_or_else(|e| panic!("{v} vs {ty}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn grow_produces_hoare_larger_values() {
+        let mut g = ValueGen::new(11, GenConfig::default());
+        for depth in 0..4 {
+            let ty = g.type_of_depth(depth);
+            for _ in 0..10 {
+                let v = g.value_of_type(&ty);
+                let w = g.grow(&v);
+                assert!(hoare_leq(&v, &w), "v={v} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_bound_respected() {
+        let mut g = ValueGen::new(3, GenConfig { max_depth: 2, ..GenConfig::default() });
+        for _ in 0..50 {
+            let v = g.value();
+            assert!(v.set_depth() <= 2, "{v}");
+            assert!(type_of(&v).is_ok() || v.as_set().is_some(), "{v}");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Complex objects as rooted DAGs, and the Hoare order as *simulation*.
+//!
+//! §3.2 of the paper notes that its containment order on complex objects
+//! "coincides with the simulation relation between complex objects
+//! represented as graphs" (refs \[5, 6\]: Buneman et al.). This module makes
+//! that concrete:
+//!
+//! * [`ValueGraph`] is a hash-consed DAG representation of a value — equal
+//!   subobjects share a node, so a value with heavy sharing (e.g. the result
+//!   of a grouping query where many groups coincide) is stored once;
+//! * [`simulates`] computes the greatest simulation between two graphs by
+//!   the classical fixpoint refinement, giving an alternative decision
+//!   procedure for `⊑` whose cost is bounded by `O(n·m·e)` rather than the
+//!   potentially exponential naive recursion on trees *without* memoization.
+//!
+//! Experiment **E1** (see EXPERIMENTS.md) benchmarks the two algorithms
+//! against each other and property tests assert they agree.
+
+use std::collections::HashMap;
+
+use crate::atom::{Atom, Field};
+use crate::value::Value;
+
+/// Identifier of a node inside a [`ValueGraph`].
+pub type NodeId = usize;
+
+/// The kind and outgoing edges of a node.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// An atomic leaf.
+    Atom(Atom),
+    /// A record node with labeled edges, sorted by label.
+    Record(Vec<(Field, NodeId)>),
+    /// A set node with unlabeled edges to the (distinct) element nodes.
+    Set(Vec<NodeId>),
+}
+
+/// A rooted DAG representing one complex object with maximal sharing.
+#[derive(Clone, Debug)]
+pub struct ValueGraph {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl ValueGraph {
+    /// Builds the hash-consed graph of a value: structurally equal
+    /// subvalues map to the same node.
+    pub fn from_value(value: &Value) -> ValueGraph {
+        let mut builder = Builder { nodes: Vec::new(), dedup: HashMap::new() };
+        let root = builder.intern(value);
+        ValueGraph { nodes: builder.nodes, root }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of distinct nodes (a measure of sharing: always ≤ tree size).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty (never true: every value has ≥1 node).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Reconstructs the value this graph represents (unfolds sharing).
+    pub fn to_value(&self) -> Value {
+        self.value_at(self.root)
+    }
+
+    fn value_at(&self, id: NodeId) -> Value {
+        match &self.nodes[id] {
+            Node::Atom(a) => Value::Atom(*a),
+            Node::Record(fields) => Value::record(
+                fields.iter().map(|(f, n)| (*f, self.value_at(*n))).collect(),
+            )
+            .expect("graph records keep distinct labels"),
+            Node::Set(elems) => Value::set(elems.iter().map(|&n| self.value_at(n)).collect()),
+        }
+    }
+}
+
+struct Builder {
+    nodes: Vec<Node>,
+    dedup: HashMap<Node, NodeId>,
+}
+
+impl Builder {
+    fn intern(&mut self, value: &Value) -> NodeId {
+        let node = match value {
+            Value::Atom(a) => Node::Atom(*a),
+            Value::Record(r) => {
+                Node::Record(r.iter().map(|(f, v)| (*f, self.intern(v))).collect())
+            }
+            Value::Set(s) => {
+                let mut elems: Vec<NodeId> = s.iter().map(|v| self.intern(v)).collect();
+                elems.sort_unstable();
+                elems.dedup();
+                Node::Set(elems)
+            }
+        };
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(node.clone());
+        self.dedup.insert(node, id);
+        id
+    }
+}
+
+/// Computes whether the root of `g1` is simulated by the root of `g2`, i.e.
+/// whether `g1.to_value() ⊑ g2.to_value()` in the Hoare order.
+///
+/// The greatest simulation `sim ⊆ N1 × N2` is the largest relation with:
+/// * `sim(a, a')` for atom nodes iff they carry the same atom;
+/// * `sim(r, r')` for record nodes iff same labels and children pairwise in
+///   `sim`;
+/// * `sim(s, s')` for set nodes iff every child of `s` is in `sim` with some
+///   child of `s'`.
+///
+/// Computed by fixpoint refinement from the full kind-compatible relation.
+pub fn simulates(g1: &ValueGraph, g2: &ValueGraph) -> bool {
+    let sim = greatest_simulation(g1, g2);
+    sim[g1.root()][g2.root()]
+}
+
+/// The full greatest-simulation matrix `sim[n1][n2]` between two graphs.
+pub fn greatest_simulation(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<bool>> {
+    let n1 = g1.len();
+    let n2 = g2.len();
+    // Initialize optimistically with kind/label compatibility.
+    let mut sim: Vec<Vec<bool>> = Vec::with_capacity(n1);
+    for i in 0..n1 {
+        let mut row = vec![false; n2];
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = match (g1.node(i), g2.node(j)) {
+                (Node::Atom(a), Node::Atom(b)) => a == b,
+                (Node::Record(fa), Node::Record(fb)) => {
+                    fa.len() == fb.len()
+                        && fa.iter().zip(fb.iter()).all(|((la, _), (lb, _))| la == lb)
+                }
+                (Node::Set(_), Node::Set(_)) => true,
+                _ => false,
+            };
+        }
+        sim.push(row);
+    }
+    // Refine until stable. Each sweep can only turn entries off, so the
+    // loop terminates after at most n1*n2 sweeps; in practice a few.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n1 {
+            for j in 0..n2 {
+                if !sim[i][j] {
+                    continue;
+                }
+                let ok = match (g1.node(i), g2.node(j)) {
+                    (Node::Atom(_), Node::Atom(_)) => true,
+                    (Node::Record(fa), Node::Record(fb)) => fa
+                        .iter()
+                        .zip(fb.iter())
+                        .all(|((_, ca), (_, cb))| sim[*ca][*cb]),
+                    (Node::Set(ea), Node::Set(eb)) => {
+                        ea.iter().all(|&ca| eb.iter().any(|&cb| sim[ca][cb]))
+                    }
+                    _ => false,
+                };
+                if !ok {
+                    sim[i][j] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+    sim
+}
+
+/// Decides `a ⊑ b` by building graphs and checking simulation.
+///
+/// Agrees with [`crate::order::hoare_leq`] (property-tested); preferable
+/// when the inputs have substantial sharing or are compared repeatedly.
+pub fn hoare_leq_graph(a: &Value, b: &Value) -> bool {
+    simulates(&ValueGraph::from_value(a), &ValueGraph::from_value(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::hoare_leq;
+
+    fn set(vs: Vec<Value>) -> Value {
+        Value::set(vs)
+    }
+
+    #[test]
+    fn graph_shares_equal_subvalues() {
+        // {{1,2},{1,2},{3}} has the inner {1,2} shared.
+        let inner = set(vec![Value::int(1), Value::int(2)]);
+        let v = set(vec![inner.clone(), set(vec![Value::int(3)])]);
+        let g = ValueGraph::from_value(&v);
+        // nodes: 1, 2, 3, {1,2}, {3}, outer = 6
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.to_value(), v);
+    }
+
+    #[test]
+    fn roundtrip_preserves_value() {
+        let v = Value::record(vec![
+            (crate::atom::Field::new("A"), set(vec![Value::int(1), Value::int(2)])),
+            (crate::atom::Field::new("B"), Value::str("x")),
+        ])
+        .unwrap();
+        assert_eq!(ValueGraph::from_value(&v).to_value(), v);
+    }
+
+    #[test]
+    fn simulation_matches_recursive_order_on_examples() {
+        let cases = vec![
+            (set(vec![Value::int(1)]), set(vec![Value::int(1), Value::int(2)])),
+            (set(vec![Value::int(2)]), set(vec![Value::int(1)])),
+            (Value::empty_set(), set(vec![Value::int(9)])),
+            (
+                set(vec![set(vec![Value::int(1)]), set(vec![Value::int(1), Value::int(2)])]),
+                set(vec![set(vec![Value::int(1), Value::int(2)])]),
+            ),
+            (
+                set(vec![set(vec![Value::int(1), Value::int(2)])]),
+                set(vec![set(vec![Value::int(1)]), set(vec![Value::int(2)])]),
+            ),
+        ];
+        for (a, b) in cases {
+            assert_eq!(hoare_leq_graph(&a, &b), hoare_leq(&a, &b), "a={a} b={b}");
+            assert_eq!(hoare_leq_graph(&b, &a), hoare_leq(&b, &a), "b={b} a={a}");
+        }
+    }
+
+    #[test]
+    fn deep_chain_simulation() {
+        // Deeply nested singletons simulate iff the innermost atoms match.
+        let mut a = Value::int(7);
+        let mut b = Value::int(7);
+        let mut c = Value::int(8);
+        for _ in 0..30 {
+            a = Value::singleton(a);
+            b = Value::singleton(b);
+            c = Value::singleton(c);
+        }
+        assert!(hoare_leq_graph(&a, &b));
+        assert!(!hoare_leq_graph(&a, &c));
+    }
+}

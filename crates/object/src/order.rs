@@ -1,0 +1,311 @@
+//! The containment order `⊑` on complex objects (§3.2 of the paper).
+//!
+//! The paper takes the *weakest* preorder on complex objects that (a)
+//! restricts to set inclusion on flat relations and (b) is preserved by the
+//! record and set constructors. This is the **lower (Hoare) powerdomain
+//! order** (refs \[4, 8, 22, 32\] of the paper):
+//!
+//! * `d ⊑ d'`  for atoms iff `d = d'`;
+//! * `[A1:x1,…] ⊑ [A1:y1,…]` iff the records have the same labels and
+//!   `xi ⊑ yi` componentwise;
+//! * `S ⊑ S'` iff every `x ∈ S` has some `y ∈ S'` with `x ⊑ y`.
+//!
+//! On graphs it coincides with *simulation* (refs \[5, 6\]); the graph-based
+//! algorithm lives in [`crate::graph`]. This module provides the direct
+//! recursive algorithm with memoization, plus the derived equivalence
+//! (`x ⊑ y ∧ y ⊑ x`, the paper's *weak equality* on objects).
+
+use std::collections::HashMap;
+
+use crate::value::Value;
+
+/// Decides `a ⊑ b` in the Hoare order.
+///
+/// Runs the structural recursion with memoization on subvalue pairs, so
+/// repeated subobjects (common in query results) are compared once.
+pub fn hoare_leq(a: &Value, b: &Value) -> bool {
+    let mut memo = HashMap::new();
+    leq_memo(a, b, &mut memo)
+}
+
+/// Decides Hoare equivalence: `a ⊑ b` and `b ⊑ a`.
+///
+/// This is strictly coarser than equality on nested values: for example
+/// `{{1}, {1,2}}` and `{{1,2}}` are Hoare-equivalent but not equal. On flat
+/// relations (and more generally on values without empty sets *and* with
+/// antichain sets) it refines towards equality; the paper exploits exactly
+/// this gap in distinguishing weak equivalence from equivalence.
+pub fn hoare_equiv(a: &Value, b: &Value) -> bool {
+    hoare_leq(a, b) && hoare_leq(b, a)
+}
+
+fn leq_memo<'v>(a: &'v Value, b: &'v Value, memo: &mut HashMap<(&'v Value, &'v Value), bool>) -> bool {
+    // Cheap syntactic shortcut: equal values are always related.
+    if a == b {
+        return true;
+    }
+    if let Some(&r) = memo.get(&(a, b)) {
+        return r;
+    }
+    let result = match (a, b) {
+        (Value::Atom(x), Value::Atom(y)) => x == y,
+        (Value::Record(r), Value::Record(s)) => {
+            r.same_labels(s)
+                && r.iter().zip(s.iter()).all(|((_, x), (_, y))| leq_memo(x, y, memo))
+        }
+        (Value::Set(s1), Value::Set(s2)) => {
+            s1.iter().all(|x| s2.iter().any(|y| leq_memo(x, y, memo)))
+        }
+        // Mixed kinds are incomparable; the order is only defined between
+        // values of the same type, and we extend it as `false` elsewhere.
+        _ => false,
+    };
+    memo.insert((a, b), result);
+    result
+}
+
+/// The *canonical representative* of a value under Hoare equivalence:
+/// recursively removes set elements dominated by another element (keeps the
+/// maximal antichain) after canonicalizing children.
+///
+/// Two values are Hoare-equivalent iff their canonical representatives are
+/// related by mutual domination of maximal elements; for sets of atoms this
+/// collapses to ordinary equality. Note the representative is *not* a normal
+/// form for equivalence in general (Hoare equivalence classes of nested sets
+/// need not have least/greatest members), but it is an effective reduction
+/// that preserves the equivalence class and is idempotent.
+pub fn hoare_reduce(v: &Value) -> Value {
+    match v {
+        Value::Atom(a) => Value::Atom(*a),
+        Value::Record(r) => {
+            let fields = r.iter().map(|(f, x)| (*f, hoare_reduce(x))).collect();
+            Value::record(fields).expect("reduced record keeps distinct labels")
+        }
+        Value::Set(s) => {
+            let reduced: Vec<Value> = s.iter().map(hoare_reduce).collect();
+            let mut keep: Vec<Value> = Vec::with_capacity(reduced.len());
+            for x in &reduced {
+                // Keep x unless some *other* element strictly dominates it.
+                let dominated = reduced.iter().any(|y| {
+                    y != x && hoare_leq(x, y) && !(hoare_leq(y, x) && y < x)
+                });
+                if !dominated {
+                    keep.push(x.clone());
+                }
+            }
+            // If everything was dominated in a cycle of equivalent elements,
+            // retain the set's maximal elements by falling back to the full
+            // reduced set (can only happen with mutually equivalent values).
+            if keep.is_empty() && !reduced.is_empty() {
+                keep = reduced;
+            }
+            Value::set(keep)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Field;
+
+    fn set(vs: Vec<Value>) -> Value {
+        Value::set(vs)
+    }
+
+    fn rec(fields: Vec<(&str, Value)>) -> Value {
+        Value::record(fields.into_iter().map(|(n, v)| (Field::new(n), v)).collect()).unwrap()
+    }
+
+    #[test]
+    fn atoms_compare_by_equality() {
+        assert!(hoare_leq(&Value::int(1), &Value::int(1)));
+        assert!(!hoare_leq(&Value::int(1), &Value::int(2)));
+    }
+
+    #[test]
+    fn flat_sets_are_subset_ordered() {
+        let s1 = set(vec![Value::int(1)]);
+        let s2 = set(vec![Value::int(1), Value::int(2)]);
+        assert!(hoare_leq(&s1, &s2));
+        assert!(!hoare_leq(&s2, &s1));
+    }
+
+    #[test]
+    fn empty_set_is_least() {
+        let s = set(vec![Value::int(1)]);
+        assert!(hoare_leq(&Value::empty_set(), &s));
+        assert!(hoare_leq(&Value::empty_set(), &Value::empty_set()));
+        assert!(!hoare_leq(&s, &Value::empty_set()));
+    }
+
+    #[test]
+    fn records_compare_componentwise() {
+        let a = rec(vec![("A", Value::int(1)), ("B", set(vec![Value::int(1)]))]);
+        let b = rec(vec![("A", Value::int(1)), ("B", set(vec![Value::int(1), Value::int(2)]))]);
+        assert!(hoare_leq(&a, &b));
+        assert!(!hoare_leq(&b, &a));
+        let c = rec(vec![("A", Value::int(2)), ("B", set(vec![Value::int(1)]))]);
+        assert!(!hoare_leq(&a, &c));
+    }
+
+    #[test]
+    fn mismatched_labels_incomparable() {
+        let a = rec(vec![("A", Value::int(1))]);
+        let b = rec(vec![("B", Value::int(1))]);
+        assert!(!hoare_leq(&a, &b));
+    }
+
+    #[test]
+    fn nested_example_from_the_paper_setting() {
+        // {{1}, {1,2}} and {{1,2}} are Hoare-equivalent but unequal:
+        // the canonical witness that weak equivalence ≠ equality.
+        let a = set(vec![set(vec![Value::int(1)]), set(vec![Value::int(1), Value::int(2)])]);
+        let b = set(vec![set(vec![Value::int(1), Value::int(2)])]);
+        assert_ne!(a, b);
+        assert!(hoare_equiv(&a, &b));
+    }
+
+    #[test]
+    fn empty_inner_set_breaks_reverse_direction() {
+        // {{}} ⊑ {{1}} but not conversely.
+        let a = set(vec![Value::empty_set()]);
+        let b = set(vec![set(vec![Value::int(1)])]);
+        assert!(hoare_leq(&a, &b));
+        assert!(!hoare_leq(&b, &a));
+    }
+
+    #[test]
+    fn mixed_kinds_are_incomparable() {
+        assert!(!hoare_leq(&Value::int(1), &set(vec![Value::int(1)])));
+        assert!(!hoare_leq(&set(vec![Value::int(1)]), &Value::int(1)));
+    }
+
+    #[test]
+    fn reduce_removes_dominated_elements() {
+        let a = set(vec![set(vec![Value::int(1)]), set(vec![Value::int(1), Value::int(2)])]);
+        let r = hoare_reduce(&a);
+        assert_eq!(r, set(vec![set(vec![Value::int(1), Value::int(2)])]));
+        assert!(hoare_equiv(&a, &r));
+        // Idempotent.
+        assert_eq!(hoare_reduce(&r), r);
+    }
+
+    #[test]
+    fn reduce_preserves_equivalence_class() {
+        let v = set(vec![
+            Value::empty_set(),
+            set(vec![Value::int(3)]),
+            set(vec![Value::int(3), Value::int(4)]),
+        ]);
+        let r = hoare_reduce(&v);
+        assert!(hoare_equiv(&v, &r));
+        assert_eq!(r, set(vec![set(vec![Value::int(3), Value::int(4)])]));
+    }
+}
+
+/// Least upper bound of two values in the Hoare order, when one exists.
+///
+/// The lower powerdomain is a join-semilattice on sets: `S ⊔ S' = S ∪ S'`.
+/// Records join componentwise; atoms join only when equal. Values of
+/// different kinds (or records with different labels) have no join —
+/// exactly the pairs that are Hoare-incomparable for structural reasons.
+pub fn hoare_join(a: &Value, b: &Value) -> Option<Value> {
+    match (a, b) {
+        (Value::Atom(x), Value::Atom(y)) => (x == y).then_some(Value::Atom(*x)),
+        (Value::Record(r), Value::Record(s)) => {
+            if !r.same_labels(s) {
+                return None;
+            }
+            let mut fields = Vec::with_capacity(r.len());
+            for ((f, x), (_, y)) in r.iter().zip(s.iter()) {
+                fields.push((*f, hoare_join(x, y)?));
+            }
+            Some(Value::record(fields).expect("joined record keeps labels"))
+        }
+        (Value::Set(s1), Value::Set(s2)) => {
+            Some(Value::Set(s1.union(s2)))
+        }
+        _ => None,
+    }
+}
+
+/// Greatest lower bound in the Hoare order, when one exists.
+///
+/// On sets: `S ⊓ S' = { x ⊓ y | x ∈ S, y ∈ S', x ⊓ y exists }` — the
+/// standard meet of the lower powerdomain. Atoms meet when equal; records
+/// componentwise (no meet when any component lacks one).
+pub fn hoare_meet(a: &Value, b: &Value) -> Option<Value> {
+    match (a, b) {
+        (Value::Atom(x), Value::Atom(y)) => (x == y).then_some(Value::Atom(*x)),
+        (Value::Record(r), Value::Record(s)) => {
+            if !r.same_labels(s) {
+                return None;
+            }
+            let mut fields = Vec::with_capacity(r.len());
+            for ((f, x), (_, y)) in r.iter().zip(s.iter()) {
+                fields.push((*f, hoare_meet(x, y)?));
+            }
+            Some(Value::record(fields).expect("met record keeps labels"))
+        }
+        (Value::Set(s1), Value::Set(s2)) => {
+            let mut elems = Vec::new();
+            for x in s1.iter() {
+                for y in s2.iter() {
+                    if let Some(m) = hoare_meet(x, y) {
+                        elems.push(m);
+                    }
+                }
+            }
+            Some(Value::set(elems))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod lattice_tests {
+    use super::*;
+
+    #[test]
+    fn join_is_an_upper_bound() {
+        let a = Value::set(vec![Value::int(1)]);
+        let b = Value::set(vec![Value::int(2)]);
+        let j = hoare_join(&a, &b).unwrap();
+        assert!(hoare_leq(&a, &j));
+        assert!(hoare_leq(&b, &j));
+        assert_eq!(j, Value::set(vec![Value::int(1), Value::int(2)]));
+    }
+
+    #[test]
+    fn meet_is_a_lower_bound() {
+        let a = Value::set(vec![Value::int(1), Value::int(2)]);
+        let b = Value::set(vec![Value::int(2), Value::int(3)]);
+        let m = hoare_meet(&a, &b).unwrap();
+        assert!(hoare_leq(&m, &a));
+        assert!(hoare_leq(&m, &b));
+        assert_eq!(m, Value::set(vec![Value::int(2)]));
+    }
+
+    #[test]
+    fn atoms_join_only_when_equal() {
+        assert_eq!(hoare_join(&Value::int(1), &Value::int(1)), Some(Value::int(1)));
+        assert_eq!(hoare_join(&Value::int(1), &Value::int(2)), None);
+        assert_eq!(hoare_meet(&Value::int(1), &Value::int(2)), None);
+    }
+
+    #[test]
+    fn nested_meet_intersects_structurally() {
+        // Meet of {{1,2}} and {{2,3}} keeps the common refinements: {2}.
+        let a = Value::singleton(Value::set(vec![Value::int(1), Value::int(2)]));
+        let b = Value::singleton(Value::set(vec![Value::int(2), Value::int(3)]));
+        let m = hoare_meet(&a, &b).unwrap();
+        assert_eq!(m, Value::singleton(Value::set(vec![Value::int(2)])));
+    }
+
+    #[test]
+    fn mixed_kinds_have_no_bounds() {
+        assert_eq!(hoare_join(&Value::int(1), &Value::singleton(Value::int(1))), None);
+        assert_eq!(hoare_meet(&Value::int(1), &Value::singleton(Value::int(1))), None);
+    }
+}

@@ -1,0 +1,234 @@
+//! A small parser for complex-object literals.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! value  ::= atom | record | set
+//! atom   ::= integer | identifier | 'quoted string'
+//! record ::= '[' (field ':' value) (',' field ':' value)* ']' | '[' ']'
+//! set    ::= '{' value (',' value)* '}' | '{' '}'
+//! field  ::= identifier
+//! ```
+//!
+//! The printer in [`crate::value`] produces exactly this syntax, so
+//! `parse(v.to_string()) == v` for every value (property-tested).
+
+use std::fmt;
+
+use crate::atom::{Atom, Field};
+use crate::value::Value;
+
+/// A parse error with byte position and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complex-object literal.
+pub fn parse_value(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing input after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError { position: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'[') => self.record(),
+            Some(b'{') => self.set(),
+            Some(b'\'') => self.quoted(),
+            Some(c) if c.is_ascii_digit() || c == b'-' => self.integer(),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.bare(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn record(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut fields = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Value::record(fields).map_err(|e| self.err(&e.to_string()));
+        }
+        loop {
+            self.skip_ws();
+            let name = self.ident()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((Field::new(&name), v));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                _ => return Err(self.err("expected `,` or `]` in record")),
+            }
+        }
+        Value::record(fields).map_err(|e| self.err(&e.to_string()))
+    }
+
+    fn set(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut elems = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::set(elems));
+        }
+        loop {
+            self.skip_ws();
+            elems.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(self.err("expected `,` or `}` in set")),
+            }
+        }
+        Ok(Value::set(elems))
+    }
+
+    fn quoted(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'\'')?;
+        let mut bytes = Vec::new();
+        loop {
+            match self.bump() {
+                Some(b'\\') => match self.bump() {
+                    Some(c) => bytes.push(c),
+                    None => return Err(self.err("unterminated escape")),
+                },
+                Some(b'\'') => break,
+                Some(c) => bytes.push(c),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+        let s = String::from_utf8(bytes).map_err(|_| self.err("invalid UTF-8 in string"))?;
+        Ok(Value::Atom(Atom::str(&s)))
+    }
+
+    fn integer(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii digits");
+        let n: i64 = text.parse().map_err(|_| self.err("invalid integer"))?;
+        Ok(Value::Atom(Atom::int(n)))
+    }
+
+    fn bare(&mut self) -> Result<Value, ParseError> {
+        let name = self.ident()?;
+        Ok(Value::Atom(Atom::str(&name)))
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        if !self.peek().is_some_and(|c| c.is_ascii_alphabetic() || c == b'_') {
+            return Err(self.err("expected identifier"));
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos]).expect("ascii ident").to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_atoms() {
+        assert_eq!(parse_value("42").unwrap(), Value::int(42));
+        assert_eq!(parse_value("-7").unwrap(), Value::int(-7));
+        assert_eq!(parse_value("paris").unwrap(), Value::str("paris"));
+        assert_eq!(parse_value("'two words'").unwrap(), Value::str("two words"));
+    }
+
+    #[test]
+    fn parses_collections() {
+        assert_eq!(parse_value("{}").unwrap(), Value::empty_set());
+        assert_eq!(
+            parse_value("{1, 2, 1}").unwrap(),
+            Value::set(vec![Value::int(1), Value::int(2)])
+        );
+        let v = parse_value("[A: 1, B: {x, y}]").unwrap();
+        assert_eq!(v.to_string(), "[A: 1, B: {x, y}]");
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let src = "{[name: ann, kids: {bo, cy}], [name: dee, kids: {}]}";
+        let v = parse_value(src).unwrap();
+        assert_eq!(parse_value(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let e = parse_value("{1,").unwrap_err();
+        assert!(e.position >= 3, "{e}");
+        assert!(parse_value("[A 1]").is_err());
+        assert!(parse_value("{1} x").is_err());
+        assert!(parse_value("[A: 1, A: 2]").is_err());
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        assert_eq!(parse_value("'a\\'b'").unwrap(), Value::str("a'b"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Types for complex objects.
+//!
+//! COQL is typed: every expression has a complex-object type built from the
+//! atomic type, record types, and set types. The only wrinkle is the empty
+//! set `{}`, whose element type is unconstrained; we give it the element
+//! type [`Type::Bottom`], the least type, and define a least upper bound
+//! ([`Type::lub`]) so that heterogeneous-looking sets such as
+//! `{{}, {1}} : {{int}}` type-check exactly when they should.
+
+use std::fmt;
+
+use crate::atom::Field;
+use crate::value::Value;
+
+/// A complex-object type.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// The type of atomic values (`D` in the paper). COQL treats all atoms
+    /// uniformly — the only operation is equality — so a single atomic type
+    /// suffices.
+    Atom,
+    /// A record type `[A1: τ1; …; Ak: τk]`, fields sorted by label.
+    Record(Vec<(Field, Type)>),
+    /// A set type `{τ}`.
+    Set(Box<Type>),
+    /// The least type: element type of the empty set literal. `Bottom ⊑ τ`
+    /// for every `τ`. No value has type `Bottom` itself.
+    Bottom,
+}
+
+impl Type {
+    /// Builds a record type, sorting fields by label. Panics on duplicate
+    /// labels (types are built by the library, not from user data).
+    pub fn record(mut fields: Vec<(Field, Type)>) -> Type {
+        fields.sort_by_key(|(f, _)| *f);
+        for w in fields.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate field `{}` in record type", w[0].0);
+        }
+        Type::Record(fields)
+    }
+
+    /// Builds a set type.
+    pub fn set(elem: Type) -> Type {
+        Type::Set(Box::new(elem))
+    }
+
+    /// The type of a flat relation with the given atomic attributes.
+    pub fn flat_relation(attrs: &[Field]) -> Type {
+        Type::set(Type::record(attrs.iter().map(|&a| (a, Type::Atom)).collect()))
+    }
+
+    /// Subtyping: `self ⊑ other` where `Bottom` is least and the relation is
+    /// lifted structurally through records and sets.
+    pub fn subtype_of(&self, other: &Type) -> bool {
+        match (self, other) {
+            (Type::Bottom, _) => true,
+            (Type::Atom, Type::Atom) => true,
+            (Type::Set(a), Type::Set(b)) => a.subtype_of(b),
+            (Type::Record(fa), Type::Record(fb)) => {
+                fa.len() == fb.len()
+                    && fa
+                        .iter()
+                        .zip(fb.iter())
+                        .all(|((la, ta), (lb, tb))| la == lb && ta.subtype_of(tb))
+            }
+            _ => false,
+        }
+    }
+
+    /// Least upper bound, if one exists. `lub(Bottom, τ) = τ`; structural
+    /// otherwise. Returns `None` for incompatible shapes (e.g. atom vs set).
+    pub fn lub(&self, other: &Type) -> Option<Type> {
+        match (self, other) {
+            (Type::Bottom, t) | (t, Type::Bottom) => Some(t.clone()),
+            (Type::Atom, Type::Atom) => Some(Type::Atom),
+            (Type::Set(a), Type::Set(b)) => Some(Type::set(a.lub(b)?)),
+            (Type::Record(fa), Type::Record(fb)) => {
+                if fa.len() != fb.len() {
+                    return None;
+                }
+                let mut out = Vec::with_capacity(fa.len());
+                for ((la, ta), (lb, tb)) in fa.iter().zip(fb.iter()) {
+                    if la != lb {
+                        return None;
+                    }
+                    out.push((*la, ta.lub(tb)?));
+                }
+                Some(Type::Record(out))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this is a *flat relation* type: a set of records of atoms.
+    /// For flat-relation results, containment in both directions implies
+    /// equivalence (§3.2 of the paper).
+    pub fn is_flat_relation(&self) -> bool {
+        match self {
+            Type::Set(elem) => match elem.as_ref() {
+                Type::Record(fields) => fields.iter().all(|(_, t)| matches!(t, Type::Atom)),
+                Type::Atom => true,
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Set-nesting depth of the type (0 for set-free types).
+    pub fn set_depth(&self) -> usize {
+        match self {
+            Type::Atom | Type::Bottom => 0,
+            Type::Record(fields) => fields.iter().map(|(_, t)| t.set_depth()).max().unwrap_or(0),
+            Type::Set(t) => 1 + t.set_depth(),
+        }
+    }
+
+    /// Looks up a field's type in a record type.
+    pub fn field(&self, field: Field) -> Option<&Type> {
+        match self {
+            Type::Record(fields) => fields
+                .binary_search_by_key(&field, |(f, _)| *f)
+                .ok()
+                .map(|i| &fields[i].1),
+            _ => None,
+        }
+    }
+
+    /// The element type of a set type.
+    pub fn elem(&self) -> Option<&Type> {
+        match self {
+            Type::Set(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Atom => write!(f, "atom"),
+            Type::Bottom => write!(f, "\u{22a5}"),
+            Type::Set(t) => write!(f, "{{{t}}}"),
+            Type::Record(fields) => {
+                write!(f, "[")?;
+                for (i, (name, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name}: {t}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error produced when a value is ill-typed (e.g. heterogeneous set).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IllTyped {
+    /// Human-readable description of the offending position.
+    pub message: String,
+}
+
+impl fmt::Display for IllTyped {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ill-typed value: {}", self.message)
+    }
+}
+
+impl std::error::Error for IllTyped {}
+
+/// Infers the type of a value. Sets must be homogeneous up to `lub`; the
+/// empty set gets element type [`Type::Bottom`].
+pub fn type_of(value: &Value) -> Result<Type, IllTyped> {
+    match value {
+        Value::Atom(_) => Ok(Type::Atom),
+        Value::Record(r) => {
+            let mut fields = Vec::with_capacity(r.len());
+            for (name, v) in r.iter() {
+                fields.push((*name, type_of(v)?));
+            }
+            Ok(Type::Record(fields))
+        }
+        Value::Set(s) => {
+            let mut elem = Type::Bottom;
+            for v in s.iter() {
+                let t = type_of(v)?;
+                elem = elem.lub(&t).ok_or_else(|| IllTyped {
+                    message: format!("set mixes incompatible element types {elem} and {t}"),
+                })?;
+            }
+            Ok(Type::set(elem))
+        }
+    }
+}
+
+/// Checks that `value` has type `ty` (up to subtyping from below, so that
+/// empty sets inhabit every set type).
+pub fn check_type(value: &Value, ty: &Type) -> Result<(), IllTyped> {
+    let actual = type_of(value)?;
+    if actual.subtype_of(ty) {
+        Ok(())
+    } else {
+        Err(IllTyped { message: format!("value {value} has type {actual}, expected {ty}") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(name: &str) -> Field {
+        Field::new(name)
+    }
+
+    #[test]
+    fn atoms_and_records_infer() {
+        assert_eq!(type_of(&Value::int(1)).unwrap(), Type::Atom);
+        let v = Value::record(vec![(f("A"), Value::int(1))]).unwrap();
+        assert_eq!(v.to_string(), "[A: 1]");
+        assert_eq!(type_of(&v).unwrap(), Type::record(vec![(f("A"), Type::Atom)]));
+    }
+
+    #[test]
+    fn empty_set_is_bottom_elem() {
+        assert_eq!(type_of(&Value::empty_set()).unwrap(), Type::set(Type::Bottom));
+        assert!(check_type(&Value::empty_set(), &Type::set(Type::Atom)).is_ok());
+        assert!(check_type(&Value::empty_set(), &Type::set(Type::set(Type::Atom))).is_ok());
+        assert!(check_type(&Value::empty_set(), &Type::Atom).is_err());
+    }
+
+    #[test]
+    fn lub_joins_empty_and_nonempty_sets() {
+        let v = Value::set(vec![Value::empty_set(), Value::singleton(Value::int(1))]);
+        assert_eq!(type_of(&v).unwrap(), Type::set(Type::set(Type::Atom)));
+    }
+
+    #[test]
+    fn heterogeneous_sets_rejected() {
+        let v = Value::set(vec![Value::int(1), Value::singleton(Value::int(1))]);
+        assert!(type_of(&v).is_err());
+    }
+
+    #[test]
+    fn flat_relation_recognition() {
+        let t = Type::flat_relation(&[f("A"), f("B")]);
+        assert!(t.is_flat_relation());
+        assert!(!Type::set(Type::set(Type::Atom)).is_flat_relation());
+        assert_eq!(t.set_depth(), 1);
+    }
+
+    #[test]
+    fn subtyping_is_structural() {
+        let bot_set = Type::set(Type::Bottom);
+        let atom_set = Type::set(Type::Atom);
+        assert!(bot_set.subtype_of(&atom_set));
+        assert!(!atom_set.subtype_of(&bot_set));
+        assert!(atom_set.subtype_of(&atom_set));
+    }
+
+    #[test]
+    fn field_and_elem_accessors() {
+        let t = Type::record(vec![(f("A"), Type::Atom), (f("B"), Type::set(Type::Atom))]);
+        assert_eq!(t.field(f("A")), Some(&Type::Atom));
+        assert_eq!(t.field(f("Z")), None);
+        assert_eq!(t.field(f("B")).unwrap().elem(), Some(&Type::Atom));
+    }
+}

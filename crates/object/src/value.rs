@@ -1,0 +1,349 @@
+//! Complex-object values.
+//!
+//! Following §3.1 of the paper (and refs \[1, 7\] therein), a *complex object*
+//! is defined recursively as:
+//!
+//! 1. an atomic value `d` from an infinite domain `D`, or
+//! 2. a record `[A1: x1; …; Ak: xk]` whose components are complex objects, or
+//! 3. a finite set `{x1, …, xn}` of complex objects.
+//!
+//! [`Value`] keeps both records and sets in *canonical form* — fields sorted
+//! by label, set elements sorted and deduplicated — so that structural
+//! equality (`==`) coincides with semantic equality of complex objects.
+
+use std::fmt;
+
+use crate::atom::{Atom, Field};
+
+/// A complex-object value in canonical form.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An atomic value from the domain `D`.
+    Atom(Atom),
+    /// A record `[A1: x1; …; Ak: xk]`.
+    Record(RecordValue),
+    /// A finite set `{x1, …, xn}`.
+    Set(SetValue),
+}
+
+impl Value {
+    /// Convenience constructor for an atomic string value.
+    pub fn str(s: &str) -> Value {
+        Value::Atom(Atom::str(s))
+    }
+
+    /// Convenience constructor for an atomic integer value.
+    pub fn int(i: i64) -> Value {
+        Value::Atom(Atom::int(i))
+    }
+
+    /// Builds a record value; fields are sorted by label.
+    ///
+    /// Returns an error if a field label occurs twice.
+    pub fn record(fields: Vec<(Field, Value)>) -> Result<Value, DuplicateField> {
+        Ok(Value::Record(RecordValue::new(fields)?))
+    }
+
+    /// Builds a set value; elements are sorted and deduplicated.
+    pub fn set(elems: Vec<Value>) -> Value {
+        Value::Set(SetValue::new(elems))
+    }
+
+    /// The empty set `{}`.
+    pub fn empty_set() -> Value {
+        Value::Set(SetValue::new(Vec::new()))
+    }
+
+    /// The singleton set `{v}`.
+    pub fn singleton(v: Value) -> Value {
+        Value::Set(SetValue::new(vec![v]))
+    }
+
+    /// Returns the atom if this is an atomic value.
+    pub fn as_atom(&self) -> Option<Atom> {
+        match self {
+            Value::Atom(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Returns the record view if this is a record.
+    pub fn as_record(&self) -> Option<&RecordValue> {
+        match self {
+            Value::Record(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Returns the set view if this is a set.
+    pub fn as_set(&self) -> Option<&SetValue> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether any set occurring anywhere inside this value (including the
+    /// value itself) is empty.
+    ///
+    /// The paper's equivalence results hinge on this property: when the
+    /// answers of two queries are guaranteed not to contain empty sets, weak
+    /// equivalence coincides with equivalence (§4).
+    pub fn contains_empty_set(&self) -> bool {
+        match self {
+            Value::Atom(_) => false,
+            Value::Record(r) => r.iter().any(|(_, v)| v.contains_empty_set()),
+            Value::Set(s) => s.is_empty() || s.iter().any(Value::contains_empty_set),
+        }
+    }
+
+    /// The set-nesting depth: 0 for values with no sets, and the maximum
+    /// number of set constructors on any root-to-leaf path otherwise.
+    pub fn set_depth(&self) -> usize {
+        match self {
+            Value::Atom(_) => 0,
+            Value::Record(r) => r.iter().map(|(_, v)| v.set_depth()).max().unwrap_or(0),
+            Value::Set(s) => 1 + s.iter().map(Value::set_depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Total number of nodes (atoms, records, sets) in the value tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Atom(_) => 1,
+            Value::Record(r) => 1 + r.iter().map(|(_, v)| v.size()).sum::<usize>(),
+            Value::Set(s) => 1 + s.iter().map(Value::size).sum::<usize>(),
+        }
+    }
+}
+
+/// Error returned when constructing a record with a repeated field label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DuplicateField(pub Field);
+
+impl fmt::Display for DuplicateField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "duplicate record field `{}`", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateField {}
+
+/// A record value: fields sorted by label, labels unique.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordValue {
+    fields: Vec<(Field, Value)>,
+}
+
+impl RecordValue {
+    /// Builds a record, sorting fields by label.
+    pub fn new(mut fields: Vec<(Field, Value)>) -> Result<RecordValue, DuplicateField> {
+        fields.sort_by_key(|(f, _)| *f);
+        for w in fields.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(DuplicateField(w[0].0));
+            }
+        }
+        Ok(RecordValue { fields })
+    }
+
+    /// Looks up a field by label.
+    pub fn get(&self, field: Field) -> Option<&Value> {
+        self.fields
+            .binary_search_by_key(&field, |(f, _)| *f)
+            .ok()
+            .map(|i| &self.fields[i].1)
+    }
+
+    /// Iterates over `(label, value)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Field, Value)> {
+        self.fields.iter()
+    }
+
+    /// The sorted list of field labels.
+    pub fn labels(&self) -> impl Iterator<Item = Field> + '_ {
+        self.fields.iter().map(|(f, _)| *f)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the record has no fields (the unit record `[]`).
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Whether `other` has exactly the same field labels.
+    pub fn same_labels(&self, other: &RecordValue) -> bool {
+        self.len() == other.len()
+            && self.labels().zip(other.labels()).all(|(a, b)| a == b)
+    }
+}
+
+/// A set value: elements sorted and deduplicated, so `==` is set equality.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetValue {
+    elems: Vec<Value>,
+}
+
+impl SetValue {
+    /// Builds a set, sorting and deduplicating the elements.
+    pub fn new(mut elems: Vec<Value>) -> SetValue {
+        elems.sort();
+        elems.dedup();
+        SetValue { elems }
+    }
+
+    /// Iterates over the elements in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.elems.iter()
+    }
+
+    /// Number of (distinct) elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Membership test (binary search over the canonical order).
+    pub fn contains(&self, v: &Value) -> bool {
+        self.elems.binary_search(v).is_ok()
+    }
+
+    /// Subset test under *equality* (not the Hoare order).
+    pub fn is_subset(&self, other: &SetValue) -> bool {
+        self.elems.iter().all(|e| other.contains(e))
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &SetValue) -> SetValue {
+        let mut elems = self.elems.clone();
+        elems.extend(other.elems.iter().cloned());
+        SetValue::new(elems)
+    }
+
+    /// Consumes the set, returning its canonical element vector.
+    pub fn into_elems(self) -> Vec<Value> {
+        self.elems
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Atom(a) => write!(f, "{a}"),
+            Value::Record(r) => {
+                write!(f, "[")?;
+                for (i, (name, v)) in r.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name}: {v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(name: &str) -> Field {
+        Field::new(name)
+    }
+
+    #[test]
+    fn sets_are_canonical() {
+        let a = Value::set(vec![Value::int(2), Value::int(1), Value::int(2)]);
+        let b = Value::set(vec![Value::int(1), Value::int(2)]);
+        assert_eq!(a, b);
+        assert_eq!(a.as_set().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn records_sort_fields() {
+        let r1 = Value::record(vec![(f("B"), Value::int(2)), (f("A"), Value::int(1))]).unwrap();
+        let r2 = Value::record(vec![(f("A"), Value::int(1)), (f("B"), Value::int(2))]).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn duplicate_fields_rejected() {
+        let err = Value::record(vec![(f("A"), Value::int(1)), (f("A"), Value::int(2))]);
+        assert_eq!(err.unwrap_err(), DuplicateField(f("A")));
+    }
+
+    #[test]
+    fn record_lookup() {
+        let r = Value::record(vec![(f("A"), Value::int(1)), (f("B"), Value::str("x"))]).unwrap();
+        let r = r.as_record().unwrap();
+        assert_eq!(r.get(f("A")), Some(&Value::int(1)));
+        assert_eq!(r.get(f("C")), None);
+    }
+
+    #[test]
+    fn empty_set_detection_is_deep() {
+        let v = Value::set(vec![Value::record(vec![(f("A"), Value::empty_set())]).unwrap()]);
+        assert!(v.contains_empty_set());
+        let w = Value::set(vec![Value::record(vec![(f("A"), Value::singleton(Value::int(1)))]).unwrap()]);
+        assert!(!w.contains_empty_set());
+        assert!(Value::empty_set().contains_empty_set());
+    }
+
+    #[test]
+    fn set_depth_counts_nesting() {
+        assert_eq!(Value::int(1).set_depth(), 0);
+        assert_eq!(Value::singleton(Value::int(1)).set_depth(), 1);
+        let nested = Value::singleton(Value::singleton(Value::int(1)));
+        assert_eq!(nested.set_depth(), 2);
+        let rec = Value::record(vec![
+            (f("A"), Value::int(1)),
+            (f("B"), Value::singleton(Value::int(2))),
+        ])
+        .unwrap();
+        assert_eq!(rec.set_depth(), 1);
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let s1 = SetValue::new(vec![Value::int(1)]);
+        let s2 = SetValue::new(vec![Value::int(1), Value::int(2)]);
+        assert!(s1.is_subset(&s2));
+        assert!(!s2.is_subset(&s1));
+        assert_eq!(s1.union(&s2), s2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Value::record(vec![
+            (f("name"), Value::str("ann")),
+            (f("kids"), Value::set(vec![Value::str("bo")])),
+        ])
+        .unwrap();
+        assert_eq!(v.to_string(), "[kids: {bo}, name: ann]");
+    }
+}

@@ -1,0 +1,124 @@
+//! Edge cases for values, the order, and the parser.
+
+use co_object::{
+    hoare_equiv, hoare_join, hoare_leq, hoare_leq_graph, hoare_meet, hoare_reduce, parse_value,
+    type_of, Value, ValueGraph,
+};
+
+#[test]
+fn unicode_and_special_atoms() {
+    let v = parse_value("{'cafe\u{301}', 'two words', 'quo\\'te', -42, 0}").unwrap();
+    assert_eq!(v.as_set().unwrap().len(), 5);
+    let text = v.to_string();
+    let back = parse_value(&text).unwrap();
+    assert_eq!(back, v);
+}
+
+#[test]
+fn large_flat_set_behaves() {
+    let elems: Vec<Value> = (0..2_000).map(Value::int).collect();
+    let big = Value::set(elems);
+    assert_eq!(big.as_set().unwrap().len(), 2_000);
+    let small = Value::set((500..700).map(Value::int).collect());
+    assert!(hoare_leq(&small, &big));
+    assert!(!hoare_leq(&big, &small));
+    assert!(hoare_leq_graph(&small, &big));
+}
+
+#[test]
+fn deeply_nested_singletons() {
+    let mut v = Value::int(0);
+    for _ in 0..200 {
+        v = Value::singleton(v);
+    }
+    assert_eq!(v.set_depth(), 200);
+    assert!(hoare_leq(&v, &v));
+    let g = ValueGraph::from_value(&v);
+    assert_eq!(g.len(), 201);
+    assert_eq!(g.to_value(), v);
+}
+
+#[test]
+fn empty_record_is_a_value() {
+    let unit = parse_value("[]").unwrap();
+    assert!(unit.as_record().unwrap().is_empty());
+    assert!(hoare_leq(&unit, &unit));
+    // A set of unit records: {[]} vs {}.
+    let s = Value::singleton(unit.clone());
+    assert!(hoare_leq(&Value::empty_set(), &s));
+    assert!(type_of(&s).is_ok());
+}
+
+#[test]
+fn reduce_on_chains_of_dominated_sets() {
+    // {{}, {1}, {1,2}, {1,2,3}} reduces to {{1,2,3}}.
+    let chain = parse_value("{{}, {1}, {1, 2}, {1, 2, 3}}").unwrap();
+    let r = hoare_reduce(&chain);
+    assert_eq!(r, parse_value("{{1, 2, 3}}").unwrap());
+    assert!(hoare_equiv(&chain, &r));
+}
+
+#[test]
+fn join_meet_interact_with_order() {
+    let a = parse_value("{[k: 1, s: {x}]}").unwrap();
+    let b = parse_value("{[k: 1, s: {y}]}").unwrap();
+    let j = hoare_join(&a, &b).unwrap();
+    // Join of sets is union: both elements present.
+    assert!(hoare_leq(&a, &j) && hoare_leq(&b, &j));
+    let m = hoare_meet(&a, &b).unwrap();
+    assert!(hoare_leq(&m, &a) && hoare_leq(&m, &b));
+    // Here the records' s-components meet to {}, so the meet keeps a
+    // record with an empty inner set.
+    assert_eq!(m, parse_value("{[k: 1, s: {}]}").unwrap());
+}
+
+#[test]
+fn incomparable_shapes_have_no_join() {
+    let rec = parse_value("[a: 1]").unwrap();
+    let other = parse_value("[b: 1]").unwrap();
+    assert!(hoare_join(&rec, &other).is_none());
+    assert!(hoare_meet(&rec, &other).is_none());
+}
+
+#[test]
+fn parser_rejects_malformed_input() {
+    for bad in ["", "{", "[a:]", "[: 1]", "{1 2}", "[a: 1,, b: 2]", "''x", "--3"] {
+        assert!(parse_value(bad).is_err(), "accepted: {bad:?}");
+    }
+}
+
+#[test]
+fn graph_sharing_counts() {
+    // A set containing the same subtree k times stores it once.
+    let sub = parse_value("{[p: 1, q: {2, 3}]}").unwrap();
+    let v = Value::set(vec![
+        Value::record(vec![(co_object::Field::new("l"), sub.clone())]).unwrap(),
+        Value::record(vec![(co_object::Field::new("l"), sub.clone())]).unwrap(),
+    ]);
+    // Canonicalization already dedups equal elements of a set, so build
+    // distinct wrappers around the shared subtree instead.
+    let v2 = Value::set(vec![
+        Value::record(vec![
+            (co_object::Field::new("l"), sub.clone()),
+            (co_object::Field::new("tag"), Value::int(1)),
+        ])
+        .unwrap(),
+        Value::record(vec![
+            (co_object::Field::new("l"), sub.clone()),
+            (co_object::Field::new("tag"), Value::int(2)),
+        ])
+        .unwrap(),
+    ]);
+    let g = ValueGraph::from_value(&v2);
+    assert!(g.len() < v2.size(), "sharing must shrink the graph");
+    assert_eq!(g.to_value(), v2);
+    let _ = v;
+}
+
+#[test]
+fn order_distinguishes_record_from_set_nesting() {
+    let as_record = parse_value("{[v: 1]}").unwrap();
+    let as_set = parse_value("{{1}}").unwrap();
+    assert!(!hoare_leq(&as_record, &as_set));
+    assert!(!hoare_leq(&as_set, &as_record));
+}

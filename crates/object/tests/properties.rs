@@ -1,0 +1,117 @@
+//! Property-based tests for complex-object values and the Hoare order.
+//!
+//! These check the defining properties the paper demands of the containment
+//! order `⊑` (§3.2): it is a preorder, it restricts to set inclusion on flat
+//! relations, it is preserved by the record and set constructors, and it
+//! coincides with graph simulation.
+
+use co_object::generate::{GenConfig, ValueGen};
+use co_object::{
+    hoare_equiv, hoare_leq, hoare_leq_graph, hoare_reduce, parse_value, type_of, Value, ValueGraph,
+};
+use proptest::prelude::*;
+
+/// Strategy producing a pair of random values of a shared random type, plus
+/// a third for transitivity checks.
+fn typed_triple() -> impl Strategy<Value = (Value, Value, Value)> {
+    (any::<u64>(), 0usize..4).prop_map(|(seed, depth)| {
+        let mut g = ValueGen::new(seed, GenConfig::default());
+        let ty = g.type_of_depth(depth);
+        (g.value_of_type(&ty), g.value_of_type(&ty), g.value_of_type(&ty))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn reflexive((a, _, _) in typed_triple()) {
+        prop_assert!(hoare_leq(&a, &a));
+    }
+
+    #[test]
+    fn transitive((a, b, c) in typed_triple()) {
+        if hoare_leq(&a, &b) && hoare_leq(&b, &c) {
+            prop_assert!(hoare_leq(&a, &c), "a={a} b={b} c={c}");
+        }
+    }
+
+    #[test]
+    fn recursive_and_graph_algorithms_agree((a, b, _) in typed_triple()) {
+        prop_assert_eq!(hoare_leq(&a, &b), hoare_leq_graph(&a, &b), "a={} b={}", &a, &b);
+    }
+
+    #[test]
+    fn preserved_by_set_constructor((a, b, _) in typed_triple()) {
+        // x ⊑ y  ⟹  {x} ⊑ {y} — one half of "preserved by constructors".
+        if hoare_leq(&a, &b) {
+            prop_assert!(hoare_leq(&Value::singleton(a.clone()), &Value::singleton(b.clone())));
+        }
+        // And unconditionally: S ⊑ S ∪ T for sets of the same type.
+        let s = Value::set(vec![a.clone()]);
+        let st = Value::set(vec![a, b]);
+        prop_assert!(hoare_leq(&s, &st));
+    }
+
+    #[test]
+    fn empty_set_is_least((a, _, _) in typed_triple()) {
+        prop_assert!(hoare_leq(&Value::empty_set(), &Value::singleton(a)));
+    }
+
+    #[test]
+    fn grow_is_sound(seed in any::<u64>(), depth in 0usize..4) {
+        let mut g = ValueGen::new(seed, GenConfig::default());
+        let ty = g.type_of_depth(depth);
+        let v = g.value_of_type(&ty);
+        let w = g.grow(&v);
+        prop_assert!(hoare_leq(&v, &w), "v={} w={}", &v, &w);
+    }
+
+    #[test]
+    fn reduce_preserves_class_and_is_idempotent((a, _, _) in typed_triple()) {
+        let r = hoare_reduce(&a);
+        prop_assert!(hoare_equiv(&a, &r), "a={} r={}", &a, &r);
+        prop_assert_eq!(hoare_reduce(&r), r);
+    }
+
+    #[test]
+    fn display_parse_roundtrip((a, _, _) in typed_triple()) {
+        let text = a.to_string();
+        let back = parse_value(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn graph_roundtrip((a, _, _) in typed_triple()) {
+        let g = ValueGraph::from_value(&a);
+        prop_assert_eq!(g.to_value(), a.clone());
+        // Sharing never increases node count beyond the tree size.
+        prop_assert!(g.len() <= a.size());
+    }
+
+    #[test]
+    fn typed_values_infer_their_type(seed in any::<u64>(), depth in 0usize..4) {
+        let mut g = ValueGen::new(seed, GenConfig::default());
+        let ty = g.type_of_depth(depth);
+        let v = g.value_of_type(&ty);
+        let inferred = type_of(&v).unwrap();
+        prop_assert!(inferred.subtype_of(&ty), "v={} inferred={} ty={}", &v, &inferred, &ty);
+    }
+
+    #[test]
+    fn flat_sets_order_is_subset(seed in any::<u64>()) {
+        // On flat relations the Hoare order must coincide with ⊆ (§3.2).
+        let mut g = ValueGen::new(seed, GenConfig::default());
+        let mk = |g: &mut ValueGen| {
+            let n = (g.atom().as_int().unwrap_or(0) % 4).unsigned_abs() as usize;
+            Value::set((0..=n).map(|_| Value::Atom(g.atom())).collect())
+        };
+        let s1 = mk(&mut g);
+        let s2 = mk(&mut g);
+        let subset = s1
+            .as_set()
+            .unwrap()
+            .is_subset(s2.as_set().unwrap());
+        prop_assert_eq!(hoare_leq(&s1, &s2), subset, "s1={} s2={}", &s1, &s2);
+    }
+}

@@ -1,0 +1,278 @@
+//! Conjunctive queries with **index variables** and their grouped semantics.
+//!
+//! §5 of the paper: "We use the standard notation for conjunctive queries
+//! \[41\] over input relations R1,…,Rn, except that we distinguish a set of
+//! index variables in the head of the query: Q(Ī; V̄) :- …".
+//!
+//! On a database `D`, an indexed query denotes a set of *groups*: for every
+//! satisfying assignment, the index terms `Ī` evaluate to a group key `ī`
+//! and the value terms `V̄` contribute a tuple to that group:
+//!
+//! ```text
+//! ⟦Q⟧(D) = { (ī, G(ī)) | ī ∈ π_Ī(Q(D)) },   G(ī) = { v̄ | (ī,v̄) ∈ Q(D) }
+//! ```
+//!
+//! Groups are non-empty by construction. This is exactly the result of the
+//! `outernest`-style encoding of one set level of a complex object (§5.1);
+//! [`simulation_holds_on`] and [`strong_simulation_holds_on`] are the
+//! *definitional* (per-database) forms of the paper's simulation and strong
+//! simulation, used as ground truth to validate the syntactic deciders.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::ControlFlow;
+
+use co_cq::{ConjunctiveQuery, Database, QueryAtom, Relation, Term, Tuple};
+
+/// A conjunctive query with distinguished index terms in the head.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexedQuery {
+    /// The index terms `Ī` (group key).
+    pub index: Vec<Term>,
+    /// The value terms `V̄` (group members).
+    pub value: Vec<Term>,
+    /// Body atoms.
+    pub body: Vec<QueryAtom>,
+    /// Whether equality elimination found a contradiction.
+    pub unsatisfiable: bool,
+}
+
+impl IndexedQuery {
+    /// Builds an indexed query from a plain conjunctive query by splitting
+    /// its head: the first `index_arity` terms are the index.
+    pub fn from_cq(q: &ConjunctiveQuery, index_arity: usize) -> IndexedQuery {
+        assert!(index_arity <= q.head.len(), "index arity exceeds head width");
+        IndexedQuery {
+            index: q.head[..index_arity].to_vec(),
+            value: q.head[index_arity..].to_vec(),
+            body: q.body.clone(),
+            unsatisfiable: q.unsatisfiable,
+        }
+    }
+
+    /// The flat view: a conjunctive query with head `Ī ++ V̄`.
+    pub fn as_cq(&self) -> ConjunctiveQuery {
+        let mut head = self.index.clone();
+        head.extend(self.value.iter().copied());
+        ConjunctiveQuery { head, body: self.body.clone(), unsatisfiable: self.unsatisfiable }
+    }
+
+    /// Distinct variables appearing in the index terms.
+    pub fn index_vars(&self) -> Vec<co_cq::Var> {
+        let mut vs: Vec<co_cq::Var> = self.index.iter().filter_map(Term::as_var).collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+
+    /// Validates safety: every head variable occurs in the body.
+    pub fn validate(&self) -> Result<(), co_cq::QueryError> {
+        let body_vars = self.as_cq().body_vars();
+        for t in self.index.iter().chain(self.value.iter()) {
+            if let Term::Var(v) = t {
+                if !body_vars.contains(v) {
+                    return Err(co_cq::QueryError::UnsafeHeadVar(*v));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the grouped semantics: group key → set of value tuples.
+    pub fn groups(&self, db: &Database) -> BTreeMap<Tuple, Relation> {
+        let mut out: BTreeMap<Tuple, Relation> = BTreeMap::new();
+        if self.unsatisfiable {
+            return out;
+        }
+        co_cq::eval::for_each_total_assignment(&self.as_cq(), db, |assignment| {
+            let key: Tuple = self
+                .index
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    Term::Var(v) => assignment[v],
+                })
+                .collect();
+            let val: Tuple = self
+                .value
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    Term::Var(v) => assignment[v],
+                })
+                .collect();
+            out.entry(key).or_default().insert(val);
+            ControlFlow::Continue(())
+        });
+        out
+    }
+}
+
+impl fmt::Display for IndexedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q(")?;
+        for (i, t) in self.index.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "; ")?;
+        for (i, t) in self.value.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") :- ")?;
+        if self.unsatisfiable {
+            write!(f, "false")?;
+            if !self.body.is_empty() {
+                write!(f, ", ")?;
+            }
+        }
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        if self.body.is_empty() && !self.unsatisfiable {
+            write!(f, "true")?;
+        }
+        Ok(())
+    }
+}
+
+/// The definitional (per-database) simulation check: every group of `q` is
+/// a subset of some group of `q'` **on this database**.
+pub fn simulation_holds_on(q: &IndexedQuery, q2: &IndexedQuery, db: &Database) -> bool {
+    let groups1 = q.groups(db);
+    let groups2 = q2.groups(db);
+    groups1
+        .values()
+        .all(|g| groups2.values().any(|g2| g.is_subset(g2)))
+}
+
+/// The definitional strong simulation check: every group of `q` *equals*
+/// some group of `q'` on this database.
+pub fn strong_simulation_holds_on(q: &IndexedQuery, q2: &IndexedQuery, db: &Database) -> bool {
+    let groups1 = q.groups(db);
+    let groups2 = q2.groups(db);
+    groups1.values().all(|g| groups2.values().any(|g2| g == g2))
+}
+
+/// Finds a group of `q` on `db` violating strong simulation into `q2`
+/// (equal to no group of `q2`), if any.
+pub fn strong_simulation_violation(
+    q: &IndexedQuery,
+    q2: &IndexedQuery,
+    db: &Database,
+) -> Option<Tuple> {
+    let groups1 = q.groups(db);
+    let groups2 = q2.groups(db);
+    groups1
+        .iter()
+        .find(|(_, g)| !groups2.values().any(|g2| *g == g2))
+        .map(|(k, _)| k.clone())
+}
+
+/// Finds a group of `q` on `db` violating simulation into `q2`, if any.
+pub fn simulation_violation(
+    q: &IndexedQuery,
+    q2: &IndexedQuery,
+    db: &Database,
+) -> Option<Tuple> {
+    let groups1 = q.groups(db);
+    let groups2 = q2.groups(db);
+    groups1
+        .iter()
+        .find(|(_, g)| !groups2.values().any(|g2| g.is_subset(g2)))
+        .map(|(k, _)| k.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_cq::parse_query;
+    use co_object::Atom;
+
+    fn iq(text: &str, index_arity: usize) -> IndexedQuery {
+        IndexedQuery::from_cq(&parse_query(text).unwrap(), index_arity)
+    }
+
+    #[test]
+    fn grouped_semantics_groups_by_index() {
+        // q(X; Y) :- R(X, Y): group per distinct X.
+        let q = iq("q(X, Y) :- R(X, Y).", 1);
+        let db = Database::from_ints(&[("R", &[&[1, 10], &[1, 11], &[2, 20]])]);
+        let groups = q.groups(&db);
+        assert_eq!(groups.len(), 2);
+        let g1 = &groups[&vec![Atom::int(1)]];
+        assert_eq!(g1.len(), 2);
+        let g2 = &groups[&vec![Atom::int(2)]];
+        assert_eq!(g2.len(), 1);
+    }
+
+    #[test]
+    fn groups_are_never_empty() {
+        let q = iq("q(X, Y) :- R(X, Y), S(X).", 1);
+        let db = Database::from_ints(&[("R", &[&[1, 10]]), ("S", &[&[2]])]);
+        assert!(q.groups(&db).is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_queries_have_no_groups() {
+        let q = iq("q(X, Y) :- R(X, Y), false.", 1);
+        let db = Database::from_ints(&[("R", &[&[1, 10]])]);
+        assert!(q.groups(&db).is_empty());
+    }
+
+    #[test]
+    fn simulation_on_database_examples() {
+        // Group by first column of R vs group by first column of a wider R.
+        let q1 = iq("q(X, Y) :- R(X, Y), S(Y).", 1);
+        let q2 = iq("q(X, Y) :- R(X, Y).", 1);
+        let db = Database::from_ints(&[("R", &[&[1, 10], &[1, 11]]), ("S", &[&[10]])]);
+        // q1's group {10} ⊆ q2's group {10, 11}.
+        assert!(simulation_holds_on(&q1, &q2, &db));
+        assert!(!simulation_holds_on(&q2, &q1, &db));
+        assert_eq!(
+            simulation_violation(&q2, &q1, &db),
+            Some(vec![Atom::int(1)])
+        );
+    }
+
+    #[test]
+    fn strong_simulation_needs_equality() {
+        let q1 = iq("q(X, Y) :- R(X, Y), S(Y).", 1);
+        let q2 = iq("q(X, Y) :- R(X, Y).", 1);
+        let db = Database::from_ints(&[("R", &[&[1, 10], &[1, 11]]), ("S", &[&[10]])]);
+        // {10} ≠ {10, 11}: simulation holds but strong simulation fails.
+        assert!(simulation_holds_on(&q1, &q2, &db));
+        assert!(!strong_simulation_holds_on(&q1, &q2, &db));
+        // A query strongly simulates itself on any database.
+        assert!(strong_simulation_holds_on(&q1, &q1, &db));
+    }
+
+    #[test]
+    fn constants_allowed_in_index_and_value() {
+        let q = iq("q(1, Y) :- R(X, Y).", 1);
+        let db = Database::from_ints(&[("R", &[&[5, 10], &[6, 11]])]);
+        let groups = q.groups(&db);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[&vec![Atom::int(1)]].len(), 2);
+    }
+
+    #[test]
+    fn display_shows_index_split() {
+        let q = iq("q(X, Y) :- R(X, Y).", 1);
+        assert_eq!(q.to_string(), "q(X; Y) :- R(X, Y)");
+    }
+
+    #[test]
+    fn index_vars_deduplicate() {
+        let q = iq("q(X, X, Y) :- R(X, Y).", 2);
+        assert_eq!(q.index_vars().len(), 1);
+    }
+}

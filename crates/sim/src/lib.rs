@@ -1,0 +1,38 @@
+//! # co-sim — simulation and strong simulation of conjunctive queries
+//!
+//! The core decision procedures of *Levy & Suciu, PODS 1997* (§5–6): the
+//! novel conditions on conjunctive queries with **index variables** that
+//! complex-object containment and equivalence translate into.
+//!
+//! * [`IndexedQuery`] — `Q(Ī; V̄) :- body` with grouped semantics;
+//! * [`simulated_by`] — the NP-complete **simulation** test (Equation 2),
+//!   via containment mappings into the body extended with witness copies;
+//! * [`strongly_simulated_by`] — the **strong simulation** test
+//!   (Equation 4), whose decidability is one of the paper's new results;
+//! * [`tree`] — depth-`d` *query trees* (the flattened form of a COQL
+//!   query) with nested evaluation and the recursive `d`-simulation
+//!   containment procedure (d+1 quantifier alternations);
+//! * definitional per-database checks and counterexample search used to
+//!   validate everything differentially.
+
+#![warn(missing_docs)]
+
+pub mod indexed;
+pub mod minimize_tree;
+pub mod simulation;
+pub mod strong;
+pub mod tree;
+
+pub use indexed::{
+    simulation_holds_on, simulation_violation, strong_simulation_holds_on, IndexedQuery,
+};
+pub use simulation::{
+    is_simulated_by, simulated_by, simulated_by_with_witnesses, Counterexample,
+    SimulationAnswer, SimulationCertificate,
+};
+pub use strong::{
+    is_strongly_simulated_by, refute_strong_simulation, strongly_simulated_by, StrongAnswer,
+    StrongCertificate,
+};
+pub use minimize_tree::{minimize_tree, tree_atom_count};
+pub use tree::{search_tree_counterexample, tree_strong_contained_in_no_empty_sets, ChildLink, QueryTree, Template, TreeNode};

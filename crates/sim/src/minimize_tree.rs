@@ -1,0 +1,163 @@
+//! Minimization of query trees — redundant-subgoal elimination for nested
+//! queries.
+//!
+//! §1 of the paper motivates containment by classical minimization ("query
+//! containment can be used to find redundant subgoals in a query"). For a
+//! flattened COQL query the same idea applies per set node: a body atom is
+//! redundant iff dropping it preserves the node's *combined head* — index
+//! formals, value columns, **and child links** — up to classical CQ
+//! equivalence. The node's grouped semantics is a function of exactly that
+//! combined head's tuple set, so classical equivalence of the combined
+//! conjunctive queries implies identical tree semantics (and therefore
+//! identical containment behaviour).
+//!
+//! Minimizing before deciding containment shrinks every frozen copy the
+//! witness-based procedures build, which compounds: the experiment runner's
+//! ablation (E11) measures the effect.
+
+use co_cq::{ConjunctiveQuery, Term};
+
+use crate::tree::{ChildLink, QueryTree, TreeNode};
+
+/// Returns a semantically identical tree with redundant body atoms removed
+/// from every node.
+pub fn minimize_tree(tree: &QueryTree) -> QueryTree {
+    QueryTree { root: minimize_node(&tree.root) }
+}
+
+fn minimize_node(node: &TreeNode) -> TreeNode {
+    // Combined head: everything the node's semantics reads off an
+    // assignment. Protecting it keeps groups, templates, and child links
+    // intact.
+    let mut head: Vec<Term> = node.query.index.clone();
+    head.extend(node.query.value.iter().copied());
+    for child in &node.children {
+        head.extend(child.link.iter().copied());
+    }
+    let combined = ConjunctiveQuery {
+        head,
+        body: node.query.body.clone(),
+        unsatisfiable: node.query.unsatisfiable,
+    };
+    let minimized = co_cq::minimize(&combined);
+
+    TreeNode {
+        query: crate::indexed::IndexedQuery {
+            index: node.query.index.clone(),
+            value: node.query.value.clone(),
+            body: minimized.body,
+            unsatisfiable: node.query.unsatisfiable,
+        },
+        template: node.template.clone(),
+        children: node
+            .children
+            .iter()
+            .map(|c| ChildLink { link: c.link.clone(), node: minimize_node(&c.node) })
+            .collect(),
+    }
+}
+
+/// Total number of body atoms across all nodes (a size measure for the
+/// minimization experiments).
+pub fn tree_atom_count(tree: &QueryTree) -> usize {
+    fn count(node: &TreeNode) -> usize {
+        node.query.body.len() + node.children.iter().map(|c| count(&c.node)).sum::<usize>()
+    }
+    count(&tree.root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexed::IndexedQuery;
+    use crate::tree::{grouped_tree, tree_contained_in, Template};
+    use co_cq::{parse_query, Database};
+
+    fn iq(text: &str, index_arity: usize) -> IndexedQuery {
+        IndexedQuery::from_cq(&parse_query(text).unwrap(), index_arity)
+    }
+
+    #[test]
+    fn removes_redundant_atoms() {
+        // Grouping query with a redundant second R atom.
+        let q = iq("q(X, Y) :- R(X, Y), R(X, Z).", 1);
+        let t = grouped_tree(&q);
+        let m = minimize_tree(&t);
+        assert!(tree_atom_count(&m) < tree_atom_count(&t));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn preserves_semantics() {
+        let q = iq("q(X, Y) :- R(X, Y), R(X, Z), R(W, Y).", 1);
+        let t = grouped_tree(&q);
+        let m = minimize_tree(&t);
+        for seed in 0..20u64 {
+            let db = random_db(seed);
+            assert_eq!(t.evaluate(&db), m.evaluate(&db), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn preserves_containment_answers() {
+        let q1 = iq("q(X, Y) :- R(X, Y), S(Y), S(W).", 1);
+        let q2 = iq("q(X, Y) :- R(X, Y), R(X, Z).", 1);
+        let t1 = grouped_tree(&q1);
+        let t2 = grouped_tree(&q2);
+        let (m1, m2) = (minimize_tree(&t1), minimize_tree(&t2));
+        assert_eq!(tree_contained_in(&t1, &t2), tree_contained_in(&m1, &m2));
+        assert_eq!(tree_contained_in(&t2, &t1), tree_contained_in(&m2, &m1));
+    }
+
+    #[test]
+    fn protects_link_variables() {
+        // An atom that only supports a child link variable must stay.
+        let child = crate::tree::TreeNode {
+            query: iq("q(I, C) :- S(I, C).", 1),
+            template: Template::AtomCol(0),
+            children: Vec::new(),
+        };
+        let root = crate::tree::TreeNode {
+            query: IndexedQuery {
+                index: vec![],
+                value: vec![Term::var("X")],
+                // T(X, L) only exists to bind the link variable L.
+                body: parse_query("q(X, L) :- R(X, X), T(X, L).").unwrap().body,
+                unsatisfiable: false,
+            },
+            template: Template::record(vec![
+                (co_object::Field::new("a"), Template::AtomCol(0)),
+                (co_object::Field::new("g"), Template::Child(0)),
+            ]),
+            children: vec![ChildLink { link: vec![Term::var("L")], node: child }],
+        };
+        let tree = QueryTree { root };
+        tree.validate().unwrap();
+        let m = minimize_tree(&tree);
+        m.validate().unwrap();
+        // T must survive (it binds L); semantics preserved.
+        for seed in 0..10u64 {
+            let db = random_db(seed);
+            assert_eq!(tree.evaluate(&db), m.evaluate(&db));
+        }
+    }
+
+    fn random_db(seed: u64) -> Database {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = Database::new();
+        for rel in ["R", "S", "T"] {
+            for _ in 0..rng.gen_range(0..5) {
+                db.insert(
+                    co_cq::RelName::new(rel),
+                    vec![
+                        co_object::Atom::int(rng.gen_range(0..3)),
+                        co_object::Atom::int(rng.gen_range(0..3)),
+                    ],
+                );
+            }
+        }
+        db
+    }
+}

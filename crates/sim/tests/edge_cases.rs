@@ -1,0 +1,114 @@
+//! Edge cases for the simulation machinery: multi-column indexes, constant
+//! index components, and interactions between the variants.
+
+use co_cq::parse_query;
+use co_sim::tree::grouped_tree;
+use co_sim::{
+    is_simulated_by, is_strongly_simulated_by, minimize_tree, simulated_by, simulation_holds_on,
+    tree_atom_count, IndexedQuery, SimulationAnswer,
+};
+
+fn iq(text: &str, index_arity: usize) -> IndexedQuery {
+    IndexedQuery::from_cq(&parse_query(text).unwrap(), index_arity)
+}
+
+#[test]
+fn two_column_indexes() {
+    // Group by (A, B) pairs of T; target groups by (B, A) — transposed key.
+    let q1 = iq("q(X, Y, Z) :- T(X, Y, Z).", 2);
+    let q2 = iq("q(Y, X, Z) :- T(X, Y, Z).", 2);
+    // Same group *contents* per transposed key: simulation holds both ways.
+    assert!(is_simulated_by(&q1, &q2));
+    assert!(is_simulated_by(&q2, &q1));
+    assert!(is_strongly_simulated_by(&q1, &q2));
+}
+
+#[test]
+fn constant_index_components() {
+    // q1 groups everything under the constant key 7.
+    let q1 = iq("q(7, Y) :- R(X, Y).", 1);
+    // q2 groups per X: the single global group is generally not inside any
+    // per-X group.
+    let q2 = iq("q(X, Y) :- R(X, Y).", 1);
+    assert!(!is_simulated_by(&q1, &q2));
+    assert!(is_simulated_by(&q2, &q1));
+    // Matching constant keys are fine.
+    let q3 = iq("q(7, Y) :- R(X, Y), R(X, W).", 1);
+    assert!(is_simulated_by(&q1, &q3));
+    assert!(is_simulated_by(&q3, &q1));
+}
+
+#[test]
+fn mismatched_constant_keys() {
+    let q1 = iq("q(7, Y) :- R(X, Y).", 1);
+    let q2 = iq("q(8, Y) :- R(X, Y).", 1);
+    // Key values are invisible to simulation (groups are matched by
+    // content, ∃ī'), so different constant keys still simulate.
+    assert!(is_simulated_by(&q1, &q2));
+    assert!(is_strongly_simulated_by(&q1, &q2));
+}
+
+#[test]
+fn index_var_repeated_in_value() {
+    // The group key also appears as a value column.
+    let q1 = iq("q(X, X, Y) :- R(X, Y).", 1);
+    let q2 = iq("q(U, U, W) :- R(U, W).", 1);
+    assert!(is_simulated_by(&q1, &q2));
+    assert!(is_strongly_simulated_by(&q1, &q2));
+    // Against a target whose first value column is unconstrained, the
+    // key-tied column makes q3's groups strictly larger.
+    let q3 = iq("q(U, V, W) :- R(U, W), R(V, W2).", 1);
+    assert!(is_simulated_by(&q1, &q3));
+    assert!(!is_simulated_by(&q3, &q1));
+}
+
+#[test]
+fn counterexamples_report_the_right_group() {
+    let q1 = iq("q(X, Y) :- R(X, Y).", 1);
+    let q2 = iq("q(X, Y) :- R(X, Y), S(Y).", 1);
+    match simulated_by(&q1, &q2) {
+        SimulationAnswer::Fails(cex) => {
+            assert!(!simulation_holds_on(&q1, &q2, &cex.db));
+            // The reported group key must itself be violated.
+            let groups1 = q1.groups(&cex.db);
+            assert!(groups1.contains_key(&cex.violating_group));
+        }
+        SimulationAnswer::Holds(_) => panic!("should fail"),
+    }
+}
+
+#[test]
+fn empty_value_lists() {
+    // Queries with an index but no value columns: groups are all `{()}`.
+    let q1 = iq("q(X) :- R(X, Y).", 1);
+    let q2 = iq("q(Y) :- S(Y).", 1);
+    // Every (nonempty) group equals {()}: simulation holds iff q2 has any
+    // group whenever q1 does — true when q2's body is implied… it is not
+    // (S may be empty while R is not).
+    assert!(!is_simulated_by(&q1, &q2));
+    // Reflexive still fine.
+    assert!(is_simulated_by(&q1, &q1));
+}
+
+#[test]
+fn minimization_interacts_with_grouped_trees() {
+    let q = iq("q(X, Y) :- R(X, Y), R(X, Z), R(W, W2).", 1);
+    let t = grouped_tree(&q);
+    let m = minimize_tree(&t);
+    assert!(tree_atom_count(&m) < tree_atom_count(&t));
+    // Minimized tree stays in the same simulation class.
+    let q_min_equiv = iq("q(X, Y) :- R(X, Y).", 1);
+    let t2 = grouped_tree(&q_min_equiv);
+    assert!(co_sim::tree::tree_contained_in(&m, &t2));
+    assert!(co_sim::tree::tree_contained_in(&t2, &m));
+}
+
+#[test]
+fn simulation_with_zero_arity_everything() {
+    // Boolean-style: empty index, empty values.
+    let q1 = iq("q() :- R(X, Y).", 0);
+    let q2 = iq("q() :- R(X, X).", 0);
+    // q1's group {()} exists whenever R is nonempty; q2's needs a loop.
+    assert!(!is_simulated_by(&q1, &q2));
+    assert!(is_simulated_by(&q2, &q1));
+}

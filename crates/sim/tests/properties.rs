@@ -1,0 +1,170 @@
+//! Differential validation of the simulation deciders against the
+//! *definitional* semantics — the key scientific check of the reproduction.
+//!
+//! For random indexed-query pairs:
+//! * decider says **holds** ⟹ no random database (nor the canonical ones)
+//!   exhibits a violating group — soundness;
+//! * decider says **fails** ⟹ the returned counterexample database is
+//!   confirmed by the definitional per-database check — completeness in
+//!   the concrete, machine-checkable sense;
+//! * tree containment on `grouped_tree` encodings agrees with flat
+//!   simulation, and positive tree containment is never refuted by
+//!   evaluation + the Hoare order.
+
+use co_cq::generate::{CqGen, CqGenConfig};
+use co_object::hoare_leq;
+use co_sim::tree::{grouped_tree, tree_contained_in};
+use co_sim::{
+    is_strongly_simulated_by, refute_strong_simulation, simulated_by, simulation_holds_on,
+    strong_simulation_holds_on, IndexedQuery, SimulationAnswer,
+};
+use proptest::prelude::*;
+
+fn gen_pair(seed: u64, index_arity: usize) -> (IndexedQuery, IndexedQuery) {
+    let config = CqGenConfig { head_width: index_arity + 1, ..CqGenConfig::default() };
+    let mut g = CqGen::new(seed, config);
+    (
+        IndexedQuery::from_cq(&g.query(), index_arity),
+        IndexedQuery::from_cq(&g.query(), index_arity),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn simulation_decider_is_sound_and_counterexamples_verify(
+        seed in any::<u64>(),
+        db_seed in any::<u64>(),
+        index_arity in 0usize..2,
+    ) {
+        let (q1, q2) = gen_pair(seed, index_arity);
+        match simulated_by(&q1, &q2) {
+            SimulationAnswer::Holds(cert) => {
+                prop_assert!(cert.verify(&q1, &q2), "certificate: {q1} vs {q2}");
+                // Soundness: random databases never violate.
+                let mut g = CqGen::new(db_seed, CqGenConfig::default());
+                for size in [3, 6] {
+                    let db = g.database(size, 4);
+                    prop_assert!(
+                        simulation_holds_on(&q1, &q2, &db),
+                        "UNSOUND: {q1} ⊴ {q2} refuted by\n{db}"
+                    );
+                }
+            }
+            SimulationAnswer::Fails(cex) => {
+                prop_assert!(
+                    cex.verify(&q1, &q2),
+                    "counterexample failed: {q1} vs {q2} on\n{}",
+                    cex.db
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_reflexive_and_transitive(seed in any::<u64>(), index_arity in 0usize..2) {
+        let (q1, q2) = gen_pair(seed, index_arity);
+        prop_assert!(simulated_by(&q1, &q1).holds(), "{q1}");
+        let (q3, _) = gen_pair(seed.wrapping_add(99), index_arity);
+        if simulated_by(&q1, &q2).holds() && simulated_by(&q2, &q3).holds() {
+            prop_assert!(simulated_by(&q1, &q3).holds(), "{q1} / {q2} / {q3}");
+        }
+    }
+
+    #[test]
+    fn strong_simulation_implies_simulation(seed in any::<u64>(), index_arity in 0usize..2) {
+        let (q1, q2) = gen_pair(seed, index_arity);
+        if is_strongly_simulated_by(&q1, &q2) {
+            prop_assert!(simulated_by(&q1, &q2).holds(), "{q1} vs {q2}");
+        }
+    }
+
+    #[test]
+    fn strong_simulation_is_sound(
+        seed in any::<u64>(),
+        db_seed in any::<u64>(),
+        index_arity in 0usize..2,
+    ) {
+        let (q1, q2) = gen_pair(seed, index_arity);
+        if is_strongly_simulated_by(&q1, &q2) {
+            let mut g = CqGen::new(db_seed, CqGenConfig::default());
+            for size in [3, 6] {
+                let db = g.database(size, 4);
+                prop_assert!(
+                    strong_simulation_holds_on(&q1, &q2, &db),
+                    "UNSOUND strong: {q1} ⊴s {q2} refuted by\n{db}"
+                );
+            }
+            // The bounded refuter must not contradict a positive answer.
+            prop_assert!(refute_strong_simulation(&q1, &q2, 2).is_none(), "{q1} vs {q2}");
+        }
+    }
+
+    #[test]
+    fn strong_refuter_counterexamples_verify(seed in any::<u64>(), index_arity in 0usize..2) {
+        let (q1, q2) = gen_pair(seed, index_arity);
+        if let Some(cex) = refute_strong_simulation(&q1, &q2, 2) {
+            prop_assert!(
+                !strong_simulation_holds_on(&q1, &q2, &cex.db),
+                "refuter returned a non-counterexample for {q1} vs {q2}"
+            );
+            // A semantic counterexample must make the decider say no.
+            prop_assert!(!is_strongly_simulated_by(&q1, &q2), "{q1} vs {q2}");
+        }
+    }
+
+    #[test]
+    fn tree_containment_agrees_with_flat_simulation(
+        seed in any::<u64>(),
+        index_arity in 0usize..2,
+    ) {
+        let (q1, q2) = gen_pair(seed, index_arity);
+        let flat = simulated_by(&q1, &q2).holds();
+        let tree = tree_contained_in(&grouped_tree(&q1), &grouped_tree(&q2));
+        prop_assert_eq!(flat, tree, "{} vs {}", &q1, &q2);
+    }
+
+    #[test]
+    fn tree_containment_is_sound_under_evaluation(
+        seed in any::<u64>(),
+        db_seed in any::<u64>(),
+        index_arity in 0usize..2,
+    ) {
+        let (q1, q2) = gen_pair(seed, index_arity);
+        let t1 = grouped_tree(&q1);
+        let t2 = grouped_tree(&q2);
+        if tree_contained_in(&t1, &t2) {
+            let mut g = CqGen::new(db_seed, CqGenConfig::default());
+            for size in [3, 5] {
+                let db = g.database(size, 4);
+                let v1 = t1.evaluate(&db);
+                let v2 = t2.evaluate(&db);
+                prop_assert!(
+                    hoare_leq(&v1, &v2),
+                    "UNSOUND tree: {} vs {} refuted: {} vs {}",
+                    &q1, &q2, &v1, &v2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn semantic_refutation_forces_negative_answer(
+        seed in any::<u64>(),
+        db_seed in any::<u64>(),
+        index_arity in 0usize..2,
+    ) {
+        // Contrapositive completeness check: if any random database
+        // refutes simulation semantically, the decider must say no.
+        let (q1, q2) = gen_pair(seed, index_arity);
+        let mut g = CqGen::new(db_seed, CqGenConfig::default());
+        let db = g.database(4, 3);
+        if !simulation_holds_on(&q1, &q2, &db) {
+            prop_assert!(!simulated_by(&q1, &q2).holds(), "{q1} vs {q2} on\n{db}");
+        }
+        if !strong_simulation_holds_on(&q1, &q2, &db) {
+            prop_assert!(!is_strongly_simulated_by(&q1, &q2), "{q1} vs {q2}");
+        }
+    }
+}

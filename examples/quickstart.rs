@@ -1,0 +1,61 @@
+//! Quickstart: deciding containment and equivalence of COQL queries.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Walks through the paper's core workflow on a tiny employee database:
+//! write two nested queries, evaluate them, compare their answers under the
+//! Hoare order on one database, then decide containment *over all
+//! databases* with the Theorem 4.1 procedure.
+
+use coql_containment::prelude::*;
+
+fn main() {
+    // A flat schema: employees with department and name.
+    let schema = Schema::with_relations(&[("Emp", &["dept", "name"])]);
+
+    // Q1 groups employee names by their own department (a `nest`).
+    let q1 = parse_coql(
+        "select [dept: e.dept, staff: (select f.name from f in Emp where f.dept = e.dept)] \
+         from e in Emp",
+    )
+    .expect("q1 parses");
+
+    // Q2 is looser: each department record carries *all* employee names.
+    let q2 = parse_coql(
+        "select [dept: e.dept, staff: (select f.name from f in Emp)] from e in Emp",
+    )
+    .expect("q2 parses");
+
+    // Evaluate both on a concrete database.
+    let db = CoDatabase::new().with(
+        "Emp",
+        parse_value(
+            "{[dept: sales, name: ann], [dept: sales, name: bo], [dept: eng, name: cy]}",
+        )
+        .expect("literal parses"),
+    );
+    let v1 = evaluate(&q1, &db).expect("q1 evaluates");
+    let v2 = evaluate(&q2, &db).expect("q2 evaluates");
+    println!("Q1(db) = {v1}");
+    println!("Q2(db) = {v2}");
+
+    // On this database, Q1's answer is below Q2's in the Hoare order…
+    assert!(hoare_leq(&v1, &v2));
+    assert!(!hoare_leq(&v2, &v1));
+    println!("on this database: Q1(db) ⊑ Q2(db), and not conversely");
+
+    // …and the decision procedure proves it for *every* database.
+    let fwd = contained_in(&q1, &q2, &schema).expect("decidable");
+    let bwd = contained_in(&q2, &q1, &schema).expect("decidable");
+    println!(
+        "decided: Q1 ⊑ Q2 is {} (path: {}), Q2 ⊑ Q1 is {}",
+        fwd.holds, fwd.path, bwd.holds
+    );
+    assert!(fwd.holds && !bwd.holds);
+
+    // Equivalence of a query with itself, definitively (nest ⇒ no empty sets).
+    match equivalent(&q1, &q1, &schema).expect("decidable") {
+        Equivalence::Equivalent => println!("Q1 ≡ Q1 (no-empty-sets regime, §4)"),
+        other => panic!("unexpected: {other:?}"),
+    }
+}

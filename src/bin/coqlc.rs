@@ -1,0 +1,297 @@
+//! `coqlc` — the COQL containment checker, as a command-line tool.
+//!
+//! ```text
+//! coqlc check  <schema> <query1> <query2>   # containment + equivalence
+//! coqlc eval   <schema> <query> <database>  # run a query
+//! coqlc refute <schema> <query1> <query2>   # search a counterexample DB
+//! coqlc encode <schema> <database>          # §5.1 index encoding, printed
+//! ```
+//!
+//! File formats (all plain text, `#` comments):
+//! * **schema** — one relation per line: `R(A, B)`;
+//! * **query** — one COQL expression (may span lines), e.g.
+//!   `select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R`;
+//! * **database** — datalog facts: `R(1, 2).` / `S('paris').`
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use co_cq::{Database, RelName, Schema};
+use co_lang::{parse_coql, CoDatabase, Expr};
+use co_object::Atom;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("coqlc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: coqlc <check|eval|refute|encode> <files…>  (see --help)";
+    match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") | None => Ok(HELP.to_string()),
+        Some("check") => {
+            let [schema, q1, q2] = three(&args, usage)?;
+            cmd_check(&schema, &q1, &q2)
+        }
+        Some("eval") => {
+            let [schema, q, db] = three(&args, usage)?;
+            cmd_eval(&schema, &q, &db)
+        }
+        Some("refute") => {
+            let [schema, q1, q2] = three(&args, usage)?;
+            cmd_refute(&schema, &q1, &q2)
+        }
+        Some("encode") => {
+            let rest = &args[1..];
+            if rest.len() != 2 {
+                return Err(usage.to_string());
+            }
+            cmd_encode(&read(&rest[0])?, &read(&rest[1])?)
+        }
+        Some(other) => Err(format!("unknown command `{other}`; {usage}")),
+    }
+}
+
+const HELP: &str = "\
+coqlc — decide containment and equivalence of COQL queries
+(Levy & Suciu, PODS 1997)
+
+commands:
+  check  <schema> <q1> <q2>   decide q1 ⊑ q2, q2 ⊑ q1, and equivalence
+  eval   <schema> <q> <db>    evaluate a query over a database of facts
+  refute <schema> <q1> <q2>   search for a database where q1 ⋢ q2
+  encode <schema> <db>        print the §5.1 index encoding of a database
+
+file formats:
+  schema   one relation per line:     R(A, B)
+  query    one COQL expression:       select [a: x.A] from x in R
+  database datalog facts:             R(1, 2).  S('paris').";
+
+fn three(args: &[String], usage: &str) -> Result<[String; 3], String> {
+    let rest = &args[1..];
+    if rest.len() != 3 {
+        return Err(usage.to_string());
+    }
+    Ok([read(&rest[0])?, read(&rest[1])?, read(&rest[2])?])
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn strip_comments(text: &str) -> String {
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn parse_schema(text: &str) -> Result<Schema, String> {
+    let mut schema = Schema::new();
+    for line in strip_comments(text).lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let open = line.find('(').ok_or_else(|| format!("bad schema line `{line}`"))?;
+        let close = line.rfind(')').ok_or_else(|| format!("bad schema line `{line}`"))?;
+        let name = line[..open].trim();
+        let attrs: Vec<&str> = line[open + 1..close]
+            .split(',')
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .collect();
+        if name.is_empty() || attrs.is_empty() {
+            return Err(format!("bad schema line `{line}`"));
+        }
+        schema.add(co_cq::RelSchema::new(name, &attrs));
+    }
+    if schema.is_empty() {
+        return Err("schema declares no relations".to_string());
+    }
+    Ok(schema)
+}
+
+fn parse_facts(text: &str, schema: &Schema) -> Result<Database, String> {
+    let mut db = Database::new();
+    for raw in strip_comments(text).split('.') {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let open = line.find('(').ok_or_else(|| format!("bad fact `{line}`"))?;
+        let close = line.rfind(')').ok_or_else(|| format!("bad fact `{line}`"))?;
+        let name = line[..open].trim();
+        let rel = RelName::new(name);
+        let args: Vec<Atom> = line[open + 1..close]
+            .split(',')
+            .map(|a| parse_atom(a.trim()))
+            .collect::<Result<_, _>>()?;
+        match schema.arity(rel) {
+            Some(k) if k == args.len() => {}
+            Some(k) => {
+                return Err(format!(
+                    "fact `{line}` has arity {}, schema declares {k}",
+                    args.len()
+                ))
+            }
+            None => return Err(format!("fact `{line}` uses undeclared relation `{name}`")),
+        }
+        db.insert(rel, args);
+    }
+    Ok(db)
+}
+
+fn parse_atom(text: &str) -> Result<Atom, String> {
+    if text.is_empty() {
+        return Err("empty atom".to_string());
+    }
+    if let Ok(n) = text.parse::<i64>() {
+        return Ok(Atom::int(n));
+    }
+    let trimmed = text.trim_matches('\'');
+    Ok(Atom::str(trimmed))
+}
+
+fn parse_query(text: &str) -> Result<Expr, String> {
+    parse_coql(strip_comments(text).trim()).map_err(|e| e.to_string())
+}
+
+fn cmd_check(schema_text: &str, q1_text: &str, q2_text: &str) -> Result<String, String> {
+    let schema = parse_schema(schema_text)?;
+    let q1 = parse_query(q1_text)?;
+    let q2 = parse_query(q2_text)?;
+    let fwd = co_core::contained_in(&q1, &q2, &schema).map_err(|e| e.to_string())?;
+    let bwd = co_core::contained_in(&q2, &q1, &schema).map_err(|e| e.to_string())?;
+    let verdict = co_core::equivalent(&q1, &q2, &schema).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "q1: {q1}");
+    let _ = writeln!(out, "q2: {q2}");
+    let _ = writeln!(out, "q1 ⊑ q2 : {}   (path: {}, depth {})", fwd.holds, fwd.path, fwd.depth);
+    let _ = writeln!(out, "q2 ⊑ q1 : {}   (path: {}, depth {})", bwd.holds, bwd.path, bwd.depth);
+    let verdict_text = match verdict {
+        co_core::Equivalence::Equivalent => "EQUIVALENT (definite, §4)",
+        co_core::Equivalence::NotEquivalent => "NOT equivalent",
+        co_core::Equivalence::WeaklyEquivalentOnly => {
+            "weakly equivalent (answers may contain empty sets; true equivalence open)"
+        }
+    };
+    let _ = write!(out, "verdict : {verdict_text}");
+    Ok(out)
+}
+
+fn cmd_eval(schema_text: &str, q_text: &str, db_text: &str) -> Result<String, String> {
+    let schema = parse_schema(schema_text)?;
+    let q = parse_query(q_text)?;
+    let db = parse_facts(db_text, &schema)?;
+    let value = co_core::evaluate_flat(&q, &schema, &db).map_err(|e| e.to_string())?;
+    Ok(value.to_string())
+}
+
+fn cmd_refute(schema_text: &str, q1_text: &str, q2_text: &str) -> Result<String, String> {
+    let schema = parse_schema(schema_text)?;
+    let q1 = parse_query(q1_text)?;
+    let q2 = parse_query(q2_text)?;
+    let analysis = co_core::contained_in(&q1, &q2, &schema).map_err(|e| e.to_string())?;
+    if analysis.holds {
+        return Ok("containment holds: no counterexample exists".to_string());
+    }
+    match co_core::search_counterexample(&q1, &q2, &schema, 0..2000).map_err(|e| e.to_string())? {
+        Some(db) => {
+            let p1 = co_core::prepare(&q1, &schema).map_err(|e| e.to_string())?;
+            let p2 = co_core::prepare(&q2, &schema).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(out, "counterexample database:");
+            let _ = writeln!(out, "{db}");
+            let _ = writeln!(out, "q1(db) = {}", p1.tree.evaluate(&db));
+            let _ = write!(out, "q2(db) = {}", p2.tree.evaluate(&db));
+            Ok(out)
+        }
+        None => Ok("containment fails, but the random search found no small \
+                    counterexample (try more seeds)"
+            .to_string()),
+    }
+}
+
+fn cmd_encode(schema_text: &str, db_text: &str) -> Result<String, String> {
+    let schema = parse_schema(schema_text)?;
+    let db = parse_facts(db_text, &schema)?;
+    let codb = CoDatabase::from_flat(&db, &schema);
+    let coql_schema = co_lang::CoqlSchema::from_flat(&schema);
+    let enc = co_encode::encode_database(&codb, &coql_schema).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for rel in enc.schema.iter() {
+        let _ = writeln!(
+            out,
+            "# {}({})",
+            rel.name,
+            rel.attrs.iter().map(|a| a.name()).collect::<Vec<_>>().join(", ")
+        );
+    }
+    let _ = write!(out, "{}", enc.db);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_facts_parse() {
+        let schema = parse_schema("R(A, B)\n# comment\nS(C)\n").unwrap();
+        assert_eq!(schema.len(), 2);
+        let db = parse_facts("R(1, 2). S('paris').\nR(3, 4).", &schema).unwrap();
+        assert_eq!(db.fact_count(), 3);
+        assert!(parse_facts("T(1).", &schema).is_err());
+        assert!(parse_facts("R(1).", &schema).is_err());
+    }
+
+    #[test]
+    fn check_reports_containment() {
+        let schema = "R(A, B)";
+        let q1 = "select x.B from x in R where x.A = 1";
+        let q2 = "select x.B from x in R";
+        let report = cmd_check(schema, q1, q2).unwrap();
+        assert!(report.contains("q1 ⊑ q2 : true"), "{report}");
+        assert!(report.contains("q2 ⊑ q1 : false"), "{report}");
+        assert!(report.contains("NOT equivalent"), "{report}");
+    }
+
+    #[test]
+    fn eval_runs_queries() {
+        let out = cmd_eval(
+            "R(A, B)",
+            "select [b: x.B] from x in R where x.A = 1",
+            "R(1, 10). R(2, 20).",
+        )
+        .unwrap();
+        assert_eq!(out, "{[b: 10]}");
+    }
+
+    #[test]
+    fn refute_finds_databases() {
+        let out = cmd_refute(
+            "R(A, B)",
+            "select x.B from x in R",
+            "select x.B from x in R where x.A = 1",
+        )
+        .unwrap();
+        assert!(out.contains("counterexample database"), "{out}");
+    }
+
+    #[test]
+    fn encode_prints_relations() {
+        let out = cmd_encode("R(A, B)", "R(1, 2).").unwrap();
+        assert!(out.contains("# R(A, B)"), "{out}");
+        assert!(out.contains("R(1, 2)"), "{out}");
+    }
+}

@@ -1,0 +1,58 @@
+//! # coql-containment
+//!
+//! A from-scratch Rust reproduction of **Levy & Suciu, "Deciding Containment
+//! for Queries with Complex Objects", PODS 1997**: decision procedures for
+//! containment, weak equivalence, and equivalence of conjunctive queries
+//! over complex objects (nested relations), plus every substrate the paper
+//! relies on.
+//!
+//! This crate is a façade re-exporting the workspace members:
+//!
+//! * [`object`] — complex objects, types, and the Hoare containment order;
+//! * [`cq`] — flat relations, conjunctive queries, classical containment;
+//! * [`sim`] — simulation and strong simulation (the paper's §5–6 engine);
+//! * [`lang`] — COQL: parser, type checker, evaluator, normalizer;
+//! * [`algebra`] — the Abiteboul–Beeri / Thomas–Fischer fragments and the
+//!   `nest;unnest` sequence decider;
+//! * [`encode`] — index encodings and query flattening (§5.1–5.2);
+//! * [`core`] — the top-level containment/equivalence API (Theorem 4.1);
+//! * [`agg`] — grouping + aggregation (§7).
+//!
+//! ```
+//! use coql_containment::prelude::*;
+//!
+//! let schema = Schema::with_relations(&[("R", &["A", "B"])]);
+//! let grouped = parse_coql(
+//!     "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R",
+//! ).unwrap();
+//! let looser = parse_coql(
+//!     "select [a: x.A, g: (select y.B from y in R)] from x in R",
+//! ).unwrap();
+//! assert!(contained_in(&grouped, &looser, &schema).unwrap().holds);
+//! assert!(!contained_in(&looser, &grouped, &schema).unwrap().holds);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use co_agg as agg;
+pub use co_algebra as algebra;
+pub use co_core as core;
+pub use co_cq as cq;
+pub use co_encode as encode;
+pub use co_lang as lang;
+pub use co_object as object;
+pub use co_sim as sim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use co_agg::{agg_contained_in, agg_equivalent, AggFn, AggQuery};
+    pub use co_algebra::{equivalent_sequences, AlgExpr, NuOp, NuSeq};
+    pub use co_core::{
+        contained_in, equivalent, weakly_equivalent, ContainmentAnalysis, DecisionPath,
+        Equivalence,
+    };
+    pub use co_cq::{parse_query, ConjunctiveQuery, Database, Schema};
+    pub use co_lang::{evaluate, parse_coql, CoDatabase, CoqlSchema, Expr};
+    pub use co_object::{hoare_equiv, hoare_leq, parse_value, Type, Value};
+    pub use co_sim::{is_simulated_by, is_strongly_simulated_by, IndexedQuery};
+}

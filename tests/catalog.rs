@@ -1,0 +1,233 @@
+//! A curated catalog of containment/equivalence verdicts.
+//!
+//! Each entry is a hand-derived ground truth exercising one language or
+//! algorithmic feature; together they form a regression net over the whole
+//! pipeline. Verdicts are written as `(q1 ⊑ q2, q2 ⊑ q1)`.
+
+use co_core::contained_in;
+use co_cq::Schema;
+use co_lang::parse_coql;
+
+fn schema() -> Schema {
+    Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"]), ("T", &["A", "B", "C"])])
+}
+
+struct Entry {
+    label: &'static str,
+    q1: &'static str,
+    q2: &'static str,
+    forward: bool,
+    backward: bool,
+}
+
+const CATALOG: &[Entry] = &[
+    // ---- flat, classical regime -------------------------------------
+    Entry {
+        label: "selection narrows",
+        q1: "select x.B from x in R where x.A = 1",
+        q2: "select x.B from x in R",
+        forward: true,
+        backward: false,
+    },
+    Entry {
+        label: "different constants are incomparable",
+        q1: "select x.B from x in R where x.A = 1",
+        q2: "select x.B from x in R where x.A = 2",
+        forward: false,
+        backward: false,
+    },
+    Entry {
+        label: "redundant self-join is invisible",
+        q1: "select x.B from x in R",
+        q2: "select x.B from x in R, y in R where y.A = x.A",
+        forward: true,
+        backward: true,
+    },
+    Entry {
+        label: "join with S narrows",
+        q1: "select x.B from x in R, s in S where s.C = x.B",
+        q2: "select x.B from x in R",
+        forward: true,
+        backward: false,
+    },
+    Entry {
+        label: "projection equality head",
+        q1: "select [u: x.A, v: x.A] from x in R where x.A = x.B",
+        q2: "select [u: x.A, v: x.B] from x in R where x.A = x.B",
+        forward: true,
+        backward: true,
+    },
+    Entry {
+        label: "wider record heads are incomparable types",
+        // same labels though: [a] vs [a]: comparable
+        q1: "select [a: x.A] from x in R",
+        q2: "select [a: x.B] from x in R",
+        forward: false,
+        backward: false,
+    },
+    // ---- singletons, flatten, empty sets ----------------------------
+    Entry {
+        label: "flatten(singleton) is identity",
+        q1: "flatten({select x.A from x in R})",
+        q2: "select x.A from x in R",
+        forward: true,
+        backward: true,
+    },
+    Entry {
+        label: "empty set is least (as a set-valued field)",
+        q1: "select [a: x.A, g: {}] from x in R",
+        q2: "select [a: x.A, g: {x.B}] from x in R",
+        forward: true,
+        backward: false,
+    },
+    Entry {
+        label: "singleton vs possibly-empty inner select",
+        q1: "select [b: x.B, g: {y.C}] from x in R, y in S where y.C = x.B",
+        q2: "select [b: x.B, g: (select y.C from y in S where y.C = x.B)] from x in R",
+        forward: true,
+        backward: false,
+    },
+    Entry {
+        label: "inner singleton of constant",
+        q1: "select [g: {1}] from x in R",
+        q2: "select [g: {1}] from x in R, y in R",
+        forward: true,
+        backward: true,
+    },
+    // ---- grouping (nest-style) --------------------------------------
+    Entry {
+        label: "tight groups below loose groups",
+        q1: "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R",
+        q2: "select [a: x.A, g: (select y.B from y in R)] from x in R",
+        forward: true,
+        backward: false,
+    },
+    Entry {
+        label: "group filter narrows group",
+        q1: "select [a: x.A, g: (select y.B from y in R where y.A = x.A and y.B = 1)] from x in R",
+        q2: "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R",
+        forward: true,
+        backward: false,
+    },
+    Entry {
+        label: "grouping by different column differs",
+        q1: "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R",
+        q2: "select [a: x.A, g: (select y.A from y in R where y.B = x.B)] from x in R",
+        forward: false,
+        backward: false,
+    },
+    Entry {
+        label: "outer filter propagates through grouping",
+        q1: "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R where x.A = 1",
+        q2: "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R",
+        forward: true,
+        backward: false,
+    },
+    Entry {
+        label: "renamed grouping is equivalent",
+        q1: "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R",
+        q2: "select [a: u.A, g: (select w.B from w in R where w.A = u.A)] from u in R",
+        forward: true,
+        backward: true,
+    },
+    Entry {
+        label: "group of pairs vs group of lefts",
+        q1: "select [a: x.A, g: (select [l: y.B] from y in R where y.A = x.A)] from x in R",
+        q2: "select [a: x.A, g: (select [l: y.B] from y in R, z in R where y.A = x.A)] from x in R",
+        forward: true,
+        backward: true,
+    },
+    // ---- specialization regime (the depth-3 soundness fix) ----------
+    Entry {
+        label: "inner constant pin is strictly tighter",
+        q1: "select [a: x.A, g: (select [b: y.B, h: (select z.B from z in R where z.B = y.B and z.B = 1)] from y in R where y.A = x.A)] from x in R",
+        q2: "select [a: x.A, g: (select [b: y.B, h: (select z.C from z in S where z.C = x.A)] from y in R where y.A = x.A)] from x in R",
+        forward: false,
+        backward: false,
+    },
+    Entry {
+        label: "pinned inner group below unpinned",
+        q1: "select [a: x.A, g: (select z.B from z in R where z.B = x.B and z.B = 1)] from x in R",
+        q2: "select [a: x.A, g: (select z.B from z in R where z.B = x.B)] from x in R",
+        forward: true,
+        backward: false,
+    },
+    // ---- depth 3 ------------------------------------------------------
+    Entry {
+        label: "depth-3 reflexive variant with redundancy",
+        q1: "select [a: x.A, g: (select [b: y.B, h: (select z.C from z in S where z.C = y.B)] from y in R where y.A = x.A)] from x in R",
+        q2: "select [a: x.A, g: (select [b: y.B, h: (select z.C from z in S, w in S where z.C = y.B)] from y in R where y.A = x.A)] from x in R",
+        forward: true,
+        backward: true,
+    },
+    Entry {
+        label: "deep filter narrows only inner level",
+        q1: "select [a: x.A, g: (select [b: y.B, h: (select z.C from z in S where z.C = y.B and z.C = 1)] from y in R where y.A = x.A)] from x in R",
+        q2: "select [a: x.A, g: (select [b: y.B, h: (select z.C from z in S where z.C = y.B)] from y in R where y.A = x.A)] from x in R",
+        forward: true,
+        backward: false,
+    },
+    // ---- cartesian / correlation subtleties --------------------------
+    Entry {
+        label: "uncorrelated inner set is the global one",
+        q1: "select [g: (select y.C from y in S)] from x in R",
+        q2: "select [g: (select y.C from y in S where y.C = x.A)] from x in R",
+        forward: false,
+        backward: true,
+    },
+    Entry {
+        label: "product order does not matter",
+        q1: "select [a: x.A, c: y.C] from x in R, y in S",
+        q2: "select [a: x.A, c: y.C] from y in S, x in R",
+        forward: true,
+        backward: true,
+    },
+    Entry {
+        label: "three-column relation projections",
+        q1: "select [a: t.A, b: t.B] from t in T where t.C = 1",
+        q2: "select [a: t.A, b: t.B] from t in T",
+        forward: true,
+        backward: false,
+    },
+];
+
+#[test]
+fn catalog_verdicts_hold() {
+    let schema = schema();
+    let mut failures = Vec::new();
+    for e in CATALOG {
+        let q1 = parse_coql(e.q1).unwrap_or_else(|err| panic!("{}: {err}", e.label));
+        let q2 = parse_coql(e.q2).unwrap_or_else(|err| panic!("{}: {err}", e.label));
+        let fwd = contained_in(&q1, &q2, &schema)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.label))
+            .holds;
+        let bwd = contained_in(&q2, &q1, &schema)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.label))
+            .holds;
+        if fwd != e.forward || bwd != e.backward {
+            failures.push(format!(
+                "{}: expected ({}, {}), got ({fwd}, {bwd})",
+                e.label, e.forward, e.backward
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "catalog mismatches:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn catalog_verdicts_match_semantics() {
+    // Every negative verdict must be witnessed by a concrete database.
+    let schema = schema();
+    for e in CATALOG {
+        let q1 = parse_coql(e.q1).unwrap();
+        let q2 = parse_coql(e.q2).unwrap();
+        if !e.forward {
+            let cex = co_core::search_counterexample(&q1, &q2, &schema, 0..500).unwrap();
+            assert!(cex.is_some(), "{}: no witness for ⋢ (forward)", e.label);
+        }
+        if !e.backward {
+            let cex = co_core::search_counterexample(&q2, &q1, &schema, 0..500).unwrap();
+            assert!(cex.is_some(), "{}: no witness for ⋢ (backward)", e.label);
+        }
+    }
+}

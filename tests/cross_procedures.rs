@@ -1,0 +1,126 @@
+//! Cross-procedure consistency: two independent decision pipelines must
+//! agree where the paper says the notions coincide.
+//!
+//! For **empty-set-free** queries (§4): equivalence = weak equivalence, and
+//! equality of answers means every element of one answer *is* an element of
+//! the other — so **mutual Hoare containment** (decided by the Equation-2
+//! machinery with emptiness patterns) and **mutual strong containment**
+//! (decided by the Equation-4 machinery with two-sided matching) must give
+//! the same verdict, despite sharing almost no code path.
+
+use co_core::prepare;
+use co_cq::Schema;
+use co_lang::{parse_coql, EmptySetStatus};
+use co_sim::tree::tree_contained_in_no_empty_sets;
+use co_sim::tree_strong_contained_in_no_empty_sets;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn schema() -> Schema {
+    Schema::with_relations(&[("R", &["A", "B"])])
+}
+
+/// Random nest-style queries (provably empty-set free: every inner select
+/// re-ranges over the outer generator's relation with a shared key).
+fn random_nest_query(seed: u64) -> co_lang::Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let key = if rng.gen_bool(0.5) { "A" } else { "B" };
+    let inner_out = if rng.gen_bool(0.5) { "A" } else { "B" };
+    let extra = if rng.gen_bool(0.4) {
+        format!(" and y.{inner_out} = x.{inner_out}")
+    } else {
+        String::new()
+    };
+    let outer_filter = if rng.gen_bool(0.3) {
+        format!(" where x.A = {}", rng.gen_range(0..2))
+    } else {
+        String::new()
+    };
+    let src = format!(
+        "select [k: x.{key}, g: (select y.{inner_out} from y in R where y.{key} = x.{key}{extra})] \
+         from x in R{outer_filter}"
+    );
+    parse_coql(&src).unwrap()
+}
+
+#[test]
+fn weak_equivalence_agrees_with_mutual_strong_containment() {
+    let schema = schema();
+    let mut agreements = 0;
+    for seed in 0..120u64 {
+        let q1 = random_nest_query(seed);
+        let q2 = random_nest_query(seed + 11_000);
+        let p1 = prepare(&q1, &schema).unwrap();
+        let p2 = prepare(&q2, &schema).unwrap();
+        if p1.ty.lub(&p2.ty).is_none() {
+            continue;
+        }
+        assert_eq!(p1.empty_status, EmptySetStatus::Free, "{q1}");
+        assert_eq!(p2.empty_status, EmptySetStatus::Free, "{q2}");
+
+        let weak = tree_contained_in_no_empty_sets(&p1.tree, &p2.tree)
+            && tree_contained_in_no_empty_sets(&p2.tree, &p1.tree);
+        let strong = tree_strong_contained_in_no_empty_sets(&p1.tree, &p2.tree)
+            && tree_strong_contained_in_no_empty_sets(&p2.tree, &p1.tree);
+        assert_eq!(
+            weak, strong,
+            "procedures disagree on:\n  {q1}\n  {q2}\n weak={weak} strong={strong}"
+        );
+        agreements += 1;
+    }
+    assert!(agreements >= 50, "only {agreements} comparable pairs generated");
+}
+
+#[test]
+fn strong_containment_refines_hoare_containment() {
+    let schema = schema();
+    for seed in 0..120u64 {
+        let q1 = random_nest_query(seed);
+        let q2 = random_nest_query(seed + 23_000);
+        let p1 = prepare(&q1, &schema).unwrap();
+        let p2 = prepare(&q2, &schema).unwrap();
+        if p1.ty.lub(&p2.ty).is_none() {
+            continue;
+        }
+        if tree_strong_contained_in_no_empty_sets(&p1.tree, &p2.tree) {
+            assert!(
+                tree_contained_in_no_empty_sets(&p1.tree, &p2.tree),
+                "strong but not Hoare: {q1} vs {q2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn strong_containment_is_sound_for_equality_semantics() {
+    // If strong containment holds, every element of ⟦q1⟧ must literally be
+    // an element of ⟦q2⟧ on random databases (set membership, not just
+    // Hoare domination).
+    let schema = schema();
+    for seed in 0..100u64 {
+        let q1 = random_nest_query(seed);
+        let q2 = random_nest_query(seed + 31_000);
+        let p1 = prepare(&q1, &schema).unwrap();
+        let p2 = prepare(&q2, &schema).unwrap();
+        if p1.ty.lub(&p2.ty).is_none() {
+            continue;
+        }
+        if !tree_strong_contained_in_no_empty_sets(&p1.tree, &p2.tree) {
+            continue;
+        }
+        for db_seed in 0..6u64 {
+            let db = co_core::random_database(&schema, seed * 71 + db_seed);
+            let v1 = p1.tree.evaluate(&db);
+            let v2 = p2.tree.evaluate(&db);
+            let s1 = v1.as_set().unwrap();
+            let s2 = v2.as_set().unwrap();
+            for elem in s1.iter() {
+                assert!(
+                    s2.contains(elem),
+                    "strong containment violated: element {elem} of ⟦{q1}⟧ \
+                     missing from ⟦{q2}⟧\nDB:\n{db}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Depth-3 differential validation: the recursive d-simulation procedure
+//! versus the reference semantics on doubly-nested random queries — the
+//! regime with three quantifier alternations, beyond what the depth-1
+//! cross-checks (against flat simulation) can exercise.
+
+use co_core::{contained_in, prepare, random_database};
+use co_cq::Schema;
+use co_lang::Expr;
+use co_object::hoare_leq;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn schema() -> Schema {
+    Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])])
+}
+
+/// A random depth-3 query:
+/// `select [a: x.A, g: (select [b: y.B, h: (select z… )] from y …)] from x in R`.
+fn random_deep_query(seed: u64) -> Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = co_cq::Var::new("x");
+    let y = co_cq::Var::new("y");
+    let z = co_cq::Var::new("z");
+
+    // Innermost level: over S or R, correlated with y and/or x.
+    let (rel3, col3): (&str, &str) = if rng.gen_bool(0.5) { ("S", "C") } else { ("R", "B") };
+    let mut conds3 = Vec::new();
+    if rng.gen_bool(0.7) {
+        let outer = if rng.gen_bool(0.5) {
+            Expr::var("y").proj("B")
+        } else {
+            Expr::var("x").proj("A")
+        };
+        conds3.push((Expr::var("z").proj(col3), outer));
+    }
+    if rng.gen_bool(0.2) {
+        conds3.push((Expr::var("z").proj(col3), Expr::int(rng.gen_range(0..2))));
+    }
+    let level3 = Expr::Select {
+        head: Box::new(Expr::var("z").proj(col3)),
+        bindings: vec![(z, Expr::rel(rel3))],
+        conds: conds3,
+    };
+
+    // Middle level: over R, correlated with x.
+    let mut conds2 = Vec::new();
+    if rng.gen_bool(0.8) {
+        conds2.push((Expr::var("y").proj("A"), Expr::var("x").proj("A")));
+    }
+    let level2 = Expr::Select {
+        head: Box::new(Expr::record(vec![("b", Expr::var("y").proj("B")), ("h", level3)])),
+        bindings: vec![(y, Expr::rel("R"))],
+        conds: conds2,
+    };
+
+    let mut conds1 = Vec::new();
+    if rng.gen_bool(0.3) {
+        conds1.push((Expr::var("x").proj("B"), Expr::int(rng.gen_range(0..2))));
+    }
+    Expr::Select {
+        head: Box::new(Expr::record(vec![("a", Expr::var("x").proj("A")), ("g", level2)])),
+        bindings: vec![(x, Expr::rel("R"))],
+        conds: conds1,
+    }
+}
+
+#[test]
+fn deep_flattening_preserves_semantics() {
+    let schema = schema();
+    for seed in 0..120u64 {
+        let q = random_deep_query(seed);
+        let p = prepare(&q, &schema).unwrap_or_else(|e| panic!("{q}: {e}"));
+        assert_eq!(p.ty.set_depth(), 3, "{q}");
+        for db_seed in 0..4u64 {
+            let db = random_database(&schema, seed * 37 + db_seed);
+            let direct = co_core::evaluate_flat(&q, &schema, &db).unwrap();
+            let via_tree = p.tree.evaluate(&db);
+            assert_eq!(direct, via_tree, "{q}\nDB:\n{db}");
+        }
+    }
+}
+
+#[test]
+fn deep_containment_is_sound() {
+    let schema = schema();
+    let mut decided_yes = 0;
+    for seed in 0..200u64 {
+        let q1 = random_deep_query(seed);
+        let q2 = random_deep_query(seed + 50_000);
+        let Ok(analysis) = contained_in(&q1, &q2, &schema) else {
+            continue;
+        };
+        if !analysis.holds {
+            continue;
+        }
+        decided_yes += 1;
+        let p1 = prepare(&q1, &schema).unwrap();
+        let p2 = prepare(&q2, &schema).unwrap();
+        for db_seed in 0..8u64 {
+            let db = random_database(&schema, seed * 113 + db_seed);
+            let v1 = p1.tree.evaluate(&db);
+            let v2 = p2.tree.evaluate(&db);
+            assert!(
+                hoare_leq(&v1, &v2),
+                "UNSOUND at depth 3: {q1} ⊑ {q2}\n v1={v1}\n v2={v2}\nDB:\n{db}"
+            );
+        }
+    }
+    assert!(decided_yes >= 3, "workload produced only {decided_yes} positive cases");
+}
+
+#[test]
+fn deep_negatives_are_refutable() {
+    let schema = schema();
+    let mut unrefuted = Vec::new();
+    let mut negatives = 0;
+    for seed in 0..40u64 {
+        let q1 = random_deep_query(seed);
+        let q2 = random_deep_query(seed + 70_000);
+        let Ok(analysis) = contained_in(&q1, &q2, &schema) else {
+            continue;
+        };
+        if analysis.holds {
+            continue;
+        }
+        negatives += 1;
+        if co_core::search_counterexample(&q1, &q2, &schema, 0..400).unwrap().is_none() {
+            unrefuted.push(format!("{q1}  ⋢?  {q2}"));
+        }
+    }
+    assert!(negatives >= 5, "workload produced only {negatives} negatives");
+    assert!(
+        unrefuted.is_empty(),
+        "unrefuted depth-3 negatives:\n{}",
+        unrefuted.join("\n")
+    );
+}
+
+#[test]
+fn deep_reflexivity_and_transitivity() {
+    let schema = schema();
+    let mut checked = 0;
+    for seed in 0..25u64 {
+        let q1 = random_deep_query(seed);
+        assert!(contained_in(&q1, &q1, &schema).unwrap().holds, "reflexivity: {q1}");
+        let q2 = random_deep_query(seed + 90_000);
+        let q3 = random_deep_query(seed + 95_000);
+        let Ok(a12) = contained_in(&q1, &q2, &schema) else { continue };
+        let Ok(a23) = contained_in(&q2, &q3, &schema) else { continue };
+        if a12.holds && a23.holds {
+            checked += 1;
+            assert!(
+                contained_in(&q1, &q3, &schema).unwrap().holds,
+                "transitivity: {q1} / {q2} / {q3}"
+            );
+        }
+    }
+    let _ = checked;
+}
+
+#[test]
+fn deep_strong_containment_implies_hoare() {
+    // For nest-style deep queries (empty-set free), strong tree containment
+    // must imply ordinary containment.
+    let schema = schema();
+    for seed in 0..40u64 {
+        let q1 = random_deep_query(seed);
+        let q2 = random_deep_query(seed + 30_000);
+        let (Ok(p1), Ok(p2)) = (prepare(&q1, &schema), prepare(&q2, &schema)) else {
+            continue;
+        };
+        if p1.ty.lub(&p2.ty).is_none() {
+            continue;
+        }
+        if co_sim::tree_strong_contained_in_no_empty_sets(&p1.tree, &p2.tree) {
+            // Strong containment talks about equality of nested sets, which
+            // implies Hoare domination elementwise.
+            assert!(
+                co_sim::tree::tree_contained_in_no_empty_sets(&p1.tree, &p2.tree),
+                "{q1} strong-⊑ {q2} but not Hoare-⊑"
+            );
+        }
+    }
+}

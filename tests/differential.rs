@@ -1,0 +1,166 @@
+//! Workspace-level differential validation: the Theorem 4.1 decider versus
+//! the reference COQL evaluator, over randomly generated nested queries.
+//!
+//! * **Pipeline agreement**: for every generated query, evaluating through
+//!   the flattened query tree equals direct COQL evaluation on random
+//!   databases (normalize/flatten preserve semantics).
+//! * **Soundness**: whenever the decider says `Q1 ⊑ Q2`, no random database
+//!   refutes it under the Hoare order.
+//! * **Refutation completeness (empirical)**: whenever the decider says no,
+//!   a small random database refutes it.
+
+use co_core::{contained_in, evaluate_flat, prepare, random_database};
+use co_cq::Schema;
+use co_lang::Expr;
+use co_object::hoare_leq;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn schema() -> Schema {
+    Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])])
+}
+
+/// Generates a random COQL query over the fixed schema: an outer select
+/// over R (and sometimes S), a record head with an atomic field and
+/// (usually) one nested select with random correlation.
+fn random_query(seed: u64) -> Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = co_cq::Var::new("x");
+    let y = co_cq::Var::new("y");
+    let z = co_cq::Var::new("z");
+
+    let outer_attr = if rng.gen_bool(0.5) { "A" } else { "B" };
+    let mut bindings = vec![(x, Expr::rel("R"))];
+    let mut outer_conds = Vec::new();
+    if rng.gen_bool(0.3) {
+        bindings.push((z, Expr::rel("S")));
+        if rng.gen_bool(0.7) {
+            outer_conds.push((Expr::var("z").proj("C"), Expr::var("x").proj("B")));
+        }
+    }
+    if rng.gen_bool(0.25) {
+        outer_conds.push((
+            Expr::var("x").proj(outer_attr),
+            Expr::int(rng.gen_range(0..3)),
+        ));
+    }
+
+    let head = if rng.gen_bool(0.75) {
+        // Nested head: [a: x.attr, g: (select … from y in R|S where …)].
+        let (inner_rel, inner_attr) =
+            if rng.gen_bool(0.6) { ("R", "B") } else { ("S", "C") };
+        let mut inner_conds = Vec::new();
+        match rng.gen_range(0..3) {
+            0 if inner_rel == "R" => inner_conds.push((
+                Expr::var("y").proj("A"),
+                Expr::var("x").proj("A"),
+            )),
+            1 => inner_conds.push((
+                Expr::var("y").proj(inner_attr),
+                Expr::var("x").proj("B"),
+            )),
+            _ => {}
+        }
+        if rng.gen_bool(0.2) {
+            inner_conds.push((
+                Expr::var("y").proj(inner_attr),
+                Expr::int(rng.gen_range(0..3)),
+            ));
+        }
+        let inner = Expr::Select {
+            head: Box::new(Expr::var("y").proj(inner_attr)),
+            bindings: vec![(y, Expr::rel(inner_rel))],
+            conds: inner_conds,
+        };
+        Expr::record(vec![("a", Expr::var("x").proj(outer_attr)), ("g", inner)])
+    } else {
+        Expr::record(vec![("a", Expr::var("x").proj(outer_attr)), ("b", Expr::var("x").proj("B"))])
+    };
+
+    Expr::Select { head: Box::new(head), bindings, conds: outer_conds }
+}
+
+#[test]
+fn flattening_preserves_semantics_on_random_queries() {
+    let schema = schema();
+    for seed in 0..120u64 {
+        let q = random_query(seed);
+        let p = prepare(&q, &schema).unwrap_or_else(|e| panic!("{q}: {e}"));
+        for db_seed in 0..6u64 {
+            let db = random_database(&schema, seed * 31 + db_seed);
+            let direct = evaluate_flat(&q, &schema, &db).unwrap();
+            let via_tree = p.tree.evaluate(&db);
+            assert_eq!(direct, via_tree, "{q}\nDB:\n{db}");
+        }
+    }
+}
+
+#[test]
+fn containment_decider_is_sound_on_random_pairs() {
+    let schema = schema();
+    let mut decided_yes = 0;
+    for seed in 0..150u64 {
+        let q1 = random_query(seed);
+        let q2 = random_query(seed + 10_000);
+        let Ok(analysis) = contained_in(&q1, &q2, &schema) else {
+            continue; // incompatible result types
+        };
+        if !analysis.holds {
+            continue;
+        }
+        decided_yes += 1;
+        let p1 = prepare(&q1, &schema).unwrap();
+        let p2 = prepare(&q2, &schema).unwrap();
+        for db_seed in 0..12u64 {
+            let db = random_database(&schema, seed * 131 + db_seed);
+            let v1 = p1.tree.evaluate(&db);
+            let v2 = p2.tree.evaluate(&db);
+            assert!(
+                hoare_leq(&v1, &v2),
+                "UNSOUND: decided {q1} ⊑ {q2} but:\n v1={v1}\n v2={v2}\nDB:\n{db}"
+            );
+        }
+    }
+    assert!(decided_yes >= 5, "workload produced only {decided_yes} positive cases");
+}
+
+#[test]
+fn negative_answers_are_refutable() {
+    let schema = schema();
+    let mut refuted = 0;
+    let mut unrefuted = Vec::new();
+    for seed in 0..60u64 {
+        let q1 = random_query(seed);
+        let q2 = random_query(seed + 20_000);
+        let Ok(analysis) = contained_in(&q1, &q2, &schema) else {
+            continue;
+        };
+        if analysis.holds {
+            continue;
+        }
+        match co_core::search_counterexample(&q1, &q2, &schema, 0..600).unwrap() {
+            Some(_) => refuted += 1,
+            None => unrefuted.push(format!("{q1}  ⋢?  {q2}")),
+        }
+    }
+    // The canonical-instantiation search makes refutation essentially
+    // complete on this workload; any residue is a red flag worth reading.
+    assert!(
+        unrefuted.is_empty(),
+        "unrefuted negatives ({} of {}):\n{}",
+        unrefuted.len(),
+        refuted + unrefuted.len(),
+        unrefuted.join("\n")
+    );
+}
+
+#[test]
+fn containment_is_a_preorder_on_random_queries() {
+    let schema = schema();
+    for seed in 0..40u64 {
+        let q = random_query(seed);
+        if let Ok(a) = contained_in(&q, &q, &schema) {
+            assert!(a.holds, "reflexivity failed for {q}");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The paper's worked examples and headline claims, as executable tests.
+//!
+//! The PODS'97 text is an extended abstract; where an example's full detail
+//! lives in the appendix we reconstruct it from the surrounding discussion
+//! (noted per test).
+
+use coql_containment::prelude::*;
+
+fn schema() -> Schema {
+    Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])])
+}
+
+/// §2's motivating shape (reconstructed): two groupings of the same data
+/// where per-key groups are contained in looser groups — containment holds
+/// even though no containment mapping exists between the flat parts alone.
+#[test]
+fn section_2_motivating_groups() {
+    let tight = parse_coql(
+        "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R",
+    )
+    .unwrap();
+    let loose =
+        parse_coql("select [a: x.A, g: (select y.B from y in R)] from x in R").unwrap();
+    assert!(contained_in(&tight, &loose, &schema()).unwrap().holds);
+    assert!(!contained_in(&loose, &tight, &schema()).unwrap().holds);
+}
+
+/// §3.2: "when the result of a COQL query is a flat set … equivalence
+/// follows from containment in both directions."
+#[test]
+fn flat_results_collapse_equivalence() {
+    let q1 = parse_coql("select [b: x.B] from x in R where x.A = 1").unwrap();
+    let q2 = parse_coql("select [b: y.B] from y in R where y.A = 1").unwrap();
+    assert_eq!(equivalent(&q1, &q2, &schema()).unwrap(), Equivalence::Equivalent);
+    let a = contained_in(&q1, &q2, &schema()).unwrap();
+    assert_eq!(a.path, DecisionPath::FlatClassical);
+}
+
+/// §3.1: COQL is a conservative extension of conjunctive queries — over
+/// flat inputs and outputs, COQL containment coincides with classical
+/// containment of the corresponding conjunctive queries.
+#[test]
+fn conservativity_over_flat_queries() {
+    let pairs = [
+        (
+            "select [a: x.A] from x in R, y in R where x.B = y.A",
+            "select [a: x.A] from x in R",
+            true,
+        ),
+        (
+            "select [a: x.A] from x in R",
+            "select [a: x.A] from x in R, y in R where x.B = y.A",
+            false,
+        ),
+        (
+            "select [a: x.A, b: x.B] from x in R where x.A = x.B",
+            "select [a: x.A, b: x.A] from x in R where x.A = x.B",
+            true,
+        ),
+    ];
+    for (s1, s2, expected) in pairs {
+        let q1 = parse_coql(s1).unwrap();
+        let q2 = parse_coql(s2).unwrap();
+        assert_eq!(
+            contained_in(&q1, &q2, &schema()).unwrap().holds,
+            expected,
+            "{s1} ⊑ {s2}"
+        );
+    }
+}
+
+/// §3.2: the containment order on complex objects is the weakest preorder
+/// consistent with the relational model and preserved by the constructors.
+#[test]
+fn hoare_order_defining_properties() {
+    // Restriction to flat relations is ⊆ (checked in crates), and the
+    // empty-set asymmetry: {} ⊑ {x} but {x} ⋢ {}.
+    let e = parse_value("{}").unwrap();
+    let x = parse_value("{1}").unwrap();
+    assert!(hoare_leq(&e, &x));
+    assert!(!hoare_leq(&x, &e));
+    // The classic witness that weak equivalence ≠ equality on nested sets:
+    let a = parse_value("{{1}, {1, 2}}").unwrap();
+    let b = parse_value("{{1, 2}}").unwrap();
+    assert_ne!(a, b);
+    assert!(hoare_equiv(&a, &b));
+}
+
+/// §4 + footnote 3: nest;unnest equivalence is decidable (NP-complete) when
+/// nesting is governed by atomic attributes.
+#[test]
+fn gyssens_paredaens_van_gucht_question() {
+    let flat = Schema::with_relations(&[("T", &["A", "B", "C"])]);
+    // ν_B;μ ≡ id, ν_{B,C};μ ≡ id, but ν_B ≢ ν_C.
+    let identity = NuSeq::new("T", vec![]);
+    let nb = NuSeq::new("T", vec![NuOp::nest(&["B"], "g"), NuOp::unnest("g")]);
+    let nbc = NuSeq::new("T", vec![NuOp::nest(&["B", "C"], "g"), NuOp::unnest("g")]);
+    assert!(equivalent_sequences(&nb, &identity, &flat).unwrap());
+    assert!(equivalent_sequences(&nbc, &identity, &flat).unwrap());
+    assert!(equivalent_sequences(&nb, &nbc, &flat).unwrap());
+    let group_b = NuSeq::new("T", vec![NuOp::nest(&["B"], "g")]);
+    let group_c = NuSeq::new("T", vec![NuOp::nest(&["C"], "g")]);
+    assert!(!equivalent_sequences(&group_b, &group_c, &flat).unwrap());
+}
+
+/// §7's shape: equivalence of aggregate queries through group structures.
+#[test]
+fn section_7_aggregate_equivalence() {
+    let q = AggQuery::parse("q(D) :- Emp(D, N).", &[("count", "N")]).unwrap();
+    let q_redundant =
+        AggQuery::parse("q(D) :- Emp(D, N), Emp(D, M).", &[("count", "N")]).unwrap();
+    assert!(agg_equivalent(&q, &q_redundant));
+    let q_filtered =
+        AggQuery::parse("q(D) :- Emp(D, N), Mgr(N).", &[("count", "N")]).unwrap();
+    assert!(!agg_equivalent(&q, &q_filtered));
+}
+
+/// Simulation strictly generalizes containment: with empty index both
+/// coincide; with indexes, pairs exist where flat containment of the
+/// `(Ī,V̄)` heads fails but simulation holds.
+#[test]
+fn simulation_generalizes_containment() {
+    use co_cq::parse_query;
+    let q1 = IndexedQuery::from_cq(&parse_query("q(X, Y) :- R(X, Y).").unwrap(), 1);
+    let q2 = IndexedQuery::from_cq(
+        &parse_query("q(Y0, Y) :- R(X, Y), R(X, Y0).").unwrap(),
+        1,
+    );
+    // Flat containment with heads (X,Y) vs (Y0,Y) fails…
+    assert!(!co_cq::is_contained_in(&q1.as_cq(), &q2.as_cq()));
+    // …but every group of q1 is inside a group of q2 (pick ī' = any member).
+    assert!(is_simulated_by(&q1, &q2));
+}
+
+/// Strong simulation is strictly stronger than simulation (§6): group
+/// inclusion without equality.
+#[test]
+fn strong_simulation_is_strictly_stronger() {
+    use co_cq::parse_query;
+    let filtered =
+        IndexedQuery::from_cq(&parse_query("q(X, Y) :- R(X, Y), S(Y).").unwrap(), 1);
+    let plain = IndexedQuery::from_cq(&parse_query("q(X, Y) :- R(X, Y).").unwrap(), 1);
+    assert!(is_simulated_by(&filtered, &plain));
+    assert!(!is_strongly_simulated_by(&filtered, &plain));
+}
+
+/// The empty-set effect end to end: two queries that agree whenever the
+/// inner set is inhabited but differ through emptiness. `outernest`-style
+/// grouping (inner select over another relation) vs a singleton wrapper.
+#[test]
+fn empty_sets_separate_queries() {
+    // g is {y.C : S(y), y.C = x.B}: possibly empty.
+    let outer = parse_coql(
+        "select [b: x.B, g: (select y.C from y in S where y.C = x.B)] from x in R",
+    )
+    .unwrap();
+    // g is {x.B} when S proves it: never empty *when produced*, but the
+    // element only exists under the join.
+    let joined = parse_coql(
+        "select [b: x.B, g: {y.C}] from x in R, y in S where y.C = x.B",
+    )
+    .unwrap();
+    // joined ⊑ outer: each joined element has g = {x.B} ⊆ the outer group.
+    assert!(contained_in(&joined, &outer, &schema()).unwrap().holds);
+    // outer ⋢ joined: when the group is empty, outer still emits [b, {}]
+    // but joined emits nothing — and {} ⊑ {…} cannot rescue the *record*
+    // because joined has no record with that b at all.
+    assert!(!contained_in(&outer, &joined, &schema()).unwrap().holds);
+    // Concrete witness.
+    let cex = co_core::search_counterexample(&outer, &joined, &schema(), 0..300).unwrap();
+    assert!(cex.is_some());
+}
+
+/// Weak equivalence vs equivalence: mutual containment of two queries whose
+/// answers may contain empty sets is reported as weak-only (the paper's
+/// equivalence theorem requires empty-set freedom).
+#[test]
+fn weak_vs_true_equivalence() {
+    let q = parse_coql(
+        "select [b: x.B, g: (select y.C from y in S where y.C = x.B)] from x in R",
+    )
+    .unwrap();
+    assert!(weakly_equivalent(&q, &q, &schema()).unwrap());
+    assert_eq!(
+        equivalent(&q, &q, &schema()).unwrap(),
+        Equivalence::WeaklyEquivalentOnly
+    );
+}
