@@ -117,11 +117,7 @@ impl HierarchicalAgg {
         }
 
         let mut children: Vec<ChildLink> = Vec::new();
-        let full_keys: Vec<Term> = anc_keys
-            .iter()
-            .chain(self.group_by.iter())
-            .copied()
-            .collect();
+        let full_keys: Vec<Term> = anc_keys.iter().chain(self.group_by.iter()).copied().collect();
 
         for (oi, output) in self.outputs.iter().enumerate() {
             match output {
@@ -165,10 +161,8 @@ impl HierarchicalAgg {
                 HierOutput::Nested(inner) => {
                     let child = inner.node(&body, &full_keys);
                     children.push(ChildLink { link: full_keys.clone(), node: child });
-                    fields.push((
-                        Field::new(&format!("o{oi}")),
-                        Template::Child(children.len() - 1),
-                    ));
+                    fields
+                        .push((Field::new(&format!("o{oi}")), Template::Child(children.len() - 1)));
                 }
             }
         }
@@ -231,12 +225,8 @@ mod tests {
 
     /// Per-department: count employees; per (department, role): count too.
     fn drilldown(body_extra: &str) -> HierarchicalAgg {
-        let inner = HierarchicalAgg::parse(
-            "q(D, L) :- Emp(D, L, N).",
-            &[("count", "N")],
-            vec![],
-        )
-        .unwrap();
+        let inner =
+            HierarchicalAgg::parse("q(D, L) :- Emp(D, L, N).", &[("count", "N")], vec![]).unwrap();
         HierarchicalAgg::parse(
             &format!("q(D) :- Emp(D, L, N){body_extra}."),
             &[("count", "N")],
@@ -272,28 +262,20 @@ mod tests {
 
     #[test]
     fn different_functions_are_not_equivalent() {
-        let count = HierarchicalAgg::parse("q(D) :- Emp(D, L, N).", &[("count", "N")], vec![])
-            .unwrap();
-        let sum =
-            HierarchicalAgg::parse("q(D) :- Emp(D, L, N).", &[("sum", "N")], vec![]).unwrap();
+        let count =
+            HierarchicalAgg::parse("q(D) :- Emp(D, L, N).", &[("count", "N")], vec![]).unwrap();
+        let sum = HierarchicalAgg::parse("q(D) :- Emp(D, L, N).", &[("sum", "N")], vec![]).unwrap();
         assert!(!hierarchical_equivalent(&count, &sum));
     }
 
     #[test]
     fn different_inner_groupings_are_not_equivalent() {
         let by_role = drilldown("");
-        let inner_by_name = HierarchicalAgg::parse(
-            "q(D, N) :- Emp(D, L, N).",
-            &[("count", "L")],
-            vec![],
-        )
-        .unwrap();
-        let by_name = HierarchicalAgg::parse(
-            "q(D) :- Emp(D, L, N).",
-            &[("count", "N")],
-            vec![inner_by_name],
-        )
-        .unwrap();
+        let inner_by_name =
+            HierarchicalAgg::parse("q(D, N) :- Emp(D, L, N).", &[("count", "L")], vec![]).unwrap();
+        let by_name =
+            HierarchicalAgg::parse("q(D) :- Emp(D, L, N).", &[("count", "N")], vec![inner_by_name])
+                .unwrap();
         assert!(!hierarchical_equivalent(&by_role, &by_name));
     }
 
@@ -301,9 +283,7 @@ mod tests {
     fn single_level_agrees_with_flat_decider() {
         // A single-level report with visible keys must agree with the
         // classical §7 reduction.
-        let mk_h = |body: &str| {
-            HierarchicalAgg::parse(body, &[("count", "Y")], vec![]).unwrap()
-        };
+        let mk_h = |body: &str| HierarchicalAgg::parse(body, &[("count", "Y")], vec![]).unwrap();
         let mk_f = |body: &str| crate::AggQuery::parse(body, &[("count", "Y")]).unwrap();
         let cases = [
             ("q(X) :- R(X, Y).", "q(A) :- R(A, B), R(A, Y)."),

@@ -40,9 +40,7 @@ pub mod hierarchical;
 use std::collections::BTreeMap;
 use std::fmt;
 
-use co_cq::{
-    contained_in, ConjunctiveQuery, Database, QueryAtom, Relation, Term, Tuple, Var,
-};
+use co_cq::{contained_in, ConjunctiveQuery, Database, QueryAtom, Relation, Term, Tuple, Var};
 use co_object::Atom;
 use co_sim::{is_strongly_simulated_by, IndexedQuery};
 
@@ -221,11 +219,7 @@ impl fmt::Display for AggQuery {
 fn signatures_match(q1: &AggQuery, q2: &AggQuery) -> bool {
     q1.group_by.len() == q2.group_by.len()
         && q1.aggregates.len() == q2.aggregates.len()
-        && q1
-            .aggregates
-            .iter()
-            .zip(q2.aggregates.iter())
-            .all(|(a, b)| a.func == b.func)
+        && q1.aggregates.iter().zip(q2.aggregates.iter()).all(|(a, b)| a.func == b.func)
 }
 
 /// Decides uninterpreted containment `Q ⊑ Q'`: on every database, every
@@ -313,11 +307,8 @@ mod tests {
 
     #[test]
     fn sum_min_max() {
-        let q = AggQuery::parse(
-            "q(X) :- R(X, Y).",
-            &[("sum", "Y"), ("min", "Y"), ("max", "Y")],
-        )
-        .unwrap();
+        let q = AggQuery::parse("q(X) :- R(X, Y).", &[("sum", "Y"), ("min", "Y"), ("max", "Y")])
+            .unwrap();
         let db = Database::from_ints(&[("R", &[&[1, 10], &[1, 11]])]);
         let r = q.evaluate(&db).unwrap();
         assert!(r.contains(&[Atom::int(1), Atom::int(21), Atom::int(10), Atom::int(11)]));

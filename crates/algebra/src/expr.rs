@@ -229,11 +229,10 @@ pub fn to_coql(alg: &AlgExpr, schema: &CoqlSchema) -> Result<(Expr, Type), Trans
             let mut fields = Vec::new();
             let mut out_ty = Vec::new();
             for &a in attrs {
-                let t = fields_ty
-                    .iter()
-                    .find(|(f, _)| *f == a)
-                    .map(|(_, t)| t.clone())
-                    .ok_or_else(|| TranslateError::new(format!("project: no attribute `{a}`")))?;
+                let t =
+                    fields_ty.iter().find(|(f, _)| *f == a).map(|(_, t)| t.clone()).ok_or_else(
+                        || TranslateError::new(format!("project: no attribute `{a}`")),
+                    )?;
                 fields.push((a, Expr::Proj(Box::new(Expr::Var(x)), a)));
                 out_ty.push((a, t));
             }
@@ -251,7 +250,10 @@ pub fn to_coql(alg: &AlgExpr, schema: &CoqlSchema) -> Result<(Expr, Type), Trans
                 .ok_or_else(|| TranslateError::new("flatten of non-set".to_string()))?
                 .clone();
             match elem {
-                Type::Set(_) | Type::Bottom => Ok((ei.flatten(), if let Type::Set(t) = elem { Type::Set(t) } else { Type::set(Type::Bottom) })),
+                Type::Set(_) | Type::Bottom => Ok((
+                    ei.flatten(),
+                    if let Type::Set(t) = elem { Type::Set(t) } else { Type::set(Type::Bottom) },
+                )),
                 other => Err(TranslateError::new(format!("flatten of set of {other}"))),
             }
         }
@@ -269,21 +271,14 @@ pub fn to_coql(alg: &AlgExpr, schema: &CoqlSchema) -> Result<(Expr, Type), Trans
             env.insert(*var, elem);
             let body_ty = type_check_with_env(body, schema, &env)
                 .map_err(|e| TranslateError::new(e.to_string()))?;
-            let e = Expr::Select {
-                head: body.clone(),
-                bindings: vec![(*var, es)],
-                conds: vec![],
-            };
+            let e = Expr::Select { head: body.clone(), bindings: vec![(*var, es)], conds: vec![] };
             Ok((e, Type::set(body_ty)))
         }
         AlgExpr::Nest(inner, set_attrs, g) => {
             let (ei, ti) = to_coql(inner, schema)?;
             let fields_ty = record_attrs(&ti, "nest")?;
-            let key_attrs: Vec<(Field, Type)> = fields_ty
-                .iter()
-                .filter(|(f, _)| !set_attrs.contains(f))
-                .cloned()
-                .collect();
+            let key_attrs: Vec<(Field, Type)> =
+                fields_ty.iter().filter(|(f, _)| !set_attrs.contains(f)).cloned().collect();
             for (f, t) in &key_attrs {
                 if !matches!(t, Type::Atom) {
                     return Err(TranslateError::new(format!(
@@ -309,10 +304,7 @@ pub fn to_coql(alg: &AlgExpr, schema: &CoqlSchema) -> Result<(Expr, Type), Trans
             let conds = key_attrs
                 .iter()
                 .map(|(f, _)| {
-                    (
-                        Expr::Proj(Box::new(Expr::Var(y)), *f),
-                        Expr::Proj(Box::new(Expr::Var(x)), *f),
-                    )
+                    (Expr::Proj(Box::new(Expr::Var(y)), *f), Expr::Proj(Box::new(Expr::Var(x)), *f))
                 })
                 .collect();
             let group = Expr::Select {
@@ -352,21 +344,17 @@ pub fn to_coql(alg: &AlgExpr, schema: &CoqlSchema) -> Result<(Expr, Type), Trans
             let mut member_fields = Vec::new();
             let mut member_ty = Vec::new();
             for &a in set_attrs {
-                let t = rel_fields
-                    .iter()
-                    .find(|(f, _)| *f == a)
-                    .map(|(_, t)| t.clone())
-                    .ok_or_else(|| TranslateError::new(format!("outernest: no attribute `{a}`")))?;
+                let t =
+                    rel_fields.iter().find(|(f, _)| *f == a).map(|(_, t)| t.clone()).ok_or_else(
+                        || TranslateError::new(format!("outernest: no attribute `{a}`")),
+                    )?;
                 member_fields.push((a, Expr::Proj(Box::new(Expr::Var(y)), a)));
                 member_ty.push((a, t));
             }
             let conds = spine_fields
                 .iter()
                 .map(|(f, _)| {
-                    (
-                        Expr::Proj(Box::new(Expr::Var(y)), *f),
-                        Expr::Proj(Box::new(Expr::Var(s)), *f),
-                    )
+                    (Expr::Proj(Box::new(Expr::Var(y)), *f), Expr::Proj(Box::new(Expr::Var(s)), *f))
                 })
                 .collect();
             let group = Expr::Select {
@@ -453,16 +441,9 @@ mod tests {
     #[test]
     fn products_and_selections_translate() {
         check(&AlgExpr::Product(Box::new(AlgExpr::rel("R")), Box::new(AlgExpr::rel("T"))));
-        check(&AlgExpr::SelectConst(
-            Box::new(AlgExpr::rel("R")),
-            Field::new("A"),
-            Atom::int(1),
-        ));
+        check(&AlgExpr::SelectConst(Box::new(AlgExpr::rel("R")), Field::new("A"), Atom::int(1)));
         check(&AlgExpr::SelectEq(
-            Box::new(AlgExpr::Product(
-                Box::new(AlgExpr::rel("R")),
-                Box::new(AlgExpr::rel("T")),
-            )),
+            Box::new(AlgExpr::Product(Box::new(AlgExpr::rel("R")), Box::new(AlgExpr::rel("T")))),
             Field::new("B"),
             Field::new("C"),
         ));
@@ -493,10 +474,7 @@ mod tests {
         // Spine over A includes a key (3) absent from R: empty group.
         let alg = AlgExpr::Outernest {
             rel: Box::new(AlgExpr::rel("SP")),
-            spine: Box::new(AlgExpr::Project(
-                Box::new(AlgExpr::rel("SPK")),
-                vec![Field::new("A")],
-            )),
+            spine: Box::new(AlgExpr::Project(Box::new(AlgExpr::rel("SPK")), vec![Field::new("A")])),
             set_attrs: vec![Field::new("B")],
             new_field: Field::new("g"),
         };

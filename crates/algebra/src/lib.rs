@@ -21,6 +21,6 @@ pub mod ops;
 pub use expr::{to_coql, AlgExpr, TranslateError};
 pub use nestseq::{equivalent_sequences, NuError, NuOp, NuSeq};
 pub use ops::{
-    flatten, map, nest, outernest, product, project, select_const, select_eq, singleton,
-    unnest, AlgError,
+    flatten, map, nest, outernest, product, project, select_const, select_eq, singleton, unnest,
+    AlgError,
 };

@@ -163,9 +163,7 @@ pub fn equivalent_sequences(
     if t1.lub(&t2).is_none() {
         return Ok(false);
     }
-    match co_core::equivalent(&e1, &e2, schema)
-        .map_err(|e| NuError { message: e.to_string() })?
-    {
+    match co_core::equivalent(&e1, &e2, schema).map_err(|e| NuError { message: e.to_string() })? {
         Equivalence::Equivalent => Ok(true),
         Equivalence::NotEquivalent => Ok(false),
         // nest/unnest sequences are empty-set free; the conservative
@@ -241,8 +239,7 @@ mod tests {
             NuSeq::new("R", vec![NuOp::nest(&["B"], "g"), NuOp::unnest("g")]),
         ];
         let base =
-            parse_value("{[A: 1, B: 10, C: 5], [A: 1, B: 11, C: 6], [A: 2, B: 20, C: 5]}")
-                .unwrap();
+            parse_value("{[A: 1, B: 10, C: 5], [A: 1, B: 11, C: 6], [A: 2, B: 20, C: 5]}").unwrap();
         let coql_schema = CoqlSchema::from_flat(&schema());
         let db = co_lang::CoDatabase::new().with("R", base.clone());
         for s in &seqs {

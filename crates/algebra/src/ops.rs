@@ -123,9 +123,8 @@ pub fn project(r: &Value, attrs: &[Field]) -> Result<Value, AlgError> {
         let rt = as_tuple(t, "project")?;
         let mut fields = Vec::with_capacity(attrs.len());
         for &a in attrs {
-            let v = rt
-                .get(a)
-                .ok_or_else(|| AlgError::new(format!("project: no attribute `{a}`")))?;
+            let v =
+                rt.get(a).ok_or_else(|| AlgError::new(format!("project: no attribute `{a}`")))?;
             fields.push((a, v.clone()));
         }
         out.push(Value::record(fields).map_err(|e| AlgError::new(e.to_string()))?);
@@ -134,7 +133,10 @@ pub fn project(r: &Value, attrs: &[Field]) -> Result<Value, AlgError> {
 }
 
 /// `map(f)(R)`: applies `f` to every element.
-pub fn map(r: &Value, mut f: impl FnMut(&Value) -> Result<Value, AlgError>) -> Result<Value, AlgError> {
+pub fn map(
+    r: &Value,
+    mut f: impl FnMut(&Value) -> Result<Value, AlgError>,
+) -> Result<Value, AlgError> {
     let rs = as_relation(r, "map")?;
     let mut out = Vec::with_capacity(rs.len());
     for t in rs.iter() {
@@ -231,8 +233,7 @@ pub fn outernest(
                 }
             }
             if matches {
-                members
-                    .push(Value::record(member).map_err(|e| AlgError::new(e.to_string()))?);
+                members.push(Value::record(member).map_err(|e| AlgError::new(e.to_string()))?);
             }
         }
         let mut fields: Vec<(Field, Value)> = rz.iter().cloned().collect();
@@ -256,19 +257,13 @@ pub fn unnest(r: &Value, set_field: Field) -> Result<Value, AlgError> {
         let members = as_relation(inner, "unnest")?;
         for m in members.iter() {
             let rm = as_tuple(m, "unnest")?;
-            let mut fields: Vec<(Field, Value)> = rt
-                .iter()
-                .filter(|(f, _)| *f != set_field)
-                .cloned()
-                .collect();
+            let mut fields: Vec<(Field, Value)> =
+                rt.iter().filter(|(f, _)| *f != set_field).cloned().collect();
             fields.extend(rm.iter().cloned());
             fields.sort_by_key(|(f, _)| *f);
             for w in fields.windows(2) {
                 if w[0].0 == w[1].0 {
-                    return Err(AlgError::new(format!(
-                        "unnest: attribute `{}` collides",
-                        w[0].0
-                    )));
+                    return Err(AlgError::new(format!("unnest: attribute `{}` collides", w[0].0)));
                 }
             }
             out.push(Value::record(fields).expect("checked disjoint"));
@@ -309,10 +304,7 @@ mod tests {
     fn nest_groups_without_empty_sets() {
         let r = parse_value("{[A: 1, B: 10], [A: 1, B: 11], [A: 2, B: 20]}").unwrap();
         let n = nest(&r, &[f("B")], f("g")).unwrap();
-        assert_eq!(
-            n.to_string(),
-            "{[A: 1, g: {[B: 10], [B: 11]}], [A: 2, g: {[B: 20]}]}"
-        );
+        assert_eq!(n.to_string(), "{[A: 1, g: {[B: 10], [B: 11]}], [A: 2, g: {[B: 20]}]}");
         assert!(!n.contains_empty_set());
     }
 

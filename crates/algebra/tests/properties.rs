@@ -29,9 +29,7 @@ fn random_db(seed: u64) -> CoDatabase {
     }
     let mut t = Vec::new();
     for _ in 0..rng.gen_range(0..4) {
-        t.push(
-            Value::record(vec![(Field::new("C"), Value::int(rng.gen_range(0..3)))]).unwrap(),
-        );
+        t.push(Value::record(vec![(Field::new("C"), Value::int(rng.gen_range(0..3)))]).unwrap());
     }
     CoDatabase::new().with("R", Value::set(r)).with("T", Value::set(t))
 }
@@ -51,8 +49,7 @@ fn random_alg(seed: u64) -> AlgExpr {
             ),
             2 => AlgExpr::Project(Box::new(e), vec![Field::new("A"), Field::new("B")]),
             3 => AlgExpr::Flatten(Box::new(AlgExpr::Singleton(Box::new(e)))),
-            4 => AlgExpr::Nest(Box::new(e), vec![Field::new("B")], Field::new("g"))
-                .unnest("g"),
+            4 => AlgExpr::Nest(Box::new(e), vec![Field::new("B")], Field::new("g")).unnest("g"),
             _ => e,
         };
     }

@@ -13,12 +13,9 @@ fn bench(c: &mut Criterion) {
     for extra in [0usize, 2, 3] {
         let q = redundant_query(extra);
         let raw = co_core::prepare(&q, &schema).expect("prepares");
-        let minimized = co_core::prepare_with(
-            &q,
-            &schema,
-            co_core::PrepareOptions { minimize: true },
-        )
-        .expect("prepares");
+        let minimized =
+            co_core::prepare_with(&q, &schema, co_core::PrepareOptions { minimize: true })
+                .expect("prepares");
         group.bench_with_input(BenchmarkId::new("raw", extra), &extra, |b, _| {
             b.iter(|| co_sim::tree::tree_contained_in(black_box(&raw.tree), black_box(&raw.tree)))
         });

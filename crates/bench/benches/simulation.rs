@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
             b.iter(|| co_cq::is_contained_in(black_box(&c1), black_box(&c2)))
         });
         group.bench_with_input(BenchmarkId::new("extra_witnesses_k3", n), &n, |b, _| {
-            b.iter(|| co_sim::simulated_by_with_witnesses(black_box(&q1), black_box(&q2), 3).holds())
+            b.iter(|| {
+                co_sim::simulated_by_with_witnesses(black_box(&q1), black_box(&q2), 3).holds()
+            })
         });
     }
     group.finish();

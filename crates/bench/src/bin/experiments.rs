@@ -167,7 +167,9 @@ fn e4_strong_simulation() {
 /// E5: the empty-set exponential component and its disappearance.
 fn e5_empty_set_blowup() {
     println!("\n## E5 — COQL containment: the empty-set case split (Thm 4.1 / §4)\n");
-    println!("| possibly-empty children c | full procedure (µs) | no-empty-sets path (µs) | ratio |");
+    println!(
+        "| possibly-empty children c | full procedure (µs) | no-empty-sets path (µs) | ratio |"
+    );
     println!("|---:|---:|---:|---:|");
     let schema = coql_schema();
     for c in [0usize, 1, 2, 3, 4, 5, 6] {
@@ -214,10 +216,7 @@ fn e7_aggregates() {
         let (q1, q2) = agg_pair(extra);
         let t_vis = timed(5, || co_agg::agg_equivalent(&q1, &q2));
         let t_hid = timed(5, || co_agg::hidden_key_equivalent(&q1, &q2));
-        println!(
-            "| {extra} | {t_vis:.1} | {t_hid:.1} | {} |",
-            co_agg::agg_equivalent(&q1, &q2)
-        );
+        println!("| {extra} | {t_vis:.1} | {t_hid:.1} | {} |", co_agg::agg_equivalent(&q1, &q2));
     }
 }
 
@@ -267,10 +266,7 @@ fn e12_hierarchical() {
         let q1 = hierarchical_report(depth);
         let q2 = hierarchical_report(depth);
         let t = timed(3, || co_agg::hierarchical_equivalent(&q1, &q2));
-        println!(
-            "| {depth} | {t:.1} | {} |",
-            co_agg::hierarchical_equivalent(&q1, &q2)
-        );
+        println!("| {depth} | {t:.1} | {} |", co_agg::hierarchical_equivalent(&q1, &q2));
     }
 }
 
@@ -283,20 +279,13 @@ fn e11_minimization() {
     for extra in [0usize, 1, 2, 3] {
         let q = redundant_query(extra);
         let raw = co_core::prepare(&q, &schema).expect("prepares");
-        let minimized = co_core::prepare_with(
-            &q,
-            &schema,
-            co_core::PrepareOptions { minimize: true },
-        )
-        .expect("prepares");
+        let minimized =
+            co_core::prepare_with(&q, &schema, co_core::PrepareOptions { minimize: true })
+                .expect("prepares");
         let a_raw = co_sim::tree_atom_count(&raw.tree);
         let a_min = co_sim::tree_atom_count(&minimized.tree);
-        let t_raw = timed(5, || {
-            co_sim::tree::tree_contained_in(&raw.tree, &raw.tree)
-        });
-        let t_min = timed(5, || {
-            co_sim::tree::tree_contained_in(&minimized.tree, &minimized.tree)
-        });
+        let t_raw = timed(5, || co_sim::tree::tree_contained_in(&raw.tree, &raw.tree));
+        let t_min = timed(5, || co_sim::tree::tree_contained_in(&minimized.tree, &minimized.tree));
         println!("| {extra} | {a_raw} | {a_min} | {t_raw:.1} | {t_min:.1} |");
     }
 }

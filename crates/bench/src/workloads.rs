@@ -51,10 +51,7 @@ pub fn indexed_pair(atoms: usize, index_arity: usize, seed: u64) -> (IndexedQuer
         ..CqGenConfig::default()
     };
     let mut g = CqGen::new(seed, config);
-    (
-        IndexedQuery::from_cq(&g.query(), index_arity),
-        IndexedQuery::from_cq(&g.query(), index_arity),
-    )
+    (IndexedQuery::from_cq(&g.query(), index_arity), IndexedQuery::from_cq(&g.query(), index_arity))
 }
 
 /// E3 positive family: `q(X;Y) :- R(X,Y), chain…` vs a witness-requiring
@@ -88,8 +85,7 @@ pub fn many_children_query(children: usize) -> Expr {
             format!("(select y{i}.C from y{i} in S where y{i}.C = x.{col})"),
         ));
     }
-    let body: Vec<String> =
-        fields.iter().map(|(n, e)| format!("{n}: {e}")).collect();
+    let body: Vec<String> = fields.iter().map(|(n, e)| format!("{n}: {e}")).collect();
     let src = format!("select [{}] from x in R", body.join(", "));
     co_lang::parse_coql(&src).expect("constructed query parses")
 }
@@ -118,8 +114,7 @@ pub fn redundant_query(extra: usize) -> Expr {
     for i in 0..extra {
         outer_gens.push_str(&format!(", r{i} in R"));
     }
-    let mut outer_conds: Vec<String> =
-        (0..extra).map(|i| format!("r{i}.A = x.A")).collect();
+    let mut outer_conds: Vec<String> = (0..extra).map(|i| format!("r{i}.A = x.A")).collect();
     outer_conds.push("x.A = x.A".to_string());
     let src = format!(
         "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from {} where {}",
@@ -160,6 +155,76 @@ pub fn hierarchical_report(depth: usize) -> co_agg::HierarchicalAgg {
     report
 }
 
+/// E13: a duplicate-heavy serving workload for the `co-service` memo
+/// cache: `total` containment pairs over [`coql_schema`], drawn from
+/// `distinct` underlying semantic pairs. Every request is re-rendered with
+/// freshly randomized variable names, conjunct order, and equality
+/// orientation, so only canonical fingerprinting — not text equality —
+/// can collapse the duplicates.
+pub fn service_workload(total: usize, distinct: usize, seed: u64) -> Vec<(String, String)> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    const VARS: [&str; 8] = ["x", "y", "z", "u", "v", "w", "p", "q"];
+
+    /// `l = r` or `r = l`, chosen by coin flip.
+    fn eq(l: &str, r: &str, rng: &mut StdRng) -> String {
+        if rng.gen_bool(0.5) {
+            format!("{l} = {r}")
+        } else {
+            format!("{r} = {l}")
+        }
+    }
+
+    /// One rendering of semantic pair `pair`; the distinguishing constant
+    /// `pair / 2` keeps distinct pairs canonically distinct.
+    fn render(pair: usize, rng: &mut StdRng) -> (String, String) {
+        let k = (pair / 2).to_string();
+        let o = VARS[rng.gen_range(0..VARS.len())];
+        if pair.is_multiple_of(2) {
+            // Flat family: a filtered projection vs its unfiltered superset.
+            let mut conds = [eq(&format!("{o}.A"), &k, rng), format!("{o}.B = {o}.B")];
+            if rng.gen_bool(0.5) {
+                conds.swap(0, 1);
+            }
+            (
+                format!("select {o}.B from {o} in R where {}", conds.join(" and ")),
+                format!("select {o}.B from {o} in R"),
+            )
+        } else {
+            // Nested family: a grouped inner select, filtered vs not.
+            let i = loop {
+                let c = VARS[rng.gen_range(0..VARS.len())];
+                if c != o {
+                    break c;
+                }
+            };
+            let join = eq(&format!("{i}.C"), &format!("{o}.A"), rng);
+            let filter = eq(&format!("{i}.C"), &k, rng);
+            let conds = if rng.gen_bool(0.5) {
+                format!("{join} and {filter}")
+            } else {
+                format!("{filter} and {join}")
+            };
+            (
+                format!(
+                    "select [a: {o}.A, g: (select {i}.C from {i} in S where {conds})] from {o} in R"
+                ),
+                format!(
+                    "select [a: {o}.A, g: (select {i}.C from {i} in S where {join})] from {o} in R"
+                ),
+            )
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..total)
+        .map(|_| {
+            let pair = rng.gen_range(0..distinct.max(1));
+            render(pair, &mut rng)
+        })
+        .collect()
+}
+
 /// E8: `(ν;μ)^k` — k rounds of nest-then-unnest, equivalent to identity.
 pub fn nest_unnest_roundtrips(k: usize) -> (co_algebra::NuSeq, co_algebra::NuSeq) {
     let mut ops = Vec::new();
@@ -167,10 +232,7 @@ pub fn nest_unnest_roundtrips(k: usize) -> (co_algebra::NuSeq, co_algebra::NuSeq
         ops.push(co_algebra::NuOp::nest(&["B"], "g"));
         ops.push(co_algebra::NuOp::unnest("g"));
     }
-    (
-        co_algebra::NuSeq::new("T", ops),
-        co_algebra::NuSeq::new("T", vec![]),
-    )
+    (co_algebra::NuSeq::new("T", ops), co_algebra::NuSeq::new("T", vec![]))
 }
 
 /// The schema for E8.
@@ -196,8 +258,7 @@ pub fn nested_db(n: usize, seed: u64) -> (co_lang::CoDatabase, co_lang::CoqlSche
     let mut g = ValueGen::new(seed, GenConfig::default());
     let mut people = Vec::with_capacity(n);
     for i in 0..n {
-        let phones: Vec<Value> =
-            (0..(i % 4)).map(|_| Value::Atom(g.atom())).collect();
+        let phones: Vec<Value> = (0..(i % 4)).map(|_| Value::Atom(g.atom())).collect();
         let calls: Vec<Value> = (0..(i % 3))
             .map(|_| {
                 Value::record(vec![
@@ -254,6 +315,20 @@ mod tests {
         let enc = co_encode::encode_database(&db, &schema).unwrap();
         let back = co_encode::decode_database(&enc, &schema).unwrap();
         assert_eq!(back, db);
+    }
+
+    #[test]
+    fn service_workload_is_deterministic_and_well_formed() {
+        let reqs = service_workload(64, 10, 5);
+        assert_eq!(reqs.len(), 64);
+        assert_eq!(reqs, service_workload(64, 10, 5));
+        let schema = coql_schema();
+        for (q1, q2) in &reqs {
+            for q in [q1, q2] {
+                let expr = co_lang::parse_coql(q).expect("workload query parses");
+                co_core::prepare(&expr, &schema).expect("workload query prepares");
+            }
+        }
     }
 
     #[test]

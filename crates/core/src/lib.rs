@@ -67,7 +67,10 @@ impl fmt::Display for DecisionPath {
 }
 
 /// Result of a containment check, with provenance.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq`/`Eq` compare every field, so "bit-identical verdict" checks
+/// (e.g. cached vs. freshly computed, in `co-service`) are one `==`.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ContainmentAnalysis {
     /// Whether `Q1 ⊑ Q2` holds on every database.
     pub holds: bool,
@@ -177,8 +180,8 @@ pub fn contained_prepared(p1: &Prepared, p2: &Prepared) -> Result<ContainmentAna
     }
     let depth = p1.ty.set_depth().max(p2.ty.set_depth());
 
-    let no_empty = p1.empty_status == EmptySetStatus::Free
-        && p2.empty_status == EmptySetStatus::Free;
+    let no_empty =
+        p1.empty_status == EmptySetStatus::Free && p2.empty_status == EmptySetStatus::Free;
     let flat = p1.ty.is_flat_relation() && p2.ty.is_flat_relation();
     let path = if flat {
         DecisionPath::FlatClassical
@@ -228,8 +231,8 @@ pub fn equivalent(q1: &Expr, q2: &Expr, schema: &Schema) -> Result<Equivalence, 
     if !(contained_prepared(&p1, &p2)?.holds && contained_prepared(&p2, &p1)?.holds) {
         return Ok(Equivalence::NotEquivalent);
     }
-    let no_empty = p1.empty_status == EmptySetStatus::Free
-        && p2.empty_status == EmptySetStatus::Free;
+    let no_empty =
+        p1.empty_status == EmptySetStatus::Free && p2.empty_status == EmptySetStatus::Free;
     let flat = p1.ty.is_flat_relation() && p2.ty.is_flat_relation();
     if no_empty || flat {
         Ok(Equivalence::Equivalent)
@@ -290,8 +293,7 @@ pub fn random_database(schema: &Schema, seed: u64) -> Database {
     for rel in schema.iter() {
         let rows = 1 + next(5);
         for _ in 0..rows {
-            let tuple =
-                (0..rel.arity()).map(|_| co_object::Atom::int(next(4) as i64)).collect();
+            let tuple = (0..rel.arity()).map(|_| co_object::Atom::int(next(4) as i64)).collect();
             db.insert(rel.name, tuple);
         }
     }
@@ -326,7 +328,8 @@ mod tests {
     #[test]
     fn nested_containment_through_grouping() {
         // Filtered groups ⊑ unfiltered groups, not conversely.
-        let filtered = "select [a: x.A, g: (select y.B from y in R where y.A = x.A and y.B = 10)] from x in R";
+        let filtered =
+            "select [a: x.A, g: (select y.B from y in R where y.A = x.A and y.B = 10)] from x in R";
         let plain = "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R";
         assert!(holds(filtered, plain));
         assert!(!holds(plain, filtered));
@@ -347,10 +350,7 @@ mod tests {
         let src = "select [g: (select y.C from y in S where y.C = x.B)] from x in R";
         let q1 = parse_coql(src).unwrap();
         let q2 = parse_coql(src).unwrap();
-        assert_eq!(
-            equivalent(&q1, &q2, &schema()).unwrap(),
-            Equivalence::WeaklyEquivalentOnly
-        );
+        assert_eq!(equivalent(&q1, &q2, &schema()).unwrap(), Equivalence::WeaklyEquivalentOnly);
     }
 
     #[test]
@@ -382,8 +382,7 @@ mod tests {
             let q1 = parse_coql(s1).unwrap();
             let q2 = parse_coql(s2).unwrap();
             let decided = contained_in(&q1, &q2, &schema()).unwrap().holds;
-            let refuted =
-                search_counterexample(&q1, &q2, &schema(), 0..200).unwrap().is_some();
+            let refuted = search_counterexample(&q1, &q2, &schema(), 0..200).unwrap().is_some();
             assert!(
                 !(decided && refuted),
                 "decider said contained but semantics refuted: {s1} vs {s2}"
@@ -400,8 +399,7 @@ mod tests {
                    from x in R, z in R where z.A = x.A";
         let q = parse_coql(src).unwrap();
         let plain = prepare(&q, &schema()).unwrap();
-        let minimized =
-            prepare_with(&q, &schema(), PrepareOptions { minimize: true }).unwrap();
+        let minimized = prepare_with(&q, &schema(), PrepareOptions { minimize: true }).unwrap();
         assert!(
             co_sim::tree_atom_count(&minimized.tree) < co_sim::tree_atom_count(&plain.tree),
             "the redundant z-generator must be dropped"

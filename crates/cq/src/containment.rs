@@ -71,11 +71,7 @@ pub fn contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Option<Cert
     }
     let frozen = freeze(q1);
     let fixed = head_fixing(q1, q2, &frozen)?;
-    let hom = HomProblem::new(&q2.body, &frozen.db)
-        .with_fixed(fixed)
-        .first()
-        .ok()
-        .flatten()?;
+    let hom = HomProblem::new(&q2.body, &frozen.db).with_fixed(fixed).first().ok().flatten()?;
     Some(Certificate::Mapping(unfreeze_mapping(&hom, &frozen, q2)))
 }
 
@@ -124,8 +120,7 @@ pub(crate) fn unfreeze_mapping(
     frozen: &Frozen,
     q2: &ConjunctiveQuery,
 ) -> ContainmentMapping {
-    let inverse: HashMap<Atom, Var> =
-        frozen.assignment.iter().map(|(&v, &a)| (a, v)).collect();
+    let inverse: HashMap<Atom, Var> = frozen.assignment.iter().map(|(&v, &a)| (a, v)).collect();
     let mut map = HashMap::new();
     for v in q2.body_vars() {
         if let Some(&a) = hom.get(&v) {
@@ -177,20 +172,16 @@ mod tests {
                 QueryAtom::new("E", vec![v("y"), v("z")]),
             ],
         );
-        let p1 = ConjunctiveQuery::plain(
-            vec![v("x")],
-            vec![QueryAtom::new("E", vec![v("x"), v("y")])],
-        );
+        let p1 =
+            ConjunctiveQuery::plain(vec![v("x")], vec![QueryAtom::new("E", vec![v("x"), v("y")])]);
         assert!(is_contained_in(&p2, &p1));
         assert!(!is_contained_in(&p1, &p2));
     }
 
     #[test]
     fn equivalent_up_to_renaming_and_redundancy() {
-        let q1 = ConjunctiveQuery::plain(
-            vec![v("a")],
-            vec![QueryAtom::new("R", vec![v("a"), v("b")])],
-        );
+        let q1 =
+            ConjunctiveQuery::plain(vec![v("a")], vec![QueryAtom::new("R", vec![v("a"), v("b")])]);
         // Same query with a redundant extra copy of the atom pattern.
         let q2 = ConjunctiveQuery::plain(
             vec![v("u")],
@@ -208,28 +199,20 @@ mod tests {
             vec![v("x")],
             vec![QueryAtom::new("R", vec![v("x"), Term::int(1)])],
         );
-        let q2 = ConjunctiveQuery::plain(
-            vec![v("x")],
-            vec![QueryAtom::new("R", vec![v("x"), v("y")])],
-        );
+        let q2 =
+            ConjunctiveQuery::plain(vec![v("x")], vec![QueryAtom::new("R", vec![v("x"), v("y")])]);
         assert!(is_contained_in(&q1, &q2));
         assert!(!is_contained_in(&q2, &q1));
     }
 
     #[test]
     fn constants_in_heads() {
-        let q1 = ConjunctiveQuery::plain(
-            vec![Term::int(1)],
-            vec![QueryAtom::new("R", vec![v("x")])],
-        );
-        let q2 = ConjunctiveQuery::plain(
-            vec![Term::int(1)],
-            vec![QueryAtom::new("R", vec![v("y")])],
-        );
-        let q3 = ConjunctiveQuery::plain(
-            vec![Term::int(2)],
-            vec![QueryAtom::new("R", vec![v("y")])],
-        );
+        let q1 =
+            ConjunctiveQuery::plain(vec![Term::int(1)], vec![QueryAtom::new("R", vec![v("x")])]);
+        let q2 =
+            ConjunctiveQuery::plain(vec![Term::int(1)], vec![QueryAtom::new("R", vec![v("y")])]);
+        let q3 =
+            ConjunctiveQuery::plain(vec![Term::int(2)], vec![QueryAtom::new("R", vec![v("y")])]);
         assert!(is_contained_in(&q1, &q2));
         assert!(!is_contained_in(&q1, &q3));
     }
@@ -241,10 +224,7 @@ mod tests {
             vec![QueryAtom::new("R", vec![v("x")])],
             &[(Term::int(1), Term::int(2))],
         );
-        let q = ConjunctiveQuery::plain(
-            vec![v("x")],
-            vec![QueryAtom::new("R", vec![v("x")])],
-        );
+        let q = ConjunctiveQuery::plain(vec![v("x")], vec![QueryAtom::new("R", vec![v("x")])]);
         assert_eq!(contained_in(&empty, &q), Some(Certificate::TriviallyEmpty));
         assert!(!is_contained_in(&q, &empty));
     }
@@ -255,10 +235,8 @@ mod tests {
             vec![v("x"), v("y")],
             vec![QueryAtom::new("R", vec![v("x"), v("y")])],
         );
-        let q2 = ConjunctiveQuery::plain(
-            vec![v("x")],
-            vec![QueryAtom::new("R", vec![v("x"), v("y")])],
-        );
+        let q2 =
+            ConjunctiveQuery::plain(vec![v("x")], vec![QueryAtom::new("R", vec![v("x"), v("y")])]);
         assert!(!is_contained_in(&q1, &q2));
     }
 
@@ -266,15 +244,10 @@ mod tests {
     fn certificates_verify() {
         let q1 = ConjunctiveQuery::plain(
             vec![v("x")],
-            vec![
-                QueryAtom::new("R", vec![v("x"), v("y")]),
-                QueryAtom::new("S", vec![v("y")]),
-            ],
+            vec![QueryAtom::new("R", vec![v("x"), v("y")]), QueryAtom::new("S", vec![v("y")])],
         );
-        let q2 = ConjunctiveQuery::plain(
-            vec![v("u")],
-            vec![QueryAtom::new("R", vec![v("u"), v("w")])],
-        );
+        let q2 =
+            ConjunctiveQuery::plain(vec![v("u")], vec![QueryAtom::new("R", vec![v("u"), v("w")])]);
         match contained_in(&q1, &q2) {
             Some(Certificate::Mapping(m)) => assert!(m.verify(&q1, &q2)),
             other => panic!("expected mapping certificate, got {other:?}"),
@@ -284,10 +257,8 @@ mod tests {
     #[test]
     fn repeated_head_variables() {
         // q(x,x) :- R(x)  ⊑  q(a,b) :- R(a), R(b)   but not conversely.
-        let diag = ConjunctiveQuery::plain(
-            vec![v("x"), v("x")],
-            vec![QueryAtom::new("R", vec![v("x")])],
-        );
+        let diag =
+            ConjunctiveQuery::plain(vec![v("x"), v("x")], vec![QueryAtom::new("R", vec![v("x")])]);
         let pair = ConjunctiveQuery::plain(
             vec![v("a"), v("b")],
             vec![QueryAtom::new("R", vec![v("a")]), QueryAtom::new("R", vec![v("b")])],

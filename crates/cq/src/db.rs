@@ -168,12 +168,8 @@ impl Database {
             if t.len() != rs.arity() {
                 return None;
             }
-            let fields: Vec<(Field, Value)> = rs
-                .attrs
-                .iter()
-                .zip(t.iter())
-                .map(|(&a, &v)| (a, Value::Atom(v)))
-                .collect();
+            let fields: Vec<(Field, Value)> =
+                rs.attrs.iter().zip(t.iter()).map(|(&a, &v)| (a, Value::Atom(v))).collect();
             elems.push(Value::record(fields).expect("schema attrs are distinct"));
         }
         Some(Value::set(elems))

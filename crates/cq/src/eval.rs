@@ -58,9 +58,9 @@ pub fn project_head(q: &ConjunctiveQuery, assignment: &Assignment) -> Tuple {
         .iter()
         .map(|t| match t {
             Term::Const(c) => *c,
-            Term::Var(v) => *assignment
-                .get(v)
-                .unwrap_or_else(|| panic!("unsafe head variable `{v}`")),
+            Term::Var(v) => {
+                *assignment.get(v).unwrap_or_else(|| panic!("unsafe head variable `{v}`"))
+            }
         })
         .collect()
 }
@@ -113,13 +113,7 @@ mod tests {
         );
         let db = Database::from_ints(&[("R", &[&[1, 2], &[2, 3], &[3, 4]])]);
         let rows = evaluate_sorted(&q, &db);
-        assert_eq!(
-            rows,
-            vec![
-                vec![Atom::int(1), Atom::int(3)],
-                vec![Atom::int(2), Atom::int(4)],
-            ]
-        );
+        assert_eq!(rows, vec![vec![Atom::int(1), Atom::int(3)], vec![Atom::int(2), Atom::int(4)],]);
     }
 
     #[test]
@@ -165,10 +159,8 @@ mod tests {
 
     #[test]
     fn fixed_bindings_restrict_results() {
-        let q = ConjunctiveQuery::plain(
-            vec![v("y")],
-            vec![QueryAtom::new("R", vec![v("x"), v("y")])],
-        );
+        let q =
+            ConjunctiveQuery::plain(vec![v("y")], vec![QueryAtom::new("R", vec![v("x"), v("y")])]);
         let db = Database::from_ints(&[("R", &[&[1, 2], &[3, 4]])]);
         let mut fixed = Assignment::new();
         fixed.insert(crate::schema::Var::new("x"), Atom::int(3));
@@ -179,10 +171,8 @@ mod tests {
     #[test]
     fn duplicate_projections_deduplicate() {
         // q(x) :- R(x, y) over two y's for the same x.
-        let q = ConjunctiveQuery::plain(
-            vec![v("x")],
-            vec![QueryAtom::new("R", vec![v("x"), v("y")])],
-        );
+        let q =
+            ConjunctiveQuery::plain(vec![v("x")], vec![QueryAtom::new("R", vec![v("x"), v("y")])]);
         let db = Database::from_ints(&[("R", &[&[1, 2], &[1, 3]])]);
         assert_eq!(evaluate(&q, &db).len(), 1);
     }

@@ -66,9 +66,7 @@ pub fn freeze_atoms_with(
             .iter()
             .map(|t| match t {
                 Term::Const(c) => *c,
-                Term::Var(v) => *assignment
-                    .entry(*v)
-                    .or_insert_with(|| Atom::fresh(&v.name())),
+                Term::Var(v) => *assignment.entry(*v).or_insert_with(|| Atom::fresh(&v.name())),
             })
             .collect();
         db.insert(atom.rel, tuple);
@@ -120,18 +118,15 @@ mod tests {
         freeze_atoms_with(&a2, &mut assignment, &mut db);
         // `i` frozen once: both facts share the same first column.
         let rel = db.relation(crate::schema::RelName::new("R"));
-        let firsts: std::collections::HashSet<Atom> =
-            rel.iter().map(|t| t[0]).collect();
+        let firsts: std::collections::HashSet<Atom> = rel.iter().map(|t| t[0]).collect();
         assert_eq!(firsts.len(), 1);
         assert_eq!(rel.len(), 2);
     }
 
     #[test]
     fn constants_freeze_to_themselves() {
-        let q = ConjunctiveQuery::plain(
-            vec![],
-            vec![QueryAtom::new("R", vec![Term::int(5), v("y")])],
-        );
+        let q =
+            ConjunctiveQuery::plain(vec![], vec![QueryAtom::new("R", vec![Term::int(5), v("y")])]);
         let frozen = freeze(&q);
         let rel = frozen.db.relation(crate::schema::RelName::new("R"));
         assert!(rel.iter().all(|t| t[0] == Atom::int(5)));

@@ -110,9 +110,7 @@ impl CqGen {
 pub fn chain_query(n: usize) -> ConjunctiveQuery {
     assert!(n >= 1, "chain length must be ≥ 1");
     let var = |i: usize| Term::var(&format!("x{i}"));
-    let body = (0..n)
-        .map(|i| QueryAtom::new("E", vec![var(i), var(i + 1)]))
-        .collect();
+    let body = (0..n).map(|i| QueryAtom::new("E", vec![var(i), var(i + 1)])).collect();
     ConjunctiveQuery::plain(vec![var(0), var(n)], body)
 }
 
@@ -120,9 +118,7 @@ pub fn chain_query(n: usize) -> ConjunctiveQuery {
 pub fn cycle_query(n: usize) -> ConjunctiveQuery {
     assert!(n >= 1, "cycle length must be ≥ 1");
     let var = |i: usize| Term::var(&format!("c{i}"));
-    let body = (0..n)
-        .map(|i| QueryAtom::new("E", vec![var(i), var((i + 1) % n)]))
-        .collect();
+    let body = (0..n).map(|i| QueryAtom::new("E", vec![var(i), var((i + 1) % n)])).collect();
     ConjunctiveQuery::plain(vec![], body)
 }
 

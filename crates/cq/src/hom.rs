@@ -49,13 +49,7 @@ pub struct HomProblem<'a> {
 impl<'a> HomProblem<'a> {
     /// Creates a problem with no pre-bound variables.
     pub fn new(atoms: &'a [QueryAtom], db: &'a Database) -> HomProblem<'a> {
-        HomProblem {
-            atoms,
-            db,
-            fixed: Assignment::new(),
-            budget: None,
-            forbidden: HashMap::new(),
-        }
+        HomProblem { atoms, db, fixed: Assignment::new(), budget: None, forbidden: HashMap::new() }
     }
 
     /// Pre-binds variables (e.g. head variables for containment checks).
@@ -149,10 +143,7 @@ impl Search<'_, '_> {
             };
         }
         let atom = &self.atoms[self.order[depth]];
-        let rel = self
-            .db
-            .relation_ref(atom.rel)
-            .expect("empty-relation fast path already handled");
+        let rel = self.db.relation_ref(atom.rel).expect("empty-relation fast path already handled");
         // Deterministic iteration for reproducible search behaviour.
         for tuple in rel.iter_sorted() {
             if let Some(budget) = &mut self.steps_left {

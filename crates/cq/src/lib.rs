@@ -45,11 +45,11 @@ pub use db::{Database, Relation, Tuple};
 pub use eval::{boolean, evaluate, evaluate_sorted, is_nonempty};
 pub use freeze::{freeze, Frozen};
 pub use hom::{Assignment, HomProblem, SearchOutcome};
-pub use minimize::{is_minimal, minimize};
-pub use parse::parse_query;
-pub use query::{ConjunctiveQuery, QueryAtom, QueryError, Term};
 pub use independence::{
     independent_of_deletions, independent_of_insertions, independent_of_updates,
 };
+pub use minimize::{is_minimal, minimize};
+pub use parse::parse_query;
+pub use query::{ConjunctiveQuery, QueryAtom, QueryError, Term};
 pub use schema::{RelName, RelSchema, Schema, Var};
 pub use views::{rewriting_equivalent, rewriting_sound, unfold, View, ViewError};

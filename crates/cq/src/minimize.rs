@@ -16,11 +16,7 @@ use crate::query::ConjunctiveQuery;
 pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
     if q.unsatisfiable {
         // Canonical unsatisfiable form: same head, empty body, unsat flag.
-        return ConjunctiveQuery {
-            head: q.head.clone(),
-            body: Vec::new(),
-            unsatisfiable: true,
-        };
+        return ConjunctiveQuery { head: q.head.clone(), body: Vec::new(), unsatisfiable: true };
     }
     let mut current = q.clone();
     let mut i = 0;
@@ -28,10 +24,7 @@ pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
         let mut candidate = current.clone();
         candidate.body.remove(i);
         // Safety: removal must not orphan a head variable.
-        let head_safe = candidate
-            .head_vars()
-            .iter()
-            .all(|v| candidate.body_vars().contains(v));
+        let head_safe = candidate.head_vars().iter().all(|v| candidate.body_vars().contains(v));
         if head_safe && is_contained_in(&candidate, &current) {
             current = candidate;
         } else {

@@ -183,8 +183,8 @@ impl<'a> P<'a> {
                         None => return Err(self.err("unterminated string")),
                     }
                 }
-                let out = String::from_utf8(bytes)
-                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                let out =
+                    String::from_utf8(bytes).map_err(|_| self.err("invalid UTF-8 in string"))?;
                 Ok(Term::Const(Atom::str(&out)))
             }
             Some(c) if c.is_ascii_digit() || c == b'-' => {

@@ -239,8 +239,7 @@ impl ConjunctiveQuery {
         for v in self.body_vars() {
             map.insert(v, Var::fresh(&format!("{tag}{}", v.name())));
         }
-        let subst: HashMap<Var, Term> =
-            map.iter().map(|(&v, &w)| (v, Term::Var(w))).collect();
+        let subst: HashMap<Var, Term> = map.iter().map(|(&v, &w)| (v, Term::Var(w))).collect();
         let q = ConjunctiveQuery {
             head: self
                 .head
@@ -385,10 +384,7 @@ mod tests {
         // q(x) :- R(x, y), y = z, S(z)  ⟹  q(x) :- R(x, y), S(y)
         let q = ConjunctiveQuery::new(
             vec![v("x")],
-            vec![
-                QueryAtom::new("R", vec![v("x"), v("y")]),
-                QueryAtom::new("S", vec![v("z")]),
-            ],
+            vec![QueryAtom::new("R", vec![v("x"), v("y")]), QueryAtom::new("S", vec![v("z")])],
             &[(v("y"), v("z"))],
         );
         assert!(!q.unsatisfiable);
@@ -431,32 +427,25 @@ mod tests {
     #[test]
     fn validation_checks_safety_and_schema() {
         let schema = Schema::with_relations(&[("R", &["A", "B"])]);
-        let good = ConjunctiveQuery::plain(
-            vec![v("x")],
-            vec![QueryAtom::new("R", vec![v("x"), v("y")])],
-        );
+        let good =
+            ConjunctiveQuery::plain(vec![v("x")], vec![QueryAtom::new("R", vec![v("x"), v("y")])]);
         good.validate(&schema).unwrap();
 
-        let unsafe_q = ConjunctiveQuery::plain(vec![v("z")], vec![
-            QueryAtom::new("R", vec![v("x"), v("y")]),
-        ]);
+        let unsafe_q =
+            ConjunctiveQuery::plain(vec![v("z")], vec![QueryAtom::new("R", vec![v("x"), v("y")])]);
         assert!(matches!(unsafe_q.validate(&schema), Err(QueryError::UnsafeHeadVar(_))));
 
-        let bad_arity =
-            ConjunctiveQuery::plain(vec![], vec![QueryAtom::new("R", vec![v("x")])]);
+        let bad_arity = ConjunctiveQuery::plain(vec![], vec![QueryAtom::new("R", vec![v("x")])]);
         assert!(matches!(bad_arity.validate(&schema), Err(QueryError::ArityMismatch { .. })));
 
-        let unknown =
-            ConjunctiveQuery::plain(vec![], vec![QueryAtom::new("T", vec![v("x")])]);
+        let unknown = ConjunctiveQuery::plain(vec![], vec![QueryAtom::new("T", vec![v("x")])]);
         assert!(matches!(unknown.validate(&schema), Err(QueryError::UnknownRelation(_))));
     }
 
     #[test]
     fn rename_apart_is_capture_free() {
-        let q = ConjunctiveQuery::plain(
-            vec![v("x")],
-            vec![QueryAtom::new("R", vec![v("x"), v("y")])],
-        );
+        let q =
+            ConjunctiveQuery::plain(vec![v("x")], vec![QueryAtom::new("R", vec![v("x"), v("y")])]);
         let (r, map) = q.rename_apart("w");
         assert_eq!(map.len(), 2);
         assert!(r.body_vars().is_disjoint(&q.body_vars()));

@@ -93,10 +93,7 @@ pub fn unfold(rewriting: &ConjunctiveQuery, views: &[View]) -> Result<Conjunctiv
         }
     }
     let out = ConjunctiveQuery::new(rewriting.head.clone(), body, &equalities);
-    Ok(ConjunctiveQuery {
-        unsatisfiable: out.unsatisfiable || rewriting.unsatisfiable,
-        ..out
-    })
+    Ok(ConjunctiveQuery { unsatisfiable: out.unsatisfiable || rewriting.unsatisfiable, ..out })
 }
 
 /// Whether `rewriting` (over views) is a **sound** rewriting of `query`
@@ -138,8 +135,7 @@ mod tests {
         assert_eq!(expansion.body.len(), 4);
         assert!(expansion.body.iter().all(|a| a.rel == RelName::new("E")));
         // The expansion is the 4-path query.
-        let four_path =
-            parse_query("q(A, E) :- E(A, B), E(B, C), E(C, D), E(D, E).").unwrap();
+        let four_path = parse_query("q(A, E) :- E(A, B), E(B, C), E(C, D), E(D, E).").unwrap();
         assert!(crate::containment::equivalent(&expansion, &four_path));
     }
 
@@ -189,9 +185,6 @@ mod tests {
     fn arity_mismatch_is_an_error() {
         let views = vec![view("V", "v(X, Z) :- E(X, Z).")];
         let rewriting = parse_query("q(A) :- V(A).").unwrap();
-        assert!(matches!(
-            unfold(&rewriting, &views),
-            Err(ViewError::ArityMismatch { .. })
-        ));
+        assert!(matches!(unfold(&rewriting, &views), Err(ViewError::ArityMismatch { .. })));
     }
 }

@@ -79,10 +79,7 @@ fn minimization_of_boolean_cycles() {
     // Dropping one atom yields a 5-path, which folds onto... P5 ⊑ C6?
     // Containment requires hom C6 → frozen P5: a cycle cannot map into a
     // path (no cycles there). So the 6-cycle query is subquery-minimal.
-    let c6 = parse_query(
-        "q() :- E(A,B), E(B,C), E(C,D), E(D,F), E(F,G), E(G,A).",
-    )
-    .unwrap();
+    let c6 = parse_query("q() :- E(A,B), E(B,C), E(C,D), E(D,F), E(F,G), E(G,A).").unwrap();
     let m = minimize(&c6);
     assert_eq!(m.body.len(), 6);
 }

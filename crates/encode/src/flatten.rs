@@ -140,13 +140,11 @@ impl State<'_> {
                     .ok_or_else(|| FlattenError::new(format!("unbound generator `{var}`")))?;
                 let pos = match field {
                     None => 0,
-                    Some(f) => self
-                        .schema
-                        .relation(*rel)
-                        .and_then(|rs| rs.position(*f))
-                        .ok_or_else(|| {
-                            FlattenError::new(format!("no column `{f}` in `{rel}`"))
-                        })?,
+                    Some(f) => {
+                        self.schema.relation(*rel).and_then(|rs| rs.position(*f)).ok_or_else(
+                            || FlattenError::new(format!("no column `{f}` in `{rel}`")),
+                        )?
+                    }
                 };
                 Ok(Term::Var(self.col(*var, pos)))
             }
@@ -215,8 +213,14 @@ impl State<'_> {
         let mut children = Vec::new();
         let all_conds: Vec<(AtomTerm, AtomTerm)> =
             anc_conds.iter().chain(c.conds.iter()).cloned().collect();
-        let template =
-            self.template_of(&c.head, &gens, &all_conds, c.unsat || anc_unsat, &mut value_raw, &mut children)?;
+        let template = self.template_of(
+            &c.head,
+            &gens,
+            &all_conds,
+            c.unsat || anc_unsat,
+            &mut value_raw,
+            &mut children,
+        )?;
 
         // Apply equality unification through ConjunctiveQuery::new, with a
         // combined head so index and value terms are rewritten consistently.
@@ -297,10 +301,8 @@ mod tests {
     fn setup() -> (CoqlSchema, Schema, Database) {
         let flat = Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])]);
         let coql = CoqlSchema::from_flat(&flat);
-        let db = Database::from_ints(&[
-            ("R", &[&[1, 10], &[1, 11], &[2, 20]]),
-            ("S", &[&[10], &[20]]),
-        ]);
+        let db =
+            Database::from_ints(&[("R", &[&[1, 10], &[1, 11], &[2, 20]]), ("S", &[&[10], &[20]])]);
         (coql, flat, db)
     }
 
@@ -362,10 +364,9 @@ mod tests {
     #[test]
     fn node_count_matches_set_nodes() {
         let (coql_schema, flat_schema, _) = setup();
-        let e = parse_coql(
-            "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R",
-        )
-        .unwrap();
+        let e =
+            parse_coql("select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R")
+                .unwrap();
         let c = normalize(&e, &coql_schema).unwrap();
         let tree = flatten_query(&c, &flat_schema).unwrap();
         assert_eq!(tree.depth(), c.depth());

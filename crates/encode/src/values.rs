@@ -73,7 +73,11 @@ pub struct Encoded {
 
 /// Computes the flat columns of an element type. Set-typed positions get
 /// one index column; the set's own encoding recurses via `aux`.
-fn columns_of(ty: &Type, path: &str, aux: &mut Vec<(String, Type)>) -> Result<Vec<Column>, EncodeError> {
+fn columns_of(
+    ty: &Type,
+    path: &str,
+    aux: &mut Vec<(String, Type)>,
+) -> Result<Vec<Column>, EncodeError> {
     match ty {
         Type::Atom | Type::Bottom => Ok(vec![Column::Atom(leaf_name(path))]),
         Type::Set(elem) => {
@@ -106,11 +110,7 @@ fn leaf_name(path: &str) -> String {
 
 /// Encodes a nested database into flat relations with indexes.
 pub fn encode_database(codb: &CoDatabase, schema: &CoqlSchema) -> Result<Encoded, EncodeError> {
-    let mut enc = Encoder {
-        db: Database::new(),
-        schema: Schema::new(),
-        memo: HashMap::new(),
-    };
+    let mut enc = Encoder { db: Database::new(), schema: Schema::new(), memo: HashMap::new() };
     for (name, ty) in schema.iter() {
         let elem_ty = ty
             .elem()
@@ -178,9 +178,9 @@ impl Encoder {
             (Type::Record(fields), Value::Record(r)) => {
                 let mut row = Vec::new();
                 for (f, t) in fields {
-                    let sub = r.get(*f).ok_or_else(|| {
-                        EncodeError::new(format!("missing field `{f}` in {v}"))
-                    })?;
+                    let sub = r
+                        .get(*f)
+                        .ok_or_else(|| EncodeError::new(format!("missing field `{f}` in {v}")))?;
                     let sub_path = format!("{rel_path}@{f}");
                     row.extend(self.encode_field(&sub_path, t, sub)?);
                 }
@@ -190,21 +190,16 @@ impl Encoder {
         }
     }
 
-    fn encode_field(
-        &mut self,
-        path: &str,
-        ty: &Type,
-        v: &Value,
-    ) -> Result<Vec<Atom>, EncodeError> {
+    fn encode_field(&mut self, path: &str, ty: &Type, v: &Value) -> Result<Vec<Atom>, EncodeError> {
         match (ty, v) {
             (Type::Atom | Type::Bottom, Value::Atom(a)) => Ok(vec![*a]),
             (Type::Set(elem), Value::Set(_)) => Ok(vec![self.index_of(path, elem, v)?]),
             (Type::Record(fields), Value::Record(r)) => {
                 let mut row = Vec::new();
                 for (f, t) in fields {
-                    let sub = r.get(*f).ok_or_else(|| {
-                        EncodeError::new(format!("missing field `{f}` in {v}"))
-                    })?;
+                    let sub = r
+                        .get(*f)
+                        .ok_or_else(|| EncodeError::new(format!("missing field `{f}` in {v}")))?;
                     row.extend(self.encode_field(&format!("{path}.{f}"), t, sub)?);
                 }
                 Ok(row)
@@ -281,10 +276,7 @@ impl Decoder<'_> {
                     out.push((*f, v));
                     used += n;
                 }
-                Ok((
-                    Value::record(out).map_err(|e| EncodeError::new(e.to_string()))?,
-                    used,
-                ))
+                Ok((Value::record(out).map_err(|e| EncodeError::new(e.to_string()))?, used))
             }
         }
     }
@@ -306,10 +298,7 @@ impl Decoder<'_> {
                     out.push((*f, v));
                     used += n;
                 }
-                Ok((
-                    Value::record(out).map_err(|e| EncodeError::new(e.to_string()))?,
-                    used,
-                ))
+                Ok((Value::record(out).map_err(|e| EncodeError::new(e.to_string()))?, used))
             }
         }
     }
@@ -370,8 +359,10 @@ mod tests {
         let schema = nested_schema();
         let original = CoDatabase::new().with(
             "P",
-            parse_value("{[name: ann, phones: {1, 2}], [name: bo, phones: {}], [name: cy, phones: {1, 2}]}")
-                .unwrap(),
+            parse_value(
+                "{[name: ann, phones: {1, 2}], [name: bo, phones: {}], [name: cy, phones: {1, 2}]}",
+            )
+            .unwrap(),
         );
         let enc = encode_database(&original, &schema).unwrap();
         let back = decode_database(&enc, &schema).unwrap();
@@ -381,10 +372,8 @@ mod tests {
     #[test]
     fn equal_sets_share_an_index() {
         let schema = nested_schema();
-        let db = CoDatabase::new().with(
-            "P",
-            parse_value("{[name: ann, phones: {7}], [name: bo, phones: {7}]}").unwrap(),
-        );
+        let db = CoDatabase::new()
+            .with("P", parse_value("{[name: ann, phones: {7}], [name: bo, phones: {7}]}").unwrap());
         let enc = encode_database(&db, &schema).unwrap();
         let main = enc.db.relation(RelName::new("P"));
         let idxs: std::collections::HashSet<Atom> =
@@ -395,10 +384,7 @@ mod tests {
 
     #[test]
     fn doubly_nested_roundtrip() {
-        let schema = CoqlSchema::new().with(
-            "G",
-            Type::set(Type::set(Type::set(Type::Atom))),
-        );
+        let schema = CoqlSchema::new().with("G", Type::set(Type::set(Type::set(Type::Atom))));
         let db = CoDatabase::new().with("G", parse_value("{{{1}, {2, 3}}, {}, {{}}}").unwrap());
         let enc = encode_database(&db, &schema).unwrap();
         let back = decode_database(&enc, &schema).unwrap();
@@ -407,10 +393,8 @@ mod tests {
 
     #[test]
     fn flat_relations_encode_to_themselves() {
-        let schema = CoqlSchema::new().with(
-            "R",
-            Type::flat_relation(&[Field::new("A"), Field::new("B")]),
-        );
+        let schema =
+            CoqlSchema::new().with("R", Type::flat_relation(&[Field::new("A"), Field::new("B")]));
         let db = CoDatabase::new().with("R", parse_value("{[A: 1, B: 2]}").unwrap());
         let enc = encode_database(&db, &schema).unwrap();
         assert_eq!(enc.db.relation(RelName::new("R")).len(), 1);

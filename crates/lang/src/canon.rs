@@ -1,0 +1,439 @@
+//! Canonical serialization of comprehension normal forms.
+//!
+//! Two COQL queries that differ only in bound-variable names, in the order
+//! of independent `from` bindings, or in the order (or duplication) of
+//! `where` conjuncts have the same meaning — and, after [`normalize`], the
+//! same normal form up to α-renaming and generator/condition permutation.
+//! [`canonical_query`] maps a [`Comprehension`] to a string that is
+//! invariant under exactly those presentational differences, so it can be
+//! hashed into a cache key: syntactically distinct but trivially-equivalent
+//! requests then share one memo entry (the `co-service` crate's
+//! fingerprints are hashes of this string).
+//!
+//! The walk is purely syntactic: equal canonical strings imply equivalent
+//! queries, but equivalent queries may canonicalize differently (the full
+//! equivalence problem is what the decision procedures are for).
+//!
+//! ## How generators are ordered
+//!
+//! Generator variables are the only binding construct in normal form, so
+//! canonicalization reduces to choosing a canonical *order* for each
+//! comprehension's generators, then numbering all generators `$0, $1, …`
+//! in that order. The order is chosen by **signature refinement** (a
+//! Weisfeiler–Leman-style color refinement on the query's join graph):
+//! each generator starts with its relation name as its signature, and each
+//! round folds in the multiset of constraints it participates in —
+//! condition occurrences (with the other side's current signature) and
+//! head occurrences (with their structural path). Generators left tied
+//! after refinement are either genuinely symmetric (any order yields the
+//! same string) or pathological self-join twins, where we fall back to
+//! source order and may miss a cache hit — never produce a false merge,
+//! since the serialization always records the full structure.
+
+use std::collections::BTreeMap;
+
+use co_cq::Var;
+
+use crate::normalize::{AtomTerm, Comprehension, NormalValue};
+
+/// Canonical serialization of a normal form: α-renaming of generators,
+/// reordering of independent generators, and reordering or duplication of
+/// conditions all map to the same string. See the module docs for scope.
+pub fn canonical_query(c: &Comprehension) -> String {
+    let mut out = String::new();
+    let mut counter = 0usize;
+    ser_comp(c, &BTreeMap::new(), &mut counter, &mut out);
+    out
+}
+
+/// How a variable occurrence is bound at a point in the walk.
+#[derive(Clone, Debug)]
+enum Binding {
+    /// Bound by the comprehension currently being canonicalized.
+    Local,
+    /// Bound by an enclosing comprehension, already named canonically.
+    Ambient(String),
+    /// Bound by a nested comprehension (not yet canonicalized); carries
+    /// the relation name, which is all its signature contributes.
+    Inner(String),
+}
+
+/// One occurrence of a local generator in a condition.
+struct CondOcc {
+    /// Structural path of the comprehension holding the condition.
+    path: u64,
+    /// The field projected from the local generator on this side.
+    my_field: Option<String>,
+    /// The other side of the equality, abstracted for signatures.
+    other: OtherSide,
+}
+
+enum OtherSide {
+    Const(String),
+    Col { var: Var, field: Option<String> },
+}
+
+/// One occurrence of a local generator in a head position.
+struct HeadOcc {
+    path: u64,
+    field: Option<String>,
+}
+
+/// FNV-1a over a byte slice, the signature mixing primitive.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn mix(h: u64, more: u64) -> u64 {
+    let mut x = h ^ more.wrapping_mul(0x9e3779b97f4a7c15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51afd7ed558ccd);
+    x ^ (x >> 29)
+}
+
+fn field_str(f: &Option<String>) -> &str {
+    f.as_deref().unwrap_or("")
+}
+
+/// Collects every condition and head occurrence of the given comprehension's
+/// *local* generators across the whole subtree, tracking shadowing: a
+/// nested comprehension rebinding the same `Var` hides the outer generator
+/// inside its scope.
+fn collect_occurrences(
+    c: &Comprehension,
+    binds: &BTreeMap<Var, Binding>,
+    path: u64,
+    conds: &mut BTreeMap<Var, Vec<CondOcc>>,
+    heads: &mut BTreeMap<Var, Vec<HeadOcc>>,
+) {
+    for (a, b) in &c.conds {
+        for (mine, other) in [(a, b), (b, a)] {
+            let AtomTerm::Col { var, field } = mine else { continue };
+            if !matches!(binds.get(var), Some(Binding::Local)) {
+                continue;
+            }
+            let other = match other {
+                AtomTerm::Const(atom) => OtherSide::Const(atom.to_string()),
+                AtomTerm::Col { var, field } => {
+                    OtherSide::Col { var: *var, field: field.map(|f| f.name()) }
+                }
+            };
+            conds.entry(*var).or_default().push(CondOcc {
+                path,
+                my_field: field.map(|f| f.name()),
+                other,
+            });
+        }
+    }
+    collect_head(&c.head, binds, mix(path, fnv64(b"head")), conds, heads);
+}
+
+fn collect_head(
+    nv: &NormalValue,
+    binds: &BTreeMap<Var, Binding>,
+    path: u64,
+    conds: &mut BTreeMap<Var, Vec<CondOcc>>,
+    heads: &mut BTreeMap<Var, Vec<HeadOcc>>,
+) {
+    match nv {
+        NormalValue::Atom(AtomTerm::Const(_)) => {}
+        NormalValue::Atom(AtomTerm::Col { var, field }) => {
+            if matches!(binds.get(var), Some(Binding::Local)) {
+                heads
+                    .entry(*var)
+                    .or_default()
+                    .push(HeadOcc { path, field: field.map(|f| f.name()) });
+            }
+        }
+        NormalValue::Record(fields) => {
+            for (f, v) in fields {
+                let p = mix(path, fnv64(f.name().as_bytes()));
+                collect_head(v, binds, p, conds, heads);
+            }
+        }
+        NormalValue::Set(inner) => {
+            // The nested comprehension's generators shadow outer bindings.
+            let mut binds = binds.clone();
+            for (v, r) in &inner.gens {
+                binds.insert(*v, Binding::Inner(r.name()));
+            }
+            collect_occurrences(inner, &binds, mix(path, fnv64(b"set")), conds, heads);
+        }
+    }
+}
+
+/// Chooses the canonical generator order for one comprehension by
+/// signature refinement, returning the generator indices in order.
+fn canonical_gen_order(c: &Comprehension, ambient: &BTreeMap<Var, String>) -> Vec<usize> {
+    let mut binds: BTreeMap<Var, Binding> =
+        ambient.iter().map(|(v, name)| (*v, Binding::Ambient(name.clone()))).collect();
+    for (v, _) in &c.gens {
+        binds.insert(*v, Binding::Local);
+    }
+    let mut conds: BTreeMap<Var, Vec<CondOcc>> = BTreeMap::new();
+    let mut heads: BTreeMap<Var, Vec<HeadOcc>> = BTreeMap::new();
+    collect_occurrences(c, &binds, 0, &mut conds, &mut heads);
+
+    // Round 0: the relation generated over.
+    let mut sig: BTreeMap<Var, u64> =
+        c.gens.iter().map(|(v, r)| (*v, fnv64(r.name().as_bytes()))).collect();
+
+    let rounds = c.gens.len().clamp(1, 4);
+    for _ in 0..rounds {
+        let prev = sig.clone();
+        for (v, s) in sig.iter_mut() {
+            let mut items: Vec<u64> = Vec::new();
+            for occ in conds.get(v).map(Vec::as_slice).unwrap_or(&[]) {
+                let other_sig = match &occ.other {
+                    OtherSide::Const(text) => mix(1, fnv64(text.as_bytes())),
+                    OtherSide::Col { var, field } => {
+                        let base = match binds.get(var) {
+                            Some(Binding::Local) => {
+                                if var == v {
+                                    mix(2, 0) // self-equality marker
+                                } else {
+                                    mix(3, prev[var])
+                                }
+                            }
+                            Some(Binding::Ambient(name)) => mix(4, fnv64(name.as_bytes())),
+                            Some(Binding::Inner(rel)) => mix(5, fnv64(rel.as_bytes())),
+                            None => mix(6, 0),
+                        };
+                        mix(base, fnv64(field_str(field).as_bytes()))
+                    }
+                };
+                let mine = fnv64(field_str(&occ.my_field).as_bytes());
+                items.push(mix(mix(occ.path, mine), other_sig));
+            }
+            for occ in heads.get(v).map(Vec::as_slice).unwrap_or(&[]) {
+                let mine = fnv64(field_str(&occ.field).as_bytes());
+                items.push(mix(mix(occ.path, mine), 7));
+            }
+            items.sort_unstable();
+            let mut h = *s;
+            for item in items {
+                h = mix(h, item);
+            }
+            *s = h;
+        }
+    }
+
+    let mut order: Vec<usize> = (0..c.gens.len()).collect();
+    // Relation name first so the serialized generator list reads naturally;
+    // the refined signature second; source position as the last-resort
+    // tie-break (ties at this point are symmetric or pathological — see
+    // module docs).
+    order.sort_by(|&i, &j| {
+        let (vi, ri) = &c.gens[i];
+        let (vj, rj) = &c.gens[j];
+        ri.name().cmp(&rj.name()).then_with(|| sig[vi].cmp(&sig[vj])).then(i.cmp(&j))
+    });
+    order
+}
+
+fn ser_comp(
+    c: &Comprehension,
+    ambient: &BTreeMap<Var, String>,
+    counter: &mut usize,
+    out: &mut String,
+) {
+    if c.unsat {
+        // A statically-empty comprehension denotes ∅ whatever its body;
+        // only the element shape (result type skeleton) matters.
+        out.push_str("empty");
+        ser_shape(&c.head, out);
+        return;
+    }
+    let order = canonical_gen_order(c, ambient);
+    let mut binds = ambient.clone();
+    let mut gen_names: Vec<(String, String)> = Vec::with_capacity(order.len());
+    for &i in &order {
+        let (v, r) = &c.gens[i];
+        let name = format!("${}", *counter);
+        *counter += 1;
+        binds.insert(*v, name.clone());
+        gen_names.push((name, r.name()));
+    }
+    out.push_str("set{g=[");
+    for (k, (name, rel)) in gen_names.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(name);
+        out.push(':');
+        out.push_str(rel);
+    }
+    out.push_str("];c=[");
+    let mut conds: Vec<String> = c
+        .conds
+        .iter()
+        .map(|(a, b)| {
+            let (sa, sb) = (ser_term(a, &binds), ser_term(b, &binds));
+            if sa <= sb {
+                format!("{sa}={sb}")
+            } else {
+                format!("{sb}={sa}")
+            }
+        })
+        .collect();
+    conds.sort_unstable();
+    conds.dedup();
+    out.push_str(&conds.join(","));
+    out.push_str("];h=");
+    ser_value(&c.head, &binds, counter, out);
+    out.push('}');
+}
+
+fn ser_term(t: &AtomTerm, binds: &BTreeMap<Var, String>) -> String {
+    match t {
+        AtomTerm::Const(a) => format!("#{a}"),
+        AtomTerm::Col { var, field } => {
+            // Unbound variables cannot be produced by `normalize`, but keep
+            // the serialization total rather than panicking on hand-built
+            // normal forms.
+            let name = binds.get(var).cloned().unwrap_or_else(|| format!("?{var}"));
+            match field {
+                Some(f) => format!("{name}.{f}"),
+                None => name,
+            }
+        }
+    }
+}
+
+fn ser_value(
+    nv: &NormalValue,
+    binds: &BTreeMap<Var, String>,
+    counter: &mut usize,
+    out: &mut String,
+) {
+    match nv {
+        NormalValue::Atom(t) => out.push_str(&ser_term(t, binds)),
+        NormalValue::Record(fields) => {
+            // Sort by label *name* (the normal form already sorts by the
+            // interned `Field` order, which is also alphabetical; sorting
+            // here keeps canonicity independent of that invariant).
+            let mut sorted: Vec<&(co_object::Field, NormalValue)> = fields.iter().collect();
+            sorted.sort_by_key(|(f, _)| f.name());
+            out.push('[');
+            for (k, (f, v)) in sorted.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&f.name());
+                out.push(':');
+                ser_value(v, binds, counter, out);
+            }
+            out.push(']');
+        }
+        NormalValue::Set(c) => ser_comp(c, binds, counter, out),
+    }
+}
+
+/// Serializes only the structural shape of a normal value (the result-type
+/// skeleton), used for statically-empty comprehensions.
+fn ser_shape(nv: &NormalValue, out: &mut String) {
+    match nv {
+        NormalValue::Atom(_) => out.push('a'),
+        NormalValue::Record(fields) => {
+            let mut sorted: Vec<&(co_object::Field, NormalValue)> = fields.iter().collect();
+            sorted.sort_by_key(|(f, _)| f.name());
+            out.push('[');
+            for (k, (f, v)) in sorted.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&f.name());
+                out.push(':');
+                ser_shape(v, out);
+            }
+            out.push(']');
+        }
+        NormalValue::Set(c) => {
+            out.push('{');
+            ser_shape(&c.head, out);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::parse::parse_coql;
+    use crate::types::CoqlSchema;
+    use co_cq::Schema;
+
+    fn canon(src: &str) -> String {
+        let schema =
+            CoqlSchema::from_flat(&Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])]));
+        let e = parse_coql(src).unwrap();
+        canonical_query(&normalize(&e, &schema).unwrap())
+    }
+
+    #[test]
+    fn alpha_renaming_is_invisible() {
+        assert_eq!(
+            canon("select x.B from x in R where x.A = 1"),
+            canon("select longer_name.B from longer_name in R where longer_name.A = 1"),
+        );
+    }
+
+    #[test]
+    fn conjunct_order_and_duplication_are_invisible() {
+        assert_eq!(
+            canon("select x.B from x in R where x.A = 1 and x.B = 2"),
+            canon("select x.B from x in R where x.B = 2 and x.A = 1"),
+        );
+        assert_eq!(
+            canon("select x.B from x in R where x.A = 1"),
+            canon("select x.B from x in R where x.A = 1 and 1 = x.A"),
+        );
+    }
+
+    #[test]
+    fn independent_generator_order_is_invisible() {
+        assert_eq!(
+            canon("select [l: x.A, r: y.C] from x in R, y in S"),
+            canon("select [l: x.A, r: y.C] from y in S, x in R"),
+        );
+        // Same-relation generators distinguished by their constraints.
+        assert_eq!(
+            canon("select [l: x.A, r: y.B] from x in R, y in R where x.A = 1"),
+            canon("select [l: y.A, r: x.B] from x in R, y in R where y.A = 1"),
+        );
+    }
+
+    #[test]
+    fn different_queries_differ() {
+        assert_ne!(canon("select x.B from x in R"), canon("select x.A from x in R"));
+        assert_ne!(canon("select x.B from x in R"), canon("select x.B from x in R where x.A = 1"),);
+        assert_ne!(
+            canon("select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R"),
+            canon("select [a: x.A, g: (select y.B from y in R)] from x in R"),
+        );
+    }
+
+    #[test]
+    fn nested_scopes_rename_consistently() {
+        assert_eq!(
+            canon("select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R"),
+            canon("select [a: u.A, g: (select v.B from v in R where v.A = u.A)] from u in R"),
+        );
+        // Shadowing: the inner `x` is a different binder than the outer.
+        assert_eq!(
+            canon("select [a: x.A, g: (select x.B from x in R)] from x in R"),
+            canon("select [a: x.A, g: (select z.B from z in R)] from x in R"),
+        );
+    }
+
+    #[test]
+    fn empty_sets_canonicalize_by_shape() {
+        assert_eq!(canon("select z from z in {}"), canon("flatten({})"));
+    }
+}

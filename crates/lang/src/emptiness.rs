@@ -61,8 +61,8 @@ fn inner_sets_free(nv: &NormalValue, parent: &Comprehension) -> bool {
             //      shared binding — here we accept only the exact-subset
             //      case, which the `nest` translation produces via the
             //      self-join trick with the parent's own row as witness).
-            let own_gens_implied = c.gens.is_empty()
-                || c.gens.iter().all(|g| parent.gens.contains(g));
+            let own_gens_implied =
+                c.gens.is_empty() || c.gens.iter().all(|g| parent.gens.contains(g));
             let own_conds_implied = c.conds.iter().all(|eq| parent.conds.contains(eq));
             let self_ok = own_gens_implied && own_conds_implied;
             // Witness case for the nest shape: the inner comprehension has
@@ -86,11 +86,8 @@ fn nest_shape_witnessed(c: &Comprehension, parent: &Comprehension) -> bool {
     let mut matched: Vec<(co_cq::Var, co_cq::Var)> = Vec::new();
     let mut used = vec![false; parent.gens.len()];
     for (iv, ir) in &c.gens {
-        let Some(pos) = parent
-            .gens
-            .iter()
-            .enumerate()
-            .position(|(i, (_, pr))| !used[i] && pr == ir)
+        let Some(pos) =
+            parent.gens.iter().enumerate().position(|(i, (_, pr))| !used[i] && pr == ir)
         else {
             return false;
         };
@@ -102,17 +99,17 @@ fn nest_shape_witnessed(c: &Comprehension, parent: &Comprehension) -> bool {
     // or a parent condition.
     c.conds.iter().all(|(a, b)| {
         let subst = |t: &AtomTerm| match t {
-            AtomTerm::Col { var, field } => {
-                match matched.iter().find(|(iv, _)| iv == var) {
-                    Some((_, pv)) => AtomTerm::Col { var: *pv, field: *field },
-                    None => t.clone(),
-                }
-            }
+            AtomTerm::Col { var, field } => match matched.iter().find(|(iv, _)| iv == var) {
+                Some((_, pv)) => AtomTerm::Col { var: *pv, field: *field },
+                None => t.clone(),
+            },
             AtomTerm::Const(x) => AtomTerm::Const(*x),
         };
         let sa = subst(a);
         let sb = subst(b);
-        sa == sb || parent.conds.contains(&(sa.clone(), sb.clone())) || parent.conds.contains(&(sb, sa))
+        sa == sb
+            || parent.conds.contains(&(sa.clone(), sb.clone()))
+            || parent.conds.contains(&(sb, sa))
     })
 }
 

@@ -100,10 +100,9 @@ pub fn evaluate_with_env(
 fn eval(expr: &Expr, db: &CoDatabase, env: &BTreeMap<Var, Value>) -> Result<Value, EvalError> {
     match expr {
         Expr::Const(a) => Ok(Value::Atom(*a)),
-        Expr::Var(v) => env
-            .get(v)
-            .cloned()
-            .ok_or_else(|| EvalError::new(format!("unbound variable `{v}`"))),
+        Expr::Var(v) => {
+            env.get(v).cloned().ok_or_else(|| EvalError::new(format!("unbound variable `{v}`")))
+        }
         Expr::Rel(r) => Ok(db.relation(*r)),
         Expr::Record(fields) => {
             let mut out = Vec::with_capacity(fields.len());
@@ -122,9 +121,8 @@ fn eval(expr: &Expr, db: &CoDatabase, env: &BTreeMap<Var, Value>) -> Result<Valu
         Expr::EmptySet(_) => Ok(Value::empty_set()),
         Expr::Flatten(e) => {
             let v = eval(e, db, env)?;
-            let outer = v
-                .as_set()
-                .ok_or_else(|| EvalError::new(format!("flatten of non-set {v}")))?;
+            let outer =
+                v.as_set().ok_or_else(|| EvalError::new(format!("flatten of non-set {v}")))?;
             let mut elems = Vec::new();
             for inner in outer.iter() {
                 let s = inner

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod canon;
 pub mod emptiness;
 pub mod eval;
 pub mod normalize;
@@ -41,6 +42,7 @@ pub mod parse;
 pub mod types;
 
 pub use ast::Expr;
+pub use canon::canonical_query;
 pub use emptiness::{empty_set_status, EmptySetStatus};
 pub use eval::{evaluate, evaluate_with_env, CoDatabase, EvalError};
 pub use normalize::{

@@ -114,9 +114,7 @@ pub fn normalize(expr: &Expr, schema: &CoqlSchema) -> Result<Comprehension, Norm
     }
     match norm(expr, schema, &BTreeMap::new())? {
         NormalValue::Set(c) => Ok(c),
-        other => Err(NormError::new(format!(
-            "query must be set-typed, normal form was {other:?}"
-        ))),
+        other => Err(NormError::new(format!("query must be set-typed, normal form was {other:?}"))),
     }
 }
 
@@ -127,10 +125,9 @@ fn norm(
 ) -> Result<NormalValue, NormError> {
     match expr {
         Expr::Const(a) => Ok(NormalValue::Atom(AtomTerm::Const(*a))),
-        Expr::Var(v) => env
-            .get(v)
-            .cloned()
-            .ok_or_else(|| NormError::new(format!("unbound variable `{v}`"))),
+        Expr::Var(v) => {
+            env.get(v).cloned().ok_or_else(|| NormError::new(format!("unbound variable `{v}`")))
+        }
         Expr::Rel(r) => {
             let ty = schema
                 .relation(*r)
@@ -190,9 +187,7 @@ fn norm(
                     unsat: true,
                     head: Box::new(other.clone()),
                 })),
-                other => Err(NormError::new(format!(
-                    "flatten of a set of non-sets: {other:?}"
-                ))),
+                other => Err(NormError::new(format!("flatten of a set of non-sets: {other:?}"))),
             }
         }
         Expr::Select { head, bindings, conds } => {
@@ -215,9 +210,7 @@ fn norm(
                         out_conds.push((ta, tb));
                     }
                     (na, nb) => {
-                        return Err(NormError::new(format!(
-                            "non-atomic equality {na:?} = {nb:?}"
-                        )))
+                        return Err(NormError::new(format!("non-atomic equality {na:?} = {nb:?}")))
                     }
                 }
             }
@@ -349,9 +342,8 @@ fn atom_of(t: &AtomTerm, schema: &co_cq::Schema, env: &CompEnv) -> Result<Atom, 
     match t {
         AtomTerm::Const(a) => Ok(*a),
         AtomTerm::Col { var, field } => {
-            let (rel, tuple) = env
-                .get(var)
-                .ok_or_else(|| NormError::new(format!("unbound generator `{var}`")))?;
+            let (rel, tuple) =
+                env.get(var).ok_or_else(|| NormError::new(format!("unbound generator `{var}`")))?;
             let pos = match field {
                 None => 0,
                 Some(f) => schema
@@ -425,10 +417,8 @@ mod tests {
     fn setup() -> (CoqlSchema, co_cq::Schema, Database) {
         let flat = Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])]);
         let coql = CoqlSchema::from_flat(&flat);
-        let db = Database::from_ints(&[
-            ("R", &[&[1, 10], &[1, 11], &[2, 20]]),
-            ("S", &[&[10], &[20]]),
-        ]);
+        let db =
+            Database::from_ints(&[("R", &[&[1, 10], &[1, 11], &[2, 20]]), ("S", &[&[10], &[20]])]);
         (coql, flat, db)
     }
 
@@ -480,10 +470,9 @@ mod tests {
     #[test]
     fn depth_and_node_count() {
         let (coql_schema, _, _) = setup();
-        let e = parse_coql(
-            "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R",
-        )
-        .unwrap();
+        let e =
+            parse_coql("select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R")
+                .unwrap();
         let c = normalize(&e, &coql_schema).unwrap();
         assert_eq!(c.depth(), 2);
         assert_eq!(c.set_node_count(), 2);

@@ -104,10 +104,9 @@ pub fn type_check_with_env(
 fn infer(expr: &Expr, schema: &CoqlSchema, env: &BTreeMap<Var, Type>) -> Result<Type, TypeError> {
     match expr {
         Expr::Const(_) => Ok(Type::Atom),
-        Expr::Var(v) => env
-            .get(v)
-            .cloned()
-            .ok_or_else(|| TypeError::new(format!("unbound variable `{v}`"))),
+        Expr::Var(v) => {
+            env.get(v).cloned().ok_or_else(|| TypeError::new(format!("unbound variable `{v}`")))
+        }
         Expr::Rel(r) => schema
             .relation(*r)
             .cloned()
@@ -140,9 +139,9 @@ fn infer(expr: &Expr, schema: &CoqlSchema, env: &BTreeMap<Var, Type>) -> Result<
                 Type::Set(inner) => match *inner {
                     Type::Set(elem) => Ok(Type::Set(elem)),
                     Type::Bottom => Ok(Type::set(Type::Bottom)),
-                    other => {
-                        Err(TypeError::new(format!("flatten expects a set of sets, found {{{other}}}")))
-                    }
+                    other => Err(TypeError::new(format!(
+                        "flatten expects a set of sets, found {{{other}}}"
+                    ))),
                 },
                 other => Err(TypeError::new(format!("flatten expects a set, found {other}"))),
             }
@@ -185,10 +184,7 @@ mod tests {
 
     fn schema() -> CoqlSchema {
         CoqlSchema::new()
-            .with(
-                "R",
-                Type::flat_relation(&[Field::new("A"), Field::new("B")]),
-            )
+            .with("R", Type::flat_relation(&[Field::new("A"), Field::new("B")]))
             .with("S", Type::set(Type::Atom))
     }
 
@@ -251,7 +247,10 @@ mod tests {
     #[test]
     fn flatten_typing() {
         let e = Expr::rel("R").singleton().flatten();
-        assert_eq!(type_check(&e, &schema()).unwrap(), schema().relation(RelName::new("R")).unwrap().clone());
+        assert_eq!(
+            type_check(&e, &schema()).unwrap(),
+            schema().relation(RelName::new("R")).unwrap().clone()
+        );
         assert!(type_check(&Expr::rel("S").flatten(), &schema()).is_err());
         // flatten({}) is the (bottom-element) empty set of sets.
         let t = type_check(&Expr::EmptySet(Type::Bottom).flatten(), &schema()).unwrap();

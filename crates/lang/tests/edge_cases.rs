@@ -1,8 +1,6 @@
 //! Edge cases for the COQL front end.
 
-use co_lang::{
-    evaluate, normalize, parse_coql, type_check, CoDatabase, CoqlSchema, Expr,
-};
+use co_lang::{evaluate, normalize, parse_coql, type_check, CoDatabase, CoqlSchema, Expr};
 use co_object::{parse_value, Field, Type, Value};
 
 fn schema() -> CoqlSchema {
@@ -53,10 +51,7 @@ fn deep_projection_requires_record_types() {
 #[test]
 fn shadowing_rebinding_in_nested_selects() {
     // The inner `x` shadows the outer one; semantics must use the inner.
-    let e = parse_coql(
-        "select [outer: x.A, inner: (select x.B from x in R)] from x in R",
-    )
-    .unwrap();
+    let e = parse_coql("select [outer: x.A, inner: (select x.B from x in R)] from x in R").unwrap();
     let v = evaluate(&e, &db()).unwrap();
     // Every element's `inner` is the full B-set.
     for elem in v.as_set().unwrap().iter() {
@@ -102,10 +97,7 @@ fn type_errors_cover_every_construct() {
 
 #[test]
 fn duplicate_record_fields_rejected() {
-    let e = Expr::Record(vec![
-        (Field::new("a"), Expr::int(1)),
-        (Field::new("a"), Expr::int(2)),
-    ]);
+    let e = Expr::Record(vec![(Field::new("a"), Expr::int(1)), (Field::new("a"), Expr::int(2))]);
     assert!(type_check(&e, &schema()).is_err());
     assert!(evaluate(&e, &db()).is_err());
 }

@@ -5,8 +5,7 @@ use std::collections::BTreeMap;
 
 use co_cq::{Database, Schema, Var};
 use co_lang::{
-    eval_comprehension, evaluate, normalize, parse_coql, type_check, CoDatabase, CoqlSchema,
-    Expr,
+    eval_comprehension, evaluate, normalize, parse_coql, type_check, CoDatabase, CoqlSchema, Expr,
 };
 use co_object::check_type;
 use proptest::prelude::*;
@@ -37,11 +36,8 @@ fn random_expr(seed: u64) -> Expr {
         conds.push((Expr::var("x").proj("A"), Expr::int(rng.gen_range(0..3))));
     }
 
-    let atom_head = if rng.gen_bool(0.5) {
-        Expr::var("x").proj("A")
-    } else {
-        Expr::var("x").proj("B")
-    };
+    let atom_head =
+        if rng.gen_bool(0.5) { Expr::var("x").proj("A") } else { Expr::var("x").proj("B") };
     let head = match rng.gen_range(0..5) {
         0 => atom_head,
         1 => Expr::record(vec![("a", atom_head), ("b", Expr::var("x").proj("B"))]),
@@ -59,10 +55,7 @@ fn random_expr(seed: u64) -> Expr {
             };
             Expr::record(vec![("a", atom_head), ("g", inner)])
         }
-        _ => Expr::record(vec![
-            ("a", atom_head),
-            ("e", Expr::EmptySet(co_object::Type::Bottom)),
-        ]),
+        _ => Expr::record(vec![("a", atom_head), ("e", Expr::EmptySet(co_object::Type::Bottom))]),
     };
     Expr::Select { head: Box::new(head), bindings, conds }
 }

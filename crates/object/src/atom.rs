@@ -159,7 +159,9 @@ impl fmt::Debug for Atom {
 fn is_bare(s: &str) -> bool {
     !s.is_empty()
         && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '\u{27e8}')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '#' || c == '\u{27e8}' || c == '\u{27e9}')
+        && s.chars().all(|c| {
+            c.is_ascii_alphanumeric() || c == '_' || c == '#' || c == '\u{27e8}' || c == '\u{27e9}'
+        })
 }
 
 /// An interned record field label (`A`, `B`, … in the paper's

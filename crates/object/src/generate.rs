@@ -30,7 +30,13 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { max_depth: 3, max_set_len: 4, max_record_fields: 3, atom_pool: 5, empty_set_pct: 10 }
+        GenConfig {
+            max_depth: 3,
+            max_set_len: 4,
+            max_record_fields: 3,
+            atom_pool: 5,
+            empty_set_pct: 10,
+        }
     }
 }
 
@@ -44,9 +50,8 @@ pub struct ValueGen {
 impl ValueGen {
     /// Creates a generator from a seed and configuration.
     pub fn new(seed: u64, config: GenConfig) -> ValueGen {
-        let fields = (0..config.max_record_fields.max(1))
-            .map(|i| Field::new(&format!("F{i}")))
-            .collect();
+        let fields =
+            (0..config.max_record_fields.max(1)).map(|i| Field::new(&format!("F{i}"))).collect();
         ValueGen { rng: StdRng::seed_from_u64(seed), config, fields }
     }
 
@@ -70,10 +75,8 @@ impl ValueGen {
             1 => {
                 let n = self.rng.gen_range(1..=self.config.max_record_fields);
                 let names: Vec<Field> = self.fields[..n].to_vec();
-                let fields = names
-                    .into_iter()
-                    .map(|f| (f, self.value_at_depth(depth - 1)))
-                    .collect();
+                let fields =
+                    names.into_iter().map(|f| (f, self.value_at_depth(depth - 1))).collect();
                 Value::record(fields).expect("generator uses distinct fields")
             }
             _ => self.set_at_depth(depth),
@@ -93,10 +96,10 @@ impl ValueGen {
     pub fn value_of_type(&mut self, ty: &Type) -> Value {
         match ty {
             Type::Atom | Type::Bottom => Value::Atom(self.atom()),
-            Type::Record(fields) => Value::record(
-                fields.iter().map(|(f, t)| (*f, self.value_of_type(t))).collect(),
-            )
-            .expect("type has distinct fields"),
+            Type::Record(fields) => {
+                Value::record(fields.iter().map(|(f, t)| (*f, self.value_of_type(t))).collect())
+                    .expect("type has distinct fields")
+            }
             Type::Set(elem) => {
                 if self.rng.gen_range(0..100) < self.config.empty_set_pct {
                     return Value::empty_set();
@@ -135,18 +138,15 @@ impl ValueGen {
     pub fn grow(&mut self, v: &Value) -> Value {
         match v {
             Value::Atom(a) => Value::Atom(*a),
-            Value::Record(r) => Value::record(
-                r.iter().map(|(f, x)| (*f, self.grow(x))).collect(),
-            )
-            .expect("growing keeps labels"),
+            Value::Record(r) => Value::record(r.iter().map(|(f, x)| (*f, self.grow(x))).collect())
+                .expect("growing keeps labels"),
             Value::Set(s) => {
                 let mut elems: Vec<Value> = s.iter().map(|x| self.grow(x)).collect();
                 // Occasionally add unrelated extra elements.
                 let extra = self.rng.gen_range(0..=2);
                 for _ in 0..extra {
                     if let Some(tmpl) = s.iter().next() {
-                        let t = crate::ty::type_of(tmpl)
-                            .unwrap_or(Type::Atom);
+                        let t = crate::ty::type_of(tmpl).unwrap_or(Type::Atom);
                         elems.push(self.value_of_type(&t));
                     }
                 }

@@ -79,10 +79,10 @@ impl ValueGraph {
     fn value_at(&self, id: NodeId) -> Value {
         match &self.nodes[id] {
             Node::Atom(a) => Value::Atom(*a),
-            Node::Record(fields) => Value::record(
-                fields.iter().map(|(f, n)| (*f, self.value_at(*n))).collect(),
-            )
-            .expect("graph records keep distinct labels"),
+            Node::Record(fields) => {
+                Value::record(fields.iter().map(|(f, n)| (*f, self.value_at(*n))).collect())
+                    .expect("graph records keep distinct labels")
+            }
             Node::Set(elems) => Value::set(elems.iter().map(|&n| self.value_at(n)).collect()),
         }
     }
@@ -97,9 +97,7 @@ impl Builder {
     fn intern(&mut self, value: &Value) -> NodeId {
         let node = match value {
             Value::Atom(a) => Node::Atom(*a),
-            Value::Record(r) => {
-                Node::Record(r.iter().map(|(f, v)| (*f, self.intern(v))).collect())
-            }
+            Value::Record(r) => Node::Record(r.iter().map(|(f, v)| (*f, self.intern(v))).collect()),
             Value::Set(s) => {
                 let mut elems: Vec<NodeId> = s.iter().map(|v| self.intern(v)).collect();
                 elems.sort_unstable();
@@ -166,10 +164,9 @@ pub fn greatest_simulation(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<bool>> {
                 }
                 let ok = match (g1.node(i), g2.node(j)) {
                     (Node::Atom(_), Node::Atom(_)) => true,
-                    (Node::Record(fa), Node::Record(fb)) => fa
-                        .iter()
-                        .zip(fb.iter())
-                        .all(|((_, ca), (_, cb))| sim[*ca][*cb]),
+                    (Node::Record(fa), Node::Record(fb)) => {
+                        fa.iter().zip(fb.iter()).all(|((_, ca), (_, cb))| sim[*ca][*cb])
+                    }
                     (Node::Set(ea), Node::Set(eb)) => {
                         ea.iter().all(|&ca| eb.iter().any(|&cb| sim[ca][cb]))
                     }

@@ -39,7 +39,11 @@ pub fn hoare_equiv(a: &Value, b: &Value) -> bool {
     hoare_leq(a, b) && hoare_leq(b, a)
 }
 
-fn leq_memo<'v>(a: &'v Value, b: &'v Value, memo: &mut HashMap<(&'v Value, &'v Value), bool>) -> bool {
+fn leq_memo<'v>(
+    a: &'v Value,
+    b: &'v Value,
+    memo: &mut HashMap<(&'v Value, &'v Value), bool>,
+) -> bool {
     // Cheap syntactic shortcut: equal values are always related.
     if a == b {
         return true;
@@ -50,8 +54,7 @@ fn leq_memo<'v>(a: &'v Value, b: &'v Value, memo: &mut HashMap<(&'v Value, &'v V
     let result = match (a, b) {
         (Value::Atom(x), Value::Atom(y)) => x == y,
         (Value::Record(r), Value::Record(s)) => {
-            r.same_labels(s)
-                && r.iter().zip(s.iter()).all(|((_, x), (_, y))| leq_memo(x, y, memo))
+            r.same_labels(s) && r.iter().zip(s.iter()).all(|((_, x), (_, y))| leq_memo(x, y, memo))
         }
         (Value::Set(s1), Value::Set(s2)) => {
             s1.iter().all(|x| s2.iter().any(|y| leq_memo(x, y, memo)))
@@ -86,9 +89,9 @@ pub fn hoare_reduce(v: &Value) -> Value {
             let mut keep: Vec<Value> = Vec::with_capacity(reduced.len());
             for x in &reduced {
                 // Keep x unless some *other* element strictly dominates it.
-                let dominated = reduced.iter().any(|y| {
-                    y != x && hoare_leq(x, y) && !(hoare_leq(y, x) && y < x)
-                });
+                let dominated = reduced
+                    .iter()
+                    .any(|y| y != x && hoare_leq(x, y) && !(hoare_leq(y, x) && y < x));
                 if !dominated {
                     keep.push(x.clone());
                 }
@@ -223,9 +226,7 @@ pub fn hoare_join(a: &Value, b: &Value) -> Option<Value> {
             }
             Some(Value::record(fields).expect("joined record keeps labels"))
         }
-        (Value::Set(s1), Value::Set(s2)) => {
-            Some(Value::Set(s1.union(s2)))
-        }
+        (Value::Set(s1), Value::Set(s2)) => Some(Value::Set(s1.union(s2))),
         _ => None,
     }
 }

@@ -117,10 +117,9 @@ impl Type {
     /// Looks up a field's type in a record type.
     pub fn field(&self, field: Field) -> Option<&Type> {
         match self {
-            Type::Record(fields) => fields
-                .binary_search_by_key(&field, |(f, _)| *f)
-                .ok()
-                .map(|i| &fields[i].1),
+            Type::Record(fields) => {
+                fields.binary_search_by_key(&field, |(f, _)| *f).ok().map(|i| &fields[i].1)
+            }
             _ => None,
         }
     }

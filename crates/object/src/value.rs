@@ -149,10 +149,7 @@ impl RecordValue {
 
     /// Looks up a field by label.
     pub fn get(&self, field: Field) -> Option<&Value> {
-        self.fields
-            .binary_search_by_key(&field, |(f, _)| *f)
-            .ok()
-            .map(|i| &self.fields[i].1)
+        self.fields.binary_search_by_key(&field, |(f, _)| *f).ok().map(|i| &self.fields[i].1)
     }
 
     /// Iterates over `(label, value)` pairs in label order.
@@ -177,8 +174,7 @@ impl RecordValue {
 
     /// Whether `other` has exactly the same field labels.
     pub fn same_labels(&self, other: &RecordValue) -> bool {
-        self.len() == other.len()
-            && self.labels().zip(other.labels()).all(|(a, b)| a == b)
+        self.len() == other.len() && self.labels().zip(other.labels()).all(|(a, b)| a == b)
     }
 }
 
@@ -309,7 +305,9 @@ mod tests {
     fn empty_set_detection_is_deep() {
         let v = Value::set(vec![Value::record(vec![(f("A"), Value::empty_set())]).unwrap()]);
         assert!(v.contains_empty_set());
-        let w = Value::set(vec![Value::record(vec![(f("A"), Value::singleton(Value::int(1)))]).unwrap()]);
+        let w = Value::set(vec![
+            Value::record(vec![(f("A"), Value::singleton(Value::int(1)))]).unwrap()
+        ]);
         assert!(!w.contains_empty_set());
         assert!(Value::empty_set().contains_empty_set());
     }
@@ -320,11 +318,9 @@ mod tests {
         assert_eq!(Value::singleton(Value::int(1)).set_depth(), 1);
         let nested = Value::singleton(Value::singleton(Value::int(1)));
         assert_eq!(nested.set_depth(), 2);
-        let rec = Value::record(vec![
-            (f("A"), Value::int(1)),
-            (f("B"), Value::singleton(Value::int(2))),
-        ])
-        .unwrap();
+        let rec =
+            Value::record(vec![(f("A"), Value::int(1)), (f("B"), Value::singleton(Value::int(2)))])
+                .unwrap();
         assert_eq!(rec.set_depth(), 1);
     }
 

@@ -1,0 +1,214 @@
+//! # co-prng — a std-only stand-in for the slice of `rand` this workspace uses
+//!
+//! The build environment has no crates.io access, so the workspace cannot
+//! fetch `rand`. Every use site in this repo needs exactly three things:
+//! `StdRng::seed_from_u64`, `Rng::gen_range` over integer ranges, and
+//! `Rng::gen_bool`. This crate provides those with the same paths and
+//! signatures, and the workspace manifest renames it to `rand`
+//! (`rand = { path = "crates/prng", package = "co-prng" }`) so call sites
+//! keep writing `use rand::{Rng, SeedableRng}` unchanged.
+//!
+//! The generator is **sfc64** (Chris Doty-Humphrey's small fast counting
+//! RNG): 256 bits of state, passes PractRand, and is trivially seedable
+//! from a `u64` via splitmix64. It is *not* the same stream as `rand`'s
+//! `StdRng` (ChaCha12); all in-repo consumers only require determinism
+//! for a fixed seed, not a particular stream.
+
+#![warn(missing_docs)]
+
+/// Low-level entropy source: everything else derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding, mirroring `rand::SeedableRng`'s `seed_from_u64` entry point.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (`Range` or `RangeInclusive`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty, like `rand`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        // 53 high bits → uniform in [0, 1) with full f64 precision.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that knows how to sample itself — the shim's counterpart of
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+/// Types uniformly sampleable from a range — the shim's counterpart of
+/// `SampleUniform`. The *single* blanket `SampleRange` impl per range shape
+/// below is load-bearing for type inference: it lets
+/// `rng.gen_range(0..100) < some_u32` unify the literal with `u32` exactly
+/// as `rand` does.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform in `[lo, hi)`; callers guarantee `lo < hi`.
+    fn sample_exclusive<G: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut G) -> Self;
+    /// Uniform in `[lo, hi]`; callers guarantee `lo <= hi`.
+    fn sample_inclusive<G: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut G) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<G: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut G) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+            fn sample_inclusive<G: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut G) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator (sfc64 under the hood).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        a: u64,
+        b: u64,
+        c: u64,
+        counter: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // Expand the seed with splitmix64, then warm up: sfc64's own
+            // seeding discipline (12 rounds) decorrelates nearby seeds.
+            let mut s = seed;
+            let mut split = move || {
+                s = s.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            let mut rng = StdRng { a: split(), b: split(), c: split(), counter: 1 };
+            for _ in 0..12 {
+                rng.next_u64();
+            }
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.a.wrapping_add(self.b).wrapping_add(self.counter);
+            self.counter = self.counter.wrapping_add(1);
+            self.a = self.b ^ (self.b >> 11);
+            self.b = self.c.wrapping_add(self.c << 3);
+            self.c = self.c.rotate_left(24).wrapping_add(out);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let differs = (0..100).any(|_| a.gen_range(0..100u64) != c.gen_range(0..100u64));
+        assert!(differs, "seeds 42 and 43 should produce different streams");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let x = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&x));
+            let y = rng.gen_range(3..=3usize);
+            assert_eq!(y, 3);
+            let z = rng.gen_range(0..100usize);
+            assert!(z < 100);
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[rng.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&heads), "p=0.25 gave {heads}/10000");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        StdRng::seed_from_u64(0).gen_range(5..5u32);
+    }
+}

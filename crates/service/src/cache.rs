@@ -1,0 +1,290 @@
+//! A sharded, bounded memo cache for containment verdicts.
+//!
+//! Keys are `(fp(q1), fp(q2), fp(schema))` canonical-fingerprint triples;
+//! values are full [`ContainmentAnalysis`] results. The map is split into
+//! `N` shards, each an independent `RwLock`-protected LRU, so concurrent
+//! readers/writers only contend when their keys land in the same shard.
+//! Everything is `std`-only: the LRU list is an intrusive doubly-linked
+//! list over a slab of nodes, O(1) for get/insert/evict.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use co_core::ContainmentAnalysis;
+
+use crate::fingerprint::Fingerprint;
+
+/// Cache key: the two queries' canonical fingerprints plus the schema's.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Fingerprint of the candidate containee `q1`.
+    pub q1: Fingerprint,
+    /// Fingerprint of the candidate container `q2`.
+    pub q2: Fingerprint,
+    /// Fingerprint of the schema both queries are typed against.
+    pub schema: Fingerprint,
+}
+
+impl CacheKey {
+    /// A well-mixed 64-bit digest used for shard selection.
+    fn shard_hash(&self) -> u64 {
+        // The fingerprints are already uniform; fold the three u128s with
+        // distinct rotations so (q1, q2) and (q2, q1) land independently.
+        let x = self.q1.0 ^ self.q2.0.rotate_left(41) ^ self.schema.0.rotate_left(83);
+        let folded = (x as u64) ^ ((x >> 64) as u64);
+        // splitmix64 finalizer.
+        let mut z = folded.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: CacheKey,
+    value: ContainmentAnalysis,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: a hash index into a slab threaded as a recency list.
+struct Shard {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            slab: Vec::with_capacity(capacity.min(1024)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<ContainmentAnalysis> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(self.slab[idx].value.clone())
+    }
+
+    /// Inserts (or refreshes) an entry; returns `true` if an old entry was
+    /// evicted to make room.
+    fn insert(&mut self, key: CacheKey, value: ContainmentAnalysis) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+            evicted = true;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = Node { key, value, prev: NIL, next: NIL };
+                idx
+            }
+            None => {
+                self.slab.push(Node { key, value, prev: NIL, next: NIL });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+}
+
+/// Counter snapshot of a [`MemoCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Live entries across all shards.
+    pub entries: usize,
+    /// Total capacity across all shards.
+    pub capacity: usize,
+    /// Number of shards.
+    pub shards: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The sharded, bounded verdict cache.
+pub struct MemoCache {
+    shards: Vec<RwLock<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl MemoCache {
+    /// A cache with `shards` independent LRU shards of `per_shard` entries
+    /// each. `shards` is rounded up to a power of two (minimum 1).
+    pub fn new(shards: usize, per_shard: usize) -> MemoCache {
+        let shards = shards.max(1).next_power_of_two();
+        MemoCache {
+            shards: (0..shards).map(|_| RwLock::new(Shard::new(per_shard.max(1)))).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &RwLock<Shard> {
+        &self.shards[(key.shard_hash() as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Looks up a verdict, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&self, key: &CacheKey) -> Option<ContainmentAnalysis> {
+        // The LRU list moves on every hit, so even lookups take the write
+        // lock; sharding keeps the critical section per-key-group.
+        let found = self.shard(key).write().unwrap().get(key);
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a verdict (refreshing recency if the key is already present).
+    pub fn insert(&self, key: CacheKey, value: ContainmentAnalysis) {
+        let evicted = self.shard(&key).write().unwrap().insert(key, value);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut capacity = 0;
+        for s in &self.shards {
+            let s = s.read().unwrap();
+            entries += s.map.len();
+            capacity += s.capacity;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            capacity,
+            shards: self.shards.len(),
+        }
+    }
+
+    /// Live entry count per shard (distribution introspection for tests
+    /// and the `STATS` command).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.read().unwrap().map.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_core::DecisionPath;
+
+    fn key(i: u128) -> CacheKey {
+        CacheKey { q1: Fingerprint(i), q2: Fingerprint(i.wrapping_mul(7)), schema: Fingerprint(42) }
+    }
+
+    fn verdict(holds: bool) -> ContainmentAnalysis {
+        ContainmentAnalysis { holds, path: DecisionPath::Full, depth: 1, set_nodes: (1, 1) }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = MemoCache::new(1, 2);
+        cache.insert(key(1), verdict(true));
+        cache.insert(key(2), verdict(false));
+        assert!(cache.get(&key(1)).is_some()); // refresh 1; 2 is now LRU
+        cache.insert(key(3), verdict(true)); // evicts 2
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let cache = MemoCache::new(1, 2);
+        cache.insert(key(1), verdict(true));
+        cache.insert(key(2), verdict(true));
+        cache.insert(key(1), verdict(false)); // refresh, not a new entry
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(!cache.get(&key(1)).unwrap().holds);
+        cache.insert(key(3), verdict(true)); // now 2 is LRU
+        assert!(cache.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(MemoCache::new(5, 4).stats().shards, 8);
+        assert_eq!(MemoCache::new(0, 4).stats().shards, 1);
+    }
+}

@@ -1,0 +1,429 @@
+//! The batch decision engine: fingerprint → memo cache → decide.
+//!
+//! One [`Engine`] owns the registered schemas, the shared [`MemoCache`],
+//! a cache of [`Prepared`] queries (one per *distinct canonical query*,
+//! shared across every pair it appears in), and an in-flight table that
+//! coalesces concurrent identical requests so a verdict is computed at
+//! most once no matter how many clients ask simultaneously.
+//!
+//! The per-request cost is parse + normalize + fingerprint (linear in the
+//! query text); the exponential decision procedures run only on cache
+//! misses, which a duplicate-heavy workload makes rare.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread;
+use std::time::Instant;
+
+use co_core::{ContainmentAnalysis, Equivalence, Prepared};
+use co_cq::Schema;
+use co_lang::{CoqlSchema, EmptySetStatus};
+
+use crate::cache::{CacheKey, CacheStats, MemoCache};
+use crate::fingerprint::{fingerprint_query, fingerprint_schema, Fingerprint};
+use crate::stats::{path_index, EngineStats};
+
+/// Engine sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of memo-cache shards (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// LRU capacity per shard.
+    pub cache_per_shard: usize,
+    /// Worker threads used by [`Engine::decide_batch`].
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        let cores = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        EngineConfig { cache_shards: 16, cache_per_shard: 4096, workers: cores.clamp(2, 16) }
+    }
+}
+
+/// What a request asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Decide `q1 ⊑ q2`.
+    Check,
+    /// Decide equivalence (mutual containment plus the §4 collapse).
+    Equiv,
+}
+
+/// One decision request, as received from a client.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Which question to answer.
+    pub op: Op,
+    /// Registered schema id.
+    pub schema: String,
+    /// COQL source of the left query.
+    pub q1: String,
+    /// COQL source of the right query.
+    pub q2: String,
+}
+
+/// A successful decision.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decision {
+    /// Answer to an [`Op::Check`] request.
+    Containment {
+        /// The verdict with provenance, bit-identical to the uncached
+        /// [`co_core::contained_in`] result.
+        analysis: ContainmentAnalysis,
+        /// Served from the memo cache (or coalesced onto an in-flight
+        /// computation) rather than computed for this request.
+        cached: bool,
+        /// Canonical fingerprint of `q1`.
+        fp1: Fingerprint,
+        /// Canonical fingerprint of `q2`.
+        fp2: Fingerprint,
+    },
+    /// Answer to an [`Op::Equiv`] request.
+    Equivalence {
+        /// `q1 ⊑ q2`.
+        forward: bool,
+        /// `q2 ⊑ q1`.
+        backward: bool,
+        /// The combined verdict (definite when the §4 collapse applies).
+        verdict: Equivalence,
+        /// Both directions were served from cache.
+        cached: bool,
+        /// Canonical fingerprint of `q1`.
+        fp1: Fingerprint,
+        /// Canonical fingerprint of `q2`.
+        fp2: Fingerprint,
+    },
+}
+
+struct SchemaEntry {
+    flat: Schema,
+    coql: CoqlSchema,
+    fp: Fingerprint,
+}
+
+/// Slot a computing thread publishes its result into; concurrent
+/// requesters of the same key block on the condvar instead of recomputing.
+struct InFlightSlot {
+    result: Mutex<Option<Result<ContainmentAnalysis, String>>>,
+    ready: Condvar,
+}
+
+/// The containment-decision engine. Cheap to share: wrap it in an [`Arc`]
+/// and hand clones to every connection/worker.
+pub struct Engine {
+    schemas: RwLock<HashMap<String, Arc<SchemaEntry>>>,
+    cache: MemoCache,
+    prepared: RwLock<HashMap<(Fingerprint, Fingerprint), Arc<Prepared>>>,
+    inflight: Mutex<HashMap<CacheKey, Arc<InFlightSlot>>>,
+    stats: EngineStats,
+    workers: usize,
+}
+
+impl Engine {
+    /// An engine with the given sizing.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            schemas: RwLock::new(HashMap::new()),
+            cache: MemoCache::new(config.cache_shards, config.cache_per_shard),
+            prepared: RwLock::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            stats: EngineStats::default(),
+            workers: config.workers.max(1),
+        }
+    }
+
+    /// Registers (or replaces) a schema under `name`; returns its
+    /// fingerprint, which becomes part of every cache key that uses it.
+    pub fn register_schema(&self, name: &str, schema: Schema) -> Fingerprint {
+        let fp = fingerprint_schema(&schema);
+        let entry =
+            Arc::new(SchemaEntry { coql: CoqlSchema::from_flat(&schema), flat: schema, fp });
+        self.schemas.write().unwrap().insert(name.to_string(), entry);
+        fp
+    }
+
+    /// Number of registered schemas.
+    pub fn schema_count(&self) -> usize {
+        self.schemas.read().unwrap().len()
+    }
+
+    fn resolve_schema(&self, name: &str) -> Result<Arc<SchemaEntry>, String> {
+        self.schemas
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("unknown schema `{name}` (register it with SCHEMA first)"))
+    }
+
+    /// Parses, normalizes, and fingerprints one query; returns its
+    /// fingerprint and the shared [`Prepared`] form (reused across every
+    /// pair this query appears in).
+    fn analyze(
+        &self,
+        entry: &SchemaEntry,
+        text: &str,
+    ) -> Result<(Fingerprint, Arc<Prepared>), String> {
+        let expr = co_lang::parse_coql(text).map_err(|e| e.to_string())?;
+        co_lang::type_check(&expr, &entry.coql).map_err(|e| e.to_string())?;
+        let nf = co_lang::normalize(&expr, &entry.coql).map_err(|e| e.to_string())?;
+        let fp = fingerprint_query(&nf);
+        let pkey = (entry.fp, fp);
+        if let Some(p) = self.prepared.read().unwrap().get(&pkey) {
+            return Ok((fp, Arc::clone(p)));
+        }
+        let prepared = Arc::new(co_core::prepare(&expr, &entry.flat).map_err(|e| e.to_string())?);
+        let mut map = self.prepared.write().unwrap();
+        // A racing thread may have inserted an equivalent Prepared; keep
+        // the first so every holder shares one allocation.
+        let p = map.entry(pkey).or_insert(prepared);
+        Ok((fp, Arc::clone(p)))
+    }
+
+    /// Fingerprint of one query under a registered schema (the `coqlc
+    /// fingerprint` / `FINGERPRINT` debugging path).
+    pub fn fingerprint(&self, schema: &str, text: &str) -> Result<Fingerprint, String> {
+        let entry = self.resolve_schema(schema)?;
+        let expr = co_lang::parse_coql(text).map_err(|e| e.to_string())?;
+        co_lang::type_check(&expr, &entry.coql).map_err(|e| e.to_string())?;
+        let nf = co_lang::normalize(&expr, &entry.coql).map_err(|e| e.to_string())?;
+        Ok(fingerprint_query(&nf))
+    }
+
+    /// One direction of containment through cache + in-flight coalescing.
+    /// Returns the analysis and whether it was served without computing.
+    fn contained(
+        &self,
+        key: CacheKey,
+        p1: &Prepared,
+        p2: &Prepared,
+    ) -> Result<(ContainmentAnalysis, bool), String> {
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok((hit, true));
+        }
+        let slot = {
+            let mut inflight = self.inflight.lock().unwrap();
+            if let Some(slot) = inflight.get(&key) {
+                let slot = Arc::clone(slot);
+                drop(inflight);
+                let mut result = slot.result.lock().unwrap();
+                while result.is_none() {
+                    result = slot.ready.wait(result).unwrap();
+                }
+                self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                return result.clone().unwrap().map(|a| (a, true));
+            }
+            let slot = Arc::new(InFlightSlot { result: Mutex::new(None), ready: Condvar::new() });
+            inflight.insert(key, Arc::clone(&slot));
+            slot
+        };
+
+        self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let outcome = co_core::contained_prepared(p1, p2).map_err(|e| e.to_string());
+        let elapsed = start.elapsed();
+        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+
+        if let Ok(analysis) = &outcome {
+            self.cache.insert(key, analysis.clone());
+            self.stats.computed.fetch_add(1, Ordering::Relaxed);
+            self.stats.path_latency[path_index(analysis.path)].record(elapsed);
+        }
+        *slot.result.lock().unwrap() = Some(outcome.clone());
+        slot.ready.notify_all();
+        self.inflight.lock().unwrap().remove(&key);
+        outcome.map(|a| (a, false))
+    }
+
+    /// Answers one request.
+    pub fn decide(&self, request: &Request) -> Result<Decision, String> {
+        self.stats.decisions.fetch_add(1, Ordering::Relaxed);
+        let entry = self.resolve_schema(&request.schema)?;
+        let (fp1, p1) = self.analyze(&entry, &request.q1)?;
+        let (fp2, p2) = self.analyze(&entry, &request.q2)?;
+        let fwd_key = CacheKey { q1: fp1, q2: fp2, schema: entry.fp };
+        match request.op {
+            Op::Check => {
+                let (analysis, cached) = self.contained(fwd_key, &p1, &p2)?;
+                Ok(Decision::Containment { analysis, cached, fp1, fp2 })
+            }
+            Op::Equiv => {
+                let bwd_key = CacheKey { q1: fp2, q2: fp1, schema: entry.fp };
+                let (fwd, c1) = self.contained(fwd_key, &p1, &p2)?;
+                let (bwd, c2) = self.contained(bwd_key, &p2, &p1)?;
+                let verdict = if !(fwd.holds && bwd.holds) {
+                    Equivalence::NotEquivalent
+                } else {
+                    let no_empty = p1.empty_status == EmptySetStatus::Free
+                        && p2.empty_status == EmptySetStatus::Free;
+                    let flat = p1.ty.is_flat_relation() && p2.ty.is_flat_relation();
+                    if no_empty || flat {
+                        Equivalence::Equivalent
+                    } else {
+                        Equivalence::WeaklyEquivalentOnly
+                    }
+                };
+                Ok(Decision::Equivalence {
+                    forward: fwd.holds,
+                    backward: bwd.holds,
+                    verdict,
+                    cached: c1 && c2,
+                    fp1,
+                    fp2,
+                })
+            }
+        }
+    }
+
+    /// Answers a batch by fanning the requests across the engine's worker
+    /// pool (plain `std::thread` + `mpsc`). Identical in-flight keys are
+    /// computed once; results come back in request order.
+    pub fn decide_batch(&self, requests: &[Request]) -> Vec<Result<Decision, String>> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return requests.iter().map(|r| self.decide(r)).collect();
+        }
+        let (task_tx, task_rx) = mpsc::channel::<usize>();
+        let task_rx = Arc::new(Mutex::new(task_rx));
+        let (result_tx, result_rx) = mpsc::channel::<(usize, Result<Decision, String>)>();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let task_rx = Arc::clone(&task_rx);
+                let result_tx = result_tx.clone();
+                scope.spawn(move || loop {
+                    let next = task_rx.lock().unwrap().recv();
+                    match next {
+                        Ok(i) => {
+                            if result_tx.send((i, self.decide(&requests[i]))).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                });
+            }
+            drop(result_tx);
+            for i in 0..n {
+                task_tx.send(i).expect("workers outlive the queue");
+            }
+            drop(task_tx);
+            let mut out: Vec<Option<Result<Decision, String>>> = (0..n).map(|_| None).collect();
+            for (i, result) in result_rx {
+                out[i] = Some(result);
+            }
+            out.into_iter().map(|slot| slot.expect("every request produced a result")).collect()
+        })
+    }
+
+    /// Memo-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Live entry count per cache shard.
+    pub fn cache_shard_sizes(&self) -> Vec<usize> {
+        self.cache.shard_sizes()
+    }
+
+    /// Engine counters (decisions, coalescing, in-flight, latency).
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of distinct prepared queries currently shared.
+    pub fn prepared_count(&self) -> usize {
+        self.prepared.read().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        let e = Engine::new(EngineConfig { cache_shards: 4, cache_per_shard: 64, workers: 4 });
+        e.register_schema("s", Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])]));
+        e
+    }
+
+    fn check(schema: &str, q1: &str, q2: &str) -> Request {
+        Request { op: Op::Check, schema: schema.into(), q1: q1.into(), q2: q2.into() }
+    }
+
+    #[test]
+    fn decisions_match_core_and_cache_by_canonical_form() {
+        let e = engine();
+        let r = check("s", "select x.B from x in R where x.A = 1", "select x.B from x in R");
+        let Decision::Containment { analysis, cached, .. } = e.decide(&r).unwrap() else {
+            panic!("expected containment decision");
+        };
+        assert!(analysis.holds);
+        assert!(!cached);
+        // α-renamed + reordered variant hits the same cache entry.
+        let r2 = check("s", "select y.B from y in R where 1 = y.A", "select z.B from z in R");
+        let Decision::Containment { analysis: a2, cached: c2, .. } = e.decide(&r2).unwrap() else {
+            panic!("expected containment decision");
+        };
+        assert!(c2, "canonically-identical request must be a cache hit");
+        assert_eq!(analysis, a2);
+        assert_eq!(e.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn equivalence_combines_directions() {
+        let e = engine();
+        let req = Request {
+            op: Op::Equiv,
+            schema: "s".into(),
+            q1: "select [a: x.A] from x in R".into(),
+            q2: "select [a: y.A] from y in R".into(),
+        };
+        let Decision::Equivalence { forward, backward, verdict, .. } = e.decide(&req).unwrap()
+        else {
+            panic!("expected equivalence decision");
+        };
+        assert!(forward && backward);
+        assert_eq!(verdict, Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn unknown_schema_and_parse_errors_are_reported() {
+        let e = engine();
+        assert!(e.decide(&check("nope", "{1}", "{1}")).is_err());
+        assert!(e.decide(&check("s", "select from", "{1}")).is_err());
+        // Ill-typed: comparing a record to an atom.
+        assert!(e
+            .decide(&check("s", "select x from x in R where x = 1", "select x from x in R"))
+            .is_err());
+    }
+
+    #[test]
+    fn batch_returns_results_in_order() {
+        let e = engine();
+        let reqs: Vec<Request> = (0..32)
+            .map(|i| {
+                if i % 2 == 0 {
+                    check("s", "select x.B from x in R where x.A = 1", "select x.B from x in R")
+                } else {
+                    check("s", "select x.B from x in R", "select x.B from x in R where x.A = 1")
+                }
+            })
+            .collect();
+        let out = e.decide_batch(&reqs);
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            let Ok(Decision::Containment { analysis, .. }) = r else {
+                panic!("request {i} failed: {r:?}");
+            };
+            assert_eq!(analysis.holds, i % 2 == 0, "request {i}");
+        }
+        // 32 requests, 2 distinct keys.
+        assert_eq!(e.stats().computed.load(Ordering::Relaxed), 2);
+    }
+}

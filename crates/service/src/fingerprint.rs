@@ -1,0 +1,83 @@
+//! Canonical 128-bit fingerprints of queries and schemas.
+//!
+//! A fingerprint is a hash of [`co_lang::canonical_query`]'s serialization,
+//! so two `contained_in(q1, q2)` requests whose queries differ only in
+//! bound-variable names, independent-generator order, or conjunct
+//! order/duplication produce the same cache key. 128 bits keep accidental
+//! collisions out of reach for any realistic request volume (birthday
+//! bound ≈ 2⁶⁴ distinct queries).
+
+use std::fmt;
+
+use co_cq::Schema;
+use co_lang::Comprehension;
+
+/// A 128-bit canonical fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Fingerprint(pub u128);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// FNV-1a with 128-bit state — stable across platforms and releases,
+/// needs no keys, and is fast enough that hashing is negligible next to
+/// normalization.
+pub fn fingerprint_bytes(bytes: &[u8]) -> Fingerprint {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    Fingerprint(h)
+}
+
+/// Fingerprint of a normalized query (hash of its canonical serialization).
+pub fn fingerprint_query(c: &Comprehension) -> Fingerprint {
+    fingerprint_bytes(co_lang::canonical_query(c).as_bytes())
+}
+
+/// Fingerprint of a flat schema: relation names with their attribute lists,
+/// in name order (which [`Schema::iter`] already guarantees).
+pub fn fingerprint_schema(schema: &Schema) -> Fingerprint {
+    let mut text = String::new();
+    for rel in schema.iter() {
+        text.push_str(&rel.name.name());
+        text.push('(');
+        for (i, attr) in rel.attrs.iter().enumerate() {
+            if i > 0 {
+                text.push(',');
+            }
+            text.push_str(&attr.name());
+        }
+        text.push(')');
+        text.push(';');
+    }
+    fingerprint_bytes(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_rendering_is_32_chars() {
+        assert_eq!(Fingerprint(0).to_string().len(), 32);
+        assert_eq!(Fingerprint(u128::MAX).to_string(), "f".repeat(32));
+    }
+
+    #[test]
+    fn schema_fingerprint_sees_attrs_and_names() {
+        let a = fingerprint_schema(&Schema::with_relations(&[("R", &["A", "B"])]));
+        let b = fingerprint_schema(&Schema::with_relations(&[("R", &["A", "C"])]));
+        let c = fingerprint_schema(&Schema::with_relations(&[("S", &["A", "B"])]));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        let again = fingerprint_schema(&Schema::with_relations(&[("R", &["A", "B"])]));
+        assert_eq!(a, again);
+    }
+}

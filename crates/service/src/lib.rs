@@ -1,0 +1,62 @@
+//! # co-service — serving Theorem 4.1 at scale
+//!
+//! The decision procedures in `co-core` are pure functions of the
+//! *normalized* query pair, which makes their verdicts ideal to memoize:
+//! production query workloads are duplicate-heavy, with many
+//! syntactically-distinct but semantically-identical requests. This crate
+//! is the serving subsystem built on that observation, in four layers:
+//!
+//! 1. [`fingerprint`] — stable 128-bit hashes of
+//!    [`co_lang::canonical_query`]'s canonical form, so requests differing
+//!    only in variable names, generator order, or conjunct order share a
+//!    cache key;
+//! 2. [`cache`] — a sharded, bounded, `std`-only LRU memo cache of
+//!    [`co_core::ContainmentAnalysis`] keyed by
+//!    `(fp(q1), fp(q2), fp(schema))`, with hit/miss/eviction counters;
+//! 3. [`engine`] — the batch decision engine: schema registry, shared
+//!    [`co_core::Prepared`] reuse (one per distinct canonical query),
+//!    in-flight coalescing of concurrent identical requests, and a
+//!    `std::thread` + `mpsc` worker pool behind
+//!    [`Engine::decide_batch`];
+//! 4. [`server`] — the `coqld` TCP front end: a line-oriented
+//!    `CHECK`/`EQUIV`/`FINGERPRINT`/`SCHEMA`/`STATS` protocol with
+//!    per-decision-path latency histograms.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use co_cq::Schema;
+//! use co_service::{Engine, EngineConfig, Op, Request, Decision};
+//!
+//! let engine = Arc::new(Engine::new(EngineConfig::default()));
+//! engine.register_schema("s", Schema::with_relations(&[("R", &["A", "B"])]));
+//! let request = Request {
+//!     op: Op::Check,
+//!     schema: "s".into(),
+//!     q1: "select x.B from x in R where x.A = 1".into(),
+//!     q2: "select y.B from y in R".into(),
+//! };
+//! let Decision::Containment { analysis, .. } = engine.decide(&request).unwrap() else {
+//!     unreachable!()
+//! };
+//! assert!(analysis.holds);
+//! // The α-renamed twin is now a cache hit:
+//! let twin = Request { q1: "select z.B from z in R where 1 = z.A".into(), ..request };
+//! let Decision::Containment { cached, .. } = engine.decide(&twin).unwrap() else {
+//!     unreachable!()
+//! };
+//! assert!(cached);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod fingerprint;
+pub mod server;
+pub mod stats;
+
+pub use cache::{CacheKey, CacheStats, MemoCache};
+pub use engine::{Decision, Engine, EngineConfig, Op, Request};
+pub use fingerprint::{fingerprint_bytes, fingerprint_query, fingerprint_schema, Fingerprint};
+pub use server::{parse_schema_decl, serve, ServerConfig};
+pub use stats::{EngineStats, LatencyHistogram};

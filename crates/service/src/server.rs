@@ -1,0 +1,331 @@
+//! `coqld`'s TCP front end: a line-oriented request/response protocol.
+//!
+//! One request per line, one reply per line (except `STATS`, which ends
+//! with `END`), UTF-8, newline-terminated — usable from `nc`:
+//!
+//! ```text
+//! SCHEMA <name> <decl>          register a schema, e.g. R(A,B); S(C)
+//! CHECK <schema> <q1> ;; <q2>   decide q1 ⊑ q2
+//! EQUIV <schema> <q1> ;; <q2>   decide equivalence
+//! FINGERPRINT <schema> <q>      canonical fingerprint of one query
+//! STATS                         cache/engine counters + latency quantiles
+//! QUIT                          close the connection
+//! ```
+//!
+//! Replies start `OK` or `ERR`. The accept loop is thread-per-connection,
+//! bounded by [`ServerConfig::max_connections`]; excess connections queue
+//! in the listener backlog until a slot frees up.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+use co_cq::{RelSchema, Schema};
+
+use crate::engine::{Decision, Engine, Op, Request};
+use crate::stats::path_label;
+
+/// Server knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Maximum concurrently-served connections.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { max_connections: 64 }
+    }
+}
+
+/// A counting gate bounding live connection threads (std-only semaphore).
+struct Gate {
+    state: Mutex<usize>,
+    freed: Condvar,
+    max: usize,
+}
+
+impl Gate {
+    fn new(max: usize) -> Gate {
+        Gate { state: Mutex::new(0), freed: Condvar::new(), max: max.max(1) }
+    }
+
+    fn acquire(&self) {
+        let mut live = self.state.lock().unwrap();
+        while *live >= self.max {
+            live = self.freed.wait(live).unwrap();
+        }
+        *live += 1;
+    }
+
+    fn release(&self) {
+        *self.state.lock().unwrap() -= 1;
+        self.freed.notify_one();
+    }
+}
+
+/// Runs the accept loop forever (returns only on listener error). Spawn it
+/// on a dedicated thread if the caller needs to keep going.
+pub fn serve(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    config: ServerConfig,
+) -> std::io::Result<()> {
+    let gate = Arc::new(Gate::new(config.max_connections));
+    loop {
+        let (stream, _peer) = listener.accept()?;
+        gate.acquire();
+        let engine = Arc::clone(&engine);
+        let gate = Arc::clone(&gate);
+        thread::spawn(move || {
+            let _ = handle_connection(stream, &engine);
+            gate.release();
+        });
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        match handle_line(&line, engine) {
+            Reply::None => {}
+            Reply::Line(text) => {
+                writer.write_all(text.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+            }
+            Reply::Quit => {
+                writer.write_all(b"OK bye\n")?;
+                writer.flush()?;
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+enum Reply {
+    None,
+    Line(String),
+    Quit,
+}
+
+fn handle_line(line: &str, engine: &Engine) -> Reply {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Reply::None;
+    }
+    let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    let rest = rest.trim();
+    let result = match cmd.to_ascii_uppercase().as_str() {
+        "CHECK" => pair_request(Op::Check, rest).and_then(|r| run(engine, &r)),
+        "EQUIV" => pair_request(Op::Equiv, rest).and_then(|r| run(engine, &r)),
+        "FINGERPRINT" => split_head(rest, "FINGERPRINT <schema> <query>")
+            .and_then(|(schema, query)| engine.fingerprint(schema, query))
+            .map(|fp| format!("OK fp={fp}")),
+        "SCHEMA" => split_head(rest, "SCHEMA <name> <decl>").and_then(|(name, decl)| {
+            parse_schema_decl(decl).map(|schema| {
+                let relations = schema.len();
+                let fp = engine.register_schema(name, schema);
+                format!("OK schema={name} fp={fp} relations={relations}")
+            })
+        }),
+        "STATS" => Ok(render_stats(engine)),
+        "QUIT" | "EXIT" => return Reply::Quit,
+        other => Err(format!(
+            "unknown command `{other}` (try CHECK, EQUIV, FINGERPRINT, SCHEMA, STATS, QUIT)"
+        )),
+    };
+    match result {
+        Ok(text) => Reply::Line(text),
+        // Keep the reply line-oriented whatever the error contains.
+        Err(message) => Reply::Line(format!("ERR {}", message.replace('\n', " "))),
+    }
+}
+
+/// Splits `<head> <tail>`, erroring with a usage hint when `tail` is missing.
+fn split_head<'a>(rest: &'a str, usage: &str) -> Result<(&'a str, &'a str), String> {
+    match rest.split_once(char::is_whitespace) {
+        Some((head, tail)) if !tail.trim().is_empty() => Ok((head, tail.trim())),
+        _ => Err(format!("usage: {usage}")),
+    }
+}
+
+fn pair_request(op: Op, rest: &str) -> Result<Request, String> {
+    let usage = match op {
+        Op::Check => "CHECK <schema> <q1> ;; <q2>",
+        Op::Equiv => "EQUIV <schema> <q1> ;; <q2>",
+    };
+    let (schema, queries) = split_head(rest, usage)?;
+    let (q1, q2) = queries.split_once(";;").ok_or_else(|| format!("usage: {usage}"))?;
+    let (q1, q2) = (q1.trim(), q2.trim());
+    if q1.is_empty() || q2.is_empty() {
+        return Err(format!("usage: {usage}"));
+    }
+    Ok(Request { op, schema: schema.to_string(), q1: q1.to_string(), q2: q2.to_string() })
+}
+
+fn run(engine: &Engine, request: &Request) -> Result<String, String> {
+    match engine.decide(request)? {
+        Decision::Containment { analysis, cached, fp1, fp2 } => Ok(format!(
+            "OK holds={} path={} cached={} fp1={fp1} fp2={fp2}",
+            analysis.holds, analysis.path, cached
+        )),
+        Decision::Equivalence { forward, backward, verdict, cached, fp1, fp2 } => {
+            let verdict = match verdict {
+                co_core::Equivalence::Equivalent => "equivalent",
+                co_core::Equivalence::NotEquivalent => "not-equivalent",
+                co_core::Equivalence::WeaklyEquivalentOnly => "weakly-equivalent",
+            };
+            Ok(format!(
+                "OK verdict={verdict} forward={forward} backward={backward} \
+                 cached={cached} fp1={fp1} fp2={fp2}"
+            ))
+        }
+    }
+}
+
+/// The `STATS` payload: `<key> <value>` lines terminated by `END`.
+fn render_stats(engine: &Engine) -> String {
+    let cache = engine.cache_stats();
+    let stats = engine.stats();
+    let coalesced = stats.coalesced.load(Ordering::Relaxed);
+    let lookups = cache.hits + cache.misses;
+    let effective =
+        if lookups == 0 { 0.0 } else { (cache.hits + coalesced) as f64 / lookups as f64 };
+    let mut out = String::new();
+    let mut put = |k: &str, v: String| {
+        out.push_str(k);
+        out.push(' ');
+        out.push_str(&v);
+        out.push('\n');
+    };
+    put("decisions", stats.decisions.load(Ordering::Relaxed).to_string());
+    put("computed", stats.computed.load(Ordering::Relaxed).to_string());
+    put("coalesced", coalesced.to_string());
+    put("inflight", stats.in_flight.load(Ordering::Relaxed).to_string());
+    put("schemas", engine.schema_count().to_string());
+    put("prepared", engine.prepared_count().to_string());
+    put("cache.hits", cache.hits.to_string());
+    put("cache.misses", cache.misses.to_string());
+    put("cache.evictions", cache.evictions.to_string());
+    put("cache.entries", cache.entries.to_string());
+    put("cache.capacity", cache.capacity.to_string());
+    put("cache.shards", cache.shards.to_string());
+    put("cache.hit_rate", format!("{:.4}", cache.hit_rate()));
+    put("cache.effective_hit_rate", format!("{effective:.4}"));
+    for (i, hist) in stats.path_latency.iter().enumerate() {
+        let label = path_label(i);
+        put(&format!("path.{label}.count"), hist.count().to_string());
+        put(&format!("path.{label}.mean_us"), hist.mean_us().to_string());
+        put(&format!("path.{label}.p50_us"), hist.quantile_us(0.5).to_string());
+        put(&format!("path.{label}.p99_us"), hist.quantile_us(0.99).to_string());
+    }
+    out.push_str("END");
+    out
+}
+
+/// Parses a one-line (or multi-line) schema declaration: relation schemas
+/// `R(A, B)` separated by `;` or newlines, `#` comments allowed.
+pub fn parse_schema_decl(text: &str) -> Result<Schema, String> {
+    let mut schema = Schema::new();
+    for part in text.split(['\n', ';']) {
+        let part = part.split('#').next().unwrap_or("").trim();
+        if part.is_empty() {
+            continue;
+        }
+        let open = part.find('(').ok_or_else(|| format!("bad relation decl `{part}`"))?;
+        let close = part.rfind(')').ok_or_else(|| format!("bad relation decl `{part}`"))?;
+        if close < open {
+            return Err(format!("bad relation decl `{part}`"));
+        }
+        let name = part[..open].trim();
+        let attrs: Vec<&str> =
+            part[open + 1..close].split(',').map(str::trim).filter(|a| !a.is_empty()).collect();
+        if name.is_empty() || attrs.is_empty() {
+            return Err(format!("bad relation decl `{part}`"));
+        }
+        let mut seen = attrs.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != attrs.len() {
+            return Err(format!("duplicate attribute in relation `{name}`"));
+        }
+        schema.add(RelSchema::new(name, &attrs));
+    }
+    if schema.is_empty() {
+        return Err("schema declares no relations".to_string());
+    }
+    Ok(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig { cache_shards: 2, cache_per_shard: 32, workers: 2 })
+    }
+
+    fn line(engine: &Engine, input: &str) -> String {
+        match handle_line(input, engine) {
+            Reply::Line(text) => text,
+            Reply::Quit => "QUIT".to_string(),
+            Reply::None => String::new(),
+        }
+    }
+
+    #[test]
+    fn protocol_round_trip() {
+        let e = engine();
+        let reply = line(&e, "SCHEMA s R(A,B); S(C)");
+        assert!(reply.starts_with("OK schema=s fp="), "{reply}");
+        let reply =
+            line(&e, "CHECK s select x.B from x in R where x.A = 1 ;; select x.B from x in R");
+        assert!(reply.contains("holds=true"), "{reply}");
+        assert!(reply.contains("path=flat/classical"), "{reply}");
+        let reply = line(&e, "EQUIV s select [a: x.A] from x in R ;; select [a: y.A] from y in R");
+        assert!(reply.contains("verdict=equivalent"), "{reply}");
+        let reply = line(&e, "FINGERPRINT s select x.B from x in R");
+        assert!(reply.starts_with("OK fp="), "{reply}");
+        let stats = line(&e, "STATS");
+        assert!(stats.contains("decisions 2"), "{stats}");
+        // The EQUIV pair is α-equivalent, so its two directions share one
+        // cache key: the backward check hits the forward check's entry.
+        assert!(stats.contains("cache.hits 1"), "{stats}");
+        assert!(stats.ends_with("END"), "{stats}");
+    }
+
+    #[test]
+    fn errors_are_single_lines() {
+        let e = engine();
+        for bad in [
+            "CHECK",
+            "CHECK s onlyonequery",
+            "CHECK missing select x from x in R ;; select x from x in R",
+            "SCHEMA s",
+            "SCHEMA s R(A, A)",
+            "BOGUS things",
+        ] {
+            let reply = line(&e, bad);
+            assert!(reply.starts_with("ERR "), "`{bad}` → {reply}");
+            assert!(!reply.contains('\n'), "`{bad}` reply must be one line");
+        }
+        assert!(matches!(handle_line("QUIT", &e), Reply::Quit));
+        assert!(matches!(handle_line("  # comment", &e), Reply::None));
+    }
+
+    #[test]
+    fn schema_decl_variants() {
+        assert_eq!(parse_schema_decl("R(A,B); S(C)").unwrap().len(), 2);
+        assert_eq!(parse_schema_decl("R(A, B)\nS(C)  # trailing\n").unwrap().len(), 2);
+        assert!(parse_schema_decl("").is_err());
+        assert!(parse_schema_decl("R").is_err());
+        assert!(parse_schema_decl("R()").is_err());
+    }
+}

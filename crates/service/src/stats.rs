@@ -1,0 +1,112 @@
+//! Lock-free service counters and latency histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use co_core::DecisionPath;
+
+/// Number of log₂ microsecond buckets: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` µs (bucket 0 is `< 1 µs`), topping out above ~17 min.
+const BUCKETS: usize = 31;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one sample.
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 with no samples).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Upper bound (µs) of the bucket containing the q-quantile,
+    /// `0 <= q <= 1`. A coarse estimate — within 2× of the true value —
+    /// which is what a log₂ histogram buys.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((n as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// Counters for the decision engine, all monotone except `in_flight`.
+#[derive(Default)]
+pub struct EngineStats {
+    /// Containment decisions answered (cached or computed).
+    pub decisions: AtomicU64,
+    /// Full decision-pipeline executions (cache misses actually computed).
+    pub computed: AtomicU64,
+    /// Requests that waited on an identical in-flight computation instead
+    /// of recomputing.
+    pub coalesced: AtomicU64,
+    /// Decisions currently being computed (gauge).
+    pub in_flight: AtomicU64,
+    /// Latency of computed decisions, by decision path
+    /// (indexed [`path_index`]).
+    pub path_latency: [LatencyHistogram; 3],
+}
+
+/// Stable index of a [`DecisionPath`] into [`EngineStats::path_latency`].
+pub fn path_index(path: DecisionPath) -> usize {
+    match path {
+        DecisionPath::FlatClassical => 0,
+        DecisionPath::NoEmptySets => 1,
+        DecisionPath::Full => 2,
+    }
+}
+
+/// Short stable label for a histogram slot, used by `STATS`.
+pub fn path_label(index: usize) -> &'static str {
+    match index {
+        0 => "flat",
+        1 => "no-empty-sets",
+        _ => "full",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for us in [0u64, 1, 3, 8, 100, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 6);
+        assert!(h.mean_us() > 0);
+        assert!(h.quantile_us(0.5) <= 16);
+        assert!(h.quantile_us(1.0) >= 1000);
+        let empty = LatencyHistogram::default();
+        assert_eq!(empty.quantile_us(0.5), 0);
+    }
+}

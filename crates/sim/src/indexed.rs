@@ -149,9 +149,7 @@ impl fmt::Display for IndexedQuery {
 pub fn simulation_holds_on(q: &IndexedQuery, q2: &IndexedQuery, db: &Database) -> bool {
     let groups1 = q.groups(db);
     let groups2 = q2.groups(db);
-    groups1
-        .values()
-        .all(|g| groups2.values().any(|g2| g.is_subset(g2)))
+    groups1.values().all(|g| groups2.values().any(|g2| g.is_subset(g2)))
 }
 
 /// The definitional strong simulation check: every group of `q` *equals*
@@ -171,18 +169,11 @@ pub fn strong_simulation_violation(
 ) -> Option<Tuple> {
     let groups1 = q.groups(db);
     let groups2 = q2.groups(db);
-    groups1
-        .iter()
-        .find(|(_, g)| !groups2.values().any(|g2| *g == g2))
-        .map(|(k, _)| k.clone())
+    groups1.iter().find(|(_, g)| !groups2.values().any(|g2| *g == g2)).map(|(k, _)| k.clone())
 }
 
 /// Finds a group of `q` on `db` violating simulation into `q2`, if any.
-pub fn simulation_violation(
-    q: &IndexedQuery,
-    q2: &IndexedQuery,
-    db: &Database,
-) -> Option<Tuple> {
+pub fn simulation_violation(q: &IndexedQuery, q2: &IndexedQuery, db: &Database) -> Option<Tuple> {
     let groups1 = q.groups(db);
     let groups2 = q2.groups(db);
     groups1
@@ -237,10 +228,7 @@ mod tests {
         // q1's group {10} ⊆ q2's group {10, 11}.
         assert!(simulation_holds_on(&q1, &q2, &db));
         assert!(!simulation_holds_on(&q2, &q1, &db));
-        assert_eq!(
-            simulation_violation(&q2, &q1, &db),
-            Some(vec![Atom::int(1)])
-        );
+        assert_eq!(simulation_violation(&q2, &q1, &db), Some(vec![Atom::int(1)]));
     }
 
     #[test]

@@ -26,13 +26,16 @@ pub mod tree;
 pub use indexed::{
     simulation_holds_on, simulation_violation, strong_simulation_holds_on, IndexedQuery,
 };
+pub use minimize_tree::{minimize_tree, tree_atom_count};
 pub use simulation::{
-    is_simulated_by, simulated_by, simulated_by_with_witnesses, Counterexample,
-    SimulationAnswer, SimulationCertificate,
+    is_simulated_by, simulated_by, simulated_by_with_witnesses, Counterexample, SimulationAnswer,
+    SimulationCertificate,
 };
 pub use strong::{
     is_strongly_simulated_by, refute_strong_simulation, strongly_simulated_by, StrongAnswer,
     StrongCertificate,
 };
-pub use minimize_tree::{minimize_tree, tree_atom_count};
-pub use tree::{search_tree_counterexample, tree_strong_contained_in_no_empty_sets, ChildLink, QueryTree, Template, TreeNode};
+pub use tree::{
+    search_tree_counterexample, tree_strong_contained_in_no_empty_sets, ChildLink, QueryTree,
+    Template, TreeNode,
+};

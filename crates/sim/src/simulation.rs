@@ -135,10 +135,7 @@ impl SimulationCertificate {
             combined.extend(w.iter());
         }
         q2.body.iter().all(|atom| {
-            let mapped = QueryAtom {
-                rel: atom.rel,
-                args: atom.args.iter().map(&apply).collect(),
-            };
+            let mapped = QueryAtom { rel: atom.rel, args: atom.args.iter().map(&apply).collect() };
             combined.iter().any(|a| **a == mapped)
         })
     }
@@ -219,19 +216,15 @@ pub fn simulated_by_with_witnesses(
     // avoidance condition (no index variable of q2 may land on a private
     // atom of the distinguished copy) is enforced *during* the search via
     // forbidden sets, so rejected bindings prune whole subtrees.
-    let forbidden: HashMap<Var, HashSet<Atom>> = q2
-        .index_vars()
-        .into_iter()
-        .map(|v| (v, expansion.private_atoms.clone()))
-        .collect();
+    let forbidden: HashMap<Var, HashSet<Atom>> =
+        q2.index_vars().into_iter().map(|v| (v, expansion.private_atoms.clone())).collect();
     let mut found: Option<Assignment> = None;
-    HomProblem::new(&q2.body, &expansion.db)
-        .with_fixed(fixed)
-        .with_forbidden(forbidden)
-        .for_each(|assignment| {
+    HomProblem::new(&q2.body, &expansion.db).with_fixed(fixed).with_forbidden(forbidden).for_each(
+        |assignment| {
             found = Some(assignment.clone());
             ControlFlow::Break(())
-        });
+        },
+    );
 
     match found {
         Some(hom) => SimulationAnswer::Holds(expansion.certificate(q2, &hom)),
@@ -267,8 +260,7 @@ impl Expansion {
 
     fn certificate(&self, q2: &IndexedQuery, hom: &Assignment) -> SimulationCertificate {
         // Unfreeze: frozen atoms back to the variables they froze.
-        let inverse: HashMap<Atom, Var> =
-            self.assignment.iter().map(|(&v, &a)| (a, v)).collect();
+        let inverse: HashMap<Atom, Var> = self.assignment.iter().map(|(&v, &a)| (a, v)).collect();
         let mut mapping = HashMap::new();
         for v in q2.as_cq().body_vars() {
             if let Some(&a) = hom.get(&v) {
@@ -298,14 +290,9 @@ fn expand_with_witnesses(q: &IndexedQuery, k: usize) -> Expansion {
 
     // Distinguished copy: original variables.
     freeze_atoms_with(&q.body, &mut assignment, &mut db);
-    let private_vars: HashSet<Var> = q
-        .as_cq()
-        .body_vars()
-        .into_iter()
-        .filter(|v| !index_vars.contains(v))
-        .collect();
-    let private_atoms: HashSet<Atom> =
-        private_vars.iter().map(|v| assignment[v]).collect();
+    let private_vars: HashSet<Var> =
+        q.as_cq().body_vars().into_iter().filter(|v| !index_vars.contains(v)).collect();
+    let private_atoms: HashSet<Atom> = private_vars.iter().map(|v| assignment[v]).collect();
 
     // Witness copies: rename everything except the index variables.
     let mut witnesses = Vec::with_capacity(k);

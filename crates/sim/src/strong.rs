@@ -203,18 +203,12 @@ fn enumerate_simulation_homs(q: &IndexedQuery, q2: &IndexedQuery, k: usize) -> E
 
     let mut homs = Vec::new();
     if consistent {
-        let forbidden: HashMap<Var, HashSet<Atom>> = q2
-            .index_vars()
-            .into_iter()
-            .map(|v| (v, private_atoms.clone()))
-            .collect();
-        HomProblem::new(&q2.body, &db)
-            .with_fixed(fixed)
-            .with_forbidden(forbidden)
-            .for_each(|a| {
-                homs.push(a.clone());
-                ControlFlow::Continue(())
-            });
+        let forbidden: HashMap<Var, HashSet<Atom>> =
+            q2.index_vars().into_iter().map(|v| (v, private_atoms.clone())).collect();
+        HomProblem::new(&q2.body, &db).with_fixed(fixed).with_forbidden(forbidden).for_each(|a| {
+            homs.push(a.clone());
+            ControlFlow::Continue(())
+        });
     }
 
     let inverse: HashMap<Atom, Var> = assignment.iter().map(|(&v, &a)| (a, v)).collect();
@@ -297,8 +291,7 @@ pub fn refute_strong_simulation(
                         subst.insert(v, Term::Var(Var::fresh(&format!("rf{i}_{}", v.name()))));
                     }
                 }
-                let copy: Vec<QueryAtom> =
-                    q.body.iter().map(|a| a.substitute(&subst)).collect();
+                let copy: Vec<QueryAtom> = q.body.iter().map(|a| a.substitute(&subst)).collect();
                 freeze_atoms_with(&copy, &mut assignment, &mut db);
             }
             if !q2.unsatisfiable {
@@ -327,9 +320,7 @@ pub fn refute_strong_simulation(
                     }
                 }
             }
-            if let Some(violating_group) =
-                crate::indexed::strong_simulation_violation(q, q2, &db)
-            {
+            if let Some(violating_group) = crate::indexed::strong_simulation_violation(q, q2, &db) {
                 return Some(Counterexample { db, violating_group });
             }
         }

@@ -441,11 +441,8 @@ fn covered(ctx: &Context, n1: &TreeNode, args1: &[Atom], n2: &TreeNode, args2: &
     let g0 = ctx1.instantiate(n1, &args1);
 
     // Child arguments of the generic element.
-    let child_args1: Vec<Vec<Atom>> = n1
-        .children
-        .iter()
-        .map(|c| c.link.iter().map(|t| g0.image(t)).collect())
-        .collect();
+    let child_args1: Vec<Vec<Atom>> =
+        n1.children.iter().map(|c| c.link.iter().map(|t| g0.image(t)).collect()).collect();
 
     // Emptiness patterns over the matched source children.
     let matched_children: Vec<(usize, usize)> = pairs.children.clone();
@@ -473,12 +470,7 @@ fn covered(ctx: &Context, n1: &TreeNode, args1: &[Atom], n2: &TreeNode, args2: &
                 impossible = true; // this child is empty on every database
                 break;
             }
-            match unify_index(
-                &child.query.index,
-                &child_args1[j1],
-                &ctx1.frozen,
-                &mut pmerge,
-            ) {
+            match unify_index(&child.query.index, &child_args1[j1], &ctx1.frozen, &mut pmerge) {
                 Unify::Impossible => {
                     impossible = true;
                     break;
@@ -499,11 +491,8 @@ fn covered(ctx: &Context, n1: &TreeNode, args1: &[Atom], n2: &TreeNode, args2: &
             if pattern & (1 << bit) == 0 {
                 continue;
             }
-            let link2_vars = n2.children[j2]
-                .link
-                .iter()
-                .filter(|t| matches!(t, Term::Var(_)))
-                .count();
+            let link2_vars =
+                n2.children[j2].link.iter().filter(|t| matches!(t, Term::Var(_))).count();
             let copies = link2_vars + ctx2.opts.extra_witnesses;
             for _ in 0..copies {
                 ctx2.instantiate(&n1.children[j1].node, &p_child_args[j1]);
@@ -892,7 +881,11 @@ mod tests {
     fn validation_catches_errors() {
         let q = iq("q(X, Y) :- R(X, Y).", 1);
         let bad = QueryTree {
-            root: TreeNode { query: q.clone(), template: Template::AtomCol(5), children: Vec::new() },
+            root: TreeNode {
+                query: q.clone(),
+                template: Template::AtomCol(5),
+                children: Vec::new(),
+            },
         };
         assert_eq!(bad.validate(), Err(TreeError::RootHasIndex));
         let bad2 = QueryTree {
@@ -961,11 +954,8 @@ fn covered_strong_dir(
     // ∀-side: one generic element of n1's set.
     let mut ctx1 = ctx.clone();
     let g0 = ctx1.instantiate(n1, &args1);
-    let child_args1: Vec<Vec<Atom>> = n1
-        .children
-        .iter()
-        .map(|c| c.link.iter().map(|t| g0.image(t)).collect())
-        .collect();
+    let child_args1: Vec<Vec<Atom>> =
+        n1.children.iter().map(|c| c.link.iter().map(|t| g0.image(t)).collect()).collect();
 
     // All children are assumed non-empty (the no-empty-sets hypothesis);
     // their index formals may still specialize the generic element.
@@ -989,11 +979,7 @@ fn covered_strong_dir(
 
     // Witness copies for every matched child.
     for &(j1, j2) in &pairs.children {
-        let link2_vars = n2.children[j2]
-            .link
-            .iter()
-            .filter(|t| matches!(t, Term::Var(_)))
-            .count();
+        let link2_vars = n2.children[j2].link.iter().filter(|t| matches!(t, Term::Var(_))).count();
         for _ in 0..link2_vars + ctx2.opts.extra_witnesses {
             ctx2.instantiate(&n1.children[j1].node, &p_child_args[j1]);
         }
@@ -1046,10 +1032,8 @@ mod strong_tree_tests {
             let q1 = iq(s1, i1);
             let q2 = iq(s2, i2);
             let flat = crate::strong::is_strongly_simulated_by(&q1, &q2);
-            let tree = tree_strong_contained_in_no_empty_sets(
-                &grouped_tree(&q1),
-                &grouped_tree(&q2),
-            );
+            let tree =
+                tree_strong_contained_in_no_empty_sets(&grouped_tree(&q1), &grouped_tree(&q2));
             assert_eq!(flat, tree, "{s1} vs {s2}");
         }
     }

@@ -23,10 +23,7 @@ use proptest::prelude::*;
 fn gen_pair(seed: u64, index_arity: usize) -> (IndexedQuery, IndexedQuery) {
     let config = CqGenConfig { head_width: index_arity + 1, ..CqGenConfig::default() };
     let mut g = CqGen::new(seed, config);
-    (
-        IndexedQuery::from_cq(&g.query(), index_arity),
-        IndexedQuery::from_cq(&g.query(), index_arity),
-    )
+    (IndexedQuery::from_cq(&g.query(), index_arity), IndexedQuery::from_cq(&g.query(), index_arity))
 }
 
 proptest! {

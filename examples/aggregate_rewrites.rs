@@ -14,14 +14,13 @@ use coql_containment::prelude::*;
 fn main() {
     // Orders(customer, item); Vip(customer).
     // Report: per customer, the number of distinct items ordered.
-    let original = AggQuery::parse("q(C) :- Orders(C, I).", &[("count", "I")])
-        .expect("parses");
+    let original = AggQuery::parse("q(C) :- Orders(C, I).", &[("count", "I")]).expect("parses");
     println!("original: {original}");
 
     // Rewrite 1: a self-join the planner introduced while decorrelating.
     // Redundant — provably equivalent.
-    let self_join = AggQuery::parse("q(C) :- Orders(C, I), Orders(C, J).", &[("count", "I")])
-        .expect("parses");
+    let self_join =
+        AggQuery::parse("q(C) :- Orders(C, I), Orders(C, J).", &[("count", "I")]).expect("parses");
     assert!(agg_equivalent(&original, &self_join));
     println!("rewrite 1 (redundant self-join): EQUIVALENT ✓");
 
@@ -41,26 +40,19 @@ fn main() {
     println!("rewrite 3 (grouped by item): NOT equivalent ✗ (correctly rejected)");
 
     // Cross-check rewrite 1 on concrete data with the *interpreted* count.
-    let db = Database::from_ints(&[(
-        "Orders",
-        &[&[1, 10], &[1, 11], &[2, 10], &[2, 10]],
-    )]);
+    let db = Database::from_ints(&[("Orders", &[&[1, 10], &[1, 11], &[2, 10], &[2, 10]])]);
     let r1 = original.evaluate(&db).expect("interpreted");
     let r2 = self_join.evaluate(&db).expect("interpreted");
     assert_eq!(r1, r2);
     println!("\ninterpreted check on sample data:");
     for row in r1.iter_sorted() {
-        println!(
-            "  customer {} ordered {} distinct items",
-            row[0], row[1]
-        );
+        println!("  customer {} ordered {} distinct items", row[0], row[1]);
     }
 
     // Hidden-key variant: if the report drops the customer column and only
     // publishes the multiplicities, equivalence needs strong simulation
     // (§6) — grouping by customer vs. the single global group differ:
-    let hidden_global =
-        AggQuery::parse("q() :- Orders(C, I).", &[("count", "I")]).expect("parses");
+    let hidden_global = AggQuery::parse("q() :- Orders(C, I).", &[("count", "I")]).expect("parses");
     assert!(!co_agg::hidden_key_equivalent(&original, &hidden_global));
     println!("\nhidden-key check: per-customer counts ≢ global count ✓");
 }

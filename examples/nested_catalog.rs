@@ -12,8 +12,8 @@
 //! 3. `nest`/`unnest`/`outernest` restructuring on values, and deciding a
 //!    `nest;unnest` sequence identity (the paper's §4 application).
 
-use coql_containment::prelude::*;
 use coql_containment::encode::{decode_database, encode_database};
+use coql_containment::prelude::*;
 
 fn main() {
     // The catalog type: products with a tag set and a price list.
@@ -30,10 +30,8 @@ fn main() {
     ]));
     let coql_schema = CoqlSchema::new().with("Catalog", product_ty);
 
-    let small = parse_value(
-        "{[sku: kettle, tags: {kitchen}, prices: {[region: eu, price: 40]}]}",
-    )
-    .expect("parses");
+    let small = parse_value("{[sku: kettle, tags: {kitchen}, prices: {[region: eu, price: 40]}]}")
+        .expect("parses");
     let big = parse_value(
         "{[sku: kettle, tags: {kitchen, steel}, prices: {[region: eu, price: 40], \
            [region: us, price: 45]}], \
@@ -69,8 +67,12 @@ fn main() {
         "{[sku: kettle, region: eu], [sku: kettle, region: us], [sku: lamp, region: eu]}",
     )
     .expect("parses");
-    let by_sku = co_algebra::nest(&sales, &[co_object::Field::new("region")], co_object::Field::new("regions"))
-        .expect("nests");
+    let by_sku = co_algebra::nest(
+        &sales,
+        &[co_object::Field::new("region")],
+        co_object::Field::new("regions"),
+    )
+    .expect("nests");
     println!("\nnest by sku: {by_sku}");
     let back = co_algebra::unnest(&by_sku, co_object::Field::new("regions")).expect("unnests");
     assert_eq!(back, sales);
@@ -78,7 +80,8 @@ fn main() {
     // And the *decision procedure* proves nest;unnest ≡ identity for every
     // database, not just this one (NP-complete by §4).
     let flat = Schema::with_relations(&[("Sales", &["sku", "region"])]);
-    let seq = NuSeq::new("Sales", vec![NuOp::nest(&["region"], "regions"), NuOp::unnest("regions")]);
+    let seq =
+        NuSeq::new("Sales", vec![NuOp::nest(&["region"], "regions"), NuOp::unnest("regions")]);
     let id = NuSeq::new("Sales", vec![]);
     assert!(equivalent_sequences(&seq, &id, &flat).expect("atomic nesting"));
     println!("decided: (ν_region ; μ_regions) ≡ identity on every database ✓");

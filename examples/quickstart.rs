@@ -21,18 +21,15 @@ fn main() {
     .expect("q1 parses");
 
     // Q2 is looser: each department record carries *all* employee names.
-    let q2 = parse_coql(
-        "select [dept: e.dept, staff: (select f.name from f in Emp)] from e in Emp",
-    )
-    .expect("q2 parses");
+    let q2 =
+        parse_coql("select [dept: e.dept, staff: (select f.name from f in Emp)] from e in Emp")
+            .expect("q2 parses");
 
     // Evaluate both on a concrete database.
     let db = CoDatabase::new().with(
         "Emp",
-        parse_value(
-            "{[dept: sales, name: ann], [dept: sales, name: bo], [dept: eng, name: cy]}",
-        )
-        .expect("literal parses"),
+        parse_value("{[dept: sales, name: ann], [dept: sales, name: bo], [dept: eng, name: cy]}")
+            .expect("literal parses"),
     );
     let v1 = evaluate(&q1, &db).expect("q1 evaluates");
     let v2 = evaluate(&q2, &db).expect("q2 evaluates");
@@ -47,10 +44,7 @@ fn main() {
     // …and the decision procedure proves it for *every* database.
     let fwd = contained_in(&q1, &q2, &schema).expect("decidable");
     let bwd = contained_in(&q2, &q1, &schema).expect("decidable");
-    println!(
-        "decided: Q1 ⊑ Q2 is {} (path: {}), Q2 ⊑ Q1 is {}",
-        fwd.holds, fwd.path, bwd.holds
-    );
+    println!("decided: Q1 ⊑ Q2 is {} (path: {}), Q2 ⊑ Q1 is {}", fwd.holds, fwd.path, bwd.holds);
     assert!(fwd.holds && !bwd.holds);
 
     // Equivalence of a query with itself, definitively (nest ⇒ no empty sets).

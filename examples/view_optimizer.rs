@@ -16,16 +16,12 @@ use coql_containment::prelude::*;
 
 fn main() {
     // Flights between cities; hotels per city.
-    let schema = Schema::with_relations(&[
-        ("Flight", &["src", "dst"]),
-        ("Hotel", &["city", "name"]),
-    ]);
+    let schema =
+        Schema::with_relations(&[("Flight", &["src", "dst"]), ("Hotel", &["city", "name"])]);
 
     // 1. Classical minimization: a join query with a redundant atom.
-    let verbose = parse_query(
-        "q(X, Y) :- Flight(X, Y), Flight(X, Z), Hotel(Y, H).",
-    )
-    .expect("parses");
+    let verbose =
+        parse_query("q(X, Y) :- Flight(X, Y), Flight(X, Z), Hotel(Y, H).").expect("parses");
     let core = co_cq::minimize(&verbose);
     println!("original : {verbose}");
     println!("minimized: {core}");
@@ -68,10 +64,7 @@ fn main() {
     .expect("parses");
     let fwd = contained_in(&report, &bad, &schema).expect("decidable");
     let bwd = contained_in(&bad, &report, &schema).expect("decidable");
-    println!(
-        "rewrite #2: report ⊑ bad = {}, bad ⊑ report = {} — REJECTED",
-        fwd.holds, bwd.holds
-    );
+    println!("rewrite #2: report ⊑ bad = {}, bad ⊑ report = {} — REJECTED", fwd.holds, bwd.holds);
     assert!(fwd.holds && !bwd.holds);
 
     // The decision came with a concrete refutation available on demand.

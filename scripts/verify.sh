@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo verification: formatting, lints, tier-1 build+test, full workspace.
+#
+# Everything here runs offline (no registry access). The proptest suites
+# and criterion benches are feature-gated (`slow-tests`,
+# `criterion-benches`) and need their dev-dependencies restored in the
+# manifests first — they are not part of this gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --check
+run cargo clippy --workspace --all-targets -- -D warnings
+# Tier-1 (ROADMAP.md): the gate every change must keep green.
+run cargo build --release
+run cargo test -q
+# The full workspace: every crate's unit + integration tests.
+run cargo test --workspace -q
+echo "==> verify OK"

@@ -1,11 +1,16 @@
 //! `coqlc` — the COQL containment checker, as a command-line tool.
 //!
 //! ```text
-//! coqlc check  <schema> <query1> <query2>   # containment + equivalence
-//! coqlc eval   <schema> <query> <database>  # run a query
-//! coqlc refute <schema> <query1> <query2>   # search a counterexample DB
-//! coqlc encode <schema> <database>          # §5.1 index encoding, printed
+//! coqlc check       <schema> <query1> <query2>   # containment + equivalence
+//! coqlc eval        <schema> <query> <database>  # run a query
+//! coqlc refute      <schema> <query1> <query2>   # search a counterexample DB
+//! coqlc encode      <schema> <database>          # §5.1 index encoding, printed
+//! coqlc fingerprint <schema> <query>             # canonical cache fingerprint
 //! ```
+//!
+//! For long-lived, duplicate-heavy workloads use the `coqld` server
+//! instead: it answers the same questions over TCP and memoizes verdicts
+//! by canonical fingerprint.
 //!
 //! File formats (all plain text, `#` comments):
 //! * **schema** — one relation per line: `R(A, B)`;
@@ -35,7 +40,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: coqlc <check|eval|refute|encode> <files…>  (see --help)";
+    let usage = "usage: coqlc <check|eval|refute|encode|fingerprint> <files…>  (see --help)";
     match args.first().map(String::as_str) {
         Some("--help") | Some("-h") | None => Ok(HELP.to_string()),
         Some("check") => {
@@ -57,6 +62,13 @@ fn run() -> Result<String, String> {
             }
             cmd_encode(&read(&rest[0])?, &read(&rest[1])?)
         }
+        Some("fingerprint") => {
+            let rest = &args[1..];
+            if rest.len() != 2 {
+                return Err(usage.to_string());
+            }
+            cmd_fingerprint(&read(&rest[0])?, &read(&rest[1])?)
+        }
         Some(other) => Err(format!("unknown command `{other}`; {usage}")),
     }
 }
@@ -66,15 +78,27 @@ coqlc — decide containment and equivalence of COQL queries
 (Levy & Suciu, PODS 1997)
 
 commands:
-  check  <schema> <q1> <q2>   decide q1 ⊑ q2, q2 ⊑ q1, and equivalence
-  eval   <schema> <q> <db>    evaluate a query over a database of facts
-  refute <schema> <q1> <q2>   search for a database where q1 ⋢ q2
-  encode <schema> <db>        print the §5.1 index encoding of a database
+  check       <schema> <q1> <q2>   decide q1 ⊑ q2, q2 ⊑ q1, and equivalence
+  eval        <schema> <q> <db>    evaluate a query over a database of facts
+  refute      <schema> <q1> <q2>   search for a database where q1 ⋢ q2
+  encode      <schema> <db>        print the §5.1 index encoding of a database
+  fingerprint <schema> <q>         print the query's canonical form and the
+                                   128-bit fingerprint coqld uses as cache key
+                                   (stable under α-renaming and clause order)
 
 file formats:
   schema   one relation per line:     R(A, B)
   query    one COQL expression:       select [a: x.A] from x in R
-  database datalog facts:             R(1, 2).  S('paris').";
+  database datalog facts:             R(1, 2).  S('paris').
+
+exit codes:
+  0  the command ran to completion (a false containment verdict still
+     exits 0 — read the report)
+  1  error: bad usage, unreadable file, or parse/type failure
+
+serving:
+  coqld serves CHECK/EQUIV/FINGERPRINT over TCP with a memo cache keyed by
+  these fingerprints — use it for long-lived, duplicate-heavy workloads.";
 
 fn three(args: &[String], usage: &str) -> Result<[String; 3], String> {
     let rest = &args[1..];
@@ -89,10 +113,7 @@ fn read(path: &str) -> Result<String, String> {
 }
 
 fn strip_comments(text: &str) -> String {
-    text.lines()
-        .map(|l| l.split('#').next().unwrap_or(""))
-        .collect::<Vec<_>>()
-        .join("\n")
+    text.lines().map(|l| l.split('#').next().unwrap_or("")).collect::<Vec<_>>().join("\n")
 }
 
 fn parse_schema(text: &str) -> Result<Schema, String> {
@@ -105,11 +126,8 @@ fn parse_schema(text: &str) -> Result<Schema, String> {
         let open = line.find('(').ok_or_else(|| format!("bad schema line `{line}`"))?;
         let close = line.rfind(')').ok_or_else(|| format!("bad schema line `{line}`"))?;
         let name = line[..open].trim();
-        let attrs: Vec<&str> = line[open + 1..close]
-            .split(',')
-            .map(str::trim)
-            .filter(|a| !a.is_empty())
-            .collect();
+        let attrs: Vec<&str> =
+            line[open + 1..close].split(',').map(str::trim).filter(|a| !a.is_empty()).collect();
         if name.is_empty() || attrs.is_empty() {
             return Err(format!("bad schema line `{line}`"));
         }
@@ -139,10 +157,7 @@ fn parse_facts(text: &str, schema: &Schema) -> Result<Database, String> {
         match schema.arity(rel) {
             Some(k) if k == args.len() => {}
             Some(k) => {
-                return Err(format!(
-                    "fact `{line}` has arity {}, schema declares {k}",
-                    args.len()
-                ))
+                return Err(format!("fact `{line}` has arity {}, schema declares {k}", args.len()))
             }
             None => return Err(format!("fact `{line}` uses undeclared relation `{name}`")),
         }
@@ -222,6 +237,19 @@ fn cmd_refute(schema_text: &str, q1_text: &str, q2_text: &str) -> Result<String,
     }
 }
 
+fn cmd_fingerprint(schema_text: &str, q_text: &str) -> Result<String, String> {
+    let schema = parse_schema(schema_text)?;
+    let q = parse_query(q_text)?;
+    let coql_schema = co_lang::CoqlSchema::from_flat(&schema);
+    co_lang::type_check(&q, &coql_schema).map_err(|e| e.to_string())?;
+    let nf = co_lang::normalize(&q, &coql_schema).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "fp        {}", co_service::fingerprint_query(&nf));
+    let _ = writeln!(out, "schema_fp {}", co_service::fingerprint_schema(&schema));
+    let _ = write!(out, "canonical {}", co_lang::canonical_query(&nf));
+    Ok(out)
+}
+
 fn cmd_encode(schema_text: &str, db_text: &str) -> Result<String, String> {
     let schema = parse_schema(schema_text)?;
     let db = parse_facts(db_text, &schema)?;
@@ -268,24 +296,31 @@ mod tests {
 
     #[test]
     fn eval_runs_queries() {
-        let out = cmd_eval(
-            "R(A, B)",
-            "select [b: x.B] from x in R where x.A = 1",
-            "R(1, 10). R(2, 20).",
-        )
-        .unwrap();
+        let out =
+            cmd_eval("R(A, B)", "select [b: x.B] from x in R where x.A = 1", "R(1, 10). R(2, 20).")
+                .unwrap();
         assert_eq!(out, "{[b: 10]}");
     }
 
     #[test]
     fn refute_finds_databases() {
-        let out = cmd_refute(
-            "R(A, B)",
-            "select x.B from x in R",
-            "select x.B from x in R where x.A = 1",
-        )
-        .unwrap();
+        let out =
+            cmd_refute("R(A, B)", "select x.B from x in R", "select x.B from x in R where x.A = 1")
+                .unwrap();
         assert!(out.contains("counterexample database"), "{out}");
+    }
+
+    #[test]
+    fn fingerprint_is_presentation_invariant() {
+        let schema = "R(A, B)";
+        let a = cmd_fingerprint(schema, "select x.B from x in R where x.A = 1").unwrap();
+        let b = cmd_fingerprint(schema, "select y.B from y in R where 1 = y.A").unwrap();
+        assert_eq!(a, b, "α-renamed queries must report identical fingerprints");
+        assert!(a.starts_with("fp        "), "{a}");
+        assert!(a.contains("canonical "), "{a}");
+        let c = cmd_fingerprint(schema, "select x.B from x in R where x.A = 2").unwrap();
+        assert_ne!(a, c, "different constants must change the fingerprint");
+        assert!(cmd_fingerprint(schema, "select x.Z from x in R").is_err());
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! `coqld` — the COQL containment-decision server.
+//!
+//! Serves `CHECK`/`EQUIV`/`FINGERPRINT`/`SCHEMA`/`STATS` over a
+//! line-oriented TCP protocol (see `co-service::server`), memoizing
+//! verdicts by canonical fingerprint so duplicate-heavy workloads are
+//! answered from cache.
+//!
+//! ```text
+//! coqld --listen 127.0.0.1:7878 --schema app=schema.txt
+//! printf 'CHECK app select x.B from x in R ;; select x.B from x in R\nSTATS\nQUIT\n' \
+//!   | nc 127.0.0.1 7878
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use co_service::{parse_schema_decl, serve, Engine, EngineConfig, ServerConfig};
+
+const HELP: &str = "\
+coqld — serve COQL containment/equivalence decisions over TCP
+
+usage: coqld [options]
+
+options:
+  --listen <addr:port>     bind address (default 127.0.0.1:7878; port 0 picks
+                           a free port, printed on startup)
+  --schema <name>=<file>   pre-register a schema from a file (repeatable);
+                           clients can also register with the SCHEMA command
+  --shards <n>             memo-cache shards, rounded to a power of two
+                           (default 16)
+  --capacity <n>           LRU capacity per shard (default 4096)
+  --workers <n>            batch-engine worker threads (default: cores)
+  --max-connections <n>    concurrent connection cap (default 64)
+  -h, --help               this help
+
+protocol (one request per line; replies start OK/ERR; STATS ends with END):
+  SCHEMA <name> <decl>          e.g. SCHEMA app R(A,B); S(C)
+  CHECK <schema> <q1> ;; <q2>   decide q1 \u{2291} q2
+  EQUIV <schema> <q1> ;; <q2>   decide equivalence
+  FINGERPRINT <schema> <q>      canonical cache-key fingerprint
+  STATS                         counters + per-path latency quantiles
+  QUIT
+
+exit codes:
+  0  clean shutdown (never reached in normal serving; the loop runs forever)
+  1  bad command line
+  2  startup failure (bind error, unreadable or invalid schema file)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((message, code)) => {
+            eprintln!("coqld: {message}");
+            ExitCode::from(code)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), (String, u8)> {
+    let mut listen = "127.0.0.1:7878".to_string();
+    let mut schemas: Vec<(String, String)> = Vec::new();
+    let mut config = EngineConfig::default();
+    let mut server = ServerConfig::default();
+
+    let usage = |message: String| (format!("{message} (see --help)"), 1u8);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| usage(format!("{name} needs a value")));
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{HELP}");
+                return Ok(());
+            }
+            "--listen" => listen = value("--listen")?,
+            "--schema" => {
+                let spec = value("--schema")?;
+                let (name, path) = spec.split_once('=').ok_or_else(|| {
+                    usage(format!("--schema expects <name>=<file>, got `{spec}`"))
+                })?;
+                schemas.push((name.to_string(), path.to_string()));
+            }
+            "--shards" => config.cache_shards = parse_num(&value("--shards")?, "--shards")?,
+            "--capacity" => {
+                config.cache_per_shard = parse_num(&value("--capacity")?, "--capacity")?
+            }
+            "--workers" => config.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--max-connections" => {
+                server.max_connections =
+                    parse_num(&value("--max-connections")?, "--max-connections")?
+            }
+            other => return Err(usage(format!("unknown option `{other}`"))),
+        }
+    }
+
+    let engine = Arc::new(Engine::new(config));
+    for (name, path) in &schemas {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| (format!("cannot read schema `{path}`: {e}"), 2))?;
+        let schema = parse_schema_decl(&text).map_err(|e| (format!("schema `{path}`: {e}"), 2))?;
+        let fp = engine.register_schema(name, schema);
+        println!("coqld: schema {name} registered (fp={fp})");
+    }
+
+    let listener =
+        TcpListener::bind(&listen).map_err(|e| (format!("cannot bind `{listen}`: {e}"), 2))?;
+    let addr = listener.local_addr().map_err(|e| (e.to_string(), 2))?;
+    println!("coqld: listening on {addr}");
+    serve(listener, engine, server).map_err(|e| (format!("accept loop failed: {e}"), 2))
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, (String, u8)> {
+    text.parse::<usize>()
+        .map_err(|_| (format!("{flag} expects a number, got `{text}` (see --help)"), 1))
+}

@@ -48,8 +48,7 @@ pub mod prelude {
     pub use co_agg::{agg_contained_in, agg_equivalent, AggFn, AggQuery};
     pub use co_algebra::{equivalent_sequences, AlgExpr, NuOp, NuSeq};
     pub use co_core::{
-        contained_in, equivalent, weakly_equivalent, ContainmentAnalysis, DecisionPath,
-        Equivalence,
+        contained_in, equivalent, weakly_equivalent, ContainmentAnalysis, DecisionPath, Equivalence,
     };
     pub use co_cq::{parse_query, ConjunctiveQuery, Database, Schema};
     pub use co_lang::{evaluate, parse_coql, CoDatabase, CoqlSchema, Expr};

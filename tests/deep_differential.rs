@@ -26,11 +26,8 @@ fn random_deep_query(seed: u64) -> Expr {
     let (rel3, col3): (&str, &str) = if rng.gen_bool(0.5) { ("S", "C") } else { ("R", "B") };
     let mut conds3 = Vec::new();
     if rng.gen_bool(0.7) {
-        let outer = if rng.gen_bool(0.5) {
-            Expr::var("y").proj("B")
-        } else {
-            Expr::var("x").proj("A")
-        };
+        let outer =
+            if rng.gen_bool(0.5) { Expr::var("y").proj("B") } else { Expr::var("x").proj("A") };
         conds3.push((Expr::var("z").proj(col3), outer));
     }
     if rng.gen_bool(0.2) {
@@ -129,11 +126,7 @@ fn deep_negatives_are_refutable() {
         }
     }
     assert!(negatives >= 5, "workload produced only {negatives} negatives");
-    assert!(
-        unrefuted.is_empty(),
-        "unrefuted depth-3 negatives:\n{}",
-        unrefuted.join("\n")
-    );
+    assert!(unrefuted.is_empty(), "unrefuted depth-3 negatives:\n{}", unrefuted.join("\n"));
 }
 
 #[test]

@@ -39,33 +39,22 @@ fn random_query(seed: u64) -> Expr {
         }
     }
     if rng.gen_bool(0.25) {
-        outer_conds.push((
-            Expr::var("x").proj(outer_attr),
-            Expr::int(rng.gen_range(0..3)),
-        ));
+        outer_conds.push((Expr::var("x").proj(outer_attr), Expr::int(rng.gen_range(0..3))));
     }
 
     let head = if rng.gen_bool(0.75) {
         // Nested head: [a: x.attr, g: (select … from y in R|S where …)].
-        let (inner_rel, inner_attr) =
-            if rng.gen_bool(0.6) { ("R", "B") } else { ("S", "C") };
+        let (inner_rel, inner_attr) = if rng.gen_bool(0.6) { ("R", "B") } else { ("S", "C") };
         let mut inner_conds = Vec::new();
         match rng.gen_range(0..3) {
-            0 if inner_rel == "R" => inner_conds.push((
-                Expr::var("y").proj("A"),
-                Expr::var("x").proj("A"),
-            )),
-            1 => inner_conds.push((
-                Expr::var("y").proj(inner_attr),
-                Expr::var("x").proj("B"),
-            )),
+            0 if inner_rel == "R" => {
+                inner_conds.push((Expr::var("y").proj("A"), Expr::var("x").proj("A")))
+            }
+            1 => inner_conds.push((Expr::var("y").proj(inner_attr), Expr::var("x").proj("B"))),
             _ => {}
         }
         if rng.gen_bool(0.2) {
-            inner_conds.push((
-                Expr::var("y").proj(inner_attr),
-                Expr::int(rng.gen_range(0..3)),
-            ));
+            inner_conds.push((Expr::var("y").proj(inner_attr), Expr::int(rng.gen_range(0..3))));
         }
         let inner = Expr::Select {
             head: Box::new(Expr::var("y").proj(inner_attr)),

@@ -15,12 +15,10 @@ fn schema() -> Schema {
 /// even though no containment mapping exists between the flat parts alone.
 #[test]
 fn section_2_motivating_groups() {
-    let tight = parse_coql(
-        "select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R",
-    )
-    .unwrap();
-    let loose =
-        parse_coql("select [a: x.A, g: (select y.B from y in R)] from x in R").unwrap();
+    let tight =
+        parse_coql("select [a: x.A, g: (select y.B from y in R where y.A = x.A)] from x in R")
+            .unwrap();
+    let loose = parse_coql("select [a: x.A, g: (select y.B from y in R)] from x in R").unwrap();
     assert!(contained_in(&tight, &loose, &schema()).unwrap().holds);
     assert!(!contained_in(&loose, &tight, &schema()).unwrap().holds);
 }
@@ -61,11 +59,7 @@ fn conservativity_over_flat_queries() {
     for (s1, s2, expected) in pairs {
         let q1 = parse_coql(s1).unwrap();
         let q2 = parse_coql(s2).unwrap();
-        assert_eq!(
-            contained_in(&q1, &q2, &schema()).unwrap().holds,
-            expected,
-            "{s1} ⊑ {s2}"
-        );
+        assert_eq!(contained_in(&q1, &q2, &schema()).unwrap().holds, expected, "{s1} ⊑ {s2}");
     }
 }
 
@@ -107,11 +101,9 @@ fn gyssens_paredaens_van_gucht_question() {
 #[test]
 fn section_7_aggregate_equivalence() {
     let q = AggQuery::parse("q(D) :- Emp(D, N).", &[("count", "N")]).unwrap();
-    let q_redundant =
-        AggQuery::parse("q(D) :- Emp(D, N), Emp(D, M).", &[("count", "N")]).unwrap();
+    let q_redundant = AggQuery::parse("q(D) :- Emp(D, N), Emp(D, M).", &[("count", "N")]).unwrap();
     assert!(agg_equivalent(&q, &q_redundant));
-    let q_filtered =
-        AggQuery::parse("q(D) :- Emp(D, N), Mgr(N).", &[("count", "N")]).unwrap();
+    let q_filtered = AggQuery::parse("q(D) :- Emp(D, N), Mgr(N).", &[("count", "N")]).unwrap();
     assert!(!agg_equivalent(&q, &q_filtered));
 }
 
@@ -122,10 +114,7 @@ fn section_7_aggregate_equivalence() {
 fn simulation_generalizes_containment() {
     use co_cq::parse_query;
     let q1 = IndexedQuery::from_cq(&parse_query("q(X, Y) :- R(X, Y).").unwrap(), 1);
-    let q2 = IndexedQuery::from_cq(
-        &parse_query("q(Y0, Y) :- R(X, Y), R(X, Y0).").unwrap(),
-        1,
-    );
+    let q2 = IndexedQuery::from_cq(&parse_query("q(Y0, Y) :- R(X, Y), R(X, Y0).").unwrap(), 1);
     // Flat containment with heads (X,Y) vs (Y0,Y) fails…
     assert!(!co_cq::is_contained_in(&q1.as_cq(), &q2.as_cq()));
     // …but every group of q1 is inside a group of q2 (pick ī' = any member).
@@ -137,8 +126,7 @@ fn simulation_generalizes_containment() {
 #[test]
 fn strong_simulation_is_strictly_stronger() {
     use co_cq::parse_query;
-    let filtered =
-        IndexedQuery::from_cq(&parse_query("q(X, Y) :- R(X, Y), S(Y).").unwrap(), 1);
+    let filtered = IndexedQuery::from_cq(&parse_query("q(X, Y) :- R(X, Y), S(Y).").unwrap(), 1);
     let plain = IndexedQuery::from_cq(&parse_query("q(X, Y) :- R(X, Y).").unwrap(), 1);
     assert!(is_simulated_by(&filtered, &plain));
     assert!(!is_strongly_simulated_by(&filtered, &plain));
@@ -150,16 +138,13 @@ fn strong_simulation_is_strictly_stronger() {
 #[test]
 fn empty_sets_separate_queries() {
     // g is {y.C : S(y), y.C = x.B}: possibly empty.
-    let outer = parse_coql(
-        "select [b: x.B, g: (select y.C from y in S where y.C = x.B)] from x in R",
-    )
-    .unwrap();
+    let outer =
+        parse_coql("select [b: x.B, g: (select y.C from y in S where y.C = x.B)] from x in R")
+            .unwrap();
     // g is {x.B} when S proves it: never empty *when produced*, but the
     // element only exists under the join.
-    let joined = parse_coql(
-        "select [b: x.B, g: {y.C}] from x in R, y in S where y.C = x.B",
-    )
-    .unwrap();
+    let joined =
+        parse_coql("select [b: x.B, g: {y.C}] from x in R, y in S where y.C = x.B").unwrap();
     // joined ⊑ outer: each joined element has g = {x.B} ⊆ the outer group.
     assert!(contained_in(&joined, &outer, &schema()).unwrap().holds);
     // outer ⋢ joined: when the group is empty, outer still emits [b, {}]
@@ -176,13 +161,8 @@ fn empty_sets_separate_queries() {
 /// equivalence theorem requires empty-set freedom).
 #[test]
 fn weak_vs_true_equivalence() {
-    let q = parse_coql(
-        "select [b: x.B, g: (select y.C from y in S where y.C = x.B)] from x in R",
-    )
-    .unwrap();
+    let q = parse_coql("select [b: x.B, g: (select y.C from y in S where y.C = x.B)] from x in R")
+        .unwrap();
     assert!(weakly_equivalent(&q, &q, &schema()).unwrap());
-    assert_eq!(
-        equivalent(&q, &q, &schema()).unwrap(),
-        Equivalence::WeaklyEquivalentOnly
-    );
+    assert_eq!(equivalent(&q, &q, &schema()).unwrap(), Equivalence::WeaklyEquivalentOnly);
 }
