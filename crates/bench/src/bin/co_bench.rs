@@ -1,0 +1,111 @@
+//! `co-bench` — the machine-readable perf harness for the decision kernels.
+//!
+//! ```text
+//! cargo run -p co-bench --release --bin co-bench -- perf               # full run → BENCH_PR2.json
+//! cargo run -p co-bench --release --bin co-bench -- perf --quick \
+//!     --out target/bench-smoke.json                                   # CI smoke run
+//! cargo run -p co-bench --release --bin co-bench -- check BENCH_PR2.json --strict
+//! ```
+//!
+//! `perf` measures the old kernels (linear-scan homomorphism search, sweep
+//! simulation) against the new ones (pattern-indexed MRV search, worklist
+//! simulation) on E1/E2/E3-style workloads and writes a `co-bench/perf-v1`
+//! JSON report. `check` re-parses a report and validates it: schema shape,
+//! positive timings, and 100% verdict agreement always; with `--strict`,
+//! also the ≥5× median-speedup floor on the `join_heavy` and
+//! `witness_copy` workloads (used on the committed `BENCH_PR2.json`).
+
+use std::process::ExitCode;
+
+use co_bench::json::Json;
+use co_bench::perf::{check_report, run_report, PerfOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("perf") => perf(&args[1..]),
+        Some("check") => check(&args[1..]),
+        _ => {
+            eprintln!("usage: co-bench perf [--quick] [--out PATH]");
+            eprintln!("       co-bench check PATH [--strict]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn perf(args: &[String]) -> ExitCode {
+    let mut opts = PerfOptions::full();
+    let mut out = String::from("BENCH_PR2.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts = PerfOptions::quick(),
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown perf flag: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = run_report(&opts);
+    let text = format!("{report}\n");
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    match check_report(&report, false) {
+        Ok(summary) => {
+            println!("wrote {out}");
+            for line in summary {
+                println!("  {line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("report failed self-validation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let strict = args.iter().any(|a| a == "--strict");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [path] = paths.as_slice() else {
+        eprintln!("usage: co-bench check PATH [--strict]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_report(&doc, strict) {
+        Ok(summary) => {
+            println!("{path}: ok{}", if strict { " (strict)" } else { "" });
+            for line in summary {
+                println!("  {line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -4,9 +4,15 @@
 //! experiment per theorem (see DESIGN.md §3). This crate holds the
 //! *workload constructors* shared by the Criterion benches and the fast
 //! `experiments` table runner, so both measure exactly the same inputs.
+//!
+//! It also hosts the `co-bench` binary: the machine-readable perf harness
+//! comparing the pre- and post-PR2 decision kernels (see [`perf`]), with a
+//! registry-free JSON layer in [`json`].
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod perf;
 pub mod workloads;
 
 pub use workloads::*;

@@ -1,0 +1,394 @@
+//! The PR2 perf harness: old vs new decision kernels, machine-readable.
+//!
+//! Runs E1/E2/E3-style workloads twice — once against the pre-PR2 kernels
+//! (linear-scan candidate generation, sweep simulation) and once against
+//! the new ones (pattern-indexed MRV search, single-pass/worklist
+//! simulation) — and
+//! reports per-case median wall times, speedups, and verdict agreement as
+//! a JSON document (`BENCH_PR2.json` at the repo root; see the `co-bench`
+//! binary and the README's Performance section).
+//!
+//! Both kernel generations are kept callable on purpose: the old hom
+//! engine survives as [`co_cq::hom::CandidateStrategy::LinearScan`] and the
+//! old simulation solver as [`co_object::greatest_simulation_sweep`], so
+//! the comparison is within one binary on identical inputs.
+
+use std::time::Instant;
+
+use co_cq::hom::{set_default_strategy, CandidateStrategy};
+use co_object::ValueGraph;
+
+use crate::json::Json;
+use crate::workloads;
+
+/// Knobs for a perf run.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfOptions {
+    /// Shrink every workload to smoke-test size (seconds, not minutes).
+    pub quick: bool,
+    /// Timed repetitions per case; the median is reported.
+    pub runs: usize,
+}
+
+impl PerfOptions {
+    /// Full-size run (the one that produces the committed baseline).
+    pub fn full() -> PerfOptions {
+        PerfOptions { quick: false, runs: 5 }
+    }
+
+    /// Smoke-test run for CI (`scripts/verify.sh`).
+    pub fn quick() -> PerfOptions {
+        PerfOptions { quick: true, runs: 3 }
+    }
+}
+
+/// One measured instance: the same computation under both kernels.
+struct Case {
+    label: String,
+    old_us: f64,
+    new_us: f64,
+    agree: bool,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.old_us / self.new_us.max(1e-3)
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs[xs.len() / 2]
+    }
+}
+
+/// Median-of-`runs` wall time in µs, plus the (last) result.
+fn timed<R>(runs: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    let mut out = None;
+    let samples: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            out = Some(f());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    (out.expect("runs >= 1"), median(samples))
+}
+
+/// Times `old` and `new` and compares their verdict strings.
+fn run_case(
+    runs: usize,
+    label: impl Into<String>,
+    old: impl FnMut() -> String,
+    new: impl FnMut() -> String,
+) -> Case {
+    let (v_old, old_us) = timed(runs, old);
+    let (v_new, new_us) = timed(runs, new);
+    Case { label: label.into(), old_us, new_us, agree: v_old == v_new }
+}
+
+fn workload_json(name: &str, style: &str, kernel: &str, cases: Vec<Case>) -> Json {
+    let agreeing = cases.iter().filter(|c| c.agree).count();
+    let case_objs: Vec<Json> = cases
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("label".into(), Json::str(&c.label)),
+                ("old_us".into(), Json::num((c.old_us * 10.0).round() / 10.0)),
+                ("new_us".into(), Json::num((c.new_us * 10.0).round() / 10.0)),
+                ("speedup".into(), Json::num((c.speedup() * 100.0).round() / 100.0)),
+                ("verdicts_agree".into(), Json::Bool(c.agree)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("name".into(), Json::str(name)),
+        ("style".into(), Json::str(style)),
+        ("kernel".into(), Json::str(kernel)),
+        ("median_old_us".into(), Json::num(median(cases.iter().map(|c| c.old_us).collect()))),
+        ("median_new_us".into(), Json::num(median(cases.iter().map(|c| c.new_us).collect()))),
+        (
+            "median_speedup".into(),
+            Json::num((median(cases.iter().map(Case::speedup).collect()) * 100.0).round() / 100.0),
+        ),
+        ("verdicts_total".into(), Json::num(cases.len() as f64)),
+        ("verdicts_agreeing".into(), Json::num(agreeing as f64)),
+        ("cases".into(), Json::Arr(case_objs)),
+    ])
+}
+
+/// E2-style chain joins, [`co_cq::HomProblem`] head to head per strategy.
+fn join_heavy(opts: &PerfOptions) -> Json {
+    use std::ops::ControlFlow;
+    let shapes: &[(usize, usize)] =
+        if opts.quick { &[(3, 40), (3, 80)] } else { &[(3, 200), (3, 400), (3, 800), (4, 300)] };
+    let cases = shapes
+        .iter()
+        .map(|&(len, n)| {
+            let (q, db) = workloads::join_chain_instance(len, n);
+            let count = |strategy: CandidateStrategy| {
+                let mut solutions = 0u64;
+                co_cq::HomProblem::new(&q.body, &db).with_strategy(strategy).for_each(|_| {
+                    solutions += 1;
+                    ControlFlow::Continue(())
+                });
+                solutions.to_string()
+            };
+            run_case(
+                opts.runs,
+                format!("chain len={len} n={n}"),
+                || count(CandidateStrategy::LinearScan),
+                || count(CandidateStrategy::Indexed),
+            )
+        })
+        .collect();
+    workload_json("join_heavy", "E2 chain joins", "hom", cases)
+}
+
+/// E3-style witness-copy simulation (negative, refutation-heavy
+/// instances). The kernel cases time the hom search on a pre-built frozen
+/// expansion ([`workloads::witness_search_instance`]): end to end, both
+/// engines share the per-call expansion construction and counterexample
+/// database cloning of `co_sim::simulated_by_with_witnesses`, which hides
+/// the search-kernel gap. One end-to-end case is kept for honesty; the
+/// engine choice flows through the process-default strategy there because
+/// `co-sim` builds its `HomProblem`s internally.
+fn witness_copy(opts: &PerfOptions) -> Json {
+    let shapes: &[(usize, usize)] =
+        if opts.quick { &[(24, 4)] } else { &[(96, 8), (160, 8), (256, 8)] };
+    let mut cases: Vec<Case> = shapes
+        .iter()
+        .map(|&(fanout, witnesses)| {
+            let (body, db, fixed) = workloads::witness_search_instance(fanout, witnesses);
+            let search = |strategy: CandidateStrategy| {
+                let outcome = co_cq::HomProblem::new(&body, &db)
+                    .with_fixed(fixed.clone())
+                    .with_strategy(strategy)
+                    .first();
+                format!("{:?}", outcome.map(|a| a.is_some()))
+            };
+            run_case(
+                opts.runs,
+                format!("refute search fanout={fanout} witnesses={witnesses}"),
+                || search(CandidateStrategy::LinearScan),
+                || search(CandidateStrategy::Indexed),
+            )
+        })
+        .collect();
+    let (fanout, witnesses) = if opts.quick { (24, 4) } else { (192, 8) };
+    let (q1, q2) = workloads::witness_fanout_pair(fanout);
+    let decide = || co_sim::simulated_by_with_witnesses(&q1, &q2, witnesses).holds().to_string();
+    cases.push(run_case(
+        opts.runs,
+        format!("end-to-end fanout={fanout} witnesses={witnesses}"),
+        || with_strategy(CandidateStrategy::LinearScan, decide),
+        || with_strategy(CandidateStrategy::Indexed, decide),
+    ));
+    workload_json("witness_copy", "E3 witness-copy simulation", "hom", cases)
+}
+
+/// E3-style positive simulation instances (first-solution searches).
+fn simulation_positive(opts: &PerfOptions) -> Json {
+    let sizes: &[usize] = if opts.quick { &[2] } else { &[4, 8] };
+    let cases = sizes
+        .iter()
+        .map(|&n| {
+            let (q1, q2) = workloads::simulation_positive(n);
+            let decide = || co_sim::is_simulated_by(&q1, &q2).to_string();
+            run_case(
+                opts.runs,
+                format!("positive chain n={n}"),
+                || with_strategy(CandidateStrategy::LinearScan, decide),
+                || with_strategy(CandidateStrategy::Indexed, decide),
+            )
+        })
+        .collect();
+    workload_json("simulation_positive", "E3 positive simulation", "hom", cases)
+}
+
+/// E1-style graph simulation: the dispatching solver (topological
+/// single pass on `from_value` graphs) vs the changed-flag sweep.
+fn graph_simulation(opts: &PerfOptions) -> Json {
+    let shapes: &[(usize, usize, i64)] =
+        if opts.quick { &[(40, 10, 2)] } else { &[(120, 24, 8), (200, 30, 0), (200, 30, 15)] };
+    let mut cases: Vec<Case> = shapes
+        .iter()
+        .map(|&(depth, width, offset)| {
+            let (v, w) = workloads::sim_chain_pair(depth, width, offset);
+            let (g1, g2) = (ValueGraph::from_value(&v), ValueGraph::from_value(&w));
+            run_case(
+                opts.runs,
+                format!("chain depth={depth} width={width} offset={offset}"),
+                || verdict_matrix(co_object::greatest_simulation_sweep(&g1, &g2)),
+                || verdict_matrix(co_object::greatest_simulation(&g1, &g2)),
+            )
+        })
+        .collect();
+    // One random E1 pair for shape diversity.
+    let (v, w) = workloads::hoare_pair(if opts.quick { 60 } else { 480 }, 42);
+    let (g1, g2) = (ValueGraph::from_value(&v), ValueGraph::from_value(&w));
+    cases.push(run_case(
+        opts.runs,
+        "random hoare pair",
+        || verdict_matrix(co_object::greatest_simulation_sweep(&g1, &g2)),
+        || verdict_matrix(co_object::greatest_simulation(&g1, &g2)),
+    ));
+    workload_json("graph_simulation", "E1 Hoare order via simulation", "simulation", cases)
+}
+
+/// E2-style full-stack containment with the engine flipped process-wide.
+fn containment_stack(opts: &PerfOptions) -> Json {
+    let mut cases = Vec::new();
+    let chain_sizes: &[usize] = if opts.quick { &[8] } else { &[16, 32] };
+    for &n in chain_sizes {
+        let (q1, q2) = workloads::chain_pair(n);
+        let decide = || co_cq::is_contained_in(&q1, &q2).to_string();
+        cases.push(run_case(
+            opts.runs,
+            format!("chain containment n={n}"),
+            || with_strategy(CandidateStrategy::LinearScan, decide),
+            || with_strategy(CandidateStrategy::Indexed, decide),
+        ));
+    }
+    if !opts.quick {
+        let (q1, q2) = workloads::coloring_pair(8, 7);
+        let decide = || co_cq::is_contained_in(&q1, &q2).to_string();
+        cases.push(run_case(
+            opts.runs,
+            "3-coloring n=8",
+            || with_strategy(CandidateStrategy::LinearScan, decide),
+            || with_strategy(CandidateStrategy::Indexed, decide),
+        ));
+    }
+    workload_json("containment_stack", "E2 whole-procedure containment", "hom", cases)
+}
+
+/// Runs `f` with the process-default candidate strategy set to `s`,
+/// restoring the shipped default afterwards.
+fn with_strategy<R>(s: CandidateStrategy, f: impl FnOnce() -> R) -> R {
+    set_default_strategy(s);
+    let r = f();
+    set_default_strategy(CandidateStrategy::Indexed);
+    r
+}
+
+/// A comparable digest of a simulation matrix.
+fn verdict_matrix(m: Vec<Vec<bool>>) -> String {
+    let total: usize = m.iter().map(|row| row.iter().filter(|&&b| b).count()).sum();
+    format!("{}x{}:{total}", m.len(), m.first().map_or(0, Vec::len))
+}
+
+/// Runs every workload and assembles the `co-bench/perf-v1` report.
+pub fn run_report(opts: &PerfOptions) -> Json {
+    let workloads = vec![
+        join_heavy(opts),
+        witness_copy(opts),
+        simulation_positive(opts),
+        graph_simulation(opts),
+        containment_stack(opts),
+    ];
+    Json::Obj(vec![
+        ("schema".into(), Json::str("co-bench/perf-v1")),
+        ("baseline".into(), Json::str("linear-scan hom engine + sweep simulation")),
+        ("candidate".into(), Json::str("indexed MRV hom engine + single-pass/worklist simulation")),
+        ("runs_per_case".into(), Json::num(opts.runs as f64)),
+        ("quick".into(), Json::Bool(opts.quick)),
+        ("workloads".into(), Json::Arr(workloads)),
+    ])
+}
+
+/// Validates a `co-bench/perf-v1` report.
+///
+/// Always enforced: the schema tag, well-formed workloads/cases with
+/// positive timings, and **100% verdict agreement**. With `strict` (used
+/// on the committed `BENCH_PR2.json`, not on smoke runs): the `join_heavy`
+/// and `witness_copy` workloads must each show a median speedup ≥ 5×.
+pub fn check_report(doc: &Json, strict: bool) -> Result<Vec<String>, String> {
+    let schema = doc.get("schema").and_then(Json::as_str);
+    if schema != Some("co-bench/perf-v1") {
+        return Err(format!("bad schema tag: {schema:?}"));
+    }
+    let workloads = doc.get("workloads").and_then(Json::as_arr).ok_or("missing workloads array")?;
+    if workloads.is_empty() {
+        return Err("no workloads".into());
+    }
+    let mut summary = Vec::new();
+    for w in workloads {
+        let name = w.get("name").and_then(Json::as_str).ok_or("workload missing name")?;
+        let num = |key: &str| {
+            w.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("workload {name}: missing numeric {key}"))
+        };
+        let speedup = num("median_speedup")?;
+        let total = num("verdicts_total")?;
+        let agreeing = num("verdicts_agreeing")?;
+        if total <= 0.0 {
+            return Err(format!("workload {name}: no cases"));
+        }
+        if agreeing != total {
+            return Err(format!("workload {name}: verdict disagreement ({agreeing}/{total})"));
+        }
+        let cases = w.get("cases").and_then(Json::as_arr).ok_or("missing cases")?;
+        if cases.len() != total as usize {
+            return Err(format!("workload {name}: cases/verdicts_total mismatch"));
+        }
+        for c in cases {
+            let ok = ["old_us", "new_us", "speedup"]
+                .iter()
+                .all(|k| c.get(k).and_then(Json::as_num).is_some_and(|x| x > 0.0))
+                && c.get("verdicts_agree").and_then(Json::as_bool) == Some(true);
+            if !ok {
+                return Err(format!("workload {name}: malformed case"));
+            }
+        }
+        if strict && matches!(name, "join_heavy" | "witness_copy") && speedup < 5.0 {
+            return Err(format!("workload {name}: median speedup {speedup}× below the 5× floor"));
+        }
+        summary
+            .push(format!("{name}: {speedup}× median speedup, {agreeing}/{total} verdicts agree"));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_is_well_formed_and_agreeing() {
+        let report = run_report(&PerfOptions { quick: true, runs: 1 });
+        // Round-trip through the serializer, then validate like `check`.
+        let parsed = Json::parse(&report.to_string()).expect("report serializes to valid JSON");
+        let summary = check_report(&parsed, false).expect("quick report passes validation");
+        assert_eq!(summary.len(), 5);
+    }
+
+    /// Overwrites `key` in the first workload of a report.
+    fn patch_first_workload(report: &mut Json, key: &str, value: Json) {
+        let Json::Obj(fields) = report else { unreachable!() };
+        let workloads = fields.iter_mut().find(|(k, _)| k == "workloads").unwrap();
+        let Json::Arr(ws) = &mut workloads.1 else { unreachable!() };
+        let Json::Obj(w0) = &mut ws[0] else { unreachable!() };
+        for (k, v) in w0.iter_mut() {
+            if k == key {
+                *v = value.clone();
+            }
+        }
+    }
+
+    #[test]
+    fn check_rejects_disagreement_and_slow_kernels() {
+        let mut report = run_report(&PerfOptions { quick: true, runs: 1 });
+        // A fabricated sub-5× join_heavy median must fail only under strict.
+        patch_first_workload(&mut report, "median_speedup", Json::num(1.5));
+        assert!(check_report(&report, false).is_ok());
+        assert!(check_report(&report, true).is_err());
+        // Any verdict disagreement must always fail.
+        patch_first_workload(&mut report, "verdicts_agreeing", Json::num(0.0));
+        assert!(check_report(&report, false).is_err());
+    }
+}

@@ -225,6 +225,97 @@ pub fn service_workload(total: usize, distinct: usize, seed: u64) -> Vec<(String
         .collect()
 }
 
+/// PR2 perf: a `len`-atom chain-join boolean query over relations of `n`
+/// facts each, wired so every `R0` fact extends to exactly one full chain.
+/// A linear-scan engine probes Θ(n) tuples per bound atom (Θ(n·len·n)
+/// total); the indexed engine probes exactly the matching tuple.
+pub fn join_chain_instance(len: usize, n: usize) -> (ConjunctiveQuery, co_cq::Database) {
+    use co_cq::parse_query;
+    use co_object::Atom;
+    let body: Vec<String> = (0..len).map(|i| format!("R{i}(X{i}, X{})", i + 1)).collect();
+    let q = parse_query(&format!("q() :- {}.", body.join(", "))).expect("chain query parses");
+    let mut db = co_cq::Database::new();
+    for i in 0..len {
+        let rel = db.relation_mut(co_cq::RelName::new(&format!("R{i}")));
+        for j in 0..n {
+            rel.insert(vec![Atom::int((i * n + j) as i64), Atom::int(((i + 1) * n + j) as i64)]);
+        }
+    }
+    (q, db)
+}
+
+/// PR2 perf: a witness-copy simulation instance that *fails*. `q1` freezes
+/// to a star of `fanout` E-leaves (inflated further by witness copies);
+/// `q2` demands a two-step E-path, so the search must refute every leaf.
+/// A linear-scan engine rescans the whole inflated E relation per leaf.
+pub fn witness_fanout_pair(fanout: usize) -> (IndexedQuery, IndexedQuery) {
+    use co_cq::parse_query;
+    let mut body1 = String::from("R(X, Y)");
+    for i in 0..fanout {
+        body1.push_str(&format!(", E(Y, W{i})"));
+    }
+    let q1 = IndexedQuery::from_cq(&parse_query(&format!("q(X, Y) :- {body1}.")).unwrap(), 1);
+    let q2 =
+        IndexedQuery::from_cq(&parse_query("q(X, Y) :- R(X, Y), E(Y, V), E(V, Z).").unwrap(), 1);
+    (q1, q2)
+}
+
+/// PR2 perf: the hom search at the heart of a *failing* witness-copy
+/// simulation check, pre-built so the kernels can be timed on the search
+/// itself (end to end, expansion construction is shared by both engines
+/// and caps the visible gap).
+///
+/// The database is the frozen witness-copy expansion of a star query
+/// `q(X, Y) :- R(X, Y), E(Y, W0), …` with `witnesses` extra copies: one
+/// `R(x, y)` fact plus `E(y, w_ci)` for every copy `c` and leaf `i` —
+/// `(witnesses + 1) · fanout` E-facts, all sharing the source `y`. The
+/// searched body is the path `R(X, Y), E(Y, V), E(V, Z)` with `X, Y` fixed
+/// to their frozen images (the distinguished-variable treatment of
+/// `co_sim::simulated_by_with_witnesses`). No leaf has an outgoing E-edge,
+/// so the search refutes every candidate `V`: a linear-scan engine rescans
+/// the whole E relation per candidate (Θ((witnesses·fanout)²) probes)
+/// while the indexed engine sees zero `E(V, Z)` candidates per leaf.
+pub fn witness_search_instance(
+    fanout: usize,
+    witnesses: usize,
+) -> (Vec<co_cq::QueryAtom>, co_cq::Database, co_cq::Assignment) {
+    use co_cq::{QueryAtom, Term, Var};
+    use co_object::Atom;
+    let body = vec![
+        QueryAtom::new("R", vec![Term::var("X"), Term::var("Y")]),
+        QueryAtom::new("E", vec![Term::var("Y"), Term::var("V")]),
+        QueryAtom::new("E", vec![Term::var("V"), Term::var("Z")]),
+    ];
+    let x = Atom::int(0);
+    let y = Atom::int(1);
+    let mut db = co_cq::Database::new();
+    db.relation_mut(co_cq::RelName::new("R")).insert(vec![x, y]);
+    let e = db.relation_mut(co_cq::RelName::new("E"));
+    for c in 0..=witnesses {
+        for i in 0..fanout {
+            e.insert(vec![y, Atom::int((2 + c * fanout + i) as i64)]);
+        }
+    }
+    let fixed: co_cq::Assignment = [(Var::new("X"), x), (Var::new("Y"), y)].into_iter().collect();
+    (body, db, fixed)
+}
+
+/// PR2 perf: a pair of depth-`depth` singleton chains over width-`width`
+/// leaf sets of consecutive ints, the second shifted by `offset`. Long
+/// chains force many propagation rounds out of a sweep-style simulation
+/// solver while the worklist solver touches each pair once.
+pub fn sim_chain_pair(depth: usize, width: usize, offset: i64) -> (Value, Value) {
+    let leaves =
+        |base: i64| Value::set((0..width).map(|i| Value::int(base + i as i64)).collect::<Vec<_>>());
+    let mut v = leaves(0);
+    let mut w = leaves(offset);
+    for _ in 0..depth {
+        v = Value::singleton(v);
+        w = Value::singleton(w);
+    }
+    (v, w)
+}
+
 /// E8: `(ν;μ)^k` — k rounds of nest-then-unnest, equivalent to identity.
 pub fn nest_unnest_roundtrips(k: usize) -> (co_algebra::NuSeq, co_algebra::NuSeq) {
     let mut ops = Vec::new();
@@ -328,6 +419,19 @@ mod tests {
                 let expr = co_lang::parse_coql(q).expect("workload query parses");
                 co_core::prepare(&expr, &schema).expect("workload query prepares");
             }
+        }
+    }
+
+    #[test]
+    fn witness_search_instance_refutes_under_both_strategies() {
+        use co_cq::hom::CandidateStrategy;
+        let (body, db, fixed) = witness_search_instance(6, 2);
+        for s in [CandidateStrategy::LinearScan, CandidateStrategy::Indexed] {
+            let r = co_cq::HomProblem::new(&body, &db)
+                .with_fixed(fixed.clone())
+                .with_strategy(s)
+                .first();
+            assert!(matches!(r, Ok(None)), "strategy {s:?} must refute the instance");
         }
     }
 

@@ -1,7 +1,23 @@
-//! Flat relational databases: sets of tuples of atoms.
+//! Flat relational databases: sets of tuples of atoms, with lazily-built
+//! hash indexes for the homomorphism engine.
+//!
+//! # Index layer (DESIGN.md §9)
+//!
+//! [`Relation::snapshot`] exposes a canonically sorted, shared copy of the
+//! tuples, and [`Relation::pattern_index`] builds (once, on demand) a hash
+//! index for a *bound-position pattern*: a bitmask over column positions.
+//! The index maps the atoms at the bound positions to the (sorted) list of
+//! matching tuple ids in the snapshot, so the backtracking engine can
+//! enumerate exactly the candidate tuples compatible with its current
+//! partial assignment instead of scanning the whole relation.
+//!
+//! Every `&mut self` method invalidates the cache, so a stale index can
+//! never be observed: the next lookup after a mutation rebuilds from the
+//! current tuples (tested in `edge_cases.rs`).
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::sync::{Arc, RwLock};
 
 use co_object::{Atom, Field, Type, Value};
 
@@ -10,11 +26,66 @@ use crate::schema::{RelName, Schema};
 /// A tuple of atomic values.
 pub type Tuple = Vec<Atom>;
 
+/// A bound-position pattern: bit `i` set means column `i` is bound.
+pub type PositionMask = u64;
+
+/// A hash index of one relation for one bound-position pattern: atoms at
+/// the bound positions (in column order) → ascending ids of the matching
+/// tuples in the relation's [`Relation::snapshot`].
+#[derive(Debug, Default)]
+pub struct PatternIndex {
+    buckets: HashMap<Vec<Atom>, Vec<u32>>,
+}
+
+impl PatternIndex {
+    /// The snapshot ids of tuples matching `key` at the bound positions,
+    /// in ascending (deterministic) order.
+    pub fn candidates(&self, key: &[Atom]) -> &[u32] {
+        self.buckets.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of candidates for `key` without materializing them.
+    pub fn candidate_count(&self, key: &[Atom]) -> usize {
+        self.buckets.get(key).map_or(0, Vec::len)
+    }
+
+    /// Number of distinct keys (diagnostics).
+    pub fn key_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// Lazily-built derived state of a relation; cleared on every mutation.
+#[derive(Debug, Default)]
+struct RelCache {
+    sorted: Option<Arc<Vec<Tuple>>>,
+    indexes: HashMap<PositionMask, Arc<PatternIndex>>,
+}
+
 /// A flat relation: a finite set of equal-arity tuples.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Equality, ordering of iteration, and `Display` depend only on the tuple
+/// set; the index cache is invisible derived state.
+#[derive(Debug, Default)]
 pub struct Relation {
     tuples: HashSet<Tuple>,
+    cache: RwLock<RelCache>,
 }
+
+impl Clone for Relation {
+    fn clone(&self) -> Relation {
+        // Indexes are cheap to rebuild; clones start with a cold cache.
+        Relation { tuples: self.tuples.clone(), cache: RwLock::new(RelCache::default()) }
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// The empty relation.
@@ -24,12 +95,17 @@ impl Relation {
 
     /// Builds a relation from tuples.
     pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Relation {
-        Relation { tuples: tuples.into_iter().collect() }
+        Relation { tuples: tuples.into_iter().collect(), cache: RwLock::new(RelCache::default()) }
     }
 
     /// Inserts a tuple; returns whether it was new.
     pub fn insert(&mut self, t: Tuple) -> bool {
-        self.tuples.insert(t)
+        let added = self.tuples.insert(t);
+        if added {
+            // Mutation invalidates the snapshot and every pattern index.
+            *self.cache.get_mut().expect("relation cache lock poisoned") = RelCache::default();
+        }
+        added
     }
 
     /// Membership test.
@@ -60,9 +136,59 @@ impl Relation {
         v
     }
 
+    /// A shared, canonically sorted copy of the tuples. Built once and
+    /// cached until the next mutation; tuple ids handed out by
+    /// [`Relation::pattern_index`] refer to positions in this vector.
+    pub fn snapshot(&self) -> Arc<Vec<Tuple>> {
+        if let Some(s) = &self.cache.read().expect("relation cache lock poisoned").sorted {
+            return Arc::clone(s);
+        }
+        let mut cache = self.cache.write().expect("relation cache lock poisoned");
+        // A racing reader may have built it between the two locks.
+        if let Some(s) = &cache.sorted {
+            return Arc::clone(s);
+        }
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort();
+        let s = Arc::new(v);
+        cache.sorted = Some(Arc::clone(&s));
+        s
+    }
+
+    /// The hash index of this relation for the bound-position pattern
+    /// `mask` (bit `i` set ⇔ column `i` bound). Built lazily on first use
+    /// and cached until the next mutation.
+    ///
+    /// Lookup keys are the atoms at the bound positions in ascending column
+    /// order; `mask == 0` yields a single bucket holding every tuple id.
+    pub fn pattern_index(&self, mask: PositionMask) -> Arc<PatternIndex> {
+        if let Some(idx) =
+            self.cache.read().expect("relation cache lock poisoned").indexes.get(&mask)
+        {
+            return Arc::clone(idx);
+        }
+        let snapshot = self.snapshot();
+        let mut buckets: HashMap<Vec<Atom>, Vec<u32>> = HashMap::new();
+        for (id, tuple) in snapshot.iter().enumerate() {
+            let key: Vec<Atom> = tuple
+                .iter()
+                .enumerate()
+                .filter(|(pos, _)| *pos < 64 && mask >> *pos & 1 != 0)
+                .map(|(_, &a)| a)
+                .collect();
+            let id = u32::try_from(id).expect("relation larger than u32::MAX tuples");
+            // Snapshot order is ascending, so buckets stay sorted.
+            buckets.entry(key).or_default().push(id);
+        }
+        let idx = Arc::new(PatternIndex { buckets });
+        let mut cache = self.cache.write().expect("relation cache lock poisoned");
+        let entry = cache.indexes.entry(mask).or_insert_with(|| Arc::clone(&idx));
+        Arc::clone(entry)
+    }
+
     /// Set union.
     pub fn union(&self, other: &Relation) -> Relation {
-        Relation { tuples: self.tuples.union(&other.tuples).cloned().collect() }
+        Relation::from_tuples(self.tuples.union(&other.tuples).cloned())
     }
 
     /// Whether `self ⊆ other`.

@@ -6,19 +6,42 @@
 //! of query variables to database atoms under which every body atom becomes
 //! a fact of the database, subject to some variables being pre-bound.
 //!
-//! The engine uses static greedy atom ordering (most-bound-variables first,
-//! smallest relation as tie-break) and early consistency pruning. It can
-//! report the first solution, enumerate all solutions through a callback,
-//! or count solutions, and carries an optional step budget so callers with
-//! worst-case-exponential workloads (the hard instances of E2–E4) can bail
-//! out deterministically.
+//! # Candidate generation (DESIGN.md §9)
+//!
+//! The engine runs in one of two [`CandidateStrategy`] modes:
+//!
+//! * [`CandidateStrategy::Indexed`] (the default): at every search node the
+//!   engine picks the remaining atom with the **fewest live candidates**
+//!   (MRV — minimum remaining values), where candidates come from the
+//!   relation's lazily-built hash index on the atom's currently-bound
+//!   argument positions ([`crate::db::Relation::pattern_index`]). Only
+//!   tuples that agree with the partial assignment on the bound positions
+//!   are ever probed.
+//! * [`CandidateStrategy::LinearScan`]: the original kernel — a static
+//!   greedy atom order fixed up front ([`plan_order`]) and a full scan of
+//!   each atom's relation at every depth. Kept as the differential-testing
+//!   oracle and as the baseline the `co-bench perf` harness measures
+//!   speedups against.
+//!
+//! Both strategies visit exactly the same solution set, respect the same
+//! `forbidden` semantics, and charge the step budget identically: **one
+//! step per candidate-tuple probe**. (Indexed search probes fewer
+//! candidates, so a budget generous enough for the linear scan is always
+//! generous enough for the indexed search on the same instance.)
+//!
+//! The engine can report the first solution, enumerate all solutions
+//! through a callback, or count solutions, and carries an optional step
+//! budget so callers with worst-case-exponential workloads (the hard
+//! instances of E2–E4) can bail out deterministically.
 
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 use co_object::Atom;
 
-use crate::db::{Database, Relation};
+use crate::db::{Database, PatternIndex, PositionMask, Relation, Tuple};
 use crate::query::{QueryAtom, Term};
 use crate::schema::Var;
 
@@ -36,6 +59,39 @@ pub enum SearchOutcome {
     BudgetExceeded,
 }
 
+/// How the engine generates candidate tuples for an atom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CandidateStrategy {
+    /// Hash-index candidates on bound positions + runtime MRV atom
+    /// selection (the fast path, default).
+    Indexed,
+    /// Full-relation scans in a static greedy atom order (the original
+    /// kernel; oracle and benchmark baseline).
+    LinearScan,
+}
+
+/// Process-wide default strategy, overridable per problem with
+/// [`HomProblem::with_strategy`]. Exists so the `co-bench perf` harness can
+/// A/B the *entire* decision stack (containment, simulation, COQL, service)
+/// without threading a parameter through every layer.
+static DEFAULT_STRATEGY: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default [`CandidateStrategy`].
+///
+/// Intended for benchmarking and differential testing only; production
+/// callers should leave the default ([`CandidateStrategy::Indexed`]) alone.
+pub fn set_default_strategy(s: CandidateStrategy) {
+    DEFAULT_STRATEGY.store(s as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide default [`CandidateStrategy`].
+pub fn default_strategy() -> CandidateStrategy {
+    match DEFAULT_STRATEGY.load(Ordering::Relaxed) {
+        0 => CandidateStrategy::Indexed,
+        _ => CandidateStrategy::LinearScan,
+    }
+}
+
 /// A homomorphism search problem: match `atoms` into `db`, extending
 /// `fixed`.
 pub struct HomProblem<'a> {
@@ -44,12 +100,20 @@ pub struct HomProblem<'a> {
     fixed: Assignment,
     budget: Option<u64>,
     forbidden: HashMap<Var, HashSet<Atom>>,
+    strategy: Option<CandidateStrategy>,
 }
 
 impl<'a> HomProblem<'a> {
     /// Creates a problem with no pre-bound variables.
     pub fn new(atoms: &'a [QueryAtom], db: &'a Database) -> HomProblem<'a> {
-        HomProblem { atoms, db, fixed: Assignment::new(), budget: None, forbidden: HashMap::new() }
+        HomProblem {
+            atoms,
+            db,
+            fixed: Assignment::new(),
+            budget: None,
+            forbidden: HashMap::new(),
+            strategy: None,
+        }
     }
 
     /// Pre-binds variables (e.g. head variables for containment checks).
@@ -70,6 +134,13 @@ impl<'a> HomProblem<'a> {
     /// condition relies on this for tractability on easy instances.
     pub fn with_forbidden(mut self, forbidden: HashMap<Var, HashSet<Atom>>) -> HomProblem<'a> {
         self.forbidden = forbidden;
+        self
+    }
+
+    /// Overrides the candidate-generation strategy for this problem (the
+    /// default is the process-wide [`default_strategy`]).
+    pub fn with_strategy(mut self, strategy: CandidateStrategy) -> HomProblem<'a> {
+        self.strategy = Some(strategy);
         self
     }
 
@@ -110,31 +181,239 @@ impl<'a> HomProblem<'a> {
                 return SearchOutcome::Exhausted;
             }
         }
-        let order = plan_order(self.atoms, &self.fixed, self.db);
-        let mut state = Search {
-            atoms: self.atoms,
-            order: &order,
-            db: self.db,
-            binding: self.fixed,
-            steps_left: self.budget,
-            forbidden: &self.forbidden,
-            visit: &mut visit,
-        };
-        state.run(0)
+        let strategy = self.strategy.unwrap_or_else(default_strategy);
+        let rels: Vec<&Relation> = self
+            .atoms
+            .iter()
+            .map(|a| self.db.relation_ref(a.rel).expect("empty-relation fast path already handled"))
+            .collect();
+        match strategy {
+            CandidateStrategy::Indexed => {
+                let mut state = IndexedSearch {
+                    atoms: self.atoms,
+                    rels: &rels,
+                    snapshots: rels.iter().map(|r| r.snapshot()).collect(),
+                    index_cache: vec![HashMap::new(); self.atoms.len()],
+                    scratch: Vec::new(),
+                    remaining: (0..self.atoms.len()).collect(),
+                    binding: self.fixed,
+                    steps_left: self.budget,
+                    forbidden: &self.forbidden,
+                    visit: &mut visit,
+                };
+                state.run()
+            }
+            CandidateStrategy::LinearScan => {
+                let order = plan_order(self.atoms, &self.fixed, self.db);
+                let mut state = LinearSearch {
+                    atoms: self.atoms,
+                    order: &order,
+                    snapshots: rels.iter().map(|r| r.snapshot()).collect(),
+                    binding: self.fixed,
+                    steps_left: self.budget,
+                    forbidden: &self.forbidden,
+                    visit: &mut visit,
+                };
+                state.run(0)
+            }
+        }
     }
 }
 
-struct Search<'a, 'f> {
+/// Shared binding/undo logic: attempts to bind `atom`'s arguments against
+/// `tuple` under `binding`; on success returns the variables newly bound
+/// (for undo), on conflict returns `None` with `binding` unchanged.
+fn try_bind(
+    binding: &mut Assignment,
+    forbidden: &HashMap<Var, HashSet<Atom>>,
+    atom: &QueryAtom,
+    tuple: &[Atom],
+) -> Option<Vec<Var>> {
+    debug_assert_eq!(atom.args.len(), tuple.len(), "arity checked by caller");
+    let mut newly = Vec::new();
+    for (term, &value) in atom.args.iter().zip(tuple.iter()) {
+        let ok = match term {
+            Term::Const(c) => *c == value,
+            Term::Var(v) => match binding.get(v) {
+                Some(&bound) => bound == value,
+                None => {
+                    if forbidden.get(v).is_some_and(|set| set.contains(&value)) {
+                        false
+                    } else {
+                        binding.insert(*v, value);
+                        newly.push(*v);
+                        true
+                    }
+                }
+            },
+        };
+        if !ok {
+            for v in newly {
+                binding.remove(&v);
+            }
+            return None;
+        }
+    }
+    Some(newly)
+}
+
+/// Fills `key` with `atom`'s determined argument values (constants and
+/// bound variables) in column order and returns the bound-position mask.
+/// Positions ≥ 64 never enter the mask (they stay consistency-checked by
+/// [`try_bind`]). Takes the buffer by `&mut` so the hot MRV loop reuses
+/// one allocation across every (node, atom) probe.
+fn bound_pattern(atom: &QueryAtom, binding: &Assignment, key: &mut Vec<Atom>) -> PositionMask {
+    key.clear();
+    let mut mask: PositionMask = 0;
+    for (pos, term) in atom.args.iter().enumerate() {
+        if pos >= 64 {
+            break;
+        }
+        let value = match term {
+            Term::Const(c) => Some(*c),
+            Term::Var(v) => binding.get(v).copied(),
+        };
+        if let Some(a) = value {
+            mask |= 1 << pos;
+            key.push(a);
+        }
+    }
+    mask
+}
+
+/// The indexed engine: dynamic MRV atom selection over index-generated
+/// candidate lists.
+struct IndexedSearch<'a, 'f> {
     atoms: &'a [QueryAtom],
-    order: &'a [usize],
-    db: &'a Database,
+    rels: &'a [&'a Relation],
+    snapshots: Vec<Arc<Vec<Tuple>>>,
+    /// Per-atom memo of the relation's pattern indexes, so the MRV loop
+    /// pays one lock-free local hash probe instead of a `RwLock` round
+    /// trip through the relation per candidate count.
+    index_cache: Vec<HashMap<PositionMask, Arc<PatternIndex>>>,
+    /// Reusable key buffer for [`bound_pattern`].
+    scratch: Vec<Atom>,
+    /// Indices of atoms not yet matched.
+    remaining: Vec<usize>,
     binding: Assignment,
     steps_left: Option<u64>,
     forbidden: &'a HashMap<Var, HashSet<Atom>>,
     visit: &'f mut dyn FnMut(&Assignment) -> ControlFlow<()>,
 }
 
-impl Search<'_, '_> {
+impl IndexedSearch<'_, '_> {
+    /// The cached candidate count for atom `i` under the current binding.
+    /// Leaves the matching key in `self.scratch`.
+    fn candidate_count(&mut self, i: usize) -> (usize, PositionMask) {
+        let mask = bound_pattern(&self.atoms[i], &self.binding, &mut self.scratch);
+        if mask == 0 {
+            return (self.snapshots[i].len(), mask);
+        }
+        let rel = self.rels[i];
+        let idx = self.index_cache[i].entry(mask).or_insert_with(|| rel.pattern_index(mask));
+        (idx.candidate_count(&self.scratch), mask)
+    }
+
+    fn run(&mut self) -> SearchOutcome {
+        if self.remaining.is_empty() {
+            return match (self.visit)(&self.binding) {
+                ControlFlow::Break(()) => SearchOutcome::Stopped,
+                ControlFlow::Continue(()) => SearchOutcome::Exhausted,
+            };
+        }
+        // MRV: the remaining atom with the fewest index candidates under
+        // the current binding; ties break on original position for
+        // determinism. `pick` is a position in `self.remaining`. A zero
+        // count is a proven dead end — no atom choice can rescue the node,
+        // so the scan stops immediately (forward-checking-style pruning;
+        // no candidates are probed either way, so budget semantics and the
+        // solution set are unaffected).
+        let mut pick = 0;
+        let mut pick_atom = usize::MAX;
+        let mut pick_mask: PositionMask = 0;
+        let mut best = usize::MAX;
+        for slot in 0..self.remaining.len() {
+            let i = self.remaining[slot];
+            let (count, mask) = self.candidate_count(i);
+            if count < best || (count == best && i < pick_atom) {
+                best = count;
+                pick = slot;
+                pick_atom = i;
+                pick_mask = mask;
+            }
+            if best == 0 {
+                break;
+            }
+        }
+        let i = self.remaining.swap_remove(pick);
+        let snapshot = Arc::clone(&self.snapshots[i]);
+        let atom = &self.atoms[i];
+        let index = if pick_mask == 0 {
+            None
+        } else {
+            // Re-derive the key for the picked atom (the scratch buffer may
+            // hold a later atom's key) and fetch the memoized index.
+            bound_pattern(atom, &self.binding, &mut self.scratch);
+            Some(Arc::clone(&self.index_cache[i][&pick_mask]))
+        };
+        let outcome = (|| {
+            let probe = |this: &mut Self, tuple: &[Atom]| -> Result<(), SearchOutcome> {
+                if let Some(budget) = &mut this.steps_left {
+                    if *budget == 0 {
+                        return Err(SearchOutcome::BudgetExceeded);
+                    }
+                    *budget -= 1;
+                }
+                if let Some(newly) = try_bind(&mut this.binding, this.forbidden, atom, tuple) {
+                    let outcome = this.run();
+                    for v in newly {
+                        this.binding.remove(&v);
+                    }
+                    match outcome {
+                        SearchOutcome::Exhausted => {}
+                        stop => return Err(stop),
+                    }
+                }
+                Ok(())
+            };
+            match &index {
+                Some(idx) => {
+                    for &id in idx.candidates(&self.scratch) {
+                        probe(self, &snapshot[id as usize])?;
+                    }
+                }
+                None => {
+                    for tuple in snapshot.iter() {
+                        probe(self, tuple)?;
+                    }
+                }
+            }
+            Ok(())
+        })();
+        // Undo the atom selection on every path (including early stops).
+        self.remaining.push(i);
+        let last = self.remaining.len() - 1;
+        self.remaining.swap(pick, last);
+        match outcome {
+            Ok(()) => SearchOutcome::Exhausted,
+            Err(stop) => stop,
+        }
+    }
+}
+
+/// The original kernel: static plan, full-relation scans. Retained verbatim
+/// as the oracle for differential tests and the `co-bench perf` baseline.
+struct LinearSearch<'a, 'f> {
+    atoms: &'a [QueryAtom],
+    order: &'a [usize],
+    snapshots: Vec<Arc<Vec<Tuple>>>,
+    binding: Assignment,
+    steps_left: Option<u64>,
+    forbidden: &'a HashMap<Var, HashSet<Atom>>,
+    visit: &'f mut dyn FnMut(&Assignment) -> ControlFlow<()>,
+}
+
+impl LinearSearch<'_, '_> {
     fn run(&mut self, depth: usize) -> SearchOutcome {
         if depth == self.order.len() {
             return match (self.visit)(&self.binding) {
@@ -142,17 +421,18 @@ impl Search<'_, '_> {
                 ControlFlow::Continue(()) => SearchOutcome::Exhausted,
             };
         }
-        let atom = &self.atoms[self.order[depth]];
-        let rel = self.db.relation_ref(atom.rel).expect("empty-relation fast path already handled");
+        let i = self.order[depth];
+        let atom = &self.atoms[i];
+        let snapshot = Arc::clone(&self.snapshots[i]);
         // Deterministic iteration for reproducible search behaviour.
-        for tuple in rel.iter_sorted() {
+        for tuple in snapshot.iter() {
             if let Some(budget) = &mut self.steps_left {
                 if *budget == 0 {
                     return SearchOutcome::BudgetExceeded;
                 }
                 *budget -= 1;
             }
-            if let Some(newly_bound) = self.try_bind(atom, tuple) {
+            if let Some(newly_bound) = try_bind(&mut self.binding, self.forbidden, atom, tuple) {
                 let outcome = self.run(depth + 1);
                 for v in newly_bound {
                     self.binding.remove(&v);
@@ -165,65 +445,72 @@ impl Search<'_, '_> {
         }
         SearchOutcome::Exhausted
     }
-
-    /// Attempts to bind `atom`'s arguments against `tuple`; on success
-    /// returns the variables newly bound (for undo), on conflict returns
-    /// `None` with no change.
-    fn try_bind(&mut self, atom: &QueryAtom, tuple: &[Atom]) -> Option<Vec<Var>> {
-        debug_assert_eq!(atom.args.len(), tuple.len(), "arity checked by caller");
-        let mut newly = Vec::new();
-        for (term, &value) in atom.args.iter().zip(tuple.iter()) {
-            let ok = match term {
-                Term::Const(c) => *c == value,
-                Term::Var(v) => match self.binding.get(v) {
-                    Some(&bound) => bound == value,
-                    None => {
-                        if self.forbidden.get(v).is_some_and(|set| set.contains(&value)) {
-                            false
-                        } else {
-                            self.binding.insert(*v, value);
-                            newly.push(*v);
-                            true
-                        }
-                    }
-                },
-            };
-            if !ok {
-                for v in newly {
-                    self.binding.remove(&v);
-                }
-                return None;
-            }
-        }
-        Some(newly)
-    }
 }
 
-/// Greedy atom ordering: repeatedly pick the atom with the most already-
-/// bound argument positions, breaking ties by smaller relation, then by
-/// original position (for determinism).
+/// Greedy static atom ordering: repeatedly pick the atom with the most
+/// already-bound argument positions, breaking ties by the smaller
+/// *constant-filtered* candidate count, then by original position (for
+/// determinism).
+///
+/// Candidate counts come from each relation's hash index on the atom's
+/// constant positions, so `R(1, y)` is costed by the tuples matching `1` —
+/// not all of `R`. Unbound-variable counts are maintained incrementally
+/// through a variable → atoms occurrence map instead of being recomputed
+/// with a full `atoms × arity` rescan per selection round.
 fn plan_order(atoms: &[QueryAtom], fixed: &Assignment, db: &Database) -> Vec<usize> {
-    let mut bound: std::collections::HashSet<Var> = fixed.keys().copied().collect();
+    let mut bound: HashSet<Var> = fixed.keys().copied().collect();
+
+    // Constant-filtered base size per atom (pre-filtering satellite): the
+    // number of tuples matching the atom's constant arguments.
+    let sizes: Vec<usize> = atoms
+        .iter()
+        .map(|atom| {
+            let Some(rel) = db.relation_ref(atom.rel) else { return 0 };
+            let consts: Vec<(usize, Atom)> = atom
+                .args
+                .iter()
+                .enumerate()
+                .filter_map(|(pos, t)| t.as_const().map(|c| (pos, c)))
+                .filter(|(pos, _)| *pos < 64)
+                .collect();
+            if consts.is_empty() {
+                return rel.len();
+            }
+            let mask: PositionMask = consts.iter().fold(0, |m, (pos, _)| m | 1 << pos);
+            let key: Vec<Atom> = consts.iter().map(|(_, c)| *c).collect();
+            rel.pattern_index(mask).candidate_count(&key)
+        })
+        .collect();
+
+    // Incremental unbound counts: occurrences[v] lists (atom, multiplicity).
+    let mut unbound: Vec<usize> = vec![0; atoms.len()];
+    let mut occurrences: HashMap<Var, Vec<usize>> = HashMap::new();
+    for (i, atom) in atoms.iter().enumerate() {
+        for v in atom.vars() {
+            if !bound.contains(&v) {
+                unbound[i] += 1;
+                occurrences.entry(v).or_default().push(i);
+            }
+        }
+    }
+
     let mut remaining: Vec<usize> = (0..atoms.len()).collect();
     let mut order = Vec::with_capacity(atoms.len());
     while !remaining.is_empty() {
         let best = remaining
             .iter()
             .enumerate()
-            .min_by_key(|(_, &i)| {
-                let atom = &atoms[i];
-                let unbound = atom
-                    .args
-                    .iter()
-                    .filter(|t| matches!(t, Term::Var(v) if !bound.contains(v)))
-                    .count();
-                let size = db.relation_ref(atom.rel).map_or(0, Relation::len);
-                (unbound, size, i)
-            })
+            .min_by_key(|(_, &i)| (unbound[i], sizes[i], i))
             .map(|(pos, _)| pos)
             .expect("remaining is non-empty");
         let i = remaining.swap_remove(best);
-        bound.extend(atoms[i].vars());
+        for v in atoms[i].vars() {
+            if bound.insert(v) {
+                for &j in occurrences.get(&v).into_iter().flatten() {
+                    unbound[j] -= 1;
+                }
+            }
+        }
         order.push(i);
     }
     order
@@ -236,6 +523,15 @@ mod tests {
 
     fn v(name: &str) -> Term {
         Term::var(name)
+    }
+
+    /// Runs the same closure under both strategies and asserts identical
+    /// results.
+    fn both<R: PartialEq + std::fmt::Debug>(f: impl Fn(CandidateStrategy) -> R) -> R {
+        let indexed = f(CandidateStrategy::Indexed);
+        let linear = f(CandidateStrategy::LinearScan);
+        assert_eq!(indexed, linear, "strategies disagree");
+        indexed
     }
 
     #[test]
@@ -269,27 +565,30 @@ mod tests {
         let atoms = vec![
             QueryAtom::new("R", vec![v("x"), v("x")]), // needs a loop
         ];
-        assert!(!HomProblem::new(&atoms, &db).exists());
+        assert!(!both(|s| HomProblem::new(&atoms, &db).with_strategy(s).exists()));
     }
 
     #[test]
     fn empty_relation_short_circuits() {
         let db = Database::from_ints(&[("R", &[&[1, 2]])]);
         let atoms = vec![QueryAtom::new("S", vec![v("x")])];
-        assert!(!HomProblem::new(&atoms, &db).exists());
+        assert!(!both(|s| HomProblem::new(&atoms, &db).with_strategy(s).exists()));
     }
 
     #[test]
     fn enumerates_all_solutions() {
         let db = Database::from_ints(&[("R", &[&[1], &[2], &[3]])]);
         let atoms = vec![QueryAtom::new("R", vec![v("x")])];
-        let mut seen = Vec::new();
-        let outcome = HomProblem::new(&atoms, &db).for_each(|a| {
-            seen.push(a[&Var::new("x")]);
-            ControlFlow::Continue(())
+        let seen = both(|s| {
+            let mut seen = Vec::new();
+            let outcome = HomProblem::new(&atoms, &db).with_strategy(s).for_each(|a| {
+                seen.push(a[&Var::new("x")]);
+                ControlFlow::Continue(())
+            });
+            assert_eq!(outcome, SearchOutcome::Exhausted);
+            seen.sort();
+            seen
         });
-        assert_eq!(outcome, SearchOutcome::Exhausted);
-        seen.sort();
         assert_eq!(seen, vec![Atom::int(1), Atom::int(2), Atom::int(3)]);
     }
 
@@ -305,32 +604,94 @@ mod tests {
             QueryAtom::new("S", vec![v("a"), v("b")]),
         ];
         // S is empty → short-circuit even with a tiny budget.
-        assert!(!HomProblem::new(&atoms, &db).with_budget(1).exists());
+        assert!(!both(|s| HomProblem::new(&atoms, &db).with_strategy(s).with_budget(1).exists()));
 
-        // Without the empty relation, a tiny budget must trip.
+        // Without the empty relation, a tiny budget must trip: R has 50
+        // tuples, so even indexed search probes > 10 candidates for the
+        // fully-unconstrained cross product.
         let atoms2 = vec![
             QueryAtom::new("R", vec![v("a")]),
             QueryAtom::new("R", vec![v("b")]),
             QueryAtom::new("R", vec![v("c")]),
         ];
-        let mut count = 0usize;
-        let outcome = HomProblem::new(&atoms2, &db).with_budget(10).for_each(|_| {
-            count += 1;
-            ControlFlow::Continue(())
+        both(|s| {
+            let outcome = HomProblem::new(&atoms2, &db)
+                .with_strategy(s)
+                .with_budget(10)
+                .for_each(|_| ControlFlow::Continue(()));
+            assert_eq!(outcome, SearchOutcome::BudgetExceeded);
         });
-        assert_eq!(outcome, SearchOutcome::BudgetExceeded);
     }
 
     #[test]
     fn constants_filter_candidates() {
         let db = Database::from_ints(&[("R", &[&[1, 2], &[1, 3], &[4, 5]])]);
         let atoms = vec![QueryAtom::new("R", vec![Term::int(1), v("y")])];
-        let mut ys = Vec::new();
-        HomProblem::new(&atoms, &db).for_each(|a| {
-            ys.push(a[&Var::new("y")]);
-            ControlFlow::Continue(())
+        let ys = both(|s| {
+            let mut ys = Vec::new();
+            HomProblem::new(&atoms, &db).with_strategy(s).for_each(|a| {
+                ys.push(a[&Var::new("y")]);
+                ControlFlow::Continue(())
+            });
+            ys.sort();
+            ys
         });
-        ys.sort();
         assert_eq!(ys, vec![Atom::int(2), Atom::int(3)]);
+    }
+
+    #[test]
+    fn indexed_search_probes_fewer_candidates() {
+        // A star join where the indexed engine touches only the matching
+        // adjacency bucket: a budget of 4 suffices for the indexed engine
+        // but trips the linear scan.
+        let tuples: Vec<Vec<i64>> = (0..100).map(|i| vec![i / 10, i]).collect();
+        let refs: Vec<&[i64]> = tuples.iter().map(|t| t.as_slice()).collect();
+        let db = Database::from_ints(&[("R", &refs), ("S", &[&[9]])]);
+        let atoms =
+            vec![QueryAtom::new("S", vec![v("x")]), QueryAtom::new("R", vec![v("x"), v("y")])];
+        // Indexed: probes S's single tuple, then R's x=9 bucket (10 tuples
+        // max, first succeeds) — well under budget.
+        let sol = HomProblem::new(&atoms, &db)
+            .with_strategy(CandidateStrategy::Indexed)
+            .with_budget(4)
+            .first()
+            .unwrap()
+            .unwrap();
+        assert_eq!(sol[&Var::new("x")], Atom::int(9));
+        // Linear scan probes R's tuples up to the x=9 region and trips.
+        assert!(matches!(
+            HomProblem::new(&atoms, &db)
+                .with_strategy(CandidateStrategy::LinearScan)
+                .with_budget(4)
+                .first(),
+            Err(SearchOutcome::BudgetExceeded)
+        ));
+    }
+
+    #[test]
+    fn plan_order_prefers_constant_filtered_atoms() {
+        // R(1, y) matches 1 tuple; T(u, w) matches 3: the constant-filtered
+        // atom must be planned first even though both have one unbound var
+        // after x is bound... (here both start unbound; R(1,y) has 1 unbound
+        // var vs T's 2, but sizes also favour R).
+        let db = Database::from_ints(&[
+            ("R", &[&[1, 2], &[3, 4], &[5, 6]]),
+            ("T", &[&[1, 1], &[2, 2], &[3, 3]]),
+        ]);
+        let atoms = vec![
+            QueryAtom::new("T", vec![v("u"), v("w")]),
+            QueryAtom::new("R", vec![Term::int(1), v("y")]),
+        ];
+        let order = plan_order(&atoms, &Assignment::new(), &db);
+        assert_eq!(order[0], 1, "constant-filtered atom planned first");
+    }
+
+    #[test]
+    fn default_strategy_round_trips() {
+        assert_eq!(default_strategy(), CandidateStrategy::Indexed);
+        set_default_strategy(CandidateStrategy::LinearScan);
+        assert_eq!(default_strategy(), CandidateStrategy::LinearScan);
+        set_default_strategy(CandidateStrategy::Indexed);
+        assert_eq!(default_strategy(), CandidateStrategy::Indexed);
     }
 }

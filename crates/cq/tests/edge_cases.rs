@@ -124,3 +124,45 @@ fn update_independence_of_constants_only_queries() {
     assert!(!co_cq::independent_of_insertions(&q, RelName::new("S")));
     assert!(co_cq::independent_of_updates(&q, RelName::new("R")));
 }
+
+#[test]
+fn mutation_invalidates_snapshot_and_indexes() {
+    // A stale index must never be observable: pin the pre-mutation
+    // snapshot/index, mutate, and check fresh lookups see the new tuple.
+    let mut r = co_cq::Relation::from_tuples([vec![Atom::int(1), Atom::int(2)]]);
+    let old_snap = r.snapshot();
+    let old_idx = r.pattern_index(0b01);
+    assert_eq!(old_idx.candidates(&[Atom::int(1)]), &[0]);
+    assert_eq!(old_idx.candidates(&[Atom::int(3)]), &[] as &[u32]);
+
+    r.insert(vec![Atom::int(3), Atom::int(4)]);
+
+    // Pinned Arcs still describe the old state (snapshot semantics)...
+    assert_eq!(old_snap.len(), 1);
+    assert_eq!(old_idx.candidate_count(&[Atom::int(3)]), 0);
+    // ...but anything fetched after the mutation is rebuilt fresh.
+    let new_snap = r.snapshot();
+    assert_eq!(new_snap.len(), 2);
+    let new_idx = r.pattern_index(0b01);
+    assert_eq!(new_idx.candidates(&[Atom::int(3)]), &[1]);
+    assert_eq!(new_idx.key_count(), 2);
+
+    // A no-op insert (duplicate tuple) keeps the cache: same Arc.
+    let pinned = r.snapshot();
+    r.insert(vec![Atom::int(3), Atom::int(4)]);
+    assert!(std::sync::Arc::ptr_eq(&pinned, &r.snapshot()));
+}
+
+#[test]
+fn engine_sees_fresh_index_after_database_mutation() {
+    // End-to-end: the same query flips from unsatisfiable to satisfiable
+    // once the relevant tuple is inserted — the engine must not answer from
+    // a cached index built before the mutation.
+    let q = parse_query("q() :- R(1, X), S(X).").unwrap();
+    let mut db = Database::from_ints(&[("R", &[&[1, 2]]), ("S", &[&[9]])]);
+    assert!(!boolean(&q, &db), "no S-tuple joins yet");
+    // Warm the caches explicitly, then mutate through the database.
+    let _ = db.relation_ref(RelName::new("S")).unwrap().pattern_index(0b1);
+    db.relation_mut(RelName::new("S")).insert(vec![Atom::int(2)]);
+    assert!(boolean(&q, &db), "insert must invalidate the S index");
+}

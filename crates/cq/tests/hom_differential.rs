@@ -1,0 +1,239 @@
+//! Differential tests: the indexed MRV engine against the linear-scan
+//! oracle on seeded random query/database pairs. Seeded (`co-prng`),
+//! offline, part of the default test gate.
+//!
+//! Checked invariants, per generated instance:
+//!
+//! * identical solution *sets* under `for_each` (and identical
+//!   `SearchOutcome` when no budget is set);
+//! * identical satisfiability (`first()` some-ness), and every `first()`
+//!   answer is a member of the oracle's solution set;
+//! * identical behaviour under `forbidden` sets;
+//! * budget semantics: one step per candidate probe in both engines, and
+//!   the indexed engine never needs *more* probes than the linear scan to
+//!   exhaust the same instance.
+
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+use co_cq::generate::{CqGen, CqGenConfig};
+use co_cq::hom::CandidateStrategy;
+use co_cq::{Assignment, Database, HomProblem, SearchOutcome, Var};
+use co_object::Atom;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Canonical, comparable form of a solution set.
+fn solutions(
+    q: &co_cq::ConjunctiveQuery,
+    db: &Database,
+    strategy: CandidateStrategy,
+    forbidden: &std::collections::HashMap<Var, HashSet<Atom>>,
+) -> (Vec<Vec<(Var, Atom)>>, SearchOutcome) {
+    let mut out: Vec<Vec<(Var, Atom)>> = Vec::new();
+    let outcome = HomProblem::new(&q.body, db)
+        .with_strategy(strategy)
+        .with_forbidden(forbidden.clone())
+        .for_each(|a| {
+            let mut row: Vec<(Var, Atom)> = a.iter().map(|(&v, &x)| (v, x)).collect();
+            row.sort();
+            out.push(row);
+            ControlFlow::Continue(())
+        });
+    out.sort();
+    out.dedup();
+    (out, outcome)
+}
+
+/// Probes used by a strategy to exhaust the instance (found by binary
+/// search on the budget: the smallest budget that does not trip).
+fn probes_to_exhaust(q: &co_cq::ConjunctiveQuery, db: &Database, s: CandidateStrategy) -> u64 {
+    let trips = |b: u64| {
+        HomProblem::new(&q.body, db)
+            .with_strategy(s)
+            .with_budget(b)
+            .for_each(|_| ControlFlow::Continue(()))
+            == SearchOutcome::BudgetExceeded
+    };
+    if !trips(0) {
+        return 0;
+    }
+    let mut lo = 0u64;
+    let mut hi = 1u64;
+    while trips(hi) {
+        lo = hi;
+        hi *= 2;
+        assert!(hi < 1 << 40, "instance unexpectedly expensive");
+    }
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if trips(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+#[test]
+fn indexed_engine_matches_linear_oracle_on_random_instances() {
+    let empty = std::collections::HashMap::new();
+    for seed in 0..120u64 {
+        let config = CqGenConfig {
+            relations: 2,
+            arity: 2,
+            atoms: 3 + (seed as usize % 3),
+            var_pool: 4,
+            const_pct: 20,
+            const_pool: 3,
+            head_width: 2,
+        };
+        let mut g = CqGen::new(seed, config);
+        let q = g.query();
+        let db = g.database(8, 5);
+        let (sols_i, out_i) = solutions(&q, &db, CandidateStrategy::Indexed, &empty);
+        let (sols_l, out_l) = solutions(&q, &db, CandidateStrategy::LinearScan, &empty);
+        assert_eq!(sols_i, sols_l, "seed {seed}: solution sets differ for {q}");
+        assert_eq!(out_i, out_l, "seed {seed}: budget-less outcomes differ");
+
+        // first(): identical some-ness, answers drawn from the oracle set.
+        let first_i = HomProblem::new(&q.body, &db)
+            .with_strategy(CandidateStrategy::Indexed)
+            .first()
+            .unwrap();
+        let first_l = HomProblem::new(&q.body, &db)
+            .with_strategy(CandidateStrategy::LinearScan)
+            .first()
+            .unwrap();
+        assert_eq!(first_i.is_some(), first_l.is_some(), "seed {seed}: satisfiability differs");
+        if let Some(a) = &first_i {
+            let mut row: Vec<(Var, Atom)> = a.iter().map(|(&v, &x)| (v, x)).collect();
+            row.sort();
+            assert!(sols_l.contains(&row), "seed {seed}: indexed first() not in oracle set");
+        }
+    }
+}
+
+#[test]
+fn forbidden_sets_are_respected_identically() {
+    for seed in 200..280u64 {
+        let mut g = CqGen::new(seed, CqGenConfig::default());
+        let q = g.query();
+        let db = g.database(6, 4);
+        // Forbid a pseudo-random slice of the active domain for each of the
+        // first two body variables.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF0F0);
+        let dom: Vec<Atom> = {
+            let mut d: Vec<Atom> = db.active_domain().into_iter().collect();
+            d.sort();
+            d
+        };
+        let mut forbidden: std::collections::HashMap<Var, HashSet<Atom>> =
+            std::collections::HashMap::new();
+        for v in q.body_vars().into_iter().take(2) {
+            let picks: HashSet<Atom> = dom.iter().filter(|_| rng.gen_bool(0.4)).copied().collect();
+            forbidden.insert(v, picks);
+        }
+        let (sols_i, _) = solutions(&q, &db, CandidateStrategy::Indexed, &forbidden);
+        let (sols_l, _) = solutions(&q, &db, CandidateStrategy::LinearScan, &forbidden);
+        assert_eq!(sols_i, sols_l, "seed {seed}: forbidden sets change solutions for {q}");
+        // Forbidden values never appear in any reported solution.
+        for row in &sols_i {
+            for (v, a) in row {
+                assert!(
+                    !forbidden.get(v).is_some_and(|set| set.contains(a)),
+                    "seed {seed}: forbidden value leaked"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fixed_bindings_are_respected_identically() {
+    for seed in 300..360u64 {
+        let mut g = CqGen::new(seed, CqGenConfig::default());
+        let q = g.query();
+        let db = g.database(6, 4);
+        // Fix the first body variable to each domain value in turn.
+        let Some(&v) = q.body_vars().iter().next() else { continue };
+        let mut dom: Vec<Atom> = db.active_domain().into_iter().collect();
+        dom.sort();
+        for a in dom.into_iter().take(3) {
+            let mut fixed = Assignment::new();
+            fixed.insert(v, a);
+            let run = |s: CandidateStrategy| {
+                let mut out = Vec::new();
+                HomProblem::new(&q.body, &db).with_strategy(s).with_fixed(fixed.clone()).for_each(
+                    |m| {
+                        let mut row: Vec<(Var, Atom)> = m.iter().map(|(&v, &x)| (v, x)).collect();
+                        row.sort();
+                        out.push(row);
+                        ControlFlow::Continue(())
+                    },
+                );
+                out.sort();
+                out
+            };
+            assert_eq!(
+                run(CandidateStrategy::Indexed),
+                run(CandidateStrategy::LinearScan),
+                "seed {seed}: fixed binding {v}={a} diverges"
+            );
+        }
+    }
+}
+
+#[test]
+fn budget_semantics_agree_and_indexed_probes_no_more() {
+    for seed in 400..440u64 {
+        let config = CqGenConfig { atoms: 3, var_pool: 3, const_pct: 10, ..CqGenConfig::default() };
+        let mut g = CqGen::new(seed, config);
+        let q = g.query();
+        let db = g.database(10, 4);
+        let p_lin = probes_to_exhaust(&q, &db, CandidateStrategy::LinearScan);
+        let p_idx = probes_to_exhaust(&q, &db, CandidateStrategy::Indexed);
+        // MRV + index candidates only ever skip non-matching tuples the
+        // linear scan would have probed.
+        assert!(
+            p_idx <= p_lin,
+            "seed {seed}: indexed engine probed more ({p_idx} > {p_lin}) for {q}"
+        );
+        // A budget big enough for the linear scan is big enough for the
+        // indexed engine, with identical (exhausted) outcomes.
+        let run = |s, b| {
+            HomProblem::new(&q.body, &db)
+                .with_strategy(s)
+                .with_budget(b)
+                .for_each(|_| ControlFlow::Continue(()))
+        };
+        assert_eq!(run(CandidateStrategy::Indexed, p_lin), SearchOutcome::Exhausted);
+        assert_eq!(run(CandidateStrategy::LinearScan, p_lin), SearchOutcome::Exhausted);
+        // Both trip on a zero budget when any probing is needed at all.
+        if p_lin > 0 && p_idx > 0 {
+            assert_eq!(run(CandidateStrategy::Indexed, 0), SearchOutcome::BudgetExceeded);
+            assert_eq!(run(CandidateStrategy::LinearScan, 0), SearchOutcome::BudgetExceeded);
+        }
+    }
+}
+
+#[test]
+fn containment_agrees_across_strategies() {
+    // Whole-procedure differential: classical containment decided with the
+    // engine in each mode must agree verdict-for-verdict. The strategy is
+    // process-global, so this test keeps all flips inside one function.
+    let mut agree = 0usize;
+    for seed in 0..80u64 {
+        let mut g = CqGen::new(seed, CqGenConfig { atoms: 3, ..CqGenConfig::default() });
+        let q1 = g.query();
+        let q2 = g.query();
+        co_cq::hom::set_default_strategy(CandidateStrategy::LinearScan);
+        let base = co_cq::is_contained_in(&q1, &q2);
+        co_cq::hom::set_default_strategy(CandidateStrategy::Indexed);
+        let fast = co_cq::is_contained_in(&q1, &q2);
+        assert_eq!(base, fast, "seed {seed}: containment verdicts differ for {q1} vs {q2}");
+        agree += 1;
+    }
+    assert_eq!(agree, 80);
+}

@@ -124,34 +124,222 @@ impl Builder {
 ///   `sim`;
 /// * `sim(s, s')` for set nodes iff every child of `s` is in `sim` with some
 ///   child of `s'`.
-///
-/// Computed by fixpoint refinement from the full kind-compatible relation.
 pub fn simulates(g1: &ValueGraph, g2: &ValueGraph) -> bool {
     let sim = greatest_simulation(g1, g2);
     sim[g1.root()][g2.root()]
 }
 
-/// The full greatest-simulation matrix `sim[n1][n2]` between two graphs.
+/// The full greatest-simulation matrix `sim[n1][n2]` between two graphs
+/// (DESIGN.md §9).
+///
+/// Dispatches on graph shape:
+///
+/// * graphs whose node ids form a topological order (children strictly
+///   before parents — **always** true for [`ValueGraph::from_value`],
+///   whose hash-consing interns children first) are acyclic, so the
+///   simulation conditions are well-founded and a *single* bottom-up pass
+///   in ascending id order computes the exact greatest fixpoint — no
+///   counters, no queue, no convergence loop;
+/// * anything else falls back to the general
+///   [`greatest_simulation_worklist`] engine.
+///
+/// Both replace the naive sweep (kept as [`greatest_simulation_sweep`]),
+/// which re-scans every pair `O(sweeps)` times and needs a full extra
+/// sweep just to detect convergence.
 pub fn greatest_simulation(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<bool>> {
-    let n1 = g1.len();
-    let n2 = g2.len();
-    // Initialize optimistically with kind/label compatibility.
-    let mut sim: Vec<Vec<bool>> = Vec::with_capacity(n1);
-    for i in 0..n1 {
-        let mut row = vec![false; n2];
-        for (j, cell) in row.iter_mut().enumerate() {
-            *cell = match (g1.node(i), g2.node(j)) {
-                (Node::Atom(a), Node::Atom(b)) => a == b,
+    if is_topological(g1) && is_topological(g2) {
+        greatest_simulation_topological(g1, g2)
+    } else {
+        greatest_simulation_worklist(g1, g2)
+    }
+}
+
+/// Whether every edge points from a higher node id to a strictly lower one.
+///
+/// Hash consing interns children before parents, so graphs built by
+/// [`ValueGraph::from_value`] always satisfy this; the check guards the
+/// fast path against any future constructor that numbers nodes otherwise.
+fn is_topological(g: &ValueGraph) -> bool {
+    (0..g.len()).all(|p| match g.node(p) {
+        Node::Atom(_) => true,
+        Node::Record(fields) => fields.iter().all(|(_, c)| *c < p),
+        Node::Set(elems) => elems.iter().all(|&c| c < p),
+    })
+}
+
+/// Single bottom-up evaluation pass, exact when both graphs are
+/// topologically ordered: when pair `(i, j)` is evaluated, every child
+/// pair it depends on has strictly smaller first component and is already
+/// final, so each pair is decided once.
+fn greatest_simulation_topological(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<bool>> {
+    let mut sim = kind_compatible(g1, g2);
+    for i in 0..g1.len() {
+        for j in 0..g2.len() {
+            if !sim[i][j] {
+                continue;
+            }
+            let ok = match (g1.node(i), g2.node(j)) {
+                // Kind compatibility already checked atom equality and
+                // record label alignment.
+                (Node::Atom(_), Node::Atom(_)) => true,
                 (Node::Record(fa), Node::Record(fb)) => {
-                    fa.len() == fb.len()
-                        && fa.iter().zip(fb.iter()).all(|((la, _), (lb, _))| la == lb)
+                    fa.iter().zip(fb.iter()).all(|((_, ca), (_, cb))| sim[*ca][*cb])
                 }
-                (Node::Set(_), Node::Set(_)) => true,
+                (Node::Set(ea), Node::Set(eb)) => {
+                    ea.iter().all(|&ca| eb.iter().any(|&cb| sim[ca][cb]))
+                }
                 _ => false,
             };
+            if !ok {
+                sim[i][j] = false;
+            }
         }
-        sim.push(row);
     }
+    sim
+}
+
+/// The general-graph engine: a Henzinger–Henzinger–Kopke-style
+/// **worklist/counter** algorithm, correct on *any* node numbering
+/// (DESIGN.md §9).
+///
+/// Starting from the kind/label-compatible relation, a pair can only ever
+/// be turned *off*, and the only reason to re-examine a pair is that one of
+/// its child pairs was turned off. The worklist propagates exactly those
+/// events through reverse edges:
+///
+/// * a live **record** pair dies the moment an aligned child pair dies
+///   (its condition is a conjunction — no recheck needed);
+/// * a live **set** pair `(s, s')` keeps, per child `c` of `s`, a counter
+///   of the children of `s'` it can still be simulated by
+///   (`counter = |successors not yet known to be non-simulating|`); the
+///   pair dies when some counter hits zero.
+///
+/// Unlike the naive sweep, no pair is revisited unless a successor actually
+/// changed, bringing the cost from `O(sweeps · n1·n2·e)` down to
+/// `O(n1·n2 + e1·e2)`. The initial evaluation is against a *frozen* copy of
+/// the starting relation so that each later flip decrements each affected
+/// counter exactly once (evaluating against the live relation while also
+/// queueing the flips would double-decrement).
+pub fn greatest_simulation_worklist(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<bool>> {
+    let n1 = g1.len();
+    let n2 = g2.len();
+    let mut sim = kind_compatible(g1, g2);
+
+    // Reverse edges: parents of each node (a record child may repeat under
+    // several labels; set children are distinct by construction).
+    let parents1 = parent_lists(g1);
+    let parents2 = parent_lists(g2);
+
+    // Set-pair counters, allocated only for live set pairs:
+    // counters[key(s, s')][k] = number of children of s' that the k-th
+    // child of s is still (as far as we know) simulated by.
+    let sets1: Vec<NodeId> = (0..n1).filter(|&i| matches!(g1.node(i), Node::Set(_))).collect();
+    let sets2: Vec<NodeId> = (0..n2).filter(|&j| matches!(g2.node(j), Node::Set(_))).collect();
+    let set_slot1: Vec<Option<usize>> = slot_map(n1, &sets1);
+    let set_slot2: Vec<Option<usize>> = slot_map(n2, &sets2);
+    let slot = |i: NodeId, j: NodeId| -> Option<usize> {
+        Some(set_slot1[i]? * sets2.len() + set_slot2[j]?)
+    };
+    // All counters live in one flat buffer (a per-pair `Vec<Vec<u32>>` costs
+    // one heap allocation per set pair, which dominates the whole solve on
+    // chain-shaped graphs). Pair slot (s, s') owns the `|children(s)|`-long
+    // slice starting at `base[slot]`; the slice length depends only on `s`,
+    // so bases stride uniformly within a row of set pairs.
+    let member_count = |i: NodeId| match g1.node(sets1[i / sets2.len().max(1)]) {
+        Node::Set(elems) => elems.len(),
+        _ => unreachable!("sets1 holds set nodes only"),
+    };
+    let mut base: Vec<u32> = Vec::with_capacity(sets1.len() * sets2.len());
+    let mut total = 0u32;
+    for s in 0..sets1.len() * sets2.len() {
+        base.push(total);
+        total += member_count(s) as u32;
+    }
+    let mut counters: Vec<u32> = vec![0; total as usize];
+
+    // Initial evaluation against the *frozen* initial relation: every pair
+    // whose local condition already fails is turned off and queued; set
+    // counters are seeded from the same frozen relation, so each later
+    // flip decrements them exactly once.
+    let init = sim.clone();
+    let mut queue: Vec<(NodeId, NodeId)> = Vec::new();
+    for i in 0..n1 {
+        for j in 0..n2 {
+            if !init[i][j] {
+                continue;
+            }
+            match (g1.node(i), g2.node(j)) {
+                (Node::Record(fa), Node::Record(fb))
+                    if !fa.iter().zip(fb.iter()).all(|((_, ca), (_, cb))| init[*ca][*cb]) =>
+                {
+                    sim[i][j] = false;
+                    queue.push((i, j));
+                }
+                (Node::Set(ea), Node::Set(eb)) => {
+                    let b = base[slot(i, j).expect("set pair has a slot")] as usize;
+                    let mut dead = false;
+                    for (k, &ca) in ea.iter().enumerate() {
+                        let c = eb.iter().filter(|&&cb| init[ca][cb]).count() as u32;
+                        counters[b + k] = c;
+                        dead |= c == 0;
+                    }
+                    if dead {
+                        sim[i][j] = false;
+                        queue.push((i, j));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Propagate deaths through reverse edges until quiescence.
+    while let Some((a, b)) = queue.pop() {
+        for &p1 in &parents1[a] {
+            for &p2 in &parents2[b] {
+                if !sim[p1][p2] {
+                    continue;
+                }
+                match (g1.node(p1), g2.node(p2)) {
+                    // A record pair dies iff (a, b) sit under the same
+                    // position.
+                    (Node::Record(fa), Node::Record(fb))
+                        if fa
+                            .iter()
+                            .zip(fb.iter())
+                            .any(|((_, ca), (_, cb))| *ca == a && *cb == b) =>
+                    {
+                        sim[p1][p2] = false;
+                        queue.push((p1, p2));
+                    }
+                    (Node::Set(ea), Node::Set(_)) => {
+                        let b = base[slot(p1, p2).expect("set pair has a slot")] as usize;
+                        // Set children are deduplicated, so `a` occurs once.
+                        let k = ea.iter().position(|&c| c == a).expect("a is a child of p1");
+                        let cnt = &mut counters[b + k];
+                        *cnt -= 1;
+                        if *cnt == 0 {
+                            sim[p1][p2] = false;
+                            queue.push((p1, p2));
+                        }
+                    }
+                    // Kind-incompatible parents were never live.
+                    _ => {}
+                }
+            }
+        }
+    }
+    sim
+}
+
+/// The naive sweep-until-stable fixpoint, retained verbatim as the
+/// reference oracle for differential tests and the `co-bench perf`
+/// baseline. Agrees with [`greatest_simulation`] on every input (the
+/// greatest fixpoint is unique).
+pub fn greatest_simulation_sweep(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<bool>> {
+    let n1 = g1.len();
+    let n2 = g2.len();
+    let mut sim = kind_compatible(g1, g2);
     // Refine until stable. Each sweep can only turn entries off, so the
     // loop terminates after at most n1*n2 sweeps; in practice a few.
     let mut changed = true;
@@ -180,6 +368,62 @@ pub fn greatest_simulation(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<bool>> {
         }
     }
     sim
+}
+
+/// The kind/label-compatible initial relation both algorithms start from.
+fn kind_compatible(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<bool>> {
+    let n1 = g1.len();
+    let n2 = g2.len();
+    let mut sim: Vec<Vec<bool>> = Vec::with_capacity(n1);
+    for i in 0..n1 {
+        let mut row = vec![false; n2];
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = match (g1.node(i), g2.node(j)) {
+                (Node::Atom(a), Node::Atom(b)) => a == b,
+                (Node::Record(fa), Node::Record(fb)) => {
+                    fa.len() == fb.len()
+                        && fa.iter().zip(fb.iter()).all(|((la, _), (lb, _))| la == lb)
+                }
+                (Node::Set(_), Node::Set(_)) => true,
+                _ => false,
+            };
+        }
+        sim.push(row);
+    }
+    sim
+}
+
+/// Deduplicated parent list per node (reverse edges).
+fn parent_lists(g: &ValueGraph) -> Vec<Vec<NodeId>> {
+    let mut parents: Vec<Vec<NodeId>> = vec![Vec::new(); g.len()];
+    for p in 0..g.len() {
+        match g.node(p) {
+            Node::Atom(_) => {}
+            Node::Record(fields) => {
+                for (_, c) in fields {
+                    parents[*c].push(p);
+                }
+            }
+            Node::Set(elems) => {
+                for &c in elems {
+                    parents[c].push(p);
+                }
+            }
+        }
+    }
+    for list in &mut parents {
+        list.dedup(); // children were pushed in ascending parent order
+    }
+    parents
+}
+
+/// Maps node ids to their position in `members`, `None` for non-members.
+fn slot_map(n: usize, members: &[NodeId]) -> Vec<Option<usize>> {
+    let mut slots = vec![None; n];
+    for (k, &id) in members.iter().enumerate() {
+        slots[id] = Some(k);
+    }
+    slots
 }
 
 /// Decides `a ⊑ b` by building graphs and checking simulation.

@@ -36,7 +36,10 @@ pub mod ty;
 pub mod value;
 
 pub use atom::{Atom, Field};
-pub use graph::{greatest_simulation, hoare_leq_graph, simulates, ValueGraph};
+pub use graph::{
+    greatest_simulation, greatest_simulation_sweep, greatest_simulation_worklist, hoare_leq_graph,
+    simulates, ValueGraph,
+};
 pub use order::{hoare_equiv, hoare_join, hoare_leq, hoare_meet, hoare_reduce};
 pub use parse::{parse_value, ParseError};
 pub use ty::{check_type, type_of, IllTyped, Type};

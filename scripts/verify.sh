@@ -20,4 +20,10 @@ run cargo build --release
 run cargo test -q
 # The full workspace: every crate's unit + integration tests.
 run cargo test --workspace -q
+# Decision-kernel perf harness (DESIGN.md §9): smoke-run it, validate the
+# smoke report, and strict-check the committed baseline (≥5× floors +
+# 100% verdict agreement).
+run cargo run -p co-bench --release --bin co-bench -- perf --quick --out target/bench-smoke.json
+run cargo run -p co-bench --release --bin co-bench -- check target/bench-smoke.json
+run cargo run -p co-bench --release --bin co-bench -- check BENCH_PR2.json --strict
 echo "==> verify OK"
