@@ -43,7 +43,7 @@ use co_lang::{
     empty_set_status, normalize, type_check, CoDatabase, CoqlSchema, EmptySetStatus, Expr,
 };
 use co_object::{hoare_leq, Type};
-use co_sim::tree::{tree_contained_in_with, ContainOptions, QueryTree};
+use co_sim::tree::{try_tree_contained_in_with, ContainOptions, QueryTree};
 
 /// Which decision path answered a containment query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,6 +93,11 @@ pub enum CoreError {
     Normalize(String),
     /// Flattening failed.
     Flatten(String),
+    /// The decision was interrupted by a thread-local
+    /// [`co_object::interrupt`] budget (deadline or step limit) installed
+    /// by a serving layer. No verdict was reached; the partial result must
+    /// not be cached.
+    Interrupted,
 }
 
 impl fmt::Display for CoreError {
@@ -104,6 +109,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Normalize(m) => write!(f, "{m}"),
             CoreError::Flatten(m) => write!(f, "{m}"),
+            CoreError::Interrupted => {
+                write!(f, "decision interrupted: deadline or step budget exhausted")
+            }
         }
     }
 }
@@ -193,7 +201,8 @@ pub fn contained_prepared(p1: &Prepared, p2: &Prepared) -> Result<ContainmentAna
     // Flat results never nest sets, so the no-empty-set options are exact
     // for them too; both fast paths collapse to the same call.
     let opts = ContainOptions { no_empty_sets: flat || no_empty, extra_witnesses: 0 };
-    let holds = tree_contained_in_with(&p1.tree, &p2.tree, opts);
+    let holds =
+        try_tree_contained_in_with(&p1.tree, &p2.tree, opts).map_err(|_| CoreError::Interrupted)?;
     Ok(ContainmentAnalysis { holds, path, depth, set_nodes: (p1.set_nodes, p2.set_nodes) })
 }
 

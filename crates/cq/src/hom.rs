@@ -39,7 +39,7 @@ use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
-use co_object::Atom;
+use co_object::{interrupt, Atom};
 
 use crate::db::{Database, PatternIndex, PositionMask, Relation, Tuple};
 use crate::query::{QueryAtom, Term};
@@ -57,6 +57,12 @@ pub enum SearchOutcome {
     Stopped,
     /// The step budget ran out before the search finished.
     BudgetExceeded,
+    /// The thread-local [`co_object::interrupt`] budget (deadline or step
+    /// count installed by a serving layer) expired mid-search. Unlike
+    /// [`SearchOutcome::BudgetExceeded`] this is sticky for the whole
+    /// request: every subsequent probe on the thread fails too, so callers
+    /// must abandon the decision rather than retry.
+    Interrupted,
 }
 
 /// How the engine generates candidate tuples for an atom.
@@ -146,8 +152,8 @@ impl<'a> HomProblem<'a> {
 
     /// Finds the first solution, if any.
     ///
-    /// Returns `Err(BudgetExceeded)` only when the budget ran out *before*
-    /// a solution was found.
+    /// Returns `Err(BudgetExceeded)`/`Err(Interrupted)` only when the
+    /// budget ran out *before* a solution was found.
     pub fn first(self) -> Result<Option<Assignment>, SearchOutcome> {
         let mut found = None;
         let outcome = self.for_each(|a| {
@@ -156,7 +162,7 @@ impl<'a> HomProblem<'a> {
         });
         match (found, outcome) {
             (Some(a), _) => Ok(Some(a)),
-            (None, SearchOutcome::BudgetExceeded) => Err(SearchOutcome::BudgetExceeded),
+            (None, out @ (SearchOutcome::BudgetExceeded | SearchOutcome::Interrupted)) => Err(out),
             (None, _) => Ok(None),
         }
     }
@@ -364,6 +370,9 @@ impl IndexedSearch<'_, '_> {
                     }
                     *budget -= 1;
                 }
+                if interrupt::probe().is_err() {
+                    return Err(SearchOutcome::Interrupted);
+                }
                 if let Some(newly) = try_bind(&mut this.binding, this.forbidden, atom, tuple) {
                     let outcome = this.run();
                     for v in newly {
@@ -431,6 +440,9 @@ impl LinearSearch<'_, '_> {
                     return SearchOutcome::BudgetExceeded;
                 }
                 *budget -= 1;
+            }
+            if interrupt::probe().is_err() {
+                return SearchOutcome::Interrupted;
             }
             if let Some(newly_bound) = try_bind(&mut self.binding, self.forbidden, atom, tuple) {
                 let outcome = self.run(depth + 1);
@@ -620,6 +632,29 @@ mod tests {
                 .with_budget(10)
                 .for_each(|_| ControlFlow::Continue(()));
             assert_eq!(outcome, SearchOutcome::BudgetExceeded);
+        });
+    }
+
+    #[test]
+    fn interrupt_budget_stops_both_engines() {
+        let tuples: Vec<Vec<i64>> = (0..50).map(|i| vec![i]).collect();
+        let refs: Vec<&[i64]> = tuples.iter().map(|t| t.as_slice()).collect();
+        let db = Database::from_ints(&[("R", &refs)]);
+        let atoms = vec![
+            QueryAtom::new("R", vec![v("a")]),
+            QueryAtom::new("R", vec![v("b")]),
+            QueryAtom::new("R", vec![v("c")]),
+        ];
+        both(|s| {
+            let _guard = interrupt::install(interrupt::Budget { deadline: None, steps: Some(10) });
+            let outcome = HomProblem::new(&atoms, &db)
+                .with_strategy(s)
+                .for_each(|_| ControlFlow::Continue(()));
+            assert_eq!(outcome, SearchOutcome::Interrupted);
+            assert!(matches!(
+                HomProblem::new(&atoms, &db).with_strategy(s).first(),
+                Err(SearchOutcome::Interrupted)
+            ));
         });
     }
 

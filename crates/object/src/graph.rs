@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 
 use crate::atom::{Atom, Field};
+use crate::interrupt::{self, Interrupted};
 use crate::value::Value;
 
 /// Identifier of a node inside a [`ValueGraph`].
@@ -129,6 +130,14 @@ pub fn simulates(g1: &ValueGraph, g2: &ValueGraph) -> bool {
     sim[g1.root()][g2.root()]
 }
 
+/// Cancellable variant of [`simulates`]: polls the thread-local
+/// [`crate::interrupt`] budget and aborts with [`Interrupted`] when it
+/// expires. Identical to [`simulates`] when no budget is installed.
+pub fn try_simulates(g1: &ValueGraph, g2: &ValueGraph) -> Result<bool, Interrupted> {
+    let sim = try_greatest_simulation(g1, g2)?;
+    Ok(sim[g1.root()][g2.root()])
+}
+
 /// The full greatest-simulation matrix `sim[n1][n2]` between two graphs
 /// (DESIGN.md §9).
 ///
@@ -147,10 +156,27 @@ pub fn simulates(g1: &ValueGraph, g2: &ValueGraph) -> bool {
 /// which re-scans every pair `O(sweeps)` times and needs a full extra
 /// sweep just to detect convergence.
 pub fn greatest_simulation(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<bool>> {
-    if is_topological(g1) && is_topological(g2) {
-        greatest_simulation_topological(g1, g2)
+    let matrix = if is_topological(g1) && is_topological(g2) {
+        topological_impl(g1, g2, false)
     } else {
-        greatest_simulation_worklist(g1, g2)
+        worklist_impl(g1, g2, false)
+    };
+    matrix.expect("uncancellable simulation cannot be interrupted")
+}
+
+/// Cancellable variant of [`greatest_simulation`]: polls the thread-local
+/// [`crate::interrupt`] budget once per node row (topological pass) or per
+/// worklist pop (general engine) and aborts with [`Interrupted`] when it
+/// expires. Identical to [`greatest_simulation`] when no budget is
+/// installed.
+pub fn try_greatest_simulation(
+    g1: &ValueGraph,
+    g2: &ValueGraph,
+) -> Result<Vec<Vec<bool>>, Interrupted> {
+    if is_topological(g1) && is_topological(g2) {
+        topological_impl(g1, g2, true)
+    } else {
+        worklist_impl(g1, g2, true)
     }
 }
 
@@ -171,9 +197,16 @@ fn is_topological(g: &ValueGraph) -> bool {
 /// topologically ordered: when pair `(i, j)` is evaluated, every child
 /// pair it depends on has strictly smaller first component and is already
 /// final, so each pair is decided once.
-fn greatest_simulation_topological(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<bool>> {
+fn topological_impl(
+    g1: &ValueGraph,
+    g2: &ValueGraph,
+    cancellable: bool,
+) -> Result<Vec<Vec<bool>>, Interrupted> {
     let mut sim = kind_compatible(g1, g2);
     for i in 0..g1.len() {
+        if cancellable {
+            interrupt::probe()?;
+        }
         for j in 0..g2.len() {
             if !sim[i][j] {
                 continue;
@@ -195,7 +228,7 @@ fn greatest_simulation_topological(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<
             }
         }
     }
-    sim
+    Ok(sim)
 }
 
 /// The general-graph engine: a Henzinger–Henzinger–Kopke-style
@@ -221,6 +254,14 @@ fn greatest_simulation_topological(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<
 /// counter exactly once (evaluating against the live relation while also
 /// queueing the flips would double-decrement).
 pub fn greatest_simulation_worklist(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<bool>> {
+    worklist_impl(g1, g2, false).expect("uncancellable simulation cannot be interrupted")
+}
+
+fn worklist_impl(
+    g1: &ValueGraph,
+    g2: &ValueGraph,
+    cancellable: bool,
+) -> Result<Vec<Vec<bool>>, Interrupted> {
     let n1 = g1.len();
     let n2 = g2.len();
     let mut sim = kind_compatible(g1, g2);
@@ -264,6 +305,9 @@ pub fn greatest_simulation_worklist(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec
     let init = sim.clone();
     let mut queue: Vec<(NodeId, NodeId)> = Vec::new();
     for i in 0..n1 {
+        if cancellable {
+            interrupt::probe()?;
+        }
         for j in 0..n2 {
             if !init[i][j] {
                 continue;
@@ -293,8 +337,12 @@ pub fn greatest_simulation_worklist(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec
         }
     }
 
-    // Propagate deaths through reverse edges until quiescence.
+    // Propagate deaths through reverse edges until quiescence. The pop is
+    // the unit of work the cooperative-cancellation budget counts.
     while let Some((a, b)) = queue.pop() {
+        if cancellable {
+            interrupt::probe()?;
+        }
         for &p1 in &parents1[a] {
             for &p2 in &parents2[b] {
                 if !sim[p1][p2] {
@@ -329,7 +377,7 @@ pub fn greatest_simulation_worklist(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec
             }
         }
     }
-    sim
+    Ok(sim)
 }
 
 /// The naive sweep-until-stable fixpoint, retained verbatim as the
@@ -483,6 +531,21 @@ mod tests {
             assert_eq!(hoare_leq_graph(&a, &b), hoare_leq(&a, &b), "a={a} b={b}");
             assert_eq!(hoare_leq_graph(&b, &a), hoare_leq(&b, &a), "b={b} a={a}");
         }
+    }
+
+    #[test]
+    fn try_variants_agree_and_honor_budgets() {
+        let a = set(vec![set(vec![Value::int(1)]), set(vec![Value::int(1), Value::int(2)])]);
+        let b = set(vec![set(vec![Value::int(1), Value::int(2)])]);
+        let ga = ValueGraph::from_value(&a);
+        let gb = ValueGraph::from_value(&b);
+        // No budget installed: identical to the plain variant.
+        assert_eq!(try_simulates(&ga, &gb), Ok(simulates(&ga, &gb)));
+        assert_eq!(try_greatest_simulation(&ga, &gb), Ok(greatest_simulation(&ga, &gb)));
+        // An exhausted budget interrupts the cancellable variant only.
+        let _guard = interrupt::install(interrupt::Budget { deadline: None, steps: Some(0) });
+        assert_eq!(try_simulates(&ga, &gb), Err(Interrupted));
+        assert!(simulates(&ga, &gb));
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Cooperative interruption: thread-local wall-clock deadlines and step
+//! budgets for the decision kernels.
+//!
+//! Containment is worst-case exponential (PAPER §4, Thm 4.1), so a serving
+//! layer needs a way to abandon a decision that has outlived its request.
+//! Threads are not cancellable in safe Rust; instead the kernels poll a
+//! thread-local [`Budget`] at their inner-loop sites (homomorphism probes,
+//! simulation worklist pops, emptiness-pattern enumeration) via [`probe`],
+//! and unwind a structured [`Interrupted`] error when the budget is spent.
+//!
+//! The fast path is deliberately cheap: with no budget installed, [`probe`]
+//! is a single thread-local `Cell` load. With one installed, a step counter
+//! is decremented per call and the wall clock is consulted only every
+//! [`RECHECK_EVERY`] probes, so `Instant::now` stays off the hot path.
+//!
+//! Expiry is *sticky*: once a budget trips, every subsequent [`probe`] on
+//! the thread fails until the [`BudgetGuard`] is dropped, so a kernel that
+//! swallows one `Interrupted` cannot accidentally keep running.
+
+use std::cell::Cell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+/// The installed budget (deadline or step count) was exhausted.
+///
+/// Kernels propagate this out of their recursions; callers map it onto a
+/// domain error (`CoreError::Interrupted`, `Decision::TimedOut`, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interrupted;
+
+impl fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("decision interrupted: deadline or step budget exhausted")
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+/// Limits to impose on kernel work run on the current thread.
+///
+/// Both limits are optional and combine: the budget trips on whichever is
+/// exhausted first. A default `Budget` imposes nothing (but still pays the
+/// per-probe step accounting while installed).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Absolute wall-clock instant after which [`probe`] fails.
+    pub deadline: Option<Instant>,
+    /// Number of [`probe`] calls allowed before failure. One probe
+    /// corresponds to one unit of kernel work (a candidate homomorphism
+    /// probe, a worklist pop, an emptiness pattern).
+    pub steps: Option<u64>,
+}
+
+/// How many probes may pass between wall-clock re-checks.
+const RECHECK_EVERY: u32 = 64;
+
+/// Sentinel for "no step limit" in the thread-local counter.
+const UNLIMITED: u64 = u64::MAX;
+
+struct State {
+    active: Cell<bool>,
+    expired: Cell<bool>,
+    steps_left: Cell<u64>,
+    deadline: Cell<Option<Instant>>,
+    countdown: Cell<u32>,
+}
+
+thread_local! {
+    static STATE: State = const {
+        State {
+            active: Cell::new(false),
+            expired: Cell::new(false),
+            steps_left: Cell::new(UNLIMITED),
+            deadline: Cell::new(None),
+            countdown: Cell::new(RECHECK_EVERY),
+        }
+    };
+}
+
+/// RAII installation of a [`Budget`] on the current thread.
+///
+/// Dropping the guard restores whatever budget (or absence of one) was
+/// installed before, so guards nest correctly. The guard is `!Send`: it
+/// must be dropped on the thread that created it.
+#[must_use = "the budget is uninstalled when the guard drops"]
+pub struct BudgetGuard {
+    prev_active: bool,
+    prev_expired: bool,
+    prev_steps_left: u64,
+    prev_deadline: Option<Instant>,
+    prev_countdown: u32,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        STATE.with(|s| {
+            s.active.set(self.prev_active);
+            s.expired.set(self.prev_expired);
+            s.steps_left.set(self.prev_steps_left);
+            s.deadline.set(self.prev_deadline);
+            s.countdown.set(self.prev_countdown);
+        });
+    }
+}
+
+/// Installs `budget` on the current thread until the returned guard drops.
+pub fn install(budget: Budget) -> BudgetGuard {
+    STATE.with(|s| {
+        let guard = BudgetGuard {
+            prev_active: s.active.get(),
+            prev_expired: s.expired.get(),
+            prev_steps_left: s.steps_left.get(),
+            prev_deadline: s.deadline.get(),
+            prev_countdown: s.countdown.get(),
+            _not_send: PhantomData,
+        };
+        s.active.set(true);
+        s.expired.set(false);
+        s.steps_left.set(budget.steps.unwrap_or(UNLIMITED));
+        s.deadline.set(budget.deadline);
+        s.countdown.set(RECHECK_EVERY);
+        guard
+    })
+}
+
+/// Whether a budget is currently installed on this thread.
+pub fn active() -> bool {
+    STATE.with(|s| s.active.get())
+}
+
+/// Accounts one unit of kernel work against the installed budget.
+///
+/// Returns `Err(Interrupted)` once the step budget is spent or the deadline
+/// has passed (checked every [`RECHECK_EVERY`] probes). With no budget
+/// installed this is a cheap no-op that always succeeds.
+#[inline]
+pub fn probe() -> Result<(), Interrupted> {
+    STATE.with(|s| {
+        if !s.active.get() {
+            return Ok(());
+        }
+        if s.expired.get() {
+            return Err(Interrupted);
+        }
+        let steps = s.steps_left.get();
+        if steps == 0 {
+            s.expired.set(true);
+            return Err(Interrupted);
+        }
+        if steps != UNLIMITED {
+            s.steps_left.set(steps - 1);
+        }
+        let countdown = s.countdown.get();
+        if countdown > 1 {
+            s.countdown.set(countdown - 1);
+            return Ok(());
+        }
+        s.countdown.set(RECHECK_EVERY);
+        if let Some(deadline) = s.deadline.get() {
+            if Instant::now() >= deadline {
+                s.expired.set(true);
+                return Err(Interrupted);
+            }
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn probe_is_a_no_op_without_a_budget() {
+        assert!(!active());
+        for _ in 0..1000 {
+            assert_eq!(probe(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn step_budget_trips_after_exactly_n_probes() {
+        let guard = install(Budget { deadline: None, steps: Some(3) });
+        assert!(active());
+        assert_eq!(probe(), Ok(()));
+        assert_eq!(probe(), Ok(()));
+        assert_eq!(probe(), Ok(()));
+        assert_eq!(probe(), Err(Interrupted));
+        // Sticky: stays expired.
+        assert_eq!(probe(), Err(Interrupted));
+        drop(guard);
+        assert!(!active());
+        assert_eq!(probe(), Ok(()));
+    }
+
+    #[test]
+    fn deadline_trips_within_the_recheck_window() {
+        let _guard = install(Budget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            steps: None,
+        });
+        // The deadline is already past; it must be noticed within one
+        // re-check window of probes.
+        let tripped = (0..2 * RECHECK_EVERY).any(|_| probe().is_err());
+        assert!(tripped);
+    }
+
+    #[test]
+    fn guards_nest_and_restore() {
+        let outer = install(Budget { deadline: None, steps: Some(1_000) });
+        assert_eq!(probe(), Ok(()));
+        {
+            let _inner = install(Budget { deadline: None, steps: Some(1) });
+            assert_eq!(probe(), Ok(()));
+            assert_eq!(probe(), Err(Interrupted));
+        }
+        // Outer budget is live again and unexpired.
+        assert_eq!(probe(), Ok(()));
+        drop(outer);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let _guard = install(Budget {
+            deadline: Some(Instant::now() + Duration::from_secs(60)),
+            steps: None,
+        });
+        for _ in 0..1000 {
+            assert_eq!(probe(), Ok(()));
+        }
+    }
+}

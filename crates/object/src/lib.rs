@@ -30,6 +30,7 @@
 pub mod atom;
 pub mod generate;
 pub mod graph;
+pub mod interrupt;
 pub mod order;
 pub mod parse;
 pub mod ty;
@@ -38,8 +39,9 @@ pub mod value;
 pub use atom::{Atom, Field};
 pub use graph::{
     greatest_simulation, greatest_simulation_sweep, greatest_simulation_worklist, hoare_leq_graph,
-    simulates, ValueGraph,
+    simulates, try_greatest_simulation, try_simulates, ValueGraph,
 };
+pub use interrupt::Interrupted;
 pub use order::{hoare_equiv, hoare_join, hoare_leq, hoare_meet, hoare_reduce};
 pub use parse::{parse_value, ParseError};
 pub use ty::{check_type, type_of, IllTyped, Type};

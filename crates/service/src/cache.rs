@@ -196,7 +196,7 @@ impl MemoCache {
     pub fn get(&self, key: &CacheKey) -> Option<ContainmentAnalysis> {
         // The LRU list moves on every hit, so even lookups take the write
         // lock; sharding keeps the critical section per-key-group.
-        let found = self.shard(key).write().unwrap().get(key);
+        let found = crate::sync::write(self.shard(key)).get(key);
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -211,7 +211,7 @@ impl MemoCache {
 
     /// Stores a verdict (refreshing recency if the key is already present).
     pub fn insert(&self, key: CacheKey, value: ContainmentAnalysis) {
-        let evicted = self.shard(&key).write().unwrap().insert(key, value);
+        let evicted = crate::sync::write(self.shard(&key)).insert(key, value);
         if evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -222,7 +222,7 @@ impl MemoCache {
         let mut entries = 0;
         let mut capacity = 0;
         for s in &self.shards {
-            let s = s.read().unwrap();
+            let s = crate::sync::read(s);
             entries += s.map.len();
             capacity += s.capacity;
         }
@@ -239,7 +239,7 @@ impl MemoCache {
     /// Live entry count per shard (distribution introspection for tests
     /// and the `STATS` command).
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.read().unwrap().map.len()).collect()
+        self.shards.iter().map(|s| crate::sync::read(s).map.len()).collect()
     }
 }
 

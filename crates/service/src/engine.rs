@@ -11,18 +11,23 @@
 //! misses, which a duplicate-heavy workload makes rare.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use co_core::{ContainmentAnalysis, Equivalence, Prepared};
+use co_core::{ContainmentAnalysis, CoreError, Equivalence, Prepared};
 use co_cq::Schema;
 use co_lang::{CoqlSchema, EmptySetStatus};
+use co_object::interrupt;
 
 use crate::cache::{CacheKey, CacheStats, MemoCache};
+use crate::deadline::{Deadline, RequestBudget};
+use crate::faults;
 use crate::fingerprint::{fingerprint_query, fingerprint_schema, Fingerprint};
 use crate::stats::{path_index, EngineStats};
+use crate::sync;
 
 /// Engine sizing knobs.
 #[derive(Clone, Copy, Debug)]
@@ -62,6 +67,27 @@ pub struct Request {
     pub q1: String,
     /// COQL source of the right query.
     pub q2: String,
+    /// Deadline/step limits for this request (none by default).
+    pub budget: RequestBudget,
+}
+
+impl Request {
+    /// A request with no budget limits.
+    pub fn new(op: Op, schema: &str, q1: &str, q2: &str) -> Request {
+        Request {
+            op,
+            schema: schema.to_string(),
+            q1: q1.to_string(),
+            q2: q2.to_string(),
+            budget: RequestBudget::default(),
+        }
+    }
+
+    /// Sets the request budget.
+    pub fn with_budget(mut self, budget: RequestBudget) -> Request {
+        self.budget = budget;
+        self
+    }
 }
 
 /// A successful decision.
@@ -95,6 +121,17 @@ pub enum Decision {
         /// Canonical fingerprint of `q2`.
         fp2: Fingerprint,
     },
+    /// The request's deadline or step budget expired before a verdict was
+    /// reached. Nothing was memoized; retrying with a larger budget
+    /// computes the true verdict.
+    TimedOut {
+        /// Canonical fingerprint of `q1`.
+        fp1: Fingerprint,
+        /// Canonical fingerprint of `q2`.
+        fp2: Fingerprint,
+        /// Time spent before giving up.
+        elapsed: Duration,
+    },
 }
 
 struct SchemaEntry {
@@ -103,11 +140,59 @@ struct SchemaEntry {
     fp: Fingerprint,
 }
 
+/// What one containment direction produced: a real analysis or a timeout.
+/// (Timeouts propagate to coalesced waiters but are never cached.)
+#[derive(Clone)]
+enum Computed {
+    Done(ContainmentAnalysis),
+    TimedOut,
+}
+
+type SlotResult = Result<Computed, String>;
+
 /// Slot a computing thread publishes its result into; concurrent
 /// requesters of the same key block on the condvar instead of recomputing.
 struct InFlightSlot {
-    result: Mutex<Option<Result<ContainmentAnalysis, String>>>,
+    result: Mutex<Option<SlotResult>>,
     ready: Condvar,
+}
+
+/// RAII custody of an in-flight slot by its computing leader. If the
+/// leader unwinds before publishing (a panic that escapes even
+/// `catch_unwind`'s result handling), the drop publishes an error so
+/// coalesced waiters are released instead of blocking forever, and removes
+/// the slot from the in-flight map so later requests recompute.
+struct SlotGuard<'a> {
+    engine: &'a Engine,
+    key: CacheKey,
+    slot: &'a Arc<InFlightSlot>,
+    published: bool,
+}
+
+impl SlotGuard<'_> {
+    fn publish(&mut self, result: SlotResult) {
+        *sync::lock(&self.slot.result) = Some(result);
+        self.slot.ready.notify_all();
+        sync::lock(&self.engine.inflight).remove(&self.key);
+        self.published = true;
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.publish(Err("internal error: decision worker died before publishing".into()));
+        }
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
 }
 
 /// The containment-decision engine. Cheap to share: wrap it in an [`Arc`]
@@ -140,19 +225,17 @@ impl Engine {
         let fp = fingerprint_schema(&schema);
         let entry =
             Arc::new(SchemaEntry { coql: CoqlSchema::from_flat(&schema), flat: schema, fp });
-        self.schemas.write().unwrap().insert(name.to_string(), entry);
+        sync::write(&self.schemas).insert(name.to_string(), entry);
         fp
     }
 
     /// Number of registered schemas.
     pub fn schema_count(&self) -> usize {
-        self.schemas.read().unwrap().len()
+        sync::read(&self.schemas).len()
     }
 
     fn resolve_schema(&self, name: &str) -> Result<Arc<SchemaEntry>, String> {
-        self.schemas
-            .read()
-            .unwrap()
+        sync::read(&self.schemas)
             .get(name)
             .cloned()
             .ok_or_else(|| format!("unknown schema `{name}` (register it with SCHEMA first)"))
@@ -171,11 +254,11 @@ impl Engine {
         let nf = co_lang::normalize(&expr, &entry.coql).map_err(|e| e.to_string())?;
         let fp = fingerprint_query(&nf);
         let pkey = (entry.fp, fp);
-        if let Some(p) = self.prepared.read().unwrap().get(&pkey) {
+        if let Some(p) = sync::read(&self.prepared).get(&pkey) {
             return Ok((fp, Arc::clone(p)));
         }
         let prepared = Arc::new(co_core::prepare(&expr, &entry.flat).map_err(|e| e.to_string())?);
-        let mut map = self.prepared.write().unwrap();
+        let mut map = sync::write(&self.prepared);
         // A racing thread may have inserted an equivalent Prepared; keep
         // the first so every holder shares one allocation.
         let p = map.entry(pkey).or_insert(prepared);
@@ -193,66 +276,130 @@ impl Engine {
     }
 
     /// One direction of containment through cache + in-flight coalescing.
-    /// Returns the analysis and whether it was served without computing.
+    /// Returns what was produced and whether it was served without
+    /// computing.
+    ///
+    /// The kernel runs under the request's interrupt budget and inside a
+    /// panic-isolation boundary: an expired budget yields
+    /// `Computed::TimedOut` (counted, never cached), a panic yields a
+    /// structured error (counted, slot completed) — neither can strand
+    /// coalesced waiters or poison shared state.
     fn contained(
         &self,
         key: CacheKey,
         p1: &Prepared,
         p2: &Prepared,
-    ) -> Result<(ContainmentAnalysis, bool), String> {
+        budget: &RequestBudget,
+        deadline: Option<Deadline>,
+    ) -> Result<(Computed, bool), String> {
         if let Some(hit) = self.cache.get(&key) {
-            return Ok((hit, true));
+            return Ok((Computed::Done(hit), true));
         }
         let slot = {
-            let mut inflight = self.inflight.lock().unwrap();
+            let mut inflight = sync::lock(&self.inflight);
             if let Some(slot) = inflight.get(&key) {
                 let slot = Arc::clone(slot);
                 drop(inflight);
-                let mut result = slot.result.lock().unwrap();
-                while result.is_none() {
-                    result = slot.ready.wait(result).unwrap();
-                }
-                self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
-                return result.clone().unwrap().map(|a| (a, true));
+                return self.wait_for_leader(&slot, deadline);
             }
             let slot = Arc::new(InFlightSlot { result: Mutex::new(None), ready: Condvar::new() });
             inflight.insert(key, Arc::clone(&slot));
             slot
         };
+        let mut slot_guard = SlotGuard { engine: self, key, slot: &slot, published: false };
 
         self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
-        let outcome = co_core::contained_prepared(p1, p2).map_err(|e| e.to_string());
+        let outcome = {
+            let _budget_guard = interrupt::install(budget.kernel_budget(deadline));
+            catch_unwind(AssertUnwindSafe(|| {
+                faults::kernel_entry();
+                co_core::contained_prepared(p1, p2)
+            }))
+        };
         let elapsed = start.elapsed();
         self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
 
-        if let Ok(analysis) = &outcome {
-            self.cache.insert(key, analysis.clone());
-            self.stats.computed.fetch_add(1, Ordering::Relaxed);
-            self.stats.path_latency[path_index(analysis.path)].record(elapsed);
-        }
-        *slot.result.lock().unwrap() = Some(outcome.clone());
-        slot.ready.notify_all();
-        self.inflight.lock().unwrap().remove(&key);
-        outcome.map(|a| (a, false))
+        let result: SlotResult = match outcome {
+            Ok(Ok(analysis)) => {
+                self.cache.insert(key, analysis.clone());
+                self.stats.computed.fetch_add(1, Ordering::Relaxed);
+                self.stats.path_latency[path_index(analysis.path)].record(elapsed);
+                Ok(Computed::Done(analysis))
+            }
+            Ok(Err(CoreError::Interrupted)) => {
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                Ok(Computed::TimedOut)
+            }
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(payload) => {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                Err(format!("internal error: decision panicked: {}", panic_message(&*payload)))
+            }
+        };
+        slot_guard.publish(result.clone());
+        result.map(|computed| (computed, false))
     }
 
-    /// Answers one request.
+    /// Blocks on another request's in-flight computation of the same key.
+    /// A waiter with its own deadline stops waiting when it expires — a
+    /// short-budget request is never held hostage by a long-running leader.
+    fn wait_for_leader(
+        &self,
+        slot: &InFlightSlot,
+        deadline: Option<Deadline>,
+    ) -> Result<(Computed, bool), String> {
+        let mut result = sync::lock(&slot.result);
+        loop {
+            if let Some(published) = result.as_ref() {
+                self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                return published.clone().map(|computed| (computed, true));
+            }
+            match deadline {
+                None => result = sync::wait(&slot.ready, result),
+                Some(d) => {
+                    let remaining = d.remaining();
+                    if remaining.is_zero() {
+                        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        return Ok((Computed::TimedOut, true));
+                    }
+                    result = sync::wait_timeout(&slot.ready, result, remaining);
+                }
+            }
+        }
+    }
+
+    /// Answers one request. The request's budget clock starts here, so the
+    /// deadline covers preparation and (for `EQUIV`) both containment
+    /// directions; the step budget applies per direction.
     pub fn decide(&self, request: &Request) -> Result<Decision, String> {
         self.stats.decisions.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let deadline = request.budget.start();
+        let timed_out = |fp1, fp2| Ok(Decision::TimedOut { fp1, fp2, elapsed: start.elapsed() });
         let entry = self.resolve_schema(&request.schema)?;
         let (fp1, p1) = self.analyze(&entry, &request.q1)?;
         let (fp2, p2) = self.analyze(&entry, &request.q2)?;
         let fwd_key = CacheKey { q1: fp1, q2: fp2, schema: entry.fp };
         match request.op {
-            Op::Check => {
-                let (analysis, cached) = self.contained(fwd_key, &p1, &p2)?;
-                Ok(Decision::Containment { analysis, cached, fp1, fp2 })
-            }
+            Op::Check => match self.contained(fwd_key, &p1, &p2, &request.budget, deadline)? {
+                (Computed::Done(analysis), cached) => {
+                    Ok(Decision::Containment { analysis, cached, fp1, fp2 })
+                }
+                (Computed::TimedOut, _) => timed_out(fp1, fp2),
+            },
             Op::Equiv => {
                 let bwd_key = CacheKey { q1: fp2, q2: fp1, schema: entry.fp };
-                let (fwd, c1) = self.contained(fwd_key, &p1, &p2)?;
-                let (bwd, c2) = self.contained(bwd_key, &p2, &p1)?;
+                let (fwd, c1) =
+                    match self.contained(fwd_key, &p1, &p2, &request.budget, deadline)? {
+                        (Computed::Done(a), cached) => (a, cached),
+                        (Computed::TimedOut, _) => return timed_out(fp1, fp2),
+                    };
+                let (bwd, c2) =
+                    match self.contained(bwd_key, &p2, &p1, &request.budget, deadline)? {
+                        (Computed::Done(a), cached) => (a, cached),
+                        (Computed::TimedOut, _) => return timed_out(fp1, fp2),
+                    };
                 let verdict = if !(fwd.holds && bwd.holds) {
                     Equivalence::NotEquivalent
                 } else {
@@ -297,10 +444,21 @@ impl Engine {
                 let task_rx = Arc::clone(&task_rx);
                 let result_tx = result_tx.clone();
                 scope.spawn(move || loop {
-                    let next = task_rx.lock().unwrap().recv();
+                    let next = sync::lock(&task_rx).recv();
                     match next {
                         Ok(i) => {
-                            if result_tx.send((i, self.decide(&requests[i]))).is_err() {
+                            // Isolate per-request panics so one poisoned
+                            // request cannot take down its whole batch.
+                            let result =
+                                catch_unwind(AssertUnwindSafe(|| self.decide(&requests[i])))
+                                    .unwrap_or_else(|payload| {
+                                        self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                                        Err(format!(
+                                            "internal error: request panicked: {}",
+                                            panic_message(&*payload)
+                                        ))
+                                    });
+                            if result_tx.send((i, result)).is_err() {
                                 break;
                             }
                         }
@@ -338,7 +496,7 @@ impl Engine {
 
     /// Number of distinct prepared queries currently shared.
     pub fn prepared_count(&self) -> usize {
-        self.prepared.read().unwrap().len()
+        sync::read(&self.prepared).len()
     }
 }
 
@@ -353,7 +511,7 @@ mod tests {
     }
 
     fn check(schema: &str, q1: &str, q2: &str) -> Request {
-        Request { op: Op::Check, schema: schema.into(), q1: q1.into(), q2: q2.into() }
+        Request::new(Op::Check, schema, q1, q2)
     }
 
     #[test]
@@ -378,12 +536,12 @@ mod tests {
     #[test]
     fn equivalence_combines_directions() {
         let e = engine();
-        let req = Request {
-            op: Op::Equiv,
-            schema: "s".into(),
-            q1: "select [a: x.A] from x in R".into(),
-            q2: "select [a: y.A] from y in R".into(),
-        };
+        let req = Request::new(
+            Op::Equiv,
+            "s",
+            "select [a: x.A] from x in R",
+            "select [a: y.A] from y in R",
+        );
         let Decision::Equivalence { forward, backward, verdict, .. } = e.decide(&req).unwrap()
         else {
             panic!("expected equivalence decision");

@@ -1,0 +1,149 @@
+//! Injectable failure points for hardening tests (feature `fault-inject`).
+//!
+//! The serving path calls the hook functions below at well-defined points;
+//! without the `fault-inject` feature they compile to no-ops, so production
+//! builds carry zero overhead and zero extra failure surface. With the
+//! feature, tests (or `coqld` via the `COQLD_FAULTS` environment variable)
+//! arm deterministic counter-based faults:
+//!
+//! * **kernel panic** — every Nth kernel entry panics, exercising the
+//!   engine's `catch_unwind` isolation and in-flight slot cleanup;
+//! * **kernel slow** — every Nth kernel entry sleeps, exercising deadline
+//!   expiry and coalesced-waiter timeouts;
+//! * **reply padding** — every Nth reply is padded with garbage bytes,
+//!   exercising client-side robustness against oversized responses.
+//!
+//! Triggers are counters, not randomness: a 1-in-N fault fires on exactly
+//! the Nth, 2Nth, … call, so tests are reproducible.
+
+#[cfg(feature = "fault-inject")]
+mod imp {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    pub static PANIC_EVERY: AtomicU64 = AtomicU64::new(0);
+    static PANIC_TICK: AtomicU64 = AtomicU64::new(0);
+    pub static SLOW_EVERY: AtomicU64 = AtomicU64::new(0);
+    pub static SLOW_MS: AtomicU64 = AtomicU64::new(0);
+    static SLOW_TICK: AtomicU64 = AtomicU64::new(0);
+    pub static PAD_EVERY: AtomicU64 = AtomicU64::new(0);
+    pub static PAD_BYTES: AtomicUsize = AtomicUsize::new(0);
+    static PAD_TICK: AtomicU64 = AtomicU64::new(0);
+
+    fn fires(every: &AtomicU64, tick: &AtomicU64) -> bool {
+        let n = every.load(Ordering::Relaxed);
+        n > 0 && (tick.fetch_add(1, Ordering::Relaxed) + 1).is_multiple_of(n)
+    }
+
+    pub fn kernel_entry() {
+        if fires(&SLOW_EVERY, &SLOW_TICK) {
+            std::thread::sleep(Duration::from_millis(SLOW_MS.load(Ordering::Relaxed)));
+        }
+        if fires(&PANIC_EVERY, &PANIC_TICK) {
+            panic!("fault-inject: kernel panic");
+        }
+    }
+
+    pub fn reply_padding() -> usize {
+        if fires(&PAD_EVERY, &PAD_TICK) {
+            PAD_BYTES.load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    }
+
+    pub fn reset() {
+        for a in
+            [&PANIC_EVERY, &PANIC_TICK, &SLOW_EVERY, &SLOW_MS, &SLOW_TICK, &PAD_EVERY, &PAD_TICK]
+        {
+            a.store(0, Ordering::Relaxed);
+        }
+        PAD_BYTES.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Hook: called on every kernel (decision) entry. May sleep or panic when
+/// the corresponding faults are armed; no-op otherwise.
+#[inline]
+pub fn kernel_entry() {
+    #[cfg(feature = "fault-inject")]
+    imp::kernel_entry();
+}
+
+/// Hook: number of garbage bytes to append to the next reply (0 = none).
+#[inline]
+pub fn reply_padding() -> usize {
+    #[cfg(feature = "fault-inject")]
+    {
+        imp::reply_padding()
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        0
+    }
+}
+
+/// Arms a panic on every `every`-th kernel entry (0 disarms).
+#[cfg(feature = "fault-inject")]
+pub fn set_kernel_panic_every(every: u64) {
+    imp::PANIC_EVERY.store(every, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Arms a `ms`-millisecond sleep on every `every`-th kernel entry
+/// (0 disarms).
+#[cfg(feature = "fault-inject")]
+pub fn set_kernel_slow(every: u64, ms: u64) {
+    imp::SLOW_EVERY.store(every, std::sync::atomic::Ordering::Relaxed);
+    imp::SLOW_MS.store(ms, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Arms `bytes` of padding on every `every`-th reply (0 disarms).
+#[cfg(feature = "fault-inject")]
+pub fn set_reply_padding(every: u64, bytes: usize) {
+    imp::PAD_EVERY.store(every, std::sync::atomic::Ordering::Relaxed);
+    imp::PAD_BYTES.store(bytes, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Disarms every fault and zeroes the trigger counters.
+#[cfg(feature = "fault-inject")]
+pub fn reset() {
+    imp::reset();
+}
+
+/// Arms faults from the `COQLD_FAULTS` environment variable, a
+/// comma-separated list of `panic=<N>`, `slow=<N>:<ms>`, `pad=<N>:<bytes>`.
+/// Unknown or malformed entries are ignored (the variable is a test hook,
+/// not an interface).
+#[cfg(feature = "fault-inject")]
+pub fn init_from_env() {
+    let Ok(spec) = std::env::var("COQLD_FAULTS") else {
+        return;
+    };
+    for entry in spec.split(',') {
+        let Some((key, value)) = entry.split_once('=') else {
+            continue;
+        };
+        let mut nums = value.split(':').map(|v| v.trim().parse::<u64>());
+        match (key.trim(), nums.next(), nums.next()) {
+            ("panic", Some(Ok(n)), None) => set_kernel_panic_every(n),
+            ("slow", Some(Ok(n)), Some(Ok(ms))) => set_kernel_slow(n, ms),
+            ("pad", Some(Ok(n)), Some(Ok(bytes))) => set_reply_padding(n, bytes as usize),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(all(test, feature = "fault-inject"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_triggers_are_deterministic() {
+        reset();
+        set_reply_padding(3, 10);
+        let pattern: Vec<usize> = (0..6).map(|_| reply_padding()).collect();
+        assert_eq!(pattern, vec![0, 0, 10, 0, 0, 10]);
+        reset();
+        assert_eq!(reply_padding(), 0);
+    }
+}

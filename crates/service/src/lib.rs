@@ -22,6 +22,14 @@
 //!    `CHECK`/`EQUIV`/`FINGERPRINT`/`SCHEMA`/`STATS` protocol with
 //!    per-decision-path latency histograms.
 //!
+//! The serving path is hardened end-to-end (see `DESIGN.md` §10):
+//! [`deadline`] attaches wall-clock/step budgets that the kernels poll
+//! cooperatively (expiry → [`Decision::TimedOut`], never memoized), every
+//! kernel call and connection handler runs inside a panic-isolation
+//! boundary, overload is shed rather than queued, and [`faults`] provides
+//! deterministic fault injection (feature `fault-inject`) to test all of
+//! it against a real server.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use co_cq::Schema;
@@ -29,18 +37,23 @@
 //!
 //! let engine = Arc::new(Engine::new(EngineConfig::default()));
 //! engine.register_schema("s", Schema::with_relations(&[("R", &["A", "B"])]));
-//! let request = Request {
-//!     op: Op::Check,
-//!     schema: "s".into(),
-//!     q1: "select x.B from x in R where x.A = 1".into(),
-//!     q2: "select y.B from y in R".into(),
-//! };
+//! let request = Request::new(
+//!     Op::Check,
+//!     "s",
+//!     "select x.B from x in R where x.A = 1",
+//!     "select y.B from y in R",
+//! );
 //! let Decision::Containment { analysis, .. } = engine.decide(&request).unwrap() else {
 //!     unreachable!()
 //! };
 //! assert!(analysis.holds);
 //! // The α-renamed twin is now a cache hit:
-//! let twin = Request { q1: "select z.B from z in R where 1 = z.A".into(), ..request };
+//! let twin = Request::new(
+//!     Op::Check,
+//!     "s",
+//!     "select z.B from z in R where 1 = z.A",
+//!     "select y.B from y in R",
+//! );
 //! let Decision::Containment { cached, .. } = engine.decide(&twin).unwrap() else {
 //!     unreachable!()
 //! };
@@ -50,13 +63,17 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod deadline;
 pub mod engine;
+pub mod faults;
 pub mod fingerprint;
 pub mod server;
 pub mod stats;
+mod sync;
 
 pub use cache::{CacheKey, CacheStats, MemoCache};
+pub use deadline::{Deadline, RequestBudget};
 pub use engine::{Decision, Engine, EngineConfig, Op, Request};
 pub use fingerprint::{fingerprint_bytes, fingerprint_query, fingerprint_schema, Fingerprint};
-pub use server::{parse_schema_decl, serve, ServerConfig};
-pub use stats::{EngineStats, LatencyHistogram};
+pub use server::{parse_schema_decl, serve, serve_with_shutdown, ServerConfig, Shutdown};
+pub use stats::{EngineStats, LatencyHistogram, ServerStats};

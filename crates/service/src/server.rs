@@ -9,34 +9,85 @@
 //! EQUIV <schema> <q1> ;; <q2>   decide equivalence
 //! FINGERPRINT <schema> <q>      canonical fingerprint of one query
 //! STATS                         cache/engine counters + latency quantiles
+//! SHUTDOWN                      drain and stop (if --allow-shutdown)
 //! QUIT                          close the connection
 //! ```
 //!
-//! Replies start `OK` or `ERR`. The accept loop is thread-per-connection,
-//! bounded by [`ServerConfig::max_connections`]; excess connections queue
-//! in the listener backlog until a slot frees up.
+//! `CHECK`/`EQUIV` accept budget prefixes: `TIMEOUT <ms>` caps the
+//! request's wall-clock time and `BUDGET <steps>` caps kernel steps
+//! (`0` clears the server default). An expired budget answers
+//! `ERR DEADLINE …` without memoizing anything.
+//!
+//! Replies start `OK` or `ERR`. Degradation is graceful by design:
+//!
+//! * connections beyond [`ServerConfig::max_connections`] are shed
+//!   immediately with `ERR OVERLOADED` instead of queueing unboundedly;
+//! * request lines longer than [`ServerConfig::max_line_bytes`] answer
+//!   `ERR TOOLARGE` (the oversized line is discarded, the connection
+//!   survives);
+//! * a connection that idles — or dribbles bytes without finishing a
+//!   line — past [`ServerConfig::read_timeout`] is closed (slow-loris
+//!   defense), as is one that won't accept writes within
+//!   [`ServerConfig::write_timeout`];
+//! * a panic anywhere in a handler is contained: the connection gets
+//!   `ERR INTERNAL` (or is closed), counters tick, the server keeps
+//!   serving;
+//! * [`Shutdown::trigger`] stops the accept loop, lets in-flight
+//!   connections finish up to [`ServerConfig::drain_timeout`], then
+//!   returns cleanly.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::Ordering;
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use co_cq::{RelSchema, Schema};
 
+use crate::deadline::RequestBudget;
 use crate::engine::{Decision, Engine, Op, Request};
-use crate::stats::path_label;
+use crate::faults;
+use crate::stats::{path_label, ServerStats};
+use crate::sync;
 
 /// Server knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
-    /// Maximum concurrently-served connections.
+    /// Maximum concurrently-served connections; excess connections are
+    /// shed with `ERR OVERLOADED` rather than queued.
     pub max_connections: usize,
+    /// Absolute time a client gets to deliver one complete request line;
+    /// dribbling bytes does not reset it. `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Time a single reply write may block before the connection is
+    /// declared dead. `None` waits forever.
+    pub write_timeout: Option<Duration>,
+    /// Longest accepted request line; longer lines answer `ERR TOOLARGE`.
+    pub max_line_bytes: usize,
+    /// Default wall-clock budget for `CHECK`/`EQUIV` when the request
+    /// carries no `TIMEOUT` prefix. `None` means unlimited.
+    pub default_timeout: Option<Duration>,
+    /// How long a drain ([`Shutdown::trigger`]) waits for in-flight
+    /// connections before returning anyway.
+    pub drain_timeout: Duration,
+    /// Whether the `SHUTDOWN` verb is honored (off by default: any client
+    /// could stop the server).
+    pub allow_shutdown: bool,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        ServerConfig { max_connections: 64 }
+        ServerConfig {
+            max_connections: 64,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_line_bytes: 64 * 1024,
+            default_timeout: None,
+            drain_timeout: Duration::from_secs(5),
+            allow_shutdown: false,
+        }
     }
 }
 
@@ -47,60 +98,302 @@ struct Gate {
     max: usize,
 }
 
+/// RAII slot in the [`Gate`]: released on drop, so a handler that panics
+/// or returns early can never leak its connection slot.
+struct GateGuard {
+    gate: Arc<Gate>,
+}
+
 impl Gate {
     fn new(max: usize) -> Gate {
         Gate { state: Mutex::new(0), freed: Condvar::new(), max: max.max(1) }
     }
 
-    fn acquire(&self) {
-        let mut live = self.state.lock().unwrap();
-        while *live >= self.max {
-            live = self.freed.wait(live).unwrap();
+    /// Claims a slot if one is free; `None` means shed the connection.
+    fn try_acquire(self: &Arc<Self>) -> Option<GateGuard> {
+        let mut live = sync::lock(&self.state);
+        if *live >= self.max {
+            return None;
         }
         *live += 1;
+        Some(GateGuard { gate: Arc::clone(self) })
     }
 
-    fn release(&self) {
-        *self.state.lock().unwrap() -= 1;
-        self.freed.notify_one();
+    /// Waits until no slot is held or `deadline` passes; true when idle.
+    fn wait_idle(&self, deadline: Instant) -> bool {
+        let mut live = sync::lock(&self.state);
+        while *live > 0 {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            live = sync::wait_timeout(&self.freed, live, remaining);
+        }
+        true
     }
 }
 
-/// Runs the accept loop forever (returns only on listener error). Spawn it
-/// on a dedicated thread if the caller needs to keep going.
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        *sync::lock(&self.gate.state) -= 1;
+        self.gate.freed.notify_all();
+    }
+}
+
+#[derive(Default)]
+struct ShutdownState {
+    stop: AtomicBool,
+    addr: Mutex<Option<SocketAddr>>,
+}
+
+/// Handle for stopping a [`serve_with_shutdown`] loop from another thread
+/// (or from the `SHUTDOWN` verb). Cheap to clone.
+#[derive(Clone, Default)]
+pub struct Shutdown {
+    inner: Arc<ShutdownState>,
+}
+
+impl Shutdown {
+    /// A fresh, untriggered handle.
+    pub fn new() -> Shutdown {
+        Shutdown::default()
+    }
+
+    /// Requests shutdown: the accept loop stops taking connections,
+    /// in-flight connections drain, and `serve_with_shutdown` returns.
+    /// Idempotent.
+    pub fn trigger(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Wake a blocked accept() with a throwaway connection; best-effort
+        // (if it fails, the next real connection unblocks the loop).
+        if let Some(addr) = *sync::lock(&self.inner.addr) {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(100));
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_triggered(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    fn set_addr(&self, addr: Option<SocketAddr>) {
+        *sync::lock(&self.inner.addr) = addr;
+    }
+}
+
+/// Everything a connection handler needs, shared across all of them.
+struct ServerCtx {
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    stats: ServerStats,
+    shutdown: Shutdown,
+}
+
+/// Runs the accept loop until the listener errors. Equivalent to
+/// [`serve_with_shutdown`] with a handle nobody triggers.
 pub fn serve(
     listener: TcpListener,
     engine: Arc<Engine>,
     config: ServerConfig,
 ) -> std::io::Result<()> {
+    serve_with_shutdown(listener, engine, config, Shutdown::new())
+}
+
+/// Runs the accept loop until `shutdown` is triggered (or the listener
+/// errors). On shutdown it stops accepting, closes the listener, waits up
+/// to [`ServerConfig::drain_timeout`] for in-flight connections, and
+/// returns `Ok(())`.
+pub fn serve_with_shutdown(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    shutdown: Shutdown,
+) -> std::io::Result<()> {
+    shutdown.set_addr(listener.local_addr().ok());
     let gate = Arc::new(Gate::new(config.max_connections));
+    let ctx = Arc::new(ServerCtx { engine, config, stats: ServerStats::default(), shutdown });
     loop {
+        if ctx.shutdown.is_triggered() {
+            break;
+        }
         let (stream, _peer) = listener.accept()?;
-        gate.acquire();
-        let engine = Arc::clone(&engine);
-        let gate = Arc::clone(&gate);
-        thread::spawn(move || {
-            let _ = handle_connection(stream, &engine);
-            gate.release();
-        });
+        ctx.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        if ctx.shutdown.is_triggered() {
+            // Likely the wake-up connection from Shutdown::trigger.
+            break;
+        }
+        match gate.try_acquire() {
+            None => {
+                ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+                shed(stream);
+            }
+            Some(guard) => {
+                let ctx = Arc::clone(&ctx);
+                thread::spawn(move || {
+                    let _slot = guard;
+                    if catch_unwind(AssertUnwindSafe(|| handle_connection(stream, &ctx))).is_err() {
+                        ctx.stats.conn_panics.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        }
+    }
+    // Stop accepting before draining so new clients get connection-refused
+    // instead of a socket that will never be read.
+    drop(listener);
+    gate.wait_idle(Instant::now() + ctx.config.drain_timeout);
+    Ok(())
+}
+
+/// Best-effort overload reply on a connection we refuse to serve.
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.write_all(b"ERR OVERLOADED connection limit reached, retry later\n");
+}
+
+/// What one bounded line read produced.
+enum LineRead {
+    /// A complete line (newline stripped, trailing `\r` trimmed).
+    Line(String),
+    /// The line exceeded the length cap; its bytes were discarded.
+    TooLarge,
+    /// Clean end of stream.
+    Eof,
+    /// The per-line deadline passed before a newline arrived.
+    IdleTimeout,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes, giving the
+/// client `per_line` of wall-clock time for the whole line (so a client
+/// dribbling one byte per socket-timeout interval still gets cut off).
+/// Oversized lines are consumed and discarded up to their newline.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+    per_line: Option<Duration>,
+) -> io::Result<LineRead> {
+    let deadline = per_line.map(|t| Instant::now() + t);
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    loop {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(LineRead::IdleTimeout);
+        }
+        // Computed inside the fill_buf borrow; consumption happens after.
+        enum Step {
+            Eof,
+            Consumed { n: usize, newline: bool },
+        }
+        let step = match reader.fill_buf() {
+            Ok([]) => Step::Eof,
+            Ok(buf) => match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !discarding {
+                        line.extend_from_slice(&buf[..pos]);
+                    }
+                    Step::Consumed { n: pos + 1, newline: true }
+                }
+                None => {
+                    if !discarding {
+                        line.extend_from_slice(buf);
+                    }
+                    Step::Consumed { n: buf.len(), newline: false }
+                }
+            },
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Ok(LineRead::IdleTimeout);
+            }
+            Err(e) => return Err(e),
+        };
+        match step {
+            Step::Eof => {
+                return Ok(if discarding {
+                    LineRead::TooLarge
+                } else if line.is_empty() {
+                    LineRead::Eof
+                } else {
+                    // A final unterminated line still gets served.
+                    LineRead::Line(finish_line(line))
+                });
+            }
+            Step::Consumed { n, newline } => {
+                reader.consume(n);
+                if !discarding && line.len() > max {
+                    discarding = true;
+                    line.clear();
+                }
+                if newline {
+                    return Ok(if discarding {
+                        LineRead::TooLarge
+                    } else {
+                        LineRead::Line(finish_line(line))
+                    });
+                }
+            }
+        }
     }
 }
 
-fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+fn finish_line(mut bytes: Vec<u8>) -> String {
+    if bytes.last() == Some(&b'\r') {
+        bytes.pop();
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+fn handle_connection(stream: TcpStream, ctx: &ServerCtx) -> std::io::Result<()> {
+    // The socket timeout bounds each read() syscall; read_bounded_line
+    // layers an absolute per-line deadline of the same duration on top.
+    stream.set_read_timeout(ctx.config.read_timeout)?;
+    stream.set_write_timeout(ctx.config.write_timeout)?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        match handle_line(&line, engine) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        if ctx.shutdown.is_triggered() {
+            break;
+        }
+        let line = match read_bounded_line(
+            &mut reader,
+            ctx.config.max_line_bytes,
+            ctx.config.read_timeout,
+        )? {
+            LineRead::Eof => break,
+            LineRead::IdleTimeout => {
+                ctx.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            LineRead::TooLarge => {
+                ctx.stats.oversized.fetch_add(1, Ordering::Relaxed);
+                let reply =
+                    format!("ERR TOOLARGE line exceeds {} bytes", ctx.config.max_line_bytes);
+                if write_reply(&mut writer, &reply).is_err() {
+                    break;
+                }
+                continue;
+            }
+            LineRead::Line(line) => line,
+        };
+        // One panicking request must not take the connection down with it.
+        let reply =
+            catch_unwind(AssertUnwindSafe(|| handle_line(&line, ctx))).unwrap_or_else(|_| {
+                ctx.stats.conn_panics.fetch_add(1, Ordering::Relaxed);
+                Reply::Line("ERR INTERNAL request handler panicked".to_string())
+            });
+        match reply {
             Reply::None => {}
             Reply::Line(text) => {
-                writer.write_all(text.as_bytes())?;
-                writer.write_all(b"\n")?;
-                writer.flush()?;
+                if write_reply(&mut writer, &text).is_err() {
+                    break;
+                }
             }
             Reply::Quit => {
-                writer.write_all(b"OK bye\n")?;
-                writer.flush()?;
+                let _ = write_reply(&mut writer, "OK bye");
+                break;
+            }
+            Reply::Shutdown => {
+                let _ = write_reply(&mut writer, "OK draining");
+                ctx.shutdown.trigger();
                 break;
             }
         }
@@ -108,22 +401,74 @@ fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> 
     Ok(())
 }
 
+fn write_reply(writer: &mut TcpStream, text: &str) -> io::Result<()> {
+    writer.write_all(text.as_bytes())?;
+    let pad = faults::reply_padding();
+    if pad > 0 {
+        writer.write_all(&vec![b'#'; pad])?;
+    }
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
 enum Reply {
     None,
     Line(String),
     Quit,
+    Shutdown,
 }
 
-fn handle_line(line: &str, engine: &Engine) -> Reply {
+/// Strips leading `TIMEOUT <ms>` / `BUDGET <steps>` prefixes off a request
+/// line (`0` clears the corresponding limit), starting from the server's
+/// default timeout.
+fn parse_budget_prefix(
+    line: &str,
+    default_timeout: Option<Duration>,
+) -> Result<(RequestBudget, &str), String> {
+    let mut budget = RequestBudget { timeout: default_timeout, steps: None };
+    let mut rest = line;
+    loop {
+        let (head, tail) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+        let upper = head.to_ascii_uppercase();
+        if upper != "TIMEOUT" && upper != "BUDGET" {
+            return Ok((budget, rest));
+        }
+        let tail = tail.trim_start();
+        let (value, after) = tail.split_once(char::is_whitespace).unwrap_or((tail, ""));
+        let n: u64 = value
+            .parse()
+            .map_err(|_| format!("usage: {upper} <n> <command ...> (got `{value}`)"))?;
+        if upper == "TIMEOUT" {
+            budget.timeout = if n == 0 { None } else { Some(Duration::from_millis(n)) };
+        } else {
+            budget.steps = if n == 0 { None } else { Some(n) };
+        }
+        rest = after.trim_start();
+    }
+}
+
+fn handle_line(line: &str, ctx: &ServerCtx) -> Reply {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Reply::None;
     }
+    let (budget, line) = match parse_budget_prefix(line, ctx.config.default_timeout) {
+        Ok(parsed) => parsed,
+        Err(message) => return Reply::Line(format!("ERR {message}")),
+    };
+    if line.is_empty() {
+        return Reply::Line("ERR usage: [TIMEOUT <ms>] [BUDGET <steps>] <command ...>".into());
+    }
+    let engine = &ctx.engine;
     let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
     let rest = rest.trim();
     let result = match cmd.to_ascii_uppercase().as_str() {
-        "CHECK" => pair_request(Op::Check, rest).and_then(|r| run(engine, &r)),
-        "EQUIV" => pair_request(Op::Equiv, rest).and_then(|r| run(engine, &r)),
+        "CHECK" => pair_request(Op::Check, rest)
+            .map(|r| r.with_budget(budget))
+            .and_then(|r| run(engine, &r)),
+        "EQUIV" => pair_request(Op::Equiv, rest)
+            .map(|r| r.with_budget(budget))
+            .and_then(|r| run(engine, &r)),
         "FINGERPRINT" => split_head(rest, "FINGERPRINT <schema> <query>")
             .and_then(|(schema, query)| engine.fingerprint(schema, query))
             .map(|fp| format!("OK fp={fp}")),
@@ -134,10 +479,17 @@ fn handle_line(line: &str, engine: &Engine) -> Reply {
                 format!("OK schema={name} fp={fp} relations={relations}")
             })
         }),
-        "STATS" => Ok(render_stats(engine)),
+        "STATS" => Ok(render_stats(ctx)),
+        "SHUTDOWN" => {
+            if ctx.config.allow_shutdown {
+                return Reply::Shutdown;
+            }
+            Err("SHUTDOWN is disabled (start coqld with --allow-shutdown)".to_string())
+        }
         "QUIT" | "EXIT" => return Reply::Quit,
         other => Err(format!(
-            "unknown command `{other}` (try CHECK, EQUIV, FINGERPRINT, SCHEMA, STATS, QUIT)"
+            "unknown command `{other}` \
+             (try CHECK, EQUIV, FINGERPRINT, SCHEMA, STATS, SHUTDOWN, QUIT)"
         )),
     };
     match result {
@@ -166,7 +518,7 @@ fn pair_request(op: Op, rest: &str) -> Result<Request, String> {
     if q1.is_empty() || q2.is_empty() {
         return Err(format!("usage: {usage}"));
     }
-    Ok(Request { op, schema: schema.to_string(), q1: q1.to_string(), q2: q2.to_string() })
+    Ok(Request::new(op, schema, q1, q2))
 }
 
 fn run(engine: &Engine, request: &Request) -> Result<String, String> {
@@ -186,11 +538,17 @@ fn run(engine: &Engine, request: &Request) -> Result<String, String> {
                  cached={cached} fp1={fp1} fp2={fp2}"
             ))
         }
+        Decision::TimedOut { fp1, fp2, elapsed } => Err(format!(
+            "DEADLINE exceeded after {}ms fp1={fp1} fp2={fp2} \
+             (verdict not cached; retry with a larger TIMEOUT/BUDGET)",
+            elapsed.as_millis()
+        )),
     }
 }
 
 /// The `STATS` payload: `<key> <value>` lines terminated by `END`.
-fn render_stats(engine: &Engine) -> String {
+fn render_stats(ctx: &ServerCtx) -> String {
+    let engine = &ctx.engine;
     let cache = engine.cache_stats();
     let stats = engine.stats();
     let coalesced = stats.coalesced.load(Ordering::Relaxed);
@@ -208,8 +566,15 @@ fn render_stats(engine: &Engine) -> String {
     put("computed", stats.computed.load(Ordering::Relaxed).to_string());
     put("coalesced", coalesced.to_string());
     put("inflight", stats.in_flight.load(Ordering::Relaxed).to_string());
+    put("timeouts", stats.timeouts.load(Ordering::Relaxed).to_string());
+    put("panics", stats.panics.load(Ordering::Relaxed).to_string());
     put("schemas", engine.schema_count().to_string());
     put("prepared", engine.prepared_count().to_string());
+    put("server.accepted", ctx.stats.accepted.load(Ordering::Relaxed).to_string());
+    put("server.shed", ctx.stats.shed.load(Ordering::Relaxed).to_string());
+    put("server.oversized", ctx.stats.oversized.load(Ordering::Relaxed).to_string());
+    put("server.idle_closed", ctx.stats.idle_closed.load(Ordering::Relaxed).to_string());
+    put("server.conn_panics", ctx.stats.conn_panics.load(Ordering::Relaxed).to_string());
     put("cache.hits", cache.hits.to_string());
     put("cache.misses", cache.misses.to_string());
     put("cache.evictions", cache.evictions.to_string());
@@ -268,42 +633,51 @@ mod tests {
     use super::*;
     use crate::engine::EngineConfig;
 
-    fn engine() -> Engine {
-        Engine::new(EngineConfig { cache_shards: 2, cache_per_shard: 32, workers: 2 })
+    fn ctx() -> ServerCtx {
+        let engine = Engine::new(EngineConfig { cache_shards: 2, cache_per_shard: 32, workers: 2 });
+        ServerCtx {
+            engine: Arc::new(engine),
+            config: ServerConfig::default(),
+            stats: ServerStats::default(),
+            shutdown: Shutdown::new(),
+        }
     }
 
-    fn line(engine: &Engine, input: &str) -> String {
-        match handle_line(input, engine) {
+    fn line(ctx: &ServerCtx, input: &str) -> String {
+        match handle_line(input, ctx) {
             Reply::Line(text) => text,
             Reply::Quit => "QUIT".to_string(),
+            Reply::Shutdown => "SHUTDOWN".to_string(),
             Reply::None => String::new(),
         }
     }
 
     #[test]
     fn protocol_round_trip() {
-        let e = engine();
-        let reply = line(&e, "SCHEMA s R(A,B); S(C)");
+        let c = ctx();
+        let reply = line(&c, "SCHEMA s R(A,B); S(C)");
         assert!(reply.starts_with("OK schema=s fp="), "{reply}");
         let reply =
-            line(&e, "CHECK s select x.B from x in R where x.A = 1 ;; select x.B from x in R");
+            line(&c, "CHECK s select x.B from x in R where x.A = 1 ;; select x.B from x in R");
         assert!(reply.contains("holds=true"), "{reply}");
         assert!(reply.contains("path=flat/classical"), "{reply}");
-        let reply = line(&e, "EQUIV s select [a: x.A] from x in R ;; select [a: y.A] from y in R");
+        let reply = line(&c, "EQUIV s select [a: x.A] from x in R ;; select [a: y.A] from y in R");
         assert!(reply.contains("verdict=equivalent"), "{reply}");
-        let reply = line(&e, "FINGERPRINT s select x.B from x in R");
+        let reply = line(&c, "FINGERPRINT s select x.B from x in R");
         assert!(reply.starts_with("OK fp="), "{reply}");
-        let stats = line(&e, "STATS");
+        let stats = line(&c, "STATS");
         assert!(stats.contains("decisions 2"), "{stats}");
         // The EQUIV pair is α-equivalent, so its two directions share one
         // cache key: the backward check hits the forward check's entry.
         assert!(stats.contains("cache.hits 1"), "{stats}");
+        assert!(stats.contains("timeouts 0"), "{stats}");
+        assert!(stats.contains("server.accepted 0"), "{stats}");
         assert!(stats.ends_with("END"), "{stats}");
     }
 
     #[test]
     fn errors_are_single_lines() {
-        let e = engine();
+        let c = ctx();
         for bad in [
             "CHECK",
             "CHECK s onlyonequery",
@@ -311,13 +685,49 @@ mod tests {
             "SCHEMA s",
             "SCHEMA s R(A, A)",
             "BOGUS things",
+            "TIMEOUT notanumber CHECK s {1} ;; {1}",
+            "TIMEOUT 50",
         ] {
-            let reply = line(&e, bad);
+            let reply = line(&c, bad);
             assert!(reply.starts_with("ERR "), "`{bad}` → {reply}");
             assert!(!reply.contains('\n'), "`{bad}` reply must be one line");
         }
-        assert!(matches!(handle_line("QUIT", &e), Reply::Quit));
-        assert!(matches!(handle_line("  # comment", &e), Reply::None));
+        assert!(matches!(handle_line("QUIT", &c), Reply::Quit));
+        assert!(matches!(handle_line("  # comment", &c), Reply::None));
+    }
+
+    #[test]
+    fn budget_prefixes_parse_and_apply() {
+        let (budget, rest) =
+            parse_budget_prefix("TIMEOUT 250 BUDGET 9 CHECK s a ;; b", None).unwrap();
+        assert_eq!(budget.timeout, Some(Duration::from_millis(250)));
+        assert_eq!(budget.steps, Some(9));
+        assert_eq!(rest, "CHECK s a ;; b");
+        // 0 clears the server default.
+        let (budget, rest) =
+            parse_budget_prefix("TIMEOUT 0 STATS", Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(budget.timeout, None);
+        assert_eq!(rest, "STATS");
+        // A 1-step budget trips before any verdict: ERR DEADLINE, and the
+        // non-verdict is not memoized (the retry computes the real one).
+        let c = ctx();
+        line(&c, "SCHEMA s R(A,B)");
+        let q = "BUDGET 1 CHECK s select x.B from x in R ;; select x.B from x in R";
+        let reply = line(&c, q);
+        assert!(reply.starts_with("ERR DEADLINE"), "{reply}");
+        let reply = line(&c, "CHECK s select x.B from x in R ;; select x.B from x in R");
+        assert!(reply.contains("holds=true"), "{reply}");
+        assert!(reply.contains("cached=false"), "{reply}");
+    }
+
+    #[test]
+    fn shutdown_verb_is_gated() {
+        let c = ctx();
+        let reply = line(&c, "SHUTDOWN");
+        assert!(reply.starts_with("ERR "), "{reply}");
+        let mut open = ctx();
+        open.config.allow_shutdown = true;
+        assert!(matches!(handle_line("SHUTDOWN", &open), Reply::Shutdown));
     }
 
     #[test]

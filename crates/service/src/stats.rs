@@ -69,9 +69,31 @@ pub struct EngineStats {
     pub coalesced: AtomicU64,
     /// Decisions currently being computed (gauge).
     pub in_flight: AtomicU64,
+    /// Requests abandoned because their deadline or step budget expired
+    /// (leaders and coalesced waiters alike). Never memoized.
+    pub timeouts: AtomicU64,
+    /// Decision computations that panicked and were contained by the
+    /// engine's isolation boundary.
+    pub panics: AtomicU64,
     /// Latency of computed decisions, by decision path
     /// (indexed [`path_index`]).
     pub path_latency: [LatencyHistogram; 3],
+}
+
+/// Counters for the TCP serving layer, all monotone.
+#[derive(Default)]
+pub struct ServerStats {
+    /// Connections accepted (including ones immediately shed).
+    pub accepted: AtomicU64,
+    /// Connections shed with `ERR OVERLOADED` (connection cap reached).
+    pub shed: AtomicU64,
+    /// Requests rejected with `ERR TOOLARGE` (line length cap).
+    pub oversized: AtomicU64,
+    /// Connections closed for idling or dribbling past the read timeout
+    /// (slow-loris defense).
+    pub idle_closed: AtomicU64,
+    /// Connection handlers that panicked and were contained.
+    pub conn_panics: AtomicU64,
 }
 
 /// Stable index of a [`DecisionPath`] into [`EngineStats::path_latency`].

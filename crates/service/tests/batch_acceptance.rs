@@ -18,15 +18,8 @@ fn thousand_requests_fifty_pairs_hit_rate_and_verdicts() {
 
     let engine = Engine::new(EngineConfig { cache_shards: 8, cache_per_shard: 512, workers: 8 });
     engine.register_schema("s", schema.clone());
-    let requests: Vec<Request> = pairs
-        .iter()
-        .map(|(q1, q2)| Request {
-            op: Op::Check,
-            schema: "s".into(),
-            q1: q1.clone(),
-            q2: q2.clone(),
-        })
-        .collect();
+    let requests: Vec<Request> =
+        pairs.iter().map(|(q1, q2)| Request::new(Op::Check, "s", q1, q2)).collect();
 
     let decisions = engine.decide_batch(&requests);
     assert_eq!(decisions.len(), TOTAL);

@@ -106,12 +106,7 @@ fn concurrent_hammering_matches_uncached_decisions() {
             scope.spawn(move || {
                 for round in 0..40 {
                     let i = (t + round) % pool.len();
-                    let request = Request {
-                        op: Op::Check,
-                        schema: "s".into(),
-                        q1: pool[i].0.clone(),
-                        q2: pool[i].1.clone(),
-                    };
+                    let request = Request::new(Op::Check, "s", &pool[i].0, &pool[i].1);
                     let Decision::Containment { analysis, .. } = engine.decide(&request).unwrap()
                     else {
                         panic!("expected containment decision");

@@ -15,7 +15,8 @@ fn start_server() -> std::net::SocketAddr {
     let engine =
         Arc::new(Engine::new(EngineConfig { cache_shards: 4, cache_per_shard: 64, workers: 2 }));
     thread::spawn(move || {
-        let _ = serve(listener, engine, ServerConfig { max_connections: 8 });
+        let _ =
+            serve(listener, engine, ServerConfig { max_connections: 8, ..ServerConfig::default() });
     });
     addr
 }

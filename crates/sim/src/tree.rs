@@ -58,7 +58,8 @@ use std::fmt;
 use std::ops::ControlFlow;
 
 use co_cq::freeze::freeze_atoms_with;
-use co_cq::{Assignment, Database, HomProblem, QueryAtom, Term, Var};
+use co_cq::{Assignment, Database, HomProblem, QueryAtom, SearchOutcome, Term, Var};
+use co_object::interrupt::{self, Interrupted};
 use co_object::{Atom, Field, Value};
 
 use crate::indexed::IndexedQuery;
@@ -306,7 +307,25 @@ pub fn tree_contained_in_no_empty_sets(t1: &QueryTree, t2: &QueryTree) -> bool {
 }
 
 /// Containment with explicit options.
+///
+/// Panics if a thread-local [`co_object::interrupt`] budget expires during
+/// the decision — callers running under a budget must use
+/// [`try_tree_contained_in_with`].
 pub fn tree_contained_in_with(t1: &QueryTree, t2: &QueryTree, opts: ContainOptions) -> bool {
+    try_tree_contained_in_with(t1, t2, opts)
+        .expect("interrupted: use try_tree_contained_in_with under an interrupt budget")
+}
+
+/// Cancellable variant of [`tree_contained_in_with`]: polls the
+/// thread-local [`co_object::interrupt`] budget once per emptiness pattern
+/// (plus the per-probe checks inside the homomorphism engine) and aborts
+/// with [`Interrupted`] when it expires. Identical when no budget is
+/// installed.
+pub fn try_tree_contained_in_with(
+    t1: &QueryTree,
+    t2: &QueryTree,
+    opts: ContainOptions,
+) -> Result<bool, Interrupted> {
     let ctx = Context { db: Database::new(), opts, frozen: HashSet::new() };
     covered(&ctx, &t1.root, &[], &t2.root, &[])
 }
@@ -416,15 +435,24 @@ fn resolve_args(merge: &HashMap<Atom, Atom>, args: &[Atom]) -> Vec<Atom> {
 
 /// Core recursion: does `n1`'s set at `args1` Hoare-embed into `n2`'s set
 /// at `args2`, generically over all databases extending the context?
-fn covered(ctx: &Context, n1: &TreeNode, args1: &[Atom], n2: &TreeNode, args2: &[Atom]) -> bool {
+///
+/// `Err(Interrupted)` means the thread-local interrupt budget expired; the
+/// partial verdict is meaningless and must not be used or memoized.
+fn covered(
+    ctx: &Context,
+    n1: &TreeNode,
+    args1: &[Atom],
+    n2: &TreeNode,
+    args2: &[Atom],
+) -> Result<bool, Interrupted> {
     // Source-set-always-empty fast path; constant/repeat constraints in the
     // formals *specialize* the context instead (entry unification).
     if n1.query.unsatisfiable {
-        return true;
+        return Ok(true);
     }
     let mut entry_merge = HashMap::new();
     match unify_index(&n1.query.index, args1, &ctx.frozen, &mut entry_merge) {
-        Unify::Impossible => return true, // empty in every valuation
+        Unify::Impossible => return Ok(true), // empty in every valuation
         Unify::Ok => {}
     }
     let ctx = ctx.substituted(&entry_merge);
@@ -433,7 +461,7 @@ fn covered(ctx: &Context, n1: &TreeNode, args1: &[Atom], n2: &TreeNode, args2: &
 
     // Template shapes must correspond, else no element can ever be covered.
     let Some(pairs) = match_templates(&n1.template, &n2.template) else {
-        return false;
+        return Ok(false);
     };
 
     // ∀-side: freeze a generic element of n1's set.
@@ -455,6 +483,10 @@ fn covered(ctx: &Context, n1: &TreeNode, args1: &[Atom], n2: &TreeNode, args2: &
     };
 
     for pattern in patterns {
+        // The emptiness patterns are the exponential component of the
+        // procedure (2^m of them), so this loop is a unit of cancellable
+        // work in its own right.
+        interrupt::probe()?;
         // Assuming the σ-children non-empty may *specialize* the generic
         // element (their index formals constrain its columns): compute the
         // induced merge; a rigid clash means no real element has this
@@ -502,25 +534,39 @@ fn covered(ctx: &Context, n1: &TreeNode, args1: &[Atom], n2: &TreeNode, args2: &
         // ∃-side: homomorphisms of n2's body into everything frozen.
         let value_image = |i: usize| resolve(&pmerge, g0.image(&n1.query.value[i]));
         let Some(fixed) = target_fixing(n2, &p_args2, &pairs.atoms, &value_image) else {
-            return false; // no target element can match the atomic columns
+            return Ok(false); // no target element can match the atomic columns
         };
         let mut pattern_ok = false;
-        HomProblem::new(&n2.query.body, &ctx2.db).with_fixed(fixed).for_each(|hom| {
+        // An interruption inside the recursion cannot unwind through the
+        // `for_each` closure, so it is captured here and re-raised after.
+        let mut interrupted = None;
+        let outcome = HomProblem::new(&n2.query.body, &ctx2.db).with_fixed(fixed).for_each(|hom| {
             // Recurse into matched, non-empty-assumed child pairs.
-            let all_children_ok = matched_children.iter().enumerate().all(|(bit, &(j1, j2))| {
+            let mut all_children_ok = true;
+            for (bit, &(j1, j2)) in matched_children.iter().enumerate() {
                 if pattern & (1 << bit) == 0 {
-                    return true; // source child assumed empty: {} ⊑ anything
+                    continue; // source child assumed empty: {} ⊑ anything
                 }
                 let child2_args: Vec<Atom> =
                     n2.children[j2].link.iter().map(|t| eval_term(t, hom)).collect();
-                covered(
+                match covered(
                     &ctx2,
                     &n1.children[j1].node,
                     &p_child_args[j1],
                     &n2.children[j2].node,
                     &child2_args,
-                )
-            });
+                ) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        all_children_ok = false;
+                        break;
+                    }
+                    Err(stop) => {
+                        interrupted = Some(stop);
+                        return ControlFlow::Break(());
+                    }
+                }
+            }
             if all_children_ok {
                 pattern_ok = true;
                 ControlFlow::Break(())
@@ -528,11 +574,17 @@ fn covered(ctx: &Context, n1: &TreeNode, args1: &[Atom], n2: &TreeNode, args2: &
                 ControlFlow::Continue(())
             }
         });
+        if let Some(stop) = interrupted {
+            return Err(stop);
+        }
+        if outcome == SearchOutcome::Interrupted {
+            return Err(Interrupted);
+        }
         if !pattern_ok {
-            return false;
+            return Ok(false);
         }
     }
-    true
+    Ok(true)
 }
 
 /// Result of template matching: pairs of atomic columns to equate and
@@ -916,6 +968,18 @@ mod tests {
 /// [`crate::strong::strongly_simulated_by`] on `grouped_tree` encodings
 /// (cross-checked in tests).
 pub fn tree_strong_contained_in_no_empty_sets(t1: &QueryTree, t2: &QueryTree) -> bool {
+    try_tree_strong_contained_in_no_empty_sets(t1, t2)
+        .expect("interrupted: use the try_ variant under an interrupt budget")
+}
+
+/// Cancellable variant of [`tree_strong_contained_in_no_empty_sets`]:
+/// aborts with [`Interrupted`] when the thread-local
+/// [`co_object::interrupt`] budget expires. Identical when no budget is
+/// installed.
+pub fn try_tree_strong_contained_in_no_empty_sets(
+    t1: &QueryTree,
+    t2: &QueryTree,
+) -> Result<bool, Interrupted> {
     let ctx = Context {
         db: Database::new(),
         opts: ContainOptions { no_empty_sets: true, extra_witnesses: 0 },
@@ -934,13 +998,14 @@ fn covered_strong_dir(
     args1: &[Atom],
     n2: &TreeNode,
     args2: &[Atom],
-) -> bool {
+) -> Result<bool, Interrupted> {
+    interrupt::probe()?;
     if n1.query.unsatisfiable {
-        return true;
+        return Ok(true);
     }
     let mut entry_merge = HashMap::new();
     match unify_index(&n1.query.index, args1, &ctx.frozen, &mut entry_merge) {
-        Unify::Impossible => return true,
+        Unify::Impossible => return Ok(true),
         Unify::Ok => {}
     }
     let ctx = ctx.substituted(&entry_merge);
@@ -948,7 +1013,7 @@ fn covered_strong_dir(
     let args2 = resolve_args(&entry_merge, args2);
 
     let Some(pairs) = match_templates(&n1.template, &n2.template) else {
-        return false;
+        return Ok(false);
     };
 
     // ∀-side: one generic element of n1's set.
@@ -965,10 +1030,10 @@ fn covered_strong_dir(
         if child.query.unsatisfiable {
             // An always-empty child contradicts the hypothesis: no element
             // exists, so the claim is vacuous.
-            return true;
+            return Ok(true);
         }
         match unify_index(&child.query.index, &child_args1[j1], &ctx1.frozen, &mut pmerge) {
-            Unify::Impossible => return true,
+            Unify::Impossible => return Ok(true),
             Unify::Ok => {}
         }
     }
@@ -987,18 +1052,39 @@ fn covered_strong_dir(
 
     let value_image = |i: usize| resolve(&pmerge, g0.image(&n1.query.value[i]));
     let Some(fixed) = target_fixing(n2, &p_args2, &pairs.atoms, &value_image) else {
-        return false;
+        return Ok(false);
     };
     let mut found = false;
-    HomProblem::new(&n2.query.body, &ctx2.db).with_fixed(fixed).for_each(|hom| {
-        let all_children_equal = pairs.children.iter().all(|&(j1, j2)| {
+    // See `covered`: interruptions inside the recursion are captured and
+    // re-raised outside the `for_each` closure.
+    let mut interrupted = None;
+    let outcome = HomProblem::new(&n2.query.body, &ctx2.db).with_fixed(fixed).for_each(|hom| {
+        let mut all_children_equal = true;
+        for &(j1, j2) in &pairs.children {
             let child2_args: Vec<Atom> =
                 n2.children[j2].link.iter().map(|t| eval_term(t, hom)).collect();
             let c1 = &n1.children[j1].node;
             let c2 = &n2.children[j2].node;
-            covered_strong_dir(&ctx2, c1, &p_child_args[j1], c2, &child2_args)
-                && covered_strong_dir(&ctx2, c2, &child2_args, c1, &p_child_args[j1])
-        });
+            let both = covered_strong_dir(&ctx2, c1, &p_child_args[j1], c2, &child2_args).and_then(
+                |fwd| {
+                    if !fwd {
+                        return Ok(false);
+                    }
+                    covered_strong_dir(&ctx2, c2, &child2_args, c1, &p_child_args[j1])
+                },
+            );
+            match both {
+                Ok(true) => {}
+                Ok(false) => {
+                    all_children_equal = false;
+                    break;
+                }
+                Err(stop) => {
+                    interrupted = Some(stop);
+                    return ControlFlow::Break(());
+                }
+            }
+        }
         if all_children_equal {
             found = true;
             ControlFlow::Break(())
@@ -1006,7 +1092,13 @@ fn covered_strong_dir(
             ControlFlow::Continue(())
         }
     });
-    found
+    if let Some(stop) = interrupted {
+        return Err(stop);
+    }
+    if outcome == SearchOutcome::Interrupted {
+        return Err(Interrupted);
+    }
+    Ok(found)
 }
 
 #[cfg(test)]

@@ -20,6 +20,9 @@ run cargo build --release
 run cargo test -q
 # The full workspace: every crate's unit + integration tests.
 run cargo test --workspace -q
+# Fault-injection hardening suite (DESIGN.md §10): kernel panics, injected
+# slowness, and padded replies against a real TCP server.
+run cargo test -q -p co-service --features fault-inject
 # Decision-kernel perf harness (DESIGN.md §9): smoke-run it, validate the
 # smoke report, and strict-check the committed baseline (≥5× floors +
 # 100% verdict agreement).

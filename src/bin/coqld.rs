@@ -14,6 +14,7 @@
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use co_service::{parse_schema_decl, serve, Engine, EngineConfig, ServerConfig};
 
@@ -31,7 +32,19 @@ options:
                            (default 16)
   --capacity <n>           LRU capacity per shard (default 4096)
   --workers <n>            batch-engine worker threads (default: cores)
-  --max-connections <n>    concurrent connection cap (default 64)
+  --max-connections <n>    concurrent connection cap; excess connections are
+                           shed with ERR OVERLOADED (default 64)
+  --default-timeout-ms <n> default per-request deadline for CHECK/EQUIV;
+                           0 = unlimited (default 0)
+  --read-timeout-ms <n>    close connections that don't deliver a complete
+                           request line within n ms; 0 = never (default 30000)
+  --write-timeout-ms <n>   close connections that won't accept a reply within
+                           n ms; 0 = never (default 10000)
+  --max-line-bytes <n>     longest accepted request line; longer lines answer
+                           ERR TOOLARGE (default 65536)
+  --drain-ms <n>           how long a shutdown waits for in-flight connections
+                           (default 5000)
+  --allow-shutdown         honor the SHUTDOWN verb (off by default)
   -h, --help               this help
 
 protocol (one request per line; replies start OK/ERR; STATS ends with END):
@@ -40,10 +53,17 @@ protocol (one request per line; replies start OK/ERR; STATS ends with END):
   EQUIV <schema> <q1> ;; <q2>   decide equivalence
   FINGERPRINT <schema> <q>      canonical cache-key fingerprint
   STATS                         counters + per-path latency quantiles
+  SHUTDOWN                      drain and stop (needs --allow-shutdown)
   QUIT
 
+  CHECK/EQUIV accept budget prefixes, e.g. `TIMEOUT 50 CHECK app ...` caps
+  the request at 50 ms and `BUDGET 1000 CHECK app ...` caps kernel steps
+  (0 clears the server default). An expired budget answers `ERR DEADLINE`
+  without caching anything; other failure replies are `ERR TOOLARGE`,
+  `ERR OVERLOADED`, and `ERR INTERNAL` (the server survives all of them).
+
 exit codes:
-  0  clean shutdown (never reached in normal serving; the loop runs forever)
+  0  clean shutdown (SHUTDOWN verb after --allow-shutdown, drained)
   1  bad command line
   2  startup failure (bind error, unreadable or invalid schema file)";
 
@@ -91,9 +111,31 @@ fn run(args: &[String]) -> Result<(), (String, u8)> {
                 server.max_connections =
                     parse_num(&value("--max-connections")?, "--max-connections")?
             }
+            "--default-timeout-ms" => {
+                server.default_timeout =
+                    parse_ms(&value("--default-timeout-ms")?, "--default-timeout-ms")?
+            }
+            "--read-timeout-ms" => {
+                server.read_timeout = parse_ms(&value("--read-timeout-ms")?, "--read-timeout-ms")?
+            }
+            "--write-timeout-ms" => {
+                server.write_timeout =
+                    parse_ms(&value("--write-timeout-ms")?, "--write-timeout-ms")?
+            }
+            "--max-line-bytes" => {
+                server.max_line_bytes = parse_num(&value("--max-line-bytes")?, "--max-line-bytes")?
+            }
+            "--drain-ms" => {
+                server.drain_timeout =
+                    Duration::from_millis(parse_num(&value("--drain-ms")?, "--drain-ms")? as u64)
+            }
+            "--allow-shutdown" => server.allow_shutdown = true,
             other => return Err(usage(format!("unknown option `{other}`"))),
         }
     }
+
+    #[cfg(feature = "fault-inject")]
+    co_service::faults::init_from_env();
 
     let engine = Arc::new(Engine::new(config));
     for (name, path) in &schemas {
@@ -108,10 +150,18 @@ fn run(args: &[String]) -> Result<(), (String, u8)> {
         TcpListener::bind(&listen).map_err(|e| (format!("cannot bind `{listen}`: {e}"), 2))?;
     let addr = listener.local_addr().map_err(|e| (e.to_string(), 2))?;
     println!("coqld: listening on {addr}");
-    serve(listener, engine, server).map_err(|e| (format!("accept loop failed: {e}"), 2))
+    serve(listener, engine, server).map_err(|e| (format!("accept loop failed: {e}"), 2))?;
+    println!("coqld: drained, bye");
+    Ok(())
 }
 
 fn parse_num(text: &str, flag: &str) -> Result<usize, (String, u8)> {
     text.parse::<usize>()
         .map_err(|_| (format!("{flag} expects a number, got `{text}` (see --help)"), 1))
+}
+
+/// Parses a millisecond flag where `0` means "no limit".
+fn parse_ms(text: &str, flag: &str) -> Result<Option<Duration>, (String, u8)> {
+    let ms = parse_num(text, flag)? as u64;
+    Ok((ms > 0).then(|| Duration::from_millis(ms)))
 }
