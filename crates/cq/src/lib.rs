@@ -49,7 +49,7 @@ pub use independence::{
     independent_of_deletions, independent_of_insertions, independent_of_updates,
 };
 pub use minimize::{is_minimal, minimize};
-pub use parse::parse_query;
+pub use parse::{parse_query, parse_query_with_depth, ParseErrorKind};
 pub use query::{ConjunctiveQuery, QueryAtom, QueryError, Term};
 pub use schema::{RelName, RelSchema, Schema, Var};
 pub use views::{rewriting_equivalent, rewriting_sound, unfold, View, ViewError};

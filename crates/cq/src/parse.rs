@@ -20,6 +20,22 @@ use co_object::Atom;
 
 use crate::query::{ConjunctiveQuery, Equality, QueryAtom, Term};
 
+/// Default nesting cap for [`parse_query`]. The datalog grammar is flat
+/// today (terms never nest), so the cap exists as a uniform guarantee with
+/// the `co_lang`/`co_object` parsers: any future recursive syntax is
+/// already bounded, and callers get the same structured
+/// [`ParseErrorKind::TooDeep`] contract for untrusted input.
+pub const DEFAULT_MAX_DEPTH: usize = 128;
+
+/// What category of failure a [`ParseError`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Malformed input (the ordinary case).
+    Syntax,
+    /// Input nested deeper than the parser's depth cap.
+    TooDeep,
+}
+
 /// A parse error with byte position.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
@@ -27,6 +43,15 @@ pub struct ParseError {
     pub position: usize,
     /// Description.
     pub message: String,
+    /// Structured failure category (syntax vs. depth cap).
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    /// Whether this error is the depth-cap rejection.
+    pub fn is_too_deep(&self) -> bool {
+        self.kind == ParseErrorKind::TooDeep
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -37,9 +62,19 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parses one conjunctive query in datalog syntax.
+/// Parses one conjunctive query in datalog syntax under the default depth
+/// cap.
 pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseError> {
-    let mut p = P { s: input.as_bytes(), pos: 0 };
+    parse_query_with_depth(input, DEFAULT_MAX_DEPTH)
+}
+
+/// [`parse_query`] with an explicit nesting cap (see [`DEFAULT_MAX_DEPTH`]
+/// for why the cap exists even though the current grammar is flat).
+pub fn parse_query_with_depth(
+    input: &str,
+    max_depth: usize,
+) -> Result<ConjunctiveQuery, ParseError> {
+    let mut p = P { s: input.as_bytes(), pos: 0, depth: 0, max_depth };
     p.ws();
     p.ident()?; // head predicate name, ignored
     p.ws();
@@ -119,11 +154,21 @@ pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseError> {
 struct P<'a> {
     s: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> P<'a> {
     fn err(&self, m: &str) -> ParseError {
-        ParseError { position: self.pos, message: m.to_string() }
+        ParseError { position: self.pos, message: m.to_string(), kind: ParseErrorKind::Syntax }
+    }
+
+    fn too_deep(&self) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: format!("query nested deeper than {} levels", self.max_depth),
+            kind: ParseErrorKind::TooDeep,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -165,7 +210,21 @@ impl<'a> P<'a> {
         Ok(std::str::from_utf8(&self.s[start..self.pos]).expect("ascii").to_string())
     }
 
+    /// Depth guard shared by every compound production. Terms never nest in
+    /// the current grammar, so `depth` only ever reaches 1; the funnel keeps
+    /// the cap wired for any future recursive term syntax and makes the
+    /// [`ParseErrorKind::TooDeep`] contract testable (cap 0 trips it).
     fn term(&mut self) -> Result<Term, ParseError> {
+        if self.depth >= self.max_depth {
+            return Err(self.too_deep());
+        }
+        self.depth += 1;
+        let t = self.term_inner();
+        self.depth -= 1;
+        t
+    }
+
+    fn term_inner(&mut self) -> Result<Term, ParseError> {
         match self.peek() {
             Some(b'\'') => {
                 self.pos += 1;
@@ -300,5 +359,25 @@ mod tests {
         assert!(parse_query("q(X) :- R(X) extra").is_err());
         assert!(parse_query("q(X) :- R(X,").is_err());
         assert!(parse_query(":- R(X)").is_err());
+    }
+
+    #[test]
+    fn depth_cap_is_a_structured_error() {
+        // The grammar is flat, so only a zero cap can trip the guard; the
+        // test pins the structured-error contract shared with the other
+        // parsers.
+        let err = parse_query_with_depth("q(X) :- R(X).", 0).unwrap_err();
+        assert!(err.is_too_deep(), "{err}");
+        assert_eq!(err.kind, ParseErrorKind::TooDeep);
+
+        // A wide (10k-term) but flat query sails through the default cap.
+        let terms: Vec<String> = (0..10_000).map(|i| format!("X{i}")).collect();
+        let wide = format!("q({}) :- R({}).", terms.join(", "), terms.join(", "));
+        assert!(parse_query(&wide).is_ok());
+
+        // Ordinary syntax errors keep the Syntax kind.
+        let err = parse_query("q(X) :- R(X,").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Syntax);
+        assert!(!err.is_too_deep());
     }
 }

@@ -20,6 +20,24 @@ use co_object::{Atom, Field, Type};
 
 use crate::ast::Expr;
 
+/// Default nesting cap for [`parse_coql`]. Far deeper than any realistic
+/// query, far shallower than the stack limit — hostile `{{{{…}}}}` input
+/// (e.g. over the `coqld` TCP protocol) is rejected with a structured
+/// [`ParseErrorKind::TooDeep`] error instead of overflowing the stack.
+/// 128 leaves ample headroom even for debug builds on a 2 MiB thread
+/// stack, where each level costs several sizeable frames.
+pub const DEFAULT_MAX_DEPTH: usize = 128;
+
+/// What category of failure a [`ParseError`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Malformed input (the ordinary case).
+    Syntax,
+    /// Input nested deeper than the parser's depth cap. The input may be
+    /// grammatically fine; it is rejected as a resource bound.
+    TooDeep,
+}
+
 /// A parse error with byte position.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
@@ -27,6 +45,15 @@ pub struct ParseError {
     pub position: usize,
     /// Description.
     pub message: String,
+    /// Structured failure category (syntax vs. depth cap).
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    /// Whether this error is the depth-cap rejection.
+    pub fn is_too_deep(&self) -> bool {
+        self.kind == ParseErrorKind::TooDeep
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -37,9 +64,15 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parses a COQL expression.
+/// Parses a COQL expression under the default depth cap.
 pub fn parse_coql(input: &str) -> Result<Expr, ParseError> {
-    let mut p = P { s: input.as_bytes(), pos: 0 };
+    parse_coql_with_depth(input, DEFAULT_MAX_DEPTH)
+}
+
+/// Parses a COQL expression, rejecting nesting deeper than `max_depth`
+/// with [`ParseErrorKind::TooDeep`].
+pub fn parse_coql_with_depth(input: &str, max_depth: usize) -> Result<Expr, ParseError> {
+    let mut p = P { s: input.as_bytes(), pos: 0, depth: 0, max_depth };
     p.ws();
     let e = p.expr()?;
     p.ws();
@@ -52,11 +85,21 @@ pub fn parse_coql(input: &str) -> Result<Expr, ParseError> {
 struct P<'a> {
     s: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> P<'a> {
     fn err(&self, m: &str) -> ParseError {
-        ParseError { position: self.pos, message: m.to_string() }
+        ParseError { position: self.pos, message: m.to_string(), kind: ParseErrorKind::Syntax }
+    }
+
+    fn too_deep(&self) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: format!("expression nested deeper than {} levels", self.max_depth),
+            kind: ParseErrorKind::TooDeep,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -103,7 +146,20 @@ impl<'a> P<'a> {
         Ok(std::str::from_utf8(&self.s[start..self.pos]).expect("ascii").to_string())
     }
 
+    /// Every recursive production funnels through here, so one depth
+    /// counter bounds the whole parse (select heads, generators,
+    /// conditions, records, sets, parens, flatten).
     fn expr(&mut self) -> Result<Expr, ParseError> {
+        if self.depth >= self.max_depth {
+            return Err(self.too_deep());
+        }
+        self.depth += 1;
+        let e = self.expr_inner();
+        self.depth -= 1;
+        e
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr, ParseError> {
         self.ws();
         if self.keyword("select") {
             return self.select();
@@ -337,5 +393,26 @@ mod tests {
         assert!(parse_coql("[a 1]").is_err());
         assert!(parse_coql("x.").is_err());
         assert!(parse_coql("{1, 2}").is_err(), "multi-element sets are not COQL");
+    }
+
+    #[test]
+    fn depth_cap_is_a_structured_error() {
+        // Hostile 100k-deep nesting in each recursive production: the
+        // parser must answer TooDeep, never overflow the stack — this is
+        // the text a TCP client can feed coqld.
+        for open in ["{", "(", "[a: ", "flatten("] {
+            let hostile = open.repeat(100_000);
+            let e = parse_coql(&hostile).unwrap_err();
+            assert!(e.is_too_deep(), "`{open}`×100k → {e}");
+        }
+        // Nested selects recurse through the same guard.
+        let selects = "select (".repeat(100_000);
+        assert!(parse_coql(&selects).unwrap_err().is_too_deep());
+        // The cap is configurable; legitimate nesting under it still parses.
+        let nested = format!("{}1{}", "{".repeat(16), "}".repeat(16));
+        assert!(parse_coql_with_depth(&nested, 17).is_ok());
+        assert!(parse_coql_with_depth(&nested, 8).unwrap_err().is_too_deep());
+        // Ordinary failures stay classified as Syntax.
+        assert_eq!(parse_coql("select x from").unwrap_err().kind, ParseErrorKind::Syntax);
     }
 }

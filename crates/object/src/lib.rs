@@ -42,7 +42,10 @@ pub use graph::{
     simulates, try_greatest_simulation, try_simulates, ValueGraph,
 };
 pub use interrupt::Interrupted;
-pub use order::{hoare_equiv, hoare_join, hoare_leq, hoare_meet, hoare_reduce};
-pub use parse::{parse_value, ParseError};
+pub use order::{
+    hoare_equiv, hoare_join, hoare_leq, hoare_meet, hoare_reduce, try_hoare_leq, try_hoare_reduce,
+    TooDeep,
+};
+pub use parse::{parse_value, parse_value_with_depth, ParseError, ParseErrorKind};
 pub use ty::{check_type, type_of, IllTyped, Type};
 pub use value::{DuplicateField, RecordValue, SetValue, Value};

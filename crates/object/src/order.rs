@@ -16,16 +16,54 @@
 //! (`x ⊑ y ∧ y ⊑ x`, the paper's *weak equality* on objects).
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::value::Value;
+
+/// Error returned by the depth-capped (`try_`) Hoare-order entry points:
+/// an operand's structural depth exceeds the caller's cap, so running the
+/// structural recursion could overflow the stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TooDeep {
+    /// The structural depth of the deepest operand.
+    pub depth: usize,
+    /// The cap it exceeded.
+    pub max: usize,
+}
+
+impl fmt::Display for TooDeep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value depth {} exceeds the cap of {}", self.depth, self.max)
+    }
+}
+
+impl std::error::Error for TooDeep {}
 
 /// Decides `a ⊑ b` in the Hoare order.
 ///
 /// Runs the structural recursion with memoization on subvalue pairs, so
 /// repeated subobjects (common in query results) are compared once.
+///
+/// The recursion depth is bounded by the operands' structural depth; for
+/// values of untrusted provenance use [`try_hoare_leq`], which refuses to
+/// descend past a caller-chosen cap.
 pub fn hoare_leq(a: &Value, b: &Value) -> bool {
     let mut memo = HashMap::new();
     leq_memo(a, b, &mut memo)
+}
+
+/// [`hoare_leq`] with an explicit depth cap: returns [`TooDeep`] instead
+/// of recursing (and potentially overflowing the stack) when either
+/// operand's [`Value::structural_depth`] exceeds `max_depth`.
+///
+/// The depth probe itself is iterative, so the check is safe on values of
+/// any shape.
+pub fn try_hoare_leq(a: &Value, b: &Value, max_depth: usize) -> Result<bool, TooDeep> {
+    let depth = a.structural_depth().max(b.structural_depth());
+    if depth > max_depth {
+        return Err(TooDeep { depth, max: max_depth });
+    }
+    Ok(hoare_leq(a, b))
 }
 
 /// Decides Hoare equivalence: `a ⊑ b` and `b ⊑ a`.
@@ -105,6 +143,17 @@ pub fn hoare_reduce(v: &Value) -> Value {
             Value::set(keep)
         }
     }
+}
+
+/// [`hoare_reduce`] with an explicit depth cap: returns [`TooDeep`] when
+/// the value's [`Value::structural_depth`] exceeds `max_depth`, instead of
+/// recursing into a value that could overflow the stack.
+pub fn try_hoare_reduce(v: &Value, max_depth: usize) -> Result<Value, TooDeep> {
+    let depth = v.structural_depth();
+    if depth > max_depth {
+        return Err(TooDeep { depth, max: max_depth });
+    }
+    Ok(hoare_reduce(v))
 }
 
 #[cfg(test)]
@@ -308,5 +357,45 @@ mod lattice_tests {
     fn mixed_kinds_have_no_bounds() {
         assert_eq!(hoare_join(&Value::int(1), &Value::singleton(Value::int(1))), None);
         assert_eq!(hoare_meet(&Value::int(1), &Value::singleton(Value::int(1))), None);
+    }
+
+    /// Builds `{…{1}…}` nested `n` sets deep without recursion.
+    fn deep_singleton(n: usize) -> Value {
+        let mut v = Value::int(1);
+        for _ in 0..n {
+            v = Value::singleton(v);
+        }
+        v
+    }
+
+    #[test]
+    fn try_variants_agree_under_the_cap() {
+        let a = Value::set(vec![Value::int(1)]);
+        let b = Value::set(vec![Value::int(1), Value::int(2)]);
+        assert_eq!(try_hoare_leq(&a, &b, 16), Ok(true));
+        assert_eq!(try_hoare_leq(&b, &a, 16), Ok(false));
+        let v = Value::set(vec![
+            Value::set(vec![Value::int(1)]),
+            Value::set(vec![Value::int(1), Value::int(2)]),
+        ]);
+        assert_eq!(try_hoare_reduce(&v, 16).unwrap(), hoare_reduce(&v));
+    }
+
+    #[test]
+    fn try_variants_refuse_hostile_depth() {
+        // 50k-deep values would overflow the recursive comparison; the
+        // capped entry points must reject them (and the probe itself must
+        // be iterative, which this test exercises by not crashing).
+        let deep = deep_singleton(50_000);
+        let err = try_hoare_leq(&deep, &Value::int(1), 128).unwrap_err();
+        assert_eq!(err.max, 128);
+        assert!(err.depth > 128);
+        assert!(try_hoare_leq(&Value::int(1), &deep, 128).is_err());
+        let err = try_hoare_reduce(&deep, 128).unwrap_err();
+        assert!(err.to_string().contains("exceeds the cap"));
+        // The boundary is inclusive: depth == max passes.
+        let shallow = deep_singleton(8);
+        assert!(try_hoare_leq(&shallow, &shallow, 9).is_ok());
+        assert!(try_hoare_reduce(&shallow, 9).is_ok());
     }
 }

@@ -12,11 +12,33 @@
 //!
 //! The printer in [`crate::value`] produces exactly this syntax, so
 //! `parse(v.to_string()) == v` for every value (property-tested).
+//!
+//! The parser tracks its recursion depth explicitly: input nested deeper
+//! than the cap (default [`DEFAULT_MAX_DEPTH`]) is rejected with a
+//! structured [`ParseErrorKind::TooDeep`] error instead of overflowing the
+//! stack — a `{{{{…}}}}` line from an untrusted source must never abort
+//! the process.
 
 use std::fmt;
 
 use crate::atom::{Atom, Field};
 use crate::value::Value;
+
+/// Default nesting cap for [`parse_value`]. Deep enough for any sane
+/// literal, shallow enough that the parser's recursion (and dropping the
+/// partially-built value) stays far from the stack limit — 128 keeps even
+/// debug builds comfortably inside a 2 MiB thread stack.
+pub const DEFAULT_MAX_DEPTH: usize = 128;
+
+/// What category of failure a [`ParseError`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Malformed input (the ordinary case).
+    Syntax,
+    /// Input nested deeper than the parser's depth cap. The input may be
+    /// grammatically fine; it is rejected as a resource bound.
+    TooDeep,
+}
 
 /// A parse error with byte position and message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,6 +47,15 @@ pub struct ParseError {
     pub position: usize,
     /// What went wrong.
     pub message: String,
+    /// Structured failure category (syntax vs. depth cap).
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    /// Whether this error is the depth-cap rejection.
+    pub fn is_too_deep(&self) -> bool {
+        self.kind == ParseErrorKind::TooDeep
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -35,9 +66,15 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parses a complex-object literal.
+/// Parses a complex-object literal under the default depth cap.
 pub fn parse_value(input: &str) -> Result<Value, ParseError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    parse_value_with_depth(input, DEFAULT_MAX_DEPTH)
+}
+
+/// Parses a complex-object literal, rejecting nesting deeper than
+/// `max_depth` with [`ParseErrorKind::TooDeep`].
+pub fn parse_value_with_depth(input: &str, max_depth: usize) -> Result<Value, ParseError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0, depth: 0, max_depth };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -50,11 +87,25 @@ pub fn parse_value(input: &str) -> Result<Value, ParseError> {
 struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> ParseError {
-        ParseError { position: self.pos, message: message.to_string() }
+        ParseError {
+            position: self.pos,
+            message: message.to_string(),
+            kind: ParseErrorKind::Syntax,
+        }
+    }
+
+    fn too_deep(&self) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: format!("value nested deeper than {} levels", self.max_depth),
+            kind: ParseErrorKind::TooDeep,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -83,6 +134,16 @@ impl<'a> Parser<'a> {
     }
 
     fn value(&mut self) -> Result<Value, ParseError> {
+        if self.depth >= self.max_depth {
+            return Err(self.too_deep());
+        }
+        self.depth += 1;
+        let v = self.value_inner();
+        self.depth -= 1;
+        v
+    }
+
+    fn value_inner(&mut self) -> Result<Value, ParseError> {
         match self.peek() {
             Some(b'[') => self.record(),
             Some(b'{') => self.set(),
@@ -230,5 +291,23 @@ mod tests {
     #[test]
     fn escaped_quotes() {
         assert_eq!(parse_value("'a\\'b'").unwrap(), Value::str("a'b"));
+    }
+
+    #[test]
+    fn depth_cap_is_a_structured_error() {
+        // 100k-deep hostile nesting: must return TooDeep, not overflow.
+        for open in ["{", "[a: "] {
+            let hostile = open.repeat(100_000);
+            let e = parse_value(&hostile).unwrap_err();
+            assert!(e.is_too_deep(), "{e}");
+            assert_eq!(e.kind, ParseErrorKind::TooDeep);
+        }
+        // The cap is configurable and exact: depth == cap is fine.
+        let nested = format!("{}1{}", "{".repeat(8), "}".repeat(8));
+        assert!(parse_value_with_depth(&nested, 9).is_ok());
+        let e = parse_value_with_depth(&nested, 8).unwrap_err();
+        assert!(e.is_too_deep(), "{e}");
+        // Ordinary syntax errors stay classified as Syntax.
+        assert_eq!(parse_value("{1,").unwrap_err().kind, ParseErrorKind::Syntax);
     }
 }

@@ -89,30 +89,111 @@ impl Value {
     /// The paper's equivalence results hinge on this property: when the
     /// answers of two queries are guaranteed not to contain empty sets, weak
     /// equivalence coincides with equivalence (§4).
+    ///
+    /// Iterative (explicit worklist), so it is safe on arbitrarily deep
+    /// values — these walks are reachable from parsed (untrusted) input.
     pub fn contains_empty_set(&self) -> bool {
-        match self {
-            Value::Atom(_) => false,
-            Value::Record(r) => r.iter().any(|(_, v)| v.contains_empty_set()),
-            Value::Set(s) => s.is_empty() || s.iter().any(Value::contains_empty_set),
+        let mut stack = vec![self];
+        while let Some(v) = stack.pop() {
+            match v {
+                Value::Atom(_) => {}
+                Value::Record(r) => stack.extend(r.iter().map(|(_, v)| v)),
+                Value::Set(s) => {
+                    if s.is_empty() {
+                        return true;
+                    }
+                    stack.extend(s.iter());
+                }
+            }
         }
+        false
     }
 
     /// The set-nesting depth: 0 for values with no sets, and the maximum
     /// number of set constructors on any root-to-leaf path otherwise.
+    /// Iterative; safe on arbitrarily deep values.
     pub fn set_depth(&self) -> usize {
-        match self {
-            Value::Atom(_) => 0,
-            Value::Record(r) => r.iter().map(|(_, v)| v.set_depth()).max().unwrap_or(0),
-            Value::Set(s) => 1 + s.iter().map(Value::set_depth).max().unwrap_or(0),
+        let mut max = 0;
+        let mut stack = vec![(self, 0usize)];
+        while let Some((v, sets_above)) = stack.pop() {
+            match v {
+                Value::Atom(_) => {}
+                Value::Record(r) => stack.extend(r.iter().map(|(_, v)| (v, sets_above))),
+                Value::Set(s) => {
+                    max = max.max(sets_above + 1);
+                    stack.extend(s.iter().map(|v| (v, sets_above + 1)));
+                }
+            }
         }
+        max
+    }
+
+    /// The structural depth of the value tree: 1 for an atom, 1 + the
+    /// deepest child for records and sets. This bounds the recursion depth
+    /// of every structural walk over the value (the recursive Hoare-order
+    /// algorithms in [`crate::order`] check it before descending).
+    /// Iterative; safe on arbitrarily deep values.
+    pub fn structural_depth(&self) -> usize {
+        let mut max = 1;
+        let mut stack = vec![(self, 1usize)];
+        while let Some((v, depth)) = stack.pop() {
+            max = max.max(depth);
+            match v {
+                Value::Atom(_) => {}
+                Value::Record(r) => stack.extend(r.iter().map(|(_, v)| (v, depth + 1))),
+                Value::Set(s) => stack.extend(s.iter().map(|v| (v, depth + 1))),
+            }
+        }
+        max
     }
 
     /// Total number of nodes (atoms, records, sets) in the value tree.
+    /// Iterative; safe on arbitrarily deep values.
     pub fn size(&self) -> usize {
-        match self {
-            Value::Atom(_) => 1,
-            Value::Record(r) => 1 + r.iter().map(|(_, v)| v.size()).sum::<usize>(),
-            Value::Set(s) => 1 + s.iter().map(Value::size).sum::<usize>(),
+        let mut count = 0;
+        let mut stack = vec![self];
+        while let Some(v) = stack.pop() {
+            count += 1;
+            match v {
+                Value::Atom(_) => {}
+                Value::Record(r) => stack.extend(r.iter().map(|(_, v)| v)),
+                Value::Set(s) => stack.extend(s.iter()),
+            }
+        }
+        count
+    }
+}
+
+/// Drains a value tree iteratively so dropping a deeply nested value never
+/// recurses (the derived drop glue would overflow the stack on hostile
+/// depths). Children are detached onto an explicit stack; each detached
+/// node's own drop then sees only empty children.
+fn drain_value_tree(mut stack: Vec<Value>) {
+    while let Some(v) = stack.pop() {
+        match v {
+            Value::Atom(_) => {}
+            Value::Record(mut r) => {
+                stack.extend(std::mem::take(&mut r.fields).into_iter().map(|(_, v)| v))
+            }
+            Value::Set(mut s) => stack.extend(std::mem::take(&mut s.elems)),
+        }
+    }
+}
+
+impl Drop for RecordValue {
+    fn drop(&mut self) {
+        if self.fields.iter().any(|(_, v)| !matches!(v, Value::Atom(_))) {
+            drain_value_tree(
+                std::mem::take(&mut self.fields).into_iter().map(|(_, v)| v).collect(),
+            );
+        }
+    }
+}
+
+impl Drop for SetValue {
+    fn drop(&mut self) {
+        if self.elems.iter().any(|v| !matches!(v, Value::Atom(_))) {
+            drain_value_tree(std::mem::take(&mut self.elems));
         }
     }
 }
@@ -225,8 +306,8 @@ impl SetValue {
     }
 
     /// Consumes the set, returning its canonical element vector.
-    pub fn into_elems(self) -> Vec<Value> {
-        self.elems
+    pub fn into_elems(mut self) -> Vec<Value> {
+        std::mem::take(&mut self.elems)
     }
 }
 
@@ -341,5 +422,34 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(v.to_string(), "[kids: {bo}, name: ann]");
+    }
+
+    #[test]
+    fn structural_depth_counts_every_constructor() {
+        assert_eq!(Value::int(1).structural_depth(), 1);
+        assert_eq!(Value::singleton(Value::int(1)).structural_depth(), 2);
+        let rec = Value::record(vec![(f("A"), Value::singleton(Value::int(1)))]).unwrap();
+        assert_eq!(rec.structural_depth(), 3);
+        assert_eq!(Value::empty_set().structural_depth(), 1);
+    }
+
+    #[test]
+    fn deep_values_walk_and_drop_without_recursion() {
+        // 200k alternating set/record constructors: every structural walk
+        // and the drop itself must be iterative, or this test aborts with
+        // a stack overflow.
+        let mut v = Value::int(7);
+        for i in 0..200_000 {
+            v = if i % 2 == 0 {
+                Value::singleton(v)
+            } else {
+                Value::record(vec![(f("A"), v)]).unwrap()
+            };
+        }
+        assert_eq!(v.structural_depth(), 200_001);
+        assert_eq!(v.size(), 200_001);
+        assert_eq!(v.set_depth(), 100_000);
+        assert!(!v.contains_empty_set());
+        drop(v);
     }
 }

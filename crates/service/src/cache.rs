@@ -241,6 +241,39 @@ impl MemoCache {
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.shards.iter().map(|s| crate::sync::read(s).map.len()).collect()
     }
+
+    /// Copies every live entry out, shard by shard, least-recently-used
+    /// first within each shard — so replaying the list through
+    /// [`MemoCache::preload`] reconstructs approximately the same recency
+    /// order. Each shard is locked only while it is being walked; the
+    /// export is a consistent view per shard, not across shards (good
+    /// enough for a cache, where an entry's absence is always safe).
+    pub fn export(&self) -> Vec<(CacheKey, ContainmentAnalysis)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = crate::sync::read(shard);
+            let mut idx = shard.tail;
+            while idx != NIL {
+                out.push((shard.slab[idx].key, shard.slab[idx].value.clone()));
+                idx = shard.slab[idx].prev;
+            }
+        }
+        out
+    }
+
+    /// Inserts recovered entries without touching the hit/miss counters
+    /// (a warm start is not a workload). Returns how many entries the
+    /// cache retained — fewer than offered when they exceed capacity.
+    pub fn preload(&self, entries: Vec<(CacheKey, ContainmentAnalysis)>) -> usize {
+        let offered = entries.len();
+        let mut dropped = 0;
+        for (key, value) in entries {
+            if crate::sync::write(self.shard(&key)).insert(key, value) {
+                dropped += 1;
+            }
+        }
+        offered - dropped
+    }
 }
 
 #[cfg(test)]
@@ -286,5 +319,32 @@ mod tests {
     fn shard_count_rounds_to_power_of_two() {
         assert_eq!(MemoCache::new(5, 4).stats().shards, 8);
         assert_eq!(MemoCache::new(0, 4).stats().shards, 1);
+    }
+
+    #[test]
+    fn export_preload_roundtrip_preserves_entries_and_recency() {
+        let cache = MemoCache::new(1, 8);
+        for i in 0..4 {
+            cache.insert(key(i), verdict(i % 2 == 0));
+        }
+        cache.get(&key(0)); // refresh: 0 becomes MRU
+        let exported = cache.export();
+        assert_eq!(exported.len(), 4);
+        assert_eq!(exported.last().unwrap().0, key(0), "MRU entry exports last");
+
+        let warm = MemoCache::new(1, 8);
+        assert_eq!(warm.preload(exported), 4);
+        for i in 0..4 {
+            assert_eq!(warm.get(&key(i)).unwrap().holds, i % 2 == 0);
+        }
+        // Preload itself must not count as workload hits/misses.
+        assert_eq!(warm.stats().hits, 4);
+        assert_eq!(warm.stats().misses, 0);
+
+        // Preloading into a smaller cache keeps the most recent entries.
+        let small = MemoCache::new(1, 2);
+        let again = cache.export();
+        assert_eq!(small.preload(again), 2);
+        assert!(small.stats().entries == 2);
     }
 }

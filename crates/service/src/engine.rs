@@ -26,6 +26,7 @@ use crate::cache::{CacheKey, CacheStats, MemoCache};
 use crate::deadline::{Deadline, RequestBudget};
 use crate::faults;
 use crate::fingerprint::{fingerprint_query, fingerprint_schema, Fingerprint};
+use crate::snapshot::{self, LoadOutcome};
 use crate::stats::{path_index, EngineStats};
 use crate::sync;
 
@@ -38,12 +39,21 @@ pub struct EngineConfig {
     pub cache_per_shard: usize,
     /// Worker threads used by [`Engine::decide_batch`].
     pub workers: usize,
+    /// Nesting cap applied when parsing query text (untrusted socket/CLI
+    /// input). Deeper input is rejected with a `TOODEEP`-prefixed error
+    /// instead of risking a stack overflow in the parser.
+    pub max_parse_depth: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> EngineConfig {
         let cores = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        EngineConfig { cache_shards: 16, cache_per_shard: 4096, workers: cores.clamp(2, 16) }
+        EngineConfig {
+            cache_shards: 16,
+            cache_per_shard: 4096,
+            workers: cores.clamp(2, 16),
+            max_parse_depth: co_lang::parse::DEFAULT_MAX_DEPTH,
+        }
     }
 }
 
@@ -195,6 +205,17 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("opaque panic payload")
 }
 
+/// Renders a parse failure for the wire. Depth-cap rejections get a
+/// `TOODEEP` prefix so the protocol reply (`ERR TOODEEP …`) is machine
+/// distinguishable from a syntax error.
+fn parse_error_message(e: &co_lang::ParseError) -> String {
+    if e.is_too_deep() {
+        format!("TOODEEP {e}")
+    } else {
+        e.to_string()
+    }
+}
+
 /// The containment-decision engine. Cheap to share: wrap it in an [`Arc`]
 /// and hand clones to every connection/worker.
 pub struct Engine {
@@ -204,6 +225,23 @@ pub struct Engine {
     inflight: Mutex<HashMap<CacheKey, Arc<InFlightSlot>>>,
     stats: EngineStats,
     workers: usize,
+    max_parse_depth: usize,
+    last_snapshot: Mutex<Option<Instant>>,
+}
+
+/// What [`Engine::warm_start`] found on disk.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WarmStart {
+    /// No snapshot file: a normal first boot.
+    Cold,
+    /// This many verdicts were verified and preloaded into the cache.
+    Recovered(usize),
+    /// The snapshot failed verification and was moved aside; the cache
+    /// starts empty (and [`EngineStats::quarantined`] ticked).
+    Quarantined {
+        /// What failed verification.
+        reason: String,
+    },
 }
 
 impl Engine {
@@ -216,7 +254,57 @@ impl Engine {
             inflight: Mutex::new(HashMap::new()),
             stats: EngineStats::default(),
             workers: config.workers.max(1),
+            max_parse_depth: config.max_parse_depth.max(1),
+            last_snapshot: Mutex::new(None),
         }
+    }
+
+    /// Writes the cache's current verdicts to `path` (atomic
+    /// publication: temp file + fsync + rename). Returns the number of
+    /// entries written. On failure the previous snapshot at `path`
+    /// survives untouched and [`EngineStats::snapshot_failures`] ticks.
+    ///
+    /// Timed-out decisions are never inserted into the cache, so no
+    /// snapshot can ever contain one.
+    pub fn snapshot_to(&self, path: &std::path::Path) -> Result<usize, String> {
+        let entries = self.cache.export();
+        match snapshot::write_snapshot(path, &entries) {
+            Ok(()) => {
+                self.stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+                *sync::lock(&self.last_snapshot) = Some(Instant::now());
+                Ok(entries.len())
+            }
+            Err(e) => {
+                self.stats.snapshot_failures.fetch_add(1, Ordering::Relaxed);
+                Err(format!("snapshot to `{}` failed: {e}", path.display()))
+            }
+        }
+    }
+
+    /// Recovers the cache from the snapshot at `path`, if one exists and
+    /// verifies. Never fails the boot: a missing file is a cold start, a
+    /// corrupt/stale file is quarantined (renamed aside, counter ticked)
+    /// and the engine starts cold — wrong verdicts can never be
+    /// recovered because every record is checksummed and version-gated.
+    pub fn warm_start(&self, path: &std::path::Path) -> WarmStart {
+        match snapshot::load_snapshot(path) {
+            LoadOutcome::Missing => WarmStart::Cold,
+            LoadOutcome::Loaded(entries) => {
+                let kept = self.cache.preload(entries);
+                self.stats.recovered_entries.fetch_add(kept as u64, Ordering::Relaxed);
+                WarmStart::Recovered(kept)
+            }
+            LoadOutcome::Quarantined { reason, .. } => {
+                self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                WarmStart::Quarantined { reason }
+            }
+        }
+    }
+
+    /// Milliseconds since the last successful snapshot, `None` before
+    /// the first one.
+    pub fn snapshot_age_ms(&self) -> Option<u64> {
+        sync::lock(&self.last_snapshot).map(|t| t.elapsed().as_millis() as u64)
     }
 
     /// Registers (or replaces) a schema under `name`; returns its
@@ -249,7 +337,8 @@ impl Engine {
         entry: &SchemaEntry,
         text: &str,
     ) -> Result<(Fingerprint, Arc<Prepared>), String> {
-        let expr = co_lang::parse_coql(text).map_err(|e| e.to_string())?;
+        let expr = co_lang::parse_coql_with_depth(text, self.max_parse_depth)
+            .map_err(|e| parse_error_message(&e))?;
         co_lang::type_check(&expr, &entry.coql).map_err(|e| e.to_string())?;
         let nf = co_lang::normalize(&expr, &entry.coql).map_err(|e| e.to_string())?;
         let fp = fingerprint_query(&nf);
@@ -269,7 +358,8 @@ impl Engine {
     /// fingerprint` / `FINGERPRINT` debugging path).
     pub fn fingerprint(&self, schema: &str, text: &str) -> Result<Fingerprint, String> {
         let entry = self.resolve_schema(schema)?;
-        let expr = co_lang::parse_coql(text).map_err(|e| e.to_string())?;
+        let expr = co_lang::parse_coql_with_depth(text, self.max_parse_depth)
+            .map_err(|e| parse_error_message(&e))?;
         co_lang::type_check(&expr, &entry.coql).map_err(|e| e.to_string())?;
         let nf = co_lang::normalize(&expr, &entry.coql).map_err(|e| e.to_string())?;
         Ok(fingerprint_query(&nf))
@@ -505,7 +595,12 @@ mod tests {
     use super::*;
 
     fn engine() -> Engine {
-        let e = Engine::new(EngineConfig { cache_shards: 4, cache_per_shard: 64, workers: 4 });
+        let e = Engine::new(EngineConfig {
+            cache_shards: 4,
+            cache_per_shard: 64,
+            workers: 4,
+            ..EngineConfig::default()
+        });
         e.register_schema("s", Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])]));
         e
     }
@@ -559,6 +654,21 @@ mod tests {
         assert!(e
             .decide(&check("s", "select x from x in R where x = 1", "select x from x in R"))
             .is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_is_a_structured_toodeep_error() {
+        let e = engine();
+        let hostile = "{".repeat(100_000);
+        let err = e.decide(&check("s", &hostile, "select x from x in R")).unwrap_err();
+        assert!(err.starts_with("TOODEEP"), "{err}");
+        let err = e.fingerprint("s", &hostile).unwrap_err();
+        assert!(err.starts_with("TOODEEP"), "{err}");
+        // A syntax error must not carry the TOODEEP marker.
+        let err = e.decide(&check("s", "select from", "{1}")).unwrap_err();
+        assert!(!err.starts_with("TOODEEP"), "{err}");
+        // The engine still serves ordinary requests afterwards.
+        assert!(e.decide(&check("s", "select x.B from x in R", "select x.B from x in R")).is_ok());
     }
 
     #[test]

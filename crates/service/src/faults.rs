@@ -11,7 +11,13 @@
 //! * **kernel slow** — every Nth kernel entry sleeps, exercising deadline
 //!   expiry and coalesced-waiter timeouts;
 //! * **reply padding** — every Nth reply is padded with garbage bytes,
-//!   exercising client-side robustness against oversized responses.
+//!   exercising client-side robustness against oversized responses;
+//! * **snapshot fsync failure** — every Nth snapshot write fails before
+//!   its fsync, exercising the failure counter and the previous
+//!   snapshot's survival;
+//! * **snapshot crash** — every Nth snapshot write "crashes" after the
+//!   temp file is written but before the atomic rename, exercising
+//!   recovery from exactly the window the rename protocol protects.
 //!
 //! Triggers are counters, not randomness: a 1-in-N fault fires on exactly
 //! the Nth, 2Nth, … call, so tests are reproducible.
@@ -29,6 +35,10 @@ mod imp {
     pub static PAD_EVERY: AtomicU64 = AtomicU64::new(0);
     pub static PAD_BYTES: AtomicUsize = AtomicUsize::new(0);
     static PAD_TICK: AtomicU64 = AtomicU64::new(0);
+    pub static SNAP_FAIL_EVERY: AtomicU64 = AtomicU64::new(0);
+    static SNAP_FAIL_TICK: AtomicU64 = AtomicU64::new(0);
+    pub static SNAP_CRASH_EVERY: AtomicU64 = AtomicU64::new(0);
+    static SNAP_CRASH_TICK: AtomicU64 = AtomicU64::new(0);
 
     fn fires(every: &AtomicU64, tick: &AtomicU64) -> bool {
         let n = every.load(Ordering::Relaxed);
@@ -52,10 +62,28 @@ mod imp {
         }
     }
 
+    pub fn snapshot_fsync_fails() -> bool {
+        fires(&SNAP_FAIL_EVERY, &SNAP_FAIL_TICK)
+    }
+
+    pub fn snapshot_crash_before_rename() -> bool {
+        fires(&SNAP_CRASH_EVERY, &SNAP_CRASH_TICK)
+    }
+
     pub fn reset() {
-        for a in
-            [&PANIC_EVERY, &PANIC_TICK, &SLOW_EVERY, &SLOW_MS, &SLOW_TICK, &PAD_EVERY, &PAD_TICK]
-        {
+        for a in [
+            &PANIC_EVERY,
+            &PANIC_TICK,
+            &SLOW_EVERY,
+            &SLOW_MS,
+            &SLOW_TICK,
+            &PAD_EVERY,
+            &PAD_TICK,
+            &SNAP_FAIL_EVERY,
+            &SNAP_FAIL_TICK,
+            &SNAP_CRASH_EVERY,
+            &SNAP_CRASH_TICK,
+        ] {
             a.store(0, Ordering::Relaxed);
         }
         PAD_BYTES.store(0, Ordering::Relaxed);
@@ -83,6 +111,33 @@ pub fn reply_padding() -> usize {
     }
 }
 
+/// Hook: whether this snapshot write should fail before its fsync.
+#[inline]
+pub fn snapshot_fsync_fails() -> bool {
+    #[cfg(feature = "fault-inject")]
+    {
+        imp::snapshot_fsync_fails()
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        false
+    }
+}
+
+/// Hook: whether this snapshot write should "crash" after writing the
+/// temp file but before the atomic rename.
+#[inline]
+pub fn snapshot_crash_before_rename() -> bool {
+    #[cfg(feature = "fault-inject")]
+    {
+        imp::snapshot_crash_before_rename()
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        false
+    }
+}
+
 /// Arms a panic on every `every`-th kernel entry (0 disarms).
 #[cfg(feature = "fault-inject")]
 pub fn set_kernel_panic_every(every: u64) {
@@ -104,6 +159,19 @@ pub fn set_reply_padding(every: u64, bytes: usize) {
     imp::PAD_BYTES.store(bytes, std::sync::atomic::Ordering::Relaxed);
 }
 
+/// Arms an fsync failure on every `every`-th snapshot write (0 disarms).
+#[cfg(feature = "fault-inject")]
+pub fn set_snapshot_fail_every(every: u64) {
+    imp::SNAP_FAIL_EVERY.store(every, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Arms a crash between temp-write and rename on every `every`-th
+/// snapshot write (0 disarms).
+#[cfg(feature = "fault-inject")]
+pub fn set_snapshot_crash_every(every: u64) {
+    imp::SNAP_CRASH_EVERY.store(every, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Disarms every fault and zeroes the trigger counters.
 #[cfg(feature = "fault-inject")]
 pub fn reset() {
@@ -111,7 +179,8 @@ pub fn reset() {
 }
 
 /// Arms faults from the `COQLD_FAULTS` environment variable, a
-/// comma-separated list of `panic=<N>`, `slow=<N>:<ms>`, `pad=<N>:<bytes>`.
+/// comma-separated list of `panic=<N>`, `slow=<N>:<ms>`, `pad=<N>:<bytes>`,
+/// `snap_fail=<N>`, `snap_crash=<N>`.
 /// Unknown or malformed entries are ignored (the variable is a test hook,
 /// not an interface).
 #[cfg(feature = "fault-inject")]
@@ -128,6 +197,8 @@ pub fn init_from_env() {
             ("panic", Some(Ok(n)), None) => set_kernel_panic_every(n),
             ("slow", Some(Ok(n)), Some(Ok(ms))) => set_kernel_slow(n, ms),
             ("pad", Some(Ok(n)), Some(Ok(bytes))) => set_reply_padding(n, bytes as usize),
+            ("snap_fail", Some(Ok(n)), None) => set_snapshot_fail_every(n),
+            ("snap_crash", Some(Ok(n)), None) => set_snapshot_crash_every(n),
             _ => {}
         }
     }

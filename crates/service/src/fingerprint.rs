@@ -12,6 +12,13 @@ use std::fmt;
 use co_cq::Schema;
 use co_lang::Comprehension;
 
+/// Version of the canonicalization + hash pipeline behind these
+/// fingerprints. Cache snapshots embed it; bump it whenever
+/// [`co_lang::canonical_query`]'s serialization or the hash below
+/// changes, so verdicts keyed by an old pipeline's fingerprints are
+/// rejected at warm start instead of silently mis-keyed.
+pub const FINGERPRINT_VERSION: u32 = 1;
+
 /// A 128-bit canonical fingerprint.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Fingerprint(pub u128);

@@ -20,7 +20,12 @@
 //!    [`Engine::decide_batch`];
 //! 4. [`server`] — the `coqld` TCP front end: a line-oriented
 //!    `CHECK`/`EQUIV`/`FINGERPRINT`/`SCHEMA`/`STATS` protocol with
-//!    per-decision-path latency histograms.
+//!    per-decision-path latency histograms;
+//! 5. [`snapshot`] — a versioned, checksummed on-disk format for the memo
+//!    cache, published atomically (temp + fsync + rename) by a background
+//!    snapshotter so restarts warm-start instead of recomputing
+//!    (see `DESIGN.md` §11). Anything short of a byte-perfect snapshot is
+//!    quarantined and the server starts cold — never with wrong verdicts.
 //!
 //! The serving path is hardened end-to-end (see `DESIGN.md` §10):
 //! [`deadline`] attaches wall-clock/step budgets that the kernels poll
@@ -68,12 +73,16 @@ pub mod engine;
 pub mod faults;
 pub mod fingerprint;
 pub mod server;
+pub mod snapshot;
 pub mod stats;
 mod sync;
 
 pub use cache::{CacheKey, CacheStats, MemoCache};
 pub use deadline::{Deadline, RequestBudget};
-pub use engine::{Decision, Engine, EngineConfig, Op, Request};
-pub use fingerprint::{fingerprint_bytes, fingerprint_query, fingerprint_schema, Fingerprint};
+pub use engine::{Decision, Engine, EngineConfig, Op, Request, WarmStart};
+pub use fingerprint::{
+    fingerprint_bytes, fingerprint_query, fingerprint_schema, Fingerprint, FINGERPRINT_VERSION,
+};
 pub use server::{parse_schema_decl, serve, serve_with_shutdown, ServerConfig, Shutdown};
+pub use snapshot::{load_snapshot, write_snapshot, LoadOutcome};
 pub use stats::{EngineStats, LatencyHistogram, ServerStats};

@@ -39,6 +39,7 @@
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
@@ -53,7 +54,7 @@ use crate::stats::{path_label, ServerStats};
 use crate::sync;
 
 /// Server knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Maximum concurrently-served connections; excess connections are
     /// shed with `ERR OVERLOADED` rather than queued.
@@ -75,6 +76,14 @@ pub struct ServerConfig {
     /// Whether the `SHUTDOWN` verb is honored (off by default: any client
     /// could stop the server).
     pub allow_shutdown: bool,
+    /// Where to persist the memo cache. `None` disables persistence;
+    /// with a path set, a background snapshotter publishes the cache
+    /// every [`ServerConfig::snapshot_interval`] and once more after the
+    /// drain completes, so a restart with the same path warm-starts.
+    pub cache_path: Option<PathBuf>,
+    /// How often the background snapshotter publishes the cache (only
+    /// meaningful with [`ServerConfig::cache_path`] set).
+    pub snapshot_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +96,8 @@ impl Default for ServerConfig {
             default_timeout: None,
             drain_timeout: Duration::from_secs(5),
             allow_shutdown: false,
+            cache_path: None,
+            snapshot_interval: Duration::from_secs(30),
         }
     }
 }
@@ -212,6 +223,12 @@ pub fn serve_with_shutdown(
     shutdown.set_addr(listener.local_addr().ok());
     let gate = Arc::new(Gate::new(config.max_connections));
     let ctx = Arc::new(ServerCtx { engine, config, stats: ServerStats::default(), shutdown });
+    let snapshotter = ctx.config.cache_path.clone().map(|path| {
+        let engine = Arc::clone(&ctx.engine);
+        let shutdown = ctx.shutdown.clone();
+        let interval = ctx.config.snapshot_interval;
+        thread::spawn(move || run_snapshotter(&engine, &path, interval, &shutdown))
+    });
     loop {
         if ctx.shutdown.is_triggered() {
             break;
@@ -242,7 +259,41 @@ pub fn serve_with_shutdown(
     // instead of a socket that will never be read.
     drop(listener);
     gate.wait_idle(Instant::now() + ctx.config.drain_timeout);
+    if let Some(handle) = snapshotter {
+        let _ = handle.join();
+        // Final flush after the drain, so verdicts computed by the last
+        // in-flight connections make it into the snapshot.
+        if let Some(path) = &ctx.config.cache_path {
+            let _ = ctx.engine.snapshot_to(path);
+        }
+    }
     Ok(())
+}
+
+/// Periodically publishes the memo cache to `path` until shutdown. Sleeps
+/// in short ticks so a drain is never stuck behind a long interval. Write
+/// failures tick [`crate::stats::EngineStats::snapshot_failures`] (inside
+/// [`Engine::snapshot_to`]) and leave the previous snapshot current.
+fn run_snapshotter(
+    engine: &Engine,
+    path: &std::path::Path,
+    interval: Duration,
+    shutdown: &Shutdown,
+) {
+    let interval = interval.max(Duration::from_millis(1));
+    let tick = interval.min(Duration::from_millis(50));
+    let mut next = Instant::now() + interval;
+    while !shutdown.is_triggered() {
+        thread::sleep(tick);
+        if shutdown.is_triggered() {
+            break;
+        }
+        if Instant::now() >= next {
+            let _ = engine.snapshot_to(path);
+            next = Instant::now() + interval;
+        }
+    }
+    // The final flush happens in serve_with_shutdown after the drain.
 }
 
 /// Best-effort overload reply on a connection we refuse to serve.
@@ -583,6 +634,12 @@ fn render_stats(ctx: &ServerCtx) -> String {
     put("cache.shards", cache.shards.to_string());
     put("cache.hit_rate", format!("{:.4}", cache.hit_rate()));
     put("cache.effective_hit_rate", format!("{effective:.4}"));
+    put("persist.recovered_entries", stats.recovered_entries.load(Ordering::Relaxed).to_string());
+    put("persist.snapshots_written", stats.snapshots_written.load(Ordering::Relaxed).to_string());
+    put("persist.snapshot_failures", stats.snapshot_failures.load(Ordering::Relaxed).to_string());
+    put("persist.quarantined", stats.quarantined.load(Ordering::Relaxed).to_string());
+    let age = engine.snapshot_age_ms().map(|ms| ms.to_string());
+    put("persist.snapshot_age_ms", age.unwrap_or_else(|| "-1".to_string()));
     for (i, hist) in stats.path_latency.iter().enumerate() {
         let label = path_label(i);
         put(&format!("path.{label}.count"), hist.count().to_string());
@@ -634,7 +691,12 @@ mod tests {
     use crate::engine::EngineConfig;
 
     fn ctx() -> ServerCtx {
-        let engine = Engine::new(EngineConfig { cache_shards: 2, cache_per_shard: 32, workers: 2 });
+        let engine = Engine::new(EngineConfig {
+            cache_shards: 2,
+            cache_per_shard: 32,
+            workers: 2,
+            ..EngineConfig::default()
+        });
         ServerCtx {
             engine: Arc::new(engine),
             config: ServerConfig::default(),

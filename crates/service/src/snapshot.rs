@@ -1,0 +1,398 @@
+//! Crash-safe snapshot persistence for the memo cache.
+//!
+//! A snapshot is a single binary file holding the cache's
+//! `(key, verdict)` pairs, written with the classic atomic-publication
+//! dance: serialize to `<path>.tmp`, `fsync` the file, `rename` over
+//! `<path>`, `fsync` the directory. A reader therefore sees either the
+//! previous complete snapshot or the new complete snapshot — never a
+//! torn one — and a crash at any point leaves the previous snapshot
+//! intact.
+//!
+//! ## Format (all integers little-endian)
+//!
+//! ```text
+//! header  (28 bytes)
+//!   0   magic            8B   b"COQLSNP1"
+//!   8   format version   u32  FORMAT_VERSION
+//!   12  fingerprint ver  u32  fingerprint::FINGERPRINT_VERSION
+//!   16  entry count      u64
+//!   24  header CRC-32    u32  over bytes 0..24
+//! record (78 bytes, entry count times)
+//!   0   fp(q1)           u128
+//!   16  fp(q2)           u128
+//!   32  fp(schema)       u128
+//!   48  holds            u8   0 or 1
+//!   49  path             u8   stats::path_index encoding
+//!   50  depth            u64
+//!   58  set_nodes.0      u64
+//!   66  set_nodes.1      u64
+//!   74  record CRC-32    u32  over bytes 0..74
+//! ```
+//!
+//! ## Trust model
+//!
+//! A snapshot feeds *verdicts* straight into the serving path, so a
+//! corrupt or stale one is worse than no snapshot at all. Loading is
+//! therefore all-or-nothing: any mismatch — magic, either version, entry
+//! count vs. file length, any CRC, any out-of-range field — rejects the
+//! whole file. The rejected file is renamed to `<path>.corrupt` (kept
+//! for postmortems, and so the next boot doesn't trip on it again) and
+//! the caller starts cold. Bumping [`FORMAT_VERSION`] or
+//! [`crate::fingerprint::FINGERPRINT_VERSION`] invalidates old
+//! snapshots by construction.
+//!
+//! Timed-out decisions are never memoized (see [`crate::engine`]), so by
+//! construction they are never snapshotted either; a snapshot only ever
+//! contains definite verdicts.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use co_core::{ContainmentAnalysis, DecisionPath};
+
+use crate::cache::CacheKey;
+use crate::faults;
+use crate::fingerprint::{Fingerprint, FINGERPRINT_VERSION};
+use crate::stats::path_index;
+
+/// First 8 bytes of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"COQLSNP1";
+
+/// Bump on any change to the record layout below.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 28;
+const RECORD_LEN: usize = 78;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+/// Hand-rolled table-driven implementation: the workspace is `std`-only
+/// by policy, and a checksum dependency is not worth an exception.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB88320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// What loading a snapshot produced.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// No snapshot file exists: a normal cold start.
+    Missing,
+    /// The snapshot verified end to end; every entry is safe to serve.
+    Loaded(Vec<(CacheKey, ContainmentAnalysis)>),
+    /// The file failed verification (or could not be read) and was
+    /// quarantined; the caller must start cold.
+    Quarantined {
+        /// What failed verification.
+        reason: String,
+        /// Where the bad file was moved, when the rename succeeded.
+        moved_to: Option<PathBuf>,
+    },
+}
+
+/// Serializes `entries` and atomically publishes them at `path`
+/// (write-to-temp + fsync + rename + directory fsync). On any error the
+/// previous snapshot at `path`, if one exists, is untouched.
+pub fn write_snapshot(path: &Path, entries: &[(CacheKey, ContainmentAnalysis)]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + entries.len() * RECORD_LEN);
+    buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&FINGERPRINT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    let header_crc = crc32(&buf);
+    buf.extend_from_slice(&header_crc.to_le_bytes());
+    for (key, analysis) in entries {
+        let start = buf.len();
+        buf.extend_from_slice(&key.q1.0.to_le_bytes());
+        buf.extend_from_slice(&key.q2.0.to_le_bytes());
+        buf.extend_from_slice(&key.schema.0.to_le_bytes());
+        buf.push(analysis.holds as u8);
+        buf.push(path_index(analysis.path) as u8);
+        buf.extend_from_slice(&(analysis.depth as u64).to_le_bytes());
+        buf.extend_from_slice(&(analysis.set_nodes.0 as u64).to_le_bytes());
+        buf.extend_from_slice(&(analysis.set_nodes.1 as u64).to_le_bytes());
+        let record_crc = crc32(&buf[start..]);
+        buf.extend_from_slice(&record_crc.to_le_bytes());
+    }
+
+    let tmp = temp_path(path);
+    let mut file = File::create(&tmp)?;
+    file.write_all(&buf)?;
+    if faults::snapshot_fsync_fails() {
+        return Err(io::Error::other("fault-inject: snapshot fsync failed"));
+    }
+    file.sync_all()?;
+    drop(file);
+    if faults::snapshot_crash_before_rename() {
+        // Simulated crash: the temp file exists, the rename never
+        // happened. The previous snapshot must remain the visible one.
+        return Err(io::Error::other("fault-inject: crashed between temp write and rename"));
+    }
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// Sibling temp path the snapshot is staged at before the rename.
+fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Sibling path a failed-verification snapshot is moved to.
+fn corrupt_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".corrupt");
+    path.with_file_name(name)
+}
+
+/// Best-effort durability of the rename itself: fsync the directory so
+/// the new directory entry survives a power cut. Failure is ignored —
+/// the data file is already synced, and some filesystems refuse
+/// directory fsyncs.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+/// Loads and fully verifies the snapshot at `path`.
+///
+/// Never returns partially-verified data: the outcome is the complete
+/// entry list, [`LoadOutcome::Missing`], or [`LoadOutcome::Quarantined`]
+/// (with the bad file renamed aside so it cannot poison the next boot).
+pub fn load_snapshot(path: &Path) -> LoadOutcome {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadOutcome::Missing,
+        Err(e) => return quarantine(path, format!("unreadable: {e}")),
+    };
+    match parse_snapshot(&bytes) {
+        Ok(entries) => LoadOutcome::Loaded(entries),
+        Err(reason) => quarantine(path, reason),
+    }
+}
+
+fn quarantine(path: &Path, reason: String) -> LoadOutcome {
+    let target = corrupt_path(path);
+    let moved_to = fs::rename(path, &target).is_ok().then_some(target);
+    LoadOutcome::Quarantined { reason, moved_to }
+}
+
+fn parse_snapshot(bytes: &[u8]) -> Result<Vec<(CacheKey, ContainmentAnalysis)>, String> {
+    if bytes.len() < HEADER_LEN {
+        return Err(format!("truncated header: {} bytes", bytes.len()));
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err("bad magic".to_string());
+    }
+    let format = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if format != FORMAT_VERSION {
+        return Err(format!("format version {format}, expected {FORMAT_VERSION}"));
+    }
+    let fp_version = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if fp_version != FINGERPRINT_VERSION {
+        return Err(format!(
+            "fingerprint version {fp_version}, expected {FINGERPRINT_VERSION} \
+             (stale snapshot from an incompatible build)"
+        ));
+    }
+    let count = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let header_crc = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+    if header_crc != crc32(&bytes[..24]) {
+        return Err("header CRC mismatch".to_string());
+    }
+    let expected_len = HEADER_LEN as u64 + count.saturating_mul(RECORD_LEN as u64);
+    if bytes.len() as u64 != expected_len {
+        return Err(format!(
+            "length mismatch: {} bytes for {count} entries (expected {expected_len})",
+            bytes.len()
+        ));
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    for (i, record) in bytes[HEADER_LEN..].chunks_exact(RECORD_LEN).enumerate() {
+        let stored_crc = u32::from_le_bytes(record[74..78].try_into().unwrap());
+        if stored_crc != crc32(&record[..74]) {
+            return Err(format!("record {i} CRC mismatch"));
+        }
+        let key = CacheKey {
+            q1: Fingerprint(u128::from_le_bytes(record[0..16].try_into().unwrap())),
+            q2: Fingerprint(u128::from_le_bytes(record[16..32].try_into().unwrap())),
+            schema: Fingerprint(u128::from_le_bytes(record[32..48].try_into().unwrap())),
+        };
+        let holds = match record[48] {
+            0 => false,
+            1 => true,
+            other => return Err(format!("record {i}: bad holds byte {other}")),
+        };
+        let path = match record[49] {
+            0 => DecisionPath::FlatClassical,
+            1 => DecisionPath::NoEmptySets,
+            2 => DecisionPath::Full,
+            other => return Err(format!("record {i}: bad path byte {other}")),
+        };
+        let depth = u64::from_le_bytes(record[50..58].try_into().unwrap()) as usize;
+        let set_nodes = (
+            u64::from_le_bytes(record[58..66].try_into().unwrap()) as usize,
+            u64::from_le_bytes(record[66..74].try_into().unwrap()) as usize,
+        );
+        entries.push((key, ContainmentAnalysis { holds, path, depth, set_nodes }));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: u128, holds: bool) -> (CacheKey, ContainmentAnalysis) {
+        (
+            CacheKey {
+                q1: Fingerprint(i),
+                q2: Fingerprint(i.wrapping_mul(31)),
+                schema: Fingerprint(7),
+            },
+            ContainmentAnalysis { holds, path: DecisionPath::Full, depth: 2, set_nodes: (3, 4) },
+        )
+    }
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("coql-snap-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_entry() {
+        let dir = tempdir("roundtrip");
+        let path = dir.join("cache.snap");
+        let entries: Vec<_> = (0..100).map(|i| entry(i, i % 3 == 0)).collect();
+        write_snapshot(&path, &entries).unwrap();
+        let LoadOutcome::Loaded(loaded) = load_snapshot(&path) else {
+            panic!("expected a clean load");
+        };
+        assert_eq!(loaded, entries);
+        // No temp file left behind.
+        assert!(!temp_path(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_a_cold_start() {
+        let dir = tempdir("missing");
+        assert!(matches!(load_snapshot(&dir.join("nope.snap")), LoadOutcome::Missing));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bitflip_anywhere_quarantines_the_file() {
+        let dir = tempdir("bitflip");
+        let entries: Vec<_> = (0..10).map(|i| entry(i, true)).collect();
+        // Flip one bit at several positions: header, key bytes, the
+        // verdict byte itself, and a CRC byte.
+        let probe = [0usize, 9, 20, HEADER_LEN + 5, HEADER_LEN + 48, HEADER_LEN + 75];
+        for (case, &pos) in probe.iter().enumerate() {
+            let path = dir.join(format!("cache-{case}.snap"));
+            write_snapshot(&path, &entries).unwrap();
+            let mut bytes = fs::read(&path).unwrap();
+            bytes[pos] ^= 0x40;
+            fs::write(&path, &bytes).unwrap();
+            match load_snapshot(&path) {
+                LoadOutcome::Quarantined { moved_to, .. } => {
+                    assert!(!path.exists(), "byte {pos}: bad file must be moved aside");
+                    assert!(moved_to.is_some_and(|p| p.exists()), "byte {pos}");
+                }
+                other => panic!("byte {pos}: expected quarantine, got {other:?}"),
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_quarantines_the_file() {
+        let dir = tempdir("truncate");
+        let path = dir.join("cache.snap");
+        write_snapshot(&path, &(0..10).map(|i| entry(i, true)).collect::<Vec<_>>()).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        // Mid-record truncation (as if the writer died without the
+        // atomic rename protocol) and mid-header truncation.
+        for cut in [bytes.len() - 30, HEADER_LEN / 2] {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                matches!(load_snapshot(&path), LoadOutcome::Quarantined { .. }),
+                "cut at {cut}"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_versions_are_rejected() {
+        let dir = tempdir("versions");
+        let path = dir.join("cache.snap");
+        write_snapshot(&path, &[entry(1, true)]).unwrap();
+        let pristine = fs::read(&path).unwrap();
+        // Patch each version field (and re-seal the header CRC so only
+        // the version mismatch can be the rejection reason).
+        for field in [8usize, 12] {
+            let mut bytes = pristine.clone();
+            bytes[field] = bytes[field].wrapping_add(1);
+            let reseal = crc32(&bytes[..24]).to_le_bytes();
+            bytes[24..28].copy_from_slice(&reseal);
+            fs::write(&path, &bytes).unwrap();
+            match load_snapshot(&path) {
+                LoadOutcome::Quarantined { reason, .. } => {
+                    assert!(reason.contains("version"), "field {field}: {reason}");
+                }
+                other => panic!("field {field}: expected quarantine, got {other:?}"),
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        let dir = tempdir("rewrite");
+        let path = dir.join("cache.snap");
+        write_snapshot(&path, &[entry(1, true)]).unwrap();
+        write_snapshot(&path, &(0..5).map(|i| entry(i, false)).collect::<Vec<_>>()).unwrap();
+        let LoadOutcome::Loaded(loaded) = load_snapshot(&path) else {
+            panic!("expected a clean load");
+        };
+        assert_eq!(loaded.len(), 5);
+        assert!(loaded.iter().all(|(_, a)| !a.holds));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -75,6 +75,15 @@ pub struct EngineStats {
     /// Decision computations that panicked and were contained by the
     /// engine's isolation boundary.
     pub panics: AtomicU64,
+    /// Verdicts recovered from a snapshot at warm start.
+    pub recovered_entries: AtomicU64,
+    /// Snapshots successfully published (temp + fsync + rename).
+    pub snapshots_written: AtomicU64,
+    /// Snapshot writes that failed; the previous snapshot stays current.
+    pub snapshot_failures: AtomicU64,
+    /// Snapshot files rejected at load (corrupt, truncated, or written
+    /// by an incompatible version) and moved aside.
+    pub quarantined: AtomicU64,
     /// Latency of computed decisions, by decision path
     /// (indexed [`path_index`]).
     pub path_latency: [LatencyHistogram; 3],

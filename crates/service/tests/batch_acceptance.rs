@@ -16,7 +16,12 @@ fn thousand_requests_fifty_pairs_hit_rate_and_verdicts() {
     let pairs = service_workload(TOTAL, DISTINCT, 11);
     assert_eq!(pairs.len(), TOTAL);
 
-    let engine = Engine::new(EngineConfig { cache_shards: 8, cache_per_shard: 512, workers: 8 });
+    let engine = Engine::new(EngineConfig {
+        cache_shards: 8,
+        cache_per_shard: 512,
+        workers: 8,
+        ..EngineConfig::default()
+    });
     engine.register_schema("s", schema.clone());
     let requests: Vec<Request> =
         pairs.iter().map(|(q1, q2)| Request::new(Op::Check, "s", q1, q2)).collect();

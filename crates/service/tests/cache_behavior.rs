@@ -67,8 +67,12 @@ fn shards_spread_realistic_keys() {
 #[test]
 fn concurrent_hammering_matches_uncached_decisions() {
     let schema = Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])]);
-    let engine =
-        Arc::new(Engine::new(EngineConfig { cache_shards: 4, cache_per_shard: 64, workers: 4 }));
+    let engine = Arc::new(Engine::new(EngineConfig {
+        cache_shards: 4,
+        cache_per_shard: 64,
+        workers: 4,
+        ..EngineConfig::default()
+    }));
     engine.register_schema("s", schema.clone());
 
     // A small pool of pairs, half contained, half not, hammered from 8

@@ -44,8 +44,12 @@ struct TestServer {
 fn start_server(config: ServerConfig) -> TestServer {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().unwrap();
-    let engine =
-        Arc::new(Engine::new(EngineConfig { cache_shards: 4, cache_per_shard: 256, workers: 4 }));
+    let engine = Arc::new(Engine::new(EngineConfig {
+        cache_shards: 4,
+        cache_per_shard: 256,
+        workers: 4,
+        ..EngineConfig::default()
+    }));
     let shutdown = Shutdown::new();
     let handle = {
         let shutdown = shutdown.clone();
@@ -194,8 +198,12 @@ fn slow_leader_does_not_hold_short_deadline_waiter_hostage() {
     let _session = FaultSession::begin();
     faults::set_kernel_slow(1, 400);
 
-    let engine =
-        Arc::new(Engine::new(EngineConfig { cache_shards: 2, cache_per_shard: 32, workers: 2 }));
+    let engine = Arc::new(Engine::new(EngineConfig {
+        cache_shards: 2,
+        cache_per_shard: 32,
+        workers: 2,
+        ..EngineConfig::default()
+    }));
     engine.register_schema("s", co_cq::Schema::with_relations(&[("R", &["A", "B"])]));
     let q1 = "select x.B from x in R where x.A = 1";
     let q2 = "select x.B from x in R";

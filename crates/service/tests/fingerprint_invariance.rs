@@ -7,7 +7,12 @@ use co_cq::Schema;
 use co_service::{fingerprint_schema, Engine, EngineConfig, Fingerprint};
 
 fn engine() -> Engine {
-    let e = Engine::new(EngineConfig { cache_shards: 4, cache_per_shard: 64, workers: 2 });
+    let e = Engine::new(EngineConfig {
+        cache_shards: 4,
+        cache_per_shard: 64,
+        workers: 2,
+        ..EngineConfig::default()
+    });
     e.register_schema("s", Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])]));
     e
 }

@@ -29,6 +29,7 @@ impl TestServer {
             cache_shards: 4,
             cache_per_shard: 64,
             workers: 2,
+            ..EngineConfig::default()
         }));
         let shutdown = Shutdown::new();
         let handle = {
@@ -230,7 +231,12 @@ fn slow_loris_is_cut_off_by_the_line_deadline() {
 
 #[test]
 fn step_budget_exhaustion_times_out_without_caching() {
-    let engine = Engine::new(EngineConfig { cache_shards: 2, cache_per_shard: 32, workers: 2 });
+    let engine = Engine::new(EngineConfig {
+        cache_shards: 2,
+        cache_per_shard: 32,
+        workers: 2,
+        ..EngineConfig::default()
+    });
     engine
         .register_schema("s", co_cq::Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])]));
     let q1 = "select x.B from x in R where x.A = 1";
@@ -274,6 +280,29 @@ fn hard_instance_deadline_is_not_memoized() {
     assert!(reply.starts_with("ERR DEADLINE"), "second attempt: {reply}");
     // The engine is unharmed for everyone else.
     assert!(client.send(EASY).starts_with("OK holds=true"));
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn hostile_nesting_answers_toodeep_and_server_survives() {
+    // A 100k-deep query is ~100 KB of `{`, past the default line cap, so
+    // raise the cap: this test must reach the parser, not TOOLARGE.
+    let config = ServerConfig { max_line_bytes: 1 << 20, ..test_config() };
+    let server = TestServer::start(config);
+    let mut client = Client::connect(server.addr);
+    assert!(client.send("SCHEMA s R(A,B); S(C)").starts_with("OK"));
+    let bomb = "{".repeat(100_000);
+    let reply = client.send(&format!("CHECK s {bomb} ;; select x.B from x in R"));
+    assert!(reply.starts_with("ERR TOODEEP"), "{reply}");
+    // The cap must also guard the container side and FINGERPRINT.
+    let reply = client.send(&format!("CHECK s select x.B from x in R ;; {bomb}"));
+    assert!(reply.starts_with("ERR TOODEEP"), "{reply}");
+    let reply = client.send(&format!("FINGERPRINT s {bomb}"));
+    assert!(reply.starts_with("ERR TOODEEP"), "{reply}");
+    // Same connection, same server: real work still flows.
+    let reply = client.send(EASY);
+    assert!(reply.starts_with("OK holds=true"), "{reply}");
     drop(client);
     server.stop();
 }

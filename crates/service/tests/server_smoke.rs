@@ -12,8 +12,12 @@ use co_service::{serve, Engine, EngineConfig, ServerConfig};
 fn start_server() -> std::net::SocketAddr {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().unwrap();
-    let engine =
-        Arc::new(Engine::new(EngineConfig { cache_shards: 4, cache_per_shard: 64, workers: 2 }));
+    let engine = Arc::new(Engine::new(EngineConfig {
+        cache_shards: 4,
+        cache_per_shard: 64,
+        workers: 2,
+        ..EngineConfig::default()
+    }));
     thread::spawn(move || {
         let _ =
             serve(listener, engine, ServerConfig { max_connections: 8, ..ServerConfig::default() });

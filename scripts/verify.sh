@@ -21,8 +21,20 @@ run cargo test -q
 # The full workspace: every crate's unit + integration tests.
 run cargo test --workspace -q
 # Fault-injection hardening suite (DESIGN.md §10): kernel panics, injected
-# slowness, and padded replies against a real TCP server.
+# slowness, and padded replies against a real TCP server. This also runs
+# the persistence suite's fault-armed half (snapshot fsync failures and
+# crash-between-temp-and-rename, DESIGN.md §11).
 run cargo test -q -p co-service --features fault-inject
+# Durability & recovery (DESIGN.md §11): snapshot save → load → identical
+# verdicts, quarantine of corrupt/stale snapshots, TCP restart drill.
+run cargo test -q -p co-service --test persistence
+# Depth-hardened parsers (DESIGN.md §11.4): 100k-deep hostile input must
+# answer a structured TOODEEP error at every boundary — all three parser
+# crates and the TCP path.
+run cargo test -q -p co-lang depth
+run cargo test -q -p co-cq depth
+run cargo test -q -p co-object hostile_depth
+run cargo test -q -p co-service --test robustness hostile_nesting
 # Decision-kernel perf harness (DESIGN.md §9): smoke-run it, validate the
 # smoke report, and strict-check the committed baseline (≥5× floors +
 # 100% verdict agreement).

@@ -33,7 +33,13 @@ fn main() -> ExitCode {
         }
         Err(message) => {
             eprintln!("coqlc: {message}");
-            ExitCode::FAILURE
+            // Depth-cap rejections get their own exit code so scripts can
+            // tell "hostile/degenerate input" from ordinary bad usage.
+            if message.starts_with("TOODEEP") {
+                ExitCode::from(3)
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }
@@ -95,6 +101,8 @@ exit codes:
   0  the command ran to completion (a false containment verdict still
      exits 0 — read the report)
   1  error: bad usage, unreadable file, or parse/type failure
+  3  query nesting exceeds the parser depth cap (structured rejection of
+     hostile or degenerate input; the message starts with TOODEEP)
 
 serving:
   coqld serves CHECK/EQUIV/FINGERPRINT over TCP with a memo cache keyed by
@@ -178,7 +186,13 @@ fn parse_atom(text: &str) -> Result<Atom, String> {
 }
 
 fn parse_query(text: &str) -> Result<Expr, String> {
-    parse_coql(strip_comments(text).trim()).map_err(|e| e.to_string())
+    parse_coql(strip_comments(text).trim()).map_err(|e| {
+        if e.is_too_deep() {
+            format!("TOODEEP {e}")
+        } else {
+            e.to_string()
+        }
+    })
 }
 
 fn cmd_check(schema_text: &str, q1_text: &str, q2_text: &str) -> Result<String, String> {
@@ -321,6 +335,18 @@ mod tests {
         let c = cmd_fingerprint(schema, "select x.B from x in R where x.A = 2").unwrap();
         assert_ne!(a, c, "different constants must change the fingerprint");
         assert!(cmd_fingerprint(schema, "select x.Z from x in R").is_err());
+    }
+
+    #[test]
+    fn deep_queries_are_rejected_with_the_toodeep_marker() {
+        let hostile = "{".repeat(100_000);
+        let err = cmd_check("R(A, B)", &hostile, "select x from x in R").unwrap_err();
+        assert!(err.starts_with("TOODEEP"), "{err}");
+        let err = cmd_fingerprint("R(A, B)", &hostile).unwrap_err();
+        assert!(err.starts_with("TOODEEP"), "{err}");
+        // Ordinary parse failures keep the plain message (exit code 1).
+        let err = cmd_check("R(A, B)", "select from", "select x from x in R").unwrap_err();
+        assert!(!err.starts_with("TOODEEP"), "{err}");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use co_service::{parse_schema_decl, serve, Engine, EngineConfig, ServerConfig};
+use co_service::{parse_schema_decl, serve, Engine, EngineConfig, ServerConfig, WarmStart};
 
 const HELP: &str = "\
 coqld — serve COQL containment/equivalence decisions over TCP
@@ -44,6 +44,18 @@ options:
                            ERR TOOLARGE (default 65536)
   --drain-ms <n>           how long a shutdown waits for in-flight connections
                            (default 5000)
+  --max-parse-depth <n>    deepest query nesting accepted by the parser;
+                           deeper input answers ERR TOODEEP (default 128,
+                           minimum 1)
+  --cache-path <file>      persist the memo cache to <file> and warm-start
+                           from it on boot; corrupt or version-incompatible
+                           snapshots are moved to <file>.corrupt and the
+                           server starts cold (default: no persistence)
+  --snapshot-interval-ms <n>
+                           how often the background snapshotter publishes the
+                           cache when --cache-path is set (default 30000,
+                           minimum 1); a final snapshot is always written
+                           after a clean drain
   --allow-shutdown         honor the SHUTDOWN verb (off by default)
   -h, --help               this help
 
@@ -60,7 +72,8 @@ protocol (one request per line; replies start OK/ERR; STATS ends with END):
   the request at 50 ms and `BUDGET 1000 CHECK app ...` caps kernel steps
   (0 clears the server default). An expired budget answers `ERR DEADLINE`
   without caching anything; other failure replies are `ERR TOOLARGE`,
-  `ERR OVERLOADED`, and `ERR INTERNAL` (the server survives all of them).
+  `ERR TOODEEP` (query nested past --max-parse-depth), `ERR OVERLOADED`,
+  and `ERR INTERNAL` (the server survives all of them).
 
 exit codes:
   0  clean shutdown (SHUTDOWN verb after --allow-shutdown, drained)
@@ -129,6 +142,15 @@ fn run(args: &[String]) -> Result<(), (String, u8)> {
                 server.drain_timeout =
                     Duration::from_millis(parse_num(&value("--drain-ms")?, "--drain-ms")? as u64)
             }
+            "--max-parse-depth" => {
+                config.max_parse_depth =
+                    parse_num(&value("--max-parse-depth")?, "--max-parse-depth")?.max(1)
+            }
+            "--cache-path" => server.cache_path = Some(value("--cache-path")?.into()),
+            "--snapshot-interval-ms" => {
+                let ms = parse_num(&value("--snapshot-interval-ms")?, "--snapshot-interval-ms")?;
+                server.snapshot_interval = Duration::from_millis(ms.max(1) as u64)
+            }
             "--allow-shutdown" => server.allow_shutdown = true,
             other => return Err(usage(format!("unknown option `{other}`"))),
         }
@@ -138,6 +160,20 @@ fn run(args: &[String]) -> Result<(), (String, u8)> {
     co_service::faults::init_from_env();
 
     let engine = Arc::new(Engine::new(config));
+    if let Some(path) = &server.cache_path {
+        match engine.warm_start(path) {
+            WarmStart::Cold => println!("coqld: no snapshot at {}, starting cold", path.display()),
+            WarmStart::Recovered(n) => {
+                println!("coqld: warm start, {n} verdicts recovered from {}", path.display())
+            }
+            WarmStart::Quarantined { reason } => {
+                eprintln!(
+                    "coqld: snapshot {} quarantined ({reason}); starting cold",
+                    path.display()
+                )
+            }
+        }
+    }
     for (name, path) in &schemas {
         let text = std::fs::read_to_string(path)
             .map_err(|e| (format!("cannot read schema `{path}`: {e}"), 2))?;
