@@ -281,14 +281,31 @@ fn verdict_matrix(m: Vec<Vec<bool>>) -> String {
     format!("{}x{}:{total}", m.len(), m.first().map_or(0, Vec::len))
 }
 
+/// Runs one workload and prints the kernel step counters it moved to
+/// stderr (a `bench-kernel` line per counter). Stderr on purpose: the
+/// JSON report on stdout is the machine-readable artifact checked into
+/// `BENCH_PR2.json`, and step counts vary with workload sizing, so they
+/// inform a human reading the run without perturbing the baseline diff.
+fn traced(name: &str, run: impl FnOnce() -> Json) -> Json {
+    let before = co_trace::kernel::snapshot();
+    let report = run();
+    let steps = co_trace::kernel::snapshot().delta(&before);
+    for (counter, value) in steps.iter() {
+        if value > 0 {
+            eprintln!("bench-kernel {name} {counter} {value}");
+        }
+    }
+    report
+}
+
 /// Runs every workload and assembles the `co-bench/perf-v1` report.
 pub fn run_report(opts: &PerfOptions) -> Json {
     let workloads = vec![
-        join_heavy(opts),
-        witness_copy(opts),
-        simulation_positive(opts),
-        graph_simulation(opts),
-        containment_stack(opts),
+        traced("join_heavy", || join_heavy(opts)),
+        traced("witness_copy", || witness_copy(opts)),
+        traced("simulation_positive", || simulation_positive(opts)),
+        traced("graph_simulation", || graph_simulation(opts)),
+        traced("containment_stack", || containment_stack(opts)),
     ];
     Json::Obj(vec![
         ("schema".into(), Json::str("co-bench/perf-v1")),

@@ -40,6 +40,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use co_object::{interrupt, Atom};
+use co_trace::kernel::{self, Metric};
 
 use crate::db::{Database, PatternIndex, PositionMask, Relation, Tuple};
 use crate::query::{QueryAtom, Term};
@@ -316,12 +317,22 @@ impl IndexedSearch<'_, '_> {
             return (self.snapshots[i].len(), mask);
         }
         let rel = self.rels[i];
-        let idx = self.index_cache[i].entry(mask).or_insert_with(|| rel.pattern_index(mask));
+        let idx = match self.index_cache[i].entry(mask) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                kernel::bump(Metric::HomIndexHits);
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                kernel::bump(Metric::HomIndexBuilds);
+                v.insert(rel.pattern_index(mask))
+            }
+        };
         (idx.candidate_count(&self.scratch), mask)
     }
 
     fn run(&mut self) -> SearchOutcome {
         if self.remaining.is_empty() {
+            kernel::bump(Metric::HomSolutions);
             return match (self.visit)(&self.binding) {
                 ControlFlow::Break(()) => SearchOutcome::Stopped,
                 ControlFlow::Continue(()) => SearchOutcome::Exhausted,
@@ -364,6 +375,7 @@ impl IndexedSearch<'_, '_> {
         };
         let outcome = (|| {
             let probe = |this: &mut Self, tuple: &[Atom]| -> Result<(), SearchOutcome> {
+                kernel::bump(Metric::HomProbes);
                 if let Some(budget) = &mut this.steps_left {
                     if *budget == 0 {
                         return Err(SearchOutcome::BudgetExceeded);
@@ -404,7 +416,12 @@ impl IndexedSearch<'_, '_> {
         let last = self.remaining.len() - 1;
         self.remaining.swap(pick, last);
         match outcome {
-            Ok(()) => SearchOutcome::Exhausted,
+            Ok(()) => {
+                // Candidate list exhausted without an early stop below this
+                // node: the search backtracks past the MRV pick.
+                kernel::bump(Metric::HomBacktracks);
+                SearchOutcome::Exhausted
+            }
             Err(stop) => stop,
         }
     }
@@ -425,6 +442,7 @@ struct LinearSearch<'a, 'f> {
 impl LinearSearch<'_, '_> {
     fn run(&mut self, depth: usize) -> SearchOutcome {
         if depth == self.order.len() {
+            kernel::bump(Metric::HomSolutions);
             return match (self.visit)(&self.binding) {
                 ControlFlow::Break(()) => SearchOutcome::Stopped,
                 ControlFlow::Continue(()) => SearchOutcome::Exhausted,
@@ -435,6 +453,7 @@ impl LinearSearch<'_, '_> {
         let snapshot = Arc::clone(&self.snapshots[i]);
         // Deterministic iteration for reproducible search behaviour.
         for tuple in snapshot.iter() {
+            kernel::bump(Metric::HomProbes);
             if let Some(budget) = &mut self.steps_left {
                 if *budget == 0 {
                     return SearchOutcome::BudgetExceeded;
@@ -455,6 +474,7 @@ impl LinearSearch<'_, '_> {
                 }
             }
         }
+        kernel::bump(Metric::HomBacktracks);
         SearchOutcome::Exhausted
     }
 }

@@ -18,6 +18,8 @@
 
 use std::collections::HashMap;
 
+use co_trace::kernel::{self, Metric};
+
 use crate::atom::{Atom, Field};
 use crate::interrupt::{self, Interrupted};
 use crate::value::Value;
@@ -202,6 +204,7 @@ fn topological_impl(
     g2: &ValueGraph,
     cancellable: bool,
 ) -> Result<Vec<Vec<bool>>, Interrupted> {
+    kernel::bump(Metric::SimTopoFastPath);
     let mut sim = kind_compatible(g1, g2);
     for i in 0..g1.len() {
         if cancellable {
@@ -262,6 +265,7 @@ fn worklist_impl(
     g2: &ValueGraph,
     cancellable: bool,
 ) -> Result<Vec<Vec<bool>>, Interrupted> {
+    kernel::bump(Metric::SimWorklistRuns);
     let n1 = g1.len();
     let n2 = g2.len();
     let mut sim = kind_compatible(g1, g2);
@@ -340,6 +344,7 @@ fn worklist_impl(
     // Propagate deaths through reverse edges until quiescence. The pop is
     // the unit of work the cooperative-cancellation budget counts.
     while let Some((a, b)) = queue.pop() {
+        kernel::bump(Metric::SimWorklistPops);
         if cancellable {
             interrupt::probe()?;
         }
@@ -365,6 +370,7 @@ fn worklist_impl(
                         // Set children are deduplicated, so `a` occurs once.
                         let k = ea.iter().position(|&c| c == a).expect("a is a child of p1");
                         let cnt = &mut counters[b + k];
+                        kernel::bump(Metric::SimCounterUpdates);
                         *cnt -= 1;
                         if *cnt == 0 {
                             sim[p1][p2] = false;
@@ -385,6 +391,7 @@ fn worklist_impl(
 /// baseline. Agrees with [`greatest_simulation`] on every input (the
 /// greatest fixpoint is unique).
 pub fn greatest_simulation_sweep(g1: &ValueGraph, g2: &ValueGraph) -> Vec<Vec<bool>> {
+    kernel::bump(Metric::SimSweepRuns);
     let n1 = g1.len();
     let n2 = g2.len();
     let mut sim = kind_compatible(g1, g2);

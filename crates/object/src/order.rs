@@ -89,6 +89,9 @@ fn leq_memo<'v>(
     if let Some(&r) = memo.get(&(a, b)) {
         return r;
     }
+    // A memo miss is the unit of Hoare-order work: one subvalue pair
+    // actually compared (shortcut and memoized pairs are free).
+    co_trace::kernel::bump(co_trace::kernel::Metric::HoarePairs);
     let result = match (a, b) {
         (Value::Atom(x), Value::Atom(y)) => x == y,
         (Value::Record(r), Value::Record(s)) => {

@@ -1,0 +1,27 @@
+//! Prints the `EXPLAIN` phase breakdown for a batch of cold requests —
+//! a quick way to eyeball how much of the end-to-end latency the phases
+//! attribute (`cargo run --release -p co-service --example explain_probe`).
+
+use co_cq::Schema;
+use co_service::{Engine, EngineConfig, Op, Request};
+
+fn main() {
+    let e = Engine::new(EngineConfig::default());
+    e.register_schema("app", Schema::with_relations(&[("Flight", &["src", "dst"])]));
+    for k in 0..30 {
+        let q1 = format!("select f.dst from f in Flight where f.src = {k}");
+        let r = Request::new(Op::Check, "app", &q1, "select g.dst from g in Flight");
+        let (_, ex) = e.decide_explained(&r).unwrap();
+        println!(
+            "total={} sum={} parse={} canon={} fp={} prep={} cache={} kern={}",
+            ex.total_us,
+            ex.phase_sum_us(),
+            ex.parse_us,
+            ex.canonicalize_us,
+            ex.fingerprint_us,
+            ex.prepare_us,
+            ex.cache_us,
+            ex.kernel_us
+        );
+    }
+}

@@ -21,6 +21,7 @@ use co_core::{ContainmentAnalysis, CoreError, Equivalence, Prepared};
 use co_cq::Schema;
 use co_lang::{CoqlSchema, EmptySetStatus};
 use co_object::interrupt;
+use co_trace::{kernel, Span};
 
 use crate::cache::{CacheKey, CacheStats, MemoCache};
 use crate::deadline::{Deadline, RequestBudget};
@@ -142,6 +143,62 @@ pub enum Decision {
         /// Time spent before giving up.
         elapsed: Duration,
     },
+}
+
+/// Per-request phase breakdown and kernel step counts, produced by
+/// [`Engine::decide_explained`] (the `EXPLAIN` protocol prefix).
+///
+/// Phase timings are microseconds of wall clock spent in each stage of
+/// the decision pipeline; for `EQUIV` requests both directions
+/// accumulate into the same fields. `cache_us` includes time spent
+/// waiting on another request's in-flight computation of the same key,
+/// so the phases sum to approximately the end-to-end latency
+/// ([`Explain::total_us`]) whatever path the request takes.
+#[derive(Clone, Debug, Default)]
+pub struct Explain {
+    /// Parsing + type checking the query text.
+    pub parse_us: u64,
+    /// Canonicalizing (normalizing) the parsed queries.
+    pub canonicalize_us: u64,
+    /// Fingerprinting the canonical forms.
+    pub fingerprint_us: u64,
+    /// Building (or looking up) the shared [`Prepared`] forms.
+    pub prepare_us: u64,
+    /// Memo-cache lookups plus any time spent coalesced behind an
+    /// identical in-flight computation.
+    pub cache_us: u64,
+    /// Time inside the decision kernels proper.
+    pub kernel_us: u64,
+    /// End-to-end time inside [`Engine::decide_explained`].
+    pub total_us: u64,
+    /// Kernel step counters attributable to this request (zero when the
+    /// verdict came from cache or a coalesced computation).
+    pub kernel_steps: kernel::Counters,
+}
+
+impl Explain {
+    /// Sum of the per-phase timings (compare against [`Explain::total_us`]
+    /// to see how much latency the breakdown attributes).
+    pub fn phase_sum_us(&self) -> u64 {
+        self.parse_us
+            + self.canonicalize_us
+            + self.fingerprint_us
+            + self.prepare_us
+            + self.cache_us
+            + self.kernel_us
+    }
+
+    /// The phase timings as stable `(name, µs)` pairs, in pipeline order.
+    pub fn phases(&self) -> [(&'static str, u64); 6] {
+        [
+            ("parse", self.parse_us),
+            ("canonicalize", self.canonicalize_us),
+            ("fingerprint", self.fingerprint_us),
+            ("prepare", self.prepare_us),
+            ("cache", self.cache_us),
+            ("kernel", self.kernel_us),
+        ]
+    }
 }
 
 struct SchemaEntry {
@@ -331,27 +388,52 @@ impl Engine {
 
     /// Parses, normalizes, and fingerprints one query; returns its
     /// fingerprint and the shared [`Prepared`] form (reused across every
-    /// pair this query appears in).
+    /// pair this query appears in). With an [`Explain`] attached, each
+    /// stage's wall time is accumulated into the matching phase field.
     fn analyze(
         &self,
         entry: &SchemaEntry,
         text: &str,
+        ex: Option<&mut Explain>,
     ) -> Result<(Fingerprint, Arc<Prepared>), String> {
+        let span = Span::start();
         let expr = co_lang::parse_coql_with_depth(text, self.max_parse_depth)
             .map_err(|e| parse_error_message(&e))?;
         co_lang::type_check(&expr, &entry.coql).map_err(|e| e.to_string())?;
+        let parse_us = span.elapsed_us();
+
+        let span = Span::start();
         let nf = co_lang::normalize(&expr, &entry.coql).map_err(|e| e.to_string())?;
+        let canonicalize_us = span.elapsed_us();
+
+        let span = Span::start();
         let fp = fingerprint_query(&nf);
+        let fingerprint_us = span.elapsed_us();
+
+        let span = Span::start();
         let pkey = (entry.fp, fp);
-        if let Some(p) = sync::read(&self.prepared).get(&pkey) {
-            return Ok((fp, Arc::clone(p)));
+        // Bind the lookup before matching: a guard temporary in the match
+        // scrutinee would live through the `None` arm and deadlock against
+        // the write lock taken there.
+        let known = sync::read(&self.prepared).get(&pkey).cloned();
+        let shared = match known {
+            Some(p) => p,
+            None => {
+                let prepared =
+                    Arc::new(co_core::prepare(&expr, &entry.flat).map_err(|e| e.to_string())?);
+                let mut map = sync::write(&self.prepared);
+                // A racing thread may have inserted an equivalent Prepared;
+                // keep the first so every holder shares one allocation.
+                Arc::clone(map.entry(pkey).or_insert(prepared))
+            }
+        };
+        if let Some(ex) = ex {
+            ex.parse_us += parse_us;
+            ex.canonicalize_us += canonicalize_us;
+            ex.fingerprint_us += fingerprint_us;
+            ex.prepare_us += span.elapsed_us();
         }
-        let prepared = Arc::new(co_core::prepare(&expr, &entry.flat).map_err(|e| e.to_string())?);
-        let mut map = sync::write(&self.prepared);
-        // A racing thread may have inserted an equivalent Prepared; keep
-        // the first so every holder shares one allocation.
-        let p = map.entry(pkey).or_insert(prepared);
-        Ok((fp, Arc::clone(p)))
+        Ok((fp, shared))
     }
 
     /// Fingerprint of one query under a registered schema (the `coqlc
@@ -381,8 +463,13 @@ impl Engine {
         p2: &Prepared,
         budget: &RequestBudget,
         deadline: Option<Deadline>,
+        mut ex: Option<&mut Explain>,
     ) -> Result<(Computed, bool), String> {
+        let cache_span = Span::start();
         if let Some(hit) = self.cache.get(&key) {
+            if let Some(ex) = ex {
+                ex.cache_us += cache_span.elapsed_us();
+            }
             return Ok((Computed::Done(hit), true));
         }
         let slot = {
@@ -390,16 +477,26 @@ impl Engine {
             if let Some(slot) = inflight.get(&key) {
                 let slot = Arc::clone(slot);
                 drop(inflight);
-                return self.wait_for_leader(&slot, deadline);
+                let result = self.wait_for_leader(&slot, deadline);
+                // Coalesced waits count as cache time: the verdict arrives
+                // without this request running a kernel.
+                if let Some(ex) = ex {
+                    ex.cache_us += cache_span.elapsed_us();
+                }
+                return result;
             }
             let slot = Arc::new(InFlightSlot { result: Mutex::new(None), ready: Condvar::new() });
             inflight.insert(key, Arc::clone(&slot));
             slot
         };
+        if let Some(ex) = ex.as_deref_mut() {
+            ex.cache_us += cache_span.elapsed_us();
+        }
         let mut slot_guard = SlotGuard { engine: self, key, slot: &slot, published: false };
 
         self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
-        let start = Instant::now();
+        let steps_before = kernel::snapshot();
+        let kernel_span = Span::start();
         let outcome = {
             let _budget_guard = interrupt::install(budget.kernel_budget(deadline));
             catch_unwind(AssertUnwindSafe(|| {
@@ -407,9 +504,23 @@ impl Engine {
                 co_core::contained_prepared(p1, p2)
             }))
         };
-        let elapsed = start.elapsed();
+        let elapsed = kernel_span.elapsed();
+        // Fold this request's kernel work into the process-wide totals
+        // (METRICS) regardless of outcome — timeouts and panics did the
+        // steps too — and attribute it to the request when explaining.
+        let steps = kernel::snapshot().delta(&steps_before);
+        kernel::publish(&steps);
+        if let Some(ex) = ex.as_deref_mut() {
+            // Round like `Span::elapsed_us` so the phases sum cleanly.
+            ex.kernel_us +=
+                (elapsed.as_nanos().saturating_add(500) / 1_000).min(u64::MAX as u128) as u64;
+            ex.kernel_steps.merge(&steps);
+        }
         self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
 
+        // Memoization + waiter release are cache work too; without this
+        // the leader path leaves the insert/publish tail unattributed.
+        let memo_span = Span::start();
         let result: SlotResult = match outcome {
             Ok(Ok(analysis)) => {
                 self.cache.insert(key, analysis.clone());
@@ -428,6 +539,9 @@ impl Engine {
             }
         };
         slot_guard.publish(result.clone());
+        if let Some(ex) = ex {
+            ex.cache_us += memo_span.elapsed_us();
+        }
         result.map(|computed| (computed, false))
     }
 
@@ -463,16 +577,40 @@ impl Engine {
     /// deadline covers preparation and (for `EQUIV`) both containment
     /// directions; the step budget applies per direction.
     pub fn decide(&self, request: &Request) -> Result<Decision, String> {
+        self.decide_inner(request, None)
+    }
+
+    /// Answers one request and reports where the time went: the per-phase
+    /// breakdown and kernel step counts of the `EXPLAIN` protocol prefix.
+    /// The decision itself is identical to [`Engine::decide`] — explaining
+    /// still hits the cache, coalesces, and memoizes like any request.
+    pub fn decide_explained(&self, request: &Request) -> Result<(Decision, Explain), String> {
+        let mut ex = Explain::default();
+        let span = Span::start();
+        let decision = self.decide_inner(request, Some(&mut ex))?;
+        ex.total_us = span.elapsed_us();
+        Ok((decision, ex))
+    }
+
+    fn decide_inner(
+        &self,
+        request: &Request,
+        mut ex: Option<&mut Explain>,
+    ) -> Result<Decision, String> {
         self.stats.decisions.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
         let deadline = request.budget.start();
         let timed_out = |fp1, fp2| Ok(Decision::TimedOut { fp1, fp2, elapsed: start.elapsed() });
+        let schema_span = Span::start();
         let entry = self.resolve_schema(&request.schema)?;
-        let (fp1, p1) = self.analyze(&entry, &request.q1)?;
-        let (fp2, p2) = self.analyze(&entry, &request.q2)?;
+        if let Some(ex) = ex.as_deref_mut() {
+            ex.prepare_us += schema_span.elapsed_us();
+        }
+        let (fp1, p1) = self.analyze(&entry, &request.q1, ex.as_deref_mut())?;
+        let (fp2, p2) = self.analyze(&entry, &request.q2, ex.as_deref_mut())?;
         let fwd_key = CacheKey { q1: fp1, q2: fp2, schema: entry.fp };
         match request.op {
-            Op::Check => match self.contained(fwd_key, &p1, &p2, &request.budget, deadline)? {
+            Op::Check => match self.contained(fwd_key, &p1, &p2, &request.budget, deadline, ex)? {
                 (Computed::Done(analysis), cached) => {
                     Ok(Decision::Containment { analysis, cached, fp1, fp2 })
                 }
@@ -480,13 +618,19 @@ impl Engine {
             },
             Op::Equiv => {
                 let bwd_key = CacheKey { q1: fp2, q2: fp1, schema: entry.fp };
-                let (fwd, c1) =
-                    match self.contained(fwd_key, &p1, &p2, &request.budget, deadline)? {
-                        (Computed::Done(a), cached) => (a, cached),
-                        (Computed::TimedOut, _) => return timed_out(fp1, fp2),
-                    };
+                let (fwd, c1) = match self.contained(
+                    fwd_key,
+                    &p1,
+                    &p2,
+                    &request.budget,
+                    deadline,
+                    ex.as_deref_mut(),
+                )? {
+                    (Computed::Done(a), cached) => (a, cached),
+                    (Computed::TimedOut, _) => return timed_out(fp1, fp2),
+                };
                 let (bwd, c2) =
-                    match self.contained(bwd_key, &p2, &p1, &request.budget, deadline)? {
+                    match self.contained(bwd_key, &p2, &p1, &request.budget, deadline, ex)? {
                         (Computed::Done(a), cached) => (a, cached),
                         (Computed::TimedOut, _) => return timed_out(fp1, fp2),
                     };
@@ -669,6 +813,31 @@ mod tests {
         assert!(!err.starts_with("TOODEEP"), "{err}");
         // The engine still serves ordinary requests afterwards.
         assert!(e.decide(&check("s", "select x.B from x in R", "select x.B from x in R")).is_ok());
+    }
+
+    #[test]
+    fn explain_reports_phases_and_kernel_steps() {
+        let e = engine();
+        let r = check("s", "select x.B from x in R where x.A = 1", "select x.B from x in R");
+        let (decision, ex) = e.decide_explained(&r).unwrap();
+        let Decision::Containment { cached, .. } = decision else {
+            panic!("expected containment decision");
+        };
+        assert!(!cached);
+        assert!(ex.total_us >= ex.kernel_us);
+        assert!(ex.kernel_steps.total() > 0, "a computed decision runs kernels");
+        let names: Vec<&str> = ex.phases().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["parse", "canonicalize", "fingerprint", "prepare", "cache", "kernel"]);
+        // The same request again is a cache hit: no kernel work attributed.
+        let (decision, ex2) = e.decide_explained(&r).unwrap();
+        let Decision::Containment { cached, .. } = decision else {
+            panic!("expected containment decision");
+        };
+        assert!(cached);
+        assert_eq!(ex2.kernel_steps.total(), 0);
+        assert_eq!(ex2.kernel_us, 0);
+        // Explained decisions flow into the process-wide kernel totals.
+        assert!(kernel::global_totals().total() > 0);
     }
 
     #[test]

@@ -79,7 +79,7 @@ mod sync;
 
 pub use cache::{CacheKey, CacheStats, MemoCache};
 pub use deadline::{Deadline, RequestBudget};
-pub use engine::{Decision, Engine, EngineConfig, Op, Request, WarmStart};
+pub use engine::{Decision, Engine, EngineConfig, Explain, Op, Request, WarmStart};
 pub use fingerprint::{
     fingerprint_bytes, fingerprint_query, fingerprint_schema, Fingerprint, FINGERPRINT_VERSION,
 };

@@ -9,6 +9,7 @@
 //! EQUIV <schema> <q1> ;; <q2>   decide equivalence
 //! FINGERPRINT <schema> <q>      canonical fingerprint of one query
 //! STATS                         cache/engine counters + latency quantiles
+//! METRICS                       Prometheus text exposition, ends `# EOF`
 //! SHUTDOWN                      drain and stop (if --allow-shutdown)
 //! QUIT                          close the connection
 //! ```
@@ -16,7 +17,10 @@
 //! `CHECK`/`EQUIV` accept budget prefixes: `TIMEOUT <ms>` caps the
 //! request's wall-clock time and `BUDGET <steps>` caps kernel steps
 //! (`0` clears the server default). An expired budget answers
-//! `ERR DEADLINE …` without memoizing anything.
+//! `ERR DEADLINE …` without memoizing anything. An `EXPLAIN` prefix
+//! (combinable with the budget prefixes) answers the usual verdict line
+//! followed by `explain.*` phase timings and kernel step counts,
+//! terminated by `END`.
 //!
 //! Replies start `OK` or `ERR`. Degradation is graceful by design:
 //!
@@ -47,10 +51,12 @@ use std::time::{Duration, Instant};
 
 use co_cq::{RelSchema, Schema};
 
+use co_trace::{kernel, Span};
+
 use crate::deadline::RequestBudget;
-use crate::engine::{Decision, Engine, Op, Request};
+use crate::engine::{Decision, Engine, Explain, Op, Request};
 use crate::faults;
-use crate::stats::{path_label, ServerStats};
+use crate::stats::{path_label, LatencyHistogram, ServerStats};
 use crate::sync;
 
 /// Server knobs.
@@ -84,6 +90,10 @@ pub struct ServerConfig {
     /// How often the background snapshotter publishes the cache (only
     /// meaningful with [`ServerConfig::cache_path`] set).
     pub snapshot_interval: Duration,
+    /// Requests whose end-to-end handling takes at least this long are
+    /// written to stderr as one-line structured records (and counted in
+    /// [`ServerStats::slow_requests`]). `None` disables the slow log.
+    pub slow_log: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +108,7 @@ impl Default for ServerConfig {
             allow_shutdown: false,
             cache_path: None,
             snapshot_interval: Duration::from_secs(30),
+            slow_log: None,
         }
     }
 }
@@ -426,11 +437,13 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) -> std::io::Result<()> 
             LineRead::Line(line) => line,
         };
         // One panicking request must not take the connection down with it.
+        let request_span = Span::start();
         let reply =
             catch_unwind(AssertUnwindSafe(|| handle_line(&line, ctx))).unwrap_or_else(|_| {
                 ctx.stats.conn_panics.fetch_add(1, Ordering::Relaxed);
                 Reply::Line("ERR INTERNAL request handler panicked".to_string())
             });
+        slow_log(ctx, &line, &reply, request_span.elapsed());
         match reply {
             Reply::None => {}
             Reply::Line(text) => {
@@ -452,6 +465,32 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) -> std::io::Result<()> 
     Ok(())
 }
 
+/// Writes a one-line structured record to stderr for requests that took at
+/// least [`ServerConfig::slow_log`] end to end (and counts them). The
+/// format is stable space-separated `key=value` pairs, grep-friendly.
+fn slow_log(ctx: &ServerCtx, line: &str, reply: &Reply, elapsed: Duration) {
+    let Some(threshold) = ctx.config.slow_log else { return };
+    if elapsed < threshold {
+        return;
+    }
+    ctx.stats.slow_requests.fetch_add(1, Ordering::Relaxed);
+    let cmd = line.split_whitespace().next().unwrap_or("-");
+    let status = match reply {
+        Reply::Line(text) if text.starts_with("ERR") => "err",
+        Reply::Line(_) => "ok",
+        Reply::None => "none",
+        Reply::Quit => "quit",
+        Reply::Shutdown => "shutdown",
+    };
+    eprintln!(
+        "coqld: slow-request elapsed_ms={} cmd={} status={} line_bytes={}",
+        elapsed.as_millis(),
+        cmd,
+        status,
+        line.len()
+    );
+}
+
 fn write_reply(writer: &mut TcpStream, text: &str) -> io::Result<()> {
     writer.write_all(text.as_bytes())?;
     let pad = faults::reply_padding();
@@ -469,20 +508,27 @@ enum Reply {
     Shutdown,
 }
 
-/// Strips leading `TIMEOUT <ms>` / `BUDGET <steps>` prefixes off a request
-/// line (`0` clears the corresponding limit), starting from the server's
-/// default timeout.
+/// Strips leading `TIMEOUT <ms>` / `BUDGET <steps>` / `EXPLAIN` prefixes
+/// off a request line (`0` clears the corresponding limit), starting from
+/// the server's default timeout. Returns the budget, whether the request
+/// asked for an `EXPLAIN` breakdown, and the remaining command.
 fn parse_budget_prefix(
     line: &str,
     default_timeout: Option<Duration>,
-) -> Result<(RequestBudget, &str), String> {
+) -> Result<(RequestBudget, bool, &str), String> {
     let mut budget = RequestBudget { timeout: default_timeout, steps: None };
+    let mut explain = false;
     let mut rest = line;
     loop {
         let (head, tail) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
         let upper = head.to_ascii_uppercase();
+        if upper == "EXPLAIN" {
+            explain = true;
+            rest = tail.trim_start();
+            continue;
+        }
         if upper != "TIMEOUT" && upper != "BUDGET" {
-            return Ok((budget, rest));
+            return Ok((budget, explain, rest));
         }
         let tail = tail.trim_start();
         let (value, after) = tail.split_once(char::is_whitespace).unwrap_or((tail, ""));
@@ -503,23 +549,29 @@ fn handle_line(line: &str, ctx: &ServerCtx) -> Reply {
     if line.is_empty() || line.starts_with('#') {
         return Reply::None;
     }
-    let (budget, line) = match parse_budget_prefix(line, ctx.config.default_timeout) {
+    let (budget, explain, line) = match parse_budget_prefix(line, ctx.config.default_timeout) {
         Ok(parsed) => parsed,
         Err(message) => return Reply::Line(format!("ERR {message}")),
     };
     if line.is_empty() {
-        return Reply::Line("ERR usage: [TIMEOUT <ms>] [BUDGET <steps>] <command ...>".into());
+        return Reply::Line(
+            "ERR usage: [EXPLAIN] [TIMEOUT <ms>] [BUDGET <steps>] <command ...>".into(),
+        );
     }
     let engine = &ctx.engine;
     let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
     let rest = rest.trim();
-    let result = match cmd.to_ascii_uppercase().as_str() {
+    let cmd = cmd.to_ascii_uppercase();
+    if explain && cmd != "CHECK" && cmd != "EQUIV" {
+        return Reply::Line("ERR EXPLAIN applies only to CHECK and EQUIV".into());
+    }
+    let result = match cmd.as_str() {
         "CHECK" => pair_request(Op::Check, rest)
             .map(|r| r.with_budget(budget))
-            .and_then(|r| run(engine, &r)),
+            .and_then(|r| run(engine, &r, explain)),
         "EQUIV" => pair_request(Op::Equiv, rest)
             .map(|r| r.with_budget(budget))
-            .and_then(|r| run(engine, &r)),
+            .and_then(|r| run(engine, &r, explain)),
         "FINGERPRINT" => split_head(rest, "FINGERPRINT <schema> <query>")
             .and_then(|(schema, query)| engine.fingerprint(schema, query))
             .map(|fp| format!("OK fp={fp}")),
@@ -531,6 +583,7 @@ fn handle_line(line: &str, ctx: &ServerCtx) -> Reply {
             })
         }),
         "STATS" => Ok(render_stats(ctx)),
+        "METRICS" => Ok(render_metrics(ctx)),
         "SHUTDOWN" => {
             if ctx.config.allow_shutdown {
                 return Reply::Shutdown;
@@ -540,7 +593,7 @@ fn handle_line(line: &str, ctx: &ServerCtx) -> Reply {
         "QUIT" | "EXIT" => return Reply::Quit,
         other => Err(format!(
             "unknown command `{other}` \
-             (try CHECK, EQUIV, FINGERPRINT, SCHEMA, STATS, SHUTDOWN, QUIT)"
+             (try CHECK, EQUIV, FINGERPRINT, SCHEMA, STATS, METRICS, SHUTDOWN, QUIT)"
         )),
     };
     match result {
@@ -572,8 +625,36 @@ fn pair_request(op: Op, rest: &str) -> Result<Request, String> {
     Ok(Request::new(op, schema, q1, q2))
 }
 
-fn run(engine: &Engine, request: &Request) -> Result<String, String> {
-    match engine.decide(request)? {
+fn run(engine: &Engine, request: &Request, explain: bool) -> Result<String, String> {
+    if !explain {
+        return render_decision(engine.decide(request)?);
+    }
+    let (decision, ex) = engine.decide_explained(request)?;
+    // A timed-out decision renders as a single ERR line even under
+    // EXPLAIN; phase attribution of an abandoned request would mislead.
+    let verdict = render_decision(decision)?;
+    Ok(render_explain(&verdict, &ex))
+}
+
+/// The `EXPLAIN` payload: the verdict line, `explain.*` phase timings and
+/// kernel step counts, terminated by `END`.
+fn render_explain(verdict: &str, ex: &Explain) -> String {
+    let mut out = String::new();
+    out.push_str(verdict);
+    out.push('\n');
+    for (name, us) in ex.phases() {
+        out.push_str(&format!("explain.{name}_us {us}\n"));
+    }
+    out.push_str(&format!("explain.total_us {}\n", ex.total_us));
+    for (name, value) in ex.kernel_steps.iter() {
+        out.push_str(&format!("explain.kernel.{name} {value}\n"));
+    }
+    out.push_str("END");
+    out
+}
+
+fn render_decision(decision: Decision) -> Result<String, String> {
+    match decision {
         Decision::Containment { analysis, cached, fp1, fp2 } => Ok(format!(
             "OK holds={} path={} cached={} fp1={fp1} fp2={fp2}",
             analysis.holds, analysis.path, cached
@@ -626,6 +707,7 @@ fn render_stats(ctx: &ServerCtx) -> String {
     put("server.oversized", ctx.stats.oversized.load(Ordering::Relaxed).to_string());
     put("server.idle_closed", ctx.stats.idle_closed.load(Ordering::Relaxed).to_string());
     put("server.conn_panics", ctx.stats.conn_panics.load(Ordering::Relaxed).to_string());
+    put("server.slow_requests", ctx.stats.slow_requests.load(Ordering::Relaxed).to_string());
     put("cache.hits", cache.hits.to_string());
     put("cache.misses", cache.misses.to_string());
     put("cache.evictions", cache.evictions.to_string());
@@ -649,6 +731,194 @@ fn render_stats(ctx: &ServerCtx) -> String {
     }
     out.push_str("END");
     out
+}
+
+/// Appends one Prometheus counter family (`# HELP`/`# TYPE` + sample).
+fn put_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    debug_assert!(co_trace::is_valid_metric_name(name), "{name}");
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
+}
+
+/// Appends one Prometheus gauge family with an integer value.
+fn put_gauge(out: &mut String, name: &str, help: &str, value: i64) {
+    debug_assert!(co_trace::is_valid_metric_name(name), "{name}");
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"));
+}
+
+/// Appends one Prometheus gauge family with a float value (ratios).
+fn put_gauge_f(out: &mut String, name: &str, help: &str, value: f64) {
+    debug_assert!(co_trace::is_valid_metric_name(name), "{name}");
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value:.4}\n"));
+}
+
+/// Appends one labeled summary series (quantiles + `_sum`/`_count`) for a
+/// latency histogram; the family's `# HELP`/`# TYPE` are emitted by the
+/// caller once.
+fn put_summary_series(out: &mut String, name: &str, label: &str, hist: &LatencyHistogram) {
+    for (q, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+        out.push_str(&format!(
+            "{name}{{path=\"{label}\",quantile=\"{tag}\"}} {}\n",
+            hist.quantile_us(q)
+        ));
+    }
+    out.push_str(&format!("{name}_sum{{path=\"{label}\"}} {}\n", hist.sum_us()));
+    out.push_str(&format!("{name}_count{{path=\"{label}\"}} {}\n", hist.count()));
+}
+
+/// The `METRICS` payload: Prometheus text exposition of every `STATS`
+/// counter plus the process-wide kernel step totals, terminated by
+/// `# EOF` (which doubles as the line-protocol end marker).
+fn render_metrics(ctx: &ServerCtx) -> String {
+    let engine = &ctx.engine;
+    let cache = engine.cache_stats();
+    let stats = engine.stats();
+    let coalesced = stats.coalesced.load(Ordering::Relaxed);
+    let lookups = cache.hits + cache.misses;
+    let effective =
+        if lookups == 0 { 0.0 } else { (cache.hits + coalesced) as f64 / lookups as f64 };
+    let out = &mut String::new();
+    let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+
+    put_counter(
+        out,
+        "coqld_decisions_total",
+        "Containment decisions answered",
+        load(&stats.decisions),
+    );
+    put_counter(
+        out,
+        "coqld_computed_total",
+        "Decisions computed (cache misses)",
+        load(&stats.computed),
+    );
+    put_counter(
+        out,
+        "coqld_coalesced_total",
+        "Requests coalesced onto an in-flight twin",
+        coalesced,
+    );
+    put_counter(
+        out,
+        "coqld_timeouts_total",
+        "Requests abandoned at their deadline or step budget",
+        load(&stats.timeouts),
+    );
+    put_counter(
+        out,
+        "coqld_panics_total",
+        "Decision computations contained by panic isolation",
+        load(&stats.panics),
+    );
+    put_gauge(
+        out,
+        "coqld_inflight",
+        "Decisions currently being computed",
+        load(&stats.in_flight) as i64,
+    );
+    put_gauge(out, "coqld_schemas", "Registered schemas", engine.schema_count() as i64);
+    put_gauge(
+        out,
+        "coqld_prepared_queries",
+        "Distinct prepared queries shared",
+        engine.prepared_count() as i64,
+    );
+
+    put_counter(
+        out,
+        "coqld_server_accepted_total",
+        "Connections accepted",
+        load(&ctx.stats.accepted),
+    );
+    put_counter(
+        out,
+        "coqld_server_shed_total",
+        "Connections shed at the connection cap",
+        load(&ctx.stats.shed),
+    );
+    put_counter(
+        out,
+        "coqld_server_oversized_total",
+        "Requests rejected for exceeding the line cap",
+        load(&ctx.stats.oversized),
+    );
+    put_counter(
+        out,
+        "coqld_server_idle_closed_total",
+        "Connections closed for idling past the read timeout",
+        load(&ctx.stats.idle_closed),
+    );
+    put_counter(
+        out,
+        "coqld_server_conn_panics_total",
+        "Connection handlers contained by panic isolation",
+        load(&ctx.stats.conn_panics),
+    );
+    put_counter(
+        out,
+        "coqld_server_slow_requests_total",
+        "Requests logged as slow",
+        load(&ctx.stats.slow_requests),
+    );
+
+    put_counter(out, "coqld_cache_hits_total", "Memo-cache hits", cache.hits);
+    put_counter(out, "coqld_cache_misses_total", "Memo-cache misses", cache.misses);
+    put_counter(out, "coqld_cache_evictions_total", "Memo-cache LRU evictions", cache.evictions);
+    put_gauge(out, "coqld_cache_entries", "Live memo-cache entries", cache.entries as i64);
+    put_gauge(out, "coqld_cache_capacity", "Memo-cache capacity", cache.capacity as i64);
+    put_gauge(out, "coqld_cache_shards", "Memo-cache shards", cache.shards as i64);
+    put_gauge_f(out, "coqld_cache_hit_rate", "Memo-cache hit rate", cache.hit_rate());
+    put_gauge_f(
+        out,
+        "coqld_cache_effective_hit_rate",
+        "Hit rate counting coalesced requests",
+        effective,
+    );
+
+    put_counter(
+        out,
+        "coqld_persist_recovered_entries_total",
+        "Verdicts recovered at warm start",
+        load(&stats.recovered_entries),
+    );
+    put_counter(
+        out,
+        "coqld_persist_snapshots_written_total",
+        "Cache snapshots published",
+        load(&stats.snapshots_written),
+    );
+    put_counter(
+        out,
+        "coqld_persist_snapshot_failures_total",
+        "Cache snapshot writes that failed",
+        load(&stats.snapshot_failures),
+    );
+    put_counter(
+        out,
+        "coqld_persist_quarantined_total",
+        "Snapshots rejected at load and moved aside",
+        load(&stats.quarantined),
+    );
+    let age = engine.snapshot_age_ms().map(|ms| ms as i64).unwrap_or(-1);
+    put_gauge(
+        out,
+        "coqld_persist_snapshot_age_ms",
+        "Milliseconds since the last snapshot (-1 before the first)",
+        age,
+    );
+
+    out.push_str("# HELP coqld_path_latency_us Latency of computed decisions by decision path\n");
+    out.push_str("# TYPE coqld_path_latency_us summary\n");
+    for (i, hist) in stats.path_latency.iter().enumerate() {
+        put_summary_series(out, "coqld_path_latency_us", path_label(i), hist);
+    }
+
+    for (name, value) in kernel::global_totals().iter() {
+        let family = format!("coqld_kernel_{name}_total");
+        put_counter(out, &family, "Kernel steps across all requests", value);
+    }
+
+    out.push_str("# EOF");
+    std::mem::take(out)
 }
 
 /// Parses a one-line (or multi-line) schema declaration: relation schemas
@@ -760,16 +1030,23 @@ mod tests {
 
     #[test]
     fn budget_prefixes_parse_and_apply() {
-        let (budget, rest) =
+        let (budget, explain, rest) =
             parse_budget_prefix("TIMEOUT 250 BUDGET 9 CHECK s a ;; b", None).unwrap();
         assert_eq!(budget.timeout, Some(Duration::from_millis(250)));
         assert_eq!(budget.steps, Some(9));
+        assert!(!explain);
         assert_eq!(rest, "CHECK s a ;; b");
         // 0 clears the server default.
-        let (budget, rest) =
+        let (budget, _, rest) =
             parse_budget_prefix("TIMEOUT 0 STATS", Some(Duration::from_secs(1))).unwrap();
         assert_eq!(budget.timeout, None);
         assert_eq!(rest, "STATS");
+        // EXPLAIN combines with the budget prefixes in any order.
+        let (budget, explain, rest) =
+            parse_budget_prefix("TIMEOUT 250 EXPLAIN CHECK s a ;; b", None).unwrap();
+        assert_eq!(budget.timeout, Some(Duration::from_millis(250)));
+        assert!(explain);
+        assert_eq!(rest, "CHECK s a ;; b");
         // A 1-step budget trips before any verdict: ERR DEADLINE, and the
         // non-verdict is not memoized (the retry computes the real one).
         let c = ctx();
@@ -780,6 +1057,54 @@ mod tests {
         let reply = line(&c, "CHECK s select x.B from x in R ;; select x.B from x in R");
         assert!(reply.contains("holds=true"), "{reply}");
         assert!(reply.contains("cached=false"), "{reply}");
+    }
+
+    #[test]
+    fn explain_prefix_reports_phases() {
+        let c = ctx();
+        line(&c, "SCHEMA s R(A,B)");
+        let reply = line(
+            &c,
+            "EXPLAIN CHECK s select x.B from x in R where x.A = 1 ;; select x.B from x in R",
+        );
+        assert!(reply.starts_with("OK holds=true"), "{reply}");
+        assert!(reply.ends_with("END"), "{reply}");
+        for phase in ["parse", "canonicalize", "fingerprint", "prepare", "cache", "kernel", "total"]
+        {
+            assert!(reply.contains(&format!("explain.{phase}_us ")), "missing {phase}: {reply}");
+        }
+        assert!(reply.contains("explain.kernel.hom_probes "), "{reply}");
+        // EXPLAIN is meaningless for non-decision verbs.
+        let reply = line(&c, "EXPLAIN STATS");
+        assert!(reply.starts_with("ERR EXPLAIN"), "{reply}");
+    }
+
+    #[test]
+    fn metrics_exposition_covers_stats_and_parses() {
+        let c = ctx();
+        line(&c, "SCHEMA s R(A,B)");
+        line(&c, "CHECK s select x.B from x in R where x.A = 1 ;; select x.B from x in R");
+        let text = line(&c, "METRICS");
+        assert!(text.ends_with("# EOF"), "{text}");
+        for family in [
+            "coqld_decisions_total",
+            "coqld_computed_total",
+            "coqld_inflight",
+            "coqld_cache_hits_total",
+            "coqld_persist_snapshots_written_total",
+            "coqld_path_latency_us",
+            "coqld_kernel_hom_probes_total",
+            "coqld_server_slow_requests_total",
+        ] {
+            assert!(text.contains(&format!("# TYPE {family} ")), "missing {family}");
+        }
+        // Every sample line has a valid name and a numeric value.
+        for l in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (series, value) = l.rsplit_once(' ').expect("name value");
+            let name = series.split('{').next().unwrap();
+            assert!(co_trace::is_valid_metric_name(name), "{l}");
+            assert!(value.parse::<f64>().is_ok(), "{l}");
+        }
     }
 
     #[test]

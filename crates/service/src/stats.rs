@@ -24,12 +24,32 @@ impl LatencyHistogram {
         let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        // Saturating, not wrapping: a sum that pins at u64::MAX is obviously
+        // exhausted, one that wraps small silently corrupts every mean.
+        let mut current = self.sum_us.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(us);
+            match self.sum_us.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
     }
 
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples in microseconds (the Prometheus `_sum`
+    /// series of the exposed summary).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
     }
 
     /// Mean latency in microseconds (0 with no samples).
@@ -103,6 +123,9 @@ pub struct ServerStats {
     pub idle_closed: AtomicU64,
     /// Connection handlers that panicked and were contained.
     pub conn_panics: AtomicU64,
+    /// Requests whose end-to-end handling exceeded the slow-log
+    /// threshold ([`crate::ServerConfig::slow_log`]).
+    pub slow_requests: AtomicU64,
 }
 
 /// Stable index of a [`DecisionPath`] into [`EngineStats::path_latency`].
@@ -139,5 +162,75 @@ mod tests {
         assert!(h.quantile_us(1.0) >= 1000);
         let empty = LatencyHistogram::default();
         assert_eq!(empty.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum_us(), 0);
+        assert_eq!(h.mean_us(), 0);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(100));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum_us(), 100);
+        assert_eq!(h.mean_us(), 100);
+        let p50 = h.quantile_us(0.5);
+        // Log₂ buckets: the answer is the bucket's upper bound, within 2×.
+        assert!((100..=256).contains(&p50), "{p50}");
+        assert_eq!(h.quantile_us(0.0), h.quantile_us(1.0));
+    }
+
+    #[test]
+    fn extreme_samples_saturate_without_wrapping() {
+        let h = LatencyHistogram::default();
+        // A Duration whose µs exceed u64::MAX must clamp, not wrap.
+        h.record(Duration::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum_us(), u64::MAX);
+        assert_eq!(h.mean_us(), u64::MAX);
+        // The sample lands in the top bucket and the quantile stays there.
+        assert_eq!(h.quantile_us(1.0), 1u64 << (BUCKETS - 1));
+        // A second extreme sample keeps count exact and pins the sum at
+        // the boundary instead of wrapping.
+        h.record(Duration::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_us(), u64::MAX, "sum must saturate, not wrap");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 2, 4, 50, 900, 7_000, 120_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
+        let values: Vec<u64> = qs.iter().map(|&q| h.quantile_us(q)).collect();
+        for pair in values.windows(2) {
+            assert!(pair[0] <= pair[1], "quantiles not monotone: {values:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_records_sum_exactly() {
+        let h = LatencyHistogram::default();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        h.record(Duration::from_micros(7));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8_000);
+        assert_eq!(h.sum_us(), 56_000);
     }
 }

@@ -61,6 +61,7 @@ use co_cq::freeze::freeze_atoms_with;
 use co_cq::{Assignment, Database, HomProblem, QueryAtom, SearchOutcome, Term, Var};
 use co_object::interrupt::{self, Interrupted};
 use co_object::{Atom, Field, Value};
+use co_trace::kernel::{self, Metric};
 
 use crate::indexed::IndexedQuery;
 
@@ -445,6 +446,7 @@ fn covered(
     n2: &TreeNode,
     args2: &[Atom],
 ) -> Result<bool, Interrupted> {
+    kernel::bump(Metric::TreeCoveredCalls);
     // Source-set-always-empty fast path; constant/repeat constraints in the
     // formals *specialize* the context instead (entry unification).
     if n1.query.unsatisfiable {
@@ -486,6 +488,7 @@ fn covered(
         // The emptiness patterns are the exponential component of the
         // procedure (2^m of them), so this loop is a unit of cancellable
         // work in its own right.
+        kernel::bump(Metric::TreeEmptinessPatterns);
         interrupt::probe()?;
         // Assuming the σ-children non-empty may *specialize* the generic
         // element (their index formals constrain its columns): compute the
@@ -527,6 +530,7 @@ fn covered(
                 n2.children[j2].link.iter().filter(|t| matches!(t, Term::Var(_))).count();
             let copies = link2_vars + ctx2.opts.extra_witnesses;
             for _ in 0..copies {
+                kernel::bump(Metric::TreeWitnessCopies);
                 ctx2.instantiate(&n1.children[j1].node, &p_child_args[j1]);
             }
         }
@@ -999,6 +1003,7 @@ fn covered_strong_dir(
     n2: &TreeNode,
     args2: &[Atom],
 ) -> Result<bool, Interrupted> {
+    kernel::bump(Metric::TreeCoveredCalls);
     interrupt::probe()?;
     if n1.query.unsatisfiable {
         return Ok(true);
@@ -1046,6 +1051,7 @@ fn covered_strong_dir(
     for &(j1, j2) in &pairs.children {
         let link2_vars = n2.children[j2].link.iter().filter(|t| matches!(t, Term::Var(_))).count();
         for _ in 0..link2_vars + ctx2.opts.extra_witnesses {
+            kernel::bump(Metric::TreeWitnessCopies);
             ctx2.instantiate(&n1.children[j1].node, &p_child_args[j1]);
         }
     }

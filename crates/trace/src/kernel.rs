@@ -1,0 +1,245 @@
+//! Fixed per-kernel step counters (DESIGN.md §12).
+//!
+//! The decision kernels are the exponential heart of the system, so their
+//! counters are a closed enum rather than registry strings: [`bump`] is a
+//! thread-local array increment with no hashing, locking, or allocation —
+//! cheap enough for the same inner loops that already pay the
+//! cooperative-cancellation probe.
+//!
+//! The flow is snapshot → run → delta → publish:
+//!
+//! ```
+//! use co_trace::kernel;
+//! let before = kernel::snapshot();
+//! kernel::bump(kernel::Metric::HomProbes); // the kernel's inner loop
+//! let delta = kernel::snapshot().delta(&before); // per-request counts
+//! kernel::publish(&delta); // fold into the process-wide totals
+//! assert_eq!(delta.get(kernel::Metric::HomProbes), 1);
+//! ```
+//!
+//! Thread-local counts are never reset (they only grow), so deltas are
+//! correct even when kernels nest or a request is interrupted mid-flight.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One instrumented kernel event. The discriminant is the counter index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Metric {
+    /// Candidate-tuple probes in the homomorphism engines (both
+    /// strategies; identical to the step-budget charge).
+    HomProbes,
+    /// Pattern indexes built (first use of a (relation, mask) pair in a
+    /// search).
+    HomIndexBuilds,
+    /// Pattern-index reuses from the per-search memo.
+    HomIndexHits,
+    /// Search nodes whose candidate list was exhausted without a solution
+    /// below them (MRV backtracks).
+    HomBacktracks,
+    /// Complete homomorphisms delivered to the search's callback.
+    HomSolutions,
+    /// Simulation solves answered by the single-pass topological fast
+    /// path.
+    SimTopoFastPath,
+    /// Simulation solves routed to the HHK worklist engine.
+    SimWorklistRuns,
+    /// Worklist pops inside the HHK engine (its unit of work).
+    SimWorklistPops,
+    /// Set-pair counter decrements inside the HHK engine.
+    SimCounterUpdates,
+    /// Simulation solves computed by the naive sweep oracle.
+    SimSweepRuns,
+    /// Subvalue pairs evaluated by the recursive Hoare order (memo
+    /// misses).
+    HoarePairs,
+    /// Calls into the §5 `covered` recursion (tree-containment nodes).
+    TreeCoveredCalls,
+    /// Emptiness patterns enumerated (the 2^m exponential component).
+    TreeEmptinessPatterns,
+    /// Witness copies instantiated for non-empty-assumed children.
+    TreeWitnessCopies,
+}
+
+/// All metrics, in counter-index order.
+pub const ALL: [Metric; COUNT] = [
+    Metric::HomProbes,
+    Metric::HomIndexBuilds,
+    Metric::HomIndexHits,
+    Metric::HomBacktracks,
+    Metric::HomSolutions,
+    Metric::SimTopoFastPath,
+    Metric::SimWorklistRuns,
+    Metric::SimWorklistPops,
+    Metric::SimCounterUpdates,
+    Metric::SimSweepRuns,
+    Metric::HoarePairs,
+    Metric::TreeCoveredCalls,
+    Metric::TreeEmptinessPatterns,
+    Metric::TreeWitnessCopies,
+];
+
+/// Number of kernel metrics.
+pub const COUNT: usize = 14;
+
+impl Metric {
+    /// Stable snake_case name (also a valid Prometheus name fragment).
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::HomProbes => "hom_probes",
+            Metric::HomIndexBuilds => "hom_index_builds",
+            Metric::HomIndexHits => "hom_index_hits",
+            Metric::HomBacktracks => "hom_backtracks",
+            Metric::HomSolutions => "hom_solutions",
+            Metric::SimTopoFastPath => "sim_topo_fast_path",
+            Metric::SimWorklistRuns => "sim_worklist_runs",
+            Metric::SimWorklistPops => "sim_worklist_pops",
+            Metric::SimCounterUpdates => "sim_counter_updates",
+            Metric::SimSweepRuns => "sim_sweep_runs",
+            Metric::HoarePairs => "hoare_pairs",
+            Metric::TreeCoveredCalls => "tree_covered_calls",
+            Metric::TreeEmptinessPatterns => "tree_emptiness_patterns",
+            Metric::TreeWitnessCopies => "tree_witness_copies",
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: [Cell<u64>; COUNT] = const { [const { Cell::new(0) }; COUNT] };
+}
+
+static GLOBAL: [AtomicU64; COUNT] = [const { AtomicU64::new(0) }; COUNT];
+
+/// Adds one to a thread-local kernel counter. The hot-path entry point:
+/// one TLS access and an array increment, no branches beyond the TLS
+/// liveness check.
+#[inline]
+pub fn bump(metric: Metric) {
+    bump_by(metric, 1);
+}
+
+/// Adds `n` to a thread-local kernel counter.
+#[inline]
+pub fn bump_by(metric: Metric, n: u64) {
+    LOCAL.with(|counts| {
+        let cell = &counts[metric as usize];
+        cell.set(cell.get().wrapping_add(n));
+    });
+}
+
+/// A point-in-time copy of the kernel counters (thread-local or global).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: [u64; COUNT],
+}
+
+impl Counters {
+    /// The value of one metric.
+    pub fn get(&self, metric: Metric) -> u64 {
+        self.values[metric as usize]
+    }
+
+    /// Counter-order iteration as `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        ALL.iter().map(|&m| (m.name(), self.values[m as usize]))
+    }
+
+    /// The counts accumulated since `earlier` was snapshot on the *same
+    /// thread* (wrapping subtraction per counter).
+    pub fn delta(&self, earlier: &Counters) -> Counters {
+        let mut values = [0u64; COUNT];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.values[i].wrapping_sub(earlier.values[i]);
+        }
+        Counters { values }
+    }
+
+    /// Sum over every counter (a scalar "kernel effort" figure).
+    pub fn total(&self) -> u64 {
+        self.values.iter().copied().fold(0u64, u64::saturating_add)
+    }
+
+    /// Merges another delta into this one (saturating), for multi-phase
+    /// requests that accumulate several kernel invocations.
+    pub fn merge(&mut self, other: &Counters) {
+        for (i, v) in self.values.iter_mut().enumerate() {
+            *v = v.saturating_add(other.values[i]);
+        }
+    }
+}
+
+/// Snapshot of the current thread's kernel counters.
+pub fn snapshot() -> Counters {
+    LOCAL.with(|counts| {
+        let mut values = [0u64; COUNT];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = counts[i].get();
+        }
+        Counters { values }
+    })
+}
+
+/// Folds a per-request delta into the process-wide totals.
+pub fn publish(delta: &Counters) {
+    for (i, atomic) in GLOBAL.iter().enumerate() {
+        let v = delta.values[i];
+        if v > 0 {
+            atomic.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The process-wide totals accumulated by [`publish`]. Monotone.
+pub fn global_totals() -> Counters {
+    let mut values = [0u64; COUNT];
+    for (i, v) in values.iter_mut().enumerate() {
+        *v = GLOBAL[i].load(Ordering::Relaxed);
+    }
+    Counters { values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_snapshot_delta_publish() {
+        let before = snapshot();
+        bump(Metric::HomProbes);
+        bump_by(Metric::SimWorklistPops, 3);
+        let delta = snapshot().delta(&before);
+        assert_eq!(delta.get(Metric::HomProbes), 1);
+        assert_eq!(delta.get(Metric::SimWorklistPops), 3);
+        assert_eq!(delta.get(Metric::HoarePairs), 0);
+        assert_eq!(delta.total(), 4);
+
+        let g0 = global_totals();
+        publish(&delta);
+        let g1 = global_totals();
+        assert_eq!(g1.delta(&g0), delta);
+    }
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let mut names: Vec<&str> = ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), COUNT);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COUNT, "duplicate metric name");
+        for (name, _) in snapshot().iter() {
+            assert!(crate::is_valid_metric_name(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Counters::default();
+        let before = snapshot();
+        bump_by(Metric::TreeEmptinessPatterns, 7);
+        let d1 = snapshot().delta(&before);
+        a.merge(&d1);
+        a.merge(&d1);
+        assert_eq!(a.get(Metric::TreeEmptinessPatterns), 14);
+    }
+}

@@ -1,0 +1,546 @@
+//! Std-only observability primitives for the decision stack (DESIGN.md §12).
+//!
+//! Two complementary mechanisms live here:
+//!
+//! * [`kernel`] — a **fixed** set of per-kernel step counters
+//!   ([`kernel::Metric`]) backed by a thread-local array of `Cell<u64>`.
+//!   The decision kernels ([`co-cq`'s hom search, `co-object`'s
+//!   simulation and Hoare order, `co-sim`'s §5 tree walk) call
+//!   [`kernel::bump`] at their inner-loop sites; the cost is one
+//!   thread-local access plus an array index — comparable to the
+//!   cooperative-cancellation probe the same sites already pay, so the
+//!   instrumentation stays within the perf budget of the hot paths.
+//!   A serving layer brackets each kernel invocation with
+//!   [`kernel::snapshot`]/[`kernel::Counters::delta`] to obtain the
+//!   *per-request* step counts (the `EXPLAIN` breakdown) and
+//!   [`kernel::publish`]es the delta into process-wide atomics
+//!   ([`kernel::global_totals`], the `METRICS` fleet view) — one
+//!   mechanism feeds both sinks.
+//!
+//! * [`Registry`] — dynamically registered, lock-free [`Counter`] /
+//!   [`Gauge`] / [`Histogram`] handles with Prometheus text exposition
+//!   ([`Registry::render_prometheus`]). Registration takes a mutex once;
+//!   the returned handles are `Arc`'d atomics that never lock again.
+//!
+//! Plus [`Span`], a minimal monotonic timer for phase breakdowns.
+//!
+//! Everything is `std`-only: no registry dependencies, usable from every
+//! crate in the workspace including the kernels themselves.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+pub mod kernel;
+
+pub use kernel::{bump, bump_by, Metric};
+
+/// A lightweight monotonic span timer for phase breakdowns.
+///
+/// Not tied to a registry: callers read [`Span::elapsed_us`] and decide
+/// where the measurement goes (an `EXPLAIN` reply, a histogram, a log
+/// line). Overhead is two `Instant::now()` calls per measured phase.
+#[derive(Clone, Copy, Debug)]
+pub struct Span {
+    started: Instant,
+}
+
+impl Span {
+    /// Starts a span now.
+    pub fn start() -> Span {
+        Span { started: Instant::now() }
+    }
+
+    /// Microseconds elapsed since the span started, rounded to nearest.
+    /// Rounding, not truncation: a phase breakdown sums many short spans,
+    /// and truncating each one biases the sum low by ~0.5 µs per span —
+    /// enough to visibly undercount a microsecond-scale request.
+    pub fn elapsed_us(&self) -> u64 {
+        let ns = self.started.elapsed().as_nanos();
+        ((ns.saturating_add(500)) / 1_000).min(u64::MAX as u128) as u64
+    }
+
+    /// Elapsed time since the span started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// A monotone counter handle. Cheap to clone; all clones share one atomic.
+#[derive(Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not attached to any registry (useful in tests).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. Saturates at `u64::MAX` instead of wrapping, so a
+    /// scraped counter can never appear to decrease.
+    pub fn add(&self, n: u64) {
+        let mut current = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(n);
+            match self.value.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can move both ways.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets in a [`Histogram`]: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` (bucket 0 is `< 1`), topping out at `2^30` ≈ 1.07e9.
+const HIST_BUCKETS: usize = 31;
+
+struct HistogramInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A lock-free log₂-bucketed histogram over non-negative samples
+/// (conventionally microseconds).
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&self, sample: u64) {
+        let bucket = (64 - sample.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.inner.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating accumulation: a scraped sum must never wrap backwards.
+        let mut current = self.inner.sum.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(sample);
+            match self.inner.sum.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Records a duration as microseconds.
+    pub fn observe_duration(&self, elapsed: Duration) {
+        self.observe(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Starts a timer that records into this histogram when dropped.
+    pub fn time(&self) -> HistogramTimer {
+        HistogramTimer { histogram: self.clone(), span: Span::start() }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the q-quantile, `0 <= q <= 1`
+    /// (0 with no samples; within 2× of the true value by construction).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((n as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.inner.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        1u64 << (HIST_BUCKETS - 1)
+    }
+}
+
+/// RAII timer from [`Histogram::time`]: observes the elapsed microseconds
+/// when dropped.
+pub struct HistogramTimer {
+    histogram: Histogram,
+    span: Span,
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        self.histogram.observe(self.span.elapsed_us());
+    }
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    instrument: Instrument,
+}
+
+/// A named collection of instruments with Prometheus text exposition.
+///
+/// Registration is `Mutex`-guarded (it happens once per instrument, at
+/// startup); the handles it returns are lock-free. Registering the same
+/// name twice returns a handle to the *same* underlying instrument, so
+/// independent components can share a metric without coordination.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or retrieves) a monotone counter.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let name = sanitize_metric_name(name);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = entries.iter().find(|e| e.name == name) {
+            match &entry.instrument {
+                Instrument::Counter(c) => return c.clone(),
+                _ => panic!("metric `{name}` already registered as a non-counter"),
+            }
+        }
+        let counter = Counter::new();
+        entries.push(Entry {
+            name,
+            help: help.to_string(),
+            instrument: Instrument::Counter(counter.clone()),
+        });
+        counter
+    }
+
+    /// Registers (or retrieves) a gauge.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let name = sanitize_metric_name(name);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = entries.iter().find(|e| e.name == name) {
+            match &entry.instrument {
+                Instrument::Gauge(g) => return g.clone(),
+                _ => panic!("metric `{name}` already registered as a non-gauge"),
+            }
+        }
+        let gauge = Gauge::new();
+        entries.push(Entry {
+            name,
+            help: help.to_string(),
+            instrument: Instrument::Gauge(gauge.clone()),
+        });
+        gauge
+    }
+
+    /// Registers (or retrieves) a histogram (exposed as a Prometheus
+    /// summary: quantile series plus `_sum`/`_count`).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        let name = sanitize_metric_name(name);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = entries.iter().find(|e| e.name == name) {
+            match &entry.instrument {
+                Instrument::Histogram(h) => return h.clone(),
+                _ => panic!("metric `{name}` already registered as a non-histogram"),
+            }
+        }
+        let histogram = Histogram::new();
+        entries.push(Entry {
+            name,
+            help: help.to_string(),
+            instrument: Instrument::Histogram(histogram.clone()),
+        });
+        histogram
+    }
+
+    /// Renders every registered instrument in Prometheus text exposition
+    /// format (stable order: registration order), **without** a trailing
+    /// `# EOF` terminator — callers that speak OpenMetrics append it.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for entry in entries.iter() {
+            render_instrument(&mut out, &entry.name, &entry.help, &entry.instrument);
+        }
+        out
+    }
+}
+
+fn render_instrument(out: &mut String, name: &str, help: &str, instrument: &Instrument) {
+    if !help.is_empty() {
+        out.push_str(&format!("# HELP {name} {}\n", help.replace('\n', " ")));
+    }
+    match instrument {
+        Instrument::Counter(c) => {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+        }
+        Instrument::Gauge(g) => {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+        }
+        Instrument::Histogram(h) => {
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for q in [0.5, 0.9, 0.99] {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", h.quantile(q)));
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum()));
+            out.push_str(&format!("{name}_count {}\n", h.count()));
+        }
+    }
+}
+
+/// Coerces a string into the Prometheus metric-name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: invalid characters become `_`, and a
+/// leading digit gets a `_` prefix. Empty input becomes `"_"`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let valid =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if valid || ch.is_ascii_digit() { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Whether `name` is a valid Prometheus metric name.
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("requests_total", "requests");
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        // Same name returns the same instrument.
+        assert_eq!(r.counter("requests_total", "requests").get(), 3);
+        let g = r.gauge("inflight", "live");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE requests_total counter"), "{text}");
+        assert!(text.contains("requests_total 3"), "{text}");
+        assert!(text.contains("inflight 3"), "{text}");
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_and_timer() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 3, 8, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1112);
+        assert!(h.quantile(0.5) <= 16);
+        assert!(h.quantile(1.0) >= 1000);
+        drop(h.time());
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(sanitize_metric_name("cache.hits"), "cache_hits");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ok_name:x0"), "ok_name:x0");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert!(is_valid_metric_name("coqld_cache_hits_total"));
+        assert!(!is_valid_metric_name("bad.name"));
+        assert!(!is_valid_metric_name("0bad"));
+        assert!(!is_valid_metric_name(""));
+    }
+
+    #[test]
+    fn rendered_names_always_parse() {
+        let r = Registry::new();
+        r.counter("weird name!", "").inc();
+        r.gauge("1st", "").set(1);
+        for line in r.render_prometheus().lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let name = line.split([' ', '{']).next().unwrap();
+            let name = name.trim_end_matches("_sum").trim_end_matches("_count");
+            assert!(is_valid_metric_name(name), "{line}");
+        }
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        let r = Registry::new();
+        let c = r.counter("racy_total", "contended counter");
+        let h = r.histogram("racy_us", "contended histogram");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                    for _ in 0..1_000 {
+                        h.observe(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.count(), 8_000);
+        assert_eq!(h.sum(), 24_000);
+        // And the rendered exposition reflects the exact totals.
+        let text = r.render_prometheus();
+        assert!(text.contains("racy_total 80000"), "{text}");
+        assert!(text.contains("racy_us_count 8000"), "{text}");
+    }
+
+    #[test]
+    fn exposition_is_stable_and_parseable() {
+        let r = Registry::new();
+        r.counter("b_total", "").add(2);
+        r.counter("a_total", "").add(1);
+        r.gauge("g", "").set(-4);
+        r.histogram("h_us", "").observe(9);
+        let first = r.render_prometheus();
+        let second = r.render_prometheus();
+        assert_eq!(first, second, "exposition must be deterministic");
+        // Registration order is preserved (stable scrape diffs), and every
+        // sample line is `name[{labels}] value` with a numeric value.
+        let b = first.find("b_total").unwrap();
+        let a = first.find("a_total").unwrap();
+        assert!(b < a, "registration order must be preserved:\n{first}");
+        for line in first.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (_, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn kernel_publish_is_thread_safe_and_monotone() {
+        let before = kernel::global_totals();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let local_before = kernel::snapshot();
+                    for _ in 0..5_000 {
+                        kernel::bump(kernel::Metric::SimCounterUpdates);
+                    }
+                    kernel::publish(&kernel::snapshot().delta(&local_before));
+                });
+            }
+        });
+        let after = kernel::global_totals();
+        let grew = after.delta(&before).get(kernel::Metric::SimCounterUpdates);
+        assert_eq!(grew, 20_000, "every thread's delta must be folded in exactly");
+    }
+}

@@ -4,7 +4,9 @@
 # Everything here runs offline (no registry access). The proptest suites
 # and criterion benches are feature-gated (`slow-tests`,
 # `criterion-benches`) and need their dev-dependencies restored in the
-# manifests first — they are not part of this gate.
+# manifests first — they are not part of this gate. Exception:
+# co-service's `slow-tests` feature pulls no dependencies, so its soak
+# test runs here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,4 +43,77 @@ run cargo test -q -p co-service --test robustness hostile_nesting
 run cargo run -p co-bench --release --bin co-bench -- perf --quick --out target/bench-smoke.json
 run cargo run -p co-bench --release --bin co-bench -- check target/bench-smoke.json
 run cargo run -p co-bench --release --bin co-bench -- check BENCH_PR2.json --strict
+# Observability gate (DESIGN.md §12): the deterministic kernel
+# conformance suite, the seeded soak test (std-only despite the feature
+# gate), and a live double-scrape of METRICS under load — the exposition
+# must parse and every counter must be monotone non-decreasing.
+run cargo test -q --test conformance
+run cargo test -q -p co-service --features slow-tests --test soak
+
+echo "==> live METRICS scrape (parseable exposition, monotone counters)"
+./target/release/coqld --listen 127.0.0.1:0 >target/coqld-verify.log 2>&1 &
+COQLD_PID=$!
+trap 'kill "$COQLD_PID" 2>/dev/null || true' EXIT
+ADDR=
+for _ in $(seq 50); do
+    ADDR=$(sed -n 's/^coqld: listening on //p' target/coqld-verify.log)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "coqld did not announce its address"; exit 1; }
+HOST=${ADDR%:*} PORT=${ADDR##*:}
+
+# One connection per call: send the given request lines, print the reply.
+req() {
+    exec 9<>"/dev/tcp/$HOST/$PORT"
+    printf '%s\n' "$@" QUIT >&9
+    cat <&9
+    exec 9<&- 9>&-
+}
+
+# Validate one exposition and emit its counter series as "series value"
+# (gauges move both ways and are exempt from the monotonicity check).
+counters_of() {
+    awk '
+        /^# TYPE / { if ($4 == "counter") counter[$3] = 1; next }
+        /^#/ || /^OK bye$/ || NF == 0 { next }
+        {
+            value = $NF
+            series = $0; sub(/ [^ ]*$/, "", series)
+            name = series; sub(/\{.*/, "", name)
+            if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) {
+                print "unparseable metric name: " $0 > "/dev/stderr"; exit 1
+            }
+            if (value !~ /^-?[0-9]+(\.[0-9]+)?$/) {
+                print "unparseable sample value: " $0 > "/dev/stderr"; exit 1
+            }
+            if (name in counter) print series, value
+        }' "$1"
+}
+
+req "SCHEMA app R(A, B); S(C)" >/dev/null
+req METRICS >target/metrics-1.txt
+grep -q '^# EOF$' target/metrics-1.txt || { echo "scrape 1 missing # EOF"; exit 1; }
+req "CHECK app select x.B from x in R ;; select x.B from x in R" \
+    "EXPLAIN CHECK app select x.A from x in R where x.B = 1 ;; select y.A from y in R" \
+    "EQUIV app select y.C from y in S ;; select z.C from z in S" >/dev/null
+req METRICS >target/metrics-2.txt
+grep -q '^# EOF$' target/metrics-2.txt || { echo "scrape 2 missing # EOF"; exit 1; }
+kill "$COQLD_PID" 2>/dev/null || true
+counters_of target/metrics-1.txt >target/counters-1.txt
+counters_of target/metrics-2.txt >target/counters-2.txt
+awk '
+    NR == FNR { before[$1] = $2; next }
+    { after[$1] = $2 }
+    END {
+        if (FNR == 0 || NR == FNR) { print "empty scrape"; exit 1 }
+        for (s in before) {
+            if (!(s in after)) { print "counter disappeared: " s; exit 1 }
+            if (after[s] + 0 < before[s] + 0) {
+                print "counter went backwards: " s " " before[s] " -> " after[s]
+                exit 1
+            }
+        }
+    }' target/counters-1.txt target/counters-2.txt
+grep -q '^coqld_kernel_' target/counters-2.txt || { echo "no kernel counters exposed"; exit 1; }
 echo "==> verify OK"

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! coqlc check       <schema> <query1> <query2>   # containment + equivalence
+//! coqlc explain     <schema> <query1> <query2>   # containment + phase timings
 //! coqlc eval        <schema> <query> <database>  # run a query
 //! coqlc refute      <schema> <query1> <query2>   # search a counterexample DB
 //! coqlc encode      <schema> <database>          # §5.1 index encoding, printed
@@ -46,12 +47,17 @@ fn main() -> ExitCode {
 
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: coqlc <check|eval|refute|encode|fingerprint> <files…>  (see --help)";
+    let usage =
+        "usage: coqlc <check|explain|eval|refute|encode|fingerprint> <files…>  (see --help)";
     match args.first().map(String::as_str) {
         Some("--help") | Some("-h") | None => Ok(HELP.to_string()),
         Some("check") => {
             let [schema, q1, q2] = three(&args, usage)?;
             cmd_check(&schema, &q1, &q2)
+        }
+        Some("explain") => {
+            let [schema, q1, q2] = three(&args, usage)?;
+            cmd_explain(&schema, &q1, &q2)
         }
         Some("eval") => {
             let [schema, q, db] = three(&args, usage)?;
@@ -85,6 +91,10 @@ coqlc — decide containment and equivalence of COQL queries
 
 commands:
   check       <schema> <q1> <q2>   decide q1 ⊑ q2, q2 ⊑ q1, and equivalence
+  explain     <schema> <q1> <q2>   decide q1 ⊑ q2 and report where the time
+                                   went: per-phase µs (parse, canonicalize,
+                                   fingerprint, prepare, cache, kernel) and
+                                   kernel step counts
   eval        <schema> <q> <db>    evaluate a query over a database of facts
   refute      <schema> <q1> <q2>   search for a database where q1 ⋢ q2
   encode      <schema> <db>        print the §5.1 index encoding of a database
@@ -218,6 +228,37 @@ fn cmd_check(schema_text: &str, q1_text: &str, q2_text: &str) -> Result<String, 
     Ok(out)
 }
 
+fn cmd_explain(schema_text: &str, q1_text: &str, q2_text: &str) -> Result<String, String> {
+    let schema = parse_schema(schema_text)?;
+    let engine = co_service::Engine::new(co_service::EngineConfig::default());
+    engine.register_schema("cli", schema);
+    let q1 = strip_comments(q1_text).trim().to_string();
+    let q2 = strip_comments(q2_text).trim().to_string();
+    let request = co_service::Request::new(co_service::Op::Check, "cli", &q1, &q2);
+    let (decision, ex) = engine.decide_explained(&request)?;
+    let co_service::Decision::Containment { analysis, fp1, fp2, .. } = decision else {
+        return Err("internal error: CHECK produced no containment decision".to_string());
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "q1 ⊑ q2 : {}   (path: {})", analysis.holds, analysis.path);
+    let _ = writeln!(out, "fp1: {fp1}");
+    let _ = writeln!(out, "fp2: {fp2}");
+    for (name, us) in ex.phases() {
+        let _ = writeln!(out, "  {name:<12} {us:>8} µs");
+    }
+    let covered = (ex.phase_sum_us() * 100).checked_div(ex.total_us).unwrap_or(100);
+    let _ = writeln!(out, "  {:<12} {:>8} µs   (phases cover {covered}%)", "total", ex.total_us);
+    let mut any = false;
+    for (name, steps) in ex.kernel_steps.iter().filter(|&(_, v)| v > 0) {
+        let _ = writeln!(out, "  kernel.{name} {steps}");
+        any = true;
+    }
+    if !any {
+        let _ = writeln!(out, "  (no kernel steps — answered without search)");
+    }
+    Ok(out.trim_end().to_string())
+}
+
 fn cmd_eval(schema_text: &str, q_text: &str, db_text: &str) -> Result<String, String> {
     let schema = parse_schema(schema_text)?;
     let q = parse_query(q_text)?;
@@ -306,6 +347,21 @@ mod tests {
         assert!(report.contains("q1 ⊑ q2 : true"), "{report}");
         assert!(report.contains("q2 ⊑ q1 : false"), "{report}");
         assert!(report.contains("NOT equivalent"), "{report}");
+    }
+
+    #[test]
+    fn explain_reports_verdict_and_phases() {
+        let report = cmd_explain(
+            "R(A, B)",
+            "select x.B from x in R where x.A = 1",
+            "select x.B from x in R",
+        )
+        .unwrap();
+        assert!(report.contains("q1 ⊑ q2 : true"), "{report}");
+        for phase in ["parse", "canonicalize", "fingerprint", "prepare", "cache", "kernel"] {
+            assert!(report.contains(phase), "missing {phase}: {report}");
+        }
+        assert!(report.contains("kernel.hom_probes"), "{report}");
     }
 
     #[test]

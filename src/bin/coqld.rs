@@ -57,6 +57,8 @@ options:
                            minimum 1); a final snapshot is always written
                            after a clean drain
   --allow-shutdown         honor the SHUTDOWN verb (off by default)
+  --slow-log-ms <n>        log requests that take at least n ms end to end as
+                           one-line records on stderr; 0 = off (default 0)
   -h, --help               this help
 
 protocol (one request per line; replies start OK/ERR; STATS ends with END):
@@ -65,15 +67,19 @@ protocol (one request per line; replies start OK/ERR; STATS ends with END):
   EQUIV <schema> <q1> ;; <q2>   decide equivalence
   FINGERPRINT <schema> <q>      canonical cache-key fingerprint
   STATS                         counters + per-path latency quantiles
+  METRICS                       Prometheus text exposition, ends with # EOF
   SHUTDOWN                      drain and stop (needs --allow-shutdown)
   QUIT
 
   CHECK/EQUIV accept budget prefixes, e.g. `TIMEOUT 50 CHECK app ...` caps
   the request at 50 ms and `BUDGET 1000 CHECK app ...` caps kernel steps
   (0 clears the server default). An expired budget answers `ERR DEADLINE`
-  without caching anything; other failure replies are `ERR TOOLARGE`,
-  `ERR TOODEEP` (query nested past --max-parse-depth), `ERR OVERLOADED`,
-  and `ERR INTERNAL` (the server survives all of them).
+  without caching anything. An `EXPLAIN` prefix answers the verdict plus
+  `explain.*` phase timings (parse/canonicalize/fingerprint/prepare/cache/
+  kernel µs) and kernel step counts, terminated by END. Other failure
+  replies are `ERR TOOLARGE`, `ERR TOODEEP` (query nested past
+  --max-parse-depth), `ERR OVERLOADED`, and `ERR INTERNAL` (the server
+  survives all of them).
 
 exit codes:
   0  clean shutdown (SHUTDOWN verb after --allow-shutdown, drained)
@@ -152,6 +158,9 @@ fn run(args: &[String]) -> Result<(), (String, u8)> {
                 server.snapshot_interval = Duration::from_millis(ms.max(1) as u64)
             }
             "--allow-shutdown" => server.allow_shutdown = true,
+            "--slow-log-ms" => {
+                server.slow_log = parse_ms(&value("--slow-log-ms")?, "--slow-log-ms")?
+            }
             other => return Err(usage(format!("unknown option `{other}`"))),
         }
     }
