@@ -25,12 +25,54 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("perf") => perf(&args[1..]),
         Some("check") => check(&args[1..]),
+        Some("workload") => workload(&args[1..]),
         _ => {
             eprintln!("usage: co-bench perf [--quick] [--out PATH]");
             eprintln!("       co-bench check PATH [--strict]");
+            eprintln!("       co-bench workload [--total N] [--distinct N] [--seed N]");
             ExitCode::from(2)
         }
     }
+}
+
+/// Prints the E13 duplicate-heavy service workload as protocol request
+/// bodies, one `<q1> ;; <q2>` pair per line — piping material for driving
+/// coqld or coqld-router from scripts (the fleet drill in `verify.sh`).
+/// The pairs are over the standard `R(A, B); S(C)` schema; `--distinct`
+/// semantic pairs are spread over `--total` α-renamed presentations, so
+/// duplicate fingerprints dominate and cache affinity is measurable.
+fn workload(args: &[String]) -> ExitCode {
+    let mut total = 200usize;
+    let mut distinct = 12usize;
+    let mut seed = 13u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = match it.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("{a} needs a value");
+                return ExitCode::from(2);
+            }
+        };
+        let parsed: Result<u64, _> = value.parse();
+        let Ok(n) = parsed else {
+            eprintln!("{a} expects a number, got `{value}`");
+            return ExitCode::from(2);
+        };
+        match a.as_str() {
+            "--total" => total = n as usize,
+            "--distinct" => distinct = n as usize,
+            "--seed" => seed = n,
+            other => {
+                eprintln!("unknown workload flag: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for (q1, q2) in co_bench::workloads::service_workload(total, distinct, seed) {
+        println!("{q1} ;; {q2}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn perf(args: &[String]) -> ExitCode {

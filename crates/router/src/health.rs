@@ -1,0 +1,251 @@
+//! Shard health state and the STATS probe.
+//!
+//! The prober periodically runs a one-shot `STATS` exchange against every
+//! shard. Consecutive failures mark a shard down (draining it from
+//! routing — its ring points stay, candidates just skip it, so recovery
+//! restores exactly the old key ownership). The probe also watches
+//! `uptime_seconds` for restarts (uptime going backwards ⇒ schemas must
+//! be re-pushed, warm cache possibly lost) and the `build.*` lines for
+//! snapshot-format skew (a shard whose `COQLSNP1` versions differ from
+//! the router's build is refused as a handoff donor or target).
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use co_service::{FINGERPRINT_VERSION, FORMAT_VERSION};
+use co_trace::Histogram;
+
+use crate::pool::{Pool, PoolConfig};
+
+/// Live state of one shard, shared between the prober, the request path,
+/// and the `SHARDS`/`METRICS` renderers.
+pub struct ShardState {
+    /// The shard's `host:port`.
+    pub addr: String,
+    /// Bounded request-path connections to it.
+    pub pool: Arc<Pool>,
+    /// Routable right now. Shards start up optimistically — the first
+    /// probe corrects within one interval, and a cold fleet serves
+    /// immediately instead of waiting a probe round.
+    pub up: AtomicBool,
+    /// Consecutive probe failures so far.
+    pub failures: AtomicUsize,
+    /// Times the probe saw uptime go backwards (process replaced).
+    pub restarts: AtomicU64,
+    /// Last observed `uptime_seconds` (`u64::MAX` before the first
+    /// successful probe).
+    pub last_uptime: AtomicU64,
+    /// The shard's snapshot format/fingerprint versions differ from this
+    /// router's build.
+    pub version_skew: AtomicBool,
+    /// Requests this shard answered through the router.
+    pub forwarded: AtomicU64,
+    /// Forward latency (µs) of answered requests.
+    pub forward_latency: Histogram,
+}
+
+impl ShardState {
+    /// Fresh state for `addr`, optimistically up.
+    pub fn new(addr: &str, pool_config: PoolConfig) -> Arc<ShardState> {
+        Arc::new(ShardState {
+            addr: addr.to_string(),
+            pool: Pool::new(addr, pool_config),
+            up: AtomicBool::new(true),
+            failures: AtomicUsize::new(0),
+            restarts: AtomicU64::new(0),
+            last_uptime: AtomicU64::new(u64::MAX),
+            version_skew: AtomicBool::new(false),
+            forwarded: AtomicU64::new(0),
+            forward_latency: Histogram::new(),
+        })
+    }
+
+    /// Routable right now.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Relaxed)
+    }
+}
+
+/// What one successful `STATS` probe reported.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProbeReport {
+    /// The shard's `uptime_seconds`.
+    pub uptime: u64,
+    /// Its `build.format_version` (0 on pre-versioned builds).
+    pub format_version: u32,
+    /// Its `build.fingerprint_version`.
+    pub fingerprint_version: u32,
+    /// Its `cache.entries` (handoff donor selection).
+    pub cache_entries: u64,
+}
+
+impl ProbeReport {
+    /// Whether the shard's snapshot formats match this router's build.
+    pub fn versions_match(&self) -> bool {
+        self.format_version == FORMAT_VERSION && self.fingerprint_version == FINGERPRINT_VERSION
+    }
+}
+
+/// One-shot `STATS` exchange over a dedicated connection (not a pool
+/// slot: probes must not compete with request traffic, and must work
+/// against a shard whose pool is exhausted).
+pub fn probe(shard: &ShardState) -> io::Result<ProbeReport> {
+    let mut conn = shard.pool.dial_oneshot()?;
+    conn.send_line("STATS")?;
+    let lines = conn.read_until("END")?;
+    let _ = conn.send_line("QUIT");
+    Ok(parse_stats(&lines))
+}
+
+/// Extracts the probe-relevant keys from a `STATS` payload; absent keys
+/// stay zero so probing an older build degrades to "version skew".
+pub fn parse_stats(lines: &[String]) -> ProbeReport {
+    let mut report = ProbeReport::default();
+    for line in lines {
+        let Some((key, value)) = line.split_once(' ') else { continue };
+        match key {
+            "uptime_seconds" => report.uptime = value.parse().unwrap_or(0),
+            "build.format_version" => report.format_version = value.parse().unwrap_or(0),
+            "build.fingerprint_version" => report.fingerprint_version = value.parse().unwrap_or(0),
+            "cache.entries" => report.cache_entries = value.parse().unwrap_or(0),
+            _ => {}
+        }
+    }
+    report
+}
+
+/// Outcome of folding one probe result into a shard's state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// Nothing changed.
+    Steady,
+    /// The shard just came (back) up — schemas must be (re-)pushed.
+    CameUp,
+    /// Same process kept running but its uptime went backwards: it was
+    /// restarted between probes — schemas must be re-pushed.
+    Restarted,
+    /// The shard just crossed the failure threshold and was marked down.
+    WentDown,
+}
+
+/// Folds one probe outcome into the shard state and reports what changed.
+pub fn apply_probe(
+    shard: &ShardState,
+    outcome: &io::Result<ProbeReport>,
+    down_after: usize,
+) -> Transition {
+    match outcome {
+        Ok(report) => {
+            shard.failures.store(0, Ordering::Relaxed);
+            shard.version_skew.store(!report.versions_match(), Ordering::Relaxed);
+            let previous = shard.last_uptime.swap(report.uptime, Ordering::Relaxed);
+            if !shard.up.swap(true, Ordering::Relaxed) {
+                return Transition::CameUp;
+            }
+            if previous != u64::MAX && report.uptime < previous {
+                shard.restarts.fetch_add(1, Ordering::Relaxed);
+                return Transition::Restarted;
+            }
+            Transition::Steady
+        }
+        Err(_) => {
+            let failures = shard.failures.fetch_add(1, Ordering::Relaxed) + 1;
+            if failures >= down_after.max(1) && shard.up.swap(false, Ordering::Relaxed) {
+                // Warm sockets to a dead address are useless; drop them so
+                // recovery starts clean.
+                shard.pool.drain_idle();
+                shard.last_uptime.store(u64::MAX, Ordering::Relaxed);
+                return Transition::WentDown;
+            }
+            Transition::Steady
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn shard() -> Arc<ShardState> {
+        ShardState::new(
+            "127.0.0.1:1",
+            PoolConfig {
+                max_live: 2,
+                max_idle: 1,
+                connect_timeout: Duration::from_millis(100),
+                io_timeout: None,
+            },
+        )
+    }
+
+    fn ok(uptime: u64) -> io::Result<ProbeReport> {
+        Ok(ProbeReport {
+            uptime,
+            format_version: FORMAT_VERSION,
+            fingerprint_version: FINGERPRINT_VERSION,
+            cache_entries: 0,
+        })
+    }
+
+    fn fail() -> io::Result<ProbeReport> {
+        Err(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"))
+    }
+
+    #[test]
+    fn down_after_consecutive_failures_and_recovery() {
+        let s = shard();
+        assert_eq!(apply_probe(&s, &fail(), 3), Transition::Steady);
+        assert_eq!(apply_probe(&s, &fail(), 3), Transition::Steady);
+        assert!(s.is_up(), "below the threshold the shard still serves");
+        assert_eq!(apply_probe(&s, &fail(), 3), Transition::WentDown);
+        assert!(!s.is_up());
+        // A single success heals it (and asks for a schema re-push).
+        assert_eq!(apply_probe(&s, &ok(10), 3), Transition::CameUp);
+        assert!(s.is_up());
+        assert_eq!(s.failures.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn uptime_regression_is_a_restart() {
+        let s = shard();
+        assert_eq!(apply_probe(&s, &ok(100), 3), Transition::Steady);
+        assert_eq!(apply_probe(&s, &ok(150), 3), Transition::Steady);
+        assert_eq!(apply_probe(&s, &ok(3), 3), Transition::Restarted);
+        assert_eq!(s.restarts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn version_skew_is_flagged_not_fatal() {
+        let s = shard();
+        let skewed = Ok(ProbeReport {
+            uptime: 5,
+            format_version: FORMAT_VERSION + 1,
+            fingerprint_version: FINGERPRINT_VERSION,
+            cache_entries: 0,
+        });
+        apply_probe(&s, &skewed, 3);
+        assert!(s.is_up(), "skew must not stop request serving");
+        assert!(s.version_skew.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn stats_parsing_tolerates_unknown_keys() {
+        let lines: Vec<String> = [
+            "decisions 42",
+            "uptime_seconds 77",
+            "build.format_version 1",
+            "build.fingerprint_version 1",
+            "cache.entries 9",
+            "some.future.key x",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let r = parse_stats(&lines);
+        assert_eq!(r.uptime, 77);
+        assert_eq!(r.cache_entries, 9);
+        assert!(r.versions_match());
+    }
+}

@@ -1,0 +1,37 @@
+//! `co-router`: a fingerprint-routed sharding proxy for coqld fleets.
+//!
+//! One router in front of N coqld shards turns them into a single
+//! logical containment service with cache affinity. The router speaks
+//! the coqld line protocol to clients; per request it:
+//!
+//! 1. canonicalizes both queries locally (the same parse → type-check →
+//!    normalize → fingerprint pipeline the shards use for cache keys),
+//! 2. consistent-hash routes the `(schema, unordered query pair)` key
+//!    to a shard, so repeated and mirrored requests always land on the
+//!    same warm memo cache,
+//! 3. forwards the line verbatim (`TIMEOUT`/`BUDGET`/`EXPLAIN` prefixes
+//!    intact) over a bounded connection pool,
+//! 4. sheds to the next ring sibling on `ERR OVERLOADED`, exhausted
+//!    pools, or connect failures, under a bounded retry budget.
+//!
+//! A background prober marks shards down after consecutive `STATS`
+//! failures (draining them from routing without changing ring
+//! ownership), detects restarts via uptime regression and re-pushes
+//! schemas, and flags snapshot-format skew. Fleet-level verbs: `METRICS`
+//! (merged Prometheus exposition: summed counters plus per-shard
+//! `shard=` labels and router-side families), `SHARDS` (health table),
+//! and `HANDOFF <addr>` (warm join: version-gated `COQLSNP1` snapshot
+//! shipped from the fullest donor before the ring is rebuilt).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod health;
+pub mod metrics;
+pub mod net;
+pub mod pool;
+pub mod proxy;
+pub mod ring;
+
+pub use proxy::{serve_router, serve_router_with_shutdown, Router, RouterConfig};
+pub use ring::Ring;

@@ -1,0 +1,217 @@
+//! Fleet-level Prometheus aggregation.
+//!
+//! The router's `METRICS` verb scrapes every up shard's exposition and
+//! merges them into one: each family's `# HELP`/`# TYPE` appear once (in
+//! first-seen order), counter families additionally get a fleet-summed
+//! unlabeled sample, and every per-shard sample is re-emitted with a
+//! `shard="<addr>"` label injected so one scrape shows both the fleet
+//! total and the per-shard breakdown.
+
+use std::collections::HashMap;
+
+/// One merged metric family across the fleet.
+struct Family {
+    name: String,
+    help: String,
+    typ: String,
+    /// Sum of unlabeled samples (counters only — summing gauges like
+    /// `coqld_cache_capacity` across shards would be misleading for some
+    /// and fine for others, so gauges stay per-shard only).
+    sum: f64,
+    has_sum: bool,
+    /// `(series-with-shard-label, value)` in scrape order.
+    samples: Vec<(String, String)>,
+}
+
+/// Merges per-shard Prometheus expositions (`(shard label, text)`, each
+/// WITHOUT its `# EOF` trailer) into the fleet exposition. The result is
+/// itself valid exposition text ending in `# EOF`.
+pub fn aggregate(scrapes: &[(String, String)]) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut families: HashMap<String, Family> = HashMap::new();
+    let mut family_of_series: HashMap<String, String> = HashMap::new();
+
+    let ensure =
+        |order: &mut Vec<String>, families: &mut HashMap<String, Family>, name: &str| -> () {
+            if !families.contains_key(name) {
+                order.push(name.to_string());
+                families.insert(
+                    name.to_string(),
+                    Family {
+                        name: name.to_string(),
+                        help: String::new(),
+                        typ: "untyped".to_string(),
+                        sum: 0.0,
+                        has_sum: false,
+                        samples: Vec::new(),
+                    },
+                );
+            }
+        };
+
+    for (shard, text) in scrapes {
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line == "# EOF" {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                if let Some((name, help)) = rest.split_once(' ') {
+                    ensure(&mut order, &mut families, name);
+                    let family = families.get_mut(name).expect("just ensured");
+                    if family.help.is_empty() {
+                        family.help = help.to_string();
+                    }
+                }
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                if let Some((name, typ)) = rest.split_once(' ') {
+                    ensure(&mut order, &mut families, name);
+                    let family = families.get_mut(name).expect("just ensured");
+                    family.typ = typ.to_string();
+                    // Summary families own their _sum/_count series.
+                    if typ == "summary" || typ == "histogram" {
+                        family_of_series.insert(format!("{name}_sum"), name.to_string());
+                        family_of_series.insert(format!("{name}_count"), name.to_string());
+                    }
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            // A sample: `series value` where series is `name` or
+            // `name{labels}`.
+            let Some((series, value)) = line.rsplit_once(' ') else { continue };
+            let series_name = series.split('{').next().unwrap_or(series);
+            let family_name = family_of_series
+                .get(series_name)
+                .cloned()
+                .unwrap_or_else(|| series_name.to_string());
+            ensure(&mut order, &mut families, &family_name);
+            let family = families.get_mut(&family_name).expect("just ensured");
+            if family.typ == "counter" && series == series_name {
+                if let Ok(v) = value.parse::<f64>() {
+                    family.sum += v;
+                    family.has_sum = true;
+                }
+            }
+            family.samples.push((inject_shard_label(series, shard), value.to_string()));
+        }
+    }
+
+    let mut out = String::new();
+    for name in &order {
+        let family = &families[name];
+        if !family.help.is_empty() {
+            out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+        }
+        out.push_str(&format!("# TYPE {} {}\n", family.name, family.typ));
+        if family.has_sum {
+            out.push_str(&format!("{} {}\n", family.name, render_number(family.sum)));
+        }
+        for (series, value) in &family.samples {
+            out.push_str(&format!("{series} {value}\n"));
+        }
+    }
+    out.push_str("# EOF");
+    out
+}
+
+/// Injects `shard="<addr>"` as the first label of a series.
+pub fn inject_shard_label(series: &str, shard: &str) -> String {
+    match series.split_once('{') {
+        Some((name, rest)) => format!("{name}{{shard=\"{shard}\",{rest}"),
+        None => format!("{series}{{shard=\"{shard}\"}}"),
+    }
+}
+
+/// Renders a summed value the way Prometheus text format expects:
+/// integral sums without a fractional tail.
+fn render_number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(shard: &str, text: &str) -> (String, String) {
+        (shard.to_string(), text.to_string())
+    }
+
+    #[test]
+    fn counters_sum_and_keep_per_shard_series() {
+        let a = "# HELP coqld_cache_hits_total Memo-cache hits\n\
+                 # TYPE coqld_cache_hits_total counter\n\
+                 coqld_cache_hits_total 10\n# EOF";
+        let b = "# HELP coqld_cache_hits_total Memo-cache hits\n\
+                 # TYPE coqld_cache_hits_total counter\n\
+                 coqld_cache_hits_total 32\n# EOF";
+        let out = aggregate(&[scrape("s1:1", a), scrape("s2:2", b)]);
+        assert!(out.contains("# TYPE coqld_cache_hits_total counter\n"));
+        assert!(out.contains("\ncoqld_cache_hits_total 42\n"), "{out}");
+        assert!(out.contains("coqld_cache_hits_total{shard=\"s1:1\"} 10"), "{out}");
+        assert!(out.contains("coqld_cache_hits_total{shard=\"s2:2\"} 32"), "{out}");
+        assert!(out.ends_with("# EOF"));
+        // HELP/TYPE once, not per shard.
+        assert_eq!(out.matches("# TYPE coqld_cache_hits_total").count(), 1);
+    }
+
+    #[test]
+    fn gauges_stay_per_shard_and_labels_are_injected_first() {
+        let a = "# HELP coqld_cache_entries Live entries\n\
+                 # TYPE coqld_cache_entries gauge\n\
+                 coqld_cache_entries 7\n\
+                 # HELP coqld_build_info Versions\n\
+                 # TYPE coqld_build_info gauge\n\
+                 coqld_build_info{format_version=\"1\",fingerprint_version=\"1\"} 1\n# EOF";
+        let out = aggregate(&[scrape("s1:1", a)]);
+        // No unlabeled summed gauge line.
+        assert!(!out.contains("\ncoqld_cache_entries 7"), "{out}");
+        assert!(out.contains("coqld_cache_entries{shard=\"s1:1\"} 7"), "{out}");
+        assert!(
+            out.contains(
+                "coqld_build_info{shard=\"s1:1\",format_version=\"1\",fingerprint_version=\"1\"} 1"
+            ),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn summary_series_attach_to_their_family() {
+        let a = "# HELP coqld_path_latency_us Latency by path\n\
+                 # TYPE coqld_path_latency_us summary\n\
+                 coqld_path_latency_us{path=\"flat\",quantile=\"0.5\"} 12\n\
+                 coqld_path_latency_us_sum{path=\"flat\"} 99\n\
+                 coqld_path_latency_us_count{path=\"flat\"} 3\n# EOF";
+        let out = aggregate(&[scrape("s1:1", a)]);
+        // _sum/_count must not become their own families.
+        assert!(!out.contains("# TYPE coqld_path_latency_us_sum"), "{out}");
+        assert!(
+            out.contains("coqld_path_latency_us{shard=\"s1:1\",path=\"flat\",quantile=\"0.5\"} 12"),
+            "{out}"
+        );
+        assert!(
+            out.contains("coqld_path_latency_us_sum{shard=\"s1:1\",path=\"flat\"} 99"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn aggregated_output_parses_as_exposition() {
+        let a = "# TYPE x_total counter\nx_total 1\n# EOF";
+        let out = aggregate(&[scrape("a:1", a), scrape("b:2", a)]);
+        for line in out.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (series, value) = line.rsplit_once(' ').expect("name value");
+            let name = series.split('{').next().unwrap();
+            assert!(co_trace::is_valid_metric_name(name), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Line-oriented TCP plumbing shared by the router's front and back ends.
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A buffered, line-oriented connection to one coqld shard (or from one
+/// client). Reads and writes whole protocol lines.
+pub struct LineConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl LineConn {
+    /// Dials `addr` with a bounded connect and installs the I/O timeouts.
+    pub fn connect(
+        addr: &str,
+        connect_timeout: Duration,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<LineConn> {
+        let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(ErrorKind::InvalidInput, format!("unresolvable `{addr}`"))
+        })?;
+        let stream = TcpStream::connect_timeout(&sock, connect_timeout)?;
+        stream.set_nodelay(true).ok();
+        LineConn::from_stream(stream, io_timeout)
+    }
+
+    /// Wraps an accepted stream (the router's client-facing side).
+    pub fn from_stream(stream: TcpStream, io_timeout: Option<Duration>) -> io::Result<LineConn> {
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        let writer = stream.try_clone()?;
+        Ok(LineConn { reader: BufReader::new(stream), writer })
+    }
+
+    /// Adjusts the read timeout (per-request deadlines on pooled
+    /// connections).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Writes one protocol line (newline appended) and flushes.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one line, newline and trailing `\r` stripped. EOF before any
+    /// byte is `UnexpectedEof` — on a pooled connection that means the
+    /// shard hung up and the caller should redial.
+    pub fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(ErrorKind::UnexpectedEof, "connection closed"));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Reads lines until one equals `terminator` (returned lines exclude
+    /// it). Used for the multi-line `STATS`/`METRICS`/`EXPLAIN`/
+    /// `SNAPEXPORT` replies, whose terminators are `END` / `# EOF`.
+    pub fn read_until(&mut self, terminator: &str) -> io::Result<Vec<String>> {
+        let mut lines = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line == terminator {
+                return Ok(lines);
+            }
+            lines.push(line);
+        }
+    }
+}
+
+/// What one bounded front-end line read produced.
+pub enum LineRead {
+    /// A complete line (newline stripped, trailing `\r` trimmed).
+    Line(String),
+    /// The line exceeded `max` bytes; its remainder was discarded.
+    TooLarge,
+    /// Clean end of stream.
+    Eof,
+    /// The socket read timed out before a newline arrived.
+    IdleTimeout,
+}
+
+/// Reads one `\n`-terminated request line of at most `max` bytes from a
+/// client. Oversized lines are consumed and discarded up to their newline
+/// so the connection survives the `ERR TOOLARGE` reply.
+pub fn read_bounded_line(reader: &mut BufReader<TcpStream>, max: usize) -> io::Result<LineRead> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    loop {
+        let mut byte = [0u8; 1];
+        // Byte-at-a-time over BufReader: each call costs one memcpy from
+        // the internal buffer, not one syscall.
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return Ok(if discarding {
+                    LineRead::TooLarge
+                } else if line.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line(finish(line))
+                });
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    return Ok(if discarding {
+                        LineRead::TooLarge
+                    } else {
+                        LineRead::Line(finish(line))
+                    });
+                }
+                if !discarding {
+                    line.push(byte[0]);
+                    if line.len() > max {
+                        discarding = true;
+                        line.clear();
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Ok(LineRead::IdleTimeout);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn finish(mut bytes: Vec<u8>) -> String {
+    if bytes.last() == Some(&b'\r') {
+        bytes.pop();
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}

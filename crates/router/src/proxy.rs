@@ -1,0 +1,1014 @@
+//! The router proper: protocol front end, fingerprint routing, shedding,
+//! health-driven failover, fleet `METRICS`, and warm handoff.
+//!
+//! The router speaks the same line protocol as coqld. `CHECK`/`EQUIV`
+//! requests are fingerprinted locally with the exact canonicalization
+//! pipeline the shards use for cache keys, routed by consistent hash of
+//! `(schema fp, unordered query-fp pair)` — direction-invariant, so both
+//! directions of an `EQUIV` and the mirrored `CHECK` colocate on one
+//! shard's cache — and forwarded verbatim (budget prefixes intact).
+//! Parse/type errors are answered locally without burning a shard
+//! round-trip; `ERR OVERLOADED` and connect failures shed to the next
+//! ring sibling under a bounded retry budget.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use co_lang::CoqlSchema;
+use co_service::{
+    canonical_fingerprint, fingerprint_schema, from_hex, parse_schema_decl, peek_header,
+    Fingerprint, Shutdown, FINGERPRINT_VERSION, FORMAT_VERSION,
+};
+use co_trace::Span;
+
+use crate::health::{apply_probe, probe, ShardState, Transition};
+use crate::metrics::{aggregate, inject_shard_label};
+use crate::net::{read_bounded_line, LineConn, LineRead};
+use crate::pool::{Checkout, PoolConfig, PooledConn};
+use crate::ring::{hash64, Ring};
+
+/// Router knobs.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub replicas: usize,
+    /// How often each shard is health-probed.
+    pub probe_interval: Duration,
+    /// Consecutive probe failures before a shard is marked down.
+    pub down_after: usize,
+    /// Extra forward attempts after the first (shed-to-sibling budget).
+    pub retry_budget: usize,
+    /// Bound on each shard dial.
+    pub connect_timeout: Duration,
+    /// Reply wait for a forwarded request that carries no `TIMEOUT`
+    /// prefix (requests with one wait `TIMEOUT + slack` instead).
+    pub forward_timeout: Duration,
+    /// Client-side read timeout (idle clients are closed).
+    pub read_timeout: Option<Duration>,
+    /// Client-side write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Longest accepted client request line.
+    pub max_line_bytes: usize,
+    /// Concurrent client connections; excess is shed `ERR OVERLOADED`.
+    pub max_connections: usize,
+    /// Connections allowed to exist per shard pool.
+    pub pool_max_live: usize,
+    /// Warm connections kept per shard pool.
+    pub pool_max_idle: usize,
+    /// Parser nesting cap for local fingerprinting (mirrors the shards').
+    pub max_parse_depth: usize,
+    /// How long a drain waits for in-flight client connections.
+    pub drain_timeout: Duration,
+    /// Whether `SHUTDOWN` is honored.
+    pub allow_shutdown: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            replicas: 64,
+            probe_interval: Duration::from_secs(1),
+            down_after: 3,
+            retry_budget: 2,
+            connect_timeout: Duration::from_secs(1),
+            forward_timeout: Duration::from_secs(30),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_line_bytes: 64 * 1024,
+            max_connections: 256,
+            pool_max_live: 16,
+            pool_max_idle: 8,
+            max_parse_depth: co_lang::parse::DEFAULT_MAX_DEPTH,
+            drain_timeout: Duration::from_secs(5),
+            allow_shutdown: false,
+        }
+    }
+}
+
+/// Router-side counters, exposed through `STATS` and `METRICS`.
+#[derive(Default)]
+struct RouterStats {
+    routed: AtomicU64,
+    shed: AtomicU64,
+    retries: AtomicU64,
+    shard_down: AtomicU64,
+    handoffs: AtomicU64,
+    probe_failures: AtomicU64,
+    accepted: AtomicU64,
+    client_shed: AtomicU64,
+    conn_panics: AtomicU64,
+    local_errors: AtomicU64,
+}
+
+/// A schema as the router knows it: the registration text (re-pushed to
+/// recovering shards) plus the canonicalization inputs.
+struct SchemaEntry {
+    decl: String,
+    coql: CoqlSchema,
+    fp: Fingerprint,
+}
+
+/// The shard set and its ring, swapped atomically on membership change
+/// (handoff). Down shards stay in the ring — candidates just skip them —
+/// so a recovering shard reclaims exactly its old keys.
+struct Fleet {
+    shards: Vec<Arc<ShardState>>,
+    ring: Ring,
+}
+
+/// The routing proxy. Cheap to share across connection threads.
+pub struct Router {
+    config: RouterConfig,
+    fleet: RwLock<Fleet>,
+    schemas: RwLock<HashMap<String, Arc<SchemaEntry>>>,
+    stats: RouterStats,
+    shutdown: Shutdown,
+    started: Instant,
+}
+
+enum Reply {
+    None,
+    Line(String),
+    Quit,
+    Shutdown,
+}
+
+impl Router {
+    /// A router over a static shard membership (extend it at runtime with
+    /// the `HANDOFF` verb).
+    pub fn new(shard_addrs: &[String], config: RouterConfig) -> Arc<Router> {
+        let pool_config = PoolConfig {
+            max_live: config.pool_max_live,
+            max_idle: config.pool_max_idle,
+            connect_timeout: config.connect_timeout,
+            io_timeout: Some(config.forward_timeout),
+        };
+        let shards: Vec<Arc<ShardState>> =
+            shard_addrs.iter().map(|a| ShardState::new(a, pool_config)).collect();
+        let ring = Ring::build(shard_addrs, config.replicas);
+        Arc::new(Router {
+            config,
+            fleet: RwLock::new(Fleet { shards, ring }),
+            schemas: RwLock::new(HashMap::new()),
+            stats: RouterStats::default(),
+            shutdown: Shutdown::new(),
+            started: Instant::now(),
+        })
+    }
+
+    /// Handle for stopping [`serve_router_with_shutdown`] externally.
+    pub fn shutdown_handle(&self) -> Shutdown {
+        self.shutdown.clone()
+    }
+
+    /// Current shard addresses (ring order is irrelevant; this is
+    /// membership order).
+    pub fn shard_addrs(&self) -> Vec<String> {
+        read(&self.fleet).shards.iter().map(|s| s.addr.clone()).collect()
+    }
+
+    fn pool_config(&self) -> PoolConfig {
+        PoolConfig {
+            max_live: self.config.pool_max_live,
+            max_idle: self.config.pool_max_idle,
+            connect_timeout: self.config.connect_timeout,
+            io_timeout: Some(self.config.forward_timeout),
+        }
+    }
+
+    /// Registers a schema locally and broadcasts it to every up shard.
+    /// Returns `(fp, relations, acked, shard count)`.
+    pub fn register_schema(
+        &self,
+        name: &str,
+        decl: &str,
+    ) -> Result<(Fingerprint, usize, usize, usize), String> {
+        let flat = parse_schema_decl(decl)?;
+        let relations = flat.len();
+        let fp = fingerprint_schema(&flat);
+        let entry = Arc::new(SchemaEntry {
+            decl: decl.to_string(),
+            coql: CoqlSchema::from_flat(&flat),
+            fp,
+        });
+        write(&self.schemas).insert(name.to_string(), entry);
+        let shards = read(&self.fleet).shards.clone();
+        let total = shards.len();
+        let mut acked = 0;
+        for shard in &shards {
+            if shard.is_up() && self.push_schemas(shard).is_ok() {
+                acked += 1;
+            }
+        }
+        Ok((fp, relations, acked, total))
+    }
+
+    /// Pushes every registered schema to one shard over a one-shot
+    /// control connection (boot, recovery, restart, handoff join).
+    fn push_schemas(&self, shard: &ShardState) -> Result<(), String> {
+        let entries: Vec<(String, String)> =
+            read(&self.schemas).iter().map(|(name, e)| (name.clone(), e.decl.clone())).collect();
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let mut conn = shard.pool.dial_oneshot().map_err(|e| e.to_string())?;
+        for (name, decl) in entries {
+            conn.send_line(&format!("SCHEMA {name} {decl}")).map_err(|e| e.to_string())?;
+            let reply = conn.read_line().map_err(|e| e.to_string())?;
+            if !reply.starts_with("OK") {
+                return Err(format!("shard {} rejected schema {name}: {reply}", shard.addr));
+            }
+        }
+        let _ = conn.send_line("QUIT");
+        Ok(())
+    }
+
+    /// The direction-invariant route key: hash of the schema fingerprint
+    /// and the *unordered* query-fingerprint pair, so `CHECK a ;; b`,
+    /// `CHECK b ;; a`, and both directions of `EQUIV` land on the same
+    /// shard and share its memo cache.
+    fn route_key(schema_fp: Fingerprint, fp1: Fingerprint, fp2: Fingerprint) -> u64 {
+        let (lo, hi) = if fp1.0 <= fp2.0 { (fp1, fp2) } else { (fp2, fp1) };
+        let mut bytes = [0u8; 48];
+        bytes[..16].copy_from_slice(&schema_fp.0.to_be_bytes());
+        bytes[16..32].copy_from_slice(&lo.0.to_be_bytes());
+        bytes[32..].copy_from_slice(&hi.0.to_be_bytes());
+        hash64(&bytes)
+    }
+
+    /// Candidate shards for a key in preference order, up shards only.
+    fn candidates(&self, key: u64) -> Vec<Arc<ShardState>> {
+        let fleet = read(&self.fleet);
+        fleet
+            .ring
+            .candidates(key)
+            .into_iter()
+            .map(|i| Arc::clone(&fleet.shards[i]))
+            .filter(|s| s.is_up())
+            .collect()
+    }
+
+    /// Forwards one `CHECK`/`EQUIV` line. `original` is the full request
+    /// line (budget prefixes intact); `rest` is the text after the verb;
+    /// `timeout_ms` the request's own `TIMEOUT` if any.
+    fn forward_decision(
+        &self,
+        original: &str,
+        rest: &str,
+        explain: bool,
+        timeout_ms: Option<u64>,
+    ) -> Result<String, String> {
+        let route_span = Span::start();
+        let usage = "CHECK|EQUIV <schema> <q1> ;; <q2>";
+        let (schema_name, queries) = split_head(rest, usage)?;
+        let (q1, q2) = queries.split_once(";;").ok_or_else(|| format!("usage: {usage}"))?;
+        let (q1, q2) = (q1.trim(), q2.trim());
+        if q1.is_empty() || q2.is_empty() {
+            return Err(format!("usage: {usage}"));
+        }
+        let entry = read(&self.schemas).get(schema_name).cloned().ok_or_else(|| {
+            format!("unknown schema `{schema_name}` (register it with SCHEMA first)")
+        })?;
+        // Local canonicalization: parse/type errors are answered here,
+        // identically to a shard, without spending a forward.
+        let fp1 = canonical_fingerprint(&entry.coql, q1, self.config.max_parse_depth)
+            .map_err(|e| self.local_error(e))?;
+        let fp2 = canonical_fingerprint(&entry.coql, q2, self.config.max_parse_depth)
+            .map_err(|e| self.local_error(e))?;
+        let key = Router::route_key(entry.fp, fp1, fp2);
+        let candidates = self.candidates(key);
+        let route_us = route_span.elapsed_us();
+        if candidates.is_empty() {
+            let total = read(&self.fleet).shards.len();
+            return Err(format!("UNAVAILABLE no shard is up (0/{total})"));
+        }
+
+        let reply_wait = match timeout_ms {
+            // The shard should answer ERR DEADLINE itself; the slack only
+            // covers transit so a hung shard cannot hold the client.
+            Some(ms) => Some(Duration::from_millis(ms + 500)),
+            None => Some(self.config.forward_timeout),
+        };
+        let max_attempts = 1 + self.config.retry_budget;
+        let mut attempts = 0;
+        let forward_span = Span::start();
+        for shard in &candidates {
+            if attempts >= max_attempts {
+                break;
+            }
+            attempts += 1;
+            if attempts > 1 {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            match self.try_forward(shard, original, explain, reply_wait) {
+                ForwardOutcome::Answered(mut reply) => {
+                    self.stats.routed.fetch_add(1, Ordering::Relaxed);
+                    shard.forwarded.fetch_add(1, Ordering::Relaxed);
+                    let forward_us = forward_span.elapsed_us();
+                    shard.forward_latency.observe(forward_us);
+                    if explain && reply.ends_with("END") {
+                        // Splice the router's own phases in before END.
+                        reply.truncate(reply.len() - "END".len());
+                        reply.push_str(&format!(
+                            "explain.router.route_us {route_us}\n\
+                             explain.router.forward_us {forward_us}\n\
+                             explain.router.attempts {attempts}\n\
+                             explain.router.shard {}\nEND",
+                            shard.addr
+                        ));
+                    }
+                    return Ok(reply);
+                }
+                ForwardOutcome::Shed => {
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Err(format!(
+            "UNAVAILABLE {attempts} forward attempt(s) failed across {} up shard(s), retry later",
+            candidates.len()
+        ))
+    }
+
+    /// One forward attempt against one shard, including the
+    /// reused-connection redial and the unknown-schema heal.
+    fn try_forward(
+        &self,
+        shard: &Arc<ShardState>,
+        line: &str,
+        explain: bool,
+        reply_wait: Option<Duration>,
+    ) -> ForwardOutcome {
+        let mut redialed = false;
+        loop {
+            let mut pooled = match shard.pool.checkout() {
+                Checkout::Conn(conn) => conn,
+                Checkout::Exhausted | Checkout::ConnectFailed(_) => return ForwardOutcome::Shed,
+            };
+            let reused = pooled.reused();
+            match self.exchange(&mut pooled, line, explain, reply_wait) {
+                Ok(Exchange::Reply(reply)) => {
+                    pooled.put_back();
+                    return ForwardOutcome::Answered(reply);
+                }
+                Ok(Exchange::Overloaded) => {
+                    // The shard is healthy enough to answer; keep the
+                    // connection warm and shed to a sibling.
+                    pooled.put_back();
+                    return ForwardOutcome::Shed;
+                }
+                Ok(Exchange::UnknownSchema) => {
+                    // The shard missed a broadcast (it was down or just
+                    // joined); heal it and retry once on the same shard —
+                    // affinity is worth one extra round-trip.
+                    drop(pooled);
+                    if !redialed && self.push_schemas(shard).is_ok() {
+                        redialed = true;
+                        continue;
+                    }
+                    return ForwardOutcome::Shed;
+                }
+                Err(_) => {
+                    // I/O failure: the connection is poisoned, drop it. A
+                    // *reused* connection may just have been a stale socket
+                    // from before a shard restart — one fresh dial decides.
+                    drop(pooled);
+                    if reused && !redialed {
+                        redialed = true;
+                        continue;
+                    }
+                    return ForwardOutcome::Shed;
+                }
+            }
+        }
+    }
+
+    /// Sends the line and reads the complete reply (multi-line under
+    /// `EXPLAIN`-on-OK, rejoined with `\n` and `END` kept).
+    fn exchange(
+        &self,
+        pooled: &mut PooledConn,
+        line: &str,
+        explain: bool,
+        reply_wait: Option<Duration>,
+    ) -> io::Result<Exchange> {
+        let conn = pooled.conn();
+        conn.set_read_timeout(reply_wait)?;
+        conn.send_line(line)?;
+        let first = conn.read_line()?;
+        if first.starts_with("ERR OVERLOADED") {
+            return Ok(Exchange::Overloaded);
+        }
+        if first.starts_with("ERR unknown schema") {
+            return Ok(Exchange::UnknownSchema);
+        }
+        if explain && first.starts_with("OK") {
+            let mut reply = first;
+            for l in conn.read_until("END")? {
+                reply.push('\n');
+                reply.push_str(&l);
+            }
+            reply.push_str("\nEND");
+            return Ok(Exchange::Reply(reply));
+        }
+        Ok(Exchange::Reply(first))
+    }
+
+    fn local_error(&self, message: String) -> String {
+        self.stats.local_errors.fetch_add(1, Ordering::Relaxed);
+        message
+    }
+
+    /// `FINGERPRINT <schema> <query>`, computed locally — byte-identical
+    /// to what any shard would answer, since both run the same pipeline.
+    fn fingerprint_local(&self, rest: &str) -> Result<String, String> {
+        let (schema_name, query) = split_head(rest, "FINGERPRINT <schema> <query>")?;
+        let entry = read(&self.schemas).get(schema_name).cloned().ok_or_else(|| {
+            format!("unknown schema `{schema_name}` (register it with SCHEMA first)")
+        })?;
+        let fp = canonical_fingerprint(&entry.coql, query, self.config.max_parse_depth)
+            .map_err(|e| self.local_error(e))?;
+        Ok(format!("OK fp={fp}"))
+    }
+
+    /// The router's `STATS` payload.
+    fn render_stats(&self) -> String {
+        let fleet = read(&self.fleet);
+        let up = fleet.shards.iter().filter(|s| s.is_up()).count();
+        let mut out = String::new();
+        let mut put = |k: &str, v: String| {
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(&v);
+            out.push('\n');
+        };
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed).to_string();
+        put("uptime_seconds", self.started.elapsed().as_secs().to_string());
+        put("build.format_version", FORMAT_VERSION.to_string());
+        put("build.fingerprint_version", FINGERPRINT_VERSION.to_string());
+        put("router.routed", load(&self.stats.routed));
+        put("router.shed", load(&self.stats.shed));
+        put("router.retries", load(&self.stats.retries));
+        put("router.shard_down_events", load(&self.stats.shard_down));
+        put("router.handoffs", load(&self.stats.handoffs));
+        put("router.probe_failures", load(&self.stats.probe_failures));
+        put("router.local_errors", load(&self.stats.local_errors));
+        put("router.accepted", load(&self.stats.accepted));
+        put("router.client_shed", load(&self.stats.client_shed));
+        put("router.conn_panics", load(&self.stats.conn_panics));
+        put("router.shards", fleet.shards.len().to_string());
+        put("router.shards_up", up.to_string());
+        put("router.schemas", read(&self.schemas).len().to_string());
+        out.push_str("END");
+        out
+    }
+
+    /// The `SHARDS` payload: one line of `key=value` pairs per shard.
+    fn render_shards(&self) -> String {
+        let fleet = read(&self.fleet);
+        let mut out = String::new();
+        for s in &fleet.shards {
+            let uptime = match s.last_uptime.load(Ordering::Relaxed) {
+                u64::MAX => -1i64,
+                v => v as i64,
+            };
+            out.push_str(&format!(
+                "{} up={} failures={} uptime_seconds={uptime} restarts={} skew={} \
+                 forwarded={} pool_live={}\n",
+                s.addr,
+                s.is_up(),
+                s.failures.load(Ordering::Relaxed),
+                s.restarts.load(Ordering::Relaxed),
+                s.version_skew.load(Ordering::Relaxed),
+                s.forwarded.load(Ordering::Relaxed),
+                s.pool.live(),
+            ));
+        }
+        out.push_str("END");
+        out
+    }
+
+    /// The fleet `METRICS` payload: every up shard's exposition merged
+    /// (summed counters + per-shard `shard=` labels) plus the router's
+    /// own families, ending `# EOF`.
+    fn render_metrics(&self) -> String {
+        let shards = read(&self.fleet).shards.clone();
+        let mut scrapes: Vec<(String, String)> = Vec::new();
+        for shard in shards.iter().filter(|s| s.is_up()) {
+            if let Ok(text) = scrape_shard(shard) {
+                scrapes.push((shard.addr.clone(), text));
+            }
+        }
+        let mut out = aggregate(&scrapes);
+        // Splice the router families in before the trailer.
+        out.truncate(out.len() - "# EOF".len());
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
+        };
+        counter("router_routed_total", "Requests forwarded and answered", load(&self.stats.routed));
+        counter(
+            "router_shed_total",
+            "Forward attempts shed to a sibling (overload, exhausted pool, connect failure)",
+            load(&self.stats.shed),
+        );
+        counter(
+            "router_retries_total",
+            "Forward attempts after the first",
+            load(&self.stats.retries),
+        );
+        counter(
+            "router_shard_down_total",
+            "Times a shard crossed the failure threshold and was drained",
+            load(&self.stats.shard_down),
+        );
+        counter("router_handoffs_total", "Warm shard joins completed", load(&self.stats.handoffs));
+        counter(
+            "router_probe_failures_total",
+            "Health probes that failed",
+            load(&self.stats.probe_failures),
+        );
+        counter(
+            "router_local_errors_total",
+            "Requests answered locally with an error (parse/type/unknown schema)",
+            load(&self.stats.local_errors),
+        );
+        out.push_str("# HELP router_shard_up Shard routable right now (1) or drained (0)\n");
+        out.push_str("# TYPE router_shard_up gauge\n");
+        for s in &shards {
+            out.push_str(&format!(
+                "{} {}\n",
+                inject_shard_label("router_shard_up", &s.addr),
+                s.is_up() as u8
+            ));
+        }
+        out.push_str("# HELP router_forwarded_total Requests answered by each shard\n");
+        out.push_str("# TYPE router_forwarded_total counter\n");
+        for s in &shards {
+            out.push_str(&format!(
+                "{} {}\n",
+                inject_shard_label("router_forwarded_total", &s.addr),
+                s.forwarded.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# HELP router_forward_latency_us Forward latency by shard\n");
+        out.push_str("# TYPE router_forward_latency_us summary\n");
+        for s in &shards {
+            let h = &s.forward_latency;
+            for (q, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                out.push_str(&format!(
+                    "router_forward_latency_us{{shard=\"{}\",quantile=\"{tag}\"}} {}\n",
+                    s.addr,
+                    h.quantile(q)
+                ));
+            }
+            out.push_str(&format!(
+                "router_forward_latency_us_sum{{shard=\"{}\"}} {}\n",
+                s.addr,
+                h.sum()
+            ));
+            out.push_str(&format!(
+                "router_forward_latency_us_count{{shard=\"{}\"}} {}\n",
+                s.addr,
+                h.count()
+            ));
+        }
+        out.push_str("# EOF");
+        out
+    }
+
+    /// `HANDOFF <addr>`: verify the joining shard's build, push schemas,
+    /// ship it the warmest donor's `COQLSNP1` snapshot (version-gated at
+    /// both ends), then add it to the ring.
+    fn handoff(&self, addr: &str) -> Result<String, String> {
+        let addr = addr.trim();
+        if addr.is_empty() {
+            return Err("usage: HANDOFF <host:port>".to_string());
+        }
+        if read(&self.fleet).shards.iter().any(|s| s.addr == addr) {
+            return Err(format!("shard {addr} is already a fleet member"));
+        }
+        // 1. The joiner must be reachable and format-compatible: a skewed
+        // build would quarantine the pushed snapshot (wasted work) or,
+        // worse, serve differently-keyed verdicts.
+        let joiner = ShardState::new(addr, self.pool_config());
+        let report =
+            probe(&joiner).map_err(|e| format!("cannot probe joining shard {addr}: {e}"))?;
+        if !report.versions_match() {
+            return Err(format!(
+                "SNAPSKEW joining shard {addr} runs snapshot format {}/fp {} but this router \
+                 is built for {FORMAT_VERSION}/fp {FINGERPRINT_VERSION}",
+                report.format_version, report.fingerprint_version
+            ));
+        }
+        self.push_schemas(&joiner).map_err(|e| format!("schema push to {addr} failed: {e}"))?;
+
+        // 2. Warm it from the fullest up donor, if any shard has heat.
+        let donors = read(&self.fleet).shards.clone();
+        let donor = donors
+            .iter()
+            .filter(|s| s.is_up() && !s.version_skew.load(Ordering::Relaxed))
+            .filter_map(|s| probe(s).ok().map(|r| (Arc::clone(s), r)))
+            .filter(|(_, r)| r.cache_entries > 0)
+            .max_by_key(|(_, r)| r.cache_entries);
+        let (donor_label, entries, imported) = match donor {
+            None => ("-".to_string(), 0, 0),
+            Some((donor, _)) => {
+                let (bytes, entries) = export_from(&donor)?;
+                let header = peek_header(&bytes).map_err(|e| {
+                    format!("SNAPSKEW donor {} exported an unreadable snapshot: {e}", donor.addr)
+                })?;
+                if header.format_version != FORMAT_VERSION
+                    || header.fingerprint_version != FINGERPRINT_VERSION
+                {
+                    return Err(format!(
+                        "SNAPSKEW donor {} snapshot is format {}/fp {}, router expects \
+                         {FORMAT_VERSION}/fp {FINGERPRINT_VERSION}",
+                        donor.addr, header.format_version, header.fingerprint_version
+                    ));
+                }
+                let imported = push_snapshot(&joiner, &bytes)?;
+                (donor.addr.clone(), entries, imported)
+            }
+        };
+
+        // 3. Membership: rebuild the ring over the extended shard set.
+        {
+            let mut fleet = write(&self.fleet);
+            if fleet.shards.iter().any(|s| s.addr == addr) {
+                return Err(format!("shard {addr} is already a fleet member"));
+            }
+            fleet.shards.push(joiner);
+            let labels: Vec<String> = fleet.shards.iter().map(|s| s.addr.clone()).collect();
+            fleet.ring = Ring::build(&labels, self.config.replicas);
+        }
+        self.stats.handoffs.fetch_add(1, Ordering::Relaxed);
+        Ok(format!(
+            "OK handoff shard={addr} donor={donor_label} entries={entries} imported={imported}"
+        ))
+    }
+
+    fn handle_line(&self, raw: &str) -> Reply {
+        let raw = raw.trim();
+        if raw.is_empty() || raw.starts_with('#') {
+            return Reply::None;
+        }
+        let (timeout_ms, explain, line) = match scan_prefixes(raw) {
+            Ok(parsed) => parsed,
+            Err(message) => return Reply::Line(format!("ERR {message}")),
+        };
+        if line.is_empty() {
+            return Reply::Line(
+                "ERR usage: [EXPLAIN] [TIMEOUT <ms>] [BUDGET <steps>] <command ...>".into(),
+            );
+        }
+        let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        let cmd = cmd.to_ascii_uppercase();
+        if explain && cmd != "CHECK" && cmd != "EQUIV" {
+            return Reply::Line("ERR EXPLAIN applies only to CHECK and EQUIV".into());
+        }
+        let result = match cmd.as_str() {
+            "CHECK" | "EQUIV" => self.forward_decision(raw, rest, explain, timeout_ms),
+            "FINGERPRINT" => self.fingerprint_local(rest),
+            "SCHEMA" => split_head(rest, "SCHEMA <name> <decl>").and_then(|(name, decl)| {
+                self.register_schema(name, decl).map(|(fp, relations, acked, total)| {
+                    format!("OK schema={name} fp={fp} relations={relations} shards={acked}/{total}")
+                })
+            }),
+            "STATS" => Ok(self.render_stats()),
+            "METRICS" => Ok(self.render_metrics()),
+            "SHARDS" => Ok(self.render_shards()),
+            "HANDOFF" => self.handoff(rest),
+            "SHUTDOWN" => {
+                if self.config.allow_shutdown {
+                    return Reply::Shutdown;
+                }
+                Err("SHUTDOWN is disabled (start coqld-router with --allow-shutdown)".to_string())
+            }
+            "QUIT" | "EXIT" => return Reply::Quit,
+            other => Err(format!(
+                "unknown command `{other}` (try CHECK, EQUIV, FINGERPRINT, SCHEMA, STATS, \
+                 METRICS, SHARDS, HANDOFF, SHUTDOWN, QUIT)"
+            )),
+        };
+        match result {
+            Ok(text) => Reply::Line(text),
+            Err(message) => Reply::Line(format!("ERR {}", message.replace('\n', " "))),
+        }
+    }
+
+    /// One probe round over the whole fleet (also run once at boot so a
+    /// dead shard is drained before the first real request).
+    fn probe_round(self: &Arc<Router>) {
+        let shards = read(&self.fleet).shards.clone();
+        for shard in &shards {
+            let outcome = probe(shard);
+            if outcome.is_err() {
+                self.stats.probe_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            match apply_probe(shard, &outcome, self.config.down_after) {
+                Transition::WentDown => {
+                    self.stats.shard_down.fetch_add(1, Ordering::Relaxed);
+                }
+                Transition::CameUp | Transition::Restarted => {
+                    // It may have lost its schemas with its process.
+                    let _ = self.push_schemas(shard);
+                }
+                Transition::Steady => {}
+            }
+        }
+    }
+}
+
+/// How one forward attempt ended.
+enum ForwardOutcome {
+    /// The shard answered (any reply except overload/unreachable).
+    Answered(String),
+    /// Shed to the next candidate.
+    Shed,
+}
+
+/// What one request/reply exchange produced.
+enum Exchange {
+    Reply(String),
+    Overloaded,
+    UnknownSchema,
+}
+
+/// Scrapes one shard's `METRICS` over a one-shot control connection.
+fn scrape_shard(shard: &ShardState) -> io::Result<String> {
+    let mut conn = shard.pool.dial_oneshot()?;
+    conn.send_line("METRICS")?;
+    let lines = conn.read_until("# EOF")?;
+    let _ = conn.send_line("QUIT");
+    Ok(lines.join("\n"))
+}
+
+/// Pulls a `SNAPEXPORT` payload off a donor shard; returns the verified
+/// raw bytes and the entry count the donor declared.
+fn export_from(donor: &ShardState) -> Result<(Vec<u8>, u64), String> {
+    let mut conn = donor.pool.dial_oneshot().map_err(|e| e.to_string())?;
+    conn.send_line("SNAPEXPORT").map_err(|e| e.to_string())?;
+    let head = conn.read_line().map_err(|e| e.to_string())?;
+    if !head.starts_with("OK ") {
+        return Err(format!("donor {} refused SNAPEXPORT: {head}", donor.addr));
+    }
+    let field = |key: &str| {
+        head.split_whitespace()
+            .find_map(|kv| kv.strip_prefix(key))
+            .and_then(|v| v.parse::<u64>().ok())
+    };
+    let declared = field("bytes=")
+        .ok_or_else(|| format!("donor {} export header malformed: {head}", donor.addr))?;
+    let entries = field("entries=").unwrap_or(0);
+    let hex: String = conn.read_until("END").map_err(|e| e.to_string())?.concat();
+    let _ = conn.send_line("QUIT");
+    let bytes = from_hex(&hex).map_err(|e| format!("donor {} payload: {e}", donor.addr))?;
+    if bytes.len() as u64 != declared {
+        return Err(format!(
+            "donor {} declared {declared} bytes but sent {}",
+            donor.addr,
+            bytes.len()
+        ));
+    }
+    Ok((bytes, entries))
+}
+
+/// Ships snapshot bytes to a joining shard through the staged
+/// `SNAPBEGIN`/`SNAPDATA`/`SNAPCOMMIT` sequence; returns the imported
+/// entry count the joiner reported.
+fn push_snapshot(joiner: &ShardState, bytes: &[u8]) -> Result<u64, String> {
+    let mut conn = joiner.pool.dial_oneshot().map_err(|e| e.to_string())?;
+    let expect_ok = |conn: &mut LineConn, line: String| -> Result<String, String> {
+        conn.send_line(&line).map_err(|e| e.to_string())?;
+        let reply = conn.read_line().map_err(|e| e.to_string())?;
+        if reply.starts_with("OK") {
+            Ok(reply)
+        } else {
+            Err(format!("joiner {} answered: {reply}", joiner.addr))
+        }
+    };
+    expect_ok(&mut conn, format!("SNAPBEGIN {}", bytes.len()))?;
+    let hex = co_service::to_hex(bytes);
+    // 32768 hex chars = 16 KiB of payload per line, safely under the
+    // shard's 64 KiB line cap.
+    for chunk in hex.as_bytes().chunks(32 * 1024) {
+        let chunk = std::str::from_utf8(chunk).expect("hex is ASCII");
+        expect_ok(&mut conn, format!("SNAPDATA {chunk}"))?;
+    }
+    let commit = expect_ok(&mut conn, "SNAPCOMMIT".to_string())?;
+    let _ = conn.send_line("QUIT");
+    let imported = commit
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("imported="))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    Ok(imported)
+}
+
+/// Extracts `TIMEOUT <ms>` / `BUDGET <steps>` / `EXPLAIN` prefixes
+/// without consuming them from the forwarded line: the router needs the
+/// timeout (to bound its reply wait) and the explain flag (to splice its
+/// phases in), the shard re-parses the originals itself.
+fn scan_prefixes(line: &str) -> Result<(Option<u64>, bool, &str), String> {
+    let mut timeout = None;
+    let mut explain = false;
+    let mut rest = line;
+    loop {
+        let (head, tail) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+        let upper = head.to_ascii_uppercase();
+        if upper == "EXPLAIN" {
+            explain = true;
+            rest = tail.trim_start();
+            continue;
+        }
+        if upper != "TIMEOUT" && upper != "BUDGET" {
+            return Ok((timeout, explain, rest));
+        }
+        let tail = tail.trim_start();
+        let (value, after) = tail.split_once(char::is_whitespace).unwrap_or((tail, ""));
+        let n: u64 = value
+            .parse()
+            .map_err(|_| format!("usage: {upper} <n> <command ...> (got `{value}`)"))?;
+        if upper == "TIMEOUT" {
+            timeout = if n == 0 { None } else { Some(n) };
+        }
+        rest = after.trim_start();
+    }
+}
+
+/// Splits `<head> <tail>`, erroring with a usage hint when `tail` is
+/// missing (mirrors the shard protocol's messages).
+fn split_head<'a>(rest: &'a str, usage: &str) -> Result<(&'a str, &'a str), String> {
+    match rest.split_once(char::is_whitespace) {
+        Some((head, tail)) if !tail.trim().is_empty() => Ok((head, tail.trim())),
+        _ => Err(format!("usage: {usage}")),
+    }
+}
+
+fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs the router's accept loop until the listener errors. Equivalent to
+/// [`serve_router_with_shutdown`] with the router's own (untriggered)
+/// handle.
+pub fn serve_router(listener: TcpListener, router: Arc<Router>) -> io::Result<()> {
+    let shutdown = router.shutdown_handle();
+    serve_router_with_shutdown(listener, router, shutdown)
+}
+
+/// Runs the accept loop plus the background health prober until
+/// `shutdown` triggers, then drains in-flight client connections (up to
+/// [`RouterConfig::drain_timeout`]) and returns.
+pub fn serve_router_with_shutdown(
+    listener: TcpListener,
+    router: Arc<Router>,
+    shutdown: Shutdown,
+) -> io::Result<()> {
+    shutdown.set_wake_addr(listener.local_addr().ok());
+    let live = Arc::new(AtomicUsize::new(0));
+    // One immediate round so a dead shard is drained before traffic.
+    router.probe_round();
+    let prober = {
+        let router = Arc::clone(&router);
+        let shutdown = shutdown.clone();
+        thread::spawn(move || {
+            let interval = router.config.probe_interval.max(Duration::from_millis(10));
+            let tick = interval.min(Duration::from_millis(50));
+            let mut next = Instant::now() + interval;
+            while !shutdown.is_triggered() {
+                thread::sleep(tick);
+                if Instant::now() >= next && !shutdown.is_triggered() {
+                    router.probe_round();
+                    next = Instant::now() + interval;
+                }
+            }
+        })
+    };
+    loop {
+        if shutdown.is_triggered() {
+            break;
+        }
+        let (stream, _peer) = listener.accept()?;
+        router.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        if shutdown.is_triggered() {
+            break;
+        }
+        if live.load(Ordering::Relaxed) >= router.config.max_connections {
+            router.stats.client_shed.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+            let _ = stream.write_all(b"ERR OVERLOADED connection limit reached, retry later\n");
+            continue;
+        }
+        live.fetch_add(1, Ordering::Relaxed);
+        let router = Arc::clone(&router);
+        let live = Arc::clone(&live);
+        thread::spawn(move || {
+            if catch_unwind(AssertUnwindSafe(|| handle_client(stream, &router))).is_err() {
+                router.stats.conn_panics.fetch_add(1, Ordering::Relaxed);
+            }
+            live.fetch_sub(1, Ordering::Relaxed);
+        });
+    }
+    drop(listener);
+    let deadline = Instant::now() + router.config.drain_timeout;
+    while live.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(20));
+    }
+    let _ = prober.join();
+    Ok(())
+}
+
+fn handle_client(stream: TcpStream, router: &Arc<Router>) -> io::Result<()> {
+    stream.set_read_timeout(router.config.read_timeout)?;
+    stream.set_write_timeout(router.config.write_timeout)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if router.shutdown.is_triggered() {
+            break;
+        }
+        let line = match read_bounded_line(&mut reader, router.config.max_line_bytes)? {
+            LineRead::Eof | LineRead::IdleTimeout => break,
+            LineRead::TooLarge => {
+                let reply =
+                    format!("ERR TOOLARGE line exceeds {} bytes", router.config.max_line_bytes);
+                if write_line(&mut writer, &reply).is_err() {
+                    break;
+                }
+                continue;
+            }
+            LineRead::Line(line) => line,
+        };
+        let reply =
+            catch_unwind(AssertUnwindSafe(|| router.handle_line(&line))).unwrap_or_else(|_| {
+                router.stats.conn_panics.fetch_add(1, Ordering::Relaxed);
+                Reply::Line("ERR INTERNAL request handler panicked".to_string())
+            });
+        match reply {
+            Reply::None => {}
+            Reply::Line(text) => {
+                if write_line(&mut writer, &text).is_err() {
+                    break;
+                }
+            }
+            Reply::Quit => {
+                let _ = write_line(&mut writer, "OK bye");
+                break;
+            }
+            Reply::Shutdown => {
+                let _ = write_line(&mut writer, "OK draining");
+                router.shutdown.trigger();
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_line(writer: &mut TcpStream, text: &str) -> io::Result<()> {
+    writer.write_all(text.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_key_is_direction_invariant() {
+        let s = Fingerprint(7);
+        let a = Fingerprint(100);
+        let b = Fingerprint(2_000);
+        assert_eq!(Router::route_key(s, a, b), Router::route_key(s, b, a));
+        assert_ne!(Router::route_key(s, a, b), Router::route_key(Fingerprint(8), a, b));
+        assert_ne!(Router::route_key(s, a, b), Router::route_key(s, a, Fingerprint(2_001)));
+    }
+
+    #[test]
+    fn prefix_scan_mirrors_the_shard_parser() {
+        let (t, e, rest) = scan_prefixes("TIMEOUT 250 BUDGET 9 CHECK s a ;; b").unwrap();
+        assert_eq!(t, Some(250));
+        assert!(!e);
+        assert_eq!(rest, "CHECK s a ;; b");
+        let (t, e, rest) = scan_prefixes("EXPLAIN TIMEOUT 0 CHECK s a ;; b").unwrap();
+        assert_eq!(t, None);
+        assert!(e);
+        assert_eq!(rest, "CHECK s a ;; b");
+        assert!(scan_prefixes("TIMEOUT nope CHECK").is_err());
+    }
+}

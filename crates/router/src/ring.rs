@@ -1,0 +1,156 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! Each shard contributes `replicas` points on a 64-bit ring, hashed from
+//! `"<label>#<replica>"` with the same FNV-1a-128 the service uses for
+//! query fingerprints (truncated to the low 64 bits). A request key walks
+//! clockwise from its own hash and visits shards in ring order — the
+//! first candidate owns the key, the rest are its shed-to siblings.
+//!
+//! Membership is static per [`Ring`]; liveness is the caller's concern
+//! (filter [`Ring::candidates`] by shard health). That keeps the routing
+//! function pure: the same key always produces the same preference order,
+//! so a shard that flaps down and back up reclaims exactly the keys it
+//! owned before — cache affinity survives the outage.
+
+use co_service::fingerprint_bytes;
+
+/// 64-bit ring hash: the canonical FNV-1a-128 fingerprint xor-folded to
+/// 64 bits, then avalanche-finalized. The fold + finalizer matter: the
+/// low 64 bits of FNV-128 alone evolve with the tiny multiplier `0x13b`,
+/// so near-identical inputs (vnode labels differing in a trailing
+/// replica digit) land within a few thousand points of each other and
+/// the ring degenerates into a handful of fat arcs.
+pub fn hash64(bytes: &[u8]) -> u64 {
+    let fp = fingerprint_bytes(bytes).0;
+    let mut x = (fp as u64) ^ ((fp >> 64) as u64);
+    // murmur3's fmix64 finalizer: full avalanche, std-only.
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// A consistent-hash ring over shard indices `0..n`.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    /// `(point, shard index)` sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl Ring {
+    /// Builds the ring: `replicas` virtual nodes per shard label.
+    pub fn build(labels: &[String], replicas: usize) -> Ring {
+        let replicas = replicas.max(1);
+        let mut points = Vec::with_capacity(labels.len() * replicas);
+        for (i, label) in labels.iter().enumerate() {
+            for r in 0..replicas {
+                points.push((hash64(format!("{label}#{r}").as_bytes()), i));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, shards: labels.len() }
+    }
+
+    /// Number of shards the ring was built over.
+    pub fn len(&self) -> usize {
+        self.shards
+    }
+
+    /// Whether the ring has no shards at all.
+    pub fn is_empty(&self) -> bool {
+        self.shards == 0
+    }
+
+    /// Every shard index in this key's preference order: the owner first,
+    /// then each distinct shard met walking clockwise. The caller tries
+    /// them in order, skipping unhealthy ones.
+    pub fn candidates(&self, key: u64) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.shards);
+        if self.points.is_empty() {
+            return order;
+        }
+        let mut seen = vec![false; self.shards];
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if !seen[shard] {
+                seen[shard] = true;
+                order.push(shard);
+                if order.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The key's owning shard (`None` only on an empty ring).
+    pub fn owner(&self, key: u64) -> Option<usize> {
+        self.candidates(key).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
+    }
+
+    #[test]
+    fn deterministic_and_covering() {
+        let ring = Ring::build(&labels(4), 64);
+        let again = Ring::build(&labels(4), 64);
+        for key in (0..10_000u64).map(|i| hash64(&i.to_be_bytes())) {
+            let order = ring.candidates(key);
+            assert_eq!(order, again.candidates(key), "same ring, same order");
+            // Every shard appears exactly once: the last candidate is a
+            // real fallback even when all preferred shards are down.
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let ring = Ring::build(&labels(3), 64);
+        let mut counts = [0usize; 3];
+        for key in (0..3_000u64).map(|i| hash64(&i.to_be_bytes())) {
+            counts[ring.owner(key).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // With 64 vnodes the split is coarse but no shard may starve
+            // or hog the space.
+            assert!(c > 300 && c < 2_000, "shard {i} owns {c} of 3000 keys");
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_remaps_its_keys() {
+        let all = labels(4);
+        let ring = Ring::build(&all, 64);
+        let survivors: Vec<String> = all[..3].to_vec();
+        let shrunk = Ring::build(&survivors, 64);
+        for key in (0..5_000u64).map(|i| hash64(&i.to_be_bytes())) {
+            let before = ring.owner(key).unwrap();
+            if before < 3 {
+                // Keys not owned by the removed shard stay put — that is
+                // the whole point of consistent hashing.
+                assert_eq!(shrunk.owner(key).unwrap(), before, "key remapped needlessly");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ring_answers_nothing() {
+        let ring = Ring::build(&[], 64);
+        assert!(ring.is_empty());
+        assert!(ring.candidates(42).is_empty());
+        assert_eq!(ring.owner(42), None);
+    }
+}

@@ -1,0 +1,323 @@
+//! End-to-end fleet tests: a real router in front of real coqld shards,
+//! all in-process over loopback TCP.
+//!
+//! Pins down the tentpole behaviors: cache affinity (α-renamed repeats
+//! of one semantic pair land on exactly one shard's cache), verdict
+//! correctness through the proxy, `EXPLAIN` augmentation, shed-to-sibling
+//! failover past a killed shard, fleet `METRICS` aggregation, and warm
+//! `HANDOFF` of a new shard.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use co_router::{serve_router_with_shutdown, Router, RouterConfig};
+use co_service::{serve_with_shutdown, Engine, EngineConfig, ServerConfig, Shutdown};
+
+fn start_shard(allow_handoff: bool) -> (SocketAddr, Shutdown, thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind shard");
+    let addr = listener.local_addr().unwrap();
+    let engine = Arc::new(Engine::new(EngineConfig {
+        cache_shards: 2,
+        cache_per_shard: 256,
+        workers: 2,
+        ..EngineConfig::default()
+    }));
+    let shutdown = Shutdown::new();
+    let handle = {
+        let shutdown = shutdown.clone();
+        thread::spawn(move || {
+            let config = ServerConfig { allow_handoff, ..ServerConfig::default() };
+            serve_with_shutdown(listener, engine, config, shutdown).expect("serve shard");
+        })
+    };
+    (addr, shutdown, handle)
+}
+
+fn test_config() -> RouterConfig {
+    RouterConfig {
+        probe_interval: Duration::from_millis(100),
+        down_after: 2,
+        connect_timeout: Duration::from_millis(500),
+        forward_timeout: Duration::from_secs(30),
+        ..RouterConfig::default()
+    }
+}
+
+fn start_router(
+    shards: &[SocketAddr],
+    config: RouterConfig,
+) -> (SocketAddr, Arc<Router>, Shutdown, thread::JoinHandle<()>) {
+    let labels: Vec<String> = shards.iter().map(|a| a.to_string()).collect();
+    let router = Router::new(&labels, config);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
+    let addr = listener.local_addr().unwrap();
+    let shutdown = router.shutdown_handle();
+    let handle = {
+        let router = Arc::clone(&router);
+        let shutdown = shutdown.clone();
+        thread::spawn(move || {
+            serve_router_with_shutdown(listener, router, shutdown).expect("serve router");
+        })
+    };
+    (addr, router, shutdown, handle)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        Client { reader: BufReader::new(stream.try_clone().unwrap()), writer: stream }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        reply.trim_end().to_string()
+    }
+
+    fn read_until(&mut self, end: &str) -> Vec<String> {
+        let mut lines = Vec::new();
+        loop {
+            let mut l = String::new();
+            self.reader.read_line(&mut l).expect("read multi-line reply");
+            let l = l.trim_end().to_string();
+            if l == end {
+                return lines;
+            }
+            lines.push(l);
+        }
+    }
+
+    fn stat(&mut self, key: &str) -> u64 {
+        let first = self.send("STATS");
+        let mut lines = self.read_until("END");
+        lines.insert(0, first);
+        lines
+            .iter()
+            .find_map(|l| l.strip_prefix(&format!("{key} ")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("STATS has no numeric `{key}`: {lines:?}"))
+    }
+}
+
+const SCHEMA: &str = "SCHEMA app R(A,B); S(C)";
+const VARS: [&str; 6] = ["x", "y", "z", "u", "v", "w"];
+
+/// One α-renamed rendering of the semantic pair `filtered-by-k ⊑ all`.
+fn pair(k: usize, var: &str) -> String {
+    format!("select {var}.B from {var} in R where {var}.A = {k} ;; select {var}.B from {var} in R")
+}
+
+#[test]
+fn affinity_verdicts_and_explain() {
+    let shards: Vec<_> = (0..3).map(|_| start_shard(false)).collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.0).collect();
+    let (router_addr, _router, stop, handle) = start_router(&addrs, test_config());
+    let mut c = Client::connect(router_addr);
+
+    let reply = c.send(SCHEMA);
+    assert!(reply.starts_with("OK schema=app fp="), "{reply}");
+    assert!(reply.ends_with("relations=2 shards=3/3"), "{reply}");
+
+    // 6 α-renamed renderings of each of 4 semantic pairs: every rendering
+    // canonicalizes to the same fingerprints, so each pair must land on
+    // ONE shard and hit its cache 5 times.
+    for k in 0..4 {
+        for var in VARS {
+            let reply = c.send(&format!("CHECK app {}", pair(k, var)));
+            assert!(reply.starts_with("OK holds=true"), "{reply}");
+        }
+        // The reverse direction routes to the same shard too (the route
+        // key is direction-invariant) and is its own cache entry.
+        let reverse =
+            format!("CHECK app select x.B from x in R ;; select x.B from x in R where x.A = {k}");
+        let reply = c.send(&reverse);
+        assert!(reply.starts_with("OK holds=false"), "{reply}");
+    }
+
+    // Per-shard cache hits: 4 pairs × 5 duplicate renderings. Affinity
+    // means the fleet-wide hit total is exactly 20 — a misrouted repeat
+    // would recompute (miss) somewhere else instead.
+    let mut total_hits = 0;
+    let mut shards_with_hits = 0;
+    for addr in &addrs {
+        let hits = Client::connect(*addr).stat("cache.hits");
+        total_hits += hits;
+        shards_with_hits += u64::from(hits > 0);
+    }
+    assert_eq!(total_hits, 20, "every duplicate must be a same-shard cache hit");
+    assert!(shards_with_hits >= 1, "at least one shard saw the repeats");
+
+    // EXPLAIN through the router: shard phases plus router phases.
+    let first =
+        c.send("EXPLAIN CHECK app select q.B from q in R where q.A = 0 ;; select q.B from q in R");
+    assert!(first.starts_with("OK holds=true"), "{first}");
+    let lines = c.read_until("END");
+    for key in [
+        "explain.parse_us",
+        "explain.router.route_us",
+        "explain.router.forward_us",
+        "explain.router.attempts",
+        "explain.router.shard",
+    ] {
+        assert!(lines.iter().any(|l| l.starts_with(key)), "missing {key}: {lines:?}");
+    }
+
+    stop.trigger();
+    handle.join().unwrap();
+    for (_, s, h) in shards {
+        s.trigger();
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn killed_shard_sheds_to_siblings_with_zero_wrong_verdicts() {
+    let shards: Vec<_> = (0..3).map(|_| start_shard(false)).collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.0).collect();
+    let (router_addr, router, stop, handle) = start_router(&addrs, test_config());
+    let mut c = Client::connect(router_addr);
+    assert!(c.send(SCHEMA).starts_with("OK"));
+
+    // Kill one shard outright, then keep serving. Every request must be
+    // answered correctly — sheds and retries are allowed, wrong verdicts
+    // and router crashes are not.
+    let (dead_addr, dead_stop, _) = &shards[1];
+    dead_stop.trigger();
+    for k in 0..8 {
+        for var in &VARS[..3] {
+            let reply = c.send(&format!("CHECK app {}", pair(k, var)));
+            assert!(
+                reply.starts_with("OK holds=true"),
+                "request after shard kill answered `{reply}`"
+            );
+        }
+    }
+
+    // Within a couple of probe intervals the prober drains the corpse:
+    // SHARDS reports it down.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let first = c.send("SHARDS");
+        let mut lines = c.read_until("END");
+        lines.insert(0, first);
+        let dead_line = lines
+            .iter()
+            .find(|l| l.starts_with(&dead_addr.to_string()))
+            .unwrap_or_else(|| panic!("SHARDS lost {dead_addr}: {lines:?}"))
+            .clone();
+        if dead_line.contains("up=false") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "shard never marked down: {dead_line}");
+        thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(router.shard_addrs().len(), 3, "membership is static; only liveness changed");
+
+    stop.trigger();
+    handle.join().unwrap();
+    for (_, s, h) in shards {
+        s.trigger();
+        let _ = h.join();
+    }
+}
+
+#[test]
+fn fleet_metrics_aggregate_and_stay_parseable() {
+    let shards: Vec<_> = (0..2).map(|_| start_shard(false)).collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.0).collect();
+    let (router_addr, _router, stop, handle) = start_router(&addrs, test_config());
+    let mut c = Client::connect(router_addr);
+    assert!(c.send(SCHEMA).starts_with("OK"));
+    for var in VARS {
+        assert!(c.send(&format!("CHECK app {}", pair(0, var))).starts_with("OK"));
+    }
+
+    let first = c.send("METRICS");
+    let mut lines = c.read_until("# EOF");
+    lines.insert(0, first);
+
+    // Shard families survive with both a fleet sum and per-shard labels.
+    assert!(
+        lines.iter().any(|l| l.starts_with("coqld_decisions_total ")),
+        "fleet-summed counter missing: {lines:?}"
+    );
+    for addr in &addrs {
+        let label = format!("{{shard=\"{addr}\"}}");
+        assert!(
+            lines.iter().any(|l| l.starts_with("coqld_decisions_total{") && l.contains(&label)),
+            "per-shard sample for {addr} missing"
+        );
+    }
+    // Router families are appended.
+    let routed = lines
+        .iter()
+        .find_map(|l| l.strip_prefix("router_routed_total "))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("router_routed_total present");
+    assert_eq!(routed, VARS.len() as u64);
+    assert!(lines.iter().any(|l| l.starts_with("router_shard_up{")), "{lines:?}");
+
+    // The whole exposition still parses: every sample line is
+    // `name{labels} value` with a valid metric name and numeric value.
+    for l in lines.iter().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (series, value) = l.rsplit_once(' ').unwrap_or_else(|| panic!("bad sample `{l}`"));
+        let name = series.split('{').next().unwrap();
+        assert!(co_trace::is_valid_metric_name(name), "bad name in `{l}`");
+        assert!(value.parse::<f64>().is_ok(), "bad value in `{l}`");
+    }
+
+    stop.trigger();
+    handle.join().unwrap();
+    for (_, s, h) in shards {
+        s.trigger();
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn handoff_ships_the_warm_cache_to_a_joining_shard() {
+    let (seed_addr, seed_stop, seed_handle) = start_shard(true);
+    let (router_addr, router, stop, handle) = start_router(&[seed_addr], test_config());
+    let mut c = Client::connect(router_addr);
+    assert!(c.send(SCHEMA).starts_with("OK"));
+    for k in 0..5 {
+        assert!(c.send(&format!("CHECK app {}", pair(k, "x"))).starts_with("OK holds=true"));
+    }
+
+    let (joiner_addr, joiner_stop, joiner_handle) = start_shard(true);
+    let reply = c.send(&format!("HANDOFF {joiner_addr}"));
+    assert!(reply.starts_with("OK handoff "), "{reply}");
+    assert!(reply.contains(&format!("shard={joiner_addr}")), "{reply}");
+    assert!(reply.contains(&format!("donor={seed_addr}")), "{reply}");
+    assert!(reply.contains("imported=5"), "{reply}");
+    assert_eq!(router.shard_addrs().len(), 2, "the ring grew");
+
+    // The joiner really holds the verdicts (and the schema).
+    let mut j = Client::connect(joiner_addr);
+    assert_eq!(j.stat("persist.recovered_entries"), 5);
+    assert_eq!(j.stat("cache.entries"), 5);
+    assert_eq!(j.stat("schemas"), 1);
+
+    // Joining twice is refused.
+    let reply = c.send(&format!("HANDOFF {joiner_addr}"));
+    assert!(reply.starts_with("ERR"), "{reply}");
+    assert!(reply.contains("already"), "{reply}");
+
+    stop.trigger();
+    handle.join().unwrap();
+    for (s, h) in [(seed_stop, seed_handle), (joiner_stop, joiner_handle)] {
+        s.trigger();
+        h.join().unwrap();
+    }
+}

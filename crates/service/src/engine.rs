@@ -284,6 +284,7 @@ pub struct Engine {
     workers: usize,
     max_parse_depth: usize,
     last_snapshot: Mutex<Option<Instant>>,
+    started: Instant,
 }
 
 /// What [`Engine::warm_start`] found on disk.
@@ -313,7 +314,16 @@ impl Engine {
             workers: config.workers.max(1),
             max_parse_depth: config.max_parse_depth.max(1),
             last_snapshot: Mutex::new(None),
+            started: Instant::now(),
         }
+    }
+
+    /// Whole seconds this engine has been alive. Exposed through
+    /// `STATS`/`METRICS` so a fleet prober can detect restarts: an uptime
+    /// that goes *down* between scrapes means the process was replaced
+    /// (and its warm cache possibly lost).
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
     }
 
     /// Writes the cache's current verdicts to `path` (atomic
@@ -362,6 +372,38 @@ impl Engine {
     /// the first one.
     pub fn snapshot_age_ms(&self) -> Option<u64> {
         sync::lock(&self.last_snapshot).map(|t| t.elapsed().as_millis() as u64)
+    }
+
+    /// Serializes the cache's current verdicts into the on-disk
+    /// `COQLSNP1` format, in memory — the wire payload for warm shard
+    /// handoff. Returns the bytes and how many entries they carry.
+    pub fn export_snapshot_bytes(&self) -> (Vec<u8>, usize) {
+        let entries = self.cache.export();
+        let count = entries.len();
+        (snapshot::encode_snapshot(&entries), count)
+    }
+
+    /// Verifies and preloads a `COQLSNP1` payload pushed over the wire
+    /// (warm shard handoff). All-or-nothing, exactly like
+    /// [`Engine::warm_start`]: any header/version/CRC mismatch rejects
+    /// the whole payload (ticking [`EngineStats::quarantined`]) and the
+    /// cache is left untouched — a half-loaded cache can never exist.
+    /// Returns `(kept, total)` on success: entries actually inserted
+    /// (already-present keys keep the resident verdict) out of entries
+    /// carried.
+    pub fn import_snapshot_bytes(&self, bytes: &[u8]) -> Result<(usize, usize), String> {
+        match snapshot::decode_snapshot(bytes) {
+            Ok(entries) => {
+                let total = entries.len();
+                let kept = self.cache.preload(entries);
+                self.stats.recovered_entries.fetch_add(kept as u64, Ordering::Relaxed);
+                Ok((kept, total))
+            }
+            Err(reason) => {
+                self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                Err(reason)
+            }
+        }
     }
 
     /// Registers (or replaces) a schema under `name`; returns its

@@ -48,6 +48,30 @@ pub fn fingerprint_query(c: &Comprehension) -> Fingerprint {
     fingerprint_bytes(co_lang::canonical_query(c).as_bytes())
 }
 
+/// Parses, type-checks, normalizes, and fingerprints one query text — the
+/// exact pipeline [`crate::Engine`] uses to build cache keys, exposed so a
+/// routing tier can compute the same fingerprint without owning an engine
+/// (fingerprint-affine routing is what makes a sharded fleet cache-affine).
+///
+/// Depth-cap rejections carry the `TOODEEP` marker, like every other
+/// parse boundary in the serving path.
+pub fn canonical_fingerprint(
+    schema: &co_lang::CoqlSchema,
+    text: &str,
+    max_depth: usize,
+) -> Result<Fingerprint, String> {
+    let expr = co_lang::parse_coql_with_depth(text, max_depth).map_err(|e| {
+        if e.is_too_deep() {
+            format!("TOODEEP {e}")
+        } else {
+            e.to_string()
+        }
+    })?;
+    co_lang::type_check(&expr, schema).map_err(|e| e.to_string())?;
+    let nf = co_lang::normalize(&expr, schema).map_err(|e| e.to_string())?;
+    Ok(fingerprint_query(&nf))
+}
+
 /// Fingerprint of a flat schema: relation names with their attribute lists,
 /// in name order (which [`Schema::iter`] already guarantees).
 pub fn fingerprint_schema(schema: &Schema) -> Fingerprint {

@@ -81,8 +81,12 @@ pub use cache::{CacheKey, CacheStats, MemoCache};
 pub use deadline::{Deadline, RequestBudget};
 pub use engine::{Decision, Engine, EngineConfig, Explain, Op, Request, WarmStart};
 pub use fingerprint::{
-    fingerprint_bytes, fingerprint_query, fingerprint_schema, Fingerprint, FINGERPRINT_VERSION,
+    canonical_fingerprint, fingerprint_bytes, fingerprint_query, fingerprint_schema, Fingerprint,
+    FINGERPRINT_VERSION,
 };
 pub use server::{parse_schema_decl, serve, serve_with_shutdown, ServerConfig, Shutdown};
-pub use snapshot::{load_snapshot, write_snapshot, LoadOutcome};
+pub use snapshot::{
+    crc32, decode_snapshot, encode_snapshot, from_hex, load_snapshot, peek_header, to_hex,
+    write_snapshot, LoadOutcome, SnapshotHeader, FORMAT_VERSION,
+};
 pub use stats::{EngineStats, LatencyHistogram, ServerStats};

@@ -10,9 +10,21 @@
 //! FINGERPRINT <schema> <q>      canonical fingerprint of one query
 //! STATS                         cache/engine counters + latency quantiles
 //! METRICS                       Prometheus text exposition, ends `# EOF`
+//! SNAPEXPORT                    hex-dump the cache as a COQLSNP1 snapshot
+//! SNAPBEGIN <bytes>             start staging a pushed snapshot
+//! SNAPDATA <hex>                append staged snapshot bytes
+//! SNAPCOMMIT                    verify + preload the staged snapshot
+//! SNAPABORT                     discard the staged snapshot
 //! SHUTDOWN                      drain and stop (if --allow-shutdown)
 //! QUIT                          close the connection
 //! ```
+//!
+//! The `SNAP*` verbs implement warm shard handoff (a router ships one
+//! shard's cache to a joining shard) and are gated behind
+//! [`ServerConfig::allow_handoff`]. A pushed snapshot is verified with
+//! the same all-or-nothing header/version/CRC gating as a warm start:
+//! any mismatch answers `ERR SNAPREJECTED …` and leaves the resident
+//! cache untouched — a half-loaded cache can never exist.
 //!
 //! `CHECK`/`EQUIV` accept budget prefixes: `TIMEOUT <ms>` caps the
 //! request's wall-clock time and `BUDGET <steps>` caps kernel steps
@@ -56,6 +68,8 @@ use co_trace::{kernel, Span};
 use crate::deadline::RequestBudget;
 use crate::engine::{Decision, Engine, Explain, Op, Request};
 use crate::faults;
+use crate::fingerprint::FINGERPRINT_VERSION;
+use crate::snapshot::{from_hex, to_hex, FORMAT_VERSION};
 use crate::stats::{path_label, LatencyHistogram, ServerStats};
 use crate::sync;
 
@@ -82,6 +96,10 @@ pub struct ServerConfig {
     /// Whether the `SHUTDOWN` verb is honored (off by default: any client
     /// could stop the server).
     pub allow_shutdown: bool,
+    /// Whether the `SNAPEXPORT`/`SNAPBEGIN`/`SNAPDATA`/`SNAPCOMMIT`/
+    /// `SNAPABORT` warm-handoff verbs are honored (off by default: they
+    /// let any client read the cache or push entries into it).
+    pub allow_handoff: bool,
     /// Where to persist the memo cache. `None` disables persistence;
     /// with a path set, a background snapshotter publishes the cache
     /// every [`ServerConfig::snapshot_interval`] and once more after the
@@ -106,6 +124,7 @@ impl Default for ServerConfig {
             default_timeout: None,
             drain_timeout: Duration::from_secs(5),
             allow_shutdown: false,
+            allow_handoff: false,
             cache_path: None,
             snapshot_interval: Duration::from_secs(30),
             slow_log: None,
@@ -200,6 +219,13 @@ impl Shutdown {
 
     fn set_addr(&self, addr: Option<SocketAddr>) {
         *sync::lock(&self.inner.addr) = addr;
+    }
+
+    /// Records the listener address [`Shutdown::trigger`] should poke to
+    /// wake a blocked `accept`. For servers built on this handle outside
+    /// this module (the router's accept loop reuses it).
+    pub fn set_wake_addr(&self, addr: Option<SocketAddr>) {
+        self.set_addr(addr);
     }
 }
 
@@ -404,6 +430,27 @@ fn finish_line(mut bytes: Vec<u8>) -> String {
     String::from_utf8_lossy(&bytes).into_owned()
 }
 
+/// Per-connection protocol state: the snapshot-staging buffer used by the
+/// `SNAPBEGIN`/`SNAPDATA`/`SNAPCOMMIT` handoff sequence. Dropped with the
+/// connection, so an abandoned push can never leak into another client's
+/// session.
+#[derive(Default)]
+struct ConnState {
+    staging: Option<Staging>,
+}
+
+/// An in-progress snapshot push: `SNAPBEGIN` declared `expected` bytes,
+/// `SNAPDATA` lines accumulate into `buf` until `SNAPCOMMIT` verifies.
+struct Staging {
+    expected: usize,
+    buf: Vec<u8>,
+}
+
+/// Upper bound on a pushed snapshot (64 MiB ≈ 860k records): large enough
+/// for any real cache, small enough that a hostile `SNAPBEGIN` cannot
+/// reserve unbounded memory.
+const MAX_STAGED_BYTES: usize = 64 * 1024 * 1024;
+
 fn handle_connection(stream: TcpStream, ctx: &ServerCtx) -> std::io::Result<()> {
     // The socket timeout bounds each read() syscall; read_bounded_line
     // layers an absolute per-line deadline of the same duration on top.
@@ -411,6 +458,7 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) -> std::io::Result<()> 
     stream.set_write_timeout(ctx.config.write_timeout)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    let mut conn = ConnState::default();
     loop {
         if ctx.shutdown.is_triggered() {
             break;
@@ -438,8 +486,8 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) -> std::io::Result<()> 
         };
         // One panicking request must not take the connection down with it.
         let request_span = Span::start();
-        let reply =
-            catch_unwind(AssertUnwindSafe(|| handle_line(&line, ctx))).unwrap_or_else(|_| {
+        let reply = catch_unwind(AssertUnwindSafe(|| handle_line(&line, ctx, &mut conn)))
+            .unwrap_or_else(|_| {
                 ctx.stats.conn_panics.fetch_add(1, Ordering::Relaxed);
                 Reply::Line("ERR INTERNAL request handler panicked".to_string())
             });
@@ -544,7 +592,7 @@ fn parse_budget_prefix(
     }
 }
 
-fn handle_line(line: &str, ctx: &ServerCtx) -> Reply {
+fn handle_line(line: &str, ctx: &ServerCtx, conn: &mut ConnState) -> Reply {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Reply::None;
@@ -584,6 +632,13 @@ fn handle_line(line: &str, ctx: &ServerCtx) -> Reply {
         }),
         "STATS" => Ok(render_stats(ctx)),
         "METRICS" => Ok(render_metrics(ctx)),
+        "SNAPEXPORT" | "SNAPBEGIN" | "SNAPDATA" | "SNAPCOMMIT" | "SNAPABORT" => {
+            if ctx.config.allow_handoff {
+                handle_snap(&cmd, rest, ctx, conn)
+            } else {
+                Err(format!("{cmd} is disabled (start coqld with --allow-handoff)"))
+            }
+        }
         "SHUTDOWN" => {
             if ctx.config.allow_shutdown {
                 return Reply::Shutdown;
@@ -593,13 +648,104 @@ fn handle_line(line: &str, ctx: &ServerCtx) -> Reply {
         "QUIT" | "EXIT" => return Reply::Quit,
         other => Err(format!(
             "unknown command `{other}` \
-             (try CHECK, EQUIV, FINGERPRINT, SCHEMA, STATS, METRICS, SHUTDOWN, QUIT)"
+             (try CHECK, EQUIV, FINGERPRINT, SCHEMA, STATS, METRICS, SNAPEXPORT, SHUTDOWN, QUIT)"
         )),
     };
     match result {
         Ok(text) => Reply::Line(text),
         // Keep the reply line-oriented whatever the error contains.
         Err(message) => Reply::Line(format!("ERR {}", message.replace('\n', " "))),
+    }
+}
+
+/// The `SNAP*` warm-handoff verbs (already gated on
+/// [`ServerConfig::allow_handoff`] by the caller).
+///
+/// * `SNAPEXPORT` — serialize the cache and answer
+///   `OK bytes=<n> entries=<k> format=<v> fpver=<v>`, the payload as hex
+///   lines, then `END`;
+/// * `SNAPBEGIN <bytes>` — start staging a pushed snapshot of exactly
+///   that many bytes (capped at [`MAX_STAGED_BYTES`]);
+/// * `SNAPDATA <hex>` — append staged bytes;
+/// * `SNAPCOMMIT` — verify the staged payload (length, header, versions,
+///   CRCs — all-or-nothing) and preload it; any mismatch answers
+///   `ERR SNAPREJECTED …`, ticks the quarantine counter, and leaves the
+///   cache untouched;
+/// * `SNAPABORT` — discard the staged payload.
+fn handle_snap(
+    cmd: &str,
+    rest: &str,
+    ctx: &ServerCtx,
+    conn: &mut ConnState,
+) -> Result<String, String> {
+    match cmd {
+        "SNAPEXPORT" => {
+            let (bytes, entries) = ctx.engine.export_snapshot_bytes();
+            let mut out = format!(
+                "OK bytes={} entries={entries} format={FORMAT_VERSION} fpver={FINGERPRINT_VERSION}",
+                bytes.len()
+            );
+            // 4096 hex chars (2 KiB of payload) per line keeps every line
+            // far under any sane client line cap.
+            let hex = to_hex(&bytes);
+            for chunk in hex.as_bytes().chunks(4096) {
+                out.push('\n');
+                // Chunks of an ASCII string are valid UTF-8.
+                out.push_str(std::str::from_utf8(chunk).expect("hex is ASCII"));
+            }
+            out.push_str("\nEND");
+            Ok(out)
+        }
+        "SNAPBEGIN" => {
+            let expected: usize =
+                rest.parse().map_err(|_| format!("usage: SNAPBEGIN <bytes> (got `{rest}`)"))?;
+            if expected > MAX_STAGED_BYTES {
+                return Err(format!(
+                    "SNAPREJECTED declared size {expected} exceeds the {MAX_STAGED_BYTES}-byte cap"
+                ));
+            }
+            conn.staging = Some(Staging { expected, buf: Vec::new() });
+            Ok(format!("OK staging={expected}"))
+        }
+        "SNAPDATA" => {
+            if conn.staging.is_none() {
+                return Err("SNAPDATA without SNAPBEGIN (nothing staged)".to_string());
+            }
+            let bytes = match from_hex(rest.trim()) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    conn.staging = None;
+                    return Err(format!("SNAPREJECTED bad hex payload: {e}"));
+                }
+            };
+            let staging = conn.staging.as_mut().expect("checked above");
+            if staging.buf.len() + bytes.len() > staging.expected {
+                conn.staging = None;
+                return Err("SNAPREJECTED more data than SNAPBEGIN declared".to_string());
+            }
+            staging.buf.extend_from_slice(&bytes);
+            Ok(format!("OK received={} expected={}", staging.buf.len(), staging.expected))
+        }
+        "SNAPCOMMIT" => {
+            let staging =
+                conn.staging.take().ok_or("SNAPCOMMIT without SNAPBEGIN (nothing staged)")?;
+            if staging.buf.len() != staging.expected {
+                return Err(format!(
+                    "SNAPREJECTED staged {} bytes but SNAPBEGIN declared {}",
+                    staging.buf.len(),
+                    staging.expected
+                ));
+            }
+            match ctx.engine.import_snapshot_bytes(&staging.buf) {
+                Ok((kept, total)) => Ok(format!("OK imported={kept} entries={total}")),
+                Err(reason) => Err(format!("SNAPREJECTED {reason}")),
+            }
+        }
+        "SNAPABORT" => {
+            conn.staging = None;
+            Ok("OK aborted".to_string())
+        }
+        _ => unreachable!("caller dispatches only SNAP verbs"),
     }
 }
 
@@ -694,6 +840,9 @@ fn render_stats(ctx: &ServerCtx) -> String {
         out.push_str(&v);
         out.push('\n');
     };
+    put("uptime_seconds", engine.uptime_seconds().to_string());
+    put("build.format_version", FORMAT_VERSION.to_string());
+    put("build.fingerprint_version", FINGERPRINT_VERSION.to_string());
     put("decisions", stats.decisions.load(Ordering::Relaxed).to_string());
     put("computed", stats.computed.load(Ordering::Relaxed).to_string());
     put("coalesced", coalesced.to_string());
@@ -779,6 +928,20 @@ fn render_metrics(ctx: &ServerCtx) -> String {
     let out = &mut String::new();
     let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
 
+    put_gauge(
+        out,
+        "coqld_uptime_seconds",
+        "Seconds since this engine started (a decrease between scrapes means a restart)",
+        engine.uptime_seconds() as i64,
+    );
+    out.push_str(
+        "# HELP coqld_build_info Snapshot/fingerprint format versions of this build\n\
+         # TYPE coqld_build_info gauge\n",
+    );
+    out.push_str(&format!(
+        "coqld_build_info{{format_version=\"{FORMAT_VERSION}\",\
+         fingerprint_version=\"{FINGERPRINT_VERSION}\"}} 1\n"
+    ));
     put_counter(
         out,
         "coqld_decisions_total",
@@ -976,7 +1139,7 @@ mod tests {
     }
 
     fn line(ctx: &ServerCtx, input: &str) -> String {
-        match handle_line(input, ctx) {
+        match handle_line(input, ctx, &mut ConnState::default()) {
             Reply::Line(text) => text,
             Reply::Quit => "QUIT".to_string(),
             Reply::Shutdown => "SHUTDOWN".to_string(),
@@ -1024,8 +1187,8 @@ mod tests {
             assert!(reply.starts_with("ERR "), "`{bad}` → {reply}");
             assert!(!reply.contains('\n'), "`{bad}` reply must be one line");
         }
-        assert!(matches!(handle_line("QUIT", &c), Reply::Quit));
-        assert!(matches!(handle_line("  # comment", &c), Reply::None));
+        assert!(matches!(handle_line("QUIT", &c, &mut ConnState::default()), Reply::Quit));
+        assert!(matches!(handle_line("  # comment", &c, &mut ConnState::default()), Reply::None));
     }
 
     #[test]
@@ -1114,7 +1277,50 @@ mod tests {
         assert!(reply.starts_with("ERR "), "{reply}");
         let mut open = ctx();
         open.config.allow_shutdown = true;
-        assert!(matches!(handle_line("SHUTDOWN", &open), Reply::Shutdown));
+        assert!(matches!(
+            handle_line("SHUTDOWN", &open, &mut ConnState::default()),
+            Reply::Shutdown
+        ));
+    }
+
+    #[test]
+    fn snap_verbs_are_gated_and_stage_per_connection() {
+        let c = ctx();
+        for verb in ["SNAPEXPORT", "SNAPBEGIN 10", "SNAPDATA 00", "SNAPCOMMIT", "SNAPABORT"] {
+            let reply = line(&c, verb);
+            assert!(reply.contains("--allow-handoff"), "`{verb}` → {reply}");
+        }
+        let mut open = ctx();
+        open.config.allow_handoff = true;
+        line(&open, "SCHEMA s R(A,B)");
+        line(&open, "CHECK s select x.B from x in R ;; select x.B from x in R");
+        // Export, then push the same payload back through one connection's
+        // staged SNAPBEGIN/SNAPDATA/SNAPCOMMIT sequence.
+        let export = line(&open, "SNAPEXPORT");
+        assert!(export.starts_with("OK bytes="), "{export}");
+        assert!(export.ends_with("END"), "{export}");
+        let mut lines = export.lines();
+        let head = lines.next().unwrap();
+        let declared: usize = head
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix("bytes="))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let hex: String = lines.take_while(|l| *l != "END").collect();
+        assert_eq!(hex.len(), declared * 2);
+        let mut conn = ConnState::default();
+        let begin = handle_line(&format!("SNAPBEGIN {declared}"), &open, &mut conn);
+        assert!(matches!(begin, Reply::Line(ref t) if t.starts_with("OK staging=")));
+        let data = handle_line(&format!("SNAPDATA {hex}"), &open, &mut conn);
+        assert!(matches!(data, Reply::Line(ref t) if t.starts_with("OK received=")));
+        let commit = handle_line("SNAPCOMMIT", &open, &mut conn);
+        let Reply::Line(commit) = commit else { panic!("expected line") };
+        assert!(commit.starts_with("OK imported="), "{commit}");
+        // Committing without staging is an error; a fresh connection
+        // shares nothing with the one that staged.
+        let commit = line(&open, "SNAPCOMMIT");
+        assert!(commit.starts_with("ERR "), "{commit}");
     }
 
     #[test]

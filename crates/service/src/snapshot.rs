@@ -110,10 +110,10 @@ pub enum LoadOutcome {
     },
 }
 
-/// Serializes `entries` and atomically publishes them at `path`
-/// (write-to-temp + fsync + rename + directory fsync). On any error the
-/// previous snapshot at `path`, if one exists, is untouched.
-pub fn write_snapshot(path: &Path, entries: &[(CacheKey, ContainmentAnalysis)]) -> io::Result<()> {
+/// Serializes `entries` into the `COQLSNP1` byte format — the exact bytes
+/// [`write_snapshot`] publishes to disk, also usable as a wire payload for
+/// warm shard handoff (hex-framed by the `SNAPEXPORT`/`SNAPDATA` verbs).
+pub fn encode_snapshot(entries: &[(CacheKey, ContainmentAnalysis)]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(HEADER_LEN + entries.len() * RECORD_LEN);
     buf.extend_from_slice(&SNAPSHOT_MAGIC);
     buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -134,6 +134,91 @@ pub fn write_snapshot(path: &Path, entries: &[(CacheKey, ContainmentAnalysis)]) 
         let record_crc = crc32(&buf[start..]);
         buf.extend_from_slice(&record_crc.to_le_bytes());
     }
+    buf
+}
+
+/// Fully verifies and deserializes a `COQLSNP1` byte stream: the inverse
+/// of [`encode_snapshot`], all-or-nothing. Any mismatch — magic, either
+/// version, entry count vs. length, any CRC, any out-of-range field —
+/// rejects the whole payload; no entry from a bad stream is ever returned.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Vec<(CacheKey, ContainmentAnalysis)>, String> {
+    parse_snapshot(bytes)
+}
+
+/// The version/count fields of a snapshot header, verified (magic + CRC)
+/// but *not* compared against this build's constants — callers decide
+/// whether a foreign snapshot is compatible (e.g. the router refuses
+/// handoff when a shard's versions disagree with its own).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// The writer's record-layout version ([`FORMAT_VERSION`] at build).
+    pub format_version: u32,
+    /// The writer's canonicalization/hash pipeline version.
+    pub fingerprint_version: u32,
+    /// Declared entry count.
+    pub entries: u64,
+}
+
+/// Reads and integrity-checks just the 28-byte header of a snapshot byte
+/// stream (magic, header CRC, declared length vs. actual). Version fields
+/// are returned, not enforced — see [`SnapshotHeader`].
+pub fn peek_header(bytes: &[u8]) -> Result<SnapshotHeader, String> {
+    if bytes.len() < HEADER_LEN {
+        return Err(format!("truncated header: {} bytes", bytes.len()));
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err("bad magic".to_string());
+    }
+    let header_crc = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+    if header_crc != crc32(&bytes[..24]) {
+        return Err("header CRC mismatch".to_string());
+    }
+    let entries = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let expected_len = HEADER_LEN as u64 + entries.saturating_mul(RECORD_LEN as u64);
+    if bytes.len() as u64 != expected_len {
+        return Err(format!(
+            "length mismatch: {} bytes for {entries} entries (expected {expected_len})",
+            bytes.len()
+        ));
+    }
+    Ok(SnapshotHeader {
+        format_version: u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        fingerprint_version: u32::from_le_bytes(bytes[12..16].try_into().unwrap()),
+        entries,
+    })
+}
+
+/// Lowercase hex encoding, used to frame snapshot bytes on the line
+/// protocol (`SNAPEXPORT` replies, `SNAPDATA` requests).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Inverse of [`to_hex`]; rejects odd lengths and non-hex characters.
+pub fn from_hex(text: &str) -> Result<Vec<u8>, String> {
+    let text = text.trim();
+    if !text.len().is_multiple_of(2) {
+        return Err(format!("odd hex length {}", text.len()));
+    }
+    let digits = text.as_bytes();
+    let mut out = Vec::with_capacity(digits.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16).ok_or_else(|| "bad hex digit".to_string())?;
+        let lo = (pair[1] as char).to_digit(16).ok_or_else(|| "bad hex digit".to_string())?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+/// Serializes `entries` and atomically publishes them at `path`
+/// (write-to-temp + fsync + rename + directory fsync). On any error the
+/// previous snapshot at `path`, if one exists, is untouched.
+pub fn write_snapshot(path: &Path, entries: &[(CacheKey, ContainmentAnalysis)]) -> io::Result<()> {
+    let buf = encode_snapshot(entries);
 
     let tmp = temp_path(path);
     let mut file = File::create(&tmp)?;
@@ -380,6 +465,41 @@ mod tests {
             }
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_and_header_peek() {
+        let entries: Vec<_> = (0..7).map(|i| entry(i, i % 2 == 0)).collect();
+        let bytes = encode_snapshot(&entries);
+        assert_eq!(decode_snapshot(&bytes).unwrap(), entries);
+        let header = peek_header(&bytes).unwrap();
+        assert_eq!(header.format_version, FORMAT_VERSION);
+        assert_eq!(header.fingerprint_version, FINGERPRINT_VERSION);
+        assert_eq!(header.entries, 7);
+        // peek reports foreign versions instead of rejecting them…
+        let mut skewed = bytes.clone();
+        skewed[8] = skewed[8].wrapping_add(1);
+        let reseal = crc32(&skewed[..24]).to_le_bytes();
+        skewed[24..28].copy_from_slice(&reseal);
+        assert_eq!(peek_header(&skewed).unwrap().format_version, FORMAT_VERSION + 1);
+        // …while decode still refuses them wholesale.
+        assert!(decode_snapshot(&skewed).unwrap_err().contains("version"));
+        // A corrupt header CRC fails even the peek.
+        let mut torn = bytes.clone();
+        torn[25] ^= 0xff;
+        assert!(peek_header(&torn).is_err());
+        assert!(peek_header(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn hex_roundtrip_rejects_garbage() {
+        let bytes = encode_snapshot(&[entry(3, true)]);
+        let hex = to_hex(&bytes);
+        assert_eq!(from_hex(&hex).unwrap(), bytes);
+        assert_eq!(from_hex("00ff10").unwrap(), vec![0x00, 0xff, 0x10]);
+        assert!(from_hex("abc").is_err(), "odd length");
+        assert!(from_hex("zz").is_err(), "non-hex digit");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
     }
 
     #[test]

@@ -116,4 +116,144 @@ awk '
         }
     }' target/counters-1.txt target/counters-2.txt
 grep -q '^coqld_kernel_' target/counters-2.txt || { echo "no kernel counters exposed"; exit 1; }
+
+# ---------------------------------------------------------------------------
+# Fleet drill (DESIGN.md §13): 3 coqld shards behind coqld-router, driven by
+# a duplicate-heavy seeded workload. Asserts: 100% verdict agreement with a
+# cold single-process oracle, ≥90% of repeated fingerprints answered by a
+# same-shard cache hit (affinity), a parseable + monotone aggregated METRICS
+# exposition, a warm HANDOFF join, and zero wrong verdicts while a shard is
+# killed mid-load (sheds/retries only).
+echo "==> fleet drill (3 shards + router + oracle)"
+FLEET_PIDS=
+trap 'kill $FLEET_PIDS "$COQLD_PID" 2>/dev/null || true' EXIT
+announced_addr() { # <logfile> <announce-prefix>: wait for the boot line
+    local log=$1 prefix=$2 addr=
+    for _ in $(seq 50); do
+        addr=$(sed -n "s/^$prefix\([^ ]*\).*/\1/p" "$log")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "no address announced in $log" >&2; return 1; }
+    echo "$addr"
+}
+
+./target/release/coqld --listen 127.0.0.1:0 --allow-handoff >target/fleet-s1.log 2>&1 &
+FLEET_PIDS="$FLEET_PIDS $!"
+./target/release/coqld --listen 127.0.0.1:0 --allow-handoff >target/fleet-s2.log 2>&1 &
+S2_PID=$!
+FLEET_PIDS="$FLEET_PIDS $S2_PID"
+./target/release/coqld --listen 127.0.0.1:0 --allow-handoff >target/fleet-s3.log 2>&1 &
+FLEET_PIDS="$FLEET_PIDS $!"
+./target/release/coqld --listen 127.0.0.1:0 >target/fleet-oracle.log 2>&1 &
+FLEET_PIDS="$FLEET_PIDS $!"
+S1=$(announced_addr target/fleet-s1.log 'coqld: listening on ')
+S2=$(announced_addr target/fleet-s2.log 'coqld: listening on ')
+S3=$(announced_addr target/fleet-s3.log 'coqld: listening on ')
+ORACLE=$(announced_addr target/fleet-oracle.log 'coqld: listening on ')
+./target/release/coqld-router --listen 127.0.0.1:0 \
+    --shard "$S1" --shard "$S2" --shard "$S3" \
+    --probe-interval-ms 200 --down-after 2 --retries 3 \
+    >target/fleet-router.log 2>&1 &
+FLEET_PIDS="$FLEET_PIDS $!"
+ROUTER=$(announced_addr target/fleet-router.log 'coqld-router: listening on ')
+
+req_at() { # <host:port> <request lines...>: one connection, replies on stdout
+    local hp=$1; shift
+    exec 9<>"/dev/tcp/${hp%:*}/${hp##*:}"
+    printf '%s\n' "$@" QUIT >&9
+    cat <&9
+    exec 9<&- 9>&-
+}
+
+# Schema through the router: must fan out to all three shards.
+req_at "$ROUTER" "SCHEMA app R(A, B); S(C)" | grep -q 'shards=3/3' \
+    || { echo "schema broadcast did not reach 3/3 shards"; exit 1; }
+req_at "$ORACLE" "SCHEMA app R(A, B); S(C)" >/dev/null
+
+# Seeded duplicate-heavy workload: 120 requests over 10 semantic pairs,
+# plus 20 reversed directions so agreement also covers holds=false.
+./target/release/co-bench workload --total 120 --distinct 10 --seed 13 \
+    >target/fleet-workload.txt
+sed 's/^/CHECK app /' target/fleet-workload.txt >target/fleet-requests.txt
+head -n 20 target/fleet-workload.txt \
+    | awk -F' ;; ' '{print "CHECK app " $2 " ;; " $1}' >>target/fleet-requests.txt
+
+# Phase 1: full workload through the router and the cold oracle; compare
+# verdicts only ("OK holds=x" — cache/fp fields legitimately differ).
+mapfile -t REQUESTS <target/fleet-requests.txt
+verdicts() { awk '/^(OK|ERR)/ && !/^OK bye$/ {print $1, $2}'; }
+req_at "$ROUTER" "${REQUESTS[@]}" | verdicts >target/fleet-router-verdicts.txt
+req_at "$ORACLE" "${REQUESTS[@]}" | verdicts >target/fleet-oracle-verdicts.txt
+[ "$(wc -l <target/fleet-router-verdicts.txt)" -eq 140 ] \
+    || { echo "router answered $(wc -l <target/fleet-router-verdicts.txt)/140 requests"; exit 1; }
+cmp -s target/fleet-router-verdicts.txt target/fleet-oracle-verdicts.txt \
+    || { echo "router verdicts diverge from the oracle"; \
+         diff target/fleet-router-verdicts.txt target/fleet-oracle-verdicts.txt | head; exit 1; }
+if grep -q '^ERR' target/fleet-router-verdicts.txt; then
+    echo "router answered errors on a healthy fleet"; exit 1
+fi
+grep -q '^OK holds=true' target/fleet-router-verdicts.txt \
+    && grep -q '^OK holds=false' target/fleet-router-verdicts.txt \
+    || { echo "agreement never exercised both verdicts"; exit 1; }
+
+# Phase 2: aggregated METRICS — parseable, affine, monotone.
+req_at "$ROUTER" METRICS >target/fleet-metrics-1.txt
+grep -q '^# EOF$' target/fleet-metrics-1.txt || { echo "fleet scrape missing # EOF"; exit 1; }
+counters_of target/fleet-metrics-1.txt >target/fleet-counters-1.txt
+# Affinity: 120 requests over 10 distinct pairs leave 110 duplicates; with
+# consistent-hash routing ≥90% of them (≥99) must be same-shard cache hits.
+HITS=$(awk '/^coqld_cache_hits_total\{shard=/ { sum += $NF } END { print sum + 0 }' \
+    target/fleet-metrics-1.txt)
+[ "$HITS" -ge 99 ] || { echo "cache affinity too weak: $HITS/110 duplicate hits"; exit 1; }
+req_at "$ROUTER" "${REQUESTS[@]}" >/dev/null
+req_at "$ROUTER" METRICS >target/fleet-metrics-2.txt
+counters_of target/fleet-metrics-2.txt >target/fleet-counters-2.txt
+awk '
+    NR == FNR { before[$1] = $2; next }
+    { after[$1] = $2 }
+    END {
+        if (FNR == 0 || NR == FNR) { print "empty fleet scrape"; exit 1 }
+        for (s in before) {
+            if (!(s in after)) { print "fleet counter disappeared: " s; exit 1 }
+            if (after[s] + 0 < before[s] + 0) {
+                print "fleet counter went backwards: " s " " before[s] " -> " after[s]
+                exit 1
+            }
+        }
+    }' target/fleet-counters-1.txt target/fleet-counters-2.txt
+grep -q '^router_routed_total ' target/fleet-counters-2.txt \
+    || { echo "router families missing from the aggregated exposition"; exit 1; }
+
+# Phase 3: warm handoff — a fourth shard joins and receives the cache.
+./target/release/coqld --listen 127.0.0.1:0 --allow-handoff >target/fleet-s4.log 2>&1 &
+FLEET_PIDS="$FLEET_PIDS $!"
+S4=$(announced_addr target/fleet-s4.log 'coqld: listening on ')
+req_at "$ROUTER" "HANDOFF $S4" >target/fleet-handoff.txt
+grep -q '^OK handoff ' target/fleet-handoff.txt \
+    || { echo "handoff failed: $(cat target/fleet-handoff.txt)"; exit 1; }
+grep -Eq 'imported=[1-9]' target/fleet-handoff.txt \
+    || { echo "handoff imported nothing: $(cat target/fleet-handoff.txt)"; exit 1; }
+
+# Phase 4: kill one shard mid-load. Every request must still come back
+# with the oracle's verdict — sheds and internal retries are fine, wrong
+# verdicts or unrecovered failures are not. coqlc's retry/backoff and
+# structured exit codes (4 connect, 5 overloaded) do the client's part.
+kill "$S2_PID" 2>/dev/null || true
+head -n 40 target/fleet-requests.txt | while IFS= read -r line; do
+    GOT=$(./target/release/coqlc remote --retries 3 "$ROUTER" "$line" \
+        | awk 'NR == 1 {print $1, $2}') \
+        || { echo "request failed after shard kill: $line"; exit 1; }
+    WANT=$(req_at "$ORACLE" "$line" | verdicts | head -n1)
+    [ -n "$GOT" ] && [ "$GOT" = "$WANT" ] \
+        || { echo "wrong verdict after shard kill: got '$GOT' want '$WANT'"; exit 1; }
+done
+DOWN=
+for _ in $(seq 50); do # probes need a couple of 200ms rounds to notice
+    if req_at "$ROUTER" SHARDS | grep -q "^$S2 up=false"; then DOWN=1; break; fi
+    sleep 0.1
+done
+[ -n "$DOWN" ] || { echo "killed shard not marked down in SHARDS"; exit 1; }
+
+kill $FLEET_PIDS 2>/dev/null || true
 echo "==> verify OK"

@@ -21,6 +21,7 @@
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use co_cq::{Database, RelName, Schema};
 use co_lang::{parse_coql, CoDatabase, Expr};
@@ -34,10 +35,17 @@ fn main() -> ExitCode {
         }
         Err(message) => {
             eprintln!("coqlc: {message}");
-            // Depth-cap rejections get their own exit code so scripts can
-            // tell "hostile/degenerate input" from ordinary bad usage.
+            // Structured failures get their own exit codes so scripts can
+            // react without parsing messages: depth-cap rejections (3),
+            // unreachable servers (4), and shed load (5) are different
+            // situations — only the last two are worth retrying, and only
+            // 5 means the server is alive.
             if message.starts_with("TOODEEP") {
                 ExitCode::from(3)
+            } else if message.starts_with("connect:") {
+                ExitCode::from(4)
+            } else if message.starts_with("overloaded:") {
+                ExitCode::from(5)
             } else {
                 ExitCode::FAILURE
             }
@@ -81,6 +89,7 @@ fn run() -> Result<String, String> {
             }
             cmd_fingerprint(&read(&rest[0])?, &read(&rest[1])?)
         }
+        Some("remote") => cmd_remote(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`; {usage}")),
     }
 }
@@ -101,6 +110,15 @@ commands:
   fingerprint <schema> <q>         print the query's canonical form and the
                                    128-bit fingerprint coqld uses as cache key
                                    (stable under α-renaming and clause order)
+  remote [--retries <n>] <addr:port> <request ...>
+                                   send one protocol line to a running coqld
+                                   or coqld-router and print the full reply
+                                   (multi-line replies — STATS, METRICS,
+                                   SHARDS, EXPLAIN — are read to their
+                                   terminator). --retries n retries up to n
+                                   extra times on connect failure or
+                                   ERR OVERLOADED, backing off 50ms·2^i
+                                   capped at 1s (default 0: fail fast)
 
 file formats:
   schema   one relation per line:     R(A, B)
@@ -110,9 +128,17 @@ file formats:
 exit codes:
   0  the command ran to completion (a false containment verdict still
      exits 0 — read the report)
-  1  error: bad usage, unreadable file, or parse/type failure
+  1  error: bad usage, unreadable file, parse/type failure, or a remote
+     ERR reply other than the classes below
   3  query nesting exceeds the parser depth cap (structured rejection of
-     hostile or degenerate input; the message starts with TOODEEP)
+     hostile or degenerate input; the message starts with TOODEEP —
+     remote ERR TOODEEP replies map here too)
+  4  remote: the server is unreachable even after --retries attempts
+     (connection refused, unresolvable, timed out; message starts with
+     connect:)
+  5  remote: the server is alive but shed the request with ERR OVERLOADED
+     on every attempt (message starts with overloaded: — back off and
+     retry later)
 
 serving:
   coqld serves CHECK/EQUIV/FINGERPRINT over TCP with a memo cache keyed by
@@ -305,6 +331,138 @@ fn cmd_fingerprint(schema_text: &str, q_text: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// `coqlc remote [--retries n] <addr> <request ...>` — one protocol
+/// exchange with a coqld or coqld-router, with bounded retry-with-backoff
+/// on the two transient failure classes (unreachable, shed).
+fn cmd_remote(args: &[String]) -> Result<String, String> {
+    let usage = "usage: coqlc remote [--retries <n>] <addr:port> <request ...>  (see --help)";
+    let mut retries = 0usize;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--retries" {
+            let v = it.next().ok_or_else(|| format!("--retries needs a value; {usage}"))?;
+            retries =
+                v.parse().map_err(|_| format!("--retries expects a number, got `{v}`; {usage}"))?;
+        } else {
+            positional.push(arg);
+        }
+    }
+    if positional.len() < 2 {
+        return Err(usage.to_string());
+    }
+    let addr = positional[0];
+    let request = positional[1..].join(" ");
+
+    let mut last_failure = String::new();
+    for attempt in 0..=retries {
+        if attempt > 0 {
+            // 50ms, 100ms, 200ms, ... capped at 1s.
+            std::thread::sleep(Duration::from_millis((50u64 << (attempt - 1)).min(1_000)));
+        }
+        match remote_exchange(addr, &request) {
+            Err(e) => {
+                last_failure =
+                    format!("connect: {addr}: {e} (attempt {}/{})", attempt + 1, retries + 1);
+            }
+            Ok(reply) => {
+                let first = reply.lines().next().unwrap_or("");
+                if first.starts_with("ERR OVERLOADED") {
+                    last_failure = format!(
+                        "overloaded: {addr} answered `{first}` (attempt {}/{})",
+                        attempt + 1,
+                        retries + 1
+                    );
+                    continue;
+                }
+                if let Some(tail) = first.strip_prefix("ERR TOODEEP") {
+                    return Err(format!("TOODEEP{tail}"));
+                }
+                if first.starts_with("ERR") {
+                    return Err(first.to_string());
+                }
+                return Ok(reply);
+            }
+        }
+    }
+    Err(last_failure)
+}
+
+/// One request/reply exchange: dial, send the line, read the complete
+/// reply (multi-line replies read to their terminator, which is kept).
+fn remote_exchange(addr: &str, request: &str) -> std::io::Result<String> {
+    use std::io::{BufRead, BufReader, ErrorKind, Write};
+    use std::net::{TcpStream, ToSocketAddrs};
+    let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(ErrorKind::InvalidInput, format!("unresolvable `{addr}`"))
+    })?;
+    let stream = TcpStream::connect_timeout(&sock, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writer.write_all(request.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut read_line = || -> std::io::Result<String> {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(ErrorKind::UnexpectedEof, "server closed connection"));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    };
+    let first = read_line()?;
+    let mut reply = first.clone();
+    if let Some(terminator) = reply_terminator(request, &first) {
+        loop {
+            let line = read_line()?;
+            reply.push('\n');
+            reply.push_str(&line);
+            if line == terminator {
+                break;
+            }
+        }
+    }
+    let _ = writer.write_all(b"QUIT\n");
+    Ok(reply)
+}
+
+/// Which terminator line (if any) closes the reply to `request`, given
+/// its first reply line. Single-line replies (plain CHECK verdicts, all
+/// ERRs) return `None`.
+fn reply_terminator(request: &str, first: &str) -> Option<&'static str> {
+    if first.starts_with("ERR") {
+        return None;
+    }
+    let mut rest = request.trim();
+    let mut explain = false;
+    loop {
+        let (head, tail) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+        match head.to_ascii_uppercase().as_str() {
+            "EXPLAIN" => {
+                explain = true;
+                rest = tail.trim_start();
+            }
+            "TIMEOUT" | "BUDGET" => {
+                // Skip the prefix and its numeric argument.
+                let tail = tail.trim_start();
+                rest = tail.split_once(char::is_whitespace).map_or("", |(_, r)| r).trim_start();
+            }
+            verb => {
+                return match verb {
+                    "STATS" | "SHARDS" | "SNAPEXPORT" => Some("END"),
+                    "METRICS" => Some("# EOF"),
+                    "CHECK" | "EQUIV" if explain => Some("END"),
+                    _ => None,
+                };
+            }
+        }
+    }
+}
+
 fn cmd_encode(schema_text: &str, db_text: &str) -> Result<String, String> {
     let schema = parse_schema(schema_text)?;
     let db = parse_facts(db_text, &schema)?;
@@ -403,6 +561,86 @@ mod tests {
         // Ordinary parse failures keep the plain message (exit code 1).
         let err = cmd_check("R(A, B)", "select from", "select x from x in R").unwrap_err();
         assert!(!err.starts_with("TOODEEP"), "{err}");
+    }
+
+    #[test]
+    fn remote_retries_overload_then_succeeds() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // First connection sheds, second answers.
+            for (i, stream) in listener.incoming().take(2).enumerate() {
+                let stream = stream.unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                assert!(line.starts_with("STATS"), "{line}");
+                if i == 0 {
+                    writer.write_all(b"ERR OVERLOADED shedding\n").unwrap();
+                } else {
+                    writer.write_all(b"decisions 7\nEND\n").unwrap();
+                }
+            }
+        });
+        // Zero retries: the shed reply is surfaced as the overloaded class.
+        let err = cmd_remote(&[addr.clone(), "STATS".into()]).unwrap_err();
+        assert!(err.starts_with("overloaded:"), "{err}");
+        // One retry rides over the shed and reads the multi-line reply.
+        let out = cmd_remote(&["--retries".into(), "1".into(), addr, "STATS".into()]).unwrap();
+        assert_eq!(out, "decisions 7\nEND");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn remote_connect_failure_is_its_own_class() {
+        // Bind then drop: nothing listens on the port.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = dead.local_addr().unwrap().to_string();
+        drop(dead);
+        let err = cmd_remote(&[addr, "STATS".into()]).unwrap_err();
+        assert!(err.starts_with("connect:"), "{err}");
+    }
+
+    #[test]
+    fn remote_maps_toodeep_and_generic_errors() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let replies = [
+                b"ERR TOODEEP nesting depth 200 exceeds cap\n".as_slice(),
+                b"ERR unknown schema `app` (register it with SCHEMA first)\n".as_slice(),
+            ];
+            for (stream, reply) in listener.incoming().take(2).zip(replies) {
+                let stream = stream.unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                writer.write_all(reply).unwrap();
+            }
+        });
+        let err = cmd_remote(&[addr.clone(), "CHECK".into(), "app".into()]).unwrap_err();
+        assert!(err.starts_with("TOODEEP"), "exit-3 class preserved end to end: {err}");
+        let err = cmd_remote(&[addr, "CHECK".into(), "app".into()]).unwrap_err();
+        assert!(err.starts_with("ERR unknown schema"), "{err}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn reply_terminators_follow_the_protocol() {
+        assert_eq!(reply_terminator("STATS", "uptime_seconds 1"), Some("END"));
+        assert_eq!(reply_terminator("METRICS", "# HELP x y"), Some("# EOF"));
+        assert_eq!(reply_terminator("SHARDS", "127.0.0.1:1 up=true"), Some("END"));
+        assert_eq!(reply_terminator("CHECK app a ;; b", "OK true"), None);
+        assert_eq!(reply_terminator("EXPLAIN CHECK app a ;; b", "OK true"), Some("END"));
+        assert_eq!(reply_terminator("TIMEOUT 50 EXPLAIN EQUIV app a ;; b", "OK true"), Some("END"));
+        // ERR replies are single-line even under EXPLAIN.
+        assert_eq!(reply_terminator("EXPLAIN CHECK app a ;; b", "ERR DEADLINE"), None);
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! `coqld-router` — fingerprint-routed front end for a coqld fleet.
+//!
+//! Speaks the same line protocol as coqld. Requests are canonicalized and
+//! fingerprinted locally, consistent-hash routed to a shard (so repeats
+//! always hit the same warm memo cache), and forwarded verbatim; shards
+//! answering `ERR OVERLOADED` or failing to connect are shed to a ring
+//! sibling under a bounded retry budget. A background prober drains dead
+//! shards from routing and re-pushes schemas to recovered ones.
+//!
+//! ```text
+//! coqld-router --listen 127.0.0.1:7800 \
+//!   --shard 127.0.0.1:7801 --shard 127.0.0.1:7802 --shard 127.0.0.1:7803 \
+//!   --schema app=schema.txt
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use co_router::{serve_router, Router, RouterConfig};
+
+const HELP: &str = "\
+coqld-router — route coqld requests across a shard fleet by fingerprint
+
+usage: coqld-router --shard <addr:port> [--shard ...] [options]
+
+options:
+  --listen <addr:port>     bind address (default 127.0.0.1:7800; port 0 picks
+                           a free port, printed on startup)
+  --shard <addr:port>      a coqld shard to route to (repeatable, at least
+                           one required; extend at runtime with HANDOFF)
+  --schema <name>=<file>   register a schema from a file on the router and
+                           every shard (repeatable); clients can also
+                           register with the SCHEMA command
+  --replicas <n>           virtual nodes per shard on the hash ring
+                           (default 64)
+  --probe-interval-ms <n>  health-probe cadence (default 1000, minimum 10)
+  --down-after <n>         consecutive probe failures before a shard is
+                           drained from routing (default 3, minimum 1)
+  --retries <n>            extra forward attempts after the first when a
+                           shard sheds or is unreachable (default 2)
+  --pool-size <n>          connections allowed per shard pool; half are kept
+                           warm (default 16)
+  --connect-timeout-ms <n> bound on each shard dial (default 1000)
+  --forward-timeout-ms <n> reply wait for forwarded requests without their
+                           own TIMEOUT prefix (default 30000)
+  --max-connections <n>    concurrent client connections; excess is shed with
+                           ERR OVERLOADED (default 256)
+  --read-timeout-ms <n>    close clients that don't deliver a complete line
+                           within n ms; 0 = never (default 30000)
+  --write-timeout-ms <n>   close clients that won't accept a reply within
+                           n ms; 0 = never (default 10000)
+  --max-line-bytes <n>     longest accepted request line (default 65536)
+  --max-parse-depth <n>    deepest query nesting accepted by the local
+                           fingerprinter; keep equal to the shards'
+                           (default 128, minimum 1)
+  --drain-ms <n>           how long a shutdown waits for in-flight client
+                           connections (default 5000)
+  --allow-shutdown         honor the SHUTDOWN verb (off by default)
+  -h, --help               this help
+
+protocol (one request per line, replies start OK/ERR):
+  CHECK/EQUIV/FINGERPRINT/SCHEMA   as coqld; CHECK and EQUIV accept the
+                                   TIMEOUT/BUDGET/EXPLAIN prefixes and are
+                                   forwarded verbatim (EXPLAIN replies gain
+                                   explain.router.* phase lines)
+  STATS                            router counters, ends with END
+  METRICS                          fleet-merged Prometheus exposition:
+                                   fleet-summed counters, per-shard shard=
+                                   labeled series, router_* families; ends
+                                   with # EOF
+  SHARDS                           one health line per shard, ends with END
+  HANDOFF <addr:port>              warm-join a new shard: verify its build,
+                                   push schemas, ship it the fullest donor's
+                                   COQLSNP1 snapshot (the shard must run
+                                   --allow-handoff), extend the ring
+  SHUTDOWN                         drain and stop (needs --allow-shutdown)
+  QUIT
+
+exit codes:
+  0  clean shutdown (SHUTDOWN verb after --allow-shutdown, drained)
+  1  bad command line
+  2  startup failure (bind error, unreadable or invalid schema file)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((message, code)) => {
+            eprintln!("coqld-router: {message}");
+            ExitCode::from(code)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), (String, u8)> {
+    let mut listen = "127.0.0.1:7800".to_string();
+    let mut shards: Vec<String> = Vec::new();
+    let mut schemas: Vec<(String, String)> = Vec::new();
+    let mut config = RouterConfig::default();
+
+    let usage = |message: String| (format!("{message} (see --help)"), 1u8);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| usage(format!("{name} needs a value")));
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{HELP}");
+                return Ok(());
+            }
+            "--listen" => listen = value("--listen")?,
+            "--shard" => shards.push(value("--shard")?),
+            "--schema" => {
+                let spec = value("--schema")?;
+                let (name, path) = spec.split_once('=').ok_or_else(|| {
+                    usage(format!("--schema expects <name>=<file>, got `{spec}`"))
+                })?;
+                schemas.push((name.to_string(), path.to_string()));
+            }
+            "--replicas" => {
+                config.replicas = parse_num(&value("--replicas")?, "--replicas")?.max(1)
+            }
+            "--probe-interval-ms" => {
+                let ms = parse_num(&value("--probe-interval-ms")?, "--probe-interval-ms")?;
+                config.probe_interval = Duration::from_millis(ms.max(10) as u64)
+            }
+            "--down-after" => {
+                config.down_after = parse_num(&value("--down-after")?, "--down-after")?.max(1)
+            }
+            "--retries" => config.retry_budget = parse_num(&value("--retries")?, "--retries")?,
+            "--pool-size" => {
+                let n = parse_num(&value("--pool-size")?, "--pool-size")?.max(1);
+                config.pool_max_live = n;
+                config.pool_max_idle = (n / 2).max(1);
+            }
+            "--connect-timeout-ms" => {
+                let ms = parse_num(&value("--connect-timeout-ms")?, "--connect-timeout-ms")?;
+                config.connect_timeout = Duration::from_millis(ms.max(1) as u64)
+            }
+            "--forward-timeout-ms" => {
+                let ms = parse_num(&value("--forward-timeout-ms")?, "--forward-timeout-ms")?;
+                config.forward_timeout = Duration::from_millis(ms.max(1) as u64)
+            }
+            "--max-connections" => {
+                config.max_connections =
+                    parse_num(&value("--max-connections")?, "--max-connections")?
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout = parse_ms(&value("--read-timeout-ms")?, "--read-timeout-ms")?
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout =
+                    parse_ms(&value("--write-timeout-ms")?, "--write-timeout-ms")?
+            }
+            "--max-line-bytes" => {
+                config.max_line_bytes = parse_num(&value("--max-line-bytes")?, "--max-line-bytes")?
+            }
+            "--max-parse-depth" => {
+                config.max_parse_depth =
+                    parse_num(&value("--max-parse-depth")?, "--max-parse-depth")?.max(1)
+            }
+            "--drain-ms" => {
+                config.drain_timeout =
+                    Duration::from_millis(parse_num(&value("--drain-ms")?, "--drain-ms")? as u64)
+            }
+            "--allow-shutdown" => config.allow_shutdown = true,
+            other => return Err(usage(format!("unknown option `{other}`"))),
+        }
+    }
+
+    if shards.is_empty() {
+        return Err(usage("at least one --shard is required".to_string()));
+    }
+
+    let router = Router::new(&shards, config);
+    for (name, path) in &schemas {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| (format!("cannot read schema `{path}`: {e}"), 2))?;
+        let (fp, _, acked, total) = router
+            .register_schema(name, text.trim())
+            .map_err(|e| (format!("schema `{path}`: {e}"), 2))?;
+        println!("coqld-router: schema {name} registered (fp={fp}, shards={acked}/{total})");
+    }
+
+    let listener =
+        TcpListener::bind(&listen).map_err(|e| (format!("cannot bind `{listen}`: {e}"), 2))?;
+    let addr = listener.local_addr().map_err(|e| (e.to_string(), 2))?;
+    println!("coqld-router: listening on {addr} ({} shards)", shards.len());
+    serve_router(listener, router).map_err(|e| (format!("accept loop failed: {e}"), 2))?;
+    println!("coqld-router: drained, bye");
+    Ok(())
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, (String, u8)> {
+    text.parse::<usize>()
+        .map_err(|_| (format!("{flag} expects a number, got `{text}` (see --help)"), 1))
+}
+
+/// Parses a millisecond flag where `0` means "no limit".
+fn parse_ms(text: &str, flag: &str) -> Result<Option<Duration>, (String, u8)> {
+    let ms = parse_num(text, flag)? as u64;
+    Ok((ms > 0).then(|| Duration::from_millis(ms)))
+}

@@ -57,6 +57,10 @@ options:
                            minimum 1); a final snapshot is always written
                            after a clean drain
   --allow-shutdown         honor the SHUTDOWN verb (off by default)
+  --allow-handoff          honor the SNAPEXPORT/SNAPBEGIN/SNAPDATA/
+                           SNAPCOMMIT/SNAPABORT warm-handoff verbs, used by
+                           coqld-router to ship the cache to a joining
+                           shard (off by default)
   --slow-log-ms <n>        log requests that take at least n ms end to end as
                            one-line records on stderr; 0 = off (default 0)
   -h, --help               this help
@@ -68,6 +72,9 @@ protocol (one request per line; replies start OK/ERR; STATS ends with END):
   FINGERPRINT <schema> <q>      canonical cache-key fingerprint
   STATS                         counters + per-path latency quantiles
   METRICS                       Prometheus text exposition, ends with # EOF
+  SNAPEXPORT                    hex-dump the cache as a COQLSNP1 snapshot
+  SNAPBEGIN/SNAPDATA/SNAPCOMMIT stage + verify + preload a pushed snapshot
+                                (all SNAP* verbs need --allow-handoff)
   SHUTDOWN                      drain and stop (needs --allow-shutdown)
   QUIT
 
@@ -158,6 +165,7 @@ fn run(args: &[String]) -> Result<(), (String, u8)> {
                 server.snapshot_interval = Duration::from_millis(ms.max(1) as u64)
             }
             "--allow-shutdown" => server.allow_shutdown = true,
+            "--allow-handoff" => server.allow_handoff = true,
             "--slow-log-ms" => {
                 server.slow_log = parse_ms(&value("--slow-log-ms")?, "--slow-log-ms")?
             }
