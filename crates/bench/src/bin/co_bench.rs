@@ -1,19 +1,24 @@
 //! `co-bench` — the machine-readable perf harness for the decision kernels.
 //!
 //! ```text
-//! cargo run -p co-bench --release --bin co-bench -- perf               # full run → BENCH_PR2.json
+//! cargo run -p co-bench --release --bin co-bench -- perf --threads 8   # full run → BENCH_PR7.json
 //! cargo run -p co-bench --release --bin co-bench -- perf --quick \
-//!     --out target/bench-smoke.json                                   # CI smoke run
-//! cargo run -p co-bench --release --bin co-bench -- check BENCH_PR2.json --strict
+//!     --threads 2 --out target/bench-smoke.json                       # CI smoke run
+//! cargo run -p co-bench --release --bin co-bench -- check BENCH_PR7.json --strict
 //! ```
 //!
 //! `perf` measures the old kernels (linear-scan homomorphism search, sweep
-//! simulation) against the new ones (pattern-indexed MRV search, worklist
-//! simulation) on E1/E2/E3-style workloads and writes a `co-bench/perf-v1`
-//! JSON report. `check` re-parses a report and validates it: schema shape,
-//! positive timings, and 100% verdict agreement always; with `--strict`,
-//! also the ≥5× median-speedup floor on the `join_heavy` and
-//! `witness_copy` workloads (used on the committed `BENCH_PR2.json`).
+//! simulation, single-threaded pattern loops) against the new ones
+//! (adaptive indexed/bitset MRV search, worklist simulation, parallel
+//! kernels) on E1/E2/E3-style workloads and writes a `co-bench/perf-v2`
+//! JSON report with per-case p50/p95/p99. `check` re-parses a report
+//! (v1 or v2) and validates it: schema shape, positive timings, and 100%
+//! verdict agreement always; with `--strict`, also the speedup floors
+//! (≥5× on `join_heavy`/`witness_copy`; on v2 additionally the adaptive
+//! parity small-instance floor, ≥3× on `hard_emptiness` at ≥8 threads, and
+//! a strictly-lower `mixed_p99` tail, both gated on the report's thread
+//! count) — used on the committed
+//! `BENCH_PR2.json` and `BENCH_PR7.json` baselines.
 
 use std::process::ExitCode;
 
@@ -27,7 +32,7 @@ fn main() -> ExitCode {
         Some("check") => check(&args[1..]),
         Some("workload") => workload(&args[1..]),
         _ => {
-            eprintln!("usage: co-bench perf [--quick] [--out PATH]");
+            eprintln!("usage: co-bench perf [--quick] [--threads N] [--out PATH]");
             eprintln!("       co-bench check PATH [--strict]");
             eprintln!("       co-bench workload [--total N] [--distinct N] [--seed N]");
             ExitCode::from(2)
@@ -77,11 +82,18 @@ fn workload(args: &[String]) -> ExitCode {
 
 fn perf(args: &[String]) -> ExitCode {
     let mut opts = PerfOptions::full();
-    let mut out = String::from("BENCH_PR2.json");
+    let mut out = String::from("BENCH_PR7.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" => opts = PerfOptions::quick(),
+            "--quick" => opts = PerfOptions { quick: true, runs: 3, ..opts },
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => opts.threads = n,
+                None => {
+                    eprintln!("--threads needs a number");
+                    return ExitCode::from(2);
+                }
+            },
             "--out" => match it.next() {
                 Some(path) => out = path.clone(),
                 None => {

@@ -179,14 +179,22 @@ fn e5_empty_set_blowup() {
             co_sim::tree::tree_contained_in_with(
                 &p.tree,
                 &p.tree,
-                co_sim::tree::ContainOptions { no_empty_sets: false, extra_witnesses: 0 },
+                co_sim::tree::ContainOptions {
+                    no_empty_sets: false,
+                    extra_witnesses: 0,
+                    threads: 0,
+                },
             )
         });
         let fast = timed(5, || {
             co_sim::tree::tree_contained_in_with(
                 &p.tree,
                 &p.tree,
-                co_sim::tree::ContainOptions { no_empty_sets: true, extra_witnesses: 0 },
+                co_sim::tree::ContainOptions {
+                    no_empty_sets: true,
+                    extra_witnesses: 0,
+                    threads: 0,
+                },
             )
         });
         println!("| {c} | {full:.1} | {fast:.1} | {:.1}× |", full / fast.max(0.1));

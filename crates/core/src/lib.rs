@@ -200,7 +200,7 @@ pub fn contained_prepared(p1: &Prepared, p2: &Prepared) -> Result<ContainmentAna
     };
     // Flat results never nest sets, so the no-empty-set options are exact
     // for them too; both fast paths collapse to the same call.
-    let opts = ContainOptions { no_empty_sets: flat || no_empty, extra_witnesses: 0 };
+    let opts = ContainOptions { no_empty_sets: flat || no_empty, extra_witnesses: 0, threads: 0 };
     let holds =
         try_tree_contained_in_with(&p1.tree, &p2.tree, opts).map_err(|_| CoreError::Interrupted)?;
     Ok(ContainmentAnalysis { holds, path, depth, set_nodes: (p1.set_nodes, p2.set_nodes) })

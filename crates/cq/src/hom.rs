@@ -6,43 +6,67 @@
 //! of query variables to database atoms under which every body atom becomes
 //! a fact of the database, subject to some variables being pre-bound.
 //!
-//! # Candidate generation (DESIGN.md §9)
+//! # Candidate generation (DESIGN.md §9, §14)
 //!
-//! The engine runs in one of two [`CandidateStrategy`] modes:
+//! The engine runs in one of several [`CandidateStrategy`] modes:
 //!
-//! * [`CandidateStrategy::Indexed`] (the default): at every search node the
-//!   engine picks the remaining atom with the **fewest live candidates**
-//!   (MRV — minimum remaining values), where candidates come from the
-//!   relation's lazily-built hash index on the atom's currently-bound
-//!   argument positions ([`crate::db::Relation::pattern_index`]). Only
-//!   tuples that agree with the partial assignment on the bound positions
-//!   are ever probed.
+//! * [`CandidateStrategy::Indexed`]: at every search node the engine picks
+//!   the remaining atom with the **fewest live candidates** (MRV — minimum
+//!   remaining values), where candidates come from the relation's
+//!   lazily-built hash index on the atom's currently-bound argument
+//!   positions ([`crate::db::Relation::pattern_index`]). Only tuples that
+//!   agree with the partial assignment on the bound positions are ever
+//!   probed.
+//! * [`CandidateStrategy::Bitset`]: MRV over **packed bitset domains**
+//!   ([`crate::db::Relation::bit_index`]) — a candidate domain is the
+//!   word-wise AND of per-column value bitsets, `forbidden` values are
+//!   masked out with AND-NOT before any probe, and the MRV count is a
+//!   popcount. The word-parallel sibling of `Indexed`.
 //! * [`CandidateStrategy::LinearScan`]: the original kernel — a static
 //!   greedy atom order fixed up front ([`plan_order`]) and a full scan of
 //!   each atom's relation at every depth. Kept as the differential-testing
 //!   oracle and as the baseline the `co-bench perf` harness measures
 //!   speedups against.
+//! * [`CandidateStrategy::Adaptive`] (the default): picks per problem —
+//!   instances whose largest scanned relation sits under a threshold use
+//!   `LinearScan` so they never pay index-build cost, everything else
+//!   uses `Indexed`.
 //!
-//! Both strategies visit exactly the same solution set, respect the same
-//! `forbidden` semantics, and charge the step budget identically: **one
-//! step per candidate-tuple probe**. (Indexed search probes fewer
-//! candidates, so a budget generous enough for the linear scan is always
-//! generous enough for the indexed search on the same instance.)
+//! All strategies visit exactly the same solution set, respect the same
+//! `forbidden` semantics, and charge the step budget the same way: **one
+//! step per candidate-tuple probe**. (Indexed and bitset search probe
+//! fewer candidates, so a budget generous enough for the linear scan is
+//! always generous enough for them on the same instance.)
 //!
 //! The engine can report the first solution, enumerate all solutions
 //! through a callback, or count solutions, and carries an optional step
 //! budget so callers with worst-case-exponential workloads (the hard
 //! instances of E2–E4) can bail out deterministically.
+//!
+//! # Intra-request parallelism (DESIGN.md §14)
+//!
+//! [`HomProblem::first`] and [`HomProblem::solutions`] can fan the **root**
+//! MRV atom's candidate list out across a scoped work-stealing pool
+//! ([`co_object::par`]): each worker owns a disjoint set of root
+//! candidates and runs the ordinary sequential engine below its root
+//! binding. First-success cancels siblings (benignly — the request budget
+//! does not expire); enumeration merges per-candidate solution lists in
+//! candidate order, so the solution *set* is identical to a sequential
+//! run. A sequential trial with a small internal probe cap runs first, so
+//! easy instances never pay thread spawn cost. Problems with an explicit
+//! [`HomProblem::with_budget`] step budget always run sequentially — the
+//! deterministic probe accounting is part of that API's contract.
 
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use co_object::{interrupt, Atom};
+use co_object::interrupt::{self, SharedBudget};
+use co_object::{par, Atom};
 use co_trace::kernel::{self, Metric};
 
-use crate::db::{Database, PatternIndex, PositionMask, Relation, Tuple};
+use crate::db::{BitIndex, Database, PatternIndex, PositionMask, Relation, Tuple};
 use crate::query::{QueryAtom, Term};
 use crate::schema::Var;
 
@@ -70,32 +94,61 @@ pub enum SearchOutcome {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CandidateStrategy {
     /// Hash-index candidates on bound positions + runtime MRV atom
-    /// selection (the fast path, default).
+    /// selection.
     Indexed,
     /// Full-relation scans in a static greedy atom order (the original
     /// kernel; oracle and benchmark baseline).
     LinearScan,
+    /// Packed `u64` bitset domains per atom: candidate generation,
+    /// `forbidden` filtering, and MRV counting are word-parallel.
+    Bitset,
+    /// Per-problem pick (the default): `LinearScan` below
+    /// [`ADAPTIVE_THRESHOLD`], `Indexed` above it.
+    Adaptive,
 }
+
+/// `Adaptive` cutoff on the *largest relation* any atom scans: below it,
+/// per-depth full scans are cheap and index builds cost more than they
+/// save, regardless of how many atoms there are. The `BENCH_PR2.json`
+/// small-instance regressions — 3-coloring (6-fact frozen relations,
+/// dozens of atoms), containment stacks (n-fact relations, n atoms up to
+/// 32), positive simulation — all scan relations well under this; the
+/// indexed wins (chain joins and witness-copy searches over relations of
+/// hundreds to thousands of facts) all sit well above it. Atom count is
+/// deliberately *not* a factor: many atoms over tiny relations is exactly
+/// where the static-order scan beats paying an index build per atom.
+pub const ADAPTIVE_THRESHOLD: usize = 64;
 
 /// Process-wide default strategy, overridable per problem with
 /// [`HomProblem::with_strategy`]. Exists so the `co-bench perf` harness can
 /// A/B the *entire* decision stack (containment, simulation, COQL, service)
 /// without threading a parameter through every layer.
-static DEFAULT_STRATEGY: AtomicU8 = AtomicU8::new(0);
+static DEFAULT_STRATEGY: AtomicU8 = AtomicU8::new(DEFAULT_STRATEGY_ADAPTIVE);
+
+const DEFAULT_STRATEGY_ADAPTIVE: u8 = 3;
 
 /// Sets the process-wide default [`CandidateStrategy`].
 ///
 /// Intended for benchmarking and differential testing only; production
-/// callers should leave the default ([`CandidateStrategy::Indexed`]) alone.
+/// callers should leave the default ([`CandidateStrategy::Adaptive`])
+/// alone.
 pub fn set_default_strategy(s: CandidateStrategy) {
-    DEFAULT_STRATEGY.store(s as u8, Ordering::Relaxed);
+    let code = match s {
+        CandidateStrategy::Indexed => 0,
+        CandidateStrategy::LinearScan => 1,
+        CandidateStrategy::Bitset => 2,
+        CandidateStrategy::Adaptive => DEFAULT_STRATEGY_ADAPTIVE,
+    };
+    DEFAULT_STRATEGY.store(code, Ordering::Relaxed);
 }
 
 /// The current process-wide default [`CandidateStrategy`].
 pub fn default_strategy() -> CandidateStrategy {
     match DEFAULT_STRATEGY.load(Ordering::Relaxed) {
         0 => CandidateStrategy::Indexed,
-        _ => CandidateStrategy::LinearScan,
+        1 => CandidateStrategy::LinearScan,
+        2 => CandidateStrategy::Bitset,
+        _ => CandidateStrategy::Adaptive,
     }
 }
 
@@ -108,6 +161,7 @@ pub struct HomProblem<'a> {
     budget: Option<u64>,
     forbidden: HashMap<Var, HashSet<Atom>>,
     strategy: Option<CandidateStrategy>,
+    threads: Option<usize>,
 }
 
 impl<'a> HomProblem<'a> {
@@ -120,6 +174,7 @@ impl<'a> HomProblem<'a> {
             budget: None,
             forbidden: HashMap::new(),
             strategy: None,
+            threads: None,
         }
     }
 
@@ -151,11 +206,90 @@ impl<'a> HomProblem<'a> {
         self
     }
 
+    /// Overrides the kernel thread count for this problem (`1` forces a
+    /// sequential search; the default is the process-global
+    /// [`co_object::par::effective_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> HomProblem<'a> {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Threads this problem may actually use (never fans out on a pool
+    /// worker, and never with an explicit step budget — its deterministic
+    /// probe accounting is part of the API contract).
+    fn effective_threads(&self) -> usize {
+        if par::in_worker() || self.budget.is_some() {
+            return 1;
+        }
+        self.threads.unwrap_or_else(par::effective_threads)
+    }
+
+    /// The strategy this problem will run under, with `Adaptive` resolved
+    /// against the instance size.
+    fn resolved_strategy(&self) -> CandidateStrategy {
+        let strategy = self.strategy.unwrap_or_else(default_strategy);
+        if strategy != CandidateStrategy::Adaptive {
+            return strategy;
+        }
+        // Resolved over the database's relations (a handful) rather than
+        // per atom: strictly cheaper, and on the tiny instances this pick
+        // exists for, the resolution itself must not show up in profiles.
+        let largest: usize = self.db.iter().map(|(_, r)| r.len()).max().unwrap_or(0);
+        if largest < ADAPTIVE_THRESHOLD {
+            CandidateStrategy::LinearScan
+        } else {
+            CandidateStrategy::Indexed
+        }
+    }
+
+    /// Trivial refutations shared by every entry point: an atom over an
+    /// empty relation, or a fixed binding violating a forbidden set.
+    fn preflight(&self) -> bool {
+        for atom in self.atoms {
+            match self.db.relation_ref(atom.rel) {
+                Some(r) if !r.is_empty() => {}
+                _ => return false,
+            }
+        }
+        for (v, a) in &self.fixed {
+            if self.forbidden.get(v).is_some_and(|set| set.contains(a)) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Finds the first solution, if any.
     ///
     /// Returns `Err(BudgetExceeded)`/`Err(Interrupted)` only when the
-    /// budget ran out *before* a solution was found.
+    /// budget ran out *before* a solution was found. May fan the root
+    /// candidates out across kernel threads (see the module docs); the
+    /// Some/None verdict is deterministic, but *which* witness comes back
+    /// can differ run to run under parallelism.
     pub fn first(self) -> Result<Option<Assignment>, SearchOutcome> {
+        let threads = self.effective_threads();
+        if threads <= 1 {
+            return self.first_sequential();
+        }
+        // Sequential trial: easy instances finish inside the cap and
+        // never pay thread spawn cost.
+        let trial = HomProblem {
+            atoms: self.atoms,
+            db: self.db,
+            fixed: self.fixed.clone(),
+            budget: Some(PARALLEL_TRIAL_PROBES),
+            forbidden: self.forbidden.clone(),
+            strategy: self.strategy,
+            threads: Some(1),
+        };
+        match trial.first_sequential() {
+            Err(SearchOutcome::BudgetExceeded) => {}
+            decided => return decided,
+        }
+        self.run_parallel(threads, true).map(|mut sols| sols.pop())
+    }
+
+    fn first_sequential(self) -> Result<Option<Assignment>, SearchOutcome> {
         let mut found = None;
         let outcome = self.for_each(|a| {
             found = Some(a.clone());
@@ -173,57 +307,261 @@ impl<'a> HomProblem<'a> {
         matches!(self.first(), Ok(Some(_)))
     }
 
+    /// Enumerates the complete solution set, in a deterministic order for
+    /// a fixed thread count. May fan out across kernel threads; the merge
+    /// concatenates per-root-candidate solution lists in candidate order,
+    /// so the solution *set* always equals a sequential enumeration.
+    pub fn solutions(self) -> Result<Vec<Assignment>, SearchOutcome> {
+        let threads = self.effective_threads();
+        if threads <= 1 {
+            return self.solutions_sequential();
+        }
+        let trial = HomProblem {
+            atoms: self.atoms,
+            db: self.db,
+            fixed: self.fixed.clone(),
+            budget: Some(PARALLEL_TRIAL_PROBES),
+            forbidden: self.forbidden.clone(),
+            strategy: self.strategy,
+            threads: Some(1),
+        };
+        match trial.solutions_sequential() {
+            Err(SearchOutcome::BudgetExceeded) => {}
+            decided => return decided,
+        }
+        self.run_parallel(threads, false)
+    }
+
+    fn solutions_sequential(self) -> Result<Vec<Assignment>, SearchOutcome> {
+        let mut solutions = Vec::new();
+        let outcome = self.for_each(|a| {
+            solutions.push(a.clone());
+            ControlFlow::Continue(())
+        });
+        match outcome {
+            SearchOutcome::Exhausted | SearchOutcome::Stopped => Ok(solutions),
+            out => Err(out),
+        }
+    }
+
     /// Enumerates solutions through `visit`; stops early on `Break`.
+    /// Always sequential (the callback is `FnMut`); [`HomProblem::first`]
+    /// and [`HomProblem::solutions`] are the parallel entry points.
     pub fn for_each(self, mut visit: impl FnMut(&Assignment) -> ControlFlow<()>) -> SearchOutcome {
-        // Unsatisfiable fast path: an atom over an empty relation.
-        for atom in self.atoms {
-            match self.db.relation_ref(atom.rel) {
-                Some(r) if !r.is_empty() => {}
-                _ => return SearchOutcome::Exhausted,
+        if !self.preflight() {
+            return SearchOutcome::Exhausted;
+        }
+        search(
+            self.atoms,
+            self.db,
+            self.resolved_strategy(),
+            self.fixed,
+            self.budget,
+            &self.forbidden,
+            &mut visit,
+        )
+    }
+
+    /// The root MRV split: the atom with the fewest candidates under the
+    /// fixed bindings, and its candidate tuple ids in snapshot order.
+    fn root_split(&self) -> (usize, Arc<Vec<Tuple>>, Vec<u32>) {
+        let mut key = Vec::new();
+        let mut best: Option<(usize, usize, PositionMask)> = None;
+        for (i, atom) in self.atoms.iter().enumerate() {
+            let rel = self.db.relation_ref(atom.rel).expect("preflight checked relations");
+            let mask = bound_pattern(atom, &self.fixed, &mut key);
+            let count =
+                if mask == 0 { rel.len() } else { rel.pattern_index(mask).candidate_count(&key) };
+            if best.is_none_or(|(c, _, _)| count < c) {
+                best = Some((count, i, mask));
             }
         }
-        // Fixed bindings themselves must respect the forbidden sets.
-        for (v, a) in &self.fixed {
-            if self.forbidden.get(v).is_some_and(|set| set.contains(a)) {
-                return SearchOutcome::Exhausted;
+        let (_, i, mask) = best.expect("root_split needs at least one atom");
+        let atom = &self.atoms[i];
+        let rel = self.db.relation_ref(atom.rel).expect("preflight checked relations");
+        let snapshot = rel.snapshot();
+        let ids = if mask == 0 {
+            (0..snapshot.len() as u32).collect()
+        } else {
+            bound_pattern(atom, &self.fixed, &mut key);
+            rel.pattern_index(mask).candidates(&key).to_vec()
+        };
+        (i, snapshot, ids)
+    }
+
+    /// The parallel phase shared by [`HomProblem::first`] (`stop_on_first`)
+    /// and [`HomProblem::solutions`]: workers claim root candidates from a
+    /// work-stealing feeder, bind them, and run the sequential engine
+    /// below; budgets are sliced from a [`SharedBudget`] and kernel
+    /// counters are absorbed back into this thread after the join.
+    fn run_parallel(
+        self,
+        threads: usize,
+        stop_on_first: bool,
+    ) -> Result<Vec<Assignment>, SearchOutcome> {
+        if !self.preflight() {
+            return Ok(Vec::new());
+        }
+        let strategy = self.resolved_strategy();
+        let (root, snapshot, candidates) = self.root_split();
+        let root_atom = &self.atoms[root];
+        let shared = SharedBudget::fork_current();
+        let winner: Mutex<Option<Assignment>> = Mutex::new(None);
+        type WorkerYield = (Vec<(usize, Vec<Assignment>)>, bool, kernel::Counters);
+        let (worker_results, stats): (Vec<WorkerYield>, _) =
+            par::run_workers(threads, candidates.len(), 1, |me, feeder| {
+                let before = kernel::snapshot();
+                let guard = interrupt::install_shared(&shared);
+                let mut mine: Vec<(usize, Vec<Assignment>)> = Vec::new();
+                let mut interrupted = false;
+                'chunks: while let Some(range) = feeder.next(me) {
+                    for ci in range {
+                        // Account the root probe exactly like the engines.
+                        kernel::bump(Metric::HomProbes);
+                        if interrupt::probe().is_err() {
+                            interrupted = true;
+                            break 'chunks;
+                        }
+                        let mut binding = self.fixed.clone();
+                        let Some(_newly) = try_bind(
+                            &mut binding,
+                            &self.forbidden,
+                            root_atom,
+                            &snapshot[candidates[ci] as usize],
+                        ) else {
+                            continue;
+                        };
+                        let mut sols = Vec::new();
+                        let outcome = search(
+                            self.atoms,
+                            self.db,
+                            strategy,
+                            binding,
+                            None,
+                            &self.forbidden,
+                            &mut |a: &Assignment| {
+                                sols.push(a.clone());
+                                if stop_on_first {
+                                    ControlFlow::Break(())
+                                } else {
+                                    ControlFlow::Continue(())
+                                }
+                            },
+                        );
+                        match outcome {
+                            SearchOutcome::Exhausted | SearchOutcome::Stopped => {}
+                            SearchOutcome::Interrupted | SearchOutcome::BudgetExceeded => {
+                                interrupted = true;
+                                break 'chunks;
+                            }
+                        }
+                        if !sols.is_empty() {
+                            if stop_on_first {
+                                let mut slot = winner.lock().expect("winner lock poisoned");
+                                if slot.is_none() {
+                                    *slot = sols.pop();
+                                }
+                                feeder.stop();
+                                shared.cancel();
+                                break 'chunks;
+                            }
+                            mine.push((ci, sols));
+                        }
+                    }
+                }
+                drop(guard);
+                (mine, interrupted, kernel::snapshot().delta(&before))
+            });
+        shared.rejoin();
+        par::note_engaged(stats.threads);
+        kernel::bump_by(Metric::KernelParallelBranches, stats.branches);
+        kernel::bump_by(Metric::KernelSteals, stats.steals);
+        let mut interrupted_any = shared.is_expired();
+        let mut per_candidate: Vec<(usize, Vec<Assignment>)> = Vec::new();
+        for (mine, interrupted, delta) in worker_results {
+            kernel::absorb(&delta);
+            interrupted_any |= interrupted;
+            per_candidate.extend(mine);
+        }
+        if stop_on_first {
+            if let Some(found) = winner.into_inner().expect("winner lock poisoned") {
+                return Ok(vec![found]);
             }
         }
-        let strategy = self.strategy.unwrap_or_else(default_strategy);
-        let rels: Vec<&Relation> = self
-            .atoms
-            .iter()
-            .map(|a| self.db.relation_ref(a.rel).expect("empty-relation fast path already handled"))
-            .collect();
-        match strategy {
-            CandidateStrategy::Indexed => {
-                let mut state = IndexedSearch {
-                    atoms: self.atoms,
-                    rels: &rels,
-                    snapshots: rels.iter().map(|r| r.snapshot()).collect(),
-                    index_cache: vec![HashMap::new(); self.atoms.len()],
-                    scratch: Vec::new(),
-                    remaining: (0..self.atoms.len()).collect(),
-                    binding: self.fixed,
-                    steps_left: self.budget,
-                    forbidden: &self.forbidden,
-                    visit: &mut visit,
-                };
-                state.run()
-            }
-            CandidateStrategy::LinearScan => {
-                let order = plan_order(self.atoms, &self.fixed, self.db);
-                let mut state = LinearSearch {
-                    atoms: self.atoms,
-                    order: &order,
-                    snapshots: rels.iter().map(|r| r.snapshot()).collect(),
-                    binding: self.fixed,
-                    steps_left: self.budget,
-                    forbidden: &self.forbidden,
-                    visit: &mut visit,
-                };
-                state.run(0)
-            }
+        if interrupted_any {
+            return Err(SearchOutcome::Interrupted);
         }
+        // Deterministic merge: per-root-candidate lists in candidate order.
+        per_candidate.sort_by_key(|(ci, _)| *ci);
+        Ok(per_candidate.into_iter().flat_map(|(_, sols)| sols).collect())
+    }
+}
+
+/// Internal probe cap for the sequential trial that precedes a parallel
+/// fan-out: instances that finish within it stay exactly sequential.
+const PARALLEL_TRIAL_PROBES: u64 = 4096;
+
+/// Runs the resolved engine over `atoms` with `binding` pre-applied.
+/// `strategy` must not be [`CandidateStrategy::Adaptive`] (resolve first),
+/// and callers are responsible for the [`HomProblem::preflight`] checks.
+fn search(
+    atoms: &[QueryAtom],
+    db: &Database,
+    strategy: CandidateStrategy,
+    binding: Assignment,
+    budget: Option<u64>,
+    forbidden: &HashMap<Var, HashSet<Atom>>,
+    visit: &mut dyn FnMut(&Assignment) -> ControlFlow<()>,
+) -> SearchOutcome {
+    let rels: Vec<&Relation> = atoms
+        .iter()
+        .map(|a| db.relation_ref(a.rel).expect("empty-relation fast path already handled"))
+        .collect();
+    match strategy {
+        CandidateStrategy::Indexed => {
+            let mut state = IndexedSearch {
+                atoms,
+                rels: &rels,
+                snapshots: rels.iter().map(|r| r.snapshot()).collect(),
+                index_cache: vec![HashMap::new(); atoms.len()],
+                scratch: Vec::new(),
+                remaining: (0..atoms.len()).collect(),
+                binding,
+                steps_left: budget,
+                forbidden,
+                visit,
+            };
+            state.run()
+        }
+        CandidateStrategy::Bitset => {
+            let mut state = BitsetSearch {
+                atoms,
+                rels: &rels,
+                snapshots: rels.iter().map(|r| r.snapshot()).collect(),
+                bit_cache: vec![HashMap::new(); atoms.len()],
+                scratch: Vec::new(),
+                remaining: (0..atoms.len()).collect(),
+                binding,
+                steps_left: budget,
+                forbidden,
+                visit,
+            };
+            state.run()
+        }
+        CandidateStrategy::LinearScan => {
+            let order = plan_order(atoms, &binding, db);
+            let mut state = LinearSearch {
+                atoms,
+                order: &order,
+                snapshots: rels.iter().map(|r| r.snapshot()).collect(),
+                binding,
+                steps_left: budget,
+                forbidden,
+                visit,
+            };
+            state.run(0)
+        }
+        CandidateStrategy::Adaptive => unreachable!("Adaptive is resolved before dispatch"),
     }
 }
 
@@ -427,6 +765,187 @@ impl IndexedSearch<'_, '_> {
     }
 }
 
+/// The bitset engine: MRV over packed candidate domains.
+///
+/// For each remaining atom, the candidate domain is a packed bitset over
+/// the relation snapshot, built word-parallel: AND the per-column value
+/// bitsets of every determined argument position, then AND-NOT the
+/// bitsets of `forbidden` values at unbound-variable positions. MRV picks
+/// the atom with the smallest popcount; only set bits are ever probed.
+///
+/// Probes charge budgets exactly like the other engines (one step per
+/// probed candidate), but because `forbidden` values are masked out
+/// *before* probing, the bitset engine can probe strictly fewer
+/// candidates than `Indexed` on forbidden-heavy instances — the solution
+/// set is unchanged (those probes fail in [`try_bind`] anyway).
+struct BitsetSearch<'a, 'f> {
+    atoms: &'a [QueryAtom],
+    rels: &'a [&'a Relation],
+    snapshots: Vec<Arc<Vec<Tuple>>>,
+    /// Per-atom memo of the relation's per-column bit indexes (one lock
+    /// round trip per (atom, column), then lock-free).
+    bit_cache: Vec<HashMap<usize, Arc<BitIndex>>>,
+    /// Reusable domain buffer for the MRV counting pass.
+    scratch: Vec<u64>,
+    /// Indices of atoms not yet matched.
+    remaining: Vec<usize>,
+    binding: Assignment,
+    steps_left: Option<u64>,
+    forbidden: &'a HashMap<Var, HashSet<Atom>>,
+    visit: &'f mut dyn FnMut(&Assignment) -> ControlFlow<()>,
+}
+
+impl BitsetSearch<'_, '_> {
+    /// The memoized per-column bit index for atom `i`, column `pos`.
+    fn bit_index(&mut self, i: usize, pos: usize) -> Arc<BitIndex> {
+        match self.bit_cache[i].entry(pos) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                kernel::bump(Metric::HomIndexHits);
+                Arc::clone(e.get())
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                kernel::bump(Metric::HomIndexBuilds);
+                Arc::clone(v.insert(self.rels[i].bit_index(pos)))
+            }
+        }
+    }
+
+    /// Builds atom `i`'s candidate domain under the current binding into
+    /// `out` and returns its popcount.
+    fn domain_into(&mut self, i: usize, out: &mut Vec<u64>) -> usize {
+        let n = self.snapshots[i].len();
+        let words = n.div_ceil(64);
+        out.clear();
+        let mut initialized = false;
+        for pos in 0..self.atoms[i].args.len() {
+            let term = &self.atoms[i].args[pos];
+            let value = match term {
+                Term::Const(c) => Some(*c),
+                Term::Var(v) => self.binding.get(v).copied(),
+            };
+            if let Some(a) = value {
+                let idx = self.bit_index(i, pos);
+                match idx.bits(a) {
+                    Some(bits) => {
+                        if initialized {
+                            for (w, &b) in out.iter_mut().zip(bits) {
+                                *w &= b;
+                            }
+                        } else {
+                            out.extend_from_slice(bits);
+                            initialized = true;
+                        }
+                    }
+                    None => {
+                        // Value absent from the column: empty domain.
+                        out.clear();
+                        out.resize(words, 0);
+                        return 0;
+                    }
+                }
+            } else if let Term::Var(v) = term {
+                if let Some(banned) = self.forbidden.get(v) {
+                    let idx = self.bit_index(i, pos);
+                    for &a in banned {
+                        if let Some(bits) = idx.bits(a) {
+                            if !initialized {
+                                *out = idx.full_domain();
+                                initialized = true;
+                            }
+                            for (w, &b) in out.iter_mut().zip(bits) {
+                                *w &= !b;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !initialized {
+            *out = self.bit_index(i, 0).full_domain();
+        }
+        out.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn run(&mut self) -> SearchOutcome {
+        if self.remaining.is_empty() {
+            kernel::bump(Metric::HomSolutions);
+            return match (self.visit)(&self.binding) {
+                ControlFlow::Break(()) => SearchOutcome::Stopped,
+                ControlFlow::Continue(()) => SearchOutcome::Exhausted,
+            };
+        }
+        // MRV by popcount; ties break on original position, zero counts
+        // stop the scan — exactly the `IndexedSearch` node discipline.
+        let mut pick = 0;
+        let mut pick_atom = usize::MAX;
+        let mut best = usize::MAX;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for slot in 0..self.remaining.len() {
+            let i = self.remaining[slot];
+            let count = self.domain_into(i, &mut scratch);
+            if count < best || (count == best && i < pick_atom) {
+                best = count;
+                pick = slot;
+                pick_atom = i;
+            }
+            if best == 0 {
+                break;
+            }
+        }
+        let i = self.remaining.swap_remove(pick);
+        // Re-derive the picked atom's domain (the scratch holds a later
+        // atom's); it lives across the recursion, so it gets its own
+        // buffer while the scratch goes back for the children to reuse.
+        let mut domain = Vec::new();
+        self.domain_into(i, &mut domain);
+        self.scratch = scratch;
+        let snapshot = Arc::clone(&self.snapshots[i]);
+        let atom = &self.atoms[i];
+        let outcome = (|| {
+            for (w, &word) in domain.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let id = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    kernel::bump(Metric::HomProbes);
+                    if let Some(budget) = &mut self.steps_left {
+                        if *budget == 0 {
+                            return Err(SearchOutcome::BudgetExceeded);
+                        }
+                        *budget -= 1;
+                    }
+                    if interrupt::probe().is_err() {
+                        return Err(SearchOutcome::Interrupted);
+                    }
+                    if let Some(newly) =
+                        try_bind(&mut self.binding, self.forbidden, atom, &snapshot[id])
+                    {
+                        let outcome = self.run();
+                        for v in newly {
+                            self.binding.remove(&v);
+                        }
+                        match outcome {
+                            SearchOutcome::Exhausted => {}
+                            stop => return Err(stop),
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })();
+        self.remaining.push(i);
+        let last = self.remaining.len() - 1;
+        self.remaining.swap(pick, last);
+        match outcome {
+            Ok(()) => {
+                kernel::bump(Metric::HomBacktracks);
+                SearchOutcome::Exhausted
+            }
+            Err(stop) => stop,
+        }
+    }
+}
+
 /// The original kernel: static plan, full-relation scans. Retained verbatim
 /// as the oracle for differential tests and the `co-bench perf` baseline.
 struct LinearSearch<'a, 'f> {
@@ -557,12 +1076,14 @@ mod tests {
         Term::var(name)
     }
 
-    /// Runs the same closure under both strategies and asserts identical
-    /// results.
+    /// Runs the same closure under all three concrete strategies and
+    /// asserts identical results.
     fn both<R: PartialEq + std::fmt::Debug>(f: impl Fn(CandidateStrategy) -> R) -> R {
         let indexed = f(CandidateStrategy::Indexed);
         let linear = f(CandidateStrategy::LinearScan);
-        assert_eq!(indexed, linear, "strategies disagree");
+        let bitset = f(CandidateStrategy::Bitset);
+        assert_eq!(indexed, linear, "Indexed and LinearScan disagree");
+        assert_eq!(indexed, bitset, "Indexed and Bitset disagree");
         indexed
     }
 
@@ -743,10 +1264,173 @@ mod tests {
 
     #[test]
     fn default_strategy_round_trips() {
-        assert_eq!(default_strategy(), CandidateStrategy::Indexed);
-        set_default_strategy(CandidateStrategy::LinearScan);
-        assert_eq!(default_strategy(), CandidateStrategy::LinearScan);
-        set_default_strategy(CandidateStrategy::Indexed);
-        assert_eq!(default_strategy(), CandidateStrategy::Indexed);
+        assert_eq!(default_strategy(), CandidateStrategy::Adaptive);
+        for s in [
+            CandidateStrategy::Indexed,
+            CandidateStrategy::LinearScan,
+            CandidateStrategy::Bitset,
+            CandidateStrategy::Adaptive,
+        ] {
+            set_default_strategy(s);
+            assert_eq!(default_strategy(), s);
+        }
+        assert_eq!(default_strategy(), CandidateStrategy::Adaptive);
+    }
+
+    #[test]
+    fn adaptive_resolves_by_instance_size() {
+        let small = Database::from_ints(&[("R", &[&[1, 2]])]);
+        let atoms = vec![QueryAtom::new("R", vec![v("x"), v("y")])];
+        let p = HomProblem::new(&atoms, &small).with_strategy(CandidateStrategy::Adaptive);
+        assert_eq!(p.resolved_strategy(), CandidateStrategy::LinearScan);
+
+        let tuples: Vec<Vec<i64>> =
+            (0..ADAPTIVE_THRESHOLD as i64).map(|i| vec![i, i + 1]).collect();
+        let refs: Vec<&[i64]> = tuples.iter().map(|t| t.as_slice()).collect();
+        let big = Database::from_ints(&[("R", &refs)]);
+        let p = HomProblem::new(&atoms, &big).with_strategy(CandidateStrategy::Adaptive);
+        assert_eq!(p.resolved_strategy(), CandidateStrategy::Indexed);
+
+        // Explicit strategies pass through untouched.
+        let p = HomProblem::new(&atoms, &small).with_strategy(CandidateStrategy::Bitset);
+        assert_eq!(p.resolved_strategy(), CandidateStrategy::Bitset);
+    }
+
+    #[test]
+    fn bitset_prefilters_forbidden_values() {
+        // 100 tuples, 99 of them forbidden for x: the bitset engine must
+        // still find the sole allowed solution, probing only unmasked
+        // candidates.
+        let tuples: Vec<Vec<i64>> = (0..100).map(|i| vec![i]).collect();
+        let refs: Vec<&[i64]> = tuples.iter().map(|t| t.as_slice()).collect();
+        let db = Database::from_ints(&[("R", &refs)]);
+        let atoms = vec![QueryAtom::new("R", vec![v("x")])];
+        let mut forbidden: HashMap<Var, HashSet<Atom>> = HashMap::new();
+        forbidden.insert(Var::new("x"), (0..100).filter(|&i| i != 42).map(Atom::int).collect());
+        let sols = both(|s| {
+            let mut sols = Vec::new();
+            let outcome = HomProblem::new(&atoms, &db)
+                .with_strategy(s)
+                .with_forbidden(forbidden.clone())
+                .for_each(|a| {
+                    sols.push(a[&Var::new("x")]);
+                    ControlFlow::Continue(())
+                });
+            assert_eq!(outcome, SearchOutcome::Exhausted);
+            sols
+        });
+        assert_eq!(sols, vec![Atom::int(42)]);
+        // And the pre-filter really skips probes: budget 1 suffices for
+        // Bitset where Indexed needs to probe-and-reject the forbidden 99.
+        let sol = HomProblem::new(&atoms, &db)
+            .with_strategy(CandidateStrategy::Bitset)
+            .with_forbidden(forbidden.clone())
+            .with_budget(1)
+            .first()
+            .unwrap()
+            .unwrap();
+        assert_eq!(sol[&Var::new("x")], Atom::int(42));
+    }
+
+    #[test]
+    fn bitset_handles_wide_and_repeated_columns() {
+        // Repeated variable (diagonal) and a 70-tuple relation so domains
+        // span more than one u64 word.
+        let tuples: Vec<Vec<i64>> = (0..70).map(|i| vec![i % 7, i]).collect();
+        let refs: Vec<&[i64]> = tuples.iter().map(|t| t.as_slice()).collect();
+        let db = Database::from_ints(&[("R", &refs)]);
+        let atoms = vec![QueryAtom::new("R", vec![v("x"), v("x")])];
+        let sols = both(|s| {
+            let mut sols = Vec::new();
+            HomProblem::new(&atoms, &db).with_strategy(s).for_each(|a| {
+                sols.push(a[&Var::new("x")]);
+                ControlFlow::Continue(())
+            });
+            sols.sort();
+            sols
+        });
+        // x must satisfy x % 7 == x and x < 70: exactly 0..7.
+        assert_eq!(sols, (0..7).map(Atom::int).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_first_agrees_with_sequential() {
+        // Big enough to outlast the sequential trial's probe cap: a
+        // negative join instance (no solution) over a few thousand tuples.
+        let tuples: Vec<Vec<i64>> = (0..4000).map(|i| vec![i, i + 1]).collect();
+        let refs: Vec<&[i64]> = tuples.iter().map(|t| t.as_slice()).collect();
+        let db = Database::from_ints(&[("R", &refs)]);
+        // A 3-cycle: impossible in a successor chain.
+        let atoms = vec![
+            QueryAtom::new("R", vec![v("x"), v("y")]),
+            QueryAtom::new("R", vec![v("y"), v("z")]),
+            QueryAtom::new("R", vec![v("z"), v("x")]),
+        ];
+        for s in
+            [CandidateStrategy::Indexed, CandidateStrategy::LinearScan, CandidateStrategy::Bitset]
+        {
+            let seq = HomProblem::new(&atoms, &db).with_strategy(s).with_threads(1).first();
+            let par = HomProblem::new(&atoms, &db).with_strategy(s).with_threads(4).first();
+            assert_eq!(seq.as_ref().map(Option::is_some), par.as_ref().map(Option::is_some));
+            assert_eq!(seq.unwrap(), None, "chain has no 3-cycle");
+        }
+        // Positive case: add one real triangle; the parallel search must
+        // find a witness on it.
+        let mut db2 = db.clone();
+        db2.insert(crate::schema::RelName::new("R"), vec![Atom::int(9000), Atom::int(9001)]);
+        db2.insert(crate::schema::RelName::new("R"), vec![Atom::int(9001), Atom::int(9002)]);
+        db2.insert(crate::schema::RelName::new("R"), vec![Atom::int(9002), Atom::int(9000)]);
+        let par = HomProblem::new(&atoms, &db2).with_threads(4).first().unwrap().unwrap();
+        let x = par[&Var::new("x")];
+        assert!([9000, 9001, 9002].map(Atom::int).contains(&x));
+    }
+
+    #[test]
+    fn parallel_solutions_match_sequential_set() {
+        // Enumeration across threads must yield the same solution set.
+        let tuples: Vec<Vec<i64>> = (0..120).map(|i| vec![i % 12, i]).collect();
+        let refs: Vec<&[i64]> = tuples.iter().map(|t| t.as_slice()).collect();
+        let db = Database::from_ints(&[("R", &refs)]);
+        let atoms = vec![
+            QueryAtom::new("R", vec![v("x"), v("y")]),
+            QueryAtom::new("R", vec![v("y"), v("z")]),
+        ];
+        let normalize = |mut sols: Vec<Assignment>| {
+            let mut keys: Vec<Vec<(Var, Atom)>> = sols
+                .drain(..)
+                .map(|a| {
+                    let mut pairs: Vec<(Var, Atom)> = a.into_iter().collect();
+                    pairs.sort();
+                    pairs
+                })
+                .collect();
+            keys.sort();
+            keys
+        };
+        let seq = normalize(HomProblem::new(&atoms, &db).with_threads(1).solutions().unwrap());
+        let par = normalize(HomProblem::new(&atoms, &db).with_threads(4).solutions().unwrap());
+        assert!(!seq.is_empty());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_first_respects_interrupt_budget() {
+        // A hopeless instance under a small interrupt budget: the parallel
+        // path must return Interrupted, never a verdict.
+        let tuples: Vec<Vec<i64>> = (0..4000).map(|i| vec![i, i + 1]).collect();
+        let refs: Vec<&[i64]> = tuples.iter().map(|t| t.as_slice()).collect();
+        let db = Database::from_ints(&[("R", &refs)]);
+        let atoms = vec![
+            QueryAtom::new("R", vec![v("x"), v("y")]),
+            QueryAtom::new("R", vec![v("y"), v("z")]),
+            QueryAtom::new("R", vec![v("z"), v("x")]),
+        ];
+        // Big enough to outlast the sequential trial's 4096-probe cap, so
+        // the *parallel* phase is what gets interrupted.
+        let _guard = interrupt::install(interrupt::Budget { deadline: None, steps: Some(6000) });
+        let outcome = HomProblem::new(&atoms, &db).with_threads(4).first();
+        assert!(matches!(outcome, Err(SearchOutcome::Interrupted)), "got {outcome:?}");
+        // Sticky on the parent thread after rejoin.
+        assert!(interrupt::probe().is_err());
     }
 }

@@ -32,6 +32,7 @@ pub mod generate;
 pub mod graph;
 pub mod interrupt;
 pub mod order;
+pub mod par;
 pub mod parse;
 pub mod ty;
 pub mod value;

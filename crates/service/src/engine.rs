@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use co_core::{ContainmentAnalysis, CoreError, Equivalence, Prepared};
 use co_cq::Schema;
 use co_lang::{CoqlSchema, EmptySetStatus};
-use co_object::interrupt;
+use co_object::{interrupt, par};
 use co_trace::{kernel, Span};
 
 use crate::cache::{CacheKey, CacheStats, MemoCache};
@@ -44,6 +44,10 @@ pub struct EngineConfig {
     /// input). Deeper input is rejected with a `TOODEEP`-prefixed error
     /// instead of risking a stack overflow in the parser.
     pub max_parse_depth: usize,
+    /// Intra-request kernel threads (`0` = auto: half the machine, capped
+    /// at 8, so kernel fan-out never starves the connection workers).
+    /// Applied process-globally when the engine is built.
+    pub kernel_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +58,7 @@ impl Default for EngineConfig {
             cache_per_shard: 4096,
             workers: cores.clamp(2, 16),
             max_parse_depth: co_lang::parse::DEFAULT_MAX_DEPTH,
+            kernel_threads: 0,
         }
     }
 }
@@ -174,6 +179,10 @@ pub struct Explain {
     /// Kernel step counters attributable to this request (zero when the
     /// verdict came from cache or a coalesced computation).
     pub kernel_steps: kernel::Counters,
+    /// High-water mark of kernel threads engaged while deciding this
+    /// request (`1` for a purely sequential decision, `0` when no kernel
+    /// ran because the verdict came from cache).
+    pub threads_used: usize,
 }
 
 impl Explain {
@@ -305,6 +314,7 @@ pub enum WarmStart {
 impl Engine {
     /// An engine with the given sizing.
     pub fn new(config: EngineConfig) -> Engine {
+        par::set_kernel_threads(config.kernel_threads);
         Engine {
             schemas: RwLock::new(HashMap::new()),
             cache: MemoCache::new(config.cache_shards, config.cache_per_shard),
@@ -538,6 +548,7 @@ impl Engine {
 
         self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
         let steps_before = kernel::snapshot();
+        let _ = par::take_engaged();
         let kernel_span = Span::start();
         let outcome = {
             let _budget_guard = interrupt::install(budget.kernel_budget(deadline));
@@ -547,6 +558,7 @@ impl Engine {
             }))
         };
         let elapsed = kernel_span.elapsed();
+        let engaged = par::take_engaged().max(1);
         // Fold this request's kernel work into the process-wide totals
         // (METRICS) regardless of outcome — timeouts and panics did the
         // steps too — and attribute it to the request when explaining.
@@ -557,6 +569,7 @@ impl Engine {
             ex.kernel_us +=
                 (elapsed.as_nanos().saturating_add(500) / 1_000).min(u64::MAX as u128) as u64;
             ex.kernel_steps.merge(&steps);
+            ex.threads_used = ex.threads_used.max(engaged);
         }
         self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
 
@@ -868,6 +881,7 @@ mod tests {
         assert!(!cached);
         assert!(ex.total_us >= ex.kernel_us);
         assert!(ex.kernel_steps.total() > 0, "a computed decision runs kernels");
+        assert!(ex.threads_used >= 1, "a computed decision engages at least one thread");
         let names: Vec<&str> = ex.phases().iter().map(|(n, _)| *n).collect();
         assert_eq!(names, ["parse", "canonicalize", "fingerprint", "prepare", "cache", "kernel"]);
         // The same request again is a cache hit: no kernel work attributed.

@@ -795,6 +795,7 @@ fn render_explain(verdict: &str, ex: &Explain) -> String {
     for (name, value) in ex.kernel_steps.iter() {
         out.push_str(&format!("explain.kernel.{name} {value}\n"));
     }
+    out.push_str(&format!("explain.kernel.threads_used {}\n", ex.threads_used));
     out.push_str("END");
     out
 }
@@ -1237,6 +1238,7 @@ mod tests {
             assert!(reply.contains(&format!("explain.{phase}_us ")), "missing {phase}: {reply}");
         }
         assert!(reply.contains("explain.kernel.hom_probes "), "{reply}");
+        assert!(reply.contains("explain.kernel.threads_used "), "{reply}");
         // EXPLAIN is meaningless for non-decision verbs.
         let reply = line(&c, "EXPLAIN STATS");
         assert!(reply.starts_with("ERR EXPLAIN"), "{reply}");

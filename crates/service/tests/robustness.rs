@@ -320,3 +320,57 @@ fn shutdown_verb_drains_and_exits_cleanly() {
     let result = server.handle.join().expect("serve thread must not panic");
     assert!(result.is_ok(), "{result:?}");
 }
+
+#[test]
+fn parallel_kernels_respect_budgets_and_join_workers() {
+    // Multi-threaded kernels must still honor deadlines and step budgets:
+    // the budget is sliced across workers through a shared pool, expiry
+    // cancels the whole request, and the scoped pool joins every worker
+    // before the kernel returns — no detached threads can outlive the
+    // decision.
+    let engine = Engine::new(EngineConfig {
+        cache_shards: 2,
+        cache_per_shard: 32,
+        workers: 2,
+        kernel_threads: 4,
+        ..EngineConfig::default()
+    });
+    engine
+        .register_schema("s", co_cq::Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])]));
+    let hard = hard_query(18);
+
+    // Wall-clock deadline on a 2^18-pattern instance.
+    let timed = Request::new(Op::Check, "s", &hard, &hard)
+        .with_budget(RequestBudget::with_timeout(Duration::from_millis(60)));
+    let start = Instant::now();
+    let Decision::TimedOut { .. } = engine.decide(&timed).unwrap() else {
+        panic!("hard instance under a 60ms deadline must time out");
+    };
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "deadline took {:?} to propagate across kernel workers",
+        start.elapsed()
+    );
+
+    // Step budget: the shared pool drains and every worker stops.
+    let starved =
+        Request::new(Op::Check, "s", &hard, &hard).with_budget(RequestBudget::with_steps(5_000));
+    let Decision::TimedOut { .. } = engine.decide(&starved).unwrap() else {
+        panic!("5000-step budget must exhaust on a 2^18-pattern instance");
+    };
+    assert_eq!(engine.stats().timeouts.load(Ordering::Relaxed), 2);
+    assert_eq!(engine.cache_stats().entries, 0, "timeouts must never be memoized");
+
+    // The engine is healthy afterwards: an easy request decides normally
+    // and the interrupted state did not leak into this thread.
+    let easy = Request::new(
+        Op::Check,
+        "s",
+        "select x.B from x in R where x.A = 1",
+        "select x.B from x in R",
+    );
+    let Decision::Containment { analysis, .. } = engine.decide(&easy).unwrap() else {
+        panic!("expected containment decision");
+    };
+    assert!(analysis.holds);
+}

@@ -59,8 +59,8 @@ use std::ops::ControlFlow;
 
 use co_cq::freeze::freeze_atoms_with;
 use co_cq::{Assignment, Database, HomProblem, QueryAtom, SearchOutcome, Term, Var};
-use co_object::interrupt::{self, Interrupted};
-use co_object::{Atom, Field, Value};
+use co_object::interrupt::{self, Interrupted, SharedBudget};
+use co_object::{par, Atom, Field, Value};
 use co_trace::kernel::{self, Metric};
 
 use crate::indexed::IndexedQuery;
@@ -293,6 +293,9 @@ pub struct ContainOptions {
     pub no_empty_sets: bool,
     /// Extra witness copies per child beyond the pigeonhole bound.
     pub extra_witnesses: usize,
+    /// Kernel threads for the emptiness-pattern case split (`0` = use the
+    /// process-global setting, [`co_object::par::kernel_threads`]).
+    pub threads: usize,
 }
 
 /// Decides `∀D: ⟦t1⟧(D) ⊑ ⟦t2⟧(D)` in the Hoare order (Theorem 4.1's
@@ -304,7 +307,11 @@ pub fn tree_contained_in(t1: &QueryTree, t2: &QueryTree) -> bool {
 /// The NP fast path assuming no empty sets ever appear in either result
 /// (the paper's §4 hypothesis under which containment is NP-complete).
 pub fn tree_contained_in_no_empty_sets(t1: &QueryTree, t2: &QueryTree) -> bool {
-    tree_contained_in_with(t1, t2, ContainOptions { no_empty_sets: true, extra_witnesses: 0 })
+    tree_contained_in_with(
+        t1,
+        t2,
+        ContainOptions { no_empty_sets: true, extra_witnesses: 0, threads: 0 },
+    )
 }
 
 /// Containment with explicit options.
@@ -484,109 +491,215 @@ fn covered(
         (0..=all_nonempty).collect()
     };
 
+    let case = PatternCase {
+        ctx1: &ctx1,
+        n1,
+        n2,
+        g0: &g0,
+        child_args1: &child_args1,
+        args2: &args2,
+        matched_children: &matched_children,
+        atom_pairs: &pairs.atoms,
+    };
+    // Each pattern is checked independently, so the 2^m case split can be
+    // partitioned across kernel workers (DESIGN.md §14). Small splits stay
+    // sequential: the spawn cost dwarfs a handful of patterns.
+    let threads = pattern_threads(&ctx1.opts);
+    if threads > 1 && patterns.len() >= PARALLEL_PATTERN_MIN {
+        return check_patterns_parallel(&case, &patterns, threads);
+    }
     for pattern in patterns {
-        // The emptiness patterns are the exponential component of the
-        // procedure (2^m of them), so this loop is a unit of cancellable
-        // work in its own right.
-        kernel::bump(Metric::TreeEmptinessPatterns);
-        interrupt::probe()?;
-        // Assuming the σ-children non-empty may *specialize* the generic
-        // element (their index formals constrain its columns): compute the
-        // induced merge; a rigid clash means no real element has this
-        // pattern, which satisfies it vacuously.
-        let mut pmerge = HashMap::new();
-        let mut impossible = false;
-        for (bit, &(j1, _)) in matched_children.iter().enumerate() {
-            if pattern & (1 << bit) == 0 {
-                continue;
-            }
-            let child = &n1.children[j1].node;
-            if child.query.unsatisfiable {
-                impossible = true; // this child is empty on every database
-                break;
-            }
-            match unify_index(&child.query.index, &child_args1[j1], &ctx1.frozen, &mut pmerge) {
-                Unify::Impossible => {
-                    impossible = true;
-                    break;
-                }
-                Unify::Ok => {}
-            }
-        }
-        if impossible {
-            continue;
-        }
-        let mut ctx2 = ctx1.substituted(&pmerge);
-        let p_child_args: Vec<Vec<Atom>> =
-            child_args1.iter().map(|a| resolve_args(&pmerge, a)).collect();
-        let p_args2 = resolve_args(&pmerge, &args2);
-
-        // Witness copies for children assumed non-empty.
-        for (bit, &(j1, j2)) in matched_children.iter().enumerate() {
-            if pattern & (1 << bit) == 0 {
-                continue;
-            }
-            let link2_vars =
-                n2.children[j2].link.iter().filter(|t| matches!(t, Term::Var(_))).count();
-            let copies = link2_vars + ctx2.opts.extra_witnesses;
-            for _ in 0..copies {
-                kernel::bump(Metric::TreeWitnessCopies);
-                ctx2.instantiate(&n1.children[j1].node, &p_child_args[j1]);
-            }
-        }
-
-        // ∃-side: homomorphisms of n2's body into everything frozen.
-        let value_image = |i: usize| resolve(&pmerge, g0.image(&n1.query.value[i]));
-        let Some(fixed) = target_fixing(n2, &p_args2, &pairs.atoms, &value_image) else {
-            return Ok(false); // no target element can match the atomic columns
-        };
-        let mut pattern_ok = false;
-        // An interruption inside the recursion cannot unwind through the
-        // `for_each` closure, so it is captured here and re-raised after.
-        let mut interrupted = None;
-        let outcome = HomProblem::new(&n2.query.body, &ctx2.db).with_fixed(fixed).for_each(|hom| {
-            // Recurse into matched, non-empty-assumed child pairs.
-            let mut all_children_ok = true;
-            for (bit, &(j1, j2)) in matched_children.iter().enumerate() {
-                if pattern & (1 << bit) == 0 {
-                    continue; // source child assumed empty: {} ⊑ anything
-                }
-                let child2_args: Vec<Atom> =
-                    n2.children[j2].link.iter().map(|t| eval_term(t, hom)).collect();
-                match covered(
-                    &ctx2,
-                    &n1.children[j1].node,
-                    &p_child_args[j1],
-                    &n2.children[j2].node,
-                    &child2_args,
-                ) {
-                    Ok(true) => {}
-                    Ok(false) => {
-                        all_children_ok = false;
-                        break;
-                    }
-                    Err(stop) => {
-                        interrupted = Some(stop);
-                        return ControlFlow::Break(());
-                    }
-                }
-            }
-            if all_children_ok {
-                pattern_ok = true;
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
-            }
-        });
-        if let Some(stop) = interrupted {
-            return Err(stop);
-        }
-        if outcome == SearchOutcome::Interrupted {
-            return Err(Interrupted);
-        }
-        if !pattern_ok {
+        if !check_pattern(&case, pattern)? {
             return Ok(false);
         }
+    }
+    Ok(true)
+}
+
+/// Everything one emptiness-pattern check needs, borrowed from the
+/// enclosing [`covered`] call so patterns can be checked from any thread.
+struct PatternCase<'a> {
+    ctx1: &'a Context,
+    n1: &'a TreeNode,
+    n2: &'a TreeNode,
+    g0: &'a Instantiated,
+    child_args1: &'a [Vec<Atom>],
+    args2: &'a [Atom],
+    matched_children: &'a [(usize, usize)],
+    atom_pairs: &'a [(usize, usize)],
+}
+
+/// Minimum number of emptiness patterns before [`covered`] fans out.
+const PARALLEL_PATTERN_MIN: usize = 32;
+
+/// Threads the pattern loop may use: the per-request override from
+/// [`ContainOptions::threads`], else the process-global setting; always 1
+/// on a pool worker (no nested fan-out).
+fn pattern_threads(opts: &ContainOptions) -> usize {
+    if par::in_worker() {
+        return 1;
+    }
+    if opts.threads != 0 {
+        opts.threads
+    } else {
+        par::effective_threads()
+    }
+}
+
+/// Checks one emptiness pattern: `Ok(true)` if it is satisfied (or
+/// vacuous), `Ok(false)` if it refutes the containment.
+fn check_pattern(case: &PatternCase<'_>, pattern: u32) -> Result<bool, Interrupted> {
+    let PatternCase { ctx1, n1, n2, g0, child_args1, args2, matched_children, atom_pairs } = *case;
+    // The emptiness patterns are the exponential component of the
+    // procedure (2^m of them), so each is a unit of cancellable work in
+    // its own right.
+    kernel::bump(Metric::TreeEmptinessPatterns);
+    interrupt::probe()?;
+    // Assuming the σ-children non-empty may *specialize* the generic
+    // element (their index formals constrain its columns): compute the
+    // induced merge; a rigid clash means no real element has this
+    // pattern, which satisfies it vacuously.
+    let mut pmerge = HashMap::new();
+    for (bit, &(j1, _)) in matched_children.iter().enumerate() {
+        if pattern & (1 << bit) == 0 {
+            continue;
+        }
+        let child = &n1.children[j1].node;
+        if child.query.unsatisfiable {
+            return Ok(true); // this child is empty on every database
+        }
+        match unify_index(&child.query.index, &child_args1[j1], &ctx1.frozen, &mut pmerge) {
+            Unify::Impossible => return Ok(true),
+            Unify::Ok => {}
+        }
+    }
+    let mut ctx2 = ctx1.substituted(&pmerge);
+    let p_child_args: Vec<Vec<Atom>> =
+        child_args1.iter().map(|a| resolve_args(&pmerge, a)).collect();
+    let p_args2 = resolve_args(&pmerge, args2);
+
+    // Witness copies for children assumed non-empty.
+    for (bit, &(j1, j2)) in matched_children.iter().enumerate() {
+        if pattern & (1 << bit) == 0 {
+            continue;
+        }
+        let link2_vars = n2.children[j2].link.iter().filter(|t| matches!(t, Term::Var(_))).count();
+        let copies = link2_vars + ctx2.opts.extra_witnesses;
+        for _ in 0..copies {
+            kernel::bump(Metric::TreeWitnessCopies);
+            ctx2.instantiate(&n1.children[j1].node, &p_child_args[j1]);
+        }
+    }
+
+    // ∃-side: homomorphisms of n2's body into everything frozen.
+    let value_image = |i: usize| resolve(&pmerge, g0.image(&n1.query.value[i]));
+    let Some(fixed) = target_fixing(n2, &p_args2, atom_pairs, &value_image) else {
+        return Ok(false); // no target element can match the atomic columns
+    };
+    let mut pattern_ok = false;
+    // An interruption inside the recursion cannot unwind through the
+    // `for_each` closure, so it is captured here and re-raised after.
+    let mut interrupted = None;
+    let outcome = HomProblem::new(&n2.query.body, &ctx2.db).with_fixed(fixed).for_each(|hom| {
+        // Recurse into matched, non-empty-assumed child pairs.
+        let mut all_children_ok = true;
+        for (bit, &(j1, j2)) in matched_children.iter().enumerate() {
+            if pattern & (1 << bit) == 0 {
+                continue; // source child assumed empty: {} ⊑ anything
+            }
+            let child2_args: Vec<Atom> =
+                n2.children[j2].link.iter().map(|t| eval_term(t, hom)).collect();
+            match covered(
+                &ctx2,
+                &n1.children[j1].node,
+                &p_child_args[j1],
+                &n2.children[j2].node,
+                &child2_args,
+            ) {
+                Ok(true) => {}
+                Ok(false) => {
+                    all_children_ok = false;
+                    break;
+                }
+                Err(stop) => {
+                    interrupted = Some(stop);
+                    return ControlFlow::Break(());
+                }
+            }
+        }
+        if all_children_ok {
+            pattern_ok = true;
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    if let Some(stop) = interrupted {
+        return Err(stop);
+    }
+    if outcome == SearchOutcome::Interrupted {
+        return Err(Interrupted);
+    }
+    Ok(pattern_ok)
+}
+
+/// Partitions `patterns` across a scoped work-stealing pool; the first
+/// refuting pattern cancels the siblings.
+///
+/// Merge discipline: a definite `Ok(false)` wins even if other workers
+/// were interrupted — a refuting pattern is a sound refutation of the
+/// containment regardless of what the siblings were still computing. With
+/// no refutation, any real budget expiry yields `Err(Interrupted)`.
+fn check_patterns_parallel(
+    case: &PatternCase<'_>,
+    patterns: &[u32],
+    threads: usize,
+) -> Result<bool, Interrupted> {
+    let shared = SharedBudget::fork_current();
+    let chunk = (patterns.len() / (threads * 8)).max(1);
+    let (results, stats) = par::run_workers(threads, patterns.len(), chunk, |me, feeder| {
+        let before = kernel::snapshot();
+        let guard = interrupt::install_shared(&shared);
+        let mut verdict: Result<bool, Interrupted> = Ok(true);
+        'chunks: while let Some(range) = feeder.next(me) {
+            for pi in range {
+                match check_pattern(case, patterns[pi]) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        verdict = Ok(false);
+                        feeder.stop();
+                        shared.cancel();
+                        break 'chunks;
+                    }
+                    Err(Interrupted) => {
+                        verdict = Err(Interrupted);
+                        break 'chunks;
+                    }
+                }
+            }
+        }
+        drop(guard);
+        (verdict, kernel::snapshot().delta(&before))
+    });
+    shared.rejoin();
+    par::note_engaged(stats.threads);
+    kernel::bump_by(Metric::KernelParallelBranches, stats.branches);
+    kernel::bump_by(Metric::KernelSteals, stats.steals);
+    let mut refuted = false;
+    let mut interrupted = shared.is_expired();
+    for (verdict, delta) in results {
+        kernel::absorb(&delta);
+        match verdict {
+            Ok(false) => refuted = true,
+            Err(Interrupted) => interrupted = true,
+            Ok(true) => {}
+        }
+    }
+    if refuted {
+        return Ok(false);
+    }
+    if interrupted {
+        return Err(Interrupted);
     }
     Ok(true)
 }
@@ -986,7 +1099,7 @@ pub fn try_tree_strong_contained_in_no_empty_sets(
 ) -> Result<bool, Interrupted> {
     let ctx = Context {
         db: Database::new(),
-        opts: ContainOptions { no_empty_sets: true, extra_witnesses: 0 },
+        opts: ContainOptions { no_empty_sets: true, extra_witnesses: 0, threads: 0 },
         frozen: HashSet::new(),
     };
     covered_strong_dir(&ctx, &t1.root, &[], &t2.root, &[])

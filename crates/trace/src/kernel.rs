@@ -60,6 +60,10 @@ pub enum Metric {
     TreeEmptinessPatterns,
     /// Witness copies instantiated for non-empty-assumed children.
     TreeWitnessCopies,
+    /// Work chunks dispatched to intra-request kernel workers.
+    KernelParallelBranches,
+    /// Work chunks obtained by stealing from a sibling worker's deque.
+    KernelSteals,
 }
 
 /// All metrics, in counter-index order.
@@ -78,10 +82,12 @@ pub const ALL: [Metric; COUNT] = [
     Metric::TreeCoveredCalls,
     Metric::TreeEmptinessPatterns,
     Metric::TreeWitnessCopies,
+    Metric::KernelParallelBranches,
+    Metric::KernelSteals,
 ];
 
 /// Number of kernel metrics.
-pub const COUNT: usize = 14;
+pub const COUNT: usize = 16;
 
 impl Metric {
     /// Stable snake_case name (also a valid Prometheus name fragment).
@@ -101,6 +107,8 @@ impl Metric {
             Metric::TreeCoveredCalls => "tree_covered_calls",
             Metric::TreeEmptinessPatterns => "tree_emptiness_patterns",
             Metric::TreeWitnessCopies => "tree_witness_copies",
+            Metric::KernelParallelBranches => "parallel_branches",
+            Metric::KernelSteals => "steals",
         }
     }
 }
@@ -169,6 +177,18 @@ impl Counters {
     }
 }
 
+/// Folds a delta measured on *another* thread (a joined kernel worker)
+/// into this thread's local counters, so the surrounding request's
+/// snapshot → delta → publish flow sees the workers' effort as its own.
+pub fn absorb(delta: &Counters) {
+    for &m in ALL.iter() {
+        let v = delta.get(m);
+        if v > 0 {
+            bump_by(m, v);
+        }
+    }
+}
+
 /// Snapshot of the current thread's kernel counters.
 pub fn snapshot() -> Counters {
     LOCAL.with(|counts| {
@@ -230,6 +250,17 @@ mod tests {
         for (name, _) in snapshot().iter() {
             assert!(crate::is_valid_metric_name(name), "{name}");
         }
+    }
+
+    #[test]
+    fn absorb_folds_worker_deltas_into_local() {
+        let mut worker_delta = Counters::default();
+        worker_delta.values[Metric::HomProbes as usize] = 5;
+        worker_delta.values[Metric::KernelSteals as usize] = 2;
+        let before = snapshot();
+        absorb(&worker_delta);
+        let delta = snapshot().delta(&before);
+        assert_eq!(delta, worker_delta);
     }
 
     #[test]

@@ -37,21 +37,27 @@ run cargo test -q -p co-lang depth
 run cargo test -q -p co-cq depth
 run cargo test -q -p co-object hostile_depth
 run cargo test -q -p co-service --test robustness hostile_nesting
-# Decision-kernel perf harness (DESIGN.md §9): smoke-run it, validate the
-# smoke report, and strict-check the committed baseline (≥5× floors +
-# 100% verdict agreement).
-run cargo run -p co-bench --release --bin co-bench -- perf --quick --out target/bench-smoke.json
+# Decision-kernel perf harness (DESIGN.md §9, §14): smoke-run it with 2
+# kernel threads, validate the smoke report, and strict-check both
+# committed baselines (≥5× floors + 100% verdict agreement on v1; v2 adds
+# the adaptive small-instance floor, the hard_emptiness parallel floor,
+# and the mixed-load p99 gate).
+run cargo run -p co-bench --release --bin co-bench -- perf --quick --threads 2 --out target/bench-smoke.json
 run cargo run -p co-bench --release --bin co-bench -- check target/bench-smoke.json
 run cargo run -p co-bench --release --bin co-bench -- check BENCH_PR2.json --strict
+run cargo run -p co-bench --release --bin co-bench -- check BENCH_PR7.json --strict
 # Observability gate (DESIGN.md §12): the deterministic kernel
-# conformance suite, the seeded soak test (std-only despite the feature
-# gate), and a live double-scrape of METRICS under load — the exposition
-# must parse and every counter must be monotone non-decreasing.
+# conformance suite — under the default test harness AND serialized
+# (parallel kernels must not depend on test-runner threading) — the
+# seeded soak test (std-only despite the feature gate), and a live
+# double-scrape of METRICS under load — the exposition must parse and
+# every counter must be monotone non-decreasing.
 run cargo test -q --test conformance
+run env RUST_TEST_THREADS=1 cargo test -q --test conformance
 run cargo test -q -p co-service --features slow-tests --test soak
 
 echo "==> live METRICS scrape (parseable exposition, monotone counters)"
-./target/release/coqld --listen 127.0.0.1:0 >target/coqld-verify.log 2>&1 &
+./target/release/coqld --listen 127.0.0.1:0 --kernel-threads 2 >target/coqld-verify.log 2>&1 &
 COQLD_PID=$!
 trap 'kill "$COQLD_PID" 2>/dev/null || true' EXIT
 ADDR=
@@ -94,9 +100,22 @@ counters_of() {
 req "SCHEMA app R(A, B); S(C)" >/dev/null
 req METRICS >target/metrics-1.txt
 grep -q '^# EOF$' target/metrics-1.txt || { echo "scrape 1 missing # EOF"; exit 1; }
+# A many-children pair whose §5 emptiness split has 2^6 = 64 patterns:
+# past the parallel threshold, so the 2-thread server must engage the
+# work-stealing pattern kernel and bump the parallel counters.
+HARD_SUBS=$(for i in 0 1 2 3 4 5; do
+    printf ', g%d: (select y%d.C from y%d in S where y%d.C = x.A and y%d.C = 1)' \
+        "$i" "$i" "$i" "$i" "$i"
+done)
+HARD_Q1="select [a: x.A$HARD_SUBS] from x in R"
+HARD_Q2=$(printf '%s' "$HARD_Q1" | sed 's/ and y[0-9]*\.C = 1//g')
 req "CHECK app select x.B from x in R ;; select x.B from x in R" \
+    "CHECK app $HARD_Q1 ;; $HARD_Q2" \
     "EXPLAIN CHECK app select x.A from x in R where x.B = 1 ;; select y.A from y in R" \
     "EQUIV app select y.C from y in S ;; select z.C from z in S" >/dev/null
+req "EXPLAIN CHECK app $HARD_Q1 ;; $HARD_Q2" >target/explain-hard.txt
+grep -q '^explain\.kernel\.threads_used ' target/explain-hard.txt \
+    || { echo "EXPLAIN missing explain.kernel.threads_used"; exit 1; }
 req METRICS >target/metrics-2.txt
 grep -q '^# EOF$' target/metrics-2.txt || { echo "scrape 2 missing # EOF"; exit 1; }
 kill "$COQLD_PID" 2>/dev/null || true
@@ -116,6 +135,17 @@ awk '
         }
     }' target/counters-1.txt target/counters-2.txt
 grep -q '^coqld_kernel_' target/counters-2.txt || { echo "no kernel counters exposed"; exit 1; }
+# Parallel-kernel counters (DESIGN.md §14): both families must be present
+# in both scrapes (monotonicity is covered by the awk above), and the hard
+# 64-pattern CHECK between the scrapes must have taken the parallel path.
+for family in coqld_kernel_steals_total coqld_kernel_parallel_branches_total; do
+    grep -q "^$family " target/counters-1.txt && grep -q "^$family " target/counters-2.txt \
+        || { echo "missing parallel kernel counter: $family"; exit 1; }
+done
+PB1=$(awk '$1 == "coqld_kernel_parallel_branches_total" {print $2}' target/counters-1.txt)
+PB2=$(awk '$1 == "coqld_kernel_parallel_branches_total" {print $2}' target/counters-2.txt)
+[ "${PB2:-0}" -gt "${PB1:-0}" ] \
+    || { echo "hard CHECK did not engage parallel kernels: branches $PB1 -> $PB2"; exit 1; }
 
 # ---------------------------------------------------------------------------
 # Fleet drill (DESIGN.md §13): 3 coqld shards behind coqld-router, driven by

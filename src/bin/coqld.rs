@@ -32,6 +32,9 @@ options:
                            (default 16)
   --capacity <n>           LRU capacity per shard (default 4096)
   --workers <n>            batch-engine worker threads (default: cores)
+  --kernel-threads <n>     intra-request kernel threads for one hard
+                           decision (0 = auto: half the machine, capped at
+                           8 so the connection pool keeps cores; default 0)
   --max-connections <n>    concurrent connection cap; excess connections are
                            shed with ERR OVERLOADED (default 64)
   --default-timeout-ms <n> default per-request deadline for CHECK/EQUIV;
@@ -133,6 +136,9 @@ fn run(args: &[String]) -> Result<(), (String, u8)> {
                 config.cache_per_shard = parse_num(&value("--capacity")?, "--capacity")?
             }
             "--workers" => config.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--kernel-threads" => {
+                config.kernel_threads = parse_num(&value("--kernel-threads")?, "--kernel-threads")?
+            }
             "--max-connections" => {
                 server.max_connections =
                     parse_num(&value("--max-connections")?, "--max-connections")?
