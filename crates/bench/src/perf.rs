@@ -619,6 +619,20 @@ pub fn check_report(doc: &Json, strict: bool) -> Result<Vec<String>, String> {
         summary
             .push(format!("{name}: {speedup}× median speedup, {agreeing}/{total} verdicts agree"));
     }
+    // The parallel-speedup floors above only bind when the run actually
+    // had threads to parallelize over. Passing strict on a small machine
+    // is then weaker than it looks — say so (still exit 0: a vacuous gate
+    // is not a regression, but the reader must not mistake it for a pass).
+    if strict && v2 && threads < 8 {
+        let skipped = if threads < 2 {
+            "hard_emptiness 3× floor, mixed_p99 tail gate"
+        } else {
+            "hard_emptiness 3× floor"
+        };
+        summary.push(format!(
+            "WARN: thread-gated floors vacuous (threads: {threads}; skipped: {skipped})"
+        ));
+    }
     Ok(summary)
 }
 
@@ -660,6 +674,37 @@ mod tests {
         // Any verdict disagreement must always fail.
         patch_first_workload(&mut report, "verdicts_agreeing", Json::num(0.0));
         assert!(check_report(&report, false).is_err());
+    }
+
+    /// Minimal well-formed perf-v2 report with the given thread count.
+    fn synthetic_v2(threads: usize) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"co-bench/perf-v2","threads":{threads},"workloads":[
+                {{"name":"join_heavy","median_speedup":6.0,"verdicts_total":1,
+                  "verdicts_agreeing":1,"cases":[
+                    {{"label":"x","old_us":100,"new_us":10,"speedup":6.0,
+                      "old_p95_us":1,"new_p95_us":1,"old_p99_us":2,
+                      "new_p99_us":1,"verdicts_agree":true}}]}}]}}"#
+        ))
+        .expect("synthetic report parses")
+    }
+
+    #[test]
+    fn strict_check_warns_when_thread_gates_are_vacuous() {
+        // One thread: both the hard_emptiness floor and the mixed_p99 tail
+        // gate are vacuous — strict still passes (exit 0) but says so.
+        let summary = check_report(&synthetic_v2(1), true).unwrap();
+        assert!(
+            summary.iter().any(|l| l.starts_with("WARN: thread-gated floors vacuous (threads: 1")),
+            "{summary:?}"
+        );
+        // Two threads: the tail gate binds, only the 3× floor is vacuous.
+        let summary = check_report(&synthetic_v2(2), true).unwrap();
+        let warn = summary.iter().find(|l| l.starts_with("WARN:")).expect("warn line");
+        assert!(warn.contains("hard_emptiness") && !warn.contains("mixed_p99"), "{warn}");
+        // Fully threaded runs and non-strict checks carry no warning.
+        assert!(check_report(&synthetic_v2(8), true).unwrap().iter().all(|l| !l.contains("WARN")));
+        assert!(check_report(&synthetic_v2(1), false).unwrap().iter().all(|l| !l.contains("WARN")));
     }
 
     #[test]

@@ -181,29 +181,189 @@ pub fn contained_in(
     contained_prepared(&p1, &p2)
 }
 
+/// The decision path [`contained_prepared`] will take for this pair,
+/// derivable from the preparations alone (type shapes and conservative
+/// empty-set statuses) without running any decision.
+///
+/// Certificate consumers use this to avoid trusting a *claimed* path: a
+/// cached entry, a snapshot record, or a remote server reply asserts a
+/// path, and the checker re-derives the expected one from the queries
+/// themselves before validating the evidence against it.
+pub fn expected_path(p1: &Prepared, p2: &Prepared) -> DecisionPath {
+    let no_empty =
+        p1.empty_status == EmptySetStatus::Free && p2.empty_status == EmptySetStatus::Free;
+    let flat = p1.ty.is_flat_relation() && p2.ty.is_flat_relation();
+    if flat {
+        DecisionPath::FlatClassical
+    } else if no_empty {
+        DecisionPath::NoEmptySets
+    } else {
+        DecisionPath::Full
+    }
+}
+
 /// Containment on pre-flattened queries (lets callers amortize preparation).
 pub fn contained_prepared(p1: &Prepared, p2: &Prepared) -> Result<ContainmentAnalysis, CoreError> {
     if p1.ty.lub(&p2.ty).is_none() {
         return Err(CoreError::TypeMismatch(Box::new((p1.ty.clone(), p2.ty.clone()))));
     }
     let depth = p1.ty.set_depth().max(p2.ty.set_depth());
-
-    let no_empty =
-        p1.empty_status == EmptySetStatus::Free && p2.empty_status == EmptySetStatus::Free;
-    let flat = p1.ty.is_flat_relation() && p2.ty.is_flat_relation();
-    let path = if flat {
-        DecisionPath::FlatClassical
-    } else if no_empty {
-        DecisionPath::NoEmptySets
-    } else {
-        DecisionPath::Full
-    };
+    let path = expected_path(p1, p2);
     // Flat results never nest sets, so the no-empty-set options are exact
     // for them too; both fast paths collapse to the same call.
-    let opts = ContainOptions { no_empty_sets: flat || no_empty, extra_witnesses: 0, threads: 0 };
+    let opts = ContainOptions {
+        no_empty_sets: path != DecisionPath::Full,
+        extra_witnesses: 0,
+        threads: 0,
+    };
     let holds =
         try_tree_contained_in_with(&p1.tree, &p2.tree, opts).map_err(|_| CoreError::Interrupted)?;
     Ok(ContainmentAnalysis { holds, path, depth, set_nodes: (p1.set_nodes, p2.set_nodes) })
+}
+
+/// The wire-level certificate path tag for a [`DecisionPath`].
+pub fn cert_path(path: DecisionPath) -> co_cert::CertPath {
+    match path {
+        DecisionPath::FlatClassical => co_cert::CertPath::Flat,
+        DecisionPath::NoEmptySets => co_cert::CertPath::NoEmpty,
+        DecisionPath::Full => co_cert::CertPath::Full,
+    }
+}
+
+/// Why certificate emission failed even though a verdict exists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertifyError {
+    /// No certificate could be constructed for this verdict — e.g. the
+    /// kernels disagree on re-examination (a genuine bug surfacing) or no
+    /// canonical counterexample materializes the refutation. The verdict
+    /// itself is unaffected; the serving layer reports the certificate as
+    /// unavailable.
+    Unavailable(String),
+    /// Certificate construction hit the installed step/deadline budget.
+    Interrupted,
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertifyError::Unavailable(m) => write!(f, "certificate unavailable: {m}"),
+            CertifyError::Interrupted => {
+                write!(f, "certificate construction interrupted: budget exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+/// Root-copy counts of the canonical family searched for counterexample
+/// certificates — a superset of the checker's own family, so refutations
+/// the checker would find are also found here.
+const CERTIFY_ROOT_COPIES: [usize; 3] = [1, 2, 3];
+const CERTIFY_CHILD_COPIES: [usize; 4] = [1, 0, 2, 3];
+
+/// Constructs an independently checkable certificate for an
+/// already-computed verdict (`analysis` from [`contained_prepared`] on the
+/// same pair).
+///
+/// Positive flat verdicts re-derive the Chandra–Merlin mapping; positive
+/// nested verdicts emit the payload-free `Canonical` kind (the checker
+/// re-derives the witness family itself); negative verdicts re-run the
+/// tree walk for the refuted emptiness pattern and search the canonical
+/// instantiation family for a concrete refuting database.
+pub fn certify_prepared(
+    p1: &Prepared,
+    p2: &Prepared,
+    analysis: &ContainmentAnalysis,
+) -> Result<co_cert::Cert, CertifyError> {
+    let path = expected_path(p1, p2);
+    let cpath = cert_path(path);
+    if analysis.holds {
+        if p1.tree.root.query.unsatisfiable {
+            return Ok(co_cert::Cert {
+                holds: true,
+                path: cpath,
+                kind: co_cert::Certificate::TriviallyEmpty,
+            });
+        }
+        if path == DecisionPath::FlatClassical {
+            let Some((q1, q2)) = co_sim::flat_cq_pair(&p1.tree, &p2.tree) else {
+                return Err(CertifyError::Unavailable(
+                    "flat templates do not align; no CQ pair to map".into(),
+                ));
+            };
+            return match co_cq::contained_in(&q1, &q2) {
+                Some(co_cq::Certificate::TriviallyEmpty) => Ok(co_cert::Cert {
+                    holds: true,
+                    path: cpath,
+                    kind: co_cert::Certificate::TriviallyEmpty,
+                }),
+                Some(co_cq::Certificate::Mapping(m)) => {
+                    // Re-express φ in canonical positional names: the raw
+                    // mapping speaks this process's gensym names, which an
+                    // independent checker's own flattening won't share.
+                    let r1 = co_cert::canonical_renaming(&q1);
+                    let r2 = co_cert::canonical_renaming(&q2);
+                    let outside = |v: &co_cq::Var, t: &co_cq::Term| {
+                        CertifyError::Unavailable(format!(
+                            "mapping entry `{v} -> {t}` falls outside the flat CQ pair"
+                        ))
+                    };
+                    let mut map = std::collections::HashMap::new();
+                    for (v, t) in &m.map {
+                        let cv = *r2.get(v).ok_or_else(|| outside(v, t))?;
+                        let ct = match t {
+                            co_cq::Term::Var(w) => {
+                                co_cq::Term::Var(*r1.get(w).ok_or_else(|| outside(v, t))?)
+                            }
+                            co_cq::Term::Const(_) => *t,
+                        };
+                        map.insert(cv, ct);
+                    }
+                    Ok(co_cert::Cert {
+                        holds: true,
+                        path: cpath,
+                        kind: co_cert::Certificate::Mapping(map),
+                    })
+                }
+                None => Err(CertifyError::Unavailable(
+                    "flat kernels disagree: tree walk holds, classical search finds no mapping"
+                        .into(),
+                )),
+            };
+        }
+        Ok(co_cert::Cert { holds: true, path: cpath, kind: co_cert::Certificate::Canonical })
+    } else {
+        let opts = ContainOptions {
+            no_empty_sets: path != DecisionPath::Full,
+            extra_witnesses: 0,
+            threads: 0,
+        };
+        let verdict = co_sim::try_tree_containment_verdict(&p1.tree, &p2.tree, opts)
+            .map_err(|_| CertifyError::Interrupted)?;
+        if verdict.holds {
+            return Err(CertifyError::Unavailable(
+                "kernel verdict is not stable across re-runs".into(),
+            ));
+        }
+        let require_empty_free = path == DecisionPath::NoEmptySets;
+        match co_sim::search_tree_counterexample_among(
+            &p1.tree,
+            &p2.tree,
+            &CERTIFY_ROOT_COPIES,
+            &CERTIFY_CHILD_COPIES,
+            require_empty_free,
+        ) {
+            Some(db) => Ok(co_cert::Cert {
+                holds: false,
+                path: cpath,
+                kind: co_cert::Certificate::Counterexample { db, pattern: verdict.refuted_pattern },
+            }),
+            None => Err(CertifyError::Unavailable(
+                "no canonical counterexample materializes the refutation".into(),
+            )),
+        }
+    }
 }
 
 /// Decides weak equivalence: `Q1 ⊑ Q2` and `Q2 ⊑ Q1`.

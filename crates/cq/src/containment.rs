@@ -27,6 +27,18 @@ pub enum Certificate {
     Mapping(ContainmentMapping),
 }
 
+impl Certificate {
+    /// Verifies this certificate witnesses `q1 ⊑ q2` without re-running
+    /// the hom search: `TriviallyEmpty` requires `q1` to actually be
+    /// unsatisfiable, a mapping is re-checked syntactically.
+    pub fn verify(&self, q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+        match self {
+            Certificate::TriviallyEmpty => q1.unsatisfiable,
+            Certificate::Mapping(m) => !q2.unsatisfiable && m.verify(q1, q2),
+        }
+    }
+}
+
 /// A containment mapping `φ : vars(Q2) → terms(Q1)` witnessing `Q1 ⊑ Q2`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ContainmentMapping {

@@ -233,15 +233,14 @@ mod tests {
     #[test]
     fn stats_parsing_tolerates_unknown_keys() {
         let lines: Vec<String> = [
-            "decisions 42",
-            "uptime_seconds 77",
-            "build.format_version 1",
-            "build.fingerprint_version 1",
-            "cache.entries 9",
-            "some.future.key x",
+            "decisions 42".to_string(),
+            "uptime_seconds 77".to_string(),
+            format!("build.format_version {FORMAT_VERSION}"),
+            format!("build.fingerprint_version {FINGERPRINT_VERSION}"),
+            "cache.entries 9".to_string(),
+            "some.future.key x".to_string(),
         ]
-        .iter()
-        .map(|s| s.to_string())
+        .into_iter()
         .collect();
         let r = parse_stats(&lines);
         assert_eq!(r.uptime, 77);

@@ -262,6 +262,7 @@ impl Router {
         original: &str,
         rest: &str,
         explain: bool,
+        cert: bool,
         timeout_ms: Option<u64>,
     ) -> Result<String, String> {
         let route_span = Span::start();
@@ -306,7 +307,7 @@ impl Router {
             if attempts > 1 {
                 self.stats.retries.fetch_add(1, Ordering::Relaxed);
             }
-            match self.try_forward(shard, original, explain, reply_wait) {
+            match self.try_forward(shard, original, explain || cert, reply_wait) {
                 ForwardOutcome::Answered(mut reply) => {
                     self.stats.routed.fetch_add(1, Ordering::Relaxed);
                     shard.forwarded.fetch_add(1, Ordering::Relaxed);
@@ -337,12 +338,14 @@ impl Router {
     }
 
     /// One forward attempt against one shard, including the
-    /// reused-connection redial and the unknown-schema heal.
+    /// reused-connection redial and the unknown-schema heal. `multiline`
+    /// means the shard answers an `END`-terminated body on `OK`
+    /// (`EXPLAIN` and/or `CERT`).
     fn try_forward(
         &self,
         shard: &Arc<ShardState>,
         line: &str,
-        explain: bool,
+        multiline: bool,
         reply_wait: Option<Duration>,
     ) -> ForwardOutcome {
         let mut redialed = false;
@@ -352,7 +355,7 @@ impl Router {
                 Checkout::Exhausted | Checkout::ConnectFailed(_) => return ForwardOutcome::Shed,
             };
             let reused = pooled.reused();
-            match self.exchange(&mut pooled, line, explain, reply_wait) {
+            match self.exchange(&mut pooled, line, multiline, reply_wait) {
                 Ok(Exchange::Reply(reply)) => {
                     pooled.put_back();
                     return ForwardOutcome::Answered(reply);
@@ -390,12 +393,15 @@ impl Router {
     }
 
     /// Sends the line and reads the complete reply (multi-line under
-    /// `EXPLAIN`-on-OK, rejoined with `\n` and `END` kept).
+    /// `EXPLAIN`/`CERT`-on-OK, rejoined with `\n` and `END` kept).
+    /// Certificate blocks pass through byte-for-byte — the router never
+    /// parses or re-signs them, so a client's `co-cert` check covers the
+    /// whole path back to the shard that computed the verdict.
     fn exchange(
         &self,
         pooled: &mut PooledConn,
         line: &str,
-        explain: bool,
+        multiline: bool,
         reply_wait: Option<Duration>,
     ) -> io::Result<Exchange> {
         let conn = pooled.conn();
@@ -408,7 +414,7 @@ impl Router {
         if first.starts_with("ERR unknown schema") {
             return Ok(Exchange::UnknownSchema);
         }
-        if explain && first.starts_with("OK") {
+        if multiline && first.starts_with("OK") {
             let mut reply = first;
             for l in conn.read_until("END")? {
                 reply.push('\n');
@@ -659,13 +665,13 @@ impl Router {
         if raw.is_empty() || raw.starts_with('#') {
             return Reply::None;
         }
-        let (timeout_ms, explain, line) = match scan_prefixes(raw) {
+        let (timeout_ms, explain, cert, line) = match scan_prefixes(raw) {
             Ok(parsed) => parsed,
             Err(message) => return Reply::Line(format!("ERR {message}")),
         };
         if line.is_empty() {
             return Reply::Line(
-                "ERR usage: [EXPLAIN] [TIMEOUT <ms>] [BUDGET <steps>] <command ...>".into(),
+                "ERR usage: [CERT] [EXPLAIN] [TIMEOUT <ms>] [BUDGET <steps>] <command ...>".into(),
             );
         }
         let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
@@ -674,8 +680,11 @@ impl Router {
         if explain && cmd != "CHECK" && cmd != "EQUIV" {
             return Reply::Line("ERR EXPLAIN applies only to CHECK and EQUIV".into());
         }
+        if cert && cmd != "CHECK" && cmd != "EQUIV" {
+            return Reply::Line("ERR CERT applies only to CHECK and EQUIV".into());
+        }
         let result = match cmd.as_str() {
-            "CHECK" | "EQUIV" => self.forward_decision(raw, rest, explain, timeout_ms),
+            "CHECK" | "EQUIV" => self.forward_decision(raw, rest, explain, cert, timeout_ms),
             "FINGERPRINT" => self.fingerprint_local(rest),
             "SCHEMA" => split_head(rest, "SCHEMA <name> <decl>").and_then(|(name, decl)| {
                 self.register_schema(name, decl).map(|(fp, relations, acked, total)| {
@@ -813,13 +822,15 @@ fn push_snapshot(joiner: &ShardState, bytes: &[u8]) -> Result<u64, String> {
     Ok(imported)
 }
 
-/// Extracts `TIMEOUT <ms>` / `BUDGET <steps>` / `EXPLAIN` prefixes
-/// without consuming them from the forwarded line: the router needs the
-/// timeout (to bound its reply wait) and the explain flag (to splice its
-/// phases in), the shard re-parses the originals itself.
-fn scan_prefixes(line: &str) -> Result<(Option<u64>, bool, &str), String> {
+/// Extracts `TIMEOUT <ms>` / `BUDGET <steps>` / `EXPLAIN` / `CERT`
+/// prefixes without consuming them from the forwarded line: the router
+/// needs the timeout (to bound its reply wait) and the explain/cert flags
+/// (to read the shard's multi-line reply and splice its phases in), the
+/// shard re-parses the originals itself.
+fn scan_prefixes(line: &str) -> Result<(Option<u64>, bool, bool, &str), String> {
     let mut timeout = None;
     let mut explain = false;
+    let mut cert = false;
     let mut rest = line;
     loop {
         let (head, tail) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
@@ -829,8 +840,13 @@ fn scan_prefixes(line: &str) -> Result<(Option<u64>, bool, &str), String> {
             rest = tail.trim_start();
             continue;
         }
+        if upper == "CERT" {
+            cert = true;
+            rest = tail.trim_start();
+            continue;
+        }
         if upper != "TIMEOUT" && upper != "BUDGET" {
-            return Ok((timeout, explain, rest));
+            return Ok((timeout, explain, cert, rest));
         }
         let tail = tail.trim_start();
         let (value, after) = tail.split_once(char::is_whitespace).unwrap_or((tail, ""));
@@ -1001,13 +1017,15 @@ mod tests {
 
     #[test]
     fn prefix_scan_mirrors_the_shard_parser() {
-        let (t, e, rest) = scan_prefixes("TIMEOUT 250 BUDGET 9 CHECK s a ;; b").unwrap();
+        let (t, e, c, rest) = scan_prefixes("TIMEOUT 250 BUDGET 9 CHECK s a ;; b").unwrap();
         assert_eq!(t, Some(250));
         assert!(!e);
+        assert!(!c);
         assert_eq!(rest, "CHECK s a ;; b");
-        let (t, e, rest) = scan_prefixes("EXPLAIN TIMEOUT 0 CHECK s a ;; b").unwrap();
+        let (t, e, c, rest) = scan_prefixes("CERT EXPLAIN TIMEOUT 0 CHECK s a ;; b").unwrap();
         assert_eq!(t, None);
         assert!(e);
+        assert!(c);
         assert_eq!(rest, "CHECK s a ;; b");
         assert!(scan_prefixes("TIMEOUT nope CHECK").is_err());
     }

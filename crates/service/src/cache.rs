@@ -1,7 +1,10 @@
 //! A sharded, bounded memo cache for containment verdicts.
 //!
 //! Keys are `(fp(q1), fp(q2), fp(schema))` canonical-fingerprint triples;
-//! values are full [`ContainmentAnalysis`] results. The map is split into
+//! values are [`CacheEntry`]s: a full [`ContainmentAnalysis`] plus,
+//! optionally, the verdict's wire-serialized certificate (kept when the
+//! entry was computed under `CERT`, so later certified requests and
+//! snapshot exports can reuse it). The map is split into
 //! `N` shards, each an independent `RwLock`-protected LRU, so concurrent
 //! readers/writers only contend when their keys land in the same shard.
 //! Everything is `std`-only: the LRU list is an intrusive doubly-linked
@@ -26,6 +29,18 @@ pub struct CacheKey {
     pub schema: Fingerprint,
 }
 
+/// A cached verdict plus, optionally, its wire-serialized certificate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The memoized analysis.
+    pub analysis: ContainmentAnalysis,
+    /// The verdict's certificate in `co-cert` wire form, when one was
+    /// constructed. Certificates loaded from snapshots or handoffs are
+    /// *untrusted* until re-checked (see the engine's reject-and-recompute
+    /// path and the `persist.cert_rejected` counter).
+    pub cert: Option<String>,
+}
+
 impl CacheKey {
     /// A well-mixed 64-bit digest used for shard selection.
     fn shard_hash(&self) -> u64 {
@@ -45,7 +60,7 @@ const NIL: usize = usize::MAX;
 
 struct Node {
     key: CacheKey,
-    value: ContainmentAnalysis,
+    value: CacheEntry,
     prev: usize,
     next: usize,
 }
@@ -98,7 +113,7 @@ impl Shard {
         }
     }
 
-    fn get(&mut self, key: &CacheKey) -> Option<ContainmentAnalysis> {
+    fn get(&mut self, key: &CacheKey) -> Option<CacheEntry> {
         let idx = *self.map.get(key)?;
         self.unlink(idx);
         self.push_front(idx);
@@ -107,7 +122,7 @@ impl Shard {
 
     /// Inserts (or refreshes) an entry; returns `true` if an old entry was
     /// evicted to make room.
-    fn insert(&mut self, key: CacheKey, value: ContainmentAnalysis) -> bool {
+    fn insert(&mut self, key: CacheKey, value: CacheEntry) -> bool {
         if let Some(&idx) = self.map.get(&key) {
             self.slab[idx].value = value;
             self.unlink(idx);
@@ -193,7 +208,7 @@ impl MemoCache {
     }
 
     /// Looks up a verdict, refreshing its recency. Counts a hit or a miss.
-    pub fn get(&self, key: &CacheKey) -> Option<ContainmentAnalysis> {
+    pub fn get(&self, key: &CacheKey) -> Option<CacheEntry> {
         // The LRU list moves on every hit, so even lookups take the write
         // lock; sharding keeps the critical section per-key-group.
         let found = crate::sync::write(self.shard(key)).get(key);
@@ -210,7 +225,7 @@ impl MemoCache {
     }
 
     /// Stores a verdict (refreshing recency if the key is already present).
-    pub fn insert(&self, key: CacheKey, value: ContainmentAnalysis) {
+    pub fn insert(&self, key: CacheKey, value: CacheEntry) {
         let evicted = crate::sync::write(self.shard(&key)).insert(key, value);
         if evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -248,7 +263,7 @@ impl MemoCache {
     /// order. Each shard is locked only while it is being walked; the
     /// export is a consistent view per shard, not across shards (good
     /// enough for a cache, where an entry's absence is always safe).
-    pub fn export(&self) -> Vec<(CacheKey, ContainmentAnalysis)> {
+    pub fn export(&self) -> Vec<(CacheKey, CacheEntry)> {
         let mut out = Vec::new();
         for shard in &self.shards {
             let shard = crate::sync::read(shard);
@@ -264,7 +279,7 @@ impl MemoCache {
     /// Inserts recovered entries without touching the hit/miss counters
     /// (a warm start is not a workload). Returns how many entries the
     /// cache retained — fewer than offered when they exceed capacity.
-    pub fn preload(&self, entries: Vec<(CacheKey, ContainmentAnalysis)>) -> usize {
+    pub fn preload(&self, entries: Vec<(CacheKey, CacheEntry)>) -> usize {
         let offered = entries.len();
         let mut dropped = 0;
         for (key, value) in entries {
@@ -285,8 +300,16 @@ mod tests {
         CacheKey { q1: Fingerprint(i), q2: Fingerprint(i.wrapping_mul(7)), schema: Fingerprint(42) }
     }
 
-    fn verdict(holds: bool) -> ContainmentAnalysis {
-        ContainmentAnalysis { holds, path: DecisionPath::Full, depth: 1, set_nodes: (1, 1) }
+    fn verdict(holds: bool) -> CacheEntry {
+        CacheEntry {
+            analysis: ContainmentAnalysis {
+                holds,
+                path: DecisionPath::Full,
+                depth: 1,
+                set_nodes: (1, 1),
+            },
+            cert: None,
+        }
     }
 
     #[test]
@@ -310,7 +333,7 @@ mod tests {
         cache.insert(key(2), verdict(true));
         cache.insert(key(1), verdict(false)); // refresh, not a new entry
         assert_eq!(cache.stats().evictions, 0);
-        assert!(!cache.get(&key(1)).unwrap().holds);
+        assert!(!cache.get(&key(1)).unwrap().analysis.holds);
         cache.insert(key(3), verdict(true)); // now 2 is LRU
         assert!(cache.get(&key(2)).is_none());
     }
@@ -335,7 +358,7 @@ mod tests {
         let warm = MemoCache::new(1, 8);
         assert_eq!(warm.preload(exported), 4);
         for i in 0..4 {
-            assert_eq!(warm.get(&key(i)).unwrap().holds, i % 2 == 0);
+            assert_eq!(warm.get(&key(i)).unwrap().analysis.holds, i % 2 == 0);
         }
         // Preload itself must not count as workload hits/misses.
         assert_eq!(warm.stats().hits, 4);

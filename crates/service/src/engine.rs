@@ -23,7 +23,7 @@ use co_lang::{CoqlSchema, EmptySetStatus};
 use co_object::{interrupt, par};
 use co_trace::{kernel, Span};
 
-use crate::cache::{CacheKey, CacheStats, MemoCache};
+use crate::cache::{CacheEntry, CacheKey, CacheStats, MemoCache};
 use crate::deadline::{Deadline, RequestBudget};
 use crate::faults;
 use crate::fingerprint::{fingerprint_query, fingerprint_schema, Fingerprint};
@@ -85,6 +85,10 @@ pub struct Request {
     pub q2: String,
     /// Deadline/step limits for this request (none by default).
     pub budget: RequestBudget,
+    /// Demand a proof-carrying verdict (the `CERT` protocol prefix): the
+    /// decision must come with a certificate, and a cached certificate is
+    /// re-checked by `co-cert` before being served.
+    pub cert: bool,
 }
 
 impl Request {
@@ -96,12 +100,19 @@ impl Request {
             q1: q1.to_string(),
             q2: q2.to_string(),
             budget: RequestBudget::default(),
+            cert: false,
         }
     }
 
     /// Sets the request budget.
     pub fn with_budget(mut self, budget: RequestBudget) -> Request {
         self.budget = budget;
+        self
+    }
+
+    /// Demands a certified verdict.
+    pub fn with_cert(mut self, cert: bool) -> Request {
+        self.cert = cert;
         self
     }
 }
@@ -121,6 +132,10 @@ pub enum Decision {
         fp1: Fingerprint,
         /// Canonical fingerprint of `q2`.
         fp2: Fingerprint,
+        /// The verdict's certificate in `co-cert` wire form. Present
+        /// exactly when the request asked for one ([`Request::cert`]);
+        /// cached certificates have been re-checked before landing here.
+        cert: Option<String>,
     },
     /// Answer to an [`Op::Equiv`] request.
     Equivalence {
@@ -136,6 +151,11 @@ pub enum Decision {
         fp1: Fingerprint,
         /// Canonical fingerprint of `q2`.
         fp2: Fingerprint,
+        /// Certificate for the forward direction (`q1 ⊑ q2`), present
+        /// exactly when the request asked for one.
+        cert_forward: Option<String>,
+        /// Certificate for the backward direction (`q2 ⊑ q1`).
+        cert_backward: Option<String>,
     },
     /// The request's deadline or step budget expired before a verdict was
     /// reached. Nothing was memoized; retrying with a larger budget
@@ -216,12 +236,26 @@ struct SchemaEntry {
     fp: Fingerprint,
 }
 
-/// What one containment direction produced: a real analysis or a timeout.
-/// (Timeouts propagate to coalesced waiters but are never cached.)
+/// What one containment direction produced: a real cache entry (analysis
+/// plus any certificate) or a timeout. (Timeouts propagate to coalesced
+/// waiters but are never cached.)
 #[derive(Clone)]
 enum Computed {
-    Done(ContainmentAnalysis),
+    Done(CacheEntry),
     TimedOut,
+}
+
+/// What one certificate-construction attempt produced.
+enum CertAttempt {
+    /// No certificate was asked for.
+    Skipped,
+    /// A certificate, already in wire form.
+    Made(String),
+    /// The budget/deadline expired inside the certifier.
+    Interrupted,
+    /// The verdict stands but no certificate could be constructed
+    /// (surfaced to the client as `ERR CERTUNAVAILABLE`).
+    Unavailable(String),
 }
 
 type SlotResult = Result<Computed, String>;
@@ -367,7 +401,7 @@ impl Engine {
         match snapshot::load_snapshot(path) {
             LoadOutcome::Missing => WarmStart::Cold,
             LoadOutcome::Loaded(entries) => {
-                let kept = self.cache.preload(entries);
+                let kept = self.cache.preload(self.screen_recovered(entries));
                 self.stats.recovered_entries.fetch_add(kept as u64, Ordering::Relaxed);
                 WarmStart::Recovered(kept)
             }
@@ -405,7 +439,7 @@ impl Engine {
         match snapshot::decode_snapshot(bytes) {
             Ok(entries) => {
                 let total = entries.len();
-                let kept = self.cache.preload(entries);
+                let kept = self.cache.preload(self.screen_recovered(entries));
                 self.stats.recovered_entries.fetch_add(kept as u64, Ordering::Relaxed);
                 Ok((kept, total))
             }
@@ -414,6 +448,34 @@ impl Engine {
                 Err(reason)
             }
         }
+    }
+
+    /// Structurally screens recovered entries before they enter the cache:
+    /// every certificate must parse and agree with its own record's cached
+    /// verdict and decision path. A disagreeing entry is dropped whole
+    /// (and [`EngineStats::cert_rejected`] ticks) — a certificate that
+    /// contradicts the record it travels with means the writer was buggy
+    /// or hostile, so the bare verdict is not to be trusted either. The
+    /// full semantic re-check against the live queries happens on the
+    /// first `CERT` hit, when the prepared trees exist.
+    fn screen_recovered(
+        &self,
+        entries: Vec<(CacheKey, CacheEntry)>,
+    ) -> Vec<(CacheKey, CacheEntry)> {
+        entries
+            .into_iter()
+            .filter(|(_, entry)| {
+                let Some(wire) = &entry.cert else { return true };
+                let consistent = co_cert::Cert::parse(wire).is_ok_and(|cert| {
+                    cert.holds == entry.analysis.holds
+                        && cert.path == co_core::cert_path(entry.analysis.path)
+                });
+                if !consistent {
+                    self.stats.cert_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                consistent
+            })
+            .collect()
     }
 
     /// Registers (or replaces) a schema under `name`; returns its
@@ -499,6 +561,82 @@ impl Engine {
         Ok(fingerprint_query(&nf))
     }
 
+    /// Runs the certifier under the request budget inside the same
+    /// panic-isolation boundary as the decision kernels.
+    fn certify_guarded(
+        &self,
+        p1: &Prepared,
+        p2: &Prepared,
+        analysis: &ContainmentAnalysis,
+        budget: &RequestBudget,
+        deadline: Option<Deadline>,
+    ) -> CertAttempt {
+        let outcome = {
+            let _budget_guard = interrupt::install(budget.kernel_budget(deadline));
+            catch_unwind(AssertUnwindSafe(|| co_core::certify_prepared(p1, p2, analysis)))
+        };
+        match outcome {
+            Ok(Ok(cert)) => CertAttempt::Made(cert.to_wire()),
+            Ok(Err(co_core::CertifyError::Interrupted)) => CertAttempt::Interrupted,
+            Ok(Err(co_core::CertifyError::Unavailable(m))) => CertAttempt::Unavailable(m),
+            Err(payload) => {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                CertAttempt::Unavailable(format!(
+                    "certificate construction panicked: {}",
+                    panic_message(&*payload)
+                ))
+            }
+        }
+    }
+
+    /// Serves a cache hit to a request that demands a certificate.
+    ///
+    /// An entry that carries a certificate is re-checked with `co-cert`
+    /// against the *live* prepared queries before being served — the
+    /// trust boundary for entries that arrived via snapshot or handoff.
+    /// A failed re-check drops nothing silently: the `cert_rejected`
+    /// counter ticks and `None` is returned so the caller recomputes. An
+    /// entry without a certificate gets one built now (under this
+    /// request's budget) and written back.
+    fn certified_hit(
+        &self,
+        key: CacheKey,
+        p1: &Prepared,
+        p2: &Prepared,
+        hit: CacheEntry,
+        budget: &RequestBudget,
+        deadline: Option<Deadline>,
+    ) -> Option<Result<(Computed, bool), String>> {
+        match &hit.cert {
+            Some(wire) => {
+                let expected = co_core::cert_path(co_core::expected_path(p1, p2));
+                let verified = co_cert::Cert::parse(wire).and_then(|cert| {
+                    cert.check_against(&p1.tree, &p2.tree, hit.analysis.holds, expected)
+                });
+                match verified {
+                    Ok(()) => Some(Ok((Computed::Done(hit), true))),
+                    Err(_) => {
+                        self.stats.cert_rejected.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                }
+            }
+            None => match self.certify_guarded(p1, p2, &hit.analysis, budget, deadline) {
+                CertAttempt::Made(wire) => {
+                    let entry = CacheEntry { analysis: hit.analysis, cert: Some(wire) };
+                    self.cache.insert(key, entry.clone());
+                    Some(Ok((Computed::Done(entry), true)))
+                }
+                CertAttempt::Interrupted => {
+                    self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    Some(Ok((Computed::TimedOut, true)))
+                }
+                CertAttempt::Unavailable(m) => Some(Err(format!("CERTUNAVAILABLE {m}"))),
+                CertAttempt::Skipped => Some(Ok((Computed::Done(hit), true))),
+            },
+        }
+    }
+
     /// One direction of containment through cache + in-flight coalescing.
     /// Returns what was produced and whether it was served without
     /// computing.
@@ -508,6 +646,13 @@ impl Engine {
     /// `Computed::TimedOut` (counted, never cached), a panic yields a
     /// structured error (counted, slot completed) — neither can strand
     /// coalesced waiters or poison shared state.
+    ///
+    /// With `want_cert`, the verdict must come back proof-carrying: a
+    /// cached certificate is independently re-checked before being served
+    /// (reject-and-recompute on mismatch), a certificate-less hit gets one
+    /// built under this request's budget, and a fresh computation certifies
+    /// inside the same budget window as the decision itself.
+    #[allow(clippy::too_many_arguments)]
     fn contained(
         &self,
         key: CacheKey,
@@ -515,14 +660,24 @@ impl Engine {
         p2: &Prepared,
         budget: &RequestBudget,
         deadline: Option<Deadline>,
+        want_cert: bool,
         mut ex: Option<&mut Explain>,
     ) -> Result<(Computed, bool), String> {
         let cache_span = Span::start();
         if let Some(hit) = self.cache.get(&key) {
-            if let Some(ex) = ex {
-                ex.cache_us += cache_span.elapsed_us();
+            let served = if want_cert {
+                self.certified_hit(key, p1, p2, hit, budget, deadline)
+            } else {
+                Some(Ok((Computed::Done(hit), true)))
+            };
+            if let Some(result) = served {
+                if let Some(ex) = ex {
+                    ex.cache_us += cache_span.elapsed_us();
+                }
+                return result;
             }
-            return Ok((Computed::Done(hit), true));
+            // A poisoned certificate was rejected: fall through and
+            // recompute as if the entry never existed.
         }
         let slot = {
             let mut inflight = sync::lock(&self.inflight);
@@ -532,10 +687,31 @@ impl Engine {
                 let result = self.wait_for_leader(&slot, deadline);
                 // Coalesced waits count as cache time: the verdict arrives
                 // without this request running a kernel.
-                if let Some(ex) = ex {
+                if let Some(ex) = ex.as_deref_mut() {
                     ex.cache_us += cache_span.elapsed_us();
                 }
-                return result;
+                // A waiter that wants a certificate may have coalesced
+                // behind a leader that wasn't asked for one; build it
+                // here under this request's own budget.
+                return match result {
+                    Ok((Computed::Done(entry), cached)) if want_cert && entry.cert.is_none() => {
+                        match self.certify_guarded(p1, p2, &entry.analysis, budget, deadline) {
+                            CertAttempt::Made(wire) => {
+                                let entry =
+                                    CacheEntry { analysis: entry.analysis, cert: Some(wire) };
+                                self.cache.insert(key, entry.clone());
+                                Ok((Computed::Done(entry), cached))
+                            }
+                            CertAttempt::Interrupted => {
+                                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                                Ok((Computed::TimedOut, cached))
+                            }
+                            CertAttempt::Unavailable(m) => Err(format!("CERTUNAVAILABLE {m}")),
+                            CertAttempt::Skipped => Ok((Computed::Done(entry), cached)),
+                        }
+                    }
+                    other => other,
+                };
             }
             let slot = Arc::new(InFlightSlot { result: Mutex::new(None), ready: Condvar::new() });
             inflight.insert(key, Arc::clone(&slot));
@@ -550,11 +726,24 @@ impl Engine {
         let steps_before = kernel::snapshot();
         let _ = par::take_engaged();
         let kernel_span = Span::start();
+        // Decide and (when asked) certify inside one budget installation,
+        // so the step/deadline budget covers the whole proof-carrying
+        // answer, and inside one panic boundary.
         let outcome = {
             let _budget_guard = interrupt::install(budget.kernel_budget(deadline));
             catch_unwind(AssertUnwindSafe(|| {
                 faults::kernel_entry();
-                co_core::contained_prepared(p1, p2)
+                let analysis = co_core::contained_prepared(p1, p2)?;
+                let cert = if want_cert {
+                    match co_core::certify_prepared(p1, p2, &analysis) {
+                        Ok(cert) => CertAttempt::Made(cert.to_wire()),
+                        Err(co_core::CertifyError::Interrupted) => CertAttempt::Interrupted,
+                        Err(co_core::CertifyError::Unavailable(m)) => CertAttempt::Unavailable(m),
+                    }
+                } else {
+                    CertAttempt::Skipped
+                };
+                Ok::<_, CoreError>((analysis, cert))
             }))
         };
         let elapsed = kernel_span.elapsed();
@@ -576,28 +765,48 @@ impl Engine {
         // Memoization + waiter release are cache work too; without this
         // the leader path leaves the insert/publish tail unattributed.
         let memo_span = Span::start();
-        let result: SlotResult = match outcome {
-            Ok(Ok(analysis)) => {
-                self.cache.insert(key, analysis.clone());
+        let (result, my_result): (SlotResult, Result<(Computed, bool), String>) = match outcome {
+            Ok(Ok((analysis, cert_attempt))) => {
+                let cert = match &cert_attempt {
+                    CertAttempt::Made(wire) => Some(wire.clone()),
+                    _ => None,
+                };
+                let entry = CacheEntry { analysis: analysis.clone(), cert };
+                self.cache.insert(key, entry.clone());
                 self.stats.computed.fetch_add(1, Ordering::Relaxed);
                 self.stats.path_latency[path_index(analysis.path)].record(elapsed);
-                Ok(Computed::Done(analysis))
+                // The analysis is valid whatever became of the certificate,
+                // so waiters always get the verdict; only *this* request
+                // carries the certificate failure.
+                let mine = match cert_attempt {
+                    CertAttempt::Interrupted => {
+                        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        Ok((Computed::TimedOut, false))
+                    }
+                    CertAttempt::Unavailable(m) => Err(format!("CERTUNAVAILABLE {m}")),
+                    CertAttempt::Made(_) | CertAttempt::Skipped => {
+                        Ok((Computed::Done(entry.clone()), false))
+                    }
+                };
+                (Ok(Computed::Done(entry)), mine)
             }
             Ok(Err(CoreError::Interrupted)) => {
                 self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                Ok(Computed::TimedOut)
+                (Ok(Computed::TimedOut), Ok((Computed::TimedOut, false)))
             }
-            Ok(Err(e)) => Err(e.to_string()),
+            Ok(Err(e)) => (Err(e.to_string()), Err(e.to_string())),
             Err(payload) => {
                 self.stats.panics.fetch_add(1, Ordering::Relaxed);
-                Err(format!("internal error: decision panicked: {}", panic_message(&*payload)))
+                let msg =
+                    format!("internal error: decision panicked: {}", panic_message(&*payload));
+                (Err(msg.clone()), Err(msg))
             }
         };
-        slot_guard.publish(result.clone());
+        slot_guard.publish(result);
         if let Some(ex) = ex {
             ex.cache_us += memo_span.elapsed_us();
         }
-        result.map(|computed| (computed, false))
+        my_result
     }
 
     /// Blocks on another request's in-flight computation of the same key.
@@ -664,31 +873,47 @@ impl Engine {
         let (fp1, p1) = self.analyze(&entry, &request.q1, ex.as_deref_mut())?;
         let (fp2, p2) = self.analyze(&entry, &request.q2, ex.as_deref_mut())?;
         let fwd_key = CacheKey { q1: fp1, q2: fp2, schema: entry.fp };
+        let want_cert = request.cert;
         match request.op {
-            Op::Check => match self.contained(fwd_key, &p1, &p2, &request.budget, deadline, ex)? {
-                (Computed::Done(analysis), cached) => {
-                    Ok(Decision::Containment { analysis, cached, fp1, fp2 })
+            Op::Check => {
+                match self.contained(fwd_key, &p1, &p2, &request.budget, deadline, want_cert, ex)? {
+                    (Computed::Done(entry), cached) => Ok(Decision::Containment {
+                        analysis: entry.analysis,
+                        cached,
+                        fp1,
+                        fp2,
+                        cert: if want_cert { entry.cert } else { None },
+                    }),
+                    (Computed::TimedOut, _) => timed_out(fp1, fp2),
                 }
-                (Computed::TimedOut, _) => timed_out(fp1, fp2),
-            },
+            }
             Op::Equiv => {
                 let bwd_key = CacheKey { q1: fp2, q2: fp1, schema: entry.fp };
-                let (fwd, c1) = match self.contained(
+                let (fwd_entry, c1) = match self.contained(
                     fwd_key,
                     &p1,
                     &p2,
                     &request.budget,
                     deadline,
+                    want_cert,
                     ex.as_deref_mut(),
                 )? {
-                    (Computed::Done(a), cached) => (a, cached),
+                    (Computed::Done(e), cached) => (e, cached),
                     (Computed::TimedOut, _) => return timed_out(fp1, fp2),
                 };
-                let (bwd, c2) =
-                    match self.contained(bwd_key, &p2, &p1, &request.budget, deadline, ex)? {
-                        (Computed::Done(a), cached) => (a, cached),
-                        (Computed::TimedOut, _) => return timed_out(fp1, fp2),
-                    };
+                let (bwd_entry, c2) = match self.contained(
+                    bwd_key,
+                    &p2,
+                    &p1,
+                    &request.budget,
+                    deadline,
+                    want_cert,
+                    ex,
+                )? {
+                    (Computed::Done(e), cached) => (e, cached),
+                    (Computed::TimedOut, _) => return timed_out(fp1, fp2),
+                };
+                let (fwd, bwd) = (fwd_entry.analysis, bwd_entry.analysis);
                 let verdict = if !(fwd.holds && bwd.holds) {
                     Equivalence::NotEquivalent
                 } else {
@@ -708,6 +933,8 @@ impl Engine {
                     cached: c1 && c2,
                     fp1,
                     fp2,
+                    cert_forward: if want_cert { fwd_entry.cert } else { None },
+                    cert_backward: if want_cert { bwd_entry.cert } else { None },
                 })
             }
         }

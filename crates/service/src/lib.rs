@@ -77,7 +77,7 @@ pub mod snapshot;
 pub mod stats;
 mod sync;
 
-pub use cache::{CacheKey, CacheStats, MemoCache};
+pub use cache::{CacheEntry, CacheKey, CacheStats, MemoCache};
 pub use deadline::{Deadline, RequestBudget};
 pub use engine::{Decision, Engine, EngineConfig, Explain, Op, Request, WarmStart};
 pub use fingerprint::{

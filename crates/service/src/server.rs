@@ -34,6 +34,17 @@
 //! followed by `explain.*` phase timings and kernel step counts,
 //! terminated by `END`.
 //!
+//! A `CERT` prefix (combinable with `EXPLAIN` and the budget prefixes)
+//! demands a proof-carrying verdict: the reply is the usual verdict
+//! line, any `explain.*` lines, then one `COCERT1 … COCERTEND` block per
+//! containment direction (one for `CHECK`, forward then backward for
+//! `EQUIV`), terminated by `END`. The certificate is checkable by
+//! `co-cert` (or `coqlc cert`) without trusting this server. A cached
+//! certificate is re-checked server-side before being served; one that
+//! fails re-check is discarded and the verdict recomputed (counted in
+//! `persist.cert_rejected`). When a verdict stands but no certificate
+//! can be constructed the reply is `ERR CERTUNAVAILABLE …`.
+//!
 //! Replies start `OK` or `ERR`. Degradation is graceful by design:
 //!
 //! * connections beyond [`ServerConfig::max_connections`] are shed
@@ -556,16 +567,18 @@ enum Reply {
     Shutdown,
 }
 
-/// Strips leading `TIMEOUT <ms>` / `BUDGET <steps>` / `EXPLAIN` prefixes
-/// off a request line (`0` clears the corresponding limit), starting from
-/// the server's default timeout. Returns the budget, whether the request
-/// asked for an `EXPLAIN` breakdown, and the remaining command.
+/// Strips leading `TIMEOUT <ms>` / `BUDGET <steps>` / `EXPLAIN` / `CERT`
+/// prefixes off a request line (`0` clears the corresponding limit),
+/// starting from the server's default timeout. Returns the budget,
+/// whether the request asked for an `EXPLAIN` breakdown, whether it asked
+/// for a certified (`CERT`) verdict, and the remaining command.
 fn parse_budget_prefix(
     line: &str,
     default_timeout: Option<Duration>,
-) -> Result<(RequestBudget, bool, &str), String> {
+) -> Result<(RequestBudget, bool, bool, &str), String> {
     let mut budget = RequestBudget { timeout: default_timeout, steps: None };
     let mut explain = false;
+    let mut cert = false;
     let mut rest = line;
     loop {
         let (head, tail) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
@@ -575,8 +588,13 @@ fn parse_budget_prefix(
             rest = tail.trim_start();
             continue;
         }
+        if upper == "CERT" {
+            cert = true;
+            rest = tail.trim_start();
+            continue;
+        }
         if upper != "TIMEOUT" && upper != "BUDGET" {
-            return Ok((budget, explain, rest));
+            return Ok((budget, explain, cert, rest));
         }
         let tail = tail.trim_start();
         let (value, after) = tail.split_once(char::is_whitespace).unwrap_or((tail, ""));
@@ -597,13 +615,14 @@ fn handle_line(line: &str, ctx: &ServerCtx, conn: &mut ConnState) -> Reply {
     if line.is_empty() || line.starts_with('#') {
         return Reply::None;
     }
-    let (budget, explain, line) = match parse_budget_prefix(line, ctx.config.default_timeout) {
+    let (budget, explain, cert, line) = match parse_budget_prefix(line, ctx.config.default_timeout)
+    {
         Ok(parsed) => parsed,
         Err(message) => return Reply::Line(format!("ERR {message}")),
     };
     if line.is_empty() {
         return Reply::Line(
-            "ERR usage: [EXPLAIN] [TIMEOUT <ms>] [BUDGET <steps>] <command ...>".into(),
+            "ERR usage: [CERT] [EXPLAIN] [TIMEOUT <ms>] [BUDGET <steps>] <command ...>".into(),
         );
     }
     let engine = &ctx.engine;
@@ -613,12 +632,15 @@ fn handle_line(line: &str, ctx: &ServerCtx, conn: &mut ConnState) -> Reply {
     if explain && cmd != "CHECK" && cmd != "EQUIV" {
         return Reply::Line("ERR EXPLAIN applies only to CHECK and EQUIV".into());
     }
+    if cert && cmd != "CHECK" && cmd != "EQUIV" {
+        return Reply::Line("ERR CERT applies only to CHECK and EQUIV".into());
+    }
     let result = match cmd.as_str() {
         "CHECK" => pair_request(Op::Check, rest)
-            .map(|r| r.with_budget(budget))
+            .map(|r| r.with_budget(budget).with_cert(cert))
             .and_then(|r| run(engine, &r, explain)),
         "EQUIV" => pair_request(Op::Equiv, rest)
-            .map(|r| r.with_budget(budget))
+            .map(|r| r.with_budget(budget).with_cert(cert))
             .and_then(|r| run(engine, &r, explain)),
         "FINGERPRINT" => split_head(rest, "FINGERPRINT <schema> <query>")
             .and_then(|(schema, query)| engine.fingerprint(schema, query))
@@ -772,22 +794,40 @@ fn pair_request(op: Op, rest: &str) -> Result<Request, String> {
 }
 
 fn run(engine: &Engine, request: &Request, explain: bool) -> Result<String, String> {
-    if !explain {
-        return render_decision(engine.decide(request)?);
+    if !explain && !request.cert {
+        return render_decision(&engine.decide(request)?);
     }
-    let (decision, ex) = engine.decide_explained(request)?;
+    let (decision, ex) = if explain {
+        engine.decide_explained(request)?
+    } else {
+        (engine.decide(request)?, Explain::default())
+    };
     // A timed-out decision renders as a single ERR line even under
-    // EXPLAIN; phase attribution of an abandoned request would mislead.
-    let verdict = render_decision(decision)?;
-    Ok(render_explain(&verdict, &ex))
+    // EXPLAIN/CERT; phase attribution of an abandoned request would
+    // mislead, and there is no verdict to certify.
+    let verdict = render_decision(&decision)?;
+    let mut out = String::new();
+    out.push_str(&verdict);
+    out.push('\n');
+    if explain {
+        render_explain(&mut out, &ex);
+    }
+    if request.cert {
+        for wire in decision_certs(&decision)? {
+            // `to_wire` ends with "COCERTEND\n"; the block is
+            // self-delimiting, so emit it verbatim minus the final newline
+            // (the joiner below restores line structure).
+            out.push_str(wire.trim_end());
+            out.push('\n');
+        }
+    }
+    out.push_str("END");
+    Ok(out)
 }
 
-/// The `EXPLAIN` payload: the verdict line, `explain.*` phase timings and
-/// kernel step counts, terminated by `END`.
-fn render_explain(verdict: &str, ex: &Explain) -> String {
-    let mut out = String::new();
-    out.push_str(verdict);
-    out.push('\n');
+/// Appends the `EXPLAIN` body: `explain.*` phase timings and kernel step
+/// counts (the caller emits the verdict line and the `END` terminator).
+fn render_explain(out: &mut String, ex: &Explain) {
     for (name, us) in ex.phases() {
         out.push_str(&format!("explain.{name}_us {us}\n"));
     }
@@ -796,17 +836,32 @@ fn render_explain(verdict: &str, ex: &Explain) -> String {
         out.push_str(&format!("explain.kernel.{name} {value}\n"));
     }
     out.push_str(&format!("explain.kernel.threads_used {}\n", ex.threads_used));
-    out.push_str("END");
-    out
 }
 
-fn render_decision(decision: Decision) -> Result<String, String> {
+/// The certificate blocks a `CERT` reply carries: one for `CHECK`,
+/// forward then backward for `EQUIV`. The engine attaches certificates to
+/// every non-timed-out decision of a `cert` request, so a missing one here
+/// is a bug — surfaced as `CERTUNAVAILABLE` rather than a bare verdict the
+/// client would mistake for a certified one.
+fn decision_certs(decision: &Decision) -> Result<Vec<&str>, String> {
+    let missing = || "CERTUNAVAILABLE verdict carried no certificate (server bug)".to_string();
     match decision {
-        Decision::Containment { analysis, cached, fp1, fp2 } => Ok(format!(
+        Decision::Containment { cert, .. } => Ok(vec![cert.as_deref().ok_or_else(missing)?]),
+        Decision::Equivalence { cert_forward, cert_backward, .. } => Ok(vec![
+            cert_forward.as_deref().ok_or_else(missing)?,
+            cert_backward.as_deref().ok_or_else(missing)?,
+        ]),
+        Decision::TimedOut { .. } => Err(missing()),
+    }
+}
+
+fn render_decision(decision: &Decision) -> Result<String, String> {
+    match decision {
+        Decision::Containment { analysis, cached, fp1, fp2, .. } => Ok(format!(
             "OK holds={} path={} cached={} fp1={fp1} fp2={fp2}",
             analysis.holds, analysis.path, cached
         )),
-        Decision::Equivalence { forward, backward, verdict, cached, fp1, fp2 } => {
+        Decision::Equivalence { forward, backward, verdict, cached, fp1, fp2, .. } => {
             let verdict = match verdict {
                 co_core::Equivalence::Equivalent => "equivalent",
                 co_core::Equivalence::NotEquivalent => "not-equivalent",
@@ -870,6 +925,7 @@ fn render_stats(ctx: &ServerCtx) -> String {
     put("persist.snapshots_written", stats.snapshots_written.load(Ordering::Relaxed).to_string());
     put("persist.snapshot_failures", stats.snapshot_failures.load(Ordering::Relaxed).to_string());
     put("persist.quarantined", stats.quarantined.load(Ordering::Relaxed).to_string());
+    put("persist.cert_rejected", stats.cert_rejected.load(Ordering::Relaxed).to_string());
     let age = engine.snapshot_age_ms().map(|ms| ms.to_string());
     put("persist.snapshot_age_ms", age.unwrap_or_else(|| "-1".to_string()));
     for (i, hist) in stats.path_latency.iter().enumerate() {
@@ -1062,6 +1118,12 @@ fn render_metrics(ctx: &ServerCtx) -> String {
         "Snapshots rejected at load and moved aside",
         load(&stats.quarantined),
     );
+    put_counter(
+        out,
+        "coqld_persist_cert_rejected_total",
+        "Cached certificates rejected by the co-cert re-check",
+        load(&stats.cert_rejected),
+    );
     let age = engine.snapshot_age_ms().map(|ms| ms as i64).unwrap_or(-1);
     put_gauge(
         out,
@@ -1194,22 +1256,24 @@ mod tests {
 
     #[test]
     fn budget_prefixes_parse_and_apply() {
-        let (budget, explain, rest) =
+        let (budget, explain, cert, rest) =
             parse_budget_prefix("TIMEOUT 250 BUDGET 9 CHECK s a ;; b", None).unwrap();
         assert_eq!(budget.timeout, Some(Duration::from_millis(250)));
         assert_eq!(budget.steps, Some(9));
         assert!(!explain);
+        assert!(!cert);
         assert_eq!(rest, "CHECK s a ;; b");
         // 0 clears the server default.
-        let (budget, _, rest) =
+        let (budget, _, _, rest) =
             parse_budget_prefix("TIMEOUT 0 STATS", Some(Duration::from_secs(1))).unwrap();
         assert_eq!(budget.timeout, None);
         assert_eq!(rest, "STATS");
-        // EXPLAIN combines with the budget prefixes in any order.
-        let (budget, explain, rest) =
-            parse_budget_prefix("TIMEOUT 250 EXPLAIN CHECK s a ;; b", None).unwrap();
+        // EXPLAIN and CERT combine with the budget prefixes in any order.
+        let (budget, explain, cert, rest) =
+            parse_budget_prefix("CERT TIMEOUT 250 EXPLAIN CHECK s a ;; b", None).unwrap();
         assert_eq!(budget.timeout, Some(Duration::from_millis(250)));
         assert!(explain);
+        assert!(cert);
         assert_eq!(rest, "CHECK s a ;; b");
         // A 1-step budget trips before any verdict: ERR DEADLINE, and the
         // non-verdict is not memoized (the retry computes the real one).
@@ -1242,6 +1306,87 @@ mod tests {
         // EXPLAIN is meaningless for non-decision verbs.
         let reply = line(&c, "EXPLAIN STATS");
         assert!(reply.starts_with("ERR EXPLAIN"), "{reply}");
+    }
+
+    #[test]
+    fn cert_prefix_attaches_checkable_certificates() {
+        let c = ctx();
+        line(&c, "SCHEMA s R(A,B); S(C)");
+        let q = "CERT CHECK s select x.B from x in R where x.A = 1 ;; select x.B from x in R";
+        let reply = line(&c, q);
+        assert!(reply.starts_with("OK holds=true"), "{reply}");
+        assert!(reply.ends_with("\nEND"), "{reply}");
+        let body = reply.split_once('\n').unwrap().1.strip_suffix("END").unwrap();
+        let cert = co_cert::Cert::parse(body).unwrap();
+        assert!(cert.holds);
+        // A refuted verdict carries a counterexample certificate.
+        let reply = line(&c, "CERT CHECK s select x.B from x in R ;; select y.C from y in S");
+        assert!(reply.starts_with("OK holds=false"), "{reply}");
+        let body = reply.split_once('\n').unwrap().1.strip_suffix("END").unwrap();
+        let cert = co_cert::Cert::parse(body).unwrap();
+        assert!(!cert.holds);
+        // EQUIV emits the forward block, then the backward block.
+        let reply =
+            line(&c, "CERT EQUIV s select [a: x.A] from x in R ;; select [a: y.A] from y in R");
+        assert!(reply.contains("verdict=equivalent"), "{reply}");
+        let body = reply.split_once('\n').unwrap().1.strip_suffix("END").unwrap();
+        let (fwd, rest) = co_cert::Cert::parse_prefix(body).unwrap();
+        let (bwd, rest) = co_cert::Cert::parse_prefix(rest).unwrap();
+        assert!(rest.trim().is_empty(), "{rest}");
+        assert!(fwd.holds && bwd.holds);
+        // A repeat CHECK hits the cache; the cached certificate passes the
+        // server-side re-check and is served again.
+        let reply = line(&c, q);
+        assert!(reply.contains("cached=true"), "{reply}");
+        assert!(reply.contains("COCERT1"), "{reply}");
+        let stats = line(&c, "STATS");
+        assert!(stats.contains("persist.cert_rejected 0"), "{stats}");
+        // CERT composes with EXPLAIN: explain.* lines, then the block.
+        let reply = line(&c, format!("EXPLAIN {q}").as_str());
+        assert!(reply.contains("explain.total_us "), "{reply}");
+        assert!(reply.contains("COCERT1"), "{reply}");
+        assert!(reply.ends_with("\nEND"), "{reply}");
+        // CERT is meaningless for non-decision verbs.
+        let reply = line(&c, "CERT STATS");
+        assert!(reply.starts_with("ERR CERT applies only"), "{reply}");
+    }
+
+    #[test]
+    fn poisoned_import_certificate_is_dropped_and_recomputed() {
+        let mut open = ctx();
+        open.config.allow_handoff = true;
+        line(&open, "SCHEMA s R(A,B)");
+        let q = "CERT CHECK s select x.B from x in R where x.A = 1 ;; select x.B from x in R";
+        assert!(line(&open, q).starts_with("OK holds=true"));
+        // Forge a snapshot whose cached verdict contradicts the
+        // certificate it carries (as a buggy or hostile writer would).
+        let (bytes, entries) = open.engine.export_snapshot_bytes();
+        assert_eq!(entries, 1);
+        let mut entries = crate::snapshot::decode_snapshot(&bytes).unwrap();
+        assert!(entries[0].1.cert.is_some(), "CERT CHECK must cache its certificate");
+        entries[0].1.analysis.holds = !entries[0].1.analysis.holds;
+        let forged = crate::snapshot::encode_snapshot(&entries);
+        // Push it into a fresh shard: the CRC-valid payload is accepted,
+        // but the screening drops the contradictory entry whole.
+        let mut fresh = ctx();
+        fresh.config.allow_handoff = true;
+        line(&fresh, "SCHEMA s R(A,B)");
+        let mut conn = ConnState::default();
+        handle_line(&format!("SNAPBEGIN {}", forged.len()), &fresh, &mut conn);
+        handle_line(&format!("SNAPDATA {}", to_hex(&forged)), &fresh, &mut conn);
+        let Reply::Line(commit) = handle_line("SNAPCOMMIT", &fresh, &mut conn) else {
+            panic!("expected line")
+        };
+        assert_eq!(commit, "OK imported=0 entries=1", "{commit}");
+        let stats = line(&fresh, "STATS");
+        assert!(stats.contains("persist.cert_rejected 1"), "{stats}");
+        // The poisoned verdict was never cached: the next CERT request
+        // recomputes and serves a certificate that checks out.
+        let reply = line(&fresh, q);
+        assert!(reply.starts_with("OK holds=true"), "{reply}");
+        assert!(reply.contains("cached=false"), "{reply}");
+        let body = reply.split_once('\n').unwrap().1.strip_suffix("END").unwrap();
+        assert!(co_cert::Cert::parse(body).unwrap().holds);
     }
 
     #[test]

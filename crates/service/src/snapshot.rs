@@ -1,7 +1,7 @@
 //! Crash-safe snapshot persistence for the memo cache.
 //!
 //! A snapshot is a single binary file holding the cache's
-//! `(key, verdict)` pairs, written with the classic atomic-publication
+//! `(key, entry)` pairs, written with the classic atomic-publication
 //! dance: serialize to `<path>.tmp`, `fsync` the file, `rename` over
 //! `<path>`, `fsync` the directory. A reader therefore sees either the
 //! previous complete snapshot or the new complete snapshot — never a
@@ -17,7 +17,7 @@
 //!   12  fingerprint ver  u32  fingerprint::FINGERPRINT_VERSION
 //!   16  entry count      u64
 //!   24  header CRC-32    u32  over bytes 0..24
-//! record (78 bytes, entry count times)
+//! record (version 2: 82 + cert_len bytes, entry count times)
 //!   0   fp(q1)           u128
 //!   16  fp(q2)           u128
 //!   32  fp(schema)       u128
@@ -26,8 +26,15 @@
 //!   50  depth            u64
 //!   58  set_nodes.0      u64
 //!   66  set_nodes.1      u64
-//!   74  record CRC-32    u32  over bytes 0..74
+//!   74  cert_len         u32  0 when the entry carries no certificate
+//!   78  cert             cert_len bytes of co-cert wire text (UTF-8)
+//!   78+n record CRC-32   u32  over bytes 0..78+cert_len
 //! ```
+//!
+//! Version 1 records (written by pre-certificate builds) are the same
+//! fixed prefix without the `cert_len`/`cert` fields: 74 payload bytes +
+//! CRC = 78 bytes, decoded with `cert = None`. Writers always emit
+//! version 2.
 //!
 //! ## Trust model
 //!
@@ -41,6 +48,13 @@
 //! [`crate::fingerprint::FINGERPRINT_VERSION`] invalidates old
 //! snapshots by construction.
 //!
+//! Certificates ride along as opaque text here: the CRC proves the bytes
+//! survived the disk or the wire, **not** that the certificate is honest.
+//! A snapshot written by a buggy (or hostile) peer can pair a verdict
+//! with a certificate that doesn't prove it; the engine re-checks every
+//! recovered certificate with `co-cert` before trusting the entry and
+//! drops mismatches (counted by `persist.cert_rejected`).
+//!
 //! Timed-out decisions are never memoized (see [`crate::engine`]), so by
 //! construction they are never snapshotted either; a snapshot only ever
 //! contains definite verdicts.
@@ -51,7 +65,7 @@ use std::path::{Path, PathBuf};
 
 use co_core::{ContainmentAnalysis, DecisionPath};
 
-use crate::cache::CacheKey;
+use crate::cache::{CacheEntry, CacheKey};
 use crate::faults;
 use crate::fingerprint::{Fingerprint, FINGERPRINT_VERSION};
 use crate::stats::path_index;
@@ -60,10 +74,20 @@ use crate::stats::path_index;
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"COQLSNP1";
 
 /// Bump on any change to the record layout below.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 28;
-const RECORD_LEN: usize = 78;
+/// The fixed (pre-certificate) record payload shared by both versions.
+const FIXED_LEN: usize = 74;
+/// Full record length in the version-1 layout: fixed payload + CRC.
+const V1_RECORD_LEN: usize = 78;
+/// Minimum record length in the version-2 layout: fixed payload +
+/// `cert_len` + empty certificate + CRC.
+const V2_MIN_RECORD_LEN: usize = 82;
+/// Upper bound on a single serialized certificate. Far above anything the
+/// certifier produces; exists so a corrupt `cert_len` fails fast instead
+/// of driving a huge allocation before the CRC check.
+const MAX_CERT_LEN: usize = 1 << 24;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
 /// Hand-rolled table-driven implementation: the workspace is `std`-only
@@ -98,8 +122,9 @@ const fn crc32_table() -> [u32; 256] {
 pub enum LoadOutcome {
     /// No snapshot file exists: a normal cold start.
     Missing,
-    /// The snapshot verified end to end; every entry is safe to serve.
-    Loaded(Vec<(CacheKey, ContainmentAnalysis)>),
+    /// The snapshot verified end to end; every entry is structurally safe
+    /// to serve (certificates still need the engine's semantic re-check).
+    Loaded(Vec<(CacheKey, CacheEntry)>),
     /// The file failed verification (or could not be read) and was
     /// quarantined; the caller must start cold.
     Quarantined {
@@ -113,16 +138,17 @@ pub enum LoadOutcome {
 /// Serializes `entries` into the `COQLSNP1` byte format — the exact bytes
 /// [`write_snapshot`] publishes to disk, also usable as a wire payload for
 /// warm shard handoff (hex-framed by the `SNAPEXPORT`/`SNAPDATA` verbs).
-pub fn encode_snapshot(entries: &[(CacheKey, ContainmentAnalysis)]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(HEADER_LEN + entries.len() * RECORD_LEN);
+pub fn encode_snapshot(entries: &[(CacheKey, CacheEntry)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + entries.len() * V2_MIN_RECORD_LEN);
     buf.extend_from_slice(&SNAPSHOT_MAGIC);
     buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     buf.extend_from_slice(&FINGERPRINT_VERSION.to_le_bytes());
     buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
     let header_crc = crc32(&buf);
     buf.extend_from_slice(&header_crc.to_le_bytes());
-    for (key, analysis) in entries {
+    for (key, entry) in entries {
         let start = buf.len();
+        let analysis = &entry.analysis;
         buf.extend_from_slice(&key.q1.0.to_le_bytes());
         buf.extend_from_slice(&key.q2.0.to_le_bytes());
         buf.extend_from_slice(&key.schema.0.to_le_bytes());
@@ -131,6 +157,9 @@ pub fn encode_snapshot(entries: &[(CacheKey, ContainmentAnalysis)]) -> Vec<u8> {
         buf.extend_from_slice(&(analysis.depth as u64).to_le_bytes());
         buf.extend_from_slice(&(analysis.set_nodes.0 as u64).to_le_bytes());
         buf.extend_from_slice(&(analysis.set_nodes.1 as u64).to_le_bytes());
+        let cert = entry.cert.as_deref().unwrap_or("");
+        buf.extend_from_slice(&(cert.len() as u32).to_le_bytes());
+        buf.extend_from_slice(cert.as_bytes());
         let record_crc = crc32(&buf[start..]);
         buf.extend_from_slice(&record_crc.to_le_bytes());
     }
@@ -141,7 +170,8 @@ pub fn encode_snapshot(entries: &[(CacheKey, ContainmentAnalysis)]) -> Vec<u8> {
 /// of [`encode_snapshot`], all-or-nothing. Any mismatch — magic, either
 /// version, entry count vs. length, any CRC, any out-of-range field —
 /// rejects the whole payload; no entry from a bad stream is ever returned.
-pub fn decode_snapshot(bytes: &[u8]) -> Result<Vec<(CacheKey, ContainmentAnalysis)>, String> {
+/// Version-1 streams (pre-certificate layout) decode with `cert = None`.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Vec<(CacheKey, CacheEntry)>, String> {
     parse_snapshot(bytes)
 }
 
@@ -160,8 +190,9 @@ pub struct SnapshotHeader {
 }
 
 /// Reads and integrity-checks just the 28-byte header of a snapshot byte
-/// stream (magic, header CRC, declared length vs. actual). Version fields
-/// are returned, not enforced — see [`SnapshotHeader`].
+/// stream (magic, header CRC, declared count vs. actual length for the
+/// layouts this build knows). Version fields are returned, not enforced —
+/// see [`SnapshotHeader`].
 pub fn peek_header(bytes: &[u8]) -> Result<SnapshotHeader, String> {
     if bytes.len() < HEADER_LEN {
         return Err(format!("truncated header: {} bytes", bytes.len()));
@@ -173,16 +204,34 @@ pub fn peek_header(bytes: &[u8]) -> Result<SnapshotHeader, String> {
     if header_crc != crc32(&bytes[..24]) {
         return Err("header CRC mismatch".to_string());
     }
+    let format_version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
     let entries = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
-    let expected_len = HEADER_LEN as u64 + entries.saturating_mul(RECORD_LEN as u64);
-    if bytes.len() as u64 != expected_len {
-        return Err(format!(
-            "length mismatch: {} bytes for {entries} entries (expected {expected_len})",
-            bytes.len()
-        ));
+    // Length sanity only for layouts this build understands: v1 records
+    // are fixed-size (exact check), v2 records are variable-size (lower
+    // bound only). Foreign versions are reported, not judged.
+    match format_version {
+        1 => {
+            let expected_len = HEADER_LEN as u64 + entries.saturating_mul(V1_RECORD_LEN as u64);
+            if bytes.len() as u64 != expected_len {
+                return Err(format!(
+                    "length mismatch: {} bytes for {entries} entries (expected {expected_len})",
+                    bytes.len()
+                ));
+            }
+        }
+        2 => {
+            let min_len = HEADER_LEN as u64 + entries.saturating_mul(V2_MIN_RECORD_LEN as u64);
+            if (bytes.len() as u64) < min_len {
+                return Err(format!(
+                    "length mismatch: {} bytes for {entries} entries (need at least {min_len})",
+                    bytes.len()
+                ));
+            }
+        }
+        _ => {}
     }
     Ok(SnapshotHeader {
-        format_version: u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        format_version,
         fingerprint_version: u32::from_le_bytes(bytes[12..16].try_into().unwrap()),
         entries,
     })
@@ -217,7 +266,7 @@ pub fn from_hex(text: &str) -> Result<Vec<u8>, String> {
 /// Serializes `entries` and atomically publishes them at `path`
 /// (write-to-temp + fsync + rename + directory fsync). On any error the
 /// previous snapshot at `path`, if one exists, is untouched.
-pub fn write_snapshot(path: &Path, entries: &[(CacheKey, ContainmentAnalysis)]) -> io::Result<()> {
+pub fn write_snapshot(path: &Path, entries: &[(CacheKey, CacheEntry)]) -> io::Result<()> {
     let buf = encode_snapshot(entries);
 
     let tmp = temp_path(path);
@@ -288,7 +337,7 @@ fn quarantine(path: &Path, reason: String) -> LoadOutcome {
     LoadOutcome::Quarantined { reason, moved_to }
 }
 
-fn parse_snapshot(bytes: &[u8]) -> Result<Vec<(CacheKey, ContainmentAnalysis)>, String> {
+fn parse_snapshot(bytes: &[u8]) -> Result<Vec<(CacheKey, CacheEntry)>, String> {
     if bytes.len() < HEADER_LEN {
         return Err(format!("truncated header: {} bytes", bytes.len()));
     }
@@ -296,8 +345,8 @@ fn parse_snapshot(bytes: &[u8]) -> Result<Vec<(CacheKey, ContainmentAnalysis)>, 
         return Err("bad magic".to_string());
     }
     let format = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if format != FORMAT_VERSION {
-        return Err(format!("format version {format}, expected {FORMAT_VERSION}"));
+    if format != 1 && format != FORMAT_VERSION {
+        return Err(format!("format version {format}, expected {FORMAT_VERSION} (or legacy 1)"));
     }
     let fp_version = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
     if fp_version != FINGERPRINT_VERSION {
@@ -311,58 +360,147 @@ fn parse_snapshot(bytes: &[u8]) -> Result<Vec<(CacheKey, ContainmentAnalysis)>, 
     if header_crc != crc32(&bytes[..24]) {
         return Err("header CRC mismatch".to_string());
     }
-    let expected_len = HEADER_LEN as u64 + count.saturating_mul(RECORD_LEN as u64);
-    if bytes.len() as u64 != expected_len {
-        return Err(format!(
-            "length mismatch: {} bytes for {count} entries (expected {expected_len})",
-            bytes.len()
-        ));
+    if format == 1 {
+        let expected_len = HEADER_LEN as u64 + count.saturating_mul(V1_RECORD_LEN as u64);
+        if bytes.len() as u64 != expected_len {
+            return Err(format!(
+                "length mismatch: {} bytes for {count} entries (expected {expected_len})",
+                bytes.len()
+            ));
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for (i, record) in bytes[HEADER_LEN..].chunks_exact(V1_RECORD_LEN).enumerate() {
+            let stored_crc =
+                u32::from_le_bytes(record[FIXED_LEN..V1_RECORD_LEN].try_into().unwrap());
+            if stored_crc != crc32(&record[..FIXED_LEN]) {
+                return Err(format!("record {i} CRC mismatch"));
+            }
+            let (key, analysis) = parse_fixed(record, i as u64)?;
+            entries.push((key, CacheEntry { analysis, cert: None }));
+        }
+        return Ok(entries);
     }
-    let mut entries = Vec::with_capacity(count as usize);
-    for (i, record) in bytes[HEADER_LEN..].chunks_exact(RECORD_LEN).enumerate() {
-        let stored_crc = u32::from_le_bytes(record[74..78].try_into().unwrap());
-        if stored_crc != crc32(&record[..74]) {
+    // Version 2: variable-length records walked with a cursor.
+    let mut entries = Vec::with_capacity(count.min(1 << 20) as usize);
+    let mut off = HEADER_LEN;
+    for i in 0..count {
+        if bytes.len() - off < FIXED_LEN + 4 {
+            return Err(format!("record {i}: truncated ({} bytes left)", bytes.len() - off));
+        }
+        let cert_len =
+            u32::from_le_bytes(bytes[off + FIXED_LEN..off + FIXED_LEN + 4].try_into().unwrap())
+                as usize;
+        if cert_len > MAX_CERT_LEN {
+            return Err(format!("record {i}: absurd certificate length {cert_len}"));
+        }
+        let payload_len = FIXED_LEN + 4 + cert_len;
+        if bytes.len() - off < payload_len + 4 {
+            return Err(format!("record {i}: truncated ({} bytes left)", bytes.len() - off));
+        }
+        let record = &bytes[off..off + payload_len + 4];
+        let stored_crc = u32::from_le_bytes(record[payload_len..].try_into().unwrap());
+        if stored_crc != crc32(&record[..payload_len]) {
             return Err(format!("record {i} CRC mismatch"));
         }
-        let key = CacheKey {
-            q1: Fingerprint(u128::from_le_bytes(record[0..16].try_into().unwrap())),
-            q2: Fingerprint(u128::from_le_bytes(record[16..32].try_into().unwrap())),
-            schema: Fingerprint(u128::from_le_bytes(record[32..48].try_into().unwrap())),
+        let (key, analysis) = parse_fixed(record, i)?;
+        let cert = if cert_len == 0 {
+            None
+        } else {
+            let text = std::str::from_utf8(&record[FIXED_LEN + 4..payload_len])
+                .map_err(|_| format!("record {i}: certificate is not UTF-8"))?;
+            Some(text.to_string())
         };
-        let holds = match record[48] {
-            0 => false,
-            1 => true,
-            other => return Err(format!("record {i}: bad holds byte {other}")),
-        };
-        let path = match record[49] {
-            0 => DecisionPath::FlatClassical,
-            1 => DecisionPath::NoEmptySets,
-            2 => DecisionPath::Full,
-            other => return Err(format!("record {i}: bad path byte {other}")),
-        };
-        let depth = u64::from_le_bytes(record[50..58].try_into().unwrap()) as usize;
-        let set_nodes = (
-            u64::from_le_bytes(record[58..66].try_into().unwrap()) as usize,
-            u64::from_le_bytes(record[66..74].try_into().unwrap()) as usize,
-        );
-        entries.push((key, ContainmentAnalysis { holds, path, depth, set_nodes }));
+        entries.push((key, CacheEntry { analysis, cert }));
+        off += payload_len + 4;
+    }
+    if off != bytes.len() {
+        return Err(format!(
+            "length mismatch: {} trailing bytes after {count} records",
+            bytes.len() - off
+        ));
     }
     Ok(entries)
+}
+
+/// Decodes the 74-byte fixed payload shared by both record layouts.
+fn parse_fixed(record: &[u8], i: u64) -> Result<(CacheKey, ContainmentAnalysis), String> {
+    let key = CacheKey {
+        q1: Fingerprint(u128::from_le_bytes(record[0..16].try_into().unwrap())),
+        q2: Fingerprint(u128::from_le_bytes(record[16..32].try_into().unwrap())),
+        schema: Fingerprint(u128::from_le_bytes(record[32..48].try_into().unwrap())),
+    };
+    let holds = match record[48] {
+        0 => false,
+        1 => true,
+        other => return Err(format!("record {i}: bad holds byte {other}")),
+    };
+    let path = match record[49] {
+        0 => DecisionPath::FlatClassical,
+        1 => DecisionPath::NoEmptySets,
+        2 => DecisionPath::Full,
+        other => return Err(format!("record {i}: bad path byte {other}")),
+    };
+    let depth = u64::from_le_bytes(record[50..58].try_into().unwrap()) as usize;
+    let set_nodes = (
+        u64::from_le_bytes(record[58..66].try_into().unwrap()) as usize,
+        u64::from_le_bytes(record[66..74].try_into().unwrap()) as usize,
+    );
+    Ok((key, ContainmentAnalysis { holds, path, depth, set_nodes }))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn entry(i: u128, holds: bool) -> (CacheKey, ContainmentAnalysis) {
+    fn entry(i: u128, holds: bool) -> (CacheKey, CacheEntry) {
         (
             CacheKey {
                 q1: Fingerprint(i),
                 q2: Fingerprint(i.wrapping_mul(31)),
                 schema: Fingerprint(7),
             },
-            ContainmentAnalysis { holds, path: DecisionPath::Full, depth: 2, set_nodes: (3, 4) },
+            CacheEntry {
+                analysis: ContainmentAnalysis {
+                    holds,
+                    path: DecisionPath::Full,
+                    depth: 2,
+                    set_nodes: (3, 4),
+                },
+                cert: None,
+            },
         )
+    }
+
+    fn entry_with_cert(i: u128, holds: bool, cert: &str) -> (CacheKey, CacheEntry) {
+        let (key, mut e) = entry(i, holds);
+        e.cert = Some(cert.to_string());
+        (key, e)
+    }
+
+    /// Re-encodes `entries` in the legacy version-1 fixed-record layout
+    /// (what pre-certificate builds wrote to disk).
+    fn encode_v1(entries: &[(CacheKey, CacheEntry)]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&FINGERPRINT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        let header_crc = crc32(&buf);
+        buf.extend_from_slice(&header_crc.to_le_bytes());
+        for (key, e) in entries {
+            let start = buf.len();
+            buf.extend_from_slice(&key.q1.0.to_le_bytes());
+            buf.extend_from_slice(&key.q2.0.to_le_bytes());
+            buf.extend_from_slice(&key.schema.0.to_le_bytes());
+            buf.push(e.analysis.holds as u8);
+            buf.push(path_index(e.analysis.path) as u8);
+            buf.extend_from_slice(&(e.analysis.depth as u64).to_le_bytes());
+            buf.extend_from_slice(&(e.analysis.set_nodes.0 as u64).to_le_bytes());
+            buf.extend_from_slice(&(e.analysis.set_nodes.1 as u64).to_le_bytes());
+            let record_crc = crc32(&buf[start..]);
+            buf.extend_from_slice(&record_crc.to_le_bytes());
+        }
+        buf
     }
 
     fn tempdir(name: &str) -> PathBuf {
@@ -383,7 +521,15 @@ mod tests {
     fn roundtrip_preserves_every_entry() {
         let dir = tempdir("roundtrip");
         let path = dir.join("cache.snap");
-        let entries: Vec<_> = (0..100).map(|i| entry(i, i % 3 == 0)).collect();
+        let entries: Vec<_> = (0..100)
+            .map(|i| {
+                if i % 4 == 0 {
+                    entry_with_cert(i, i % 3 == 0, &format!("COCERT1 demo {i}\nCOCERTEND\n"))
+                } else {
+                    entry(i, i % 3 == 0)
+                }
+            })
+            .collect();
         write_snapshot(&path, &entries).unwrap();
         let LoadOutcome::Loaded(loaded) = load_snapshot(&path) else {
             panic!("expected a clean load");
@@ -392,6 +538,21 @@ mod tests {
         // No temp file left behind.
         assert!(!temp_path(&path).exists());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_v1_snapshots_decode_without_certificates() {
+        let entries: Vec<_> = (0..9).map(|i| entry(i, i % 2 == 0)).collect();
+        let v1 = encode_v1(&entries);
+        let decoded = decode_snapshot(&v1).unwrap();
+        assert_eq!(decoded, entries);
+        assert!(decoded.iter().all(|(_, e)| e.cert.is_none()));
+        let header = peek_header(&v1).unwrap();
+        assert_eq!(header.format_version, 1);
+        assert_eq!(header.entries, 9);
+        // A truncated v1 stream still fails the exact-length check.
+        assert!(decode_snapshot(&v1[..v1.len() - 3]).is_err());
+        assert!(peek_header(&v1[..v1.len() - 3]).is_err());
     }
 
     #[test]
@@ -404,10 +565,22 @@ mod tests {
     #[test]
     fn bitflip_anywhere_quarantines_the_file() {
         let dir = tempdir("bitflip");
-        let entries: Vec<_> = (0..10).map(|i| entry(i, true)).collect();
+        let cert_text = "COCERT1 demo\nCOCERTEND\n";
+        let entries: Vec<_> = (0..10).map(|i| entry_with_cert(i, true, cert_text)).collect();
         // Flip one bit at several positions: header, key bytes, the
-        // verdict byte itself, and a CRC byte.
-        let probe = [0usize, 9, 20, HEADER_LEN + 5, HEADER_LEN + 48, HEADER_LEN + 75];
+        // verdict byte itself, the cert-length field, certificate text,
+        // and a CRC byte.
+        let record_len = V2_MIN_RECORD_LEN + cert_text.len();
+        let probe = [
+            0usize,
+            9,
+            20,
+            HEADER_LEN + 5,
+            HEADER_LEN + 48,
+            HEADER_LEN + 75,             // cert_len field
+            HEADER_LEN + 80,             // inside the certificate text
+            HEADER_LEN + record_len - 2, // record CRC
+        ];
         for (case, &pos) in probe.iter().enumerate() {
             let path = dir.join(format!("cache-{case}.snap"));
             write_snapshot(&path, &entries).unwrap();
@@ -492,6 +665,18 @@ mod tests {
     }
 
     #[test]
+    fn absurd_cert_length_is_rejected_before_allocating() {
+        let entries = vec![entry_with_cert(1, true, "COCERT1 x\nCOCERTEND\n")];
+        let mut bytes = encode_snapshot(&entries);
+        // Claim a multi-gigabyte certificate; the declared length exceeds
+        // the cap, so parsing must fail fast on the length, not the CRC.
+        bytes[HEADER_LEN + FIXED_LEN..HEADER_LEN + FIXED_LEN + 4]
+            .copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_snapshot(&bytes).unwrap_err();
+        assert!(err.contains("certificate length"), "{err}");
+    }
+
+    #[test]
     fn hex_roundtrip_rejects_garbage() {
         let bytes = encode_snapshot(&[entry(3, true)]);
         let hex = to_hex(&bytes);
@@ -512,7 +697,7 @@ mod tests {
             panic!("expected a clean load");
         };
         assert_eq!(loaded.len(), 5);
-        assert!(loaded.iter().all(|(_, a)| !a.holds));
+        assert!(loaded.iter().all(|(_, e)| !e.analysis.holds));
         let _ = fs::remove_dir_all(&dir);
     }
 }

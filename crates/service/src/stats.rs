@@ -104,6 +104,11 @@ pub struct EngineStats {
     /// Snapshot files rejected at load (corrupt, truncated, or written
     /// by an incompatible version) and moved aside.
     pub quarantined: AtomicU64,
+    /// Cached certificates rejected by the `co-cert` re-check — at warm
+    /// start / `HANDOFF` import (entry dropped) or on a cache hit under
+    /// `CERT` (entry recomputed). Any nonzero value means a poisoned or
+    /// stale certificate was caught before being served.
+    pub cert_rejected: AtomicU64,
     /// Latency of computed decisions, by decision path
     /// (indexed [`path_index`]).
     pub path_latency: [LatencyHistogram; 3],

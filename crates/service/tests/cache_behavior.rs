@@ -8,11 +8,19 @@ use std::thread;
 use co_core::{ContainmentAnalysis, DecisionPath};
 use co_cq::Schema;
 use co_service::{
-    fingerprint_bytes, CacheKey, Decision, Engine, EngineConfig, MemoCache, Op, Request,
+    fingerprint_bytes, CacheEntry, CacheKey, Decision, Engine, EngineConfig, MemoCache, Op, Request,
 };
 
-fn verdict(holds: bool) -> ContainmentAnalysis {
-    ContainmentAnalysis { holds, path: DecisionPath::Full, depth: 1, set_nodes: (1, 1) }
+fn verdict(holds: bool) -> CacheEntry {
+    CacheEntry {
+        analysis: ContainmentAnalysis {
+            holds,
+            path: DecisionPath::Full,
+            depth: 1,
+            set_nodes: (1, 1),
+        },
+        cert: None,
+    }
 }
 
 fn key(i: u64) -> CacheKey {

@@ -36,6 +36,8 @@ pub use strong::{
     StrongCertificate,
 };
 pub use tree::{
-    search_tree_counterexample, tree_strong_contained_in_no_empty_sets, try_tree_contained_in_with,
-    try_tree_strong_contained_in_no_empty_sets, ChildLink, QueryTree, Template, TreeNode,
+    flat_cq_pair, search_tree_counterexample, search_tree_counterexample_among,
+    tree_strong_contained_in_no_empty_sets, try_tree_contained_in_with,
+    try_tree_containment_verdict, try_tree_strong_contained_in_no_empty_sets, ChildLink, QueryTree,
+    Template, TreeNode, TreeVerdict,
 };

@@ -58,7 +58,9 @@ use std::fmt;
 use std::ops::ControlFlow;
 
 use co_cq::freeze::freeze_atoms_with;
-use co_cq::{Assignment, Database, HomProblem, QueryAtom, SearchOutcome, Term, Var};
+use co_cq::{
+    Assignment, ConjunctiveQuery, Database, HomProblem, QueryAtom, SearchOutcome, Term, Var,
+};
 use co_object::interrupt::{self, Interrupted, SharedBudget};
 use co_object::{par, Atom, Field, Value};
 use co_trace::kernel::{self, Metric};
@@ -334,8 +336,35 @@ pub fn try_tree_contained_in_with(
     t2: &QueryTree,
     opts: ContainOptions,
 ) -> Result<bool, Interrupted> {
+    Ok(try_tree_containment_verdict(t1, t2, opts)?.holds)
+}
+
+/// A containment verdict with refutation provenance, for certificates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeVerdict {
+    /// Whether `∀D: ⟦t1⟧(D) ⊑ ⟦t2⟧(D)` holds.
+    pub holds: bool,
+    /// When the refutation came from the root node's `2^m` emptiness case
+    /// split, the index of the refuting pattern; `None` for positive
+    /// verdicts, or when the refutation precedes the loop (template shape
+    /// mismatch at the root).
+    pub refuted_pattern: Option<u32>,
+}
+
+/// [`try_tree_contained_in_with`] returning the root-level refuting
+/// emptiness pattern alongside the verdict (the provenance carried by
+/// negative certificates).
+pub fn try_tree_containment_verdict(
+    t1: &QueryTree,
+    t2: &QueryTree,
+    opts: ContainOptions,
+) -> Result<TreeVerdict, Interrupted> {
     let ctx = Context { db: Database::new(), opts, frozen: HashSet::new() };
-    covered(&ctx, &t1.root, &[], &t2.root, &[])
+    Ok(match covered_detail(&ctx, &t1.root, &[], &t2.root, &[])? {
+        Cover::Holds => TreeVerdict { holds: true, refuted_pattern: None },
+        Cover::RefutedTemplate => TreeVerdict { holds: false, refuted_pattern: None },
+        Cover::RefutedPattern(p) => TreeVerdict { holds: false, refuted_pattern: Some(p) },
+    })
 }
 
 #[derive(Clone)]
@@ -441,6 +470,20 @@ fn resolve_args(merge: &HashMap<Atom, Atom>, args: &[Atom]) -> Vec<Atom> {
     args.iter().map(|&a| resolve(merge, a)).collect()
 }
 
+/// Why (or whether) one covering check succeeded — the detail behind the
+/// boolean [`covered`], kept so root-level refutations can say which
+/// emptiness pattern failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Cover {
+    /// Every emptiness pattern is satisfied.
+    Holds,
+    /// The element templates have incompatible shapes; refuted before the
+    /// pattern loop even starts.
+    RefutedTemplate,
+    /// This emptiness pattern has no covering target element.
+    RefutedPattern(u32),
+}
+
 /// Core recursion: does `n1`'s set at `args1` Hoare-embed into `n2`'s set
 /// at `args2`, generically over all databases extending the context?
 ///
@@ -453,15 +496,26 @@ fn covered(
     n2: &TreeNode,
     args2: &[Atom],
 ) -> Result<bool, Interrupted> {
+    Ok(covered_detail(ctx, n1, args1, n2, args2)? == Cover::Holds)
+}
+
+/// [`covered`] with refutation provenance (see [`Cover`]).
+fn covered_detail(
+    ctx: &Context,
+    n1: &TreeNode,
+    args1: &[Atom],
+    n2: &TreeNode,
+    args2: &[Atom],
+) -> Result<Cover, Interrupted> {
     kernel::bump(Metric::TreeCoveredCalls);
     // Source-set-always-empty fast path; constant/repeat constraints in the
     // formals *specialize* the context instead (entry unification).
     if n1.query.unsatisfiable {
-        return Ok(true);
+        return Ok(Cover::Holds);
     }
     let mut entry_merge = HashMap::new();
     match unify_index(&n1.query.index, args1, &ctx.frozen, &mut entry_merge) {
-        Unify::Impossible => return Ok(true), // empty in every valuation
+        Unify::Impossible => return Ok(Cover::Holds), // empty in every valuation
         Unify::Ok => {}
     }
     let ctx = ctx.substituted(&entry_merge);
@@ -470,7 +524,7 @@ fn covered(
 
     // Template shapes must correspond, else no element can ever be covered.
     let Some(pairs) = match_templates(&n1.template, &n2.template) else {
-        return Ok(false);
+        return Ok(Cover::RefutedTemplate);
     };
 
     // ∀-side: freeze a generic element of n1's set.
@@ -506,14 +560,17 @@ fn covered(
     // sequential: the spawn cost dwarfs a handful of patterns.
     let threads = pattern_threads(&ctx1.opts);
     if threads > 1 && patterns.len() >= PARALLEL_PATTERN_MIN {
-        return check_patterns_parallel(&case, &patterns, threads);
+        return Ok(match check_patterns_parallel(&case, &patterns, threads)? {
+            Some(p) => Cover::RefutedPattern(p),
+            None => Cover::Holds,
+        });
     }
     for pattern in patterns {
         if !check_pattern(&case, pattern)? {
-            return Ok(false);
+            return Ok(Cover::RefutedPattern(pattern));
         }
     }
-    Ok(true)
+    Ok(Cover::Holds)
 }
 
 /// Everything one emptiness-pattern check needs, borrowed from the
@@ -644,9 +701,11 @@ fn check_pattern(case: &PatternCase<'_>, pattern: u32) -> Result<bool, Interrupt
 }
 
 /// Partitions `patterns` across a scoped work-stealing pool; the first
-/// refuting pattern cancels the siblings.
+/// refuting pattern cancels the siblings. Returns the refuting pattern
+/// (the smallest one any worker reported, for deterministic certificates)
+/// or `None` when every pattern is satisfied.
 ///
-/// Merge discipline: a definite `Ok(false)` wins even if other workers
+/// Merge discipline: a definite refutation wins even if other workers
 /// were interrupted — a refuting pattern is a sound refutation of the
 /// containment regardless of what the siblings were still computing. With
 /// no refutation, any real budget expiry yields `Err(Interrupted)`.
@@ -654,19 +713,19 @@ fn check_patterns_parallel(
     case: &PatternCase<'_>,
     patterns: &[u32],
     threads: usize,
-) -> Result<bool, Interrupted> {
+) -> Result<Option<u32>, Interrupted> {
     let shared = SharedBudget::fork_current();
     let chunk = (patterns.len() / (threads * 8)).max(1);
     let (results, stats) = par::run_workers(threads, patterns.len(), chunk, |me, feeder| {
         let before = kernel::snapshot();
         let guard = interrupt::install_shared(&shared);
-        let mut verdict: Result<bool, Interrupted> = Ok(true);
+        let mut verdict: Result<Option<u32>, Interrupted> = Ok(None);
         'chunks: while let Some(range) = feeder.next(me) {
             for pi in range {
                 match check_pattern(case, patterns[pi]) {
                     Ok(true) => {}
                     Ok(false) => {
-                        verdict = Ok(false);
+                        verdict = Ok(Some(patterns[pi]));
                         feeder.stop();
                         shared.cancel();
                         break 'chunks;
@@ -685,23 +744,23 @@ fn check_patterns_parallel(
     par::note_engaged(stats.threads);
     kernel::bump_by(Metric::KernelParallelBranches, stats.branches);
     kernel::bump_by(Metric::KernelSteals, stats.steals);
-    let mut refuted = false;
+    let mut refuted: Option<u32> = None;
     let mut interrupted = shared.is_expired();
     for (verdict, delta) in results {
         kernel::absorb(&delta);
         match verdict {
-            Ok(false) => refuted = true,
+            Ok(Some(p)) => refuted = Some(refuted.map_or(p, |prev: u32| prev.min(p))),
             Err(Interrupted) => interrupted = true,
-            Ok(true) => {}
+            Ok(None) => {}
         }
     }
-    if refuted {
-        return Ok(false);
+    if refuted.is_some() {
+        return Ok(refuted);
     }
     if interrupted {
         return Err(Interrupted);
     }
-    Ok(true)
+    Ok(None)
 }
 
 /// Result of template matching: pairs of atomic columns to equate and
@@ -1280,21 +1339,93 @@ mod strong_tree_tests {
 /// differential tests use this alongside random search to corroborate
 /// every negative answer.
 pub fn search_tree_counterexample(t1: &QueryTree, t2: &QueryTree) -> Option<Database> {
-    for root_copies in [1usize, 2] {
-        for child_copies in [1usize, 0, 2] {
+    search_tree_counterexample_among(t1, t2, &[1, 2], &[1, 0, 2], false)
+}
+
+/// [`search_tree_counterexample`] over an explicit canonical family
+/// (`root_copies × child_copies` instantiation counts), optionally
+/// restricted to refutations whose evaluated answers are empty-set-free.
+///
+/// The restriction matters for certificates on the §4 no-empty-sets path:
+/// a verdict qualified by that hypothesis may only be refuted by a
+/// database on which neither answer contains an empty set, else the
+/// refutation is outside the hypothesis. Certificate emission
+/// (`co-core::certify_prepared`) searches a broadened family
+/// (`[1,2,3] × [1,0,2,3]`) through this entry point.
+///
+/// Each canonical database is also retried *padded* with one canonical
+/// element of `t2`'s own tree (fresh atoms). Padding is what makes the
+/// empty-free search complete in practice: relations mentioned only by
+/// `t2` are uninhabited in `t1`'s canonical instantiations, so `t2`'s
+/// answer there is the empty set and every refutation of a no-empty-sets
+/// verdict would be filtered out. Padding can only *add* candidate
+/// databases — every returned database is verified by direct evaluation,
+/// so soundness never depends on how it was built.
+pub fn search_tree_counterexample_among(
+    t1: &QueryTree,
+    t2: &QueryTree,
+    root_copies: &[usize],
+    child_copies: &[usize],
+    require_empty_free: bool,
+) -> Option<Database> {
+    let refutes = |db: &Database| -> bool {
+        let v1 = t1.evaluate(db);
+        let v2 = t2.evaluate(db);
+        if require_empty_free && (v1.contains_empty_set() || v2.contains_empty_set()) {
+            return false;
+        }
+        !co_object::hoare_leq(&v1, &v2)
+    };
+    for &roots in root_copies {
+        for &copies in child_copies {
             let mut db = Database::new();
             let mut assignment: HashMap<Var, Atom> = HashMap::new();
-            for _ in 0..root_copies {
-                instantiate_subtree(&t1.root, &[], child_copies, &mut assignment, &mut db);
+            for _ in 0..roots {
+                instantiate_subtree(&t1.root, &[], copies, &mut assignment, &mut db);
             }
-            let v1 = t1.evaluate(&db);
-            let v2 = t2.evaluate(&db);
-            if !co_object::hoare_leq(&v1, &v2) {
+            if refutes(&db) {
+                return Some(db);
+            }
+            // Padded variant: inhabit t2-only relations with at least one
+            // member per child set, so t2's answer can be empty-set-free.
+            instantiate_subtree(&t2.root, &[], copies.max(1), &mut assignment, &mut db);
+            if refutes(&db) {
                 return Some(db);
             }
         }
     }
     None
+}
+
+/// When both trees are depth-1 (no child sets) with matching element
+/// templates, returns the aligned conjunctive-query pair whose classical
+/// containment coincides with tree containment: heads are the matched
+/// atomic columns (in template order), bodies are the root bodies.
+///
+/// This is the bridge from the §5 flat fast path back to Chandra–Merlin,
+/// used to mint `Mapping(φ)` certificates for flat positive verdicts.
+pub fn flat_cq_pair(
+    t1: &QueryTree,
+    t2: &QueryTree,
+) -> Option<(ConjunctiveQuery, ConjunctiveQuery)> {
+    if !t1.root.children.is_empty() || !t2.root.children.is_empty() {
+        return None;
+    }
+    let pairs = match_templates(&t1.root.template, &t2.root.template)?;
+    let head1: Vec<Term> = pairs.atoms.iter().map(|&(i, _)| t1.root.query.value[i]).collect();
+    let head2: Vec<Term> = pairs.atoms.iter().map(|&(_, j)| t2.root.query.value[j]).collect();
+    Some((
+        ConjunctiveQuery {
+            head: head1,
+            body: t1.root.query.body.clone(),
+            unsatisfiable: t1.root.query.unsatisfiable,
+        },
+        ConjunctiveQuery {
+            head: head2,
+            body: t2.root.query.body.clone(),
+            unsatisfiable: t2.root.query.unsatisfiable,
+        },
+    ))
 }
 
 /// Freezes one element of `node` at `args` and recursively `copies`

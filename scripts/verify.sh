@@ -55,6 +55,11 @@ run cargo run -p co-bench --release --bin co-bench -- check BENCH_PR7.json --str
 run cargo test -q --test conformance
 run env RUST_TEST_THREADS=1 cargo test -q --test conformance
 run cargo test -q -p co-service --features slow-tests --test soak
+# Certified-verdict oracle (DESIGN.md §15): 200 seeded random query pairs
+# through every candidate strategy × {1,2} kernel threads, both directions;
+# every verdict must carry a certificate the independent co-cert checker
+# accepts (wire round-trip included). Zero rejections tolerated.
+run env CERT_ORACLE_PAIRS=200 cargo test -q --release --test cert_oracle
 
 echo "==> live METRICS scrape (parseable exposition, monotone counters)"
 ./target/release/coqld --listen 127.0.0.1:0 --kernel-threads 2 >target/coqld-verify.log 2>&1 &
@@ -116,6 +121,31 @@ req "CHECK app select x.B from x in R ;; select x.B from x in R" \
 req "EXPLAIN CHECK app $HARD_Q1 ;; $HARD_Q2" >target/explain-hard.txt
 grep -q '^explain\.kernel\.threads_used ' target/explain-hard.txt \
     || { echo "EXPLAIN missing explain.kernel.threads_used"; exit 1; }
+# Certified-verdict drill (DESIGN.md §15): mixed CERT CHECK / CERT EQUIV
+# against the live 2-kernel-thread server. coqlc re-checks every returned
+# certificate with the independent co-cert checker against locally parsed
+# queries (exit 6 on any failure — pipefail surfaces it). Round 2 answers
+# from the cert-carrying memo cache, which the server re-verifies first.
+printf 'R(A, B)\nS(C)\n' >target/cert-schema.txt
+printf 'select x.B from x in R where x.A = 1\n' >target/cert-q-narrow.txt
+printf 'select y.B from y in R\n' >target/cert-q-wide.txt
+printf 'select [a: x.A, g: (select y.C from y in S where y.C = x.B)] from x in R\n' \
+    >target/cert-q-nested.txt
+for round in 1 2; do
+    ./target/release/coqlc cert --addr "$ADDR" \
+        target/cert-schema.txt target/cert-q-narrow.txt target/cert-q-wide.txt \
+        | grep '^OK holds=true' >/dev/null \
+        || { echo "CERT CHECK drill (positive, round $round) failed"; exit 1; }
+    ./target/release/coqlc cert --addr "$ADDR" \
+        target/cert-schema.txt target/cert-q-wide.txt target/cert-q-narrow.txt \
+        | grep '^OK holds=false' >/dev/null \
+        || { echo "CERT CHECK drill (negative, round $round) failed"; exit 1; }
+    ./target/release/coqlc cert --equiv --addr "$ADDR" \
+        target/cert-schema.txt target/cert-q-nested.txt target/cert-q-nested.txt \
+        | grep '^OK .*forward=true backward=true' >/dev/null \
+        || { echo "CERT EQUIV drill (round $round) failed"; exit 1; }
+done
+
 req METRICS >target/metrics-2.txt
 grep -q '^# EOF$' target/metrics-2.txt || { echo "scrape 2 missing # EOF"; exit 1; }
 kill "$COQLD_PID" 2>/dev/null || true

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! coqlc check       <schema> <query1> <query2>   # containment + equivalence
+//! coqlc cert        <schema> <query1> <query2>   # certified verdict (co-cert)
 //! coqlc explain     <schema> <query1> <query2>   # containment + phase timings
 //! coqlc eval        <schema> <query> <database>  # run a query
 //! coqlc refute      <schema> <query1> <query2>   # search a counterexample DB
@@ -46,6 +47,10 @@ fn main() -> ExitCode {
                 ExitCode::from(4)
             } else if message.starts_with("overloaded:") {
                 ExitCode::from(5)
+            } else if message.starts_with("certfail:") {
+                // A verdict was returned but its certificate failed the
+                // independent co-cert re-check — never trust that verdict.
+                ExitCode::from(6)
             } else {
                 ExitCode::FAILURE
             }
@@ -56,13 +61,14 @@ fn main() -> ExitCode {
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage =
-        "usage: coqlc <check|explain|eval|refute|encode|fingerprint> <files…>  (see --help)";
+        "usage: coqlc <check|cert|explain|eval|refute|encode|fingerprint> <files…>  (see --help)";
     match args.first().map(String::as_str) {
         Some("--help") | Some("-h") | None => Ok(HELP.to_string()),
         Some("check") => {
             let [schema, q1, q2] = three(&args, usage)?;
             cmd_check(&schema, &q1, &q2)
         }
+        Some("cert") => cmd_cert(&args[1..]),
         Some("explain") => {
             let [schema, q1, q2] = three(&args, usage)?;
             cmd_explain(&schema, &q1, &q2)
@@ -100,6 +106,17 @@ coqlc — decide containment and equivalence of COQL queries
 
 commands:
   check       <schema> <q1> <q2>   decide q1 ⊑ q2, q2 ⊑ q1, and equivalence
+  cert [--equiv] [--addr <addr:port>] <schema> <q1> <q2>
+                                   decide q1 ⊑ q2 (both directions with
+                                   --equiv) and print a proof-carrying
+                                   COCERT1 certificate for each verdict,
+                                   re-checked by the independent co-cert
+                                   checker before printing. With --addr the
+                                   verdict comes from a running coqld or
+                                   coqld-router via CERT CHECK/EQUIV, and
+                                   the server's certificate is re-checked
+                                   locally against locally-prepared queries
+                                   — the server is never trusted
   explain     <schema> <q1> <q2>   decide q1 ⊑ q2 and report where the time
                                    went: per-phase µs (parse, canonicalize,
                                    fingerprint, prepare, cache, kernel) and
@@ -139,6 +156,10 @@ exit codes:
   5  remote: the server is alive but shed the request with ERR OVERLOADED
      on every attempt (message starts with overloaded: — back off and
      retry later)
+  6  cert: a verdict was returned but its certificate failed the co-cert
+     re-check (message starts with certfail: — the verdict must not be
+     trusted; a local checker, a buggy server, or a poisoned cache is
+     involved)
 
 serving:
   coqld serves CHECK/EQUIV/FINGERPRINT over TCP with a memo cache keyed by
@@ -252,6 +273,150 @@ fn cmd_check(schema_text: &str, q1_text: &str, q2_text: &str) -> Result<String, 
     };
     let _ = write!(out, "verdict : {verdict_text}");
     Ok(out)
+}
+
+/// `coqlc cert [--equiv] [--addr <addr:port>] <schema> <q1> <q2>` — a
+/// proof-carrying verdict. Local mode decides and certifies in-process;
+/// remote mode asks a running coqld/coqld-router via `CERT CHECK`/`CERT
+/// EQUIV` and re-checks the returned certificate against
+/// locally-prepared queries, so a wrong or forged server certificate is
+/// caught here (exit code 6) no matter what the verdict line claims.
+fn cmd_cert(args: &[String]) -> Result<String, String> {
+    let usage = "usage: coqlc cert [--equiv] [--addr <addr:port>] <schema> <q1> <q2>  (see --help)";
+    let mut equiv = false;
+    let mut addr: Option<String> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--equiv" => equiv = true,
+            "--addr" => {
+                let v = it.next().ok_or_else(|| format!("--addr needs a value; {usage}"))?;
+                addr = Some(v.clone());
+            }
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() != 3 {
+        return Err(usage.to_string());
+    }
+    let schema_text = read(positional[0])?;
+    let q1_text = read(positional[1])?;
+    let q2_text = read(positional[2])?;
+    let schema = parse_schema(&schema_text)?;
+    let q1 = parse_query(&q1_text)?;
+    let q2 = parse_query(&q2_text)?;
+    let p1 = co_core::prepare(&q1, &schema).map_err(|e| e.to_string())?;
+    let p2 = co_core::prepare(&q2, &schema).map_err(|e| e.to_string())?;
+    match addr {
+        None => cert_local(&p1, &p2, equiv),
+        Some(addr) => cert_remote(&addr, &schema_text, &q1_text, &q2_text, &p1, &p2, equiv),
+    }
+}
+
+/// One certified direction, decided and checked in-process.
+fn certify_direction(
+    a: &co_core::Prepared,
+    b: &co_core::Prepared,
+    label: &str,
+    out: &mut String,
+) -> Result<(), String> {
+    let analysis = co_core::contained_prepared(a, b).map_err(|e| e.to_string())?;
+    let cert = co_core::certify_prepared(a, b, &analysis).map_err(|e| e.to_string())?;
+    cert.check_against(
+        &a.tree,
+        &b.tree,
+        analysis.holds,
+        co_core::cert_path(co_core::expected_path(a, b)),
+    )
+    .map_err(|e| format!("certfail: freshly built certificate failed the co-cert re-check: {e}"))?;
+    let _ = writeln!(out, "{label} : {}   (path: {}, certified)", analysis.holds, analysis.path);
+    out.push_str(cert.to_wire().trim_end());
+    out.push('\n');
+    Ok(())
+}
+
+fn cert_local(
+    p1: &co_core::Prepared,
+    p2: &co_core::Prepared,
+    equiv: bool,
+) -> Result<String, String> {
+    let mut out = String::new();
+    certify_direction(p1, p2, "q1 ⊑ q2", &mut out)?;
+    if equiv {
+        certify_direction(p2, p1, "q2 ⊑ q1", &mut out)?;
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cert_remote(
+    addr: &str,
+    schema_text: &str,
+    q1_text: &str,
+    q2_text: &str,
+    p1: &co_core::Prepared,
+    p2: &co_core::Prepared,
+    equiv: bool,
+) -> Result<String, String> {
+    let one_line =
+        |text: &str| strip_comments(text).split_whitespace().collect::<Vec<_>>().join(" ");
+    let decl: Vec<String> = strip_comments(schema_text)
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(String::from)
+        .collect();
+    let reply = remote_exchange(addr, &format!("SCHEMA coqlc_cert {}", decl.join("; ")))
+        .map_err(|e| format!("connect: {addr}: {e}"))?;
+    if reply.starts_with("ERR") {
+        return Err(reply);
+    }
+    let verb = if equiv { "EQUIV" } else { "CHECK" };
+    let request = format!("CERT {verb} coqlc_cert {} ;; {}", one_line(q1_text), one_line(q2_text));
+    let reply = remote_exchange(addr, &request).map_err(|e| format!("connect: {addr}: {e}"))?;
+    let first = reply.lines().next().unwrap_or("").to_string();
+    if let Some(tail) = first.strip_prefix("ERR TOODEEP") {
+        return Err(format!("TOODEEP{tail}"));
+    }
+    if first.starts_with("ERR") {
+        return Err(first);
+    }
+    // The verdict line is only a claim; each certificate block must prove
+    // it against the *locally* prepared queries and the locally derived
+    // decision path.
+    let claimed = |name: &str| -> Result<bool, String> {
+        first
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(name))
+            .map(|v| v == "true")
+            .ok_or_else(|| format!("certfail: verdict line lacks {name}: {first}"))
+    };
+    let expectations: Vec<(&co_core::Prepared, &co_core::Prepared, bool, &str)> = if equiv {
+        vec![(p1, p2, claimed("forward=")?, "q1 ⊑ q2"), (p2, p1, claimed("backward=")?, "q2 ⊑ q1")]
+    } else {
+        vec![(p1, p2, claimed("holds=")?, "q1 ⊑ q2")]
+    };
+    let body: Vec<&str> = reply.lines().skip(1).take_while(|l| *l != "END").collect();
+    let body = body.join("\n");
+    let mut rest = body.as_str();
+    let mut out = String::new();
+    let _ = writeln!(out, "{first}");
+    for (a, b, holds, label) in expectations {
+        let (cert, after) = co_cert::Cert::parse_prefix(rest)
+            .map_err(|e| format!("certfail: server certificate does not parse: {e}"))?;
+        rest = after;
+        cert.check_against(
+            &a.tree,
+            &b.tree,
+            holds,
+            co_core::cert_path(co_core::expected_path(a, b)),
+        )
+        .map_err(|e| {
+            format!("certfail: server certificate for {label} failed the co-cert re-check: {e}")
+        })?;
+        let _ = writeln!(out, "{label} : {holds}   (certified by local co-cert re-check)");
+    }
+    Ok(out.trim_end().to_string())
 }
 
 fn cmd_explain(schema_text: &str, q1_text: &str, q2_text: &str) -> Result<String, String> {
@@ -438,12 +603,12 @@ fn reply_terminator(request: &str, first: &str) -> Option<&'static str> {
         return None;
     }
     let mut rest = request.trim();
-    let mut explain = false;
+    let mut multiline = false;
     loop {
         let (head, tail) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
         match head.to_ascii_uppercase().as_str() {
-            "EXPLAIN" => {
-                explain = true;
+            "EXPLAIN" | "CERT" => {
+                multiline = true;
                 rest = tail.trim_start();
             }
             "TIMEOUT" | "BUDGET" => {
@@ -455,7 +620,7 @@ fn reply_terminator(request: &str, first: &str) -> Option<&'static str> {
                 return match verb {
                     "STATS" | "SHARDS" | "SNAPEXPORT" => Some("END"),
                     "METRICS" => Some("# EOF"),
-                    "CHECK" | "EQUIV" if explain => Some("END"),
+                    "CHECK" | "EQUIV" if multiline => Some("END"),
                     _ => None,
                 };
             }
@@ -639,8 +804,127 @@ mod tests {
         assert_eq!(reply_terminator("CHECK app a ;; b", "OK true"), None);
         assert_eq!(reply_terminator("EXPLAIN CHECK app a ;; b", "OK true"), Some("END"));
         assert_eq!(reply_terminator("TIMEOUT 50 EXPLAIN EQUIV app a ;; b", "OK true"), Some("END"));
-        // ERR replies are single-line even under EXPLAIN.
+        assert_eq!(reply_terminator("CERT CHECK app a ;; b", "OK true"), Some("END"));
+        assert_eq!(reply_terminator("CERT TIMEOUT 9 EQUIV app a ;; b", "OK true"), Some("END"));
+        // ERR replies are single-line even under EXPLAIN/CERT.
         assert_eq!(reply_terminator("EXPLAIN CHECK app a ;; b", "ERR DEADLINE"), None);
+        assert_eq!(reply_terminator("CERT CHECK app a ;; b", "ERR CERTUNAVAILABLE x"), None);
+    }
+
+    /// Prepared pair where q1 ⊑ q2 holds and the converse fails.
+    fn prepared_pair() -> (co_core::Prepared, co_core::Prepared) {
+        let schema = parse_schema("R(A, B)").unwrap();
+        let q1 = parse_query("select x.B from x in R where x.A = 1").unwrap();
+        let q2 = parse_query("select x.B from x in R").unwrap();
+        (co_core::prepare(&q1, &schema).unwrap(), co_core::prepare(&q2, &schema).unwrap())
+    }
+
+    #[test]
+    fn cert_local_certifies_both_directions() {
+        let (p1, p2) = prepared_pair();
+        let out = cert_local(&p1, &p2, true).unwrap();
+        assert!(out.contains("q1 ⊑ q2 : true"), "{out}");
+        assert!(out.contains("q2 ⊑ q1 : false"), "{out}");
+        assert_eq!(out.matches("COCERT1 ").count(), 2, "{out}");
+        assert_eq!(out.matches("COCERTEND").count(), 2, "{out}");
+        // Each printed block round-trips through the independent checker.
+        let (first, rest) = co_cert::Cert::parse_prefix(out.split_once('\n').unwrap().1).unwrap();
+        assert!(first.holds);
+        let second_block = rest.split_once('\n').unwrap().1;
+        assert!(!co_cert::Cert::parse(second_block).unwrap().holds);
+    }
+
+    #[test]
+    fn cert_remote_rejects_a_lying_server() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpListener;
+        let (p1, p2) = prepared_pair();
+        let analysis = co_core::contained_prepared(&p1, &p2).unwrap();
+        assert!(analysis.holds);
+        let wire = co_core::certify_prepared(&p1, &p2, &analysis).unwrap().to_wire();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for (i, stream) in listener.incoming().take(2).enumerate() {
+                let stream = stream.unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                if i == 0 {
+                    assert!(line.starts_with("SCHEMA coqlc_cert"), "{line}");
+                    writer.write_all(b"OK schema=coqlc_cert fp=0 relations=1\n").unwrap();
+                } else {
+                    assert!(line.starts_with("CERT CHECK coqlc_cert"), "{line}");
+                    // Lie: claim containment fails while shipping the
+                    // (structurally valid) holds-certificate.
+                    let reply = format!(
+                        "OK holds=false path=flat/classical cached=false fp1=0 fp2=0\n{wire}END\n"
+                    );
+                    writer.write_all(reply.as_bytes()).unwrap();
+                }
+            }
+        });
+        let err = cert_remote(
+            &addr,
+            "R(A, B)",
+            "select x.B from x in R where x.A = 1",
+            "select x.B from x in R",
+            &p1,
+            &p2,
+            false,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("certfail:"), "exit-6 class: {err}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn cert_remote_accepts_an_honest_server() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpListener;
+        let (p1, p2) = prepared_pair();
+        let fwd = co_core::contained_prepared(&p1, &p2).unwrap();
+        let bwd = co_core::contained_prepared(&p2, &p1).unwrap();
+        let wire_f = co_core::certify_prepared(&p1, &p2, &fwd).unwrap().to_wire();
+        let wire_b = co_core::certify_prepared(&p2, &p1, &bwd).unwrap().to_wire();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for (i, stream) in listener.incoming().take(2).enumerate() {
+                let stream = stream.unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                if i == 0 {
+                    writer.write_all(b"OK schema=coqlc_cert fp=0 relations=1\n").unwrap();
+                } else {
+                    assert!(line.starts_with("CERT EQUIV coqlc_cert"), "{line}");
+                    let reply = format!(
+                        "OK verdict=not-equivalent forward=true backward=false \
+                         cached=false fp1=0 fp2=0\n{wire_f}{wire_b}END\n"
+                    );
+                    writer.write_all(reply.as_bytes()).unwrap();
+                }
+            }
+        });
+        let out = cert_remote(
+            &addr,
+            "R(A, B)",
+            "select x.B from x in R where x.A = 1",
+            "select x.B from x in R",
+            &p1,
+            &p2,
+            true,
+        )
+        .unwrap();
+        assert!(out.contains("q1 ⊑ q2 : true"), "{out}");
+        assert!(out.contains("q2 ⊑ q1 : false"), "{out}");
+        assert!(out.contains("certified by local co-cert re-check"), "{out}");
+        server.join().unwrap();
     }
 
     #[test]

@@ -86,10 +86,14 @@ protocol (one request per line; replies start OK/ERR; STATS ends with END):
   (0 clears the server default). An expired budget answers `ERR DEADLINE`
   without caching anything. An `EXPLAIN` prefix answers the verdict plus
   `explain.*` phase timings (parse/canonicalize/fingerprint/prepare/cache/
-  kernel µs) and kernel step counts, terminated by END. Other failure
-  replies are `ERR TOOLARGE`, `ERR TOODEEP` (query nested past
-  --max-parse-depth), `ERR OVERLOADED`, and `ERR INTERNAL` (the server
-  survives all of them).
+  kernel µs) and kernel step counts, terminated by END. A `CERT` prefix
+  answers the verdict plus one COCERT1..COCERTEND proof block per
+  direction, terminated by END; check it independently with `coqlc cert
+  --addr` or the co-cert crate (cached certificates are re-verified
+  server-side first, and an uncertifiable verdict answers
+  `ERR CERTUNAVAILABLE`). Other failure replies are `ERR TOOLARGE`,
+  `ERR TOODEEP` (query nested past --max-parse-depth), `ERR OVERLOADED`,
+  and `ERR INTERNAL` (the server survives all of them).
 
 exit codes:
   0  clean shutdown (SHUTDOWN verb after --allow-shutdown, drained)

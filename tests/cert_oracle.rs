@@ -1,0 +1,168 @@
+//! Differential certificate oracle: seeded random query pairs, decided
+//! under every candidate-selection strategy and kernel thread count the
+//! serving stack can pick, with every verdict's certificate re-checked by
+//! the independent `co-cert` checker — including a round trip through the
+//! wire form, the same bytes snapshots and `CERT` replies carry.
+//!
+//! The configuration sweep matters: a certificate is constructed from the
+//! verdict's *evidence*, so a strategy- or thread-dependent kernel bug
+//! shows up here as a certificate that fails re-check (or a verdict that
+//! flips across configurations), not as a silent wrong answer.
+//!
+//! One `#[test]` on purpose: strategy and kernel-thread selection are
+//! process-global, so concurrent test threads would race on them.
+//!
+//! `CERT_ORACLE_PAIRS` (env) scales the pair count; the default keeps the
+//! suite fast, `scripts/verify.sh` drives it at 200+.
+
+use co_cq::hom::{set_default_strategy, CandidateStrategy};
+use co_cq::{Schema, Var};
+use co_lang::Expr;
+use co_object::par;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn schema() -> Schema {
+    Schema::with_relations(&[("R", &["A", "B"]), ("S", &["C"])])
+}
+
+/// Random COQL query over the fixed schema: an outer select over R (and
+/// sometimes S), a record head with an atomic field and (usually) one
+/// nested select with random correlation — the same shape family the
+/// workspace differential suite uses, so flat, no-empty-set, and full
+/// decision paths all occur.
+fn random_query(seed: u64) -> Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = Var::new("x");
+    let y = Var::new("y");
+    let z = Var::new("z");
+
+    let outer_attr = if rng.gen_bool(0.5) { "A" } else { "B" };
+    let mut bindings = vec![(x, Expr::rel("R"))];
+    let mut outer_conds = Vec::new();
+    if rng.gen_bool(0.3) {
+        bindings.push((z, Expr::rel("S")));
+        if rng.gen_bool(0.7) {
+            outer_conds.push((Expr::var("z").proj("C"), Expr::var("x").proj("B")));
+        }
+    }
+    if rng.gen_bool(0.25) {
+        outer_conds.push((Expr::var("x").proj(outer_attr), Expr::int(rng.gen_range(0..3))));
+    }
+
+    let head = if rng.gen_bool(0.7) {
+        let (inner_rel, inner_attr) = if rng.gen_bool(0.6) { ("R", "B") } else { ("S", "C") };
+        let mut inner_conds = Vec::new();
+        match rng.gen_range(0..3) {
+            0 if inner_rel == "R" => {
+                inner_conds.push((Expr::var("y").proj("A"), Expr::var("x").proj("A")))
+            }
+            1 => inner_conds.push((Expr::var("y").proj(inner_attr), Expr::var("x").proj("B"))),
+            _ => {}
+        }
+        if rng.gen_bool(0.2) {
+            inner_conds.push((Expr::var("y").proj(inner_attr), Expr::int(rng.gen_range(0..3))));
+        }
+        let inner = Expr::Select {
+            head: Box::new(Expr::var("y").proj(inner_attr)),
+            bindings: vec![(y, Expr::rel(inner_rel))],
+            conds: inner_conds,
+        };
+        Expr::record(vec![("a", Expr::var("x").proj(outer_attr)), ("g", inner)])
+    } else {
+        // Flat record head: keeps the FlatClassical path (and its Mapping
+        // certificates) in the mix.
+        Expr::record(vec![("a", Expr::var("x").proj(outer_attr)), ("b", Expr::var("x").proj("B"))])
+    };
+
+    Expr::Select { head: Box::new(head), bindings, conds: outer_conds }
+}
+
+/// One direction of one pair under the current global configuration:
+/// decide, certify, wire round-trip, re-check. Returns the verdict, or
+/// None when the pair's result types are incompatible (no verdict exists
+/// to certify). Panics with full context on any certificate failure.
+fn certified_verdict(
+    p1: &co_core::Prepared,
+    p2: &co_core::Prepared,
+    context: &str,
+) -> Option<bool> {
+    let analysis = match co_core::contained_prepared(p1, p2) {
+        Ok(analysis) => analysis,
+        Err(co_core::CoreError::TypeMismatch(_)) => return None,
+        Err(e) => panic!("{context}: decision failed: {e}"),
+    };
+    let cert = co_core::certify_prepared(p1, p2, &analysis)
+        .unwrap_or_else(|e| panic!("{context}: verdict holds={} but {e}", analysis.holds));
+    let expect_path = co_core::cert_path(co_core::expected_path(p1, p2));
+    cert.check_against(&p1.tree, &p2.tree, analysis.holds, expect_path)
+        .unwrap_or_else(|e| panic!("{context}: fresh certificate rejected: {e}"));
+    // The serving stack never ships the in-memory certificate — it ships
+    // the wire form; the oracle must validate what a client would see.
+    let reparsed = co_cert::Cert::parse(&cert.to_wire())
+        .unwrap_or_else(|e| panic!("{context}: wire round-trip does not parse: {e}"));
+    reparsed
+        .check_against(&p1.tree, &p2.tree, analysis.holds, expect_path)
+        .unwrap_or_else(|e| panic!("{context}: wire round-trip rejected: {e}"));
+    Some(analysis.holds)
+}
+
+#[test]
+fn every_verdict_carries_a_checkable_certificate() {
+    let schema = schema();
+    let pairs: u64 =
+        std::env::var("CERT_ORACLE_PAIRS").ok().and_then(|v| v.parse().ok()).unwrap_or(60);
+    let strategies = [
+        ("indexed", CandidateStrategy::Indexed),
+        ("linear-scan", CandidateStrategy::LinearScan),
+        ("bitset", CandidateStrategy::Bitset),
+        ("adaptive", CandidateStrategy::Adaptive),
+    ];
+    let mut positives = 0u64;
+    let mut negatives = 0u64;
+    let mut checked = 0u64;
+    for seed in 0..pairs {
+        let q1 = random_query(seed);
+        let q2 = random_query(seed + 30_000);
+        let (Ok(p1), Ok(p2)) = (co_core::prepare(&q1, &schema), co_core::prepare(&q2, &schema))
+        else {
+            continue;
+        };
+        // The verdict (and its certificate) must not depend on how the
+        // kernel enumerates candidates or how many threads it uses.
+        let mut baseline: Option<(Option<bool>, Option<bool>)> = None;
+        for (sname, strategy) in strategies {
+            set_default_strategy(strategy);
+            for threads in [1usize, 2] {
+                par::set_kernel_threads(threads);
+                let context = format!("pair {seed} [{sname}, {threads} thread(s)]");
+                let fwd = certified_verdict(&p1, &p2, &format!("{context} fwd"));
+                let bwd = certified_verdict(&p2, &p1, &format!("{context} bwd"));
+                match &baseline {
+                    None => baseline = Some((fwd, bwd)),
+                    Some(expected) => assert_eq!(
+                        (fwd, bwd),
+                        *expected,
+                        "{context}: verdict differs from the first configuration"
+                    ),
+                }
+                for v in [fwd, bwd].into_iter().flatten() {
+                    checked += 1;
+                    if v {
+                        positives += 1;
+                    } else {
+                        negatives += 1;
+                    }
+                }
+            }
+        }
+    }
+    set_default_strategy(CandidateStrategy::Adaptive);
+    par::set_kernel_threads(0);
+    // A sweep that generated only one verdict polarity (or nothing at
+    // all) would vacuously pass — demand both kinds of evidence.
+    assert!(
+        positives > 0 && negatives > 0,
+        "degenerate workload: {checked} verdicts, {positives} positive / {negatives} negative"
+    );
+}
