@@ -1,0 +1,119 @@
+//! Deterministic jittered exponential backoff.
+//!
+//! Synchronized clients retrying on a fixed schedule re-collide on every
+//! attempt (a retry storm); full-range jitter decorrelates them. The
+//! jitter source is a tiny splitmix64 stream seeded by the caller, so a
+//! fixed seed reproduces the exact delay sequence — tests and the chaos
+//! drill can assert on timing without tolerating nondeterminism.
+
+use std::time::Duration;
+
+/// Jittered exponential backoff: attempt `n` sleeps a uniformly random
+/// duration in `[exp/2, exp]` where `exp = base · 2^n`, capped at `cap`
+/// ("equal jitter" — keeps a floor so retries are never immediate while
+/// still decorrelating half the interval).
+pub struct JitteredBackoff {
+    state: u64,
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+}
+
+impl JitteredBackoff {
+    /// A backoff stream for one retry loop. `seed` fixes the jitter
+    /// sequence; derive it from a request key for per-request
+    /// decorrelation or pass a constant for reproducible tests.
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> JitteredBackoff {
+        JitteredBackoff { state: seed, base, cap, attempt: 0 }
+    }
+
+    /// splitmix64: one multiply-xor-shift step, full 64-bit period,
+    /// statistically solid for jitter (not for cryptography).
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next delay (also advances the attempt counter).
+    pub fn next_delay(&mut self) -> Duration {
+        let exp_ms = (self.base.as_millis() as u64)
+            .saturating_shl(self.attempt)
+            .min(self.cap.as_millis() as u64)
+            .max(1);
+        self.attempt = self.attempt.saturating_add(1);
+        let half = exp_ms / 2;
+        let jitter = self.next_u64() % (exp_ms - half + 1);
+        Duration::from_millis(half + jitter)
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        if rhs >= 64 || self > (u64::MAX >> rhs) {
+            u64::MAX
+        } else {
+            self << rhs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(1);
+        let mut a = JitteredBackoff::new(42, base, cap);
+        let mut b = JitteredBackoff::new(42, base, cap);
+        let left: Vec<Duration> = (0..8).map(|_| a.next_delay()).collect();
+        let right: Vec<Duration> = (0..8).map(|_| b.next_delay()).collect();
+        assert_eq!(left, right, "fixed seed must reproduce the delay sequence");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(60);
+        let mut a = JitteredBackoff::new(1, base, cap);
+        let mut b = JitteredBackoff::new(2, base, cap);
+        let left: Vec<Duration> = (0..8).map(|_| a.next_delay()).collect();
+        let right: Vec<Duration> = (0..8).map(|_| b.next_delay()).collect();
+        assert_ne!(left, right, "distinct seeds should not collide on every attempt");
+    }
+
+    #[test]
+    fn delays_stay_inside_the_equal_jitter_envelope() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_millis(1_000);
+        for seed in 0..32u64 {
+            let mut backoff = JitteredBackoff::new(seed, base, cap);
+            for attempt in 0..10u32 {
+                let exp = (50u64.saturating_shl(attempt)).min(1_000);
+                let d = backoff.next_delay().as_millis() as u64;
+                assert!(
+                    d >= exp / 2 && d <= exp,
+                    "seed {seed} attempt {attempt}: {d}ms outside [{}, {exp}]",
+                    exp / 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cap_holds_past_shift_overflow() {
+        let mut backoff =
+            JitteredBackoff::new(7, Duration::from_millis(50), Duration::from_millis(400));
+        for _ in 0..80 {
+            assert!(backoff.next_delay() <= Duration::from_millis(400));
+        }
+    }
+}

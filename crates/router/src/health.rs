@@ -1,22 +1,272 @@
-//! Shard health state and the STATS probe.
+//! Shard health: per-shard circuit breakers and the STATS probe.
 //!
-//! The prober periodically runs a one-shot `STATS` exchange against every
-//! shard. Consecutive failures mark a shard down (draining it from
-//! routing — its ring points stay, candidates just skip it, so recovery
-//! restores exactly the old key ownership). The probe also watches
-//! `uptime_seconds` for restarts (uptime going backwards ⇒ schemas must
-//! be re-pushed, warm cache possibly lost) and the `build.*` lines for
-//! snapshot-format skew (a shard whose `COQLSNP1` versions differ from
-//! the router's build is refused as a handoff donor or target).
+//! Every shard carries a [`Breaker`] — a Closed → Open → Half-Open state
+//! machine replacing the old binary `up` flag — fed by *both* probe
+//! outcomes and forward-path outcomes, and consulted by both: the
+//! request path skips shards whose breaker rejects, and the prober
+//! leaves an Open shard alone until its backoff expires, at which point
+//! the probe itself becomes the half-open trial.
+//!
+//! * **Closed**: traffic flows. Hard failures (connect refusal, I/O
+//!   errors, garbled replies, probe failures) are timestamped into a
+//!   sliding window; crossing the threshold opens the breaker.
+//! * **Open**: everything is rejected until the open interval elapses.
+//!   Re-opening after a failed trial doubles the interval (capped), so a
+//!   corpse is poked geometrically less often.
+//! * **Half-Open**: exactly one trial request (or probe) is admitted.
+//!   Success recloses the breaker and resets the backoff; failure
+//!   re-opens it with a longer interval. A trial that never reports
+//!   (its thread died) goes stale after one open interval and the next
+//!   admission may try again.
+//!
+//! Clean protocol sheds (`ERR OVERLOADED`, an unknown-schema answer) are
+//! *successes* to the breaker: the shard proved it is alive and parsing
+//! requests, and opening on overload would amplify the overload.
+//!
+//! The probe also still watches `uptime_seconds` for restarts (uptime
+//! going backwards ⇒ schemas must be re-pushed, warm cache possibly
+//! lost) and the `build.*` lines for snapshot-format skew.
 
+use std::collections::VecDeque;
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use co_service::{FINGERPRINT_VERSION, FORMAT_VERSION};
 use co_trace::Histogram;
 
 use crate::pool::{Pool, PoolConfig};
+
+/// Circuit-breaker knobs, shared by every shard of one router.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Hard failures inside `window` that open the breaker.
+    pub failure_threshold: usize,
+    /// Sliding window over which failures are counted.
+    pub window: Duration,
+    /// Initial open interval before the first half-open trial.
+    pub open_for: Duration,
+    /// Cap on the open interval as failed trials double it.
+    pub max_open_for: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            window: Duration::from_secs(10),
+            open_for: Duration::from_secs(1),
+            max_open_for: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The breaker's externally visible state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows normally.
+    Closed,
+    /// Everything is rejected until the open interval elapses.
+    Open,
+    /// One trial is (or may be) in flight; everything else is rejected.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name, used in `SHARDS` lines and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Numeric encoding for the `router_shard_state` gauge
+    /// (0 = closed, 1 = half-open, 2 = open).
+    pub fn as_gauge(self) -> u8 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// What [`Breaker::admit`] decided for one prospective request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: send it.
+    Yes,
+    /// Half-open: send it, and it is THE trial — its outcome decides
+    /// whether the breaker recloses or re-opens.
+    Trial,
+    /// Open (or a trial is already in flight): do not contact the shard.
+    No,
+}
+
+/// Mutable breaker core, guarded by one short-held mutex.
+struct BreakerCore {
+    state: BreakerState,
+    /// Timestamps of recent hard failures (pruned to `config.window`).
+    failures: VecDeque<Instant>,
+    /// When the breaker last opened.
+    opened_at: Instant,
+    /// Current open interval (doubles on failed trials, resets on close).
+    open_for: Duration,
+    /// When the in-flight half-open trial was admitted.
+    trial_started: Option<Instant>,
+}
+
+/// A Closed → Open → Half-Open circuit breaker with a sliding failure
+/// window and exponential open-interval backoff.
+pub struct Breaker {
+    config: BreakerConfig,
+    core: Mutex<BreakerCore>,
+    /// Transitions into Open (both threshold crossings and failed trials).
+    pub opened: AtomicU64,
+    /// Transitions into Half-Open (trial admissions after backoff expiry).
+    pub half_opened: AtomicU64,
+    /// Transitions back into Closed (successful trials).
+    pub closed: AtomicU64,
+}
+
+impl Breaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> Breaker {
+        Breaker {
+            core: Mutex::new(BreakerCore {
+                state: BreakerState::Closed,
+                failures: VecDeque::new(),
+                opened_at: Instant::now(),
+                open_for: config.open_for,
+                trial_started: None,
+            }),
+            config,
+            opened: AtomicU64::new(0),
+            half_opened: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerCore> {
+        self.core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current state (display only; transitions happen in `admit` and the
+    /// `record_*` calls).
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Hard failures currently inside the sliding window.
+    pub fn window_failures(&self) -> usize {
+        let mut core = self.lock();
+        let cutoff = Instant::now().checked_sub(self.config.window);
+        if let Some(cutoff) = cutoff {
+            while core.failures.front().is_some_and(|&t| t < cutoff) {
+                core.failures.pop_front();
+            }
+        }
+        core.failures.len()
+    }
+
+    /// Decides whether one request (or probe) may contact the shard.
+    /// May transition Open → Half-Open when the open interval has
+    /// elapsed; the caller MUST report the attempt's outcome via
+    /// [`Breaker::record_success`] / [`Breaker::record_failure`] when
+    /// this returns [`Admission::Trial`].
+    pub fn admit(&self) -> Admission {
+        let mut core = self.lock();
+        let now = Instant::now();
+        match core.state {
+            BreakerState::Closed => Admission::Yes,
+            BreakerState::Open => {
+                if now.duration_since(core.opened_at) < core.open_for {
+                    return Admission::No;
+                }
+                core.state = BreakerState::HalfOpen;
+                core.trial_started = Some(now);
+                self.half_opened.fetch_add(1, Ordering::Relaxed);
+                Admission::Trial
+            }
+            BreakerState::HalfOpen => {
+                // A trial whose thread died without reporting must not
+                // wedge the breaker half-open forever: after one open
+                // interval the trial is considered stale.
+                let stale = core.trial_started.is_none_or(|t| {
+                    now.duration_since(t) >= core.open_for.max(self.config.open_for)
+                });
+                if stale {
+                    core.trial_started = Some(now);
+                    Admission::Trial
+                } else {
+                    Admission::No
+                }
+            }
+        }
+    }
+
+    /// Reports a successful exchange (an answer, or a clean protocol
+    /// shed — both prove the shard is alive). Recloses a half-open or
+    /// open breaker. Returns `true` when this call reclosed it.
+    pub fn record_success(&self) -> bool {
+        let mut core = self.lock();
+        match core.state {
+            BreakerState::Closed => false,
+            // A success while Open can only come from a request admitted
+            // before the breaker opened; it is the same evidence of
+            // health a trial success is.
+            BreakerState::Open | BreakerState::HalfOpen => {
+                core.state = BreakerState::Closed;
+                core.failures.clear();
+                core.open_for = self.config.open_for;
+                core.trial_started = None;
+                self.closed.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+        }
+    }
+
+    /// Reports a hard failure (connect refusal, I/O error, short read,
+    /// garbled reply, probe failure). Returns `true` when this call
+    /// opened the breaker (threshold crossed or trial failed).
+    pub fn record_failure(&self) -> bool {
+        let mut core = self.lock();
+        let now = Instant::now();
+        match core.state {
+            BreakerState::Closed => {
+                if let Some(cutoff) = now.checked_sub(self.config.window) {
+                    while core.failures.front().is_some_and(|&t| t < cutoff) {
+                        core.failures.pop_front();
+                    }
+                }
+                core.failures.push_back(now);
+                if core.failures.len() < self.config.failure_threshold.max(1) {
+                    return false;
+                }
+                core.state = BreakerState::Open;
+                core.opened_at = now;
+                core.open_for = self.config.open_for;
+                self.opened.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            BreakerState::HalfOpen => {
+                // The trial failed: re-open with a doubled interval so a
+                // still-dead shard is poked geometrically less often.
+                core.state = BreakerState::Open;
+                core.opened_at = now;
+                core.open_for = (core.open_for * 2).min(self.config.max_open_for);
+                core.trial_started = None;
+                self.opened.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            // Already open: in-flight stragglers add no information.
+            BreakerState::Open => false,
+        }
+    }
+}
 
 /// Live state of one shard, shared between the prober, the request path,
 /// and the `SHARDS`/`METRICS` renderers.
@@ -25,12 +275,11 @@ pub struct ShardState {
     pub addr: String,
     /// Bounded request-path connections to it.
     pub pool: Arc<Pool>,
-    /// Routable right now. Shards start up optimistically — the first
-    /// probe corrects within one interval, and a cold fleet serves
+    /// The circuit breaker gating all contact with this shard. Shards
+    /// start Closed (optimistically routable) — the first probe or
+    /// forward corrects within one interval, and a cold fleet serves
     /// immediately instead of waiting a probe round.
-    pub up: AtomicBool,
-    /// Consecutive probe failures so far.
-    pub failures: AtomicUsize,
+    pub breaker: Breaker,
     /// Times the probe saw uptime go backwards (process replaced).
     pub restarts: AtomicU64,
     /// Last observed `uptime_seconds` (`u64::MAX` before the first
@@ -39,6 +288,8 @@ pub struct ShardState {
     /// The shard's snapshot format/fingerprint versions differ from this
     /// router's build.
     pub version_skew: AtomicBool,
+    /// Forward attempts launched against this shard (answered or not).
+    pub attempts: AtomicU64,
     /// Requests this shard answered through the router.
     pub forwarded: AtomicU64,
     /// Forward latency (µs) of answered requests.
@@ -46,24 +297,25 @@ pub struct ShardState {
 }
 
 impl ShardState {
-    /// Fresh state for `addr`, optimistically up.
-    pub fn new(addr: &str, pool_config: PoolConfig) -> Arc<ShardState> {
+    /// Fresh state for `addr`, breaker closed.
+    pub fn new(addr: &str, pool_config: PoolConfig, breaker: BreakerConfig) -> Arc<ShardState> {
         Arc::new(ShardState {
             addr: addr.to_string(),
             pool: Pool::new(addr, pool_config),
-            up: AtomicBool::new(true),
-            failures: AtomicUsize::new(0),
+            breaker: Breaker::new(breaker),
             restarts: AtomicU64::new(0),
             last_uptime: AtomicU64::new(u64::MAX),
             version_skew: AtomicBool::new(false),
+            attempts: AtomicU64::new(0),
             forwarded: AtomicU64::new(0),
             forward_latency: Histogram::new(),
         })
     }
 
-    /// Routable right now.
+    /// Routable right now (breaker not Open). Half-open counts as up: a
+    /// trial may be admitted.
     pub fn is_up(&self) -> bool {
-        self.up.load(Ordering::Relaxed)
+        self.breaker.state() != BreakerState::Open
     }
 }
 
@@ -120,27 +372,24 @@ pub fn parse_stats(lines: &[String]) -> ProbeReport {
 pub enum Transition {
     /// Nothing changed.
     Steady,
-    /// The shard just came (back) up — schemas must be (re-)pushed.
+    /// The shard just came (back) up — its breaker reclosed on this
+    /// probe — schemas must be (re-)pushed.
     CameUp,
     /// Same process kept running but its uptime went backwards: it was
     /// restarted between probes — schemas must be re-pushed.
     Restarted,
-    /// The shard just crossed the failure threshold and was marked down.
+    /// The shard's breaker just opened and it was drained from routing.
     WentDown,
 }
 
 /// Folds one probe outcome into the shard state and reports what changed.
-pub fn apply_probe(
-    shard: &ShardState,
-    outcome: &io::Result<ProbeReport>,
-    down_after: usize,
-) -> Transition {
+pub fn apply_probe(shard: &ShardState, outcome: &io::Result<ProbeReport>) -> Transition {
     match outcome {
         Ok(report) => {
-            shard.failures.store(0, Ordering::Relaxed);
             shard.version_skew.store(!report.versions_match(), Ordering::Relaxed);
+            let reclosed = shard.breaker.record_success();
             let previous = shard.last_uptime.swap(report.uptime, Ordering::Relaxed);
-            if !shard.up.swap(true, Ordering::Relaxed) {
+            if reclosed {
                 return Transition::CameUp;
             }
             if previous != u64::MAX && report.uptime < previous {
@@ -150,8 +399,7 @@ pub fn apply_probe(
             Transition::Steady
         }
         Err(_) => {
-            let failures = shard.failures.fetch_add(1, Ordering::Relaxed) + 1;
-            if failures >= down_after.max(1) && shard.up.swap(false, Ordering::Relaxed) {
+            if shard.breaker.record_failure() {
                 // Warm sockets to a dead address are useless; drop them so
                 // recovery starts clean.
                 shard.pool.drain_idle();
@@ -166,9 +414,18 @@ pub fn apply_probe(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
+    use std::thread;
 
-    fn shard() -> Arc<ShardState> {
+    fn fast_breaker() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            window: Duration::from_secs(5),
+            open_for: Duration::from_millis(40),
+            max_open_for: Duration::from_millis(160),
+        }
+    }
+
+    fn shard_with(config: BreakerConfig) -> Arc<ShardState> {
         ShardState::new(
             "127.0.0.1:1",
             PoolConfig {
@@ -177,6 +434,7 @@ mod tests {
                 connect_timeout: Duration::from_millis(100),
                 io_timeout: None,
             },
+            config,
         )
     }
 
@@ -194,38 +452,139 @@ mod tests {
     }
 
     #[test]
-    fn down_after_consecutive_failures_and_recovery() {
-        let s = shard();
-        assert_eq!(apply_probe(&s, &fail(), 3), Transition::Steady);
-        assert_eq!(apply_probe(&s, &fail(), 3), Transition::Steady);
+    fn closed_opens_exactly_on_the_threshold() {
+        let b = Breaker::new(fast_breaker());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold stays closed");
+        assert_eq!(b.admit(), Admission::Yes);
+        assert!(b.record_failure(), "third failure in the window opens");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opened.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn open_rejects_immediately_without_io() {
+        let b = Breaker::new(fast_breaker());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.admit(), Admission::No, "open breaker admits nothing");
+        assert_eq!(b.admit(), Admission::No);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn failures_outside_the_window_do_not_accumulate() {
+        let b = Breaker::new(BreakerConfig { window: Duration::from_millis(60), ..fast_breaker() });
+        b.record_failure();
+        b.record_failure();
+        thread::sleep(Duration::from_millis(80));
+        assert_eq!(b.window_failures(), 0, "old failures expired");
+        assert!(!b.record_failure(), "a fresh window starts counting from one");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_trial() {
+        let b = Breaker::new(fast_breaker());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(b.admit(), Admission::Trial, "backoff expired: one trial");
+        assert_eq!(b.half_opened.load(Ordering::Relaxed), 1);
+        assert_eq!(b.admit(), Admission::No, "second concurrent probe is rejected");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn trial_success_recloses_and_resets_backoff() {
+        let b = Breaker::new(fast_breaker());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(b.admit(), Admission::Trial);
+        assert!(b.record_success());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.closed.load(Ordering::Relaxed), 1);
+        assert_eq!(b.window_failures(), 0, "reclosing clears the window");
+        // The backoff reset: a fresh open waits only the base interval.
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(b.admit(), Admission::Trial, "base interval again after reclose");
+    }
+
+    #[test]
+    fn trial_failure_reopens_with_doubled_backoff() {
+        let b = Breaker::new(fast_breaker());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(b.admit(), Admission::Trial);
+        assert!(b.record_failure(), "failed trial re-opens");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opened.load(Ordering::Relaxed), 2);
+        // The interval doubled to 80ms: 50ms is not enough now.
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(b.admit(), Admission::No, "doubled backoff still running");
+        thread::sleep(Duration::from_millis(40));
+        assert_eq!(b.admit(), Admission::Trial, "doubled backoff expired");
+    }
+
+    #[test]
+    fn a_stale_trial_does_not_wedge_the_breaker() {
+        let b = Breaker::new(fast_breaker());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(b.admit(), Admission::Trial);
+        // The trial's thread dies without reporting. After one open
+        // interval the next admission may try again.
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(b.admit(), Admission::Trial, "stale trial is replaced");
+    }
+
+    #[test]
+    fn probe_failures_open_and_a_probe_success_recloses() {
+        let s = shard_with(fast_breaker());
+        assert_eq!(apply_probe(&s, &fail()), Transition::Steady);
+        assert_eq!(apply_probe(&s, &fail()), Transition::Steady);
         assert!(s.is_up(), "below the threshold the shard still serves");
-        assert_eq!(apply_probe(&s, &fail(), 3), Transition::WentDown);
+        assert_eq!(apply_probe(&s, &fail()), Transition::WentDown);
         assert!(!s.is_up());
-        // A single success heals it (and asks for a schema re-push).
-        assert_eq!(apply_probe(&s, &ok(10), 3), Transition::CameUp);
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(s.breaker.admit(), Admission::Trial, "the probe is the trial");
+        assert_eq!(apply_probe(&s, &ok(10)), Transition::CameUp);
         assert!(s.is_up());
-        assert_eq!(s.failures.load(Ordering::Relaxed), 0);
+        assert_eq!(s.breaker.window_failures(), 0);
     }
 
     #[test]
     fn uptime_regression_is_a_restart() {
-        let s = shard();
-        assert_eq!(apply_probe(&s, &ok(100), 3), Transition::Steady);
-        assert_eq!(apply_probe(&s, &ok(150), 3), Transition::Steady);
-        assert_eq!(apply_probe(&s, &ok(3), 3), Transition::Restarted);
+        let s = shard_with(fast_breaker());
+        assert_eq!(apply_probe(&s, &ok(100)), Transition::Steady);
+        assert_eq!(apply_probe(&s, &ok(150)), Transition::Steady);
+        assert_eq!(apply_probe(&s, &ok(3)), Transition::Restarted);
         assert_eq!(s.restarts.load(Ordering::Relaxed), 1);
     }
 
     #[test]
     fn version_skew_is_flagged_not_fatal() {
-        let s = shard();
+        let s = shard_with(fast_breaker());
         let skewed = Ok(ProbeReport {
             uptime: 5,
             format_version: FORMAT_VERSION + 1,
             fingerprint_version: FINGERPRINT_VERSION,
             cache_entries: 0,
         });
-        apply_probe(&s, &skewed, 3);
+        apply_probe(&s, &skewed);
         assert!(s.is_up(), "skew must not stop request serving");
         assert!(s.version_skew.load(Ordering::Relaxed));
     }

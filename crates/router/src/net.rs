@@ -49,12 +49,21 @@ impl LineConn {
 
     /// Reads one line, newline and trailing `\r` stripped. EOF before any
     /// byte is `UnexpectedEof` — on a pooled connection that means the
-    /// shard hung up and the caller should redial.
+    /// shard hung up and the caller should redial. EOF *mid-line* is also
+    /// `UnexpectedEof`: a peer that died while writing leaves a truncated
+    /// reply (`OK hol`), and treating that fragment as a complete line
+    /// would forward a wrong answer instead of failing over.
     pub fn read_line(&mut self) -> io::Result<String> {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;
         if n == 0 {
             return Err(io::Error::new(ErrorKind::UnexpectedEof, "connection closed"));
+        }
+        if !line.ends_with('\n') {
+            return Err(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                format!("connection closed mid-line after {n} byte(s)"),
+            ));
         }
         while line.ends_with('\n') || line.ends_with('\r') {
             line.pop();

@@ -229,4 +229,63 @@ mod tests {
         }
         assert_eq!(pool.live(), 0, "failed dials must not leak live slots");
     }
+
+    #[test]
+    fn poisoned_connection_is_dropped_not_reused() {
+        // A server that echoes the first line on each of two connections,
+        // then truncates the second reply mid-line and severs the socket:
+        // the classic drop-mid-reply poisoning.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            {
+                // Connection 1: echo one line cleanly, keep the socket
+                // open so the pool can keep it warm.
+                let (mut healthy, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(healthy.try_clone().unwrap());
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                healthy.write_all(line.as_bytes()).unwrap();
+                line.clear();
+                // Second request on the same socket: write a truncated
+                // reply (no newline) and hang up mid-line. Both the
+                // stream and its reader clone drop here, so the FD really
+                // closes and the client sees EOF.
+                reader.read_line(&mut line).unwrap();
+                healthy.write_all(b"OK hol").unwrap();
+                healthy.flush().unwrap();
+            }
+            // Connection 2: prove the pool redialed. Echo cleanly.
+            let (mut fresh, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(fresh.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            fresh.write_all(line.as_bytes()).unwrap();
+        });
+
+        let pool = Pool::new(&addr, config());
+        let Checkout::Conn(mut a) = pool.checkout() else { panic!("dial") };
+        a.conn().send_line("first").unwrap();
+        assert_eq!(a.conn().read_line().unwrap(), "first");
+        a.put_back();
+
+        // Reuse the warm connection; the reply is truncated mid-line.
+        let Checkout::Conn(mut b) = pool.checkout() else { panic!("reuse") };
+        assert!(b.reused(), "the warm socket comes back first");
+        b.conn().send_line("second").unwrap();
+        let err = b.conn().read_line().expect_err("truncated reply must error, not parse");
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        // The exchange failed: the connection is poisoned. Dropping the
+        // checkout must discard it — NOT return it to the idle set.
+        drop(b);
+        assert_eq!(pool.live(), 0, "poisoned connection must release its live slot");
+
+        // The next request gets a brand-new socket, never the poisoned one.
+        let Checkout::Conn(mut c) = pool.checkout() else { panic!("fresh redial") };
+        assert!(!c.reused(), "after poisoning, the next checkout must dial fresh");
+        c.conn().send_line("third").unwrap();
+        assert_eq!(c.conn().read_line().unwrap(), "third");
+        drop(c);
+        server.join().unwrap();
+    }
 }

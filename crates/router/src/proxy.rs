@@ -12,11 +12,11 @@
 //! ring sibling under a bounded retry budget.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{mpsc, Arc, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -27,11 +27,17 @@ use co_service::{
 };
 use co_trace::Span;
 
-use crate::health::{apply_probe, probe, ShardState, Transition};
+use crate::backoff::JitteredBackoff;
+use crate::health::{apply_probe, probe, Admission, BreakerConfig, ShardState, Transition};
 use crate::metrics::{aggregate, inject_shard_label};
 use crate::net::{read_bounded_line, LineConn, LineRead};
 use crate::pool::{Checkout, PoolConfig, PooledConn};
 use crate::ring::{hash64, Ring};
+
+/// Hedges allowed above the steady-state rate cap: a small burst so the
+/// very first slow requests of a session can still hedge before enough
+/// decisions have accumulated to fund the permille budget.
+const HEDGE_BURST: u64 = 4;
 
 /// Router knobs.
 #[derive(Clone, Debug)]
@@ -40,10 +46,29 @@ pub struct RouterConfig {
     pub replicas: usize,
     /// How often each shard is health-probed.
     pub probe_interval: Duration,
-    /// Consecutive probe failures before a shard is marked down.
+    /// Hard failures inside [`RouterConfig::breaker_window`] before a
+    /// shard's circuit breaker opens (probe and forward failures both
+    /// count).
     pub down_after: usize,
     /// Extra forward attempts after the first (shed-to-sibling budget).
     pub retry_budget: usize,
+    /// Replica-set size: the ring owner plus its next `replication - 1`
+    /// siblings may all answer a key (verdicts are deterministic, so
+    /// replication needs no coordination). 1 = owner-only routing.
+    pub replication: usize,
+    /// Fire a hedge at the next healthy replica when the primary has not
+    /// answered within this long. `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Steady-state hedge budget in hedges-per-1000-decisions (plus a
+    /// small fixed burst), so fleet-wide slowness cannot make hedges
+    /// double every request.
+    pub hedge_cap_permille: u64,
+    /// Sliding window over which breaker failures are counted.
+    pub breaker_window: Duration,
+    /// How long an opened breaker rejects before admitting one trial.
+    pub breaker_open_for: Duration,
+    /// Cap on the open interval as failed trials double it.
+    pub breaker_max_open: Duration,
     /// Bound on each shard dial.
     pub connect_timeout: Duration,
     /// Reply wait for a forwarded request that carries no `TIMEOUT`
@@ -76,6 +101,12 @@ impl Default for RouterConfig {
             probe_interval: Duration::from_secs(1),
             down_after: 3,
             retry_budget: 2,
+            replication: 1,
+            hedge_after: None,
+            hedge_cap_permille: 100,
+            breaker_window: Duration::from_secs(10),
+            breaker_open_for: Duration::from_secs(1),
+            breaker_max_open: Duration::from_secs(30),
             connect_timeout: Duration::from_secs(1),
             forward_timeout: Duration::from_secs(30),
             read_timeout: Some(Duration::from_secs(30)),
@@ -91,12 +122,27 @@ impl Default for RouterConfig {
     }
 }
 
+impl RouterConfig {
+    /// The per-shard breaker parameters this config implies.
+    pub fn breaker_config(&self) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: self.down_after.max(1),
+            window: self.breaker_window,
+            open_for: self.breaker_open_for,
+            max_open_for: self.breaker_max_open.max(self.breaker_open_for),
+        }
+    }
+}
+
 /// Router-side counters, exposed through `STATS` and `METRICS`.
 #[derive(Default)]
 struct RouterStats {
     routed: AtomicU64,
     shed: AtomicU64,
     retries: AtomicU64,
+    /// Poisoned reused connections replaced by a fresh dial mid-attempt
+    /// (stale socket from before a shard restart, or a corrupted reply).
+    redials: AtomicU64,
     shard_down: AtomicU64,
     handoffs: AtomicU64,
     probe_failures: AtomicU64,
@@ -104,6 +150,15 @@ struct RouterStats {
     client_shed: AtomicU64,
     conn_panics: AtomicU64,
     local_errors: AtomicU64,
+    /// `CHECK`/`EQUIV` requests that reached the forward path (the
+    /// denominator of the hedge rate cap).
+    decision_requests: AtomicU64,
+    /// Hedge attempts fired (reserved against the rate cap).
+    hedges: AtomicU64,
+    /// Decisions where the hedge's answer arrived before the primary's.
+    hedge_wins: AtomicU64,
+    /// Hedges suppressed by the rate cap.
+    hedges_capped: AtomicU64,
 }
 
 /// A schema as the router knows it: the registration text (re-pushed to
@@ -149,8 +204,9 @@ impl Router {
             connect_timeout: config.connect_timeout,
             io_timeout: Some(config.forward_timeout),
         };
+        let breaker = config.breaker_config();
         let shards: Vec<Arc<ShardState>> =
-            shard_addrs.iter().map(|a| ShardState::new(a, pool_config)).collect();
+            shard_addrs.iter().map(|a| ShardState::new(a, pool_config, breaker)).collect();
         let ring = Ring::build(shard_addrs, config.replicas);
         Arc::new(Router {
             config,
@@ -242,23 +298,30 @@ impl Router {
         hash64(&bytes)
     }
 
-    /// Candidate shards for a key in preference order, up shards only.
+    /// Every shard in ring preference order for a key. The first
+    /// [`RouterConfig::replication`] entries are the key's replica set
+    /// (hedge targets); entries past it are failover-only. Breakers are
+    /// consulted per attempt, not here — a shard can reclose between
+    /// routing and launching.
     fn candidates(&self, key: u64) -> Vec<Arc<ShardState>> {
         let fleet = read(&self.fleet);
-        fleet
-            .ring
-            .candidates(key)
-            .into_iter()
-            .map(|i| Arc::clone(&fleet.shards[i]))
-            .filter(|s| s.is_up())
-            .collect()
+        fleet.ring.candidates(key).into_iter().map(|i| Arc::clone(&fleet.shards[i])).collect()
     }
 
     /// Forwards one `CHECK`/`EQUIV` line. `original` is the full request
     /// line (budget prefixes intact); `rest` is the text after the verb;
     /// `timeout_ms` the request's own `TIMEOUT` if any.
+    ///
+    /// The first [`RouterConfig::replication`] ring candidates form the
+    /// key's replica set — determinism means any member's answer is THE
+    /// answer, so replication costs no coordination, only cache heat.
+    /// With hedging enabled the primary gets
+    /// [`RouterConfig::hedge_after`] to answer before a rate-capped
+    /// hedge fires at the next admitted replica; without it, candidates
+    /// are tried sequentially under the retry budget. Per-shard circuit
+    /// breakers gate every launch.
     fn forward_decision(
-        &self,
+        self: &Arc<Router>,
         original: &str,
         rest: &str,
         explain: bool,
@@ -285,85 +348,271 @@ impl Router {
         let key = Router::route_key(entry.fp, fp1, fp2);
         let candidates = self.candidates(key);
         let route_us = route_span.elapsed_us();
-        if candidates.is_empty() {
-            let total = read(&self.fleet).shards.len();
+        let total = candidates.len();
+        if total == 0 {
+            return Err("UNAVAILABLE the fleet is empty".to_string());
+        }
+        if !candidates.iter().any(|s| s.is_up()) {
             return Err(format!("UNAVAILABLE no shard is up (0/{total})"));
         }
+        self.stats.decision_requests.fetch_add(1, Ordering::Relaxed);
 
         let reply_wait = match timeout_ms {
             // The shard should answer ERR DEADLINE itself; the slack only
             // covers transit so a hung shard cannot hold the client.
-            Some(ms) => Some(Duration::from_millis(ms + 500)),
-            None => Some(self.config.forward_timeout),
+            Some(ms) => Duration::from_millis(ms + 500),
+            None => self.config.forward_timeout,
         };
-        let max_attempts = 1 + self.config.retry_budget;
-        let mut attempts = 0;
+        let multiline = explain || cert;
         let forward_span = Span::start();
-        for shard in &candidates {
-            if attempts >= max_attempts {
+        let won = match self.config.hedge_after {
+            None => self.forward_sequential(&candidates, original, multiline, reply_wait, key),
+            Some(after) => self.forward_hedged(&candidates, original, multiline, reply_wait, after),
+        };
+        match won {
+            Ok(win) => {
+                self.stats.routed.fetch_add(1, Ordering::Relaxed);
+                let shard = &candidates[win.idx];
+                shard.forwarded.fetch_add(1, Ordering::Relaxed);
+                let forward_us = forward_span.elapsed_us();
+                shard.forward_latency.observe(forward_us);
+                let mut reply = win.reply;
+                if explain && reply.ends_with("END") {
+                    // Splice the router's own phases in before END.
+                    reply.truncate(reply.len() - "END".len());
+                    reply.push_str(&format!(
+                        "explain.router.route_us {route_us}\n\
+                         explain.router.forward_us {forward_us}\n\
+                         explain.router.attempts {}\n\
+                         explain.router.hedged {}\n\
+                         explain.router.shard {}\nEND",
+                        win.launched, win.hedged as u8, shard.addr
+                    ));
+                }
+                Ok(reply)
+            }
+            Err(launched) => Err(format!(
+                "UNAVAILABLE {launched} forward attempt(s) failed across {total} shard(s), \
+                 retry later"
+            )),
+        }
+    }
+
+    /// Sequential forwarding (hedging disabled): scan candidates in ring
+    /// order, launch each shard whose breaker admits, stop at the first
+    /// answer. Between full passes a seeded jittered backoff breathes so
+    /// half-open trials can resolve — and so a thundering herd of
+    /// synchronized clients decorrelates instead of re-colliding.
+    fn forward_sequential(
+        &self,
+        candidates: &[Arc<ShardState>],
+        line: &str,
+        multiline: bool,
+        reply_wait: Duration,
+        key: u64,
+    ) -> Result<ForwardWin, usize> {
+        let max_launches = 1 + self.config.retry_budget;
+        let mut backoff =
+            JitteredBackoff::new(key, Duration::from_millis(10), Duration::from_millis(200));
+        let mut launched = 0;
+        for pass in 0..max_launches {
+            if pass > 0 {
+                thread::sleep(backoff.next_delay());
+            }
+            for (idx, shard) in candidates.iter().enumerate() {
+                if launched >= max_launches {
+                    return Err(launched);
+                }
+                if shard.breaker.admit() == Admission::No {
+                    continue;
+                }
+                launched += 1;
+                if launched > 1 {
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                match self.attempt_one(shard, line, multiline, reply_wait) {
+                    ForwardOutcome::Answered(reply) => {
+                        return Ok(ForwardWin { reply, idx, launched, hedged: false });
+                    }
+                    ForwardOutcome::Shed | ForwardOutcome::Failed => {
+                        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            if launched >= max_launches {
                 break;
             }
-            attempts += 1;
-            if attempts > 1 {
-                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(launched)
+    }
+
+    /// Hedged forwarding: launch the primary (first admitted candidate),
+    /// and if it has not answered within `hedge_after`, fire one
+    /// rate-capped hedge at the next admitted *replica-set* member; the
+    /// first valid answer wins and the loser's reply is discarded when
+    /// its thread finds the channel gone. Failures (as opposed to
+    /// slowness) fail over immediately to the next candidate — past the
+    /// replica set if need be — as retries, not hedges.
+    fn forward_hedged(
+        self: &Arc<Router>,
+        candidates: &[Arc<ShardState>],
+        line: &str,
+        multiline: bool,
+        reply_wait: Duration,
+        hedge_after: Duration,
+    ) -> Result<ForwardWin, usize> {
+        let replica_n = self.config.replication.clamp(1, candidates.len());
+        let max_launches = (1 + self.config.retry_budget).max(replica_n);
+        let (tx, rx) = mpsc::channel::<(bool, usize, ForwardOutcome)>();
+        let deadline = Instant::now() + reply_wait;
+
+        // Launches the next admitted candidate at or past `*next`;
+        // hedges stay inside the replica set (they chase tail latency on
+        // a warm cache — leaving the set is the failover path's job).
+        let launch = |next: &mut usize, hedge: bool| -> bool {
+            let limit = if hedge { replica_n } else { candidates.len() };
+            while *next < limit {
+                let idx = *next;
+                *next += 1;
+                if candidates[idx].breaker.admit() == Admission::No {
+                    continue;
+                }
+                let router = Arc::clone(self);
+                let shard = Arc::clone(&candidates[idx]);
+                let line = line.to_string();
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    let outcome = router.attempt_one(&shard, &line, multiline, reply_wait);
+                    let _ = tx.send((hedge, idx, outcome));
+                });
+                return true;
             }
-            match self.try_forward(shard, original, explain || cert, reply_wait) {
-                ForwardOutcome::Answered(mut reply) => {
-                    self.stats.routed.fetch_add(1, Ordering::Relaxed);
-                    shard.forwarded.fetch_add(1, Ordering::Relaxed);
-                    let forward_us = forward_span.elapsed_us();
-                    shard.forward_latency.observe(forward_us);
-                    if explain && reply.ends_with("END") {
-                        // Splice the router's own phases in before END.
-                        reply.truncate(reply.len() - "END".len());
-                        reply.push_str(&format!(
-                            "explain.router.route_us {route_us}\n\
-                             explain.router.forward_us {forward_us}\n\
-                             explain.router.attempts {attempts}\n\
-                             explain.router.shard {}\nEND",
-                            shard.addr
-                        ));
+            false
+        };
+
+        let mut next = 0usize;
+        if !launch(&mut next, false) {
+            return Err(0); // every candidate's breaker is open
+        }
+        let mut launched = 1usize;
+        let mut in_flight = 1usize;
+        let mut hedged = false;
+        let mut hedge_at = Some(Instant::now() + hedge_after);
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(launched);
+            }
+            let wake = match hedge_at {
+                Some(h) if h < deadline => h,
+                _ => deadline,
+            };
+            let wait = wake.saturating_duration_since(now).max(Duration::from_millis(1));
+            match rx.recv_timeout(wait) {
+                Ok((was_hedge, idx, ForwardOutcome::Answered(reply))) => {
+                    if was_hedge {
+                        self.stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
                     }
-                    return Ok(reply);
+                    return Ok(ForwardWin { reply, idx, launched, hedged });
                 }
-                ForwardOutcome::Shed => {
+                Ok((_, _, ForwardOutcome::Shed | ForwardOutcome::Failed)) => {
                     self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    in_flight -= 1;
+                    if in_flight == 0 {
+                        // Everything launched so far failed outright:
+                        // fail over to the next candidate immediately.
+                        if launched >= max_launches || !launch(&mut next, false) {
+                            return Err(launched);
+                        }
+                        launched += 1;
+                        in_flight += 1;
+                        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if hedge_at.is_some_and(|h| Instant::now() >= h) {
+                        hedge_at = None; // at most one hedge per request
+                        if launched < max_launches && self.try_reserve_hedge() {
+                            if launch(&mut next, true) {
+                                hedged = true;
+                                launched += 1;
+                                in_flight += 1;
+                            } else {
+                                // No admissible replica to hedge at:
+                                // release the reserved budget.
+                                self.stats.hedges.fetch_sub(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Err(launched),
             }
         }
-        Err(format!(
-            "UNAVAILABLE {attempts} forward attempt(s) failed across {} up shard(s), retry later",
-            candidates.len()
-        ))
+    }
+
+    /// Reserves one hedge against the rate cap, or refuses. The budget is
+    /// `decisions · cap‰ + HEDGE_BURST`; the compare-exchange loop keeps
+    /// concurrent reservations from overshooting it.
+    fn try_reserve_hedge(&self) -> bool {
+        let decisions = self.stats.decision_requests.load(Ordering::Relaxed);
+        let budget = decisions
+            .saturating_mul(self.config.hedge_cap_permille)
+            .saturating_add(HEDGE_BURST * 1000);
+        loop {
+            let hedges = self.stats.hedges.load(Ordering::Relaxed);
+            if (hedges + 1).saturating_mul(1000) > budget {
+                self.stats.hedges_capped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            if self
+                .stats
+                .hedges
+                .compare_exchange(hedges, hedges + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
     }
 
     /// One forward attempt against one shard, including the
-    /// reused-connection redial and the unknown-schema heal. `multiline`
-    /// means the shard answers an `END`-terminated body on `OK`
-    /// (`EXPLAIN` and/or `CERT`).
-    fn try_forward(
+    /// reused-connection redial and the unknown-schema heal, reporting
+    /// the outcome to the shard's breaker. `multiline` means the shard
+    /// answers an `END`-terminated body on `OK` (`EXPLAIN`/`CERT`).
+    fn attempt_one(
         &self,
         shard: &Arc<ShardState>,
         line: &str,
         multiline: bool,
-        reply_wait: Option<Duration>,
+        reply_wait: Duration,
     ) -> ForwardOutcome {
+        shard.attempts.fetch_add(1, Ordering::Relaxed);
         let mut redialed = false;
         loop {
             let mut pooled = match shard.pool.checkout() {
                 Checkout::Conn(conn) => conn,
-                Checkout::Exhausted | Checkout::ConnectFailed(_) => return ForwardOutcome::Shed,
+                // A full pool is this router's own limit, not evidence
+                // about the shard: shed without charging the breaker.
+                Checkout::Exhausted => return ForwardOutcome::Shed,
+                Checkout::ConnectFailed(_) => {
+                    self.note_shard_failure(shard);
+                    return ForwardOutcome::Failed;
+                }
             };
             let reused = pooled.reused();
-            match self.exchange(&mut pooled, line, multiline, reply_wait) {
+            match self.exchange(&mut pooled, line, multiline, Some(reply_wait)) {
                 Ok(Exchange::Reply(reply)) => {
                     pooled.put_back();
+                    shard.breaker.record_success();
                     return ForwardOutcome::Answered(reply);
                 }
                 Ok(Exchange::Overloaded) => {
                     // The shard is healthy enough to answer; keep the
-                    // connection warm and shed to a sibling.
+                    // connection warm and shed to a sibling. Overload is
+                    // proof of life, not failure — opening on it would
+                    // amplify the overload.
                     pooled.put_back();
+                    shard.breaker.record_success();
                     return ForwardOutcome::Shed;
                 }
                 Ok(Exchange::UnknownSchema) => {
@@ -371,6 +620,7 @@ impl Router {
                     // joined); heal it and retry once on the same shard —
                     // affinity is worth one extra round-trip.
                     drop(pooled);
+                    shard.breaker.record_success();
                     if !redialed && self.push_schemas(shard).is_ok() {
                         redialed = true;
                         continue;
@@ -378,17 +628,30 @@ impl Router {
                     return ForwardOutcome::Shed;
                 }
                 Err(_) => {
-                    // I/O failure: the connection is poisoned, drop it. A
-                    // *reused* connection may just have been a stale socket
-                    // from before a shard restart — one fresh dial decides.
+                    // I/O failure or garbled reply: the connection is
+                    // poisoned, drop it. A *reused* connection may just
+                    // have been a stale socket from before a shard
+                    // restart — one fresh dial decides.
                     drop(pooled);
                     if reused && !redialed {
                         redialed = true;
+                        self.stats.redials.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
-                    return ForwardOutcome::Shed;
+                    self.note_shard_failure(shard);
+                    return ForwardOutcome::Failed;
                 }
             }
+        }
+    }
+
+    /// Feeds one hard failure into a shard's breaker; if that opens it,
+    /// drain the shard exactly as a probe-detected death would.
+    fn note_shard_failure(&self, shard: &ShardState) {
+        if shard.breaker.record_failure() {
+            shard.pool.drain_idle();
+            shard.last_uptime.store(u64::MAX, Ordering::Relaxed);
+            self.stats.shard_down.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -408,6 +671,17 @@ impl Router {
         conn.set_read_timeout(reply_wait)?;
         conn.send_line(line)?;
         let first = conn.read_line()?;
+        // Every coqld reply starts `OK` or `ERR`; anything else means the
+        // bytes were corrupted in flight (or the peer is not a coqld).
+        // Treat it as a poisoned connection, never as an answer —
+        // forwarding it could hand the client a wrong verdict.
+        if !(first.starts_with("OK") || first.starts_with("ERR")) {
+            let head: String = first.chars().take(40).collect();
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!("garbled reply from shard: `{head}`"),
+            ));
+        }
         if first.starts_with("ERR OVERLOADED") {
             return Ok(Exchange::Overloaded);
         }
@@ -461,6 +735,12 @@ impl Router {
         put("router.routed", load(&self.stats.routed));
         put("router.shed", load(&self.stats.shed));
         put("router.retries", load(&self.stats.retries));
+        put("router.redials", load(&self.stats.redials));
+        put("router.decision_requests", load(&self.stats.decision_requests));
+        put("router.hedges", load(&self.stats.hedges));
+        put("router.hedge_wins", load(&self.stats.hedge_wins));
+        put("router.hedges_capped", load(&self.stats.hedges_capped));
+        put("router.replication", self.config.replication.to_string());
         put("router.shard_down_events", load(&self.stats.shard_down));
         put("router.handoffs", load(&self.stats.handoffs));
         put("router.probe_failures", load(&self.stats.probe_failures));
@@ -485,13 +765,15 @@ impl Router {
                 v => v as i64,
             };
             out.push_str(&format!(
-                "{} up={} failures={} uptime_seconds={uptime} restarts={} skew={} \
-                 forwarded={} pool_live={}\n",
+                "{} up={} state={} failures={} uptime_seconds={uptime} restarts={} skew={} \
+                 attempts={} forwarded={} pool_live={}\n",
                 s.addr,
                 s.is_up(),
-                s.failures.load(Ordering::Relaxed),
+                s.breaker.state().name(),
+                s.breaker.window_failures(),
                 s.restarts.load(Ordering::Relaxed),
                 s.version_skew.load(Ordering::Relaxed),
+                s.attempts.load(Ordering::Relaxed),
                 s.forwarded.load(Ordering::Relaxed),
                 s.pool.live(),
             ));
@@ -530,6 +812,11 @@ impl Router {
             load(&self.stats.retries),
         );
         counter(
+            "router_redials_total",
+            "Poisoned reused connections replaced by a fresh dial mid-attempt",
+            load(&self.stats.redials),
+        );
+        counter(
             "router_shard_down_total",
             "Times a shard crossed the failure threshold and was drained",
             load(&self.stats.shard_down),
@@ -539,6 +826,26 @@ impl Router {
             "router_probe_failures_total",
             "Health probes that failed",
             load(&self.stats.probe_failures),
+        );
+        counter(
+            "router_decision_requests_total",
+            "CHECK/EQUIV requests that reached the forward path",
+            load(&self.stats.decision_requests),
+        );
+        counter(
+            "router_hedges_total",
+            "Hedge attempts fired after the primary stayed silent past the hedge delay",
+            load(&self.stats.hedges),
+        );
+        counter(
+            "router_hedge_wins_total",
+            "Decisions where the hedge answered before the primary",
+            load(&self.stats.hedge_wins),
+        );
+        counter(
+            "router_hedges_capped_total",
+            "Hedges suppressed by the rate cap",
+            load(&self.stats.hedges_capped),
         );
         counter(
             "router_local_errors_total",
@@ -553,6 +860,35 @@ impl Router {
                 inject_shard_label("router_shard_up", &s.addr),
                 s.is_up() as u8
             ));
+        }
+        out.push_str(
+            "# HELP router_shard_state Circuit-breaker state per shard \
+             (0=closed, 1=half-open, 2=open)\n",
+        );
+        out.push_str("# TYPE router_shard_state gauge\n");
+        for s in &shards {
+            out.push_str(&format!(
+                "{} {}\n",
+                inject_shard_label("router_shard_state", &s.addr),
+                s.breaker.state().as_gauge()
+            ));
+        }
+        out.push_str(
+            "# HELP router_breaker_transitions_total Breaker transitions per shard by kind\n",
+        );
+        out.push_str("# TYPE router_breaker_transitions_total counter\n");
+        for s in &shards {
+            for (kind, count) in [
+                ("open", &s.breaker.opened),
+                ("half_open", &s.breaker.half_opened),
+                ("close", &s.breaker.closed),
+            ] {
+                out.push_str(&format!(
+                    "router_breaker_transitions_total{{shard=\"{}\",transition=\"{kind}\"}} {}\n",
+                    s.addr,
+                    count.load(Ordering::Relaxed)
+                ));
+            }
         }
         out.push_str("# HELP router_forwarded_total Requests answered by each shard\n");
         out.push_str("# TYPE router_forwarded_total counter\n");
@@ -603,7 +939,7 @@ impl Router {
         // 1. The joiner must be reachable and format-compatible: a skewed
         // build would quarantine the pushed snapshot (wasted work) or,
         // worse, serve differently-keyed verdicts.
-        let joiner = ShardState::new(addr, self.pool_config());
+        let joiner = ShardState::new(addr, self.pool_config(), self.config.breaker_config());
         let report =
             probe(&joiner).map_err(|e| format!("cannot probe joining shard {addr}: {e}"))?;
         if !report.versions_match() {
@@ -660,7 +996,7 @@ impl Router {
         ))
     }
 
-    fn handle_line(&self, raw: &str) -> Reply {
+    fn handle_line(self: &Arc<Router>, raw: &str) -> Reply {
         let raw = raw.trim();
         if raw.is_empty() || raw.starts_with('#') {
             return Reply::None;
@@ -714,15 +1050,22 @@ impl Router {
     }
 
     /// One probe round over the whole fleet (also run once at boot so a
-    /// dead shard is drained before the first real request).
+    /// dead shard is drained before the first real request). The probe
+    /// respects each shard's breaker: an Open shard is left alone until
+    /// its backoff expires, and then the probe itself serves as the
+    /// half-open trial — so a dead shard costs one connect attempt per
+    /// backoff interval, not one per round.
     fn probe_round(self: &Arc<Router>) {
         let shards = read(&self.fleet).shards.clone();
         for shard in &shards {
+            if shard.breaker.admit() == Admission::No {
+                continue;
+            }
             let outcome = probe(shard);
             if outcome.is_err() {
                 self.stats.probe_failures.fetch_add(1, Ordering::Relaxed);
             }
-            match apply_probe(shard, &outcome, self.config.down_after) {
+            match apply_probe(shard, &outcome) {
                 Transition::WentDown => {
                     self.stats.shard_down.fetch_add(1, Ordering::Relaxed);
                 }
@@ -740,8 +1083,24 @@ impl Router {
 enum ForwardOutcome {
     /// The shard answered (any reply except overload/unreachable).
     Answered(String),
-    /// Shed to the next candidate.
+    /// The shard is alive but cannot take this request (overloaded,
+    /// schema heal failed, pool exhausted) — move on without charging
+    /// its breaker.
     Shed,
+    /// Hard failure (unreachable, I/O error, garbled reply) — charged to
+    /// the shard's breaker; move on.
+    Failed,
+}
+
+/// A won forward: the reply plus what it took to get it.
+struct ForwardWin {
+    reply: String,
+    /// Index of the answering shard in the candidate list.
+    idx: usize,
+    /// Attempts launched (primary + retries + hedge).
+    launched: usize,
+    /// Whether a hedge fired for this request (win or not).
+    hedged: bool,
 }
 
 /// What one request/reply exchange produced.

@@ -233,6 +233,142 @@ fn killed_shard_sheds_to_siblings_with_zero_wrong_verdicts() {
 }
 
 #[test]
+fn open_breaker_cuts_traffic_then_recloses_after_restart() {
+    let shards: Vec<_> = (0..3).map(|_| start_shard(false)).collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.0).collect();
+    let config = RouterConfig {
+        breaker_open_for: Duration::from_millis(400),
+        breaker_max_open: Duration::from_millis(1600),
+        ..test_config()
+    };
+    let (router_addr, _router, stop, handle) = start_router(&addrs, config);
+    let mut c = Client::connect(router_addr);
+    assert!(c.send(SCHEMA).starts_with("OK"));
+
+    // Warm six semantic pairs so the later hammer is all cache hits (the
+    // breaker-window arithmetic below needs the hammer to be fast).
+    for k in 0..6 {
+        assert!(c.send(&format!("CHECK app {}", pair(k, "x"))).starts_with("OK holds=true"));
+    }
+
+    // Kill one shard; one failover round re-computes its pairs on
+    // siblings (correct verdicts, now cached there too).
+    let (dead_addr, dead_stop, _) = &shards[1];
+    dead_stop.trigger();
+    for k in 0..6 {
+        assert!(c.send(&format!("CHECK app {}", pair(k, "x"))).starts_with("OK holds=true"));
+    }
+
+    // Failed probes/dials trip the breaker: SHARDS soon shows it Open.
+    let shard_line = |c: &mut Client, addr: &SocketAddr| -> String {
+        let first = c.send("SHARDS");
+        let mut lines = c.read_until("END");
+        lines.insert(0, first);
+        lines
+            .iter()
+            .find(|l| l.starts_with(&addr.to_string()))
+            .unwrap_or_else(|| panic!("SHARDS lost {addr}: {lines:?}"))
+            .clone()
+    };
+    let field = |line: &str, key: &str| -> String {
+        line.split_whitespace()
+            .find_map(|t| t.strip_prefix(&format!("{key}=")).map(str::to_string))
+            .unwrap_or_else(|| panic!("no `{key}=` in `{line}`"))
+    };
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let line = shard_line(&mut c, dead_addr);
+        if field(&line, "state") == "open" {
+            assert_eq!(field(&line, "up"), "false", "{line}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "breaker never opened: {line}");
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    // While Open the shard receives no request traffic: hammer 18 cached
+    // requests and watch its attempt counter stay (nearly) frozen — only
+    // an occasional half-open trial may touch it. Without the breaker the
+    // dead owner would eat a dial per request for its ~third of the keys.
+    let before: u64 = field(&shard_line(&mut c, dead_addr), "attempts").parse().unwrap();
+    for _ in 0..3 {
+        for k in 0..6 {
+            assert!(c.send(&format!("CHECK app {}", pair(k, "x"))).starts_with("OK holds=true"));
+        }
+    }
+    let after: u64 = field(&shard_line(&mut c, dead_addr), "attempts").parse().unwrap();
+    assert!(after - before <= 3, "Open breaker leaked traffic: {before} -> {after}");
+
+    // Restart a shard on the same port (fresh engine, no schema — the
+    // router re-pushes it on demand). The next half-open probe trial
+    // succeeds and the breaker recloses.
+    let revived = {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match TcpListener::bind(dead_addr) {
+                Ok(l) => break l,
+                Err(_) if Instant::now() < deadline => thread::sleep(Duration::from_millis(50)),
+                Err(e) => panic!("port {dead_addr} never freed: {e}"),
+            }
+        }
+    };
+    let engine = Arc::new(Engine::new(EngineConfig {
+        cache_shards: 2,
+        cache_per_shard: 256,
+        workers: 2,
+        ..EngineConfig::default()
+    }));
+    let revived_stop = Shutdown::new();
+    let revived_handle = {
+        let shutdown = revived_stop.clone();
+        thread::spawn(move || {
+            serve_with_shutdown(revived, engine, ServerConfig::default(), shutdown)
+                .expect("serve revived shard");
+        })
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let line = shard_line(&mut c, dead_addr);
+        if field(&line, "state") == "closed" {
+            assert_eq!(field(&line, "up"), "true", "{line}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "breaker never reclosed: {line}");
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    // Serving resumes through the revived shard (schema healed on the fly).
+    for k in 0..6 {
+        assert!(c.send(&format!("CHECK app {}", pair(k, "y"))).starts_with("OK holds=true"));
+    }
+
+    // The full breaker cycle is visible in METRICS.
+    let first = c.send("METRICS");
+    let mut lines = c.read_until("# EOF");
+    lines.insert(0, first);
+    for transition in ["open", "half_open", "close"] {
+        let series = format!(
+            "router_breaker_transitions_total{{shard=\"{dead_addr}\",transition=\"{transition}\"}}"
+        );
+        let count = lines
+            .iter()
+            .find_map(|l| l.strip_prefix(&format!("{series} ")))
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("missing series {series}"));
+        assert!(count >= 1, "{series} never incremented");
+    }
+
+    stop.trigger();
+    handle.join().unwrap();
+    revived_stop.trigger();
+    revived_handle.join().unwrap();
+    for (_, s, h) in shards {
+        s.trigger();
+        let _ = h.join();
+    }
+}
+
+#[test]
 fn fleet_metrics_aggregate_and_stay_parseable() {
     let shards: Vec<_> = (0..2).map(|_| start_shard(false)).collect();
     let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.0).collect();

@@ -18,9 +18,30 @@
 //! * **snapshot crash** — every Nth snapshot write "crashes" after the
 //!   temp file is written but before the atomic rename, exercising
 //!   recovery from exactly the window the rename protocol protects.
+//! * **drop mid-reply** — every Nth reply is truncated halfway and the
+//!   connection torn down, exercising the router's short-read detection
+//!   (a half-written `OK hol…` must never be forwarded as an answer);
+//! * **stall before reply** — every Nth reply is delayed, exercising
+//!   hedged requests and reply-deadline handling;
+//! * **garbled reply** — every Nth reply has its bytes corrupted,
+//!   exercising the router's reply validation and failover.
 //!
 //! Triggers are counters, not randomness: a 1-in-N fault fires on exactly
 //! the Nth, 2Nth, … call, so tests are reproducible.
+
+/// What the reply-path hook decided to do to the next reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyFault {
+    /// Write the reply normally.
+    None,
+    /// Write roughly half the reply bytes, then sever the connection.
+    DropMidReply,
+    /// Sleep this many milliseconds, then write the reply normally.
+    Stall(u64),
+    /// Corrupt the reply bytes (newlines preserved so it stays
+    /// line-framed — the corruption is in the payload, not the framing).
+    Garble,
+}
 
 #[cfg(feature = "fault-inject")]
 mod imp {
@@ -39,6 +60,13 @@ mod imp {
     static SNAP_FAIL_TICK: AtomicU64 = AtomicU64::new(0);
     pub static SNAP_CRASH_EVERY: AtomicU64 = AtomicU64::new(0);
     static SNAP_CRASH_TICK: AtomicU64 = AtomicU64::new(0);
+    pub static DROP_EVERY: AtomicU64 = AtomicU64::new(0);
+    static DROP_TICK: AtomicU64 = AtomicU64::new(0);
+    pub static STALL_EVERY: AtomicU64 = AtomicU64::new(0);
+    pub static STALL_MS: AtomicU64 = AtomicU64::new(0);
+    static STALL_TICK: AtomicU64 = AtomicU64::new(0);
+    pub static GARBLE_EVERY: AtomicU64 = AtomicU64::new(0);
+    static GARBLE_TICK: AtomicU64 = AtomicU64::new(0);
 
     fn fires(every: &AtomicU64, tick: &AtomicU64) -> bool {
         let n = every.load(Ordering::Relaxed);
@@ -70,6 +98,23 @@ mod imp {
         fires(&SNAP_CRASH_EVERY, &SNAP_CRASH_TICK)
     }
 
+    pub fn reply_fault() -> super::ReplyFault {
+        // Evaluate every armed trigger (so their counters all advance on
+        // every reply), then apply the most destructive one that fired.
+        let drop = fires(&DROP_EVERY, &DROP_TICK);
+        let garble = fires(&GARBLE_EVERY, &GARBLE_TICK);
+        let stall = fires(&STALL_EVERY, &STALL_TICK);
+        if drop {
+            super::ReplyFault::DropMidReply
+        } else if garble {
+            super::ReplyFault::Garble
+        } else if stall {
+            super::ReplyFault::Stall(STALL_MS.load(Ordering::Relaxed))
+        } else {
+            super::ReplyFault::None
+        }
+    }
+
     pub fn reset() {
         for a in [
             &PANIC_EVERY,
@@ -83,6 +128,13 @@ mod imp {
             &SNAP_FAIL_TICK,
             &SNAP_CRASH_EVERY,
             &SNAP_CRASH_TICK,
+            &DROP_EVERY,
+            &DROP_TICK,
+            &STALL_EVERY,
+            &STALL_MS,
+            &STALL_TICK,
+            &GARBLE_EVERY,
+            &GARBLE_TICK,
         ] {
             a.store(0, Ordering::Relaxed);
         }
@@ -138,6 +190,20 @@ pub fn snapshot_crash_before_rename() -> bool {
     }
 }
 
+/// Hook: what to do to the reply about to be written (drop mid-write,
+/// stall, garble, or nothing). Called once per reply.
+#[inline]
+pub fn reply_fault() -> ReplyFault {
+    #[cfg(feature = "fault-inject")]
+    {
+        imp::reply_fault()
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        ReplyFault::None
+    }
+}
+
 /// Arms a panic on every `every`-th kernel entry (0 disarms).
 #[cfg(feature = "fault-inject")]
 pub fn set_kernel_panic_every(every: u64) {
@@ -172,6 +238,27 @@ pub fn set_snapshot_crash_every(every: u64) {
     imp::SNAP_CRASH_EVERY.store(every, std::sync::atomic::Ordering::Relaxed);
 }
 
+/// Arms a mid-write connection drop on every `every`-th reply (0
+/// disarms).
+#[cfg(feature = "fault-inject")]
+pub fn set_reply_drop_every(every: u64) {
+    imp::DROP_EVERY.store(every, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Arms a `ms`-millisecond stall before every `every`-th reply
+/// (0 disarms).
+#[cfg(feature = "fault-inject")]
+pub fn set_reply_stall(every: u64, ms: u64) {
+    imp::STALL_EVERY.store(every, std::sync::atomic::Ordering::Relaxed);
+    imp::STALL_MS.store(ms, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Arms payload corruption on every `every`-th reply (0 disarms).
+#[cfg(feature = "fault-inject")]
+pub fn set_reply_garble_every(every: u64) {
+    imp::GARBLE_EVERY.store(every, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Disarms every fault and zeroes the trigger counters.
 #[cfg(feature = "fault-inject")]
 pub fn reset() {
@@ -180,7 +267,8 @@ pub fn reset() {
 
 /// Arms faults from the `COQLD_FAULTS` environment variable, a
 /// comma-separated list of `panic=<N>`, `slow=<N>:<ms>`, `pad=<N>:<bytes>`,
-/// `snap_fail=<N>`, `snap_crash=<N>`.
+/// `snap_fail=<N>`, `snap_crash=<N>`, `drop=<N>`, `stall=<N>:<ms>`,
+/// `garble=<N>`.
 /// Unknown or malformed entries are ignored (the variable is a test hook,
 /// not an interface).
 #[cfg(feature = "fault-inject")]
@@ -199,6 +287,9 @@ pub fn init_from_env() {
             ("pad", Some(Ok(n)), Some(Ok(bytes))) => set_reply_padding(n, bytes as usize),
             ("snap_fail", Some(Ok(n)), None) => set_snapshot_fail_every(n),
             ("snap_crash", Some(Ok(n)), None) => set_snapshot_crash_every(n),
+            ("drop", Some(Ok(n)), None) => set_reply_drop_every(n),
+            ("stall", Some(Ok(n)), Some(Ok(ms))) => set_reply_stall(n, ms),
+            ("garble", Some(Ok(n)), None) => set_reply_garble_every(n),
             _ => {}
         }
     }
@@ -216,5 +307,35 @@ mod tests {
         assert_eq!(pattern, vec![0, 0, 10, 0, 0, 10]);
         reset();
         assert_eq!(reply_padding(), 0);
+    }
+
+    #[test]
+    fn reply_faults_fire_on_schedule_with_drop_winning_ties() {
+        reset();
+        set_reply_drop_every(4);
+        set_reply_stall(2, 250);
+        let pattern: Vec<ReplyFault> = (0..8).map(|_| reply_fault()).collect();
+        assert_eq!(
+            pattern,
+            vec![
+                ReplyFault::None,
+                ReplyFault::Stall(250),
+                ReplyFault::None,
+                ReplyFault::DropMidReply, // 4th: drop outranks the stall
+                ReplyFault::None,
+                ReplyFault::Stall(250),
+                ReplyFault::None,
+                ReplyFault::DropMidReply,
+            ]
+        );
+        reset();
+        set_reply_garble_every(3);
+        let pattern: Vec<ReplyFault> = (0..4).map(|_| reply_fault()).collect();
+        assert_eq!(
+            pattern,
+            vec![ReplyFault::None, ReplyFault::None, ReplyFault::Garble, ReplyFault::None]
+        );
+        reset();
+        assert_eq!(reply_fault(), ReplyFault::None);
     }
 }

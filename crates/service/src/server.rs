@@ -551,6 +551,33 @@ fn slow_log(ctx: &ServerCtx, line: &str, reply: &Reply, elapsed: Duration) {
 }
 
 fn write_reply(writer: &mut TcpStream, text: &str) -> io::Result<()> {
+    match faults::reply_fault() {
+        faults::ReplyFault::None => {}
+        faults::ReplyFault::Stall(ms) => {
+            // Delay, then answer normally: the reply is correct but slow
+            // (a hedge should win the race against it).
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        faults::ReplyFault::Garble => {
+            // Corrupt every payload byte but keep the line framing, so
+            // the peer reads a complete line of garbage — its reply
+            // validation, not its framing, must catch it.
+            let garbled: Vec<u8> =
+                text.bytes().map(|b| if b == b'\n' { b } else { b ^ 0x55 }).collect();
+            writer.write_all(&garbled)?;
+            writer.write_all(b"\n")?;
+            return writer.flush();
+        }
+        faults::ReplyFault::DropMidReply => {
+            // Write half the reply, then sever the connection without the
+            // terminating newline: the peer sees a truncated line ending
+            // in EOF and must treat it as a failure, not an answer.
+            writer.write_all(&text.as_bytes()[..text.len() / 2])?;
+            writer.flush()?;
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+            return Err(io::Error::new(io::ErrorKind::ConnectionAborted, "fault-inject: drop"));
+        }
+    }
     writer.write_all(text.as_bytes())?;
     let pad = faults::reply_padding();
     if pad > 0 {

@@ -316,4 +316,116 @@ done
 [ -n "$DOWN" ] || { echo "killed shard not marked down in SHARDS"; exit 1; }
 
 kill $FLEET_PIDS 2>/dev/null || true
+
+# ---------------------------------------------------------------------------
+# Chaos drill (DESIGN.md §16): a replicated fleet (3 shards, --replication 2,
+# hedging, circuit breakers) under real faults. One shard replies through
+# armed fault hooks (drop-mid-reply + stalls), another is SIGKILLed mid-load
+# and later restarted on the same port. Gates: 100% verdict agreement with a
+# cold oracle on every answered request (UNAVAILABLE excluded), ≥99% of the
+# 300 mixed CHECK/EQUIV/CERT requests answered, the killed shard's breaker
+# cycle (open → half_open → close) visible in the aggregated METRICS, and
+# hedges within the configured rate cap.
+echo "==> chaos drill (replicated fleet under faults, kill + restart)"
+# Fault hooks stay out of the tier-1 binaries: build an armed coqld into its
+# own target dir (cached across runs) for the flaky shard only.
+run cargo build --release -p coql-containment --features fault-inject \
+    --bin coqld --target-dir target/chaos
+# The chaos suite proper: router + in-process shards with armed faults.
+run cargo test -q -p co-router --features fault-inject --test chaos
+
+CHAOS_PIDS=
+trap 'kill $CHAOS_PIDS $FLEET_PIDS "$COQLD_PID" 2>/dev/null || true' EXIT
+./target/release/coqld --listen 127.0.0.1:0 >target/chaos-c1.log 2>&1 &
+CHAOS_PIDS="$CHAOS_PIDS $!"
+./target/release/coqld --listen 127.0.0.1:0 >target/chaos-c2.log 2>&1 &
+C2_PID=$!
+CHAOS_PIDS="$CHAOS_PIDS $C2_PID"
+# The flaky shard: every 9th reply truncated mid-write, every 7th stalled.
+COQLD_FAULTS='drop=9,stall=7:300' ./target/chaos/release/coqld --listen 127.0.0.1:0 \
+    >target/chaos-c3.log 2>&1 &
+CHAOS_PIDS="$CHAOS_PIDS $!"
+./target/release/coqld --listen 127.0.0.1:0 >target/chaos-oracle.log 2>&1 &
+CHAOS_PIDS="$CHAOS_PIDS $!"
+C1=$(announced_addr target/chaos-c1.log 'coqld: listening on ')
+C2=$(announced_addr target/chaos-c2.log 'coqld: listening on ')
+C3=$(announced_addr target/chaos-c3.log 'coqld: listening on ')
+CORACLE=$(announced_addr target/chaos-oracle.log 'coqld: listening on ')
+./target/release/coqld-router --listen 127.0.0.1:0 \
+    --shard "$C1" --shard "$C2" --shard "$C3" \
+    --replication 2 --hedge-after-ms 150 --hedge-cap-permille 200 \
+    --probe-interval-ms 200 --down-after 2 --retries 3 \
+    --breaker-open-ms 400 --breaker-max-open-ms 2000 \
+    >target/chaos-router.log 2>&1 &
+CHAOS_PIDS="$CHAOS_PIDS $!"
+CROUTER=$(announced_addr target/chaos-router.log 'coqld-router: listening on ')
+
+req_at "$CROUTER" "SCHEMA app R(A, B); S(C)" | grep -q 'shards=3/3' \
+    || { echo "chaos: schema broadcast did not reach 3/3 shards"; exit 1; }
+req_at "$CORACLE" "SCHEMA app R(A, B); S(C)" >/dev/null
+
+# 300 mixed requests over 25 semantic pairs: CHECK, EQUIV, and CERT CHECK
+# round-robin (certificate blocks never start with OK/ERR, so the verdict
+# filter stays exact).
+./target/release/co-bench workload --total 300 --distinct 25 --seed 29 \
+    | awk '{ v = NR % 3
+             if (v == 1) print "CHECK app " $0
+             else if (v == 2) print "EQUIV app " $0
+             else print "CERT CHECK app " $0 }' >target/chaos-requests.txt
+mapfile -t CREQUESTS <target/chaos-requests.txt
+req_at "$CORACLE" "${CREQUESTS[@]}" | verdicts >target/chaos-oracle-verdicts.txt
+
+# Batch 1 (healthy fleet) → SIGKILL one clean shard → batch 2 (degraded)
+# → restart it on the same port → wait for its breaker to reclose →
+# batch 3 (recovered).
+req_at "$CROUTER" "${CREQUESTS[@]:0:100}" | verdicts >target/chaos-router-verdicts.txt
+kill -9 "$C2_PID" 2>/dev/null || true
+req_at "$CROUTER" "${CREQUESTS[@]:100:100}" | verdicts >>target/chaos-router-verdicts.txt
+./target/release/coqld --listen "$C2" >target/chaos-c2-revived.log 2>&1 &
+CHAOS_PIDS="$CHAOS_PIDS $!"
+RECLOSED=
+for _ in $(seq 150); do # open backoff doubles up to 2s before the trial
+    if req_at "$CROUTER" SHARDS | grep -q "^$C2 up=true state=closed"; then
+        RECLOSED=1; break
+    fi
+    sleep 0.1
+done
+[ -n "$RECLOSED" ] || { echo "chaos: restarted shard never reclosed its breaker"; exit 1; }
+req_at "$CROUTER" "${CREQUESTS[@]:200:100}" | verdicts >>target/chaos-router-verdicts.txt
+
+# Gate 1: every request came back (one verdict line each), ≥99% answered
+# (at most 3 UNAVAILABLE sheds), and every answered verdict agrees with
+# the cold oracle.
+[ "$(wc -l <target/chaos-router-verdicts.txt)" -eq 300 ] \
+    || { echo "chaos: router answered $(wc -l <target/chaos-router-verdicts.txt)/300"; exit 1; }
+paste -d'|' target/chaos-router-verdicts.txt target/chaos-oracle-verdicts.txt | awk -F'|' '
+    $1 ~ /UNAVAILABLE/ { skipped++; next }
+    $1 != $2 { print "chaos: wrong verdict: got \"" $1 "\" want \"" $2 "\""; bad = 1 }
+    END {
+        if (skipped + 0 > 3) { print "chaos: " skipped " requests unanswered (>1%)"; exit 1 }
+        exit bad
+    }'
+
+# Gate 2: the killed shard walked the full breaker cycle, visibly.
+req_at "$CROUTER" METRICS >target/chaos-metrics.txt
+grep -q '^# EOF$' target/chaos-metrics.txt || { echo "chaos scrape missing # EOF"; exit 1; }
+counters_of target/chaos-metrics.txt >/dev/null # exposition stays parseable
+for transition in open half_open close; do
+    grep -Eq "^router_breaker_transitions_total\{shard=\"$C2\",transition=\"$transition\"\} [1-9]" \
+        target/chaos-metrics.txt \
+        || { echo "chaos: breaker never logged '$transition' for the killed shard"; exit 1; }
+done
+
+# Gate 3: stalls made the router hedge, and the rate cap held:
+# hedges·1000 ≤ decisions·cap‰ + burst·1000.
+read -r HEDGES DECISIONS <<EOF2
+$(awk '$1 == "router_hedges_total" { h = $2 }
+       $1 == "router_decision_requests_total" { d = $2 }
+       END { print h + 0, d + 0 }' target/chaos-metrics.txt)
+EOF2
+[ "$HEDGES" -ge 1 ] || { echo "chaos: stalled shard never triggered a hedge"; exit 1; }
+[ $((HEDGES * 1000)) -le $((DECISIONS * 200 + 4000)) ] \
+    || { echo "chaos: hedge cap violated: $HEDGES hedges for $DECISIONS decisions"; exit 1; }
+
+kill $CHAOS_PIDS 2>/dev/null || true
 echo "==> verify OK"

@@ -127,15 +127,18 @@ commands:
   fingerprint <schema> <q>         print the query's canonical form and the
                                    128-bit fingerprint coqld uses as cache key
                                    (stable under α-renaming and clause order)
-  remote [--retries <n>] <addr:port> <request ...>
+  remote [--retries <n>] [--backoff-seed <s>] <addr:port> <request ...>
                                    send one protocol line to a running coqld
                                    or coqld-router and print the full reply
                                    (multi-line replies — STATS, METRICS,
                                    SHARDS, EXPLAIN — are read to their
                                    terminator). --retries n retries up to n
                                    extra times on connect failure or
-                                   ERR OVERLOADED, backing off 50ms·2^i
-                                   capped at 1s (default 0: fail fast)
+                                   ERR OVERLOADED, backing off a jittered
+                                   50ms·2^i capped at 1s (default 0: fail
+                                   fast); --backoff-seed fixes the jitter
+                                   stream for reproducible delay sequences
+                                   (default: derived from pid + address)
 
 file formats:
   schema   one relation per line:     R(A, B)
@@ -496,12 +499,17 @@ fn cmd_fingerprint(schema_text: &str, q_text: &str) -> Result<String, String> {
     Ok(out)
 }
 
-/// `coqlc remote [--retries n] <addr> <request ...>` — one protocol
-/// exchange with a coqld or coqld-router, with bounded retry-with-backoff
-/// on the two transient failure classes (unreachable, shed).
+/// `coqlc remote [--retries n] [--backoff-seed s] <addr> <request ...>` —
+/// one protocol exchange with a coqld or coqld-router, with bounded
+/// jittered retry-with-backoff on the two transient failure classes
+/// (unreachable, shed). The jitter decorrelates synchronized clients
+/// (no retry storms); a fixed `--backoff-seed` makes the delay sequence
+/// reproducible for tests.
 fn cmd_remote(args: &[String]) -> Result<String, String> {
-    let usage = "usage: coqlc remote [--retries <n>] <addr:port> <request ...>  (see --help)";
+    let usage = "usage: coqlc remote [--retries <n>] [--backoff-seed <s>] <addr:port> \
+                 <request ...>  (see --help)";
     let mut retries = 0usize;
+    let mut seed: Option<u64> = None;
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -509,6 +517,12 @@ fn cmd_remote(args: &[String]) -> Result<String, String> {
             let v = it.next().ok_or_else(|| format!("--retries needs a value; {usage}"))?;
             retries =
                 v.parse().map_err(|_| format!("--retries expects a number, got `{v}`; {usage}"))?;
+        } else if arg == "--backoff-seed" {
+            let v = it.next().ok_or_else(|| format!("--backoff-seed needs a value; {usage}"))?;
+            seed = Some(
+                v.parse()
+                    .map_err(|_| format!("--backoff-seed expects a number, got `{v}`; {usage}"))?,
+            );
         } else {
             positional.push(arg);
         }
@@ -519,11 +533,25 @@ fn cmd_remote(args: &[String]) -> Result<String, String> {
     let addr = positional[0];
     let request = positional[1..].join(" ");
 
+    // Unseeded invocations decorrelate by process identity: two clients
+    // that fail simultaneously still back off on different schedules.
+    let seed = seed.unwrap_or_else(|| {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::process::id().hash(&mut h);
+        addr.hash(&mut h);
+        h.finish()
+    });
+    let mut backoff = co_router::JitteredBackoff::new(
+        seed,
+        Duration::from_millis(50),
+        Duration::from_millis(1_000),
+    );
     let mut last_failure = String::new();
     for attempt in 0..=retries {
         if attempt > 0 {
-            // 50ms, 100ms, 200ms, ... capped at 1s.
-            std::thread::sleep(Duration::from_millis((50u64 << (attempt - 1)).min(1_000)));
+            // Jittered 50ms, 100ms, 200ms, ... capped at 1s.
+            std::thread::sleep(backoff.next_delay());
         }
         match remote_exchange(addr, &request) {
             Err(e) => {

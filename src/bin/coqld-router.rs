@@ -35,10 +35,26 @@ options:
   --replicas <n>           virtual nodes per shard on the hash ring
                            (default 64)
   --probe-interval-ms <n>  health-probe cadence (default 1000, minimum 10)
-  --down-after <n>         consecutive probe failures before a shard is
-                           drained from routing (default 3, minimum 1)
+  --down-after <n>         hard failures (probe or forward) inside the breaker
+                           window before a shard's circuit breaker opens and
+                           it is drained from routing (default 3, minimum 1)
   --retries <n>            extra forward attempts after the first when a
                            shard sheds or is unreachable (default 2)
+  --replication <n>        replica-set size: the ring owner plus its next n-1
+                           siblings may all answer a key — verdicts are
+                           deterministic, so any member agrees (default 1)
+  --hedge-after-ms <n>     fire a hedge at the next healthy replica when the
+                           primary has not answered within n ms; 0 disables
+                           hedging (default 0)
+  --hedge-cap-permille <n> steady-state hedge budget per 1000 decisions, plus
+                           a small fixed burst (default 100)
+  --breaker-window-ms <n>  sliding window over which breaker failures are
+                           counted (default 10000)
+  --breaker-open-ms <n>    how long an opened breaker rejects before admitting
+                           one trial; doubles on each failed trial
+                           (default 1000)
+  --breaker-max-open-ms <n> cap on the open interval as failed trials double
+                           it (default 30000)
   --pool-size <n>          connections allowed per shard pool; half are kept
                            warm (default 16)
   --connect-timeout-ms <n> bound on each shard dial (default 1000)
@@ -129,6 +145,28 @@ fn run(args: &[String]) -> Result<(), (String, u8)> {
                 config.down_after = parse_num(&value("--down-after")?, "--down-after")?.max(1)
             }
             "--retries" => config.retry_budget = parse_num(&value("--retries")?, "--retries")?,
+            "--replication" => {
+                config.replication = parse_num(&value("--replication")?, "--replication")?.max(1)
+            }
+            "--hedge-after-ms" => {
+                config.hedge_after = parse_ms(&value("--hedge-after-ms")?, "--hedge-after-ms")?
+            }
+            "--hedge-cap-permille" => {
+                config.hedge_cap_permille =
+                    parse_num(&value("--hedge-cap-permille")?, "--hedge-cap-permille")? as u64
+            }
+            "--breaker-window-ms" => {
+                let ms = parse_num(&value("--breaker-window-ms")?, "--breaker-window-ms")?;
+                config.breaker_window = Duration::from_millis(ms.max(1) as u64)
+            }
+            "--breaker-open-ms" => {
+                let ms = parse_num(&value("--breaker-open-ms")?, "--breaker-open-ms")?;
+                config.breaker_open_for = Duration::from_millis(ms.max(1) as u64)
+            }
+            "--breaker-max-open-ms" => {
+                let ms = parse_num(&value("--breaker-max-open-ms")?, "--breaker-max-open-ms")?;
+                config.breaker_max_open = Duration::from_millis(ms.max(1) as u64)
+            }
             "--pool-size" => {
                 let n = parse_num(&value("--pool-size")?, "--pool-size")?.max(1);
                 config.pool_max_live = n;
