@@ -1,10 +1,11 @@
 //! `co-bench` — the machine-readable perf harness for the decision kernels.
 //!
 //! ```text
-//! cargo run -p co-bench --release --bin co-bench -- perf --threads 8   # full run → BENCH_PR7.json
+//! cargo run -p co-bench --release --bin co-bench -- perf --threads 8   # full run → BENCH_PR10.json
 //! cargo run -p co-bench --release --bin co-bench -- perf --quick \
 //!     --threads 2 --out target/bench-smoke.json                       # CI smoke run
-//! cargo run -p co-bench --release --bin co-bench -- check BENCH_PR7.json --strict
+//! cargo run -p co-bench --release --bin co-bench -- check BENCH_PR10.json --strict
+//! cargo run -p co-bench --release --bin co-bench -- workload --union-k 4  # UCHECK pairs
 //! ```
 //!
 //! `perf` measures the old kernels (linear-scan homomorphism search, sweep
@@ -14,11 +15,12 @@
 //! JSON report with per-case p50/p95/p99. `check` re-parses a report
 //! (v1 or v2) and validates it: schema shape, positive timings, and 100%
 //! verdict agreement always; with `--strict`, also the speedup floors
-//! (≥5× on `join_heavy`/`witness_copy`; on v2 additionally the adaptive
-//! parity small-instance floor, ≥3× on `hard_emptiness` at ≥8 threads, and
-//! a strictly-lower `mixed_p99` tail, both gated on the report's thread
-//! count) — used on the committed
-//! `BENCH_PR2.json` and `BENCH_PR7.json` baselines.
+//! (≥5× on `join_heavy`/`witness_copy`, ≥5× on the `union_heavy`
+//! short-circuit; on v2 additionally the adaptive parity small-instance
+//! floor, ≥3× on `hard_emptiness` at ≥8 threads, and a strictly-lower
+//! `mixed_p99` tail, both gated on the report's thread count) — used on
+//! the committed `BENCH_PR2.json`, `BENCH_PR7.json`, and `BENCH_PR10.json`
+//! baselines.
 
 use std::process::ExitCode;
 
@@ -34,7 +36,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: co-bench perf [--quick] [--threads N] [--out PATH]");
             eprintln!("       co-bench check PATH [--strict]");
-            eprintln!("       co-bench workload [--total N] [--distinct N] [--seed N]");
+            eprintln!("       co-bench workload [--total N] [--distinct N] [--seed N] [--union-k K]");
             ExitCode::from(2)
         }
     }
@@ -46,10 +48,15 @@ fn main() -> ExitCode {
 /// The pairs are over the standard `R(A, B); S(C)` schema; `--distinct`
 /// semantic pairs are spread over `--total` α-renamed presentations, so
 /// duplicate fingerprints dominate and cache affinity is measurable.
+/// With `--union-k K` (K ≥ 2) the E14 union variant is emitted instead:
+/// `UCHECK`-shaped pairs whose right side carries K `or`-joined
+/// disjuncts, re-randomizing the disjunct order per presentation so only
+/// the order-invariant union fingerprint collapses the duplicates.
 fn workload(args: &[String]) -> ExitCode {
     let mut total = 200usize;
     let mut distinct = 12usize;
     let mut seed = 13u64;
+    let mut union_k = 0usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let value = match it.next() {
@@ -68,13 +75,19 @@ fn workload(args: &[String]) -> ExitCode {
             "--total" => total = n as usize,
             "--distinct" => distinct = n as usize,
             "--seed" => seed = n,
+            "--union-k" => union_k = n as usize,
             other => {
                 eprintln!("unknown workload flag: {other}");
                 return ExitCode::from(2);
             }
         }
     }
-    for (q1, q2) in co_bench::workloads::service_workload(total, distinct, seed) {
+    let pairs = if union_k >= 2 {
+        co_bench::workloads::union_service_workload(total, distinct, union_k, seed)
+    } else {
+        co_bench::workloads::service_workload(total, distinct, seed)
+    };
+    for (q1, q2) in pairs {
         println!("{q1} ;; {q2}");
     }
     ExitCode::SUCCESS
@@ -82,7 +95,7 @@ fn workload(args: &[String]) -> ExitCode {
 
 fn perf(args: &[String]) -> ExitCode {
     let mut opts = PerfOptions::full();
-    let mut out = String::from("BENCH_PR7.json");
+    let mut out = String::from("BENCH_PR10.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {

@@ -6,8 +6,10 @@
 //! pick over pattern-indexed MRV / bitset search, worklist simulation,
 //! intra-request parallel kernels) — and reports per-case p50/p95/p99 wall
 //! times, speedups, and verdict agreement as a JSON document
-//! (`BENCH_PR7.json` at the repo root; see the `co-bench` binary and the
-//! README's Performance section).
+//! (`BENCH_PR10.json` at the repo root; see the `co-bench` binary and the
+//! README's Performance section). Since PR10 the suite also carries
+//! `union_heavy`, which times the UCQ per-disjunct short-circuit
+//! (containing disjunct last vs first) instead of an old/new kernel pair.
 //!
 //! Both kernel generations are kept callable on purpose: the old hom
 //! engine survives as [`co_cq::hom::CandidateStrategy::LinearScan`], the
@@ -399,6 +401,38 @@ fn hard_emptiness(opts: &PerfOptions) -> Json {
     workload_json("hard_emptiness", "§5 emptiness case split, parallel patterns", "tree", cases)
 }
 
+/// PR10: k-disjunct union containment with one containing disjunct, hit
+/// first vs hit last. Old = the containing disjunct sits last, so every
+/// decoy must be refuted before the hit; new = it sits first, so the
+/// short-circuit answers after one pair. Both placements decide
+/// `holds = true`; the strict floor demands the early hit ≥ 5× faster.
+fn union_heavy(opts: &PerfOptions) -> Json {
+    let shapes: &[(usize, usize)] =
+        if opts.quick { &[(4, 2)] } else { &[(8, 2), (8, 3), (12, 2)] };
+    let schema = workloads::coql_schema();
+    let cases = shapes
+        .iter()
+        .map(|&(k, rounds)| {
+            let (left, right_last) = workloads::union_heavy_instance(k, rounds, false);
+            let (_, right_first) = workloads::union_heavy_instance(k, rounds, true);
+            let l = co_core::prepare_union(&left, &schema).expect("left union prepares");
+            let last = co_core::prepare_union(&right_last, &schema).expect("late union prepares");
+            let first = co_core::prepare_union(&right_first, &schema).expect("early union prepares");
+            let decide = |r: &co_core::PreparedUnion| {
+                co_core::union_contained_prepared(&l, r).expect("union decides").holds.to_string()
+            };
+            run_case_iters(
+                opts.runs * 2,
+                if opts.quick { 8 } else { 24 },
+                format!("union k={k} mycielski rounds={rounds}, hit last vs first"),
+                || decide(&last),
+                || decide(&first),
+            )
+        })
+        .collect();
+    workload_json("union_heavy", "E14 k-disjunct unions, short-circuit", "union", cases)
+}
+
 /// A duplicate-heavy serving stream with rare hard 2^m requests mixed in,
 /// through a real [`co_service::Engine`]: every request's latency is a
 /// sample, so p99 captures the hard tail. Old = engine pinned to 1 kernel
@@ -498,6 +532,7 @@ pub fn run_report(opts: &PerfOptions) -> Json {
         traced("graph_simulation", || graph_simulation(opts)),
         traced("containment_stack", || containment_stack(opts)),
         traced("hard_emptiness", || hard_emptiness(opts)),
+        traced("union_heavy", || union_heavy(opts)),
         traced("mixed_p99", || mixed_p99(opts)),
     ];
     Json::Obj(vec![
@@ -611,6 +646,15 @@ pub fn check_report(doc: &Json, strict: bool) -> Result<Vec<String>, String> {
         if strict && matches!(name, "join_heavy" | "witness_copy") && speedup < 5.0 {
             return Err(format!("workload {name}: median speedup {speedup}× below the 5× floor"));
         }
+        // The UCQ short-circuit floor: a first-disjunct hit must answer at
+        // least 5× faster than a last-disjunct hit (ISSUE 10). Unlike the
+        // thread-gated floors this binds on every machine — the
+        // short-circuit saves pair decisions, not parallelism.
+        if strict && name == "union_heavy" && speedup < 5.0 {
+            return Err(format!(
+                "workload {name}: early-hit speedup {speedup}× below the 5× short-circuit floor"
+            ));
+        }
         if strict && v2 && name == "hard_emptiness" && threads >= 8 && speedup < 3.0 {
             return Err(format!(
                 "workload {name}: median speedup {speedup}× below the 3× floor at {threads} threads"
@@ -646,7 +690,7 @@ mod tests {
         // Round-trip through the serializer, then validate like `check`.
         let parsed = Json::parse(&report.to_string()).expect("report serializes to valid JSON");
         let summary = check_report(&parsed, false).expect("quick report passes validation");
-        assert_eq!(summary.len(), 7);
+        assert_eq!(summary.len(), 8);
         par::set_kernel_threads(0);
     }
 

@@ -225,6 +225,125 @@ pub fn service_workload(total: usize, distinct: usize, seed: u64) -> Vec<(String
         .collect()
 }
 
+/// The edge list of the `rounds`-fold Mycielskian of K2 (`rounds = 1` is
+/// C5, `2` the 11-vertex Grötzsch graph, `3` a 23-vertex 5-chromatic
+/// graph). Every graph in the sequence has chromatic number `rounds + 2`
+/// and is edge-critical, hence a core: none of them maps into a triangle,
+/// and a backtracking homomorphism search can only learn that by
+/// exhausting the 3-coloring space.
+fn mycielski_edges(rounds: usize) -> (usize, Vec<(usize, usize)>) {
+    let mut n = 2usize;
+    let mut edges = vec![(0usize, 1usize)];
+    for _ in 0..rounds {
+        let z = 2 * n;
+        let mut next = Vec::with_capacity(3 * edges.len() + n);
+        for &(x, y) in &edges {
+            next.push((x, y));
+            next.push((n + x, y));
+            next.push((x, n + y));
+        }
+        for i in 0..n {
+            next.push((z, n + i));
+        }
+        edges = next;
+        n = 2 * n + 1;
+    }
+    (n, edges)
+}
+
+/// `select h.C from h in S, w0 in S, …, e0 in R, … where e0.A = w_u.C and
+/// e0.B = w_v.C and …` — a graph rendered as a COQL query over
+/// [`coql_schema`]: one S generator per vertex, one R generator per
+/// directed edge, and an unconstrained S head generator so every disjunct
+/// shares the (atom) output type.
+fn graph_select(vertices: usize, edges: &[(usize, usize)]) -> Expr {
+    let mut gens = vec!["h in S".to_string()];
+    gens.extend((0..vertices).map(|v| format!("w{v} in S")));
+    gens.extend((0..edges.len()).map(|e| format!("e{e} in R")));
+    let conds: Vec<String> = edges
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(u, v))| [format!("e{i}.A = w{u}.C"), format!("e{i}.B = w{v}.C")])
+        .collect();
+    let src = format!("select h.C from {} where {}", gens.join(", "), conds.join(" and "));
+    co_lang::parse_coql(&src).expect("constructed graph query parses")
+}
+
+/// PR10 perf: a union-containment instance exposing the per-disjunct
+/// short-circuit. The left side is a single K3-palette query (a triangle
+/// with both edge directions) over [`coql_schema`]; the right union
+/// carries `k` disjuncts — `k - 1` decoys, each demanding a homomorphic
+/// image of the `rounds`-fold Mycielski graph (chromatic number
+/// `rounds + 2 ≥ 4`, so no such image exists in a triangle, and the
+/// refutation must exhaust the 3-coloring search) — plus one trivially
+/// containing disjunct placed first (`hit_first`) or last. Both
+/// placements decide `holds = true`; only the number of per-disjunct
+/// decisions the short-circuit allows differs.
+pub fn union_heavy_instance(k: usize, rounds: usize, hit_first: bool) -> (Vec<Expr>, Vec<Expr>) {
+    assert!(k >= 2, "a union of at least two disjuncts is needed to move the hit");
+    // K3 with both directions of every edge: the 3-coloring palette.
+    let palette: Vec<(usize, usize)> =
+        vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)];
+    let left = vec![graph_select(3, &palette)];
+    let (n, edges) = mycielski_edges(rounds.max(2));
+    let mut right: Vec<Expr> = (0..k - 1).map(|_| graph_select(n, &edges)).collect();
+    let containing = co_lang::parse_coql("select h.C from h in S").expect("containing parses");
+    if hit_first {
+        right.insert(0, containing);
+    } else {
+        right.push(containing);
+    }
+    (left, right)
+}
+
+/// E14: a duplicate-heavy `UCHECK` serving workload: `total` union pairs
+/// over [`coql_schema`], drawn from `distinct` semantic pairs. Each side
+/// is rendered as `<q> [or <q>]*`; every presentation re-randomizes
+/// variable names, equality orientation, *and the disjunct order*, so
+/// only the order-invariant union fingerprint — not text equality — can
+/// collapse the duplicates. Even pairs hold (the right union carries the
+/// left filter among its `k` disjuncts), odd pairs don't.
+pub fn union_service_workload(
+    total: usize,
+    distinct: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<(String, String)> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    const VARS: [&str; 8] = ["x", "y", "z", "u", "v", "w", "p", "q"];
+
+    /// `σ_{A=c}` over R, with a coin-flipped equality orientation.
+    fn filtered(c: usize, rng: &mut StdRng) -> String {
+        let o = VARS[rng.gen_range(0..VARS.len())];
+        if rng.gen_bool(0.5) {
+            format!("select {o}.B from {o} in R where {o}.A = {c}")
+        } else {
+            format!("select {o}.B from {o} in R where {c} = {o}.A")
+        }
+    }
+
+    let k = k.max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..total)
+        .map(|_| {
+            let pair = rng.gen_range(0..distinct.max(1));
+            let left = filtered(pair, &mut rng);
+            // Holding pairs include the left constant among the right
+            // disjuncts; refuted pairs shift every disjunct past it.
+            let base = if pair.is_multiple_of(2) { pair } else { pair + 1 };
+            let mut disjuncts: Vec<String> =
+                (0..k).map(|j| filtered(base + j * distinct.max(1), &mut rng)).collect();
+            // Fisher–Yates disjunct permutation: presentation order must
+            // not leak into the fingerprint.
+            for i in (1..disjuncts.len()).rev() {
+                disjuncts.swap(i, rng.gen_range(0..=i));
+            }
+            (left, disjuncts.join(" or "))
+        })
+        .collect()
+}
+
 /// PR2 perf: a `len`-atom chain-join boolean query over relations of `n`
 /// facts each, wired so every `R0` fact extends to exactly one full chain.
 /// A linear-scan engine probes Θ(n) tuples per bound atom (Θ(n·len·n)
@@ -420,6 +539,47 @@ mod tests {
                 co_core::prepare(&expr, &schema).expect("workload query prepares");
             }
         }
+    }
+
+    #[test]
+    fn union_heavy_instances_hold_in_both_placements() {
+        let schema = coql_schema();
+        for hit_first in [true, false] {
+            let (left, right) = union_heavy_instance(4, 2, hit_first);
+            assert_eq!(left.len(), 1);
+            assert_eq!(right.len(), 4);
+            let l = co_core::prepare_union(&left, &schema).unwrap();
+            let r = co_core::prepare_union(&right, &schema).unwrap();
+            let analysis = co_core::union_contained_prepared(&l, &r).unwrap();
+            assert!(analysis.holds, "hit_first={hit_first}");
+            // The short-circuit is visible in the work counter: an early
+            // hit decides one pair, a late hit decides all four.
+            if hit_first {
+                assert_eq!(analysis.pairs_decided, 1);
+            } else {
+                assert_eq!(analysis.pairs_decided, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn union_service_workload_is_deterministic_and_well_formed() {
+        let reqs = union_service_workload(48, 10, 3, 9);
+        assert_eq!(reqs.len(), 48);
+        assert_eq!(reqs, union_service_workload(48, 10, 3, 9));
+        let schema = coql_schema();
+        let mut holding = 0usize;
+        for (u1, u2) in &reqs {
+            let d1 = co_lang::parse_union_coql(u1).expect("left union parses");
+            let d2 = co_lang::parse_union_coql(u2).expect("right union parses");
+            assert_eq!(d1.len(), 1);
+            assert_eq!(d2.len(), 3);
+            if co_core::union_contained_in(&d1, &d2, &schema).unwrap().holds {
+                holding += 1;
+            }
+        }
+        // Both polarities are represented.
+        assert!(holding > 0 && holding < reqs.len(), "holding={holding}");
     }
 
     #[test]

@@ -72,6 +72,10 @@ use co_object::{Atom, Value};
 use co_sim::tree::Template;
 use co_sim::{QueryTree, TreeNode};
 
+pub mod union;
+
+pub use union::{UnionCert, UNION_WIRE_END, UNION_WIRE_MAGIC};
+
 /// Recursion ceiling for the naive evaluator and value comparison — far
 /// above any legitimate query tree (parsers cap nesting well below this)
 /// but keeps adversarial inputs from overflowing the stack.
@@ -182,11 +186,11 @@ impl fmt::Display for CertError {
 
 impl std::error::Error for CertError {}
 
-fn check_err<T>(msg: impl Into<String>) -> Result<T, CertError> {
+pub(crate) fn check_err<T>(msg: impl Into<String>) -> Result<T, CertError> {
     Err(CertError::Check(msg.into()))
 }
 
-fn parse_err<T>(msg: impl Into<String>) -> Result<T, CertError> {
+pub(crate) fn parse_err<T>(msg: impl Into<String>) -> Result<T, CertError> {
     Err(CertError::Parse(msg.into()))
 }
 
@@ -543,7 +547,7 @@ impl Cert {
     }
 }
 
-fn take_line<'a>(rest: &mut &'a str) -> Option<&'a str> {
+pub(crate) fn take_line<'a>(rest: &mut &'a str) -> Option<&'a str> {
     if rest.is_empty() {
         return None;
     }
@@ -1042,14 +1046,16 @@ fn check_counterexample(
     Ok(())
 }
 
+/// Tree-building helpers shared between this module's tests and the
+/// union-certificate tests.
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests_support {
     use super::*;
     use co_cq::parse_query;
     use co_sim::tree::grouped_tree;
     use co_sim::IndexedQuery;
 
-    fn flat_tree(text: &str) -> QueryTree {
+    pub(crate) fn flat_tree(text: &str) -> QueryTree {
         let q = IndexedQuery::from_cq(&parse_query(text).unwrap(), 0);
         let m = q.value.len();
         let template = if m == 1 {
@@ -1064,9 +1070,15 @@ mod tests {
         QueryTree { root: TreeNode { query: q, template, children: Vec::new() } }
     }
 
-    fn nested_tree(text: &str, index_arity: usize) -> QueryTree {
+    pub(crate) fn nested_tree(text: &str, index_arity: usize) -> QueryTree {
         grouped_tree(&IndexedQuery::from_cq(&parse_query(text).unwrap(), index_arity))
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{flat_tree, nested_tree};
 
     fn roundtrip(cert: &Cert) -> Cert {
         Cert::parse(&cert.to_wire()).expect("roundtrip parses")

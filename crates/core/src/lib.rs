@@ -42,8 +42,10 @@ use co_cq::{Database, Schema};
 use co_lang::{
     empty_set_status, normalize, type_check, CoDatabase, CoqlSchema, EmptySetStatus, Expr,
 };
-use co_object::{hoare_leq, Type};
+use co_object::interrupt::{self, SharedBudget};
+use co_object::{hoare_leq, par, Type};
 use co_sim::tree::{try_tree_contained_in_with, ContainOptions, QueryTree};
+use co_trace::kernel::{self, Metric};
 
 /// Which decision path answered a containment query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -366,6 +368,335 @@ pub fn certify_prepared(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Union (UCQ) containment — Sagiv–Yannakakis over the prepared kernels
+// ---------------------------------------------------------------------------
+
+/// A union of COQL queries prepared for the UCQ decision procedures.
+///
+/// Disjuncts keep their source order; `ty` is the least upper bound of the
+/// disjunct result types (the union's answer type), computed at
+/// preparation so incompatible disjuncts fail early.
+#[derive(Clone, Debug)]
+pub struct PreparedUnion {
+    /// The prepared disjuncts, in source order.
+    pub disjuncts: Vec<Prepared>,
+    /// Least upper bound of the disjunct result types.
+    pub ty: Type,
+}
+
+impl PreparedUnion {
+    /// Assembles a union from already-prepared disjuncts, computing the
+    /// union's answer type as the lub of the disjunct types. Errors on an
+    /// empty union or incompatible disjuncts — lets a serving layer build
+    /// unions out of its shared per-query [`Prepared`] cache.
+    pub fn from_disjuncts(disjuncts: Vec<Prepared>) -> Result<PreparedUnion, CoreError> {
+        let Some(first) = disjuncts.first() else {
+            return Err(CoreError::Type("a union query needs at least one disjunct".into()));
+        };
+        let mut ty = first.ty.clone();
+        for p in &disjuncts[1..] {
+            ty = ty
+                .lub(&p.ty)
+                .ok_or_else(|| CoreError::TypeMismatch(Box::new((ty.clone(), p.ty.clone()))))?;
+        }
+        Ok(PreparedUnion { disjuncts, ty })
+    }
+}
+
+/// Prepares every disjunct of a union query and checks that their result
+/// types are compatible (pairwise lub exists). Errors on an empty union.
+pub fn prepare_union(exprs: &[Expr], schema: &Schema) -> Result<PreparedUnion, CoreError> {
+    prepare_union_with(exprs, schema, PrepareOptions::default())
+}
+
+/// [`prepare_union`] with explicit per-disjunct options.
+pub fn prepare_union_with(
+    exprs: &[Expr],
+    schema: &Schema,
+    opts: PrepareOptions,
+) -> Result<PreparedUnion, CoreError> {
+    let mut disjuncts = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        disjuncts.push(prepare_with(e, schema, opts)?);
+    }
+    PreparedUnion::from_disjuncts(disjuncts)
+}
+
+/// Result of a union containment check `∪Pⱼ ⊑ ∪Qᵢ`.
+///
+/// The verdict (`holds`) is deterministic. The *witness indices* are the
+/// first containing right disjunct each sequential search found; under
+/// parallel fan-out a later disjunct's success can cancel a slower earlier
+/// one, so witnesses may differ across thread counts — any reported
+/// witness is a genuine containing disjunct either way (certificates are
+/// re-derived per pair, so they check regardless).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnionAnalysis {
+    /// Whether every left disjunct is contained in some right disjunct.
+    pub holds: bool,
+    /// For each decided left disjunct `j` (in order), the right index that
+    /// contains it. Covers all left disjuncts when `holds`; stops at the
+    /// refuted disjunct otherwise.
+    pub witnesses: Vec<u32>,
+    /// The first left disjunct contained in no right disjunct, when the
+    /// containment fails.
+    pub refuted: Option<u32>,
+    /// How many pairwise containment decisions were run (short-circuiting
+    /// and cancellation make this ≤ `left × right`).
+    pub pairs_decided: u32,
+}
+
+/// Options for the union decision.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnionOptions {
+    /// Worker threads for the per-disjunct fan-out (`0` = the
+    /// process-global setting, [`co_object::par::kernel_threads`]).
+    pub threads: usize,
+}
+
+/// Decides `∪Pⱼ ⊑ ∪Qᵢ` on prepared unions (Sagiv–Yannakakis: the union
+/// containment holds iff every left disjunct is contained in *some* right
+/// disjunct — for CQs a disjunct cannot be covered only jointly).
+///
+/// Each left disjunct's witness search short-circuits on the first
+/// containing right disjunct. With >1 kernel threads the right disjuncts
+/// are fanned out over [`co_object::par`] workers under a forked
+/// cooperative budget (so the installed deadline/step budget is sliced
+/// across disjuncts and a first success cancels the siblings); otherwise
+/// they are scanned sequentially with [`interrupt::probe`] between pairs.
+pub fn union_contained_prepared(
+    left: &PreparedUnion,
+    right: &PreparedUnion,
+) -> Result<UnionAnalysis, CoreError> {
+    union_contained_prepared_with(left, right, UnionOptions::default())
+}
+
+/// [`union_contained_prepared`] with explicit options.
+pub fn union_contained_prepared_with(
+    left: &PreparedUnion,
+    right: &PreparedUnion,
+    opts: UnionOptions,
+) -> Result<UnionAnalysis, CoreError> {
+    if left.ty.lub(&right.ty).is_none() {
+        return Err(CoreError::TypeMismatch(Box::new((left.ty.clone(), right.ty.clone()))));
+    }
+    let threads = union_threads(opts, right.disjuncts.len());
+    let mut witnesses = Vec::with_capacity(left.disjuncts.len());
+    let mut pairs_decided = 0u32;
+    for (j, p) in left.disjuncts.iter().enumerate() {
+        interrupt::probe().map_err(|_| CoreError::Interrupted)?;
+        let found = if threads > 1 {
+            witness_parallel(p, &right.disjuncts, threads, &mut pairs_decided)?
+        } else {
+            witness_sequential(p, &right.disjuncts, &mut pairs_decided)?
+        };
+        match found {
+            Some(i) => witnesses.push(i),
+            None => {
+                return Ok(UnionAnalysis {
+                    holds: false,
+                    witnesses,
+                    refuted: Some(j as u32),
+                    pairs_decided,
+                })
+            }
+        }
+    }
+    Ok(UnionAnalysis { holds: true, witnesses, refuted: None, pairs_decided })
+}
+
+/// Resolved fan-out width: explicit option, else the process-global
+/// setting; never wider than the number of right disjuncts, and always 1
+/// inside an existing pool worker (no nested fan-out).
+fn union_threads(opts: UnionOptions, right_len: usize) -> usize {
+    let configured = if opts.threads != 0 { opts.threads } else { par::effective_threads() };
+    configured.min(right_len).max(1)
+}
+
+fn witness_sequential(
+    p: &Prepared,
+    right: &[Prepared],
+    pairs: &mut u32,
+) -> Result<Option<u32>, CoreError> {
+    for (i, q) in right.iter().enumerate() {
+        *pairs += 1;
+        if contained_prepared(p, q)?.holds {
+            return Ok(Some(i as u32));
+        }
+    }
+    Ok(None)
+}
+
+/// Parallel witness search over the right disjuncts, mirroring the
+/// emptiness-pattern fan-out in `co-sim`: forked shared budget, chunked
+/// work-stealing feeder, first-success cancellation, deterministic-merge
+/// discipline (a definite witness beats sibling interruptions — a found
+/// containment is sound regardless of what the cancelled siblings were
+/// still computing).
+fn witness_parallel(
+    p: &Prepared,
+    right: &[Prepared],
+    threads: usize,
+    pairs: &mut u32,
+) -> Result<Option<u32>, CoreError> {
+    let shared = SharedBudget::fork_current();
+    let chunk = (right.len() / (threads * 8)).max(1);
+    let (results, stats) = par::run_workers(threads, right.len(), chunk, |me, feeder| {
+        let before = kernel::snapshot();
+        let guard = interrupt::install_shared(&shared);
+        let mut verdict: Result<Option<u32>, CoreError> = Ok(None);
+        let mut decided = 0u32;
+        'chunks: while let Some(range) = feeder.next(me) {
+            for i in range {
+                decided += 1;
+                match contained_prepared(p, &right[i]) {
+                    Ok(a) if a.holds => {
+                        verdict = Ok(Some(i as u32));
+                        feeder.stop();
+                        shared.cancel();
+                        break 'chunks;
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        verdict = Err(e);
+                        break 'chunks;
+                    }
+                }
+            }
+        }
+        drop(guard);
+        (verdict, decided, kernel::snapshot().delta(&before))
+    });
+    shared.rejoin();
+    par::note_engaged(stats.threads);
+    kernel::bump_by(Metric::KernelParallelBranches, stats.branches);
+    kernel::bump_by(Metric::KernelSteals, stats.steals);
+    let mut witness: Option<u32> = None;
+    let mut interrupted = shared.is_expired();
+    let mut error: Option<CoreError> = None;
+    for (verdict, decided, delta) in results {
+        kernel::absorb(&delta);
+        *pairs += decided;
+        match verdict {
+            Ok(Some(i)) => witness = Some(witness.map_or(i, |prev: u32| prev.min(i))),
+            Ok(None) => {}
+            Err(CoreError::Interrupted) => interrupted = true,
+            Err(e) => error = Some(e),
+        }
+    }
+    if let Some(i) = witness {
+        return Ok(Some(i));
+    }
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if interrupted {
+        return Err(CoreError::Interrupted);
+    }
+    Ok(None)
+}
+
+/// The expected decision path for the disjunct pair `(j, i)` — what a
+/// certificate checker should demand of the embedded block for that pair.
+pub fn expected_union_path(
+    left: &PreparedUnion,
+    right: &PreparedUnion,
+    j: usize,
+    i: usize,
+) -> DecisionPath {
+    expected_path(&left.disjuncts[j], &right.disjuncts[i])
+}
+
+/// Constructs an independently checkable union certificate for an
+/// already-computed verdict (`analysis` from [`union_contained_prepared`]
+/// on the same pair of unions).
+///
+/// Positive: one scalar witness certificate per left disjunct, against the
+/// right disjunct recorded in `analysis.witnesses`. Negative: one scalar
+/// refutation certificate per right disjunct, for the refuted left
+/// disjunct. Every pairwise verdict is re-derived with
+/// [`contained_prepared`]; a disagreement with the carried analysis is a
+/// kernel-instability and reported as unavailable.
+pub fn certify_union_prepared(
+    left: &PreparedUnion,
+    right: &PreparedUnion,
+    analysis: &UnionAnalysis,
+) -> Result<co_cert::UnionCert, CertifyError> {
+    let recheck = |p: &Prepared, q: &Prepared| -> Result<ContainmentAnalysis, CertifyError> {
+        contained_prepared(p, q).map_err(|e| match e {
+            CoreError::Interrupted => CertifyError::Interrupted,
+            other => CertifyError::Unavailable(other.to_string()),
+        })
+    };
+    if analysis.holds {
+        if analysis.witnesses.len() != left.disjuncts.len() {
+            return Err(CertifyError::Unavailable(
+                "positive union analysis does not cover every left disjunct".into(),
+            ));
+        }
+        let mut witnesses = Vec::with_capacity(left.disjuncts.len());
+        for (j, &i) in analysis.witnesses.iter().enumerate() {
+            let p = &left.disjuncts[j];
+            let q = right.disjuncts.get(i as usize).ok_or_else(|| {
+                CertifyError::Unavailable(format!("witness index {i} is out of range"))
+            })?;
+            let pair = recheck(p, q)?;
+            if !pair.holds {
+                return Err(CertifyError::Unavailable(format!(
+                    "kernel verdict is not stable across re-runs (pair {j} ⊑ {i})"
+                )));
+            }
+            witnesses.push((i, certify_prepared(p, q, &pair)?));
+        }
+        Ok(co_cert::UnionCert {
+            holds: true,
+            left: left.disjuncts.len(),
+            right: right.disjuncts.len(),
+            witnesses,
+            refuted: None,
+            branches: Vec::new(),
+        })
+    } else {
+        let x = analysis.refuted.ok_or_else(|| {
+            CertifyError::Unavailable("refuted union analysis names no refuted disjunct".into())
+        })?;
+        let p = left.disjuncts.get(x as usize).ok_or_else(|| {
+            CertifyError::Unavailable(format!("refuted index {x} is out of range"))
+        })?;
+        let mut branches = Vec::with_capacity(right.disjuncts.len());
+        for (i, q) in right.disjuncts.iter().enumerate() {
+            let pair = recheck(p, q)?;
+            if pair.holds {
+                return Err(CertifyError::Unavailable(format!(
+                    "kernel verdict is not stable across re-runs (pair {x} ⊑ {i} holds on recheck)"
+                )));
+            }
+            branches.push((i as u32, certify_prepared(p, q, &pair)?));
+        }
+        Ok(co_cert::UnionCert {
+            holds: false,
+            left: left.disjuncts.len(),
+            right: right.disjuncts.len(),
+            witnesses: Vec::new(),
+            refuted: Some(x),
+            branches,
+        })
+    }
+}
+
+/// Decides `∪Pⱼ ⊑ ∪Qᵢ` from source expressions (convenience wrapper; see
+/// [`union_contained_prepared`] for the procedure).
+pub fn union_contained_in(
+    ps: &[Expr],
+    qs: &[Expr],
+    schema: &Schema,
+) -> Result<UnionAnalysis, CoreError> {
+    let left = prepare_union(ps, schema)?;
+    let right = prepare_union(qs, schema)?;
+    union_contained_prepared(&left, &right)
+}
+
 /// Decides weak equivalence: `Q1 ⊑ Q2` and `Q2 ⊑ Q1`.
 pub fn weakly_equivalent(q1: &Expr, q2: &Expr, schema: &Schema) -> Result<bool, CoreError> {
     let p1 = prepare(q1, schema)?;
@@ -585,6 +916,137 @@ mod tests {
             contained_prepared(&plain, &p_other).unwrap().holds,
             contained_prepared(&minimized, &p_other).unwrap().holds
         );
+    }
+
+    fn union_exprs(srcs: &[&str]) -> Vec<Expr> {
+        srcs.iter().map(|s| parse_coql(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn union_containment_follows_sagiv_yannakakis() {
+        let a1 = "select x.B from x in R where x.A = 1";
+        let a2 = "select x.B from x in R where x.A = 2";
+        let all = "select x.B from x in R";
+        // Each filtered disjunct is contained in the unfiltered query.
+        let a = union_contained_in(&union_exprs(&[a1, a2]), &union_exprs(&[all]), &schema())
+            .unwrap();
+        assert!(a.holds);
+        assert_eq!(a.witnesses, vec![0, 0]);
+        // The unfiltered query is contained in neither filter alone, and
+        // (CQs being disjunct-convex) not in their union either.
+        let b = union_contained_in(&union_exprs(&[all]), &union_exprs(&[a1, a2]), &schema())
+            .unwrap();
+        assert!(!b.holds);
+        assert_eq!(b.refuted, Some(0));
+        // Q ⊑ Q ∪ anything-compatible.
+        let c = union_contained_in(&union_exprs(&[a1]), &union_exprs(&[a2, a1]), &schema())
+            .unwrap();
+        assert!(c.holds);
+        assert_eq!(c.witnesses, vec![1]);
+    }
+
+    #[test]
+    fn union_short_circuits_on_the_first_containing_disjunct() {
+        let a1 = "select x.B from x in R where x.A = 1";
+        let all = "select x.B from x in R";
+        // Witness at index 0 out of 3: only one pair decided.
+        let a = union_contained_in(
+            &union_exprs(&[a1]),
+            &union_exprs(&[all, all, all]),
+            &schema(),
+        )
+        .unwrap();
+        assert!(a.holds);
+        assert_eq!(a.pairs_decided, 1);
+    }
+
+    #[test]
+    fn union_parallel_and_sequential_agree() {
+        let schema = schema();
+        let cases: Vec<(Vec<Expr>, Vec<Expr>)> = vec![
+            (
+                union_exprs(&[
+                    "select x.B from x in R where x.A = 1",
+                    "select x.B from x in R where x.A = 2",
+                ]),
+                union_exprs(&[
+                    "select x.B from x in R where x.A = 3",
+                    "select x.B from x in R",
+                ]),
+            ),
+            (
+                union_exprs(&["select x.B from x in R"]),
+                union_exprs(&[
+                    "select x.B from x in R where x.A = 1",
+                    "select x.B from x in R where x.A = 2",
+                    "select x.B from x in R where x.A = 3",
+                ]),
+            ),
+        ];
+        for (ps, qs) in cases {
+            let left = prepare_union(&ps, &schema).unwrap();
+            let right = prepare_union(&qs, &schema).unwrap();
+            let seq =
+                union_contained_prepared_with(&left, &right, UnionOptions { threads: 1 }).unwrap();
+            let par =
+                union_contained_prepared_with(&left, &right, UnionOptions { threads: 4 }).unwrap();
+            assert_eq!(seq.holds, par.holds);
+            assert_eq!(seq.refuted, par.refuted);
+        }
+    }
+
+    #[test]
+    fn union_certificates_check_against_the_trees() {
+        let schema = schema();
+        let left = prepare_union(
+            &union_exprs(&[
+                "select x.B from x in R where x.A = 1",
+                "select x.B from x in R where x.A = 2",
+            ]),
+            &schema,
+        )
+        .unwrap();
+        let right =
+            prepare_union(&union_exprs(&["select x.B from x in R"]), &schema).unwrap();
+        let ltrees: Vec<&QueryTree> = left.disjuncts.iter().map(|p| &p.tree).collect();
+        let rtrees: Vec<&QueryTree> = right.disjuncts.iter().map(|p| &p.tree).collect();
+
+        let pos = union_contained_prepared(&left, &right).unwrap();
+        assert!(pos.holds);
+        let cert = certify_union_prepared(&left, &right, &pos).unwrap();
+        let expect =
+            |j: usize, i: usize| cert_path(expected_union_path(&left, &right, j, i));
+        cert.check_against(&ltrees, &rtrees, true, &expect).unwrap();
+        // Round-trip through the wire form.
+        let back = co_cert::UnionCert::parse(&cert.to_wire()).unwrap();
+        back.check_against(&ltrees, &rtrees, true, &expect).unwrap();
+
+        let neg = union_contained_prepared(&right, &left).unwrap();
+        assert!(!neg.holds);
+        let cert = certify_union_prepared(&right, &left, &neg).unwrap();
+        let expect =
+            |j: usize, i: usize| cert_path(expected_union_path(&right, &left, j, i));
+        cert.check_against(&rtrees, &ltrees, false, &expect).unwrap();
+        let back = co_cert::UnionCert::parse(&cert.to_wire()).unwrap();
+        back.check_against(&rtrees, &ltrees, false, &expect).unwrap();
+    }
+
+    #[test]
+    fn union_type_mismatches_are_an_error() {
+        let mixed = union_exprs(&["select x.A from x in R", "select [a: x.A] from x in R"]);
+        assert!(matches!(
+            prepare_union(&mixed, &schema()),
+            Err(CoreError::TypeMismatch(_))
+        ));
+        assert!(matches!(
+            union_contained_in(
+                &union_exprs(&["select x.A from x in R"]),
+                &union_exprs(&["select [a: x.A] from x in R"]),
+                &schema()
+            ),
+            Err(CoreError::TypeMismatch(_))
+        ));
+        assert!(prepare_union(&[], &schema()).is_err());
     }
 
     #[test]

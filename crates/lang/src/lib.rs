@@ -48,5 +48,8 @@ pub use eval::{evaluate, evaluate_with_env, CoDatabase, EvalError};
 pub use normalize::{
     eval_comprehension, normalize, AtomTerm, Comprehension, NormError, NormalValue,
 };
-pub use parse::{parse_coql, parse_coql_with_depth, ParseError, ParseErrorKind};
+pub use parse::{
+    parse_coql, parse_coql_with_depth, parse_union_coql, parse_union_coql_with_depth, ParseError,
+    ParseErrorKind, MAX_UNION_DISJUNCTS,
+};
 pub use types::{type_check, type_check_with_env, CoqlSchema, TypeError};

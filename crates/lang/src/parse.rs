@@ -64,9 +64,54 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Hard cap on the number of `or`-separated disjuncts a union query may
+/// carry. Unions fan work out per disjunct downstream (one containment
+/// kernel call per pair of disjuncts), so this bounds hostile
+/// `q or q or q or …` input the same way [`DEFAULT_MAX_DEPTH`] bounds
+/// hostile nesting.
+pub const MAX_UNION_DISJUNCTS: usize = 64;
+
 /// Parses a COQL expression under the default depth cap.
 pub fn parse_coql(input: &str) -> Result<Expr, ParseError> {
     parse_coql_with_depth(input, DEFAULT_MAX_DEPTH)
+}
+
+/// Parses a top-level union query `expr (or expr)*` under the default
+/// depth cap. A single expression is the degenerate one-disjunct union,
+/// so every plain COQL query is also a valid union query.
+pub fn parse_union_coql(input: &str) -> Result<Vec<Expr>, ParseError> {
+    parse_union_coql_with_depth(input, DEFAULT_MAX_DEPTH)
+}
+
+/// Parses a top-level union query, rejecting nesting deeper than
+/// `max_depth` and more than [`MAX_UNION_DISJUNCTS`] disjuncts.
+///
+/// `or` binds loosest: each disjunct is a full COQL expression, and the
+/// keyword is only recognized at a word boundary (so `selector` stays an
+/// identifier). Disjunction is **not** part of the conjunctive [`Expr`]
+/// AST — the union is returned as the list of its disjuncts, in source
+/// order.
+pub fn parse_union_coql_with_depth(
+    input: &str,
+    max_depth: usize,
+) -> Result<Vec<Expr>, ParseError> {
+    let mut p = P { s: input.as_bytes(), pos: 0, depth: 0, max_depth };
+    let mut disjuncts = Vec::new();
+    loop {
+        p.ws();
+        disjuncts.push(p.expr()?);
+        p.ws();
+        if !p.keyword("or") {
+            break;
+        }
+        if disjuncts.len() >= MAX_UNION_DISJUNCTS {
+            return Err(p.err(&format!("union has more than {MAX_UNION_DISJUNCTS} disjuncts")));
+        }
+    }
+    if p.pos != p.s.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(disjuncts)
 }
 
 /// Parses a COQL expression, rejecting nesting deeper than `max_depth`
@@ -393,6 +438,37 @@ mod tests {
         assert!(parse_coql("[a 1]").is_err());
         assert!(parse_coql("x.").is_err());
         assert!(parse_coql("{1, 2}").is_err(), "multi-element sets are not COQL");
+    }
+
+    #[test]
+    fn unions_split_on_or_at_word_boundaries() {
+        let ds = parse_union_coql(
+            "select x.A from x in R or select y.A from y in R where y.B = 1 or select z.C from z in S",
+        )
+        .unwrap();
+        assert_eq!(ds.len(), 3);
+        // A single expression is the degenerate one-disjunct union.
+        assert_eq!(parse_union_coql("select x.A from x in R").unwrap().len(), 1);
+        // `or` needs a word boundary: `selector` is one identifier…
+        assert_eq!(parse_union_coql("selector").unwrap().len(), 1);
+        // …and `orb` after a disjunct is trailing input, not `or` + `b`.
+        assert!(parse_union_coql("x orb").is_err());
+        // A trailing `or` with nothing after it is a syntax error.
+        assert!(parse_union_coql("x or").is_err());
+    }
+
+    #[test]
+    fn union_caps_are_enforced() {
+        let at_cap = vec!["R"; MAX_UNION_DISJUNCTS].join(" or ");
+        assert_eq!(parse_union_coql(&at_cap).unwrap().len(), MAX_UNION_DISJUNCTS);
+        let over = vec!["R"; MAX_UNION_DISJUNCTS + 1].join(" or ");
+        let e = parse_union_coql(&over).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::Syntax);
+        assert!(e.message.contains("disjuncts"), "{e}");
+        // The depth cap applies inside each disjunct.
+        let nested = format!("R or {}1{}", "{".repeat(16), "}".repeat(16));
+        assert!(parse_union_coql_with_depth(&nested, 17).is_ok());
+        assert!(parse_union_coql_with_depth(&nested, 8).unwrap_err().is_too_deep());
     }
 
     #[test]

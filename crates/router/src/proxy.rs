@@ -7,6 +7,9 @@
 //! `(schema fp, unordered query-fp pair)` — direction-invariant, so both
 //! directions of an `EQUIV` and the mirrored `CHECK` colocate on one
 //! shard's cache — and forwarded verbatim (budget prefixes intact).
+//! `UCHECK`/`UEQUIV` route the same way over the *union* fingerprints
+//! (order-invariant per side), so permuted, duplicated, or α-renamed
+//! unions land on the shard that already memoized the verdict.
 //! Parse/type errors are answered locally without burning a shard
 //! round-trip; `ERR OVERLOADED` and connect failures shed to the next
 //! ring sibling under a bounded retry budget.
@@ -22,8 +25,8 @@ use std::time::{Duration, Instant};
 
 use co_lang::CoqlSchema;
 use co_service::{
-    canonical_fingerprint, fingerprint_schema, from_hex, parse_schema_decl, peek_header,
-    Fingerprint, Shutdown, FINGERPRINT_VERSION, FORMAT_VERSION,
+    canonical_fingerprint, canonical_union_fingerprint, fingerprint_schema, from_hex,
+    parse_schema_decl, peek_header, Fingerprint, Shutdown, FINGERPRINT_VERSION, FORMAT_VERSION,
 };
 use co_trace::Span;
 
@@ -150,8 +153,8 @@ struct RouterStats {
     client_shed: AtomicU64,
     conn_panics: AtomicU64,
     local_errors: AtomicU64,
-    /// `CHECK`/`EQUIV` requests that reached the forward path (the
-    /// denominator of the hedge rate cap).
+    /// Decision requests (`CHECK`/`EQUIV`/`UCHECK`/`UEQUIV`) that reached
+    /// the forward path (the denominator of the hedge rate cap).
     decision_requests: AtomicU64,
     /// Hedge attempts fired (reserved against the rate cap).
     hedges: AtomicU64,
@@ -308,9 +311,10 @@ impl Router {
         fleet.ring.candidates(key).into_iter().map(|i| Arc::clone(&fleet.shards[i])).collect()
     }
 
-    /// Forwards one `CHECK`/`EQUIV` line. `original` is the full request
-    /// line (budget prefixes intact); `rest` is the text after the verb;
-    /// `timeout_ms` the request's own `TIMEOUT` if any.
+    /// Forwards one `CHECK`/`EQUIV`/`UCHECK`/`UEQUIV` line. `original` is
+    /// the full request line (budget prefixes intact); `rest` is the text
+    /// after the verb; `timeout_ms` the request's own `TIMEOUT` if any;
+    /// `union` selects the union-fingerprint pipeline for the route key.
     ///
     /// The first [`RouterConfig::replication`] ring candidates form the
     /// key's replica set — determinism means any member's answer is THE
@@ -327,9 +331,14 @@ impl Router {
         explain: bool,
         cert: bool,
         timeout_ms: Option<u64>,
+        union: bool,
     ) -> Result<String, String> {
         let route_span = Span::start();
-        let usage = "CHECK|EQUIV <schema> <q1> ;; <q2>";
+        let usage = if union {
+            "UCHECK|UEQUIV <schema> <q1> [or <q>]* ;; <q2> [or <q>]*"
+        } else {
+            "CHECK|EQUIV <schema> <q1> ;; <q2>"
+        };
         let (schema_name, queries) = split_head(rest, usage)?;
         let (q1, q2) = queries.split_once(";;").ok_or_else(|| format!("usage: {usage}"))?;
         let (q1, q2) = (q1.trim(), q2.trim());
@@ -340,11 +349,18 @@ impl Router {
             format!("unknown schema `{schema_name}` (register it with SCHEMA first)")
         })?;
         // Local canonicalization: parse/type errors are answered here,
-        // identically to a shard, without spending a forward.
-        let fp1 = canonical_fingerprint(&entry.coql, q1, self.config.max_parse_depth)
-            .map_err(|e| self.local_error(e))?;
-        let fp2 = canonical_fingerprint(&entry.coql, q2, self.config.max_parse_depth)
-            .map_err(|e| self.local_error(e))?;
+        // identically to a shard, without spending a forward. Union
+        // requests fingerprint each side order-invariantly so the route
+        // key matches the shard's union memo key exactly.
+        let fingerprint = |q: &str| {
+            if union {
+                canonical_union_fingerprint(&entry.coql, q, self.config.max_parse_depth)
+            } else {
+                canonical_fingerprint(&entry.coql, q, self.config.max_parse_depth)
+            }
+        };
+        let fp1 = fingerprint(q1).map_err(|e| self.local_error(e))?;
+        let fp2 = fingerprint(q2).map_err(|e| self.local_error(e))?;
         let key = Router::route_key(entry.fp, fp1, fp2);
         let candidates = self.candidates(key);
         let route_us = route_span.elapsed_us();
@@ -829,7 +845,7 @@ impl Router {
         );
         counter(
             "router_decision_requests_total",
-            "CHECK/EQUIV requests that reached the forward path",
+            "Decision requests (CHECK/EQUIV/UCHECK/UEQUIV) that reached the forward path",
             load(&self.stats.decision_requests),
         );
         counter(
@@ -1013,14 +1029,16 @@ impl Router {
         let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
         let rest = rest.trim();
         let cmd = cmd.to_ascii_uppercase();
-        if explain && cmd != "CHECK" && cmd != "EQUIV" {
-            return Reply::Line("ERR EXPLAIN applies only to CHECK and EQUIV".into());
+        let decision_verb = matches!(cmd.as_str(), "CHECK" | "EQUIV" | "UCHECK" | "UEQUIV");
+        if explain && !decision_verb {
+            return Reply::Line("ERR EXPLAIN applies only to CHECK, EQUIV, UCHECK, and UEQUIV".into());
         }
-        if cert && cmd != "CHECK" && cmd != "EQUIV" {
-            return Reply::Line("ERR CERT applies only to CHECK and EQUIV".into());
+        if cert && !decision_verb {
+            return Reply::Line("ERR CERT applies only to CHECK, EQUIV, UCHECK, and UEQUIV".into());
         }
         let result = match cmd.as_str() {
-            "CHECK" | "EQUIV" => self.forward_decision(raw, rest, explain, cert, timeout_ms),
+            "CHECK" | "EQUIV" => self.forward_decision(raw, rest, explain, cert, timeout_ms, false),
+            "UCHECK" | "UEQUIV" => self.forward_decision(raw, rest, explain, cert, timeout_ms, true),
             "FINGERPRINT" => self.fingerprint_local(rest),
             "SCHEMA" => split_head(rest, "SCHEMA <name> <decl>").and_then(|(name, decl)| {
                 self.register_schema(name, decl).map(|(fp, relations, acked, total)| {
@@ -1039,8 +1057,8 @@ impl Router {
             }
             "QUIT" | "EXIT" => return Reply::Quit,
             other => Err(format!(
-                "unknown command `{other}` (try CHECK, EQUIV, FINGERPRINT, SCHEMA, STATS, \
-                 METRICS, SHARDS, HANDOFF, SHUTDOWN, QUIT)"
+                "unknown command `{other}` (try CHECK, EQUIV, UCHECK, UEQUIV, FINGERPRINT, \
+                 SCHEMA, STATS, METRICS, SHARDS, HANDOFF, SHUTDOWN, QUIT)"
             )),
         };
         match result {

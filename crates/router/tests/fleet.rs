@@ -182,6 +182,104 @@ fn affinity_verdicts_and_explain() {
 }
 
 #[test]
+fn ucheck_duplicates_stay_cache_affine() {
+    let shards: Vec<_> = (0..3).map(|_| start_shard(false)).collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.0).collect();
+    let (router_addr, _router, stop, handle) = start_router(&addrs, test_config());
+    let mut c = Client::connect(router_addr);
+    assert!(c.send(SCHEMA).starts_with("OK"));
+
+    // One semantic union pair, rendered six ways: permuted disjuncts,
+    // α-renamed variables, and a duplicated disjunct. The order-invariant
+    // union fingerprint routes every rendering to ONE shard, so all five
+    // repeats answer from that shard's union memo.
+    let renderings = [
+        "select x.B from x in R where x.A = 1 or select x.B from x in R where x.A = 2 \
+         ;; select y.B from y in R",
+        "select x.B from x in R where x.A = 2 or select x.B from x in R where x.A = 1 \
+         ;; select y.B from y in R",
+        "select u.B from u in R where u.A = 1 or select v.B from v in R where v.A = 2 \
+         ;; select w.B from w in R",
+        "select p.B from p in R where 2 = p.A or select q.B from q in R where 1 = q.A \
+         ;; select r.B from r in R",
+        "select x.B from x in R where x.A = 1 or select x.B from x in R where x.A = 2 \
+         or select z.B from z in R where z.A = 1 ;; select y.B from y in R",
+        "select a.B from a in R where a.A = 2 or select b.B from b in R where b.A = 1 \
+         ;; select y1.B from y1 in R",
+    ];
+    for (i, rendering) in renderings.iter().enumerate() {
+        let reply = c.send(&format!("UCHECK app {rendering}"));
+        assert!(reply.starts_with("OK holds=true"), "{reply}");
+        let expect = if i == 0 { "cached=false" } else { "cached=true" };
+        assert!(reply.contains(expect), "rendering {i} answered `{reply}`");
+    }
+
+    // Exactly one shard holds the memo entry; the fleet-wide hit total is
+    // exactly the repeat count — a misrouted duplicate would recompute
+    // (cached=false) on some other shard instead.
+    let mut total_hits = 0;
+    let mut shards_with_entries = 0;
+    for addr in &addrs {
+        let mut shard = Client::connect(*addr);
+        total_hits += shard.stat("unions.hits");
+        shards_with_entries += u64::from(shard.stat("unions.entries") > 0);
+    }
+    assert_eq!(total_hits, renderings.len() as u64 - 1, "every repeat must hit the same memo");
+    assert_eq!(shards_with_entries, 1, "union verdict memoized on exactly one shard");
+
+    // CERT UCHECK passes through the router multi-line, certificate
+    // block intact and checkable.
+    let first = c.send(&format!("CERT UCHECK app {}", renderings[0]));
+    assert!(first.starts_with("OK holds=true"), "{first}");
+    let lines = c.read_until("END");
+    let body = lines.join("\n");
+    let cert = co_cert::UnionCert::parse(&body).expect("parse COUNION1 through router");
+    assert!(cert.holds);
+    assert_eq!(cert.left, 2);
+
+    // UEQUIV routes by the same unordered key: both directions of the
+    // pair stay on the memoized shard (the backward direction is new, the
+    // forward one is already hot).
+    let reply = c.send(
+        "UEQUIV app select x.B from x in R where x.A = 1 or select x.B from x in R \
+         ;; select y.B from y in R",
+    );
+    assert!(reply.starts_with("OK equivalent=true"), "{reply}");
+
+    // Union parse errors are answered by the router locally.
+    let before = {
+        let first = c.send("STATS");
+        let mut lines = c.read_until("END");
+        lines.insert(0, first);
+        lines
+            .iter()
+            .find_map(|l| l.strip_prefix("router.local_errors "))
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("router.local_errors present")
+    };
+    let reply = c.send("UCHECK app select x.B from x in R or ;; select y.B from y in R");
+    assert!(reply.starts_with("ERR"), "{reply}");
+    let after = {
+        let first = c.send("STATS");
+        let mut lines = c.read_until("END");
+        lines.insert(0, first);
+        lines
+            .iter()
+            .find_map(|l| l.strip_prefix("router.local_errors "))
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("router.local_errors present")
+    };
+    assert_eq!(after, before + 1, "malformed union answered locally, no shard round-trip");
+
+    stop.trigger();
+    handle.join().unwrap();
+    for (_, s, h) in shards {
+        s.trigger();
+        h.join().unwrap();
+    }
+}
+
+#[test]
 fn killed_shard_sheds_to_siblings_with_zero_wrong_verdicts() {
     let shards: Vec<_> = (0..3).map(|_| start_shard(false)).collect();
     let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.0).collect();

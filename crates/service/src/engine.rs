@@ -26,7 +26,7 @@ use co_trace::{kernel, Span};
 use crate::cache::{CacheEntry, CacheKey, CacheStats, MemoCache};
 use crate::deadline::{Deadline, RequestBudget};
 use crate::faults;
-use crate::fingerprint::{fingerprint_query, fingerprint_schema, Fingerprint};
+use crate::fingerprint::{fingerprint_query, fingerprint_schema, fingerprint_union, Fingerprint};
 use crate::snapshot::{self, LoadOutcome};
 use crate::stats::{path_index, EngineStats};
 use crate::sync;
@@ -70,6 +70,12 @@ pub enum Op {
     Check,
     /// Decide equivalence (mutual containment plus the §4 collapse).
     Equiv,
+    /// Decide union containment `∪q1ⱼ ⊑ ∪q2ᵢ` (the query texts are
+    /// `or`-of-conjuncts union queries; a plain query is the degenerate
+    /// one-disjunct union).
+    UCheck,
+    /// Decide union equivalence (mutual union containment).
+    UEquiv,
 }
 
 /// One decision request, as received from a client.
@@ -155,6 +161,40 @@ pub enum Decision {
         /// exactly when the request asked for one.
         cert_forward: Option<String>,
         /// Certificate for the backward direction (`q2 ⊑ q1`).
+        cert_backward: Option<String>,
+    },
+    /// Answer to an [`Op::UCheck`] request.
+    Union {
+        /// The union verdict with witness provenance.
+        analysis: co_core::UnionAnalysis,
+        /// Served from the union memo rather than computed.
+        cached: bool,
+        /// Order-invariant union fingerprint of `q1`.
+        fp1: Fingerprint,
+        /// Order-invariant union fingerprint of `q2`.
+        fp2: Fingerprint,
+        /// Disjunct counts `(left, right)` after parsing.
+        disjuncts: (usize, usize),
+        /// The union certificate in `co-cert` wire form (`COUNION1`),
+        /// present exactly when the request asked for one; cached
+        /// certificates have been re-checked before landing here.
+        cert: Option<String>,
+    },
+    /// Answer to an [`Op::UEquiv`] request.
+    UnionEquivalence {
+        /// `∪q1ⱼ ⊑ ∪q2ᵢ`.
+        forward: bool,
+        /// `∪q2ᵢ ⊑ ∪q1ⱼ`.
+        backward: bool,
+        /// Both directions were served from the union memo.
+        cached: bool,
+        /// Order-invariant union fingerprint of `q1`.
+        fp1: Fingerprint,
+        /// Order-invariant union fingerprint of `q2`.
+        fp2: Fingerprint,
+        /// Union certificate for the forward direction, when asked for.
+        cert_forward: Option<String>,
+        /// Union certificate for the backward direction.
         cert_backward: Option<String>,
     },
     /// The request's deadline or step budget expired before a verdict was
@@ -258,6 +298,27 @@ enum CertAttempt {
     Unavailable(String),
 }
 
+/// A memoized union verdict (analysis plus any certificate), keyed by the
+/// pair of order-invariant union fingerprints. Unions live in their own
+/// memo (not [`MemoCache`]) so the scalar snapshot format (`COQLSNP1`) is
+/// untouched; union verdicts are recomputed after a restart.
+#[derive(Clone)]
+struct UnionEntry {
+    analysis: co_core::UnionAnalysis,
+    cert: Option<String>,
+}
+
+/// Cap on memoized union verdicts — union requests are rarer and heavier
+/// than scalar ones, so a single flat map with arbitrary-victim eviction
+/// is enough.
+const UNION_MEMO_CAP: usize = 4096;
+
+/// What one union decision produced (timeouts propagate, never memoized).
+enum UnionComputed {
+    Done(UnionEntry),
+    TimedOut,
+}
+
 type SlotResult = Result<Computed, String>;
 
 /// Slot a computing thread publishes its result into; concurrent
@@ -322,6 +383,8 @@ pub struct Engine {
     schemas: RwLock<HashMap<String, Arc<SchemaEntry>>>,
     cache: MemoCache,
     prepared: RwLock<HashMap<(Fingerprint, Fingerprint), Arc<Prepared>>>,
+    prepared_unions: RwLock<HashMap<(Fingerprint, Fingerprint), Arc<co_core::PreparedUnion>>>,
+    unions: Mutex<HashMap<CacheKey, UnionEntry>>,
     inflight: Mutex<HashMap<CacheKey, Arc<InFlightSlot>>>,
     stats: EngineStats,
     workers: usize,
@@ -353,6 +416,8 @@ impl Engine {
             schemas: RwLock::new(HashMap::new()),
             cache: MemoCache::new(config.cache_shards, config.cache_per_shard),
             prepared: RwLock::new(HashMap::new()),
+            prepared_unions: RwLock::new(HashMap::new()),
+            unions: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
             stats: EngineStats::default(),
             workers: config.workers.max(1),
@@ -493,6 +558,12 @@ impl Engine {
         sync::read(&self.schemas).len()
     }
 
+    /// The flat relational schema registered under `name` (the `NEST`
+    /// verb decides sequence equivalence against it).
+    pub fn flat_schema(&self, name: &str) -> Result<Schema, String> {
+        Ok(self.resolve_schema(name)?.flat.clone())
+    }
+
     fn resolve_schema(&self, name: &str) -> Result<Arc<SchemaEntry>, String> {
         sync::read(&self.schemas)
             .get(name)
@@ -559,6 +630,76 @@ impl Engine {
         co_lang::type_check(&expr, &entry.coql).map_err(|e| e.to_string())?;
         let nf = co_lang::normalize(&expr, &entry.coql).map_err(|e| e.to_string())?;
         Ok(fingerprint_query(&nf))
+    }
+
+    /// Parses, normalizes, and fingerprints one *union* query text;
+    /// returns the order-invariant union fingerprint and the shared
+    /// [`co_core::PreparedUnion`] (one per distinct canonical union,
+    /// with each disjunct's [`Prepared`] drawn from the same shared map
+    /// the scalar path uses).
+    fn analyze_union(
+        &self,
+        entry: &SchemaEntry,
+        text: &str,
+        ex: Option<&mut Explain>,
+    ) -> Result<(Fingerprint, Arc<co_core::PreparedUnion>), String> {
+        let span = Span::start();
+        let exprs = co_lang::parse_union_coql_with_depth(text, self.max_parse_depth)
+            .map_err(|e| parse_error_message(&e))?;
+        for expr in &exprs {
+            co_lang::type_check(expr, &entry.coql).map_err(|e| e.to_string())?;
+        }
+        let parse_us = span.elapsed_us();
+
+        let span = Span::start();
+        let mut nfs = Vec::with_capacity(exprs.len());
+        for expr in &exprs {
+            nfs.push(co_lang::normalize(expr, &entry.coql).map_err(|e| e.to_string())?);
+        }
+        let canonicalize_us = span.elapsed_us();
+
+        let span = Span::start();
+        let dfps: Vec<Fingerprint> = nfs.iter().map(fingerprint_query).collect();
+        let ufp = fingerprint_union(&dfps);
+        let fingerprint_us = span.elapsed_us();
+
+        let span = Span::start();
+        let ukey = (entry.fp, ufp);
+        let known = sync::read(&self.prepared_unions).get(&ukey).cloned();
+        let shared = match known {
+            Some(u) => u,
+            None => {
+                let mut disjuncts = Vec::with_capacity(exprs.len());
+                for (expr, &dfp) in exprs.iter().zip(&dfps) {
+                    let pkey = (entry.fp, dfp);
+                    let known = sync::read(&self.prepared).get(&pkey).cloned();
+                    let p = match known {
+                        Some(p) => p,
+                        None => {
+                            let prepared = Arc::new(
+                                co_core::prepare(expr, &entry.flat).map_err(|e| e.to_string())?,
+                            );
+                            let mut map = sync::write(&self.prepared);
+                            Arc::clone(map.entry(pkey).or_insert(prepared))
+                        }
+                    };
+                    disjuncts.push((*p).clone());
+                }
+                let union = Arc::new(
+                    co_core::PreparedUnion::from_disjuncts(disjuncts)
+                        .map_err(|e| e.to_string())?,
+                );
+                let mut map = sync::write(&self.prepared_unions);
+                Arc::clone(map.entry(ukey).or_insert(union))
+            }
+        };
+        if let Some(ex) = ex {
+            ex.parse_us += parse_us;
+            ex.canonicalize_us += canonicalize_us;
+            ex.fingerprint_us += fingerprint_us;
+            ex.prepare_us += span.elapsed_us();
+        }
+        Ok((ufp, shared))
     }
 
     /// Runs the certifier under the request budget inside the same
@@ -809,6 +950,210 @@ impl Engine {
         my_result
     }
 
+    /// Builds a union certificate under the request budget inside the same
+    /// panic-isolation boundary as the decision kernels.
+    fn certify_union_guarded(
+        &self,
+        left: &co_core::PreparedUnion,
+        right: &co_core::PreparedUnion,
+        analysis: &co_core::UnionAnalysis,
+        budget: &RequestBudget,
+        deadline: Option<Deadline>,
+    ) -> CertAttempt {
+        let outcome = {
+            let _budget_guard = interrupt::install(budget.kernel_budget(deadline));
+            catch_unwind(AssertUnwindSafe(|| {
+                co_core::certify_union_prepared(left, right, analysis)
+            }))
+        };
+        match outcome {
+            Ok(Ok(cert)) => CertAttempt::Made(cert.to_wire()),
+            Ok(Err(co_core::CertifyError::Interrupted)) => CertAttempt::Interrupted,
+            Ok(Err(co_core::CertifyError::Unavailable(m))) => CertAttempt::Unavailable(m),
+            Err(payload) => {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                CertAttempt::Unavailable(format!(
+                    "union certificate construction panicked: {}",
+                    panic_message(&*payload)
+                ))
+            }
+        }
+    }
+
+    /// Re-checks a memoized union certificate against the live disjunct
+    /// trees (the same trust boundary as [`Engine::certified_hit`]).
+    fn union_cert_verifies(
+        left: &co_core::PreparedUnion,
+        right: &co_core::PreparedUnion,
+        holds: bool,
+        wire: &str,
+    ) -> bool {
+        let ltrees: Vec<_> = left.disjuncts.iter().map(|p| &p.tree).collect();
+        let rtrees: Vec<_> = right.disjuncts.iter().map(|p| &p.tree).collect();
+        let expect =
+            |j: usize, i: usize| co_core::cert_path(co_core::expected_union_path(left, right, j, i));
+        co_cert::UnionCert::parse(wire)
+            .and_then(|cert| cert.check_against(&ltrees, &rtrees, holds, &expect))
+            .is_ok()
+    }
+
+    /// One direction of *union* containment through the union memo.
+    ///
+    /// The whole Sagiv–Yannakakis loop (and, when asked, the union
+    /// certifier) runs as one kernel call under one budget installation
+    /// and one panic boundary — cooperative budgets are sliced across
+    /// disjuncts inside `co_core`, and the per-disjunct parallel fan-out
+    /// happens there too. Memoized under the pair of order-invariant
+    /// union fingerprints; timeouts are never memoized. With `want_cert`,
+    /// a memoized certificate is independently re-checked against the
+    /// live trees before being served (reject-and-recompute on mismatch),
+    /// and a certificate-less hit gets one built under this request's
+    /// budget.
+    fn union_contained(
+        &self,
+        key: CacheKey,
+        left: &co_core::PreparedUnion,
+        right: &co_core::PreparedUnion,
+        budget: &RequestBudget,
+        deadline: Option<Deadline>,
+        want_cert: bool,
+        mut ex: Option<&mut Explain>,
+    ) -> Result<(UnionComputed, bool), String> {
+        let cache_span = Span::start();
+        let hit = sync::lock(&self.unions).get(&key).cloned();
+        if let Some(hit) = hit {
+            let served: Option<Result<(UnionComputed, bool), String>> = if !want_cert {
+                Some(Ok((UnionComputed::Done(hit), true)))
+            } else {
+                match &hit.cert {
+                    Some(wire) => {
+                        if Self::union_cert_verifies(left, right, hit.analysis.holds, wire) {
+                            Some(Ok((UnionComputed::Done(hit), true)))
+                        } else {
+                            self.stats.cert_rejected.fetch_add(1, Ordering::Relaxed);
+                            sync::lock(&self.unions).remove(&key);
+                            None
+                        }
+                    }
+                    None => {
+                        match self.certify_union_guarded(left, right, &hit.analysis, budget, deadline)
+                        {
+                            CertAttempt::Made(wire) => {
+                                let entry = UnionEntry {
+                                    analysis: hit.analysis,
+                                    cert: Some(wire),
+                                };
+                                self.union_memo_insert(key, entry.clone());
+                                Some(Ok((UnionComputed::Done(entry), true)))
+                            }
+                            CertAttempt::Interrupted => {
+                                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                                Some(Ok((UnionComputed::TimedOut, true)))
+                            }
+                            CertAttempt::Unavailable(m) => {
+                                Some(Err(format!("CERTUNAVAILABLE {m}")))
+                            }
+                            CertAttempt::Skipped => Some(Ok((UnionComputed::Done(hit), true))),
+                        }
+                    }
+                }
+            };
+            if let Some(result) = served {
+                self.stats.union_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(ex) = ex {
+                    ex.cache_us += cache_span.elapsed_us();
+                }
+                return result;
+            }
+            // A poisoned union certificate was rejected: recompute.
+        }
+        if let Some(ex) = ex.as_deref_mut() {
+            ex.cache_us += cache_span.elapsed_us();
+        }
+
+        self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let steps_before = kernel::snapshot();
+        let _ = par::take_engaged();
+        let kernel_span = Span::start();
+        let outcome = {
+            let _budget_guard = interrupt::install(budget.kernel_budget(deadline));
+            catch_unwind(AssertUnwindSafe(|| {
+                faults::kernel_entry();
+                let analysis = co_core::union_contained_prepared(left, right)?;
+                let cert = if want_cert {
+                    match co_core::certify_union_prepared(left, right, &analysis) {
+                        Ok(cert) => CertAttempt::Made(cert.to_wire()),
+                        Err(co_core::CertifyError::Interrupted) => CertAttempt::Interrupted,
+                        Err(co_core::CertifyError::Unavailable(m)) => CertAttempt::Unavailable(m),
+                    }
+                } else {
+                    CertAttempt::Skipped
+                };
+                Ok::<_, CoreError>((analysis, cert))
+            }))
+        };
+        let elapsed = kernel_span.elapsed();
+        let engaged = par::take_engaged().max(1);
+        let steps = kernel::snapshot().delta(&steps_before);
+        kernel::publish(&steps);
+        if let Some(ex) = ex.as_deref_mut() {
+            ex.kernel_us +=
+                (elapsed.as_nanos().saturating_add(500) / 1_000).min(u64::MAX as u128) as u64;
+            ex.kernel_steps.merge(&steps);
+            ex.threads_used = ex.threads_used.max(engaged);
+        }
+        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+
+        match outcome {
+            Ok(Ok((analysis, cert_attempt))) => {
+                let cert = match &cert_attempt {
+                    CertAttempt::Made(wire) => Some(wire.clone()),
+                    _ => None,
+                };
+                let entry = UnionEntry { analysis, cert };
+                self.union_memo_insert(key, entry.clone());
+                self.stats.computed.fetch_add(1, Ordering::Relaxed);
+                match cert_attempt {
+                    CertAttempt::Interrupted => {
+                        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        Ok((UnionComputed::TimedOut, false))
+                    }
+                    CertAttempt::Unavailable(m) => Err(format!("CERTUNAVAILABLE {m}")),
+                    CertAttempt::Made(_) | CertAttempt::Skipped => {
+                        Ok((UnionComputed::Done(entry), false))
+                    }
+                }
+            }
+            Ok(Err(CoreError::Interrupted)) => {
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                Ok((UnionComputed::TimedOut, false))
+            }
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(payload) => {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                Err(format!("internal error: union decision panicked: {}", panic_message(&*payload)))
+            }
+        }
+    }
+
+    /// Inserts into the union memo under its size cap, evicting an
+    /// arbitrary resident entry when full (union traffic is light enough
+    /// that a flat map beats per-shard LRU bookkeeping here).
+    fn union_memo_insert(&self, key: CacheKey, entry: UnionEntry) {
+        let mut unions = sync::lock(&self.unions);
+        if unions.len() >= UNION_MEMO_CAP && !unions.contains_key(&key) {
+            if let Some(victim) = unions.keys().next().copied() {
+                unions.remove(&victim);
+            }
+        }
+        unions.insert(key, entry);
+    }
+
+    /// Number of memoized union verdicts (the `unions.entries` gauge).
+    pub fn union_memo_len(&self) -> usize {
+        sync::lock(&self.unions).len()
+    }
+
     /// Blocks on another request's in-flight computation of the same key.
     /// A waiter with its own deadline stops waiting when it expires — a
     /// short-budget request is never held hostage by a long-running leader.
@@ -870,10 +1215,76 @@ impl Engine {
         if let Some(ex) = ex.as_deref_mut() {
             ex.prepare_us += schema_span.elapsed_us();
         }
+        let want_cert = request.cert;
+        if matches!(request.op, Op::UCheck | Op::UEquiv) {
+            let (ufp1, u1) = self.analyze_union(&entry, &request.q1, ex.as_deref_mut())?;
+            let (ufp2, u2) = self.analyze_union(&entry, &request.q2, ex.as_deref_mut())?;
+            let fwd_key = CacheKey { q1: ufp1, q2: ufp2, schema: entry.fp };
+            self.stats.union_decisions.fetch_add(1, Ordering::Relaxed);
+            match request.op {
+                Op::UCheck => {
+                    return match self.union_contained(
+                        fwd_key,
+                        &u1,
+                        &u2,
+                        &request.budget,
+                        deadline,
+                        want_cert,
+                        ex,
+                    )? {
+                        (UnionComputed::Done(entry), cached) => Ok(Decision::Union {
+                            analysis: entry.analysis,
+                            cached,
+                            fp1: ufp1,
+                            fp2: ufp2,
+                            disjuncts: (u1.disjuncts.len(), u2.disjuncts.len()),
+                            cert: if want_cert { entry.cert } else { None },
+                        }),
+                        (UnionComputed::TimedOut, _) => timed_out(ufp1, ufp2),
+                    };
+                }
+                Op::UEquiv => {
+                    let bwd_key = CacheKey { q1: ufp2, q2: ufp1, schema: entry.fp };
+                    let (fwd_entry, c1) = match self.union_contained(
+                        fwd_key,
+                        &u1,
+                        &u2,
+                        &request.budget,
+                        deadline,
+                        want_cert,
+                        ex.as_deref_mut(),
+                    )? {
+                        (UnionComputed::Done(e), cached) => (e, cached),
+                        (UnionComputed::TimedOut, _) => return timed_out(ufp1, ufp2),
+                    };
+                    let (bwd_entry, c2) = match self.union_contained(
+                        bwd_key,
+                        &u2,
+                        &u1,
+                        &request.budget,
+                        deadline,
+                        want_cert,
+                        ex,
+                    )? {
+                        (UnionComputed::Done(e), cached) => (e, cached),
+                        (UnionComputed::TimedOut, _) => return timed_out(ufp1, ufp2),
+                    };
+                    return Ok(Decision::UnionEquivalence {
+                        forward: fwd_entry.analysis.holds,
+                        backward: bwd_entry.analysis.holds,
+                        cached: c1 && c2,
+                        fp1: ufp1,
+                        fp2: ufp2,
+                        cert_forward: if want_cert { fwd_entry.cert } else { None },
+                        cert_backward: if want_cert { bwd_entry.cert } else { None },
+                    });
+                }
+                Op::Check | Op::Equiv => unreachable!("guarded by the matches! above"),
+            }
+        }
         let (fp1, p1) = self.analyze(&entry, &request.q1, ex.as_deref_mut())?;
         let (fp2, p2) = self.analyze(&entry, &request.q2, ex.as_deref_mut())?;
         let fwd_key = CacheKey { q1: fp1, q2: fp2, schema: entry.fp };
-        let want_cert = request.cert;
         match request.op {
             Op::Check => {
                 match self.contained(fwd_key, &p1, &p2, &request.budget, deadline, want_cert, ex)? {
@@ -937,6 +1348,7 @@ impl Engine {
                     cert_backward: if want_cert { bwd_entry.cert } else { None },
                 })
             }
+            Op::UCheck | Op::UEquiv => unreachable!("handled above"),
         }
     }
 
@@ -1145,5 +1557,128 @@ mod tests {
         }
         // 32 requests, 2 distinct keys.
         assert_eq!(e.stats().computed.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn union_requests_memoize_under_the_order_invariant_fingerprint() {
+        let e = engine();
+        let u1 = "select x.B from x in R where x.A = 1 or select x.B from x in R where x.A = 2";
+        let u2 = "select y.B from y in R";
+        let r = Request::new(Op::UCheck, "s", u1, u2);
+        let Decision::Union { analysis, cached, disjuncts, .. } = e.decide(&r).unwrap() else {
+            panic!("expected union decision");
+        };
+        assert!(analysis.holds);
+        assert_eq!(disjuncts, (2, 1));
+        assert!(!cached);
+        assert_eq!(analysis.witnesses, vec![0, 0]);
+        // Permuted + α-renamed disjuncts share the union fingerprint and
+        // hit the memo (the verdict is order-invariant; witness indices
+        // refer to the order the entry was computed under).
+        let flipped =
+            "select z.B from z in R where z.A = 2 or select w.B from w in R where 1 = w.A";
+        let r2 = Request::new(Op::UCheck, "s", flipped, u2);
+        let Decision::Union { analysis: a2, cached: c2, .. } = e.decide(&r2).unwrap() else {
+            panic!("expected union decision");
+        };
+        assert!(c2, "order-invariant fingerprints must share one memo entry");
+        assert_eq!(analysis.holds, a2.holds);
+        assert_eq!(e.union_memo_len(), 1);
+        assert_eq!(e.stats().union_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(e.stats().union_decisions.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn union_refutations_name_the_uncovered_disjunct() {
+        let e = engine();
+        let r = Request::new(
+            Op::UCheck,
+            "s",
+            "select x.B from x in R where x.A = 1 or select x.B from x in R",
+            "select y.B from y in R where y.A = 1 or select y.B from y in R where y.A = 2",
+        );
+        let Decision::Union { analysis, .. } = e.decide(&r).unwrap() else {
+            panic!("expected union decision");
+        };
+        assert!(!analysis.holds);
+        assert_eq!(analysis.refuted, Some(1), "the unrestricted disjunct is uncovered");
+    }
+
+    #[test]
+    fn singleton_unions_never_collide_with_scalar_cache_keys() {
+        let e = engine();
+        let q = "select x.B from x in R where x.A = 1";
+        let Decision::Containment { cached, .. } =
+            e.decide(&check("s", q, "select y.B from y in R")).unwrap()
+        else {
+            panic!("expected containment decision");
+        };
+        assert!(!cached);
+        // The same pair as a 1-disjunct union computes fresh: the UCQ1 tag
+        // keeps union verdicts out of the scalar memo space and vice versa.
+        let r = Request::new(Op::UCheck, "s", q, "select y.B from y in R");
+        let Decision::Union { analysis, cached, .. } = e.decide(&r).unwrap() else {
+            panic!("expected union decision");
+        };
+        assert!(analysis.holds);
+        assert!(!cached, "union memo must not alias the scalar cache");
+    }
+
+    #[test]
+    fn uequiv_combines_both_union_directions() {
+        let e = engine();
+        let u1 = "select x.B from x in R where x.A = 1 or select x.B from x in R";
+        let u2 = "select y.B from y in R";
+        let r = Request::new(Op::UEquiv, "s", u1, u2);
+        let Decision::UnionEquivalence { forward, backward, cached, .. } = e.decide(&r).unwrap()
+        else {
+            panic!("expected union equivalence decision");
+        };
+        // `(σ R) ∪ R ≡ R`: each side's disjuncts are covered by the other.
+        assert!(forward && backward);
+        assert!(!cached);
+        // Both directions are now memoized: a repeat is fully cached.
+        let Decision::UnionEquivalence { cached, .. } = e.decide(&r).unwrap() else {
+            panic!("expected union equivalence decision");
+        };
+        assert!(cached);
+    }
+
+    #[test]
+    fn union_cert_requests_attach_checkable_union_certificates() {
+        let e = engine();
+        let u1 = "select x.B from x in R where x.A = 1 or select x.B from x in R where x.A = 2";
+        let u2 = "select y.B from y in R";
+        let r = Request::new(Op::UCheck, "s", u1, u2).with_cert(true);
+        let Decision::Union { analysis, cert, .. } = e.decide(&r).unwrap() else {
+            panic!("expected union decision");
+        };
+        assert!(analysis.holds);
+        let wire = cert.expect("CERT UCHECK must attach a certificate");
+        let parsed = co_cert::UnionCert::parse(&wire).unwrap();
+        assert!(parsed.holds);
+        assert_eq!(parsed.witnesses.len(), 2);
+        // The cached certificate is re-checked server-side and served again.
+        let Decision::Union { cached, cert, .. } = e.decide(&r).unwrap() else {
+            panic!("expected union decision");
+        };
+        assert!(cached);
+        assert!(cert.is_some());
+        assert_eq!(e.stats().cert_rejected.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn union_memo_respects_its_cap() {
+        let e = engine();
+        for i in 0..8 {
+            let u1 = format!(
+                "select x.B from x in R where x.A = {i} or select x.B from x in R where x.A = {}",
+                i + 100
+            );
+            let r = Request::new(Op::UCheck, "s", &u1, "select y.B from y in R");
+            assert!(e.decide(&r).is_ok());
+        }
+        assert!(e.union_memo_len() <= UNION_MEMO_CAP);
+        assert_eq!(e.union_memo_len(), 8);
     }
 }

@@ -72,6 +72,53 @@ pub fn canonical_fingerprint(
     Ok(fingerprint_query(&nf))
 }
 
+/// Domain-separation tag mixed into every union fingerprint so a
+/// one-disjunct union (`UCHECK` of a plain query) never collides with the
+/// same query's scalar fingerprint — union verdicts and scalar verdicts
+/// live in different memo spaces.
+const UNION_TAG: &[u8] = b"UCQ1";
+
+/// Order-invariant fingerprint of a union query from its per-disjunct
+/// canonical fingerprints: sorted, deduplicated, and hashed under a
+/// union-specific tag. Disjunct permutation, duplicate disjuncts, and
+/// α-renaming inside any disjunct all leave it unchanged.
+pub fn fingerprint_union(disjuncts: &[Fingerprint]) -> Fingerprint {
+    let mut sorted: Vec<u128> = disjuncts.iter().map(|f| f.0).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut bytes = Vec::with_capacity(UNION_TAG.len() + sorted.len() * 16);
+    bytes.extend_from_slice(UNION_TAG);
+    for fp in sorted {
+        bytes.extend_from_slice(&fp.to_be_bytes());
+    }
+    fingerprint_bytes(&bytes)
+}
+
+/// Parses, type-checks, normalizes, and fingerprints one union query text
+/// (`expr (or expr)*`) — the `UCHECK`/`UEQUIV` analogue of
+/// [`canonical_fingerprint`], exposed for the routing tier's
+/// fingerprint-affine dispatch of union requests.
+pub fn canonical_union_fingerprint(
+    schema: &co_lang::CoqlSchema,
+    text: &str,
+    max_depth: usize,
+) -> Result<Fingerprint, String> {
+    let exprs = co_lang::parse_union_coql_with_depth(text, max_depth).map_err(|e| {
+        if e.is_too_deep() {
+            format!("TOODEEP {e}")
+        } else {
+            e.to_string()
+        }
+    })?;
+    let mut fps = Vec::with_capacity(exprs.len());
+    for expr in &exprs {
+        co_lang::type_check(expr, schema).map_err(|e| e.to_string())?;
+        let nf = co_lang::normalize(expr, schema).map_err(|e| e.to_string())?;
+        fps.push(fingerprint_query(&nf));
+    }
+    Ok(fingerprint_union(&fps))
+}
+
 /// Fingerprint of a flat schema: relation names with their attribute lists,
 /// in name order (which [`Schema::iter`] already guarantees).
 pub fn fingerprint_schema(schema: &Schema) -> Fingerprint {
@@ -99,6 +146,34 @@ mod tests {
     fn hex_rendering_is_32_chars() {
         assert_eq!(Fingerprint(0).to_string().len(), 32);
         assert_eq!(Fingerprint(u128::MAX).to_string(), "f".repeat(32));
+    }
+
+    #[test]
+    fn union_fingerprints_are_order_invariant_and_tagged() {
+        let a = Fingerprint(7);
+        let b = Fingerprint(13);
+        assert_eq!(fingerprint_union(&[a, b]), fingerprint_union(&[b, a]));
+        assert_eq!(fingerprint_union(&[a, b]), fingerprint_union(&[a, b, a]));
+        // The singleton union is tagged: distinct from the scalar fp.
+        assert_ne!(fingerprint_union(&[a]), a);
+        assert_ne!(fingerprint_union(&[a]), fingerprint_union(&[b]));
+    }
+
+    #[test]
+    fn canonical_union_fingerprint_matches_the_parts() {
+        let schema = co_lang::CoqlSchema::from_flat(&Schema::with_relations(&[("R", &["A", "B"])]));
+        let d = 128;
+        let q1 = "select x.A from x in R";
+        let q2 = "select y.B from y in R";
+        let f1 = canonical_fingerprint(&schema, q1, d).unwrap();
+        let f2 = canonical_fingerprint(&schema, q2, d).unwrap();
+        let union = canonical_union_fingerprint(&schema, &format!("{q1} or {q2}"), d).unwrap();
+        assert_eq!(union, fingerprint_union(&[f1, f2]));
+        // Disjunct order and α-renaming don't matter.
+        let flipped =
+            canonical_union_fingerprint(&schema, &format!("{q2} or select z.A from z in R"), d)
+                .unwrap();
+        assert_eq!(union, flipped);
     }
 
     #[test]

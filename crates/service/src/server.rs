@@ -7,6 +7,10 @@
 //! SCHEMA <name> <decl>          register a schema, e.g. R(A,B); S(C)
 //! CHECK <schema> <q1> ;; <q2>   decide q1 ⊑ q2
 //! EQUIV <schema> <q1> ;; <q2>   decide equivalence
+//! UCHECK <schema> <u1> ;; <u2>  decide union containment u1 ⊑ u2
+//! UEQUIV <schema> <u1> ;; <u2>  decide union equivalence
+//! AGG <q1> ;; <q2>              aggregate-query containment/equivalence
+//! NEST <schema> <s1> ;; <s2>    nest/unnest sequence equivalence
 //! FINGERPRINT <schema> <q>      canonical fingerprint of one query
 //! STATS                         cache/engine counters + latency quantiles
 //! METRICS                       Prometheus text exposition, ends `# EOF`
@@ -25,6 +29,18 @@
 //! the same all-or-nothing header/version/CRC gating as a warm start:
 //! any mismatch answers `ERR SNAPREJECTED …` and leaves the resident
 //! cache untouched — a half-loaded cache can never exist.
+//!
+//! A *union query* is `expr (or expr)*`: `UCHECK` decides `∪Pⱼ ⊑ ∪Qᵢ`
+//! by the Sagiv–Yannakakis reduction (every left disjunct contained in
+//! some right disjunct), `UEQUIV` decides both directions. Both compose
+//! with `CERT`/`EXPLAIN`/`TIMEOUT`/`BUDGET`; a `CERT` reply carries one
+//! `COUNION1 … COUNIONEND` block per direction, embedding one `COCERT1`
+//! block per witness (or per-branch counterexample blocks when refuted).
+//! `AGG` decides uninterpreted aggregate-query containment (§7): each
+//! side is `<datalog body> | <fn>(<var>), …`, e.g.
+//! `AGG q(X) :- R(X,Y). | count(Y) ;; q(X) :- R(X,Z). | count(Z)`.
+//! `NEST` decides nest/unnest sequence equivalence over a registered
+//! flat schema: each side is `<base> [; nest <A>,<B> as <G> | ; unnest <G>]*`.
 //!
 //! `CHECK`/`EQUIV` accept budget prefixes: `TIMEOUT <ms>` caps the
 //! request's wall-clock time and `BUDGET <steps>` caps kernel steps
@@ -73,6 +89,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use co_cq::{RelSchema, Schema};
+use co_object::interrupt;
 
 use co_trace::{kernel, Span};
 
@@ -656,11 +673,12 @@ fn handle_line(line: &str, ctx: &ServerCtx, conn: &mut ConnState) -> Reply {
     let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
     let rest = rest.trim();
     let cmd = cmd.to_ascii_uppercase();
-    if explain && cmd != "CHECK" && cmd != "EQUIV" {
-        return Reply::Line("ERR EXPLAIN applies only to CHECK and EQUIV".into());
+    let decision_verb = matches!(cmd.as_str(), "CHECK" | "EQUIV" | "UCHECK" | "UEQUIV");
+    if explain && !decision_verb {
+        return Reply::Line("ERR EXPLAIN applies only to CHECK, EQUIV, UCHECK, and UEQUIV".into());
     }
-    if cert && cmd != "CHECK" && cmd != "EQUIV" {
-        return Reply::Line("ERR CERT applies only to CHECK and EQUIV".into());
+    if cert && !decision_verb {
+        return Reply::Line("ERR CERT applies only to CHECK, EQUIV, UCHECK, and UEQUIV".into());
     }
     let result = match cmd.as_str() {
         "CHECK" => pair_request(Op::Check, rest)
@@ -669,6 +687,14 @@ fn handle_line(line: &str, ctx: &ServerCtx, conn: &mut ConnState) -> Reply {
         "EQUIV" => pair_request(Op::Equiv, rest)
             .map(|r| r.with_budget(budget).with_cert(cert))
             .and_then(|r| run(engine, &r, explain)),
+        "UCHECK" => pair_request(Op::UCheck, rest)
+            .map(|r| r.with_budget(budget).with_cert(cert))
+            .and_then(|r| run(engine, &r, explain)),
+        "UEQUIV" => pair_request(Op::UEquiv, rest)
+            .map(|r| r.with_budget(budget).with_cert(cert))
+            .and_then(|r| run(engine, &r, explain)),
+        "AGG" => handle_agg(rest, &budget),
+        "NEST" => handle_nest(rest, engine, &budget),
         "FINGERPRINT" => split_head(rest, "FINGERPRINT <schema> <query>")
             .and_then(|(schema, query)| engine.fingerprint(schema, query))
             .map(|fp| format!("OK fp={fp}")),
@@ -697,7 +723,8 @@ fn handle_line(line: &str, ctx: &ServerCtx, conn: &mut ConnState) -> Reply {
         "QUIT" | "EXIT" => return Reply::Quit,
         other => Err(format!(
             "unknown command `{other}` \
-             (try CHECK, EQUIV, FINGERPRINT, SCHEMA, STATS, METRICS, SNAPEXPORT, SHUTDOWN, QUIT)"
+             (try CHECK, EQUIV, UCHECK, UEQUIV, AGG, NEST, FINGERPRINT, SCHEMA, STATS, METRICS, \
+             SNAPEXPORT, SHUTDOWN, QUIT)"
         )),
     };
     match result {
@@ -810,6 +837,8 @@ fn pair_request(op: Op, rest: &str) -> Result<Request, String> {
     let usage = match op {
         Op::Check => "CHECK <schema> <q1> ;; <q2>",
         Op::Equiv => "EQUIV <schema> <q1> ;; <q2>",
+        Op::UCheck => "UCHECK <schema> <q1> [or <q>]* ;; <q2> [or <q>]*",
+        Op::UEquiv => "UEQUIV <schema> <q1> [or <q>]* ;; <q2> [or <q>]*",
     };
     let (schema, queries) = split_head(rest, usage)?;
     let (q1, q2) = queries.split_once(";;").ok_or_else(|| format!("usage: {usage}"))?;
@@ -878,6 +907,11 @@ fn decision_certs(decision: &Decision) -> Result<Vec<&str>, String> {
             cert_forward.as_deref().ok_or_else(missing)?,
             cert_backward.as_deref().ok_or_else(missing)?,
         ]),
+        Decision::Union { cert, .. } => Ok(vec![cert.as_deref().ok_or_else(missing)?]),
+        Decision::UnionEquivalence { cert_forward, cert_backward, .. } => Ok(vec![
+            cert_forward.as_deref().ok_or_else(missing)?,
+            cert_backward.as_deref().ok_or_else(missing)?,
+        ]),
         Decision::TimedOut { .. } => Err(missing()),
     }
 }
@@ -899,11 +933,181 @@ fn render_decision(decision: &Decision) -> Result<String, String> {
                  cached={cached} fp1={fp1} fp2={fp2}"
             ))
         }
+        Decision::Union { analysis, cached, fp1, fp2, disjuncts, .. } => {
+            let (left, right) = disjuncts;
+            let detail = if analysis.holds {
+                let witnesses: Vec<String> =
+                    analysis.witnesses.iter().map(|w| w.to_string()).collect();
+                format!("witnesses={}", witnesses.join(","))
+            } else {
+                format!("refuted={}", analysis.refuted.map(i64::from).unwrap_or(-1))
+            };
+            Ok(format!(
+                "OK holds={} {detail} left={left} right={right} pairs={} \
+                 cached={cached} fp1={fp1} fp2={fp2}",
+                analysis.holds, analysis.pairs_decided
+            ))
+        }
+        Decision::UnionEquivalence { forward, backward, cached, fp1, fp2, .. } => Ok(format!(
+            "OK equivalent={} forward={forward} backward={backward} \
+             cached={cached} fp1={fp1} fp2={fp2}",
+            *forward && *backward
+        )),
         Decision::TimedOut { fp1, fp2, elapsed } => Err(format!(
             "DEADLINE exceeded after {}ms fp1={fp1} fp2={fp2} \
              (verdict not cached; retry with a larger TIMEOUT/BUDGET)",
             elapsed.as_millis()
         )),
+    }
+}
+
+/// Cap on aggregate-query body atoms and nest/unnest sequence steps: a
+/// request past it answers `ERR TOODEEP` instead of occupying a worker
+/// (the same role the parse depth cap plays for `CHECK`).
+const MAX_STRUCTURE_STEPS: usize = 64;
+
+/// Parses one `AGG` side: `<datalog body> | <fn>(<var>)[, <fn>(<var>)]*`
+/// (the `| aggs` part optional — a bare body is a pure group-by query).
+fn parse_agg_side(text: &str) -> Result<co_agg::AggQuery, String> {
+    let (body, aggs_text) = match text.split_once('|') {
+        Some((body, aggs)) => (body.trim(), aggs.trim()),
+        None => (text.trim(), ""),
+    };
+    let mut aggs: Vec<(&str, &str)> = Vec::new();
+    for part in aggs_text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let open = part.find('(').ok_or_else(|| format!("bad aggregate `{part}`"))?;
+        let close = part.rfind(')').ok_or_else(|| format!("bad aggregate `{part}`"))?;
+        if close <= open {
+            return Err(format!("bad aggregate `{part}`"));
+        }
+        aggs.push((part[..open].trim(), part[open + 1..close].trim()));
+    }
+    let q = co_agg::AggQuery::parse(body, &aggs).map_err(|e| e.to_string())?;
+    if q.body.len() > MAX_STRUCTURE_STEPS {
+        return Err(format!(
+            "TOODEEP aggregate body has {} atoms (cap {MAX_STRUCTURE_STEPS})",
+            q.body.len()
+        ));
+    }
+    Ok(q)
+}
+
+/// The `AGG` verb: uninterpreted aggregate-query containment, both
+/// directions (§7's reduction through `co-agg`). Runs under the request
+/// budget; an expired budget answers `ERR DEADLINE` instead of a verdict
+/// the interrupted search could have corrupted.
+fn handle_agg(rest: &str, budget: &RequestBudget) -> Result<String, String> {
+    let usage = "AGG <body> [| <fn>(<var>), ...] ;; <body> [| <fn>(<var>), ...]";
+    let deadline = budget.start();
+    let (left, right) = rest.split_once(";;").ok_or_else(|| format!("usage: {usage}"))?;
+    if left.trim().is_empty() || right.trim().is_empty() {
+        return Err(format!("usage: {usage}"));
+    }
+    let q1 = parse_agg_side(left)?;
+    let q2 = parse_agg_side(right)?;
+    let outcome = {
+        let _budget_guard = interrupt::install(budget.kernel_budget(deadline));
+        catch_unwind(AssertUnwindSafe(|| {
+            let forward = co_agg::agg_contained_in(&q1, &q2);
+            let backward = co_agg::agg_contained_in(&q2, &q1);
+            // An expired budget is sticky: this probe fails iff the
+            // searches above were cut short, making the verdict unsound.
+            let expired = interrupt::probe().is_err();
+            (forward, backward, expired)
+        }))
+    };
+    match outcome {
+        Ok((_, _, true)) => Err(
+            "DEADLINE exceeded inside the aggregate decision \
+             (retry with a larger TIMEOUT/BUDGET)"
+                .to_string(),
+        ),
+        Ok((forward, backward, false)) => Ok(format!(
+            "OK forward={forward} backward={backward} equivalent={}",
+            forward && backward
+        )),
+        Err(_) => Err("INTERNAL aggregate decision panicked".to_string()),
+    }
+}
+
+/// Parses one `NEST` side: `<base> [; nest <A>[,<B>]* as <G> | ; unnest <G>]*`.
+fn parse_nest_side(text: &str) -> Result<co_algebra::nestseq::NuSeq, String> {
+    let mut parts = text.split(';').map(str::trim);
+    let base = parts.next().unwrap_or("");
+    if base.is_empty() || base.contains(char::is_whitespace) {
+        return Err(format!("bad nest/unnest base `{base}` (one relation name)"));
+    }
+    let mut ops = Vec::new();
+    for step in parts {
+        if step.is_empty() {
+            return Err("empty nest/unnest step".to_string());
+        }
+        let (kind, spec) = step.split_once(char::is_whitespace).unwrap_or((step, ""));
+        match kind.to_ascii_lowercase().as_str() {
+            "nest" => {
+                let (attrs, field) = spec
+                    .rsplit_once(" as ")
+                    .map(|(a, f)| (a.trim(), f.trim()))
+                    .ok_or_else(|| format!("bad step `{step}` (nest <A>[,<B>]* as <G>)"))?;
+                let attrs: Vec<&str> =
+                    attrs.split(',').map(str::trim).filter(|a| !a.is_empty()).collect();
+                if attrs.is_empty() || field.is_empty() {
+                    return Err(format!("bad step `{step}` (nest <A>[,<B>]* as <G>)"));
+                }
+                ops.push(co_algebra::nestseq::NuOp::nest(&attrs, field));
+            }
+            "unnest" => {
+                let field = spec.trim();
+                if field.is_empty() || field.contains(char::is_whitespace) {
+                    return Err(format!("bad step `{step}` (unnest <G>)"));
+                }
+                ops.push(co_algebra::nestseq::NuOp::unnest(field));
+            }
+            other => return Err(format!("bad step `{other}` (nest … | unnest …)")),
+        }
+    }
+    if ops.len() > MAX_STRUCTURE_STEPS {
+        return Err(format!(
+            "TOODEEP sequence has {} steps (cap {MAX_STRUCTURE_STEPS})",
+            ops.len()
+        ));
+    }
+    Ok(co_algebra::nestseq::NuSeq::new(base, ops))
+}
+
+/// The `NEST` verb: equivalence of two nest/unnest sequences over a
+/// registered flat schema, decided through `co-algebra::nestseq` (§6).
+fn handle_nest(rest: &str, engine: &Engine, budget: &RequestBudget) -> Result<String, String> {
+    let usage = "NEST <schema> <base> [; nest <A>,… as <G> | ; unnest <G>]* ;; <base> …";
+    let deadline = budget.start();
+    let (schema_name, seqs) = split_head(rest, usage)?;
+    let schema = engine.flat_schema(schema_name)?;
+    let (left, right) = seqs.split_once(";;").ok_or_else(|| format!("usage: {usage}"))?;
+    let s1 = parse_nest_side(left.trim())?;
+    let s2 = parse_nest_side(right.trim())?;
+    let outcome = {
+        let _budget_guard = interrupt::install(budget.kernel_budget(deadline));
+        catch_unwind(AssertUnwindSafe(|| {
+            let verdict = co_algebra::nestseq::equivalent_sequences(&s1, &s2, &schema);
+            let expired = interrupt::probe().is_err();
+            (verdict, expired)
+        }))
+    };
+    match outcome {
+        Ok((_, true)) => Err(
+            "DEADLINE exceeded inside the sequence decision \
+             (retry with a larger TIMEOUT/BUDGET)"
+                .to_string(),
+        ),
+        Ok((verdict, false)) => {
+            let equivalent = verdict.map_err(|e| e.to_string())?;
+            Ok(format!(
+                "OK equivalent={equivalent} ops1={} ops2={}",
+                s1.ops.len(),
+                s2.ops.len()
+            ))
+        }
+        Err(_) => Err("INTERNAL sequence decision panicked".to_string()),
     }
 }
 
@@ -948,6 +1152,9 @@ fn render_stats(ctx: &ServerCtx) -> String {
     put("cache.shards", cache.shards.to_string());
     put("cache.hit_rate", format!("{:.4}", cache.hit_rate()));
     put("cache.effective_hit_rate", format!("{effective:.4}"));
+    put("unions.decisions", stats.union_decisions.load(Ordering::Relaxed).to_string());
+    put("unions.hits", stats.union_hits.load(Ordering::Relaxed).to_string());
+    put("unions.entries", engine.union_memo_len().to_string());
     put("persist.recovered_entries", stats.recovered_entries.load(Ordering::Relaxed).to_string());
     put("persist.snapshots_written", stats.snapshots_written.load(Ordering::Relaxed).to_string());
     put("persist.snapshot_failures", stats.snapshot_failures.load(Ordering::Relaxed).to_string());
@@ -1119,6 +1326,25 @@ fn render_metrics(ctx: &ServerCtx) -> String {
         "coqld_cache_effective_hit_rate",
         "Hit rate counting coalesced requests",
         effective,
+    );
+
+    put_counter(
+        out,
+        "coqld_union_decisions_total",
+        "Union (UCHECK/UEQUIV) decisions answered",
+        load(&stats.union_decisions),
+    );
+    put_counter(
+        out,
+        "coqld_union_hits_total",
+        "Union containment directions served from the union memo",
+        load(&stats.union_hits),
+    );
+    put_gauge(
+        out,
+        "coqld_union_memo_entries",
+        "Live union-memo entries",
+        engine.union_memo_len() as i64,
     );
 
     put_counter(

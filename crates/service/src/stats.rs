@@ -109,6 +109,11 @@ pub struct EngineStats {
     /// `CERT` (entry recomputed). Any nonzero value means a poisoned or
     /// stale certificate was caught before being served.
     pub cert_rejected: AtomicU64,
+    /// Union (`UCHECK`/`UEQUIV`) decisions answered (each direction of a
+    /// `UEQUIV` counts once toward `decisions`, the request once here).
+    pub union_decisions: AtomicU64,
+    /// Union containment directions served from the union memo.
+    pub union_hits: AtomicU64,
     /// Latency of computed decisions, by decision path
     /// (indexed [`path_index`]).
     pub path_latency: [LatencyHistogram; 3],

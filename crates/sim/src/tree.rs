@@ -522,6 +522,15 @@ fn covered_detail(
     let args1 = resolve_args(&entry_merge, args1);
     let args2 = resolve_args(&entry_merge, args2);
 
+    // Target-set-always-empty: an unsatisfiable n2 body means n2's set is
+    // empty at every valuation, while n1's generic element (whose entry
+    // unification just succeeded) is realized by some database — nothing
+    // can cover it. Checked *after* the n1 emptiness cases: the hom search
+    // below only sees n2's residual body, which may well be satisfiable.
+    if n2.query.unsatisfiable {
+        return Ok(Cover::RefutedTemplate);
+    }
+
     // Template shapes must correspond, else no element can ever be covered.
     let Some(pairs) = match_templates(&n1.template, &n2.template) else {
         return Ok(Cover::RefutedTemplate);
@@ -1096,6 +1105,52 @@ mod tests {
     }
 
     #[test]
+    fn unsatisfiable_target_child_refutes_nonempty_source_child() {
+        // t1's g is {1}∩S per element; t2's g is always empty (its child
+        // body is unsatisfiable) but leaves a satisfiable residual body.
+        // The ∃-side hom search must not treat that residual as coverage:
+        // on R={(1,0)}, S={1} the source element [a:1, g:{1}] has nothing
+        // to embed into.
+        let mk = |unsat: bool| {
+            let child = TreeNode {
+                query: IndexedQuery {
+                    index: vec![Term::int(1)],
+                    value: vec![Term::int(1)],
+                    body: parse_query("q() :- R(1, B), S(1).").unwrap().body,
+                    unsatisfiable: unsat,
+                },
+                template: Template::AtomCol(0),
+                children: Vec::new(),
+            };
+            QueryTree {
+                root: TreeNode {
+                    query: IndexedQuery {
+                        index: vec![],
+                        value: vec![Term::int(1)],
+                        body: parse_query("q() :- R(1, B).").unwrap().body,
+                        unsatisfiable: false,
+                    },
+                    template: Template::record(vec![
+                        (Field::new("a"), Template::AtomCol(0)),
+                        (Field::new("g"), Template::Child(0)),
+                    ]),
+                    children: vec![ChildLink { link: vec![Term::int(1)], node: child }],
+                },
+            }
+        };
+        let live = mk(false);
+        let empty = mk(true);
+        assert!(!tree_contained_in(&live, &empty));
+        assert!(!tree_strong_contained_in_no_empty_sets(&live, &empty));
+        // The empty-g side stays Hoare-below the live side, and the
+        // refutation agrees with direct evaluation.
+        assert!(tree_contained_in(&empty, &live));
+        let db = Database::from_ints(&[("R", &[&[1, 0]]), ("S", &[&[1]])]);
+        assert!(!hoare_leq(&live.evaluate(&db), &empty.evaluate(&db)));
+        assert!(hoare_leq(&empty.evaluate(&db), &live.evaluate(&db)));
+    }
+
+    #[test]
     fn no_empty_sets_fast_path_agrees_when_assumption_holds() {
         let q1 = iq("q(X, Y) :- R(X, Y).", 1);
         let q2 = iq("q(Y0, Y) :- R(X, Y), R(X, Y0).", 1);
@@ -1188,6 +1243,12 @@ fn covered_strong_dir(
     let ctx = ctx.substituted(&entry_merge);
     let args1 = resolve_args(&entry_merge, args1);
     let args2 = resolve_args(&entry_merge, args2);
+
+    // See `covered_detail`: an unsatisfiable n2 body is empty everywhere,
+    // so no element of n1's (realizable) set can equal one of n2's.
+    if n2.query.unsatisfiable {
+        return Ok(false);
+    }
 
     let Some(pairs) = match_templates(&n1.template, &n2.template) else {
         return Ok(false);

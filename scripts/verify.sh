@@ -46,6 +46,10 @@ run cargo run -p co-bench --release --bin co-bench -- perf --quick --threads 2 -
 run cargo run -p co-bench --release --bin co-bench -- check target/bench-smoke.json
 run cargo run -p co-bench --release --bin co-bench -- check BENCH_PR2.json --strict
 run cargo run -p co-bench --release --bin co-bench -- check BENCH_PR7.json --strict
+# v2 union baseline (DESIGN.md §17): the E-series union_heavy workload's
+# first-disjunct short-circuit must stay ≥5× faster than a last-disjunct
+# hit, on every machine (the floor is not thread-gated).
+run cargo run -p co-bench --release --bin co-bench -- check BENCH_PR10.json --strict
 # Observability gate (DESIGN.md §12): the deterministic kernel
 # conformance suite — under the default test harness AND serialized
 # (parallel kernels must not depend on test-runner threading) — the
@@ -60,6 +64,16 @@ run cargo test -q -p co-service --features slow-tests --test soak
 # every verdict must carry a certificate the independent co-cert checker
 # accepts (wire round-trip included). Zero rejections tolerated.
 run env CERT_ORACLE_PAIRS=200 cargo test -q --release --test cert_oracle
+# UCQ differential wall (DESIGN.md §17): 200 seeded union pairs decided
+# three independent ways — the per-disjunct engine, a naive
+# union-expansion reference, and UCHECK against live 1- and 2-thread
+# servers — with 100% verdict agreement across every candidate strategy
+# × kernel-thread configuration, both polarities required.
+run env UCQ_DIFFERENTIAL_PAIRS=200 cargo test -q --release --test ucq_differential
+# Union canonicalization properties (slow-tests is std-only, like soak):
+# permutation, duplication, and α-renaming never change the union
+# fingerprint; a subsumed disjunct never changes the verdict.
+run cargo test -q -p co-service --features slow-tests --test union_properties
 
 echo "==> live METRICS scrape (parseable exposition, monotone counters)"
 ./target/release/coqld --listen 127.0.0.1:0 --kernel-threads 2 >target/coqld-verify.log 2>&1 &
@@ -144,6 +158,55 @@ for round in 1 2; do
         target/cert-schema.txt target/cert-q-nested.txt target/cert-q-nested.txt \
         | grep '^OK .*forward=true backward=true' >/dev/null \
         || { echo "CERT EQUIV drill (round $round) failed"; exit 1; }
+done
+
+# UCQ drill (DESIGN.md §17): union verbs against the same 2-thread
+# server. A seeded union workload (3 disjuncts per side) goes through
+# UCHECK twice — the second pass must answer entirely from the
+# union-fingerprint memo — then `coqlc cert` proves a UCHECK verdict by
+# re-checking the server's COUNION1 block locally (exit 6 on any lie).
+./target/release/co-bench workload --total 30 --distinct 6 --union-k 3 --seed 17 \
+    >target/ucq-workload.txt
+sed 's/^/UCHECK app /' target/ucq-workload.txt >target/ucq-requests.txt
+mapfile -t UREQUESTS <target/ucq-requests.txt
+req "${UREQUESTS[@]}" | awk '/^(OK|ERR)/ && !/^OK bye$/' >target/ucq-verdicts-1.txt
+[ "$(wc -l <target/ucq-verdicts-1.txt)" -eq 30 ] \
+    || { echo "UCHECK drill answered $(wc -l <target/ucq-verdicts-1.txt)/30"; exit 1; }
+grep -q '^OK holds=true' target/ucq-verdicts-1.txt \
+    && grep -q '^OK holds=false' target/ucq-verdicts-1.txt \
+    || { echo "UCHECK drill never exercised both polarities"; exit 1; }
+if grep -q '^ERR' target/ucq-verdicts-1.txt; then
+    echo "UCHECK drill answered errors"; exit 1
+fi
+req "${UREQUESTS[@]}" | awk '/^OK holds=/' >target/ucq-verdicts-2.txt
+awk '{print $1, $2}' target/ucq-verdicts-1.txt >target/ucq-cmp-1.txt
+awk '{print $1, $2}' target/ucq-verdicts-2.txt >target/ucq-cmp-2.txt
+cmp -s target/ucq-cmp-1.txt target/ucq-cmp-2.txt \
+    || { echo "UCHECK memo pass diverged from the cold pass"; exit 1; }
+grep -q 'cached=true' target/ucq-verdicts-2.txt \
+    || { echo "UCHECK repeat never hit the union memo"; exit 1; }
+req "UEQUIV app select x.B from x in R or select y.B from y in R where y.A = 1 ;; select z.B from z in R" \
+    | grep -q '^OK equivalent=true forward=true backward=true' \
+    || { echo "UEQUIV drill failed"; exit 1; }
+req "AGG q(X) :- R(X,Y). | count(Y) ;; q(X) :- R(X,Z). | count(Z)" \
+    | grep -q '^OK forward=true backward=true' \
+    || { echo "AGG drill failed"; exit 1; }
+req "NEST app R ; nest B as G ; unnest G ;; R" \
+    | grep -q '^OK equivalent=' \
+    || { echo "NEST drill failed"; exit 1; }
+printf 'select x.B from x in R where x.A = 1 or select y.B from y in R where y.A = 2\n' \
+    >target/cert-u-narrow.txt
+printf 'select z.B from z in R where z.A = 2 or select w.B from w in R\n' \
+    >target/cert-u-wide.txt
+for round in 1 2; do
+    ./target/release/coqlc cert --addr "$ADDR" \
+        target/cert-schema.txt target/cert-u-narrow.txt target/cert-u-wide.txt \
+        | grep 'certified by local co-cert re-check' >/dev/null \
+        || { echo "CERT UCHECK drill (positive, round $round) failed"; exit 1; }
+    ./target/release/coqlc cert --addr "$ADDR" \
+        target/cert-schema.txt target/cert-u-wide.txt target/cert-u-narrow.txt \
+        | grep '^OK holds=false' >/dev/null \
+        || { echo "CERT UCHECK drill (negative, round $round) failed"; exit 1; }
 done
 
 req METRICS >target/metrics-2.txt

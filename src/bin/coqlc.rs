@@ -116,7 +116,11 @@ commands:
                                    coqld-router via CERT CHECK/EQUIV, and
                                    the server's certificate is re-checked
                                    locally against locally-prepared queries
-                                   — the server is never trusted
+                                   — the server is never trusted. Union
+                                   queries (`q1 or q2 or …` on either side)
+                                   switch to the UCQ procedure and COUNION1
+                                   union certificates (CERT UCHECK/UEQUIV
+                                   remotely), re-checked the same way
   explain     <schema> <q1> <q2>   decide q1 ⊑ q2 and report where the time
                                    went: per-phase µs (parse, canonicalize,
                                    fingerprint, prepare, cache, kernel) and
@@ -165,8 +169,9 @@ exit codes:
      involved)
 
 serving:
-  coqld serves CHECK/EQUIV/FINGERPRINT over TCP with a memo cache keyed by
-  these fingerprints — use it for long-lived, duplicate-heavy workloads.";
+  coqld serves CHECK/EQUIV/UCHECK/UEQUIV/AGG/NEST/FINGERPRINT over TCP
+  with a memo cache keyed by these fingerprints — use it for long-lived,
+  duplicate-heavy workloads.";
 
 fn three(args: &[String], usage: &str) -> Result<[String; 3], String> {
     let rest = &args[1..];
@@ -255,6 +260,23 @@ fn parse_query(text: &str) -> Result<Expr, String> {
     })
 }
 
+/// Parses a (possibly union) query text into its disjuncts — a scalar
+/// query is the singleton union.
+fn parse_union_query(text: &str) -> Result<Vec<Expr>, String> {
+    co_lang::parse_union_coql(strip_comments(text).trim()).map_err(|e| {
+        if e.is_too_deep() {
+            format!("TOODEEP {e}")
+        } else {
+            e.to_string()
+        }
+    })
+}
+
+/// Collapses a query file to a single protocol-line rendering.
+fn one_line(text: &str) -> String {
+    strip_comments(text).split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
 fn cmd_check(schema_text: &str, q1_text: &str, q2_text: &str) -> Result<String, String> {
     let schema = parse_schema(schema_text)?;
     let q1 = parse_query(q1_text)?;
@@ -307,10 +329,24 @@ fn cmd_cert(args: &[String]) -> Result<String, String> {
     let q1_text = read(positional[1])?;
     let q2_text = read(positional[2])?;
     let schema = parse_schema(&schema_text)?;
-    let q1 = parse_query(&q1_text)?;
-    let q2 = parse_query(&q2_text)?;
-    let p1 = co_core::prepare(&q1, &schema).map_err(|e| e.to_string())?;
-    let p2 = co_core::prepare(&q2, &schema).map_err(|e| e.to_string())?;
+    let d1 = parse_union_query(&q1_text)?;
+    let d2 = parse_union_query(&q2_text)?;
+    if d1.len() > 1 || d2.len() > 1 {
+        // A union on either side upgrades the whole request to the UCQ
+        // procedure and its COUNION1 certificates (UCHECK/UEQUIV remote).
+        let u1 = co_core::prepare_union(&d1, &schema).map_err(|e| e.to_string())?;
+        let u2 = co_core::prepare_union(&d2, &schema).map_err(|e| e.to_string())?;
+        return match addr {
+            None => cert_union_local(&u1, &u2, equiv),
+            Some(addr) => {
+                cert_union_remote(&addr, &schema_text, &q1_text, &q2_text, &u1, &u2, equiv)
+            }
+        };
+    }
+    let q1 = &d1[0];
+    let q2 = &d2[0];
+    let p1 = co_core::prepare(q1, &schema).map_err(|e| e.to_string())?;
+    let p2 = co_core::prepare(q2, &schema).map_err(|e| e.to_string())?;
     match addr {
         None => cert_local(&p1, &p2, equiv),
         Some(addr) => cert_remote(&addr, &schema_text, &q1_text, &q2_text, &p1, &p2, equiv),
@@ -352,6 +388,128 @@ fn cert_local(
     Ok(out.trim_end().to_string())
 }
 
+/// Re-checks a union certificate against locally prepared unions: every
+/// witness/branch block must prove its claim on the local query trees
+/// under the locally derived decision path.
+fn check_union_cert(
+    cert: &co_cert::UnionCert,
+    a: &co_core::PreparedUnion,
+    b: &co_core::PreparedUnion,
+    holds: bool,
+) -> Result<(), co_cert::CertError> {
+    let ltrees: Vec<_> = a.disjuncts.iter().map(|p| &p.tree).collect();
+    let rtrees: Vec<_> = b.disjuncts.iter().map(|p| &p.tree).collect();
+    cert.check_against(&ltrees, &rtrees, holds, &|j, i| {
+        co_core::cert_path(co_core::expected_union_path(a, b, j, i))
+    })
+}
+
+/// One certified union direction, decided and checked in-process.
+fn certify_union_direction(
+    a: &co_core::PreparedUnion,
+    b: &co_core::PreparedUnion,
+    label: &str,
+    out: &mut String,
+) -> Result<(), String> {
+    let analysis = co_core::union_contained_prepared(a, b).map_err(|e| e.to_string())?;
+    let cert = co_core::certify_union_prepared(a, b, &analysis).map_err(|e| e.to_string())?;
+    check_union_cert(&cert, a, b, analysis.holds).map_err(|e| {
+        format!("certfail: freshly built union certificate failed the co-cert re-check: {e}")
+    })?;
+    let _ = writeln!(
+        out,
+        "{label} : {}   (left={} right={}, certified)",
+        analysis.holds,
+        a.disjuncts.len(),
+        b.disjuncts.len()
+    );
+    out.push_str(cert.to_wire().trim_end());
+    out.push('\n');
+    Ok(())
+}
+
+fn cert_union_local(
+    u1: &co_core::PreparedUnion,
+    u2: &co_core::PreparedUnion,
+    equiv: bool,
+) -> Result<String, String> {
+    let mut out = String::new();
+    certify_union_direction(u1, u2, "q1 ⊑ q2", &mut out)?;
+    if equiv {
+        certify_union_direction(u2, u1, "q2 ⊑ q1", &mut out)?;
+    }
+    Ok(out.trim_end().to_string())
+}
+
+/// Remote union certification via `CERT UCHECK`/`CERT UEQUIV`: the
+/// server's `COUNION1` blocks are re-checked against *locally* prepared
+/// unions, so a wrong witness index, a counterexample that actually
+/// satisfies the union, or a forged embedded block is caught here (exit
+/// code 6) no matter what the verdict line claims.
+fn cert_union_remote(
+    addr: &str,
+    schema_text: &str,
+    q1_text: &str,
+    q2_text: &str,
+    u1: &co_core::PreparedUnion,
+    u2: &co_core::PreparedUnion,
+    equiv: bool,
+) -> Result<String, String> {
+    let decl: Vec<String> = strip_comments(schema_text)
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(String::from)
+        .collect();
+    let reply = remote_exchange(addr, &format!("SCHEMA coqlc_cert {}", decl.join("; ")))
+        .map_err(|e| format!("connect: {addr}: {e}"))?;
+    if reply.starts_with("ERR") {
+        return Err(reply);
+    }
+    let verb = if equiv { "UEQUIV" } else { "UCHECK" };
+    let request = format!("CERT {verb} coqlc_cert {} ;; {}", one_line(q1_text), one_line(q2_text));
+    let reply = remote_exchange(addr, &request).map_err(|e| format!("connect: {addr}: {e}"))?;
+    let first = reply.lines().next().unwrap_or("").to_string();
+    if let Some(tail) = first.strip_prefix("ERR TOODEEP") {
+        return Err(format!("TOODEEP{tail}"));
+    }
+    if first.starts_with("ERR") {
+        return Err(first);
+    }
+    let claimed = |name: &str| -> Result<bool, String> {
+        first
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(name))
+            .map(|v| v == "true")
+            .ok_or_else(|| format!("certfail: verdict line lacks {name}: {first}"))
+    };
+    let expectations: Vec<(&co_core::PreparedUnion, &co_core::PreparedUnion, bool, &str)> =
+        if equiv {
+            vec![
+                (u1, u2, claimed("forward=")?, "q1 ⊑ q2"),
+                (u2, u1, claimed("backward=")?, "q2 ⊑ q1"),
+            ]
+        } else {
+            vec![(u1, u2, claimed("holds=")?, "q1 ⊑ q2")]
+        };
+    let body: Vec<&str> = reply.lines().skip(1).take_while(|l| *l != "END").collect();
+    let body = body.join("\n");
+    let mut rest = body.as_str();
+    let mut out = String::new();
+    let _ = writeln!(out, "{first}");
+    for (a, b, holds, label) in expectations {
+        let (cert, after) = co_cert::UnionCert::parse_prefix(rest)
+            .map_err(|e| format!("certfail: server union certificate does not parse: {e}"))?;
+        rest = after;
+        check_union_cert(&cert, a, b, holds).map_err(|e| {
+            format!("certfail: server union certificate for {label} failed the co-cert \
+                     re-check: {e}")
+        })?;
+        let _ = writeln!(out, "{label} : {holds}   (certified by local co-cert re-check)");
+    }
+    Ok(out.trim_end().to_string())
+}
+
 fn cert_remote(
     addr: &str,
     schema_text: &str,
@@ -361,8 +519,6 @@ fn cert_remote(
     p2: &co_core::Prepared,
     equiv: bool,
 ) -> Result<String, String> {
-    let one_line =
-        |text: &str| strip_comments(text).split_whitespace().collect::<Vec<_>>().join(" ");
     let decl: Vec<String> = strip_comments(schema_text)
         .lines()
         .map(str::trim)
@@ -648,7 +804,7 @@ fn reply_terminator(request: &str, first: &str) -> Option<&'static str> {
                 return match verb {
                     "STATS" | "SHARDS" | "SNAPEXPORT" => Some("END"),
                     "METRICS" => Some("# EOF"),
-                    "CHECK" | "EQUIV" if multiline => Some("END"),
+                    "CHECK" | "EQUIV" | "UCHECK" | "UEQUIV" if multiline => Some("END"),
                     _ => None,
                 };
             }
@@ -834,6 +990,11 @@ mod tests {
         assert_eq!(reply_terminator("TIMEOUT 50 EXPLAIN EQUIV app a ;; b", "OK true"), Some("END"));
         assert_eq!(reply_terminator("CERT CHECK app a ;; b", "OK true"), Some("END"));
         assert_eq!(reply_terminator("CERT TIMEOUT 9 EQUIV app a ;; b", "OK true"), Some("END"));
+        assert_eq!(reply_terminator("UCHECK app a or b ;; c", "OK holds=true"), None);
+        assert_eq!(reply_terminator("CERT UCHECK app a or b ;; c", "OK holds=true"), Some("END"));
+        assert_eq!(reply_terminator("EXPLAIN UEQUIV app a ;; b or c", "OK true"), Some("END"));
+        assert_eq!(reply_terminator("AGG q(X) :- R(X). ;; q(X) :- R(X).", "OK forward=true"), None);
+        assert_eq!(reply_terminator("NEST app R ;; R", "OK equivalent=true"), None);
         // ERR replies are single-line even under EXPLAIN/CERT.
         assert_eq!(reply_terminator("EXPLAIN CHECK app a ;; b", "ERR DEADLINE"), None);
         assert_eq!(reply_terminator("CERT CHECK app a ;; b", "ERR CERTUNAVAILABLE x"), None);
@@ -952,6 +1113,141 @@ mod tests {
         assert!(out.contains("q1 ⊑ q2 : true"), "{out}");
         assert!(out.contains("q2 ⊑ q1 : false"), "{out}");
         assert!(out.contains("certified by local co-cert re-check"), "{out}");
+        server.join().unwrap();
+    }
+
+    /// Prepared unions where `σ₁R ∪ σ₂R ⊑ R` holds and the converse fails.
+    fn prepared_unions() -> (co_core::PreparedUnion, co_core::PreparedUnion) {
+        let schema = parse_schema("R(A, B)").unwrap();
+        let d1 = parse_union_query(
+            "select x.B from x in R where x.A = 1 or select x.B from x in R where x.A = 2",
+        )
+        .unwrap();
+        let d2 = parse_union_query("select y.B from y in R").unwrap();
+        (
+            co_core::prepare_union(&d1, &schema).unwrap(),
+            co_core::prepare_union(&d2, &schema).unwrap(),
+        )
+    }
+
+    #[test]
+    fn cert_union_local_certifies_both_directions() {
+        let (u1, u2) = prepared_unions();
+        let out = cert_union_local(&u1, &u2, true).unwrap();
+        assert!(out.contains("q1 ⊑ q2 : true"), "{out}");
+        assert!(out.contains("q2 ⊑ q1 : false"), "{out}");
+        assert_eq!(out.matches("COUNION1 ").count(), 2, "{out}");
+        assert_eq!(out.matches("COUNIONEND").count(), 2, "{out}");
+        // Each printed block round-trips through the independent checker.
+        let (first, rest) =
+            co_cert::UnionCert::parse_prefix(out.split_once('\n').unwrap().1).unwrap();
+        assert!(first.holds);
+        assert_eq!(first.witnesses.len(), 2);
+        assert!(!co_cert::UnionCert::parse_prefix(rest.split_once('\n').unwrap().1)
+            .unwrap()
+            .0
+            .holds);
+    }
+
+    #[test]
+    fn cert_union_remote_rejects_a_lying_server() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpListener;
+        let (u1, u2) = prepared_unions();
+        let analysis = co_core::union_contained_prepared(&u1, &u2).unwrap();
+        assert!(analysis.holds);
+        let wire = co_core::certify_union_prepared(&u1, &u2, &analysis).unwrap().to_wire();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for (i, stream) in listener.incoming().take(2).enumerate() {
+                let stream = stream.unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                if i == 0 {
+                    assert!(line.starts_with("SCHEMA coqlc_cert"), "{line}");
+                    writer.write_all(b"OK schema=coqlc_cert fp=0 relations=1\n").unwrap();
+                } else {
+                    assert!(line.starts_with("CERT UCHECK coqlc_cert"), "{line}");
+                    // Lie: claim the union containment fails while
+                    // shipping the (structurally valid) holds-certificate.
+                    let reply = format!(
+                        "OK holds=false refuted=0 left=2 right=1 pairs=2 cached=false \
+                         fp1=0 fp2=0\n{wire}END\n"
+                    );
+                    writer.write_all(reply.as_bytes()).unwrap();
+                }
+            }
+        });
+        let err = cert_union_remote(
+            &addr,
+            "R(A, B)",
+            "select x.B from x in R where x.A = 1 or select x.B from x in R where x.A = 2",
+            "select y.B from y in R",
+            &u1,
+            &u2,
+            false,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("certfail:"), "exit-6 class: {err}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn cert_union_remote_rejects_a_misdirected_witness() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpListener;
+        // `σ₁R ⊑ σ₁R ∪ σ₂R`, witnessed by right disjunct 0. A forged
+        // certificate naming right disjunct 1 must fail the local
+        // re-check: the embedded homomorphism does not map σ₂R's constant.
+        let schema = parse_schema("R(A, B)").unwrap();
+        let d1 = parse_union_query("select x.B from x in R where x.A = 1").unwrap();
+        let d2 = parse_union_query(
+            "select x.B from x in R where x.A = 1 or select x.B from x in R where x.A = 2",
+        )
+        .unwrap();
+        let u1 = co_core::prepare_union(&d1, &schema).unwrap();
+        let u2 = co_core::prepare_union(&d2, &schema).unwrap();
+        let analysis = co_core::union_contained_prepared(&u1, &u2).unwrap();
+        assert!(analysis.holds);
+        let mut forged = co_core::certify_union_prepared(&u1, &u2, &analysis).unwrap();
+        forged.witnesses[0].0 = 1 - forged.witnesses[0].0;
+        let wire = forged.to_wire();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for (i, stream) in listener.incoming().take(2).enumerate() {
+                let stream = stream.unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                if i == 0 {
+                    writer.write_all(b"OK schema=coqlc_cert fp=0 relations=1\n").unwrap();
+                } else {
+                    let reply = format!(
+                        "OK holds=true witnesses=1 left=1 right=2 pairs=1 cached=false \
+                         fp1=0 fp2=0\n{wire}END\n"
+                    );
+                    writer.write_all(reply.as_bytes()).unwrap();
+                }
+            }
+        });
+        let err = cert_union_remote(
+            &addr,
+            "R(A, B)",
+            "select x.B from x in R where x.A = 1",
+            "select x.B from x in R where x.A = 1 or select x.B from x in R where x.A = 2",
+            &u1,
+            &u2,
+            false,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("certfail:"), "exit-6 class: {err}");
         server.join().unwrap();
     }
 

@@ -1,9 +1,9 @@
 //! `coqld` — the COQL containment-decision server.
 //!
-//! Serves `CHECK`/`EQUIV`/`FINGERPRINT`/`SCHEMA`/`STATS` over a
-//! line-oriented TCP protocol (see `co-service::server`), memoizing
-//! verdicts by canonical fingerprint so duplicate-heavy workloads are
-//! answered from cache.
+//! Serves `CHECK`/`EQUIV`/`UCHECK`/`UEQUIV`/`AGG`/`NEST`/`FINGERPRINT`/
+//! `SCHEMA`/`STATS` over a line-oriented TCP protocol (see
+//! `co-service::server`), memoizing verdicts by canonical fingerprint so
+//! duplicate-heavy workloads are answered from cache.
 //!
 //! ```text
 //! coqld --listen 127.0.0.1:7878 --schema app=schema.txt
@@ -72,6 +72,19 @@ protocol (one request per line; replies start OK/ERR; STATS ends with END):
   SCHEMA <name> <decl>          e.g. SCHEMA app R(A,B); S(C)
   CHECK <schema> <q1> ;; <q2>   decide q1 \u{2291} q2
   EQUIV <schema> <q1> ;; <q2>   decide equivalence
+  UCHECK <schema> <u1> ;; <u2>  decide union containment; each side is
+                                `<q> [or <q>]*` (Sagiv–Yannakakis per
+                                disjunct, short-circuiting, memoized under
+                                an order-invariant union fingerprint)
+  UEQUIV <schema> <u1> ;; <u2>  decide union equivalence (both directions)
+  AGG <b1> [| <fns>] ;; <b2> [| <fns>]
+                                decide aggregate-query containment; each
+                                side is a datalog body with optional
+                                aggregate terms, e.g.
+                                `q(X) :- R(X, Y). | count(Y)`
+  NEST <schema> <s1> ;; <s2>    decide nest/unnest sequence equivalence;
+                                each side is `<base> [; nest <A>[,<B>] as
+                                <G> | ; unnest <G>]*`
   FINGERPRINT <schema> <q>      canonical cache-key fingerprint
   STATS                         counters + per-path latency quantiles
   METRICS                       Prometheus text exposition, ends with # EOF
@@ -81,18 +94,21 @@ protocol (one request per line; replies start OK/ERR; STATS ends with END):
   SHUTDOWN                      drain and stop (needs --allow-shutdown)
   QUIT
 
-  CHECK/EQUIV accept budget prefixes, e.g. `TIMEOUT 50 CHECK app ...` caps
+  The decision verbs (CHECK/EQUIV/UCHECK/UEQUIV, plus AGG/NEST for the
+  budget prefixes) accept prefixes, e.g. `TIMEOUT 50 CHECK app ...` caps
   the request at 50 ms and `BUDGET 1000 CHECK app ...` caps kernel steps
   (0 clears the server default). An expired budget answers `ERR DEADLINE`
   without caching anything. An `EXPLAIN` prefix answers the verdict plus
   `explain.*` phase timings (parse/canonicalize/fingerprint/prepare/cache/
   kernel µs) and kernel step counts, terminated by END. A `CERT` prefix
   answers the verdict plus one COCERT1..COCERTEND proof block per
-  direction, terminated by END; check it independently with `coqlc cert
-  --addr` or the co-cert crate (cached certificates are re-verified
-  server-side first, and an uncertifiable verdict answers
-  `ERR CERTUNAVAILABLE`). Other failure replies are `ERR TOOLARGE`,
-  `ERR TOODEEP` (query nested past --max-parse-depth), `ERR OVERLOADED`,
+  direction (COUNION1..COUNIONEND union certificates for UCHECK/UEQUIV),
+  terminated by END; check it independently with `coqlc cert --addr` or
+  the co-cert crate (cached certificates are re-verified server-side
+  first, and an uncertifiable verdict answers `ERR CERTUNAVAILABLE`).
+  Other failure replies are `ERR TOOLARGE`, `ERR TOODEEP` (query nested
+  past --max-parse-depth, or more than 64 AGG atoms / NEST steps; a union
+  of more than 64 disjuncts is a plain syntax error), `ERR OVERLOADED`,
   and `ERR INTERNAL` (the server survives all of them).
 
 exit codes:
